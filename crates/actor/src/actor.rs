@@ -1,0 +1,54 @@
+//! The [`Actor`] trait and per-activation [`Ctx`].
+
+use crate::addr::Addr;
+use crate::system::System;
+
+/// A message-driven state machine.
+///
+/// Actors encapsulate mutable state that is only ever touched by the runtime
+/// while handling a message, one message at a time — there is no shared
+/// state and no locking in user code (the actor-model contract the paper
+/// relies on). Messages from a single sender are delivered in order.
+pub trait Actor: Sized + Send + 'static {
+    /// The mailbox message type.
+    type Msg: Send + 'static;
+
+    /// Handle one message. Called by exactly one worker thread at a time.
+    fn handle(&mut self, msg: Self::Msg, ctx: &mut Ctx<'_, Self>);
+
+    /// Called once, on the spawning thread, before any message is handled.
+    fn started(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let _ = ctx;
+    }
+
+    /// Called after the actor stops (graceful [`Ctx::stop`] only; not after
+    /// a panic, since the state may be corrupt).
+    fn stopped(&mut self) {}
+}
+
+/// Per-activation context handed to [`Actor::handle`].
+pub struct Ctx<'a, A: Actor> {
+    pub(crate) addr: Addr<A>,
+    pub(crate) system: &'a System,
+    pub(crate) stop: bool,
+}
+
+impl<'a, A: Actor> Ctx<'a, A> {
+    /// The address of the actor being activated (for self-sends or for
+    /// handing out to other actors).
+    pub fn addr(&self) -> Addr<A> {
+        self.addr.clone()
+    }
+
+    /// The owning system, e.g. to spawn children.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Request a graceful stop: after the current message returns, the actor
+    /// processes no further messages, [`Actor::stopped`] runs, and pending
+    /// mailbox contents are dropped.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}

@@ -1,0 +1,111 @@
+//! Actor addresses: typed [`Addr`] and message-typed [`Recipient`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::actor::Actor;
+use crate::cell::Cell;
+use crate::error::SendError;
+
+/// A cheap, cloneable handle for sending messages to an actor of type `A`.
+///
+/// Sends are asynchronous: [`Addr::send`] enqueues the message and returns
+/// immediately (the paper's principle (c): the sender "can go back to its
+/// execution immediately").
+pub struct Addr<A: Actor> {
+    cell: Arc<Cell<A>>,
+}
+
+impl<A: Actor> Addr<A> {
+    pub(crate) fn from_cell(cell: Arc<Cell<A>>) -> Self {
+        Addr { cell }
+    }
+
+    /// Deliver `msg` to the actor's mailbox. Never blocks. Fails only if
+    /// the actor is dead; the message is returned inside the error.
+    pub fn send(&self, msg: A::Msg) -> Result<(), SendError<A::Msg>> {
+        self.cell.deliver(msg)
+    }
+
+    /// Whether the actor can still receive messages.
+    pub fn is_alive(&self) -> bool {
+        self.cell.is_alive()
+    }
+
+    /// Erase the actor type, keeping only the ability to send `M` (with a
+    /// conversion into the actor's message type).
+    pub fn recipient<M>(&self) -> Recipient<M>
+    where
+        M: Send + 'static,
+        A::Msg: From<M>,
+    {
+        let cell = self.cell.clone();
+        let cell2 = self.cell.clone();
+        Recipient {
+            send_fn: Arc::new(move |m: M| match cell.deliver(A::Msg::from(m)) {
+                Ok(()) => Ok(()),
+                // The conversion into A::Msg is not reversible, so the
+                // payload cannot be handed back.
+                Err(SendError(_lost)) => Err(SendError(())),
+            }),
+            alive: Arc::new(move || cell2.is_alive()),
+        }
+    }
+}
+
+impl<A: Actor> Clone for Addr<A> {
+    fn clone(&self) -> Self {
+        Addr {
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<A: Actor> fmt::Debug for Addr<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Addr<{}>(alive={})",
+            std::any::type_name::<A>(),
+            self.is_alive()
+        )
+    }
+}
+
+/// A type-erased sender for messages of type `M`.
+///
+/// Obtained from [`Addr::recipient`]; useful when a component only needs to
+/// emit `M`s without knowing which actor type consumes them.
+pub struct Recipient<M: Send + 'static> {
+    #[allow(clippy::type_complexity)]
+    send_fn: Arc<dyn Fn(M) -> Result<(), SendError<()>> + Send + Sync>,
+    alive: Arc<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl<M: Send + 'static> Recipient<M> {
+    /// Deliver `msg`. On failure the payload has already been converted
+    /// into the target actor's message type and cannot be recovered.
+    pub fn send(&self, msg: M) -> Result<(), SendError<()>> {
+        (self.send_fn)(msg)
+    }
+
+    /// Whether the destination actor can still receive messages.
+    pub fn is_alive(&self) -> bool {
+        (self.alive)()
+    }
+}
+
+impl<M: Send + 'static> Clone for Recipient<M> {
+    fn clone(&self) -> Self {
+        Recipient {
+            send_fn: self.send_fn.clone(),
+            alive: self.alive.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> fmt::Debug for Recipient<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Recipient<{}>", std::any::type_name::<M>())
+    }
+}

@@ -1,0 +1,206 @@
+//! The actor cell: mailbox + state + scheduling status.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crossbeam_queue::SegQueue;
+use parking_lot::Mutex;
+
+use crate::actor::{Actor, Ctx};
+use crate::scheduler::{Runnable, Scheduler};
+use crate::system::System;
+
+/// Actor lifecycle / scheduling status.
+///
+/// `IDLE` — not on any run queue; a sender that observes this transitions it
+/// to `SCHEDULED` and enqueues the cell (the *at-most-once* invariant).
+/// `SCHEDULED` — on a run queue or currently being run by a worker.
+/// `DEAD` — stopped or panicked; the state has been dropped.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const DEAD: u8 = 2;
+
+/// Restart bookkeeping for supervised actors.
+struct Supervision<A> {
+    factory: Box<dyn FnMut() -> A + Send>,
+    restarts_left: usize,
+}
+
+pub(crate) struct Cell<A: Actor> {
+    mailbox: SegQueue<A::Msg>,
+    /// Actor state. `None` once dead. The status word guarantees only one
+    /// worker activates the cell at a time, so this lock is uncontended; it
+    /// exists to keep the unsafe surface zero.
+    state: Mutex<Option<A>>,
+    /// Present for supervised actors: rebuilds the state after a panic.
+    supervision: Mutex<Option<Supervision<A>>>,
+    status: AtomicU8,
+    system: System,
+}
+
+impl<A: Actor> Cell<A> {
+    pub(crate) fn new(actor: A, system: System) -> Arc<Self> {
+        Arc::new(Cell {
+            mailbox: SegQueue::new(),
+            state: Mutex::new(Some(actor)),
+            supervision: Mutex::new(None),
+            status: AtomicU8::new(IDLE),
+            system,
+        })
+    }
+
+    pub(crate) fn new_supervised(
+        mut factory: Box<dyn FnMut() -> A + Send>,
+        max_restarts: usize,
+        system: System,
+    ) -> Arc<Self> {
+        let actor = factory();
+        Arc::new(Cell {
+            mailbox: SegQueue::new(),
+            state: Mutex::new(Some(actor)),
+            supervision: Mutex::new(Some(Supervision {
+                factory,
+                restarts_left: max_restarts,
+            })),
+            status: AtomicU8::new(IDLE),
+            system,
+        })
+    }
+
+    pub(crate) fn is_alive(&self) -> bool {
+        self.status.load(Ordering::Acquire) != DEAD
+    }
+
+    /// Enqueue a message and make sure the cell is scheduled.
+    pub(crate) fn deliver(self: &Arc<Self>, msg: A::Msg) -> Result<(), crate::SendError<A::Msg>> {
+        if !self.is_alive() {
+            return Err(crate::SendError(msg));
+        }
+        self.mailbox.push(msg);
+        self.system.metrics().messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.try_schedule();
+        Ok(())
+    }
+
+    fn try_schedule(self: &Arc<Self>) {
+        if self
+            .status
+            .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let task: Arc<dyn Runnable> = self.clone();
+            self.system.scheduler().schedule(task);
+        }
+    }
+
+    /// Run `started` on the spawning thread before any message arrives.
+    pub(crate) fn run_started(self: &Arc<Self>) {
+        let mut guard = self.state.lock();
+        if let Some(actor) = guard.as_mut() {
+            let mut ctx = Ctx {
+                addr: crate::addr::Addr::from_cell(self.clone()),
+                system: &self.system,
+                stop: false,
+            };
+            actor.started(&mut ctx);
+            if ctx.stop {
+                if let Some(mut a) = guard.take() {
+                    a.stopped();
+                }
+                self.status.store(DEAD, Ordering::Release);
+            }
+        }
+    }
+
+    fn kill(&self, guard: &mut Option<A>, graceful: bool) {
+        if let Some(mut a) = guard.take() {
+            if graceful {
+                a.stopped();
+            }
+        }
+        self.status.store(DEAD, Ordering::Release);
+        // Drop anything left in the mailbox.
+        while self.mailbox.pop().is_some() {}
+    }
+}
+
+impl<A: Actor> Runnable for Cell<A> {
+    fn run(self: Arc<Self>, sched: &Arc<Scheduler>) {
+        let mut guard = self.state.lock();
+        let batch = sched.batch;
+        let mut processed = 0usize;
+        while processed < batch {
+            let Some(msg) = self.mailbox.pop() else { break };
+            let Some(actor) = guard.as_mut() else {
+                // Dead while messages were still queued; drop them.
+                drop(guard.take());
+                self.status.store(DEAD, Ordering::Release);
+                return;
+            };
+            let mut ctx = Ctx {
+                addr: crate::addr::Addr::from_cell(self.clone()),
+                system: &self.system,
+                stop: false,
+            };
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| actor.handle(msg, &mut ctx)));
+            processed += 1;
+            sched.metrics.messages_handled.fetch_add(1, Ordering::Relaxed);
+            match outcome {
+                Ok(()) if ctx.stop => {
+                    self.kill(&mut guard, true);
+                    return;
+                }
+                Ok(()) => {}
+                Err(_panic) => {
+                    sched.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                    // Supervised actors are rebuilt from their factory and
+                    // keep draining the mailbox (the poisoned message is
+                    // consumed); unsupervised actors die.
+                    let mut sup = self.supervision.lock();
+                    match sup.as_mut() {
+                        Some(s) if s.restarts_left > 0 => {
+                            s.restarts_left -= 1;
+                            sched.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                            let fresh = (s.factory)();
+                            drop(sup);
+                            *guard = Some(fresh);
+                            let actor = guard.as_mut().expect("just replaced");
+                            let mut ctx = Ctx {
+                                addr: crate::addr::Addr::from_cell(self.clone()),
+                                system: &self.system,
+                                stop: false,
+                            };
+                            actor.started(&mut ctx);
+                            if ctx.stop {
+                                self.kill(&mut guard, true);
+                                return;
+                            }
+                        }
+                        _ => {
+                            drop(sup);
+                            self.kill(&mut guard, false);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        drop(guard);
+        if !self.mailbox.is_empty() {
+            // Still work to do: stay SCHEDULED and requeue ourselves so
+            // other actors get a turn (fair scheduling).
+            let task: Arc<dyn Runnable> = self.clone();
+            self.system.scheduler().schedule(task);
+        } else {
+            self.status.store(IDLE, Ordering::Release);
+            // A message may have raced in between the emptiness check and
+            // the IDLE store; its sender saw SCHEDULED and did nothing, so
+            // re-check and schedule ourselves if needed.
+            if !self.mailbox.is_empty() {
+                self.try_schedule();
+            }
+        }
+    }
+}

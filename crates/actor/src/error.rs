@@ -1,0 +1,29 @@
+//! Send-side error type.
+
+use std::fmt;
+
+/// Returned by [`crate::Addr::send`] when the destination actor is dead
+/// (stopped gracefully, killed by a panic, or its system shut down). The
+/// undelivered message is handed back to the caller.
+pub struct SendError<M>(pub M);
+
+impl<M> SendError<M> {
+    /// Recover the message that could not be delivered.
+    pub fn into_inner(self) -> M {
+        self.0
+    }
+}
+
+impl<M> fmt::Debug for SendError<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(actor is dead)")
+    }
+}
+
+impl<M> fmt::Display for SendError<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("message could not be delivered: actor is dead")
+    }
+}
+
+impl<M> std::error::Error for SendError<M> {}

@@ -1,0 +1,156 @@
+//! Run queues and worker threads.
+//!
+//! The scheduler is the Kilim "weaver" equivalent: a global injector queue
+//! plus one work-stealing deque per worker thread. The schedulable unit is
+//! an actor *cell* (an `Arc<dyn Runnable>`), not a message — an actor with a
+//! non-empty mailbox appears on the queues at most once.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::system::SystemMetrics;
+
+/// A schedulable actor cell.
+pub(crate) trait Runnable: Send + Sync {
+    /// Run one activation: drain up to a batch of messages. The cell
+    /// reschedules itself if its mailbox is still non-empty afterwards.
+    fn run(self: Arc<Self>, sched: &Arc<Scheduler>);
+}
+
+pub(crate) type Task = Arc<dyn Runnable>;
+
+/// Shared scheduler state: queues, sleep bookkeeping, shutdown flag.
+pub(crate) struct Scheduler {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+    pub(crate) batch: usize,
+    pub(crate) metrics: Arc<SystemMetrics>,
+}
+
+thread_local! {
+    /// Set while a worker thread is running, so cells activated on a worker
+    /// can push follow-up work to the local deque instead of the injector.
+    static LOCAL: std::cell::RefCell<Option<Deque<Task>>> = const { std::cell::RefCell::new(None) };
+}
+
+impl Scheduler {
+    pub(crate) fn new(workers: usize, batch: usize, metrics: Arc<SystemMetrics>) -> (Arc<Self>, Vec<Deque<Task>>) {
+        let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let sched = Arc::new(Scheduler {
+            injector: Injector::new(),
+            stealers,
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch,
+            metrics,
+        });
+        (sched, deques)
+    }
+
+    /// Enqueue a cell for execution. Prefers the current worker's local
+    /// deque when called from a worker thread.
+    pub(crate) fn schedule(&self, task: Task) {
+        let pushed_local = LOCAL.with(|l| {
+            if let Some(d) = l.borrow().as_ref() {
+                d.push(task.clone());
+                true
+            } else {
+                false
+            }
+        });
+        if !pushed_local {
+            self.injector.push(task);
+        }
+        // Wake one sleeping worker if any. The 10ms sleep timeout in the
+        // worker loop backstops any lost-wakeup window.
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _g = self.sleep_lock.lock();
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn find_task(&self, local: &Deque<Task>, index: usize) -> Option<Task> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                crossbeam_deque::Steal::Success(t) => return Some(t),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        // Steal from peers, starting after our own index for spread.
+        let n = self.stealers.len();
+        for off in 1..n {
+            let victim = &self.stealers[(index + off) % n];
+            loop {
+                match victim.steal() {
+                    crossbeam_deque::Steal::Success(t) => return Some(t),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// The body of one worker thread.
+    pub(crate) fn worker_loop(self: &Arc<Self>, local: Deque<Task>, index: usize) {
+        // Install the deque in TLS so `schedule` calls made while running a
+        // task on this thread push to the local queue; `find_task` borrows
+        // it back out for popping (the borrows never overlap: the find_task
+        // borrow ends before `t.run` begins).
+        LOCAL.with(|l| *l.borrow_mut() = Some(local));
+        loop {
+            if self.is_shutdown() {
+                break;
+            }
+            let task = LOCAL.with(|l| {
+                let b = l.borrow();
+                let d = b.as_ref().expect("worker TLS deque installed");
+                self.find_task(d, index)
+            });
+            match task {
+                Some(t) => {
+                    self.metrics.activations.fetch_add(1, Ordering::Relaxed);
+                    t.run(self);
+                }
+                None => {
+                    self.sleepers.fetch_add(1, Ordering::AcqRel);
+                    let mut g = self.sleep_lock.lock();
+                    // Re-check under the lock so a schedule() between our
+                    // failed find_task and here is not missed.
+                    if self.injector.is_empty() && !self.is_shutdown() {
+                        self.sleep_cv
+                            .wait_for(&mut g, Duration::from_millis(10));
+                    }
+                    drop(g);
+                    self.sleepers.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+        LOCAL.with(|l| *l.borrow_mut() = None);
+    }
+}

@@ -1,0 +1,188 @@
+//! The actor [`System`]: worker pool lifecycle, spawning, metrics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::actor::Actor;
+use crate::addr::Addr;
+use crate::cell::Cell;
+use crate::scheduler::Scheduler;
+
+/// Cumulative counters for a system's lifetime. All relaxed; read for
+/// reporting and benchmarking only.
+#[derive(Debug, Default)]
+pub struct SystemMetrics {
+    /// Messages accepted by `Addr::send`.
+    pub messages_sent: AtomicU64,
+    /// Messages processed by actor `handle` calls.
+    pub messages_handled: AtomicU64,
+    /// Actor activations (batched mailbox drains).
+    pub activations: AtomicU64,
+    /// Actors killed by a panic in `handle`.
+    pub panics: AtomicU64,
+    /// Actors spawned.
+    pub spawned: AtomicU64,
+    /// Supervised actors rebuilt after a panic.
+    pub restarts: AtomicU64,
+}
+
+struct SystemInner {
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<SystemMetrics>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shut: AtomicBool,
+}
+
+/// A handle to a running actor system. Cheap to clone; the worker threads
+/// stop when [`System::shutdown`] is called (or when the last handle is
+/// dropped).
+#[derive(Clone)]
+pub struct System {
+    inner: Arc<SystemInner>,
+}
+
+/// Builder for [`System`].
+pub struct SystemBuilder {
+    workers: usize,
+    batch: usize,
+    name: String,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            batch: 256,
+            name: "actor".to_string(),
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Number of kernel worker threads multiplexing the actors.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Maximum messages drained per actor activation (fairness knob).
+    pub fn batch(mut self, n: usize) -> Self {
+        self.batch = n.max(1);
+        self
+    }
+
+    /// Thread-name prefix for the workers.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Start the worker threads and return the system handle.
+    pub fn build(self) -> System {
+        let metrics = Arc::new(SystemMetrics::default());
+        let (scheduler, deques) = Scheduler::new(self.workers, self.batch, metrics.clone());
+        let mut handles = Vec::with_capacity(self.workers);
+        for (i, deque) in deques.into_iter().enumerate() {
+            let sched = scheduler.clone();
+            let name = format!("{}-worker-{}", self.name, i);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || sched.worker_loop(deque, i))
+                    .expect("spawn actor worker thread"),
+            );
+        }
+        System {
+            inner: Arc::new(SystemInner {
+                scheduler,
+                metrics,
+                workers: Mutex::new(handles),
+                shut: AtomicBool::new(false),
+            }),
+        }
+    }
+}
+
+impl System {
+    /// Start building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Build a system with default settings (one worker per core).
+    pub fn new() -> System {
+        SystemBuilder::default().build()
+    }
+
+    /// Spawn `actor`, running its [`Actor::started`] hook on the calling
+    /// thread, and return its address.
+    pub fn spawn<A: Actor>(&self, actor: A) -> Addr<A> {
+        let cell = Cell::new(actor, self.clone());
+        self.inner.metrics.spawned.fetch_add(1, Ordering::Relaxed);
+        cell.run_started();
+        Addr::from_cell(cell)
+    }
+
+    /// Spawn a *supervised* actor: when `handle` panics, the actor state
+    /// is rebuilt from `factory` (its `started` hook runs again), the
+    /// panicking message is consumed, and the mailbox keeps draining — up
+    /// to `max_restarts` times, after which the next panic kills it like
+    /// an unsupervised actor.
+    pub fn spawn_supervised<A, F>(&self, factory: F, max_restarts: usize) -> Addr<A>
+    where
+        A: Actor,
+        F: FnMut() -> A + Send + 'static,
+    {
+        let cell = Cell::new_supervised(Box::new(factory), max_restarts, self.clone());
+        self.inner.metrics.spawned.fetch_add(1, Ordering::Relaxed);
+        cell.run_started();
+        Addr::from_cell(cell)
+    }
+
+    /// Stop the worker threads. Pending mailbox messages are dropped.
+    /// Idempotent; called automatically when the last handle drops.
+    pub fn shutdown(&self) {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.scheduler.begin_shutdown();
+        let handles = std::mem::take(&mut *self.inner.workers.lock());
+        for h in handles {
+            // A worker shutting the system down from inside a handler would
+            // deadlock joining itself; skip self-joins.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.inner.metrics
+    }
+
+    pub(crate) fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.inner.scheduler
+    }
+}
+
+impl Default for System {
+    fn default() -> Self {
+        System::new()
+    }
+}
+
+impl Drop for SystemInner {
+    fn drop(&mut self) {
+        self.scheduler.begin_shutdown();
+        for h in std::mem::take(&mut *self.workers.lock()) {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

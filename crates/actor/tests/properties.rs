@@ -1,0 +1,90 @@
+//! Property tests for the actor runtime: delivery invariants must hold
+//! for arbitrary worker counts, batch sizes, and message interleavings.
+
+use proptest::prelude::*;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use actor::{Actor, Ctx, System};
+
+struct Sink {
+    got: Vec<(u8, u32)>,
+    expect: usize,
+    done: mpsc::Sender<Vec<(u8, u32)>>,
+}
+
+enum SinkMsg {
+    Item(u8, u32),
+}
+
+impl Actor for Sink {
+    type Msg = SinkMsg;
+    fn handle(&mut self, SinkMsg::Item(sender, seq): SinkMsg, _ctx: &mut Ctx<'_, Self>) {
+        self.got.push((sender, seq));
+        if self.got.len() == self.expect {
+            let _ = self.done.send(std::mem::take(&mut self.got));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// With any configuration, every message is delivered exactly once and
+    /// per-sender order is preserved.
+    #[test]
+    fn delivery_exactly_once_and_per_sender_fifo(
+        workers in 1usize..5,
+        batch in 1usize..300,
+        n_senders in 1u8..6,
+        per_sender in 1u32..400,
+    ) {
+        let sys = System::builder().workers(workers).batch(batch).build();
+        let (tx, rx) = mpsc::channel();
+        let total = n_senders as usize * per_sender as usize;
+        let addr = sys.spawn(Sink { got: Vec::new(), expect: total, done: tx });
+        let mut handles = Vec::new();
+        for s in 0..n_senders {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_sender {
+                    addr.send(SinkMsg::Item(s, i)).unwrap();
+                }
+            }));
+        }
+        for h in handles { h.join().unwrap(); }
+        let got = rx.recv_timeout(Duration::from_secs(30)).expect("all delivered");
+        prop_assert_eq!(got.len(), total);
+        // Per-sender sequences are strictly increasing.
+        let mut last = vec![None::<u32>; n_senders as usize];
+        for (s, seq) in &got {
+            if let Some(prev) = last[*s as usize] {
+                prop_assert!(*seq > prev, "sender {} out of order: {} after {}", s, seq, prev);
+            }
+            last[*s as usize] = Some(*seq);
+        }
+        // Exactly once: each (sender, seq) pair distinct and complete.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), total);
+        sys.shutdown();
+    }
+
+    /// Spawning and tearing down systems of arbitrary size never hangs.
+    #[test]
+    fn spawn_shutdown_cycles(workers in 1usize..6, actors in 1usize..50) {
+        let sys = System::builder().workers(workers).build();
+        let (tx, rx) = mpsc::channel();
+        let addrs: Vec<_> = (0..actors)
+            .map(|_| sys.spawn(Sink { got: Vec::new(), expect: 1, done: tx.clone() }))
+            .collect();
+        for a in &addrs {
+            a.send(SinkMsg::Item(0, 0)).unwrap();
+        }
+        for _ in 0..actors {
+            rx.recv_timeout(Duration::from_secs(10)).expect("ack");
+        }
+        sys.shutdown();
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The paper's benchmark algorithms — PageRank, BFS, Connected
+//! Components — expressed for all three engines, plus sequential
+//! reference implementations used as correctness oracles.
+//!
+//! * GPSA programs live in [`gpsa::programs`] and are re-exported from
+//!   [`gpsa_programs`].
+//! * [`psw`] — the same algorithms in the GraphChi-like engine's
+//!   edge-value model.
+//! * [`xs`] — the same algorithms in the X-Stream-like engine's
+//!   scatter–gather model.
+//! * [`reference`](crate::reference) — simple, obviously-correct sequential versions.
+//!
+//! The integration suite (`tests/`) checks all three engines against the
+//! references and against each other on the same graphs — the property
+//! the paper's evaluation implicitly depends on.
+
+pub mod psw;
+pub mod reference;
+pub mod xs;
+
+/// Re-export of the GPSA-native programs for convenience.
+pub mod gpsa_programs {
+    pub use gpsa::programs::{Bfs, ConnectedComponents, InDegree, PageRank, Sssp, UNREACHED};
+}

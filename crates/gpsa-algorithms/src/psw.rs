@@ -1,0 +1,210 @@
+//! The benchmark algorithms in the GraphChi-like engine's model: vertex
+//! update functions over in/out **edge values**.
+
+use gpsa_baselines::graphchi::{PswMeta, PswProgram};
+use gpsa_graph::VertexId;
+
+use crate::reference::UNREACHED;
+
+/// PageRank on PSW: each edge carries `rank(src)/deg(src)`; updates sum
+/// the in-edge values. Dense (every vertex, every iteration) — run with
+/// [`gpsa_baselines::graphchi::PswTermination::Iterations`].
+#[derive(Debug, Clone, Copy)]
+pub struct PswPageRank {
+    /// Damping factor, conventionally 0.85.
+    pub damping: f32,
+}
+
+impl Default for PswPageRank {
+    fn default() -> Self {
+        PswPageRank { damping: 0.85 }
+    }
+}
+
+impl PswProgram for PswPageRank {
+    fn init(&self, _v: VertexId, meta: &PswMeta) -> u32 {
+        (1.0f32 / meta.n_vertices.max(1) as f32).to_bits()
+    }
+    fn initially_active(&self, _v: VertexId, _meta: &PswMeta) -> bool {
+        true
+    }
+    fn update(&self, _v: VertexId, _value: u32, in_vals: &[u32], meta: &PswMeta) -> u32 {
+        let sum: f32 = in_vals.iter().map(|&b| f32::from_bits(b)).sum();
+        let base = (1.0 - self.damping) / meta.n_vertices.max(1) as f32;
+        (base + self.damping * sum).to_bits()
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, out_degree: u32, _meta: &PswMeta) -> Option<u32> {
+        if out_degree == 0 {
+            None
+        } else {
+            Some((f32::from_bits(new) / out_degree as f32).to_bits())
+        }
+    }
+    fn changed(&self, _old: u32, _new: u32) -> bool {
+        true
+    }
+    fn always_active(&self) -> bool {
+        true
+    }
+}
+
+/// BFS on PSW: edges carry `level(src) + 1`; updates take the minimum.
+/// Selectively scheduled — inactive vertices are skipped, GraphChi's
+/// advantage over X-Stream on BFS.
+#[derive(Debug, Clone, Copy)]
+pub struct PswBfs {
+    /// Source vertex.
+    pub root: VertexId,
+}
+
+impl PswProgram for PswBfs {
+    fn init(&self, v: VertexId, _meta: &PswMeta) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+    fn initially_active(&self, v: VertexId, _meta: &PswMeta) -> bool {
+        v == self.root
+    }
+    fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _meta: &PswMeta) -> u32 {
+        in_vals.iter().copied().fold(value, u32::min)
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, _d: u32, _meta: &PswMeta) -> Option<u32> {
+        if new >= UNREACHED {
+            None
+        } else {
+            Some(new + 1)
+        }
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+    fn init_edge(&self, _meta: &PswMeta) -> u32 {
+        UNREACHED
+    }
+}
+
+/// Connected components on PSW: edges carry the source's label; updates
+/// take the minimum. Selectively scheduled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PswCc;
+
+impl PswProgram for PswCc {
+    fn init(&self, v: VertexId, _meta: &PswMeta) -> u32 {
+        v
+    }
+    fn initially_active(&self, _v: VertexId, _meta: &PswMeta) -> bool {
+        true
+    }
+    fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _meta: &PswMeta) -> u32 {
+        in_vals.iter().copied().fold(value, u32::min)
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, _d: u32, _meta: &PswMeta) -> Option<u32> {
+        Some(new)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+    fn init_edge(&self, _meta: &PswMeta) -> u32 {
+        u32::MAX
+    }
+}
+
+/// Weighted SSSP on PSW using the synthetic weights of
+/// [`gpsa::programs::Sssp`]: each edge `(u, v)` carries
+/// `dist(u) + w(u, v)` (per-edge signals), and updates take the minimum.
+#[derive(Debug, Clone, Copy)]
+pub struct PswSssp {
+    /// Source vertex.
+    pub root: VertexId,
+}
+
+impl PswProgram for PswSssp {
+    fn init(&self, v: VertexId, _meta: &PswMeta) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+    fn initially_active(&self, v: VertexId, _meta: &PswMeta) -> bool {
+        v == self.root
+    }
+    fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _meta: &PswMeta) -> u32 {
+        in_vals.iter().copied().fold(value, u32::min)
+    }
+    fn out_signal(&self, _v: VertexId, _new: u32, _d: u32, _meta: &PswMeta) -> Option<u32> {
+        unreachable!("PswSssp uses per-edge signals")
+    }
+    fn out_signal_edge(
+        &self,
+        v: VertexId,
+        dst: VertexId,
+        new: u32,
+        _d: u32,
+        _meta: &PswMeta,
+    ) -> Option<u32> {
+        if new >= UNREACHED {
+            None
+        } else {
+            Some(
+                new.saturating_add(gpsa::programs::Sssp::weight(v, dst))
+                    .min(UNREACHED),
+            )
+        }
+    }
+    fn per_edge_signals(&self) -> bool {
+        true
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+    fn init_edge(&self, _meta: &PswMeta) -> u32 {
+        UNREACHED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: PswMeta = PswMeta {
+        n_vertices: 4,
+        n_edges: 5,
+    };
+
+    #[test]
+    fn pagerank_hooks() {
+        let pr = PswPageRank::default();
+        let init = f32::from_bits(pr.init(0, &META));
+        assert!((init - 0.25).abs() < 1e-6);
+        let new = pr.update(1, 0, &[(0.125f32).to_bits(), (0.1f32).to_bits()], &META);
+        let expect = 0.15 / 4.0 + 0.85 * 0.225;
+        assert!((f32::from_bits(new) - expect).abs() < 1e-6);
+        assert_eq!(pr.out_signal(0, (0.5f32).to_bits(), 0, &META), None);
+        assert!(pr.always_active());
+    }
+
+    #[test]
+    fn bfs_hooks() {
+        let b = PswBfs { root: 1 };
+        assert_eq!(b.init(1, &META), 0);
+        assert_eq!(b.init(0, &META), UNREACHED);
+        assert!(b.initially_active(1, &META));
+        assert!(!b.initially_active(0, &META));
+        assert_eq!(b.update(0, UNREACHED, &[3, 7], &META), 3);
+        assert_eq!(b.out_signal(0, 3, 2, &META), Some(4));
+        assert_eq!(b.out_signal(0, UNREACHED, 2, &META), None);
+    }
+
+    #[test]
+    fn cc_hooks() {
+        let c = PswCc;
+        assert_eq!(c.init(3, &META), 3);
+        assert_eq!(c.update(3, 3, &[5, 1], &META), 1);
+        assert!(c.changed(3, 1));
+        assert!(!c.changed(1, 1));
+    }
+}

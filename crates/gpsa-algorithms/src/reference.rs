@@ -1,0 +1,225 @@
+//! Sequential reference implementations — the correctness oracles every
+//! engine is validated against.
+
+use gpsa_graph::{Csr, EdgeList, VertexId};
+
+/// Level assigned to unreachable vertices (mirrors
+/// [`gpsa::programs::UNREACHED`]).
+pub const UNREACHED: u32 = 0x7FFF_FFFF;
+
+/// Breadth-first hop distances from `root`.
+pub fn bfs(el: &EdgeList, root: VertexId) -> Vec<u32> {
+    let csr = Csr::from_edge_list(el);
+    let mut level = vec![UNREACHED; el.n_vertices];
+    if (root as usize) >= el.n_vertices {
+        return level;
+    }
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &d in csr.neighbors(v) {
+                if level[d as usize] == UNREACHED {
+                    level[d as usize] = depth;
+                    next.push(d);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Min-label propagation along directed edges to a fixpoint — the exact
+/// semantics of every engine's CC program. (Equals weakly-connected
+/// components when the graph is symmetrized.)
+pub fn connected_components(el: &EdgeList) -> Vec<u32> {
+    let csr = Csr::from_edge_list(el);
+    let mut label: Vec<u32> = (0..el.n_vertices as u32).collect();
+    loop {
+        let mut changed = false;
+        for v in 0..el.n_vertices as u32 {
+            let lv = label[v as usize];
+            for &d in csr.neighbors(v) {
+                if lv < label[d as usize] {
+                    label[d as usize] = lv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return label;
+        }
+    }
+}
+
+/// Synchronous power-iteration PageRank for `supersteps` iterations,
+/// damping `d`: `rank(v) = (1-d)/N + d * Σ rank(u)/deg(u)`; sinks hold
+/// their mass.
+pub fn pagerank(el: &EdgeList, damping: f32, supersteps: usize) -> Vec<f32> {
+    let csr = Csr::from_edge_list(el);
+    let n = el.n_vertices;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let base = (1.0 - damping) / n as f32;
+    for _ in 0..supersteps {
+        let mut next = vec![base; n];
+        for v in 0..n as u32 {
+            let deg = csr.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = rank[v as usize] / deg as f32;
+            for &d in csr.neighbors(v) {
+                next[d as usize] += damping * share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Bellman–Ford with the synthetic weights of [`gpsa::programs::Sssp`].
+pub fn sssp(el: &EdgeList, root: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; el.n_vertices];
+    if (root as usize) >= el.n_vertices {
+        return dist;
+    }
+    dist[root as usize] = 0;
+    loop {
+        let mut changed = false;
+        for e in &el.edges {
+            let du = dist[e.src as usize];
+            if du == UNREACHED {
+                continue;
+            }
+            let w = gpsa::programs::Sssp::weight(e.src, e.dst);
+            let cand = du.saturating_add(w).min(UNREACHED);
+            if cand < dist[e.dst as usize] {
+                dist[e.dst as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return dist;
+        }
+    }
+}
+
+/// K-core membership by sequential peeling: `true` for vertices in the
+/// `k`-core. Multigraph semantics (parallel edges count toward degree),
+/// matching [`gpsa::programs::KCore`]. Expects a symmetrized graph.
+pub fn k_core(el: &EdgeList, k: u32) -> Vec<bool> {
+    let csr = Csr::from_edge_list(el);
+    let mut degree: Vec<u32> = (0..el.n_vertices as u32).map(|v| csr.out_degree(v)).collect();
+    let mut alive = vec![true; el.n_vertices];
+    let mut queue: Vec<u32> = (0..el.n_vertices as u32)
+        .filter(|&v| degree[v as usize] < k)
+        .collect();
+    while let Some(v) = queue.pop() {
+        if !alive[v as usize] {
+            continue;
+        }
+        alive[v as usize] = false;
+        for &d in csr.neighbors(v) {
+            if alive[d as usize] {
+                degree[d as usize] = degree[d as usize].saturating_sub(1);
+                if degree[d as usize] < k {
+                    queue.push(d);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// In-degree of every vertex.
+pub fn in_degree(el: &EdgeList) -> Vec<u32> {
+    let mut deg = vec![0u32; el.n_vertices];
+    for e in &el.edges {
+        deg[e.dst as usize] += 1;
+    }
+    deg
+}
+
+/// Largest absolute element-wise difference between two rank vectors.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsa_graph::generate;
+
+    #[test]
+    fn bfs_on_known_shapes() {
+        let el = generate::chain(5);
+        assert_eq!(bfs(&el, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&el, 4), vec![UNREACHED; 4].into_iter().chain([0]).collect::<Vec<_>>());
+        let star = generate::star(4);
+        assert_eq!(bfs(&star, 0), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn cc_on_two_components() {
+        let el = generate::two_components(3, 4);
+        assert_eq!(connected_components(&el), vec![0, 0, 0, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn pagerank_conserves_mass_on_cycles() {
+        // On a cycle every vertex has in/out degree 1: ranks stay uniform.
+        let el = generate::cycle(10);
+        let r = pagerank(&el, 0.85, 50);
+        for &v in &r {
+            assert!((v - 0.1).abs() < 1e-5, "cycle rank should stay uniform: {v}");
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_highest() {
+        // Everyone points at vertex 0.
+        let el = gpsa_graph::EdgeList::from_edges(
+            (1..20).map(|i| (i, 0u32).into()).collect::<Vec<_>>(),
+        );
+        let r = pagerank(&el, 0.85, 30);
+        for v in 1..20 {
+            assert!(r[0] > r[v], "hub should outrank spokes");
+        }
+    }
+
+    #[test]
+    fn sssp_agrees_with_bfs_shape() {
+        let el = generate::chain(6);
+        let d = sssp(&el, 0);
+        // Distances are sums of the synthetic weights along the chain.
+        let mut expect = 0u32;
+        assert_eq!(d[0], 0);
+        for i in 1..6u32 {
+            expect += gpsa::programs::Sssp::weight(i - 1, i);
+            assert_eq!(d[i as usize], expect);
+        }
+    }
+
+    #[test]
+    fn in_degree_counts() {
+        let el = generate::star(5);
+        assert_eq!(in_degree(&el), vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The benchmark algorithms in the X-Stream-like engine's edge-centric
+//! scatter–gather model.
+
+use gpsa_baselines::xstream::{XsMeta, XsProgram};
+use gpsa_graph::VertexId;
+
+use crate::reference::UNREACHED;
+
+/// PageRank on X-Stream: scatter emits `rank(src)/deg(src)` for every
+/// edge; gather accumulates into a state reset to the base term each
+/// iteration. Run with
+/// [`gpsa_baselines::xstream::XsTermination::Iterations`].
+#[derive(Debug, Clone, Copy)]
+pub struct XsPageRank {
+    /// Damping factor, conventionally 0.85.
+    pub damping: f32,
+}
+
+impl Default for XsPageRank {
+    fn default() -> Self {
+        XsPageRank { damping: 0.85 }
+    }
+}
+
+impl XsProgram for XsPageRank {
+    fn init(&self, _v: VertexId, meta: &XsMeta) -> u32 {
+        (1.0f32 / meta.n_vertices.max(1) as f32).to_bits()
+    }
+    fn scatter(
+        &self,
+        _src: VertexId,
+        src_state: u32,
+        src_out_degree: u32,
+        _dst: VertexId,
+        _meta: &XsMeta,
+    ) -> Option<u32> {
+        if src_out_degree == 0 {
+            None
+        } else {
+            Some((f32::from_bits(src_state) / src_out_degree as f32).to_bits())
+        }
+    }
+    fn gather(&self, _dst: VertexId, state: u32, update: u32, _meta: &XsMeta) -> u32 {
+        (f32::from_bits(state) + self.damping * f32::from_bits(update)).to_bits()
+    }
+    fn reset(&self, _v: VertexId, _prev: u32, meta: &XsMeta) -> u32 {
+        ((1.0 - self.damping) / meta.n_vertices.max(1) as f32).to_bits()
+    }
+    fn changed(&self, _old: u32, _new: u32) -> bool {
+        true
+    }
+}
+
+/// BFS on X-Stream: scatter emits `level(src) + 1` when the source is
+/// reached (but still *streams every edge* to find out — the engine has no
+/// frontier).
+#[derive(Debug, Clone, Copy)]
+pub struct XsBfs {
+    /// Source vertex.
+    pub root: VertexId,
+}
+
+impl XsProgram for XsBfs {
+    fn init(&self, v: VertexId, _meta: &XsMeta) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+    fn scatter(
+        &self,
+        _src: VertexId,
+        src_state: u32,
+        _deg: u32,
+        _dst: VertexId,
+        _meta: &XsMeta,
+    ) -> Option<u32> {
+        if src_state >= UNREACHED {
+            None
+        } else {
+            Some(src_state + 1)
+        }
+    }
+    fn gather(&self, _dst: VertexId, state: u32, update: u32, _meta: &XsMeta) -> u32 {
+        state.min(update)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+/// Connected components on X-Stream: scatter emits the source's label;
+/// gather takes the minimum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XsCc;
+
+impl XsProgram for XsCc {
+    fn init(&self, v: VertexId, _meta: &XsMeta) -> u32 {
+        v
+    }
+    fn scatter(
+        &self,
+        _src: VertexId,
+        src_state: u32,
+        _deg: u32,
+        _dst: VertexId,
+        _meta: &XsMeta,
+    ) -> Option<u32> {
+        Some(src_state)
+    }
+    fn gather(&self, _dst: VertexId, state: u32, update: u32, _meta: &XsMeta) -> u32 {
+        state.min(update)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+/// Weighted SSSP on X-Stream: scatter computes `dist(src) + w(src, dst)`
+/// per edge (the scatter hook sees both endpoints); gather takes the
+/// minimum. Still streams every edge every iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct XsSssp {
+    /// Source vertex.
+    pub root: VertexId,
+}
+
+impl XsProgram for XsSssp {
+    fn init(&self, v: VertexId, _meta: &XsMeta) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+    fn scatter(
+        &self,
+        src: VertexId,
+        src_state: u32,
+        _deg: u32,
+        dst: VertexId,
+        _meta: &XsMeta,
+    ) -> Option<u32> {
+        if src_state >= UNREACHED {
+            None
+        } else {
+            Some(
+                src_state
+                    .saturating_add(gpsa::programs::Sssp::weight(src, dst))
+                    .min(UNREACHED),
+            )
+        }
+    }
+    fn gather(&self, _dst: VertexId, state: u32, update: u32, _meta: &XsMeta) -> u32 {
+        state.min(update)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: XsMeta = XsMeta {
+        n_vertices: 4,
+        n_edges: 5,
+    };
+
+    #[test]
+    fn pagerank_hooks() {
+        let pr = XsPageRank::default();
+        assert_eq!(pr.scatter(0, (0.4f32).to_bits(), 0, 1, &META), None);
+        let m = pr.scatter(0, (0.4f32).to_bits(), 2, 1, &META).unwrap();
+        assert!((f32::from_bits(m) - 0.2).abs() < 1e-6);
+        let g = pr.gather(1, (0.1f32).to_bits(), (0.2f32).to_bits(), &META);
+        assert!((f32::from_bits(g) - (0.1 + 0.85 * 0.2)).abs() < 1e-6);
+        let r = f32::from_bits(pr.reset(1, 0, &META));
+        assert!((r - 0.15 / 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bfs_hooks() {
+        let b = XsBfs { root: 2 };
+        assert_eq!(b.scatter(0, UNREACHED, 1, 1, &META), None);
+        assert_eq!(b.scatter(2, 0, 1, 1, &META), Some(1));
+        assert_eq!(b.gather(1, 5, 3, &META), 3);
+    }
+
+    #[test]
+    fn cc_hooks() {
+        let c = XsCc;
+        assert_eq!(c.scatter(3, 3, 1, 0, &META), Some(3));
+        assert_eq!(c.gather(0, 0, 3, &META), 0);
+    }
+}

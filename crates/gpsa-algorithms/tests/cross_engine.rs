@@ -1,0 +1,200 @@
+//! Cross-engine parity: GPSA, the GraphChi-like PSW engine, and the
+//! X-Stream-like engine must agree with the sequential references (and
+//! therefore with each other) on the same graphs — the property the
+//! paper's evaluation implicitly depends on.
+
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_algorithms::gpsa_programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa_algorithms::psw::{PswBfs, PswCc, PswPageRank};
+use gpsa_algorithms::reference;
+use gpsa_algorithms::xs::{XsBfs, XsCc, XsPageRank};
+use gpsa_baselines::graphchi::{PswConfig, PswEngine, PswTermination};
+use gpsa_baselines::xstream::{XsConfig, XsEngine, XsTermination};
+use gpsa_graph::{generate, EdgeList};
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-xeng-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn gpsa_run_u32<P>(tag: &str, el: &EdgeList, program: P, term: Termination) -> Vec<u32>
+where
+    P: gpsa::VertexProgram<Value = u32>,
+{
+    let engine = Engine::new(EngineConfig::small(workdir(tag)).with_termination(term));
+    engine
+        .run_edge_list(el.clone(), tag, program)
+        .unwrap()
+        .values
+}
+
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("cycle", generate::cycle(64)),
+        ("grid", generate::grid(8, 9)),
+        ("twocomp", generate::two_components(21, 34)),
+        (
+            "rmat",
+            generate::symmetrize(&generate::rmat(250, 1200, generate::RmatParams::default(), 99)),
+        ),
+        ("er", generate::erdos_renyi(180, 900, 5)),
+    ]
+}
+
+#[test]
+fn bfs_parity_across_all_three_engines() {
+    for (tag, el) in graphs() {
+        let root = 0;
+        let expect = reference::bfs(&el, root);
+
+        let got_gpsa = gpsa_run_u32(
+            &format!("bfs-{tag}"),
+            &el,
+            Bfs { root },
+            Termination::Quiescence {
+                max_supersteps: 2000,
+            },
+        );
+        assert_eq!(got_gpsa, expect, "GPSA bfs on {tag}");
+
+        let psw = PswEngine::new(PswConfig::new(workdir(&format!("psw-bfs-{tag}"))))
+            .run(&el, PswBfs { root })
+            .unwrap();
+        assert_eq!(psw.values, expect, "PSW bfs on {tag}");
+
+        let mut cfg = XsConfig::new(workdir(&format!("xs-bfs-{tag}")));
+        cfg.in_memory = true;
+        let xs = XsEngine::new(cfg).run(&el, XsBfs { root }).unwrap();
+        assert_eq!(xs.values, expect, "X-Stream bfs on {tag}");
+    }
+}
+
+#[test]
+fn cc_parity_across_all_three_engines() {
+    for (tag, el) in graphs() {
+        let expect = reference::connected_components(&el);
+
+        let got_gpsa = gpsa_run_u32(
+            &format!("cc-{tag}"),
+            &el,
+            ConnectedComponents,
+            Termination::Quiescence {
+                max_supersteps: 2000,
+            },
+        );
+        assert_eq!(got_gpsa, expect, "GPSA cc on {tag}");
+
+        let psw = PswEngine::new(PswConfig::new(workdir(&format!("psw-cc-{tag}"))))
+            .run(&el, PswCc)
+            .unwrap();
+        assert_eq!(psw.values, expect, "PSW cc on {tag}");
+
+        let mut cfg = XsConfig::new(workdir(&format!("xs-cc-{tag}")));
+        cfg.in_memory = true;
+        let xs = XsEngine::new(cfg).run(&el, XsCc).unwrap();
+        assert_eq!(xs.values, expect, "X-Stream cc on {tag}");
+    }
+}
+
+#[test]
+fn pagerank_parity_across_all_three_engines() {
+    // PSW is asynchronous (in-iteration visibility), so it converges to
+    // the same fixpoint along a different trajectory; compare after enough
+    // iterations for all engines to be near the fixpoint.
+    let steps = 40u64;
+    let tol = 2e-4f32;
+    for (tag, el) in graphs() {
+        let expect = reference::pagerank(&el, 0.85, steps as usize);
+
+        let engine = Engine::new(
+            EngineConfig::small(workdir(&format!("pr-{tag}")))
+                .with_termination(Termination::Supersteps(steps)),
+        );
+        let got = engine
+            .run_edge_list(el.clone(), &format!("pr-{tag}"), PageRank::default())
+            .unwrap();
+        let diff = reference::max_abs_diff(&got.values, &expect);
+        assert!(diff < tol, "GPSA pagerank on {tag}: max diff {diff}");
+
+        let mut cfg = PswConfig::new(workdir(&format!("psw-pr-{tag}")));
+        cfg.termination = PswTermination::Iterations(steps);
+        let psw = PswEngine::new(cfg).run(&el, PswPageRank::default()).unwrap();
+        let psw_ranks: Vec<f32> = psw.values.iter().map(|&b| f32::from_bits(b)).collect();
+        let diff = reference::max_abs_diff(&psw_ranks, &expect);
+        assert!(diff < tol, "PSW pagerank on {tag}: max diff {diff}");
+
+        let mut cfg = XsConfig::new(workdir(&format!("xs-pr-{tag}")));
+        cfg.in_memory = true;
+        cfg.termination = XsTermination::Iterations(steps);
+        let xs = XsEngine::new(cfg).run(&el, XsPageRank::default()).unwrap();
+        let xs_ranks: Vec<f32> = xs.values.iter().map(|&b| f32::from_bits(b)).collect();
+        let diff = reference::max_abs_diff(&xs_ranks, &expect);
+        assert!(diff < tol, "X-Stream pagerank on {tag}: max diff {diff}");
+    }
+}
+
+#[test]
+fn sssp_parity_across_all_three_engines() {
+    use gpsa_algorithms::gpsa_programs::Sssp;
+    use gpsa_algorithms::psw::PswSssp;
+    use gpsa_algorithms::xs::XsSssp;
+    for (tag, el) in graphs() {
+        let root = 0;
+        let expect = reference::sssp(&el, root);
+
+        let got = gpsa_run_u32(
+            &format!("sssp-{tag}"),
+            &el,
+            Sssp { root },
+            Termination::Quiescence {
+                max_supersteps: 5000,
+            },
+        );
+        assert_eq!(got, expect, "GPSA sssp on {tag}");
+
+        let psw = PswEngine::new(PswConfig::new(workdir(&format!("psw-sssp-{tag}"))))
+            .run(&el, PswSssp { root })
+            .unwrap();
+        assert_eq!(psw.values, expect, "PSW sssp on {tag}");
+
+        let mut cfg = XsConfig::new(workdir(&format!("xs-sssp-{tag}")));
+        cfg.in_memory = true;
+        let xs = XsEngine::new(cfg).run(&el, XsSssp { root }).unwrap();
+        assert_eq!(xs.values, expect, "X-Stream sssp on {tag}");
+    }
+}
+
+#[test]
+fn xstream_pagerank_is_exactly_synchronous() {
+    // X-Stream's scatter-gather is a synchronous power iteration, so it
+    // should match the reference almost bit-for-bit (modulo summation
+    // order) even after few iterations.
+    let el = generate::symmetrize(&generate::rmat(200, 1000, generate::RmatParams::default(), 7));
+    let expect = reference::pagerank(&el, 0.85, 5);
+    let mut cfg = XsConfig::new(workdir("xs-sync"));
+    cfg.in_memory = true;
+    cfg.termination = XsTermination::Iterations(5);
+    let xs = XsEngine::new(cfg).run(&el, XsPageRank::default()).unwrap();
+    let ranks: Vec<f32> = xs.values.iter().map(|&b| f32::from_bits(b)).collect();
+    assert!(reference::max_abs_diff(&ranks, &expect) < 1e-6);
+}
+
+#[test]
+fn gpsa_pagerank_is_exactly_synchronous() {
+    // GPSA is BSP: its PR trajectory equals the reference's step by step.
+    let el = generate::symmetrize(&generate::rmat(200, 1000, generate::RmatParams::default(), 7));
+    for steps in [1u64, 2, 5] {
+        let expect = reference::pagerank(&el, 0.85, steps as usize);
+        let engine = Engine::new(
+            EngineConfig::small(workdir(&format!("gp-sync-{steps}")))
+                .with_termination(Termination::Supersteps(steps)),
+        );
+        let got = engine
+            .run_edge_list(el.clone(), &format!("gp-sync-{steps}"), PageRank::default())
+            .unwrap();
+        let diff = reference::max_abs_diff(&got.values, &expect);
+        assert!(diff < 1e-6, "step {steps}: diff {diff}");
+    }
+}

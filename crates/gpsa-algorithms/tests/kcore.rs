@@ -1,0 +1,90 @@
+//! K-core decomposition on the GPSA engine vs the sequential peeling
+//! reference.
+
+use gpsa::programs::KCore;
+use gpsa::{Engine, EngineConfig};
+use gpsa_algorithms::reference;
+use gpsa_graph::{generate, EdgeList};
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-kcore-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_kcore(tag: &str, el: &EdgeList, k: u32) -> Vec<bool> {
+    let engine = Engine::new(EngineConfig::small(workdir(tag)));
+    let program = KCore::new(k, el.out_degrees());
+    let report = engine.run_edge_list(el.clone(), tag, program).unwrap();
+    report
+        .values
+        .iter()
+        .map(|&v| KCore::decode(v).is_some())
+        .collect()
+}
+
+#[test]
+fn kcore_on_known_shapes() {
+    // A cycle is exactly a 2-core (every vertex has degree 2).
+    let cyc = generate::symmetrize(&generate::cycle(20));
+    assert_eq!(run_kcore("cyc2", &cyc, 2), vec![true; 20]);
+    assert_eq!(run_kcore("cyc3", &cyc, 3), vec![false; 20]);
+
+    // A star has no 2-core at all: spokes have degree 1, and removing
+    // them strips the hub.
+    let star = generate::symmetrize(&generate::star(10));
+    assert_eq!(run_kcore("star", &star, 2), vec![false; 10]);
+}
+
+#[test]
+fn kcore_cascading_peel() {
+    // Chain attached to a triangle: peeling the chain must cascade inward
+    // but leave the triangle as the 2-core.
+    let mut edges = Vec::new();
+    for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+        edges.push(gpsa_graph::Edge::new(a, b));
+    }
+    for i in 2..7u32 {
+        edges.push(gpsa_graph::Edge::new(i, i + 1));
+    }
+    let el = generate::symmetrize(&EdgeList::from_edges(edges));
+    let got = run_kcore("cascade", &el, 2);
+    assert_eq!(got, vec![true, true, true, false, false, false, false, false]);
+}
+
+#[test]
+fn kcore_matches_reference_on_random_graphs() {
+    for (seed, k) in [(1u64, 2u32), (2, 3), (3, 4), (4, 5)] {
+        let el = generate::symmetrize(&generate::erdos_renyi(300, 1800, seed));
+        let expect = reference::k_core(&el, k);
+        let got = run_kcore(&format!("rand-{seed}-{k}"), &el, k);
+        assert_eq!(got, expect, "seed {seed} k {k}");
+    }
+}
+
+#[test]
+fn kcore_on_skewed_graph() {
+    let el = generate::symmetrize(&generate::rmat(
+        400,
+        3000,
+        generate::RmatParams::default(),
+        9,
+    ));
+    for k in [2u32, 4, 8] {
+        let expect = reference::k_core(&el, k);
+        let got = run_kcore(&format!("rmat-{k}"), &el, k);
+        assert_eq!(got, expect, "k {k}");
+        // Monotonicity: members shrink as k grows (spot check content).
+        let members = got.iter().filter(|&&b| b).count();
+        let total = got.len();
+        assert!(members <= total);
+    }
+}
+
+#[test]
+fn decode_roundtrip() {
+    assert_eq!(KCore::decode(0), None);
+    assert_eq!(KCore::decode(1), Some(0));
+    assert_eq!(KCore::decode(6), Some(5));
+}

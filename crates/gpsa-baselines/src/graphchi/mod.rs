@@ -1,0 +1,25 @@
+//! A GraphChi-like engine: vertex-centric, out-of-core, Parallel Sliding
+//! Windows over interval shards, edge-value communication, selective
+//! scheduling.
+//!
+//! Faithful properties (per Kyrola et al., OSDI'12, as characterized by
+//! the GPSA paper):
+//!
+//! * the graph is split into `P` vertex intervals; shard `p` holds every
+//!   edge whose destination lies in interval `p`, sorted by source;
+//! * an iteration processes one interval at a time: the interval's own
+//!   shard supplies its in-edges, and one contiguous *sliding window* of
+//!   each other shard supplies its out-edges;
+//! * vertices communicate through mutable **edge values** stored in the
+//!   shards (no message queues);
+//! * I/O is explicit (`pread`/`pwrite`-style), not mmap — the design
+//!   point GPSA argues against;
+//! * inactive vertices are skipped (selective scheduling).
+
+mod engine;
+mod program;
+mod shard;
+
+pub use engine::{PswConfig, PswEngine, PswReport, PswTermination};
+pub use program::{PswMeta, PswProgram};
+pub use shard::{Record, ShardedGraph};

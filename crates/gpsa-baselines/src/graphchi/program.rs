@@ -1,0 +1,101 @@
+//! The GraphChi-style user program: an update function over a vertex and
+//! its in/out edge values.
+
+use gpsa_graph::VertexId;
+
+/// Static graph facts passed to every hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PswMeta {
+    /// Number of vertices.
+    pub n_vertices: u64,
+    /// Number of edges.
+    pub n_edges: u64,
+}
+
+/// A vertex-centric program in the GraphChi mold. All values are 32-bit
+/// words; float programs bit-cast (`f32::to_bits`/`from_bits`).
+pub trait PswProgram: Send + Sync + 'static {
+    /// Initial vertex value.
+    fn init(&self, v: VertexId, meta: &PswMeta) -> u32;
+
+    /// Is `v` in the initial active set?
+    fn initially_active(&self, v: VertexId, meta: &PswMeta) -> bool;
+
+    /// The update function: fold the in-edge values into a new vertex
+    /// value. `in_vals` yields the current value of every in-edge of `v`.
+    fn update(&self, v: VertexId, value: u32, in_vals: &[u32], meta: &PswMeta) -> u32;
+
+    /// Value written to **each** out-edge of `v` after an update (the
+    /// GraphChi broadcast); `None` leaves the edge values untouched.
+    fn out_signal(&self, v: VertexId, new_value: u32, out_degree: u32, meta: &PswMeta)
+        -> Option<u32>;
+
+    /// Per-edge variant of [`out_signal`](Self::out_signal): the value for
+    /// the specific edge `(v, dst)`. Defaults to the uniform broadcast;
+    /// programs needing edge-dependent values (weighted SSSP) override
+    /// this **and** [`per_edge_signals`](Self::per_edge_signals).
+    fn out_signal_edge(
+        &self,
+        v: VertexId,
+        _dst: VertexId,
+        new_value: u32,
+        out_degree: u32,
+        meta: &PswMeta,
+    ) -> Option<u32> {
+        self.out_signal(v, new_value, out_degree, meta)
+    }
+
+    /// Whether signals vary per edge (forces the engine onto the per-edge
+    /// path).
+    fn per_edge_signals(&self) -> bool {
+        false
+    }
+
+    /// Did the update change the vertex (schedule its out-neighbors)?
+    fn changed(&self, old: u32, new: u32) -> bool {
+        old != new
+    }
+
+    /// Dense mode: every vertex updates every iteration regardless of the
+    /// active set (PageRank).
+    fn always_active(&self) -> bool {
+        false
+    }
+
+    /// Initial value of every edge, before the first signal pass.
+    fn init_edge(&self, _meta: &PswMeta) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MinProg;
+    impl PswProgram for MinProg {
+        fn init(&self, v: VertexId, _m: &PswMeta) -> u32 {
+            v
+        }
+        fn initially_active(&self, _v: VertexId, _m: &PswMeta) -> bool {
+            true
+        }
+        fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _m: &PswMeta) -> u32 {
+            in_vals.iter().copied().fold(value, u32::min)
+        }
+        fn out_signal(&self, _v: VertexId, new: u32, _d: u32, _m: &PswMeta) -> Option<u32> {
+            Some(new)
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let p = MinProg;
+        assert!(p.changed(3, 1));
+        assert!(!p.changed(3, 3));
+        assert!(!p.always_active());
+        let m = PswMeta { n_vertices: 2, n_edges: 1 };
+        assert_eq!(p.init_edge(&m), 0);
+        assert_eq!(p.update(0, 5, &[7, 2, 9], &m), 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Interval shards and sliding windows (GraphChi's on-disk layout).
+//!
+//! Shard `p` holds every edge whose destination is in vertex interval `p`,
+//! sorted by source. Because of the source sort, the edges *out of* any
+//! interval `i` form one contiguous record range in every shard — the
+//! *sliding window*. Window record offsets are precomputed at build time,
+//! so an iteration over interval `i` costs one full shard read plus `P`
+//! window reads and `P` window writes, all sequential — GraphChi's whole
+//! point. I/O here is explicit positioned read/write (the engine GPSA
+//! contrasts its mmap design against), never mmap.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::ops::Range;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use gpsa_graph::{EdgeList, VertexId};
+
+use super::program::PswMeta;
+
+/// One shard record: an edge and its mutable 32-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// The communication value carried by this edge.
+    pub val: u32,
+}
+
+const RECORD_BYTES: usize = 12;
+
+impl Record {
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.src.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.dst.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.val.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Record {
+        Record {
+            src: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            dst: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            val: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+/// The set of shard files plus the precomputed window offset table.
+#[derive(Debug)]
+pub struct ShardSet {
+    files: Vec<File>,
+    /// `window_offsets[q][i]` = first record index in shard `q` whose
+    /// source is in interval `i` or later (`P + 1` entries per shard).
+    window_offsets: Vec<Vec<u64>>,
+    records: Vec<u64>,
+}
+
+/// A sharded graph on disk: intervals, shards, metadata.
+#[derive(Debug)]
+pub struct ShardedGraph {
+    /// Vertex intervals, one per shard.
+    pub intervals: Vec<Range<VertexId>>,
+    /// Graph facts.
+    pub meta: PswMeta,
+    shards: ShardSet,
+    #[allow(dead_code)]
+    dir: PathBuf,
+}
+
+impl ShardedGraph {
+    /// Shard `el` into `n_shards` edge-balanced interval shards under
+    /// `dir`, initializing every edge value to `init_edge_val`.
+    pub fn build(
+        el: &EdgeList,
+        n_shards: usize,
+        init_edge_val: u32,
+        dir: &Path,
+    ) -> io::Result<ShardedGraph> {
+        assert!(n_shards > 0);
+        std::fs::create_dir_all(dir)?;
+        let n = el.n_vertices;
+
+        // Edge-balanced intervals over *in*-degree (shards hold in-edges).
+        let mut in_deg = vec![0u64; n];
+        for e in &el.edges {
+            in_deg[e.dst as usize] += 1;
+        }
+        let total = el.len() as u64;
+        let target = total.div_ceil(n_shards as u64).max(1);
+        let mut intervals = Vec::with_capacity(n_shards);
+        let mut start = 0usize;
+        for p in 0..n_shards {
+            if p == n_shards - 1 {
+                intervals.push(start as VertexId..n as VertexId);
+                break;
+            }
+            let mut acc = 0u64;
+            let mut end = start;
+            while end < n && acc < target {
+                acc += in_deg[end];
+                end += 1;
+            }
+            intervals.push(start as VertexId..end as VertexId);
+            start = end;
+        }
+        while intervals.len() < n_shards {
+            intervals.push(n as VertexId..n as VertexId);
+        }
+
+        let shard_of = |v: VertexId| -> usize {
+            intervals
+                .iter()
+                .position(|r| r.contains(&v))
+                .unwrap_or(n_shards - 1)
+        };
+
+        // Bucket edges by destination shard, sort each by (src, dst).
+        let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); n_shards];
+        for e in &el.edges {
+            buckets[shard_of(e.dst)].push(Record {
+                src: e.src,
+                dst: e.dst,
+                val: init_edge_val,
+            });
+        }
+        let mut files = Vec::with_capacity(n_shards);
+        let mut window_offsets = Vec::with_capacity(n_shards);
+        let mut records = Vec::with_capacity(n_shards);
+        for (q, mut bucket) in buckets.into_iter().enumerate() {
+            bucket.sort_unstable_by_key(|r| (r.src, r.dst));
+            // Window offsets: binary-search each interval boundary.
+            let mut offs = Vec::with_capacity(n_shards + 1);
+            for iv in &intervals {
+                offs.push(bucket.partition_point(|r| r.src < iv.start) as u64);
+            }
+            offs.push(bucket.len() as u64);
+            let path = dir.join(format!("shard-{q}.bin"));
+            let mut bytes = vec![0u8; bucket.len() * RECORD_BYTES];
+            for (i, r) in bucket.iter().enumerate() {
+                r.write_to(&mut bytes[i * RECORD_BYTES..(i + 1) * RECORD_BYTES]);
+            }
+            std::fs::write(&path, &bytes)?;
+            files.push(OpenOptions::new().read(true).write(true).open(&path)?);
+            window_offsets.push(offs);
+            records.push(bucket.len() as u64);
+        }
+
+        Ok(ShardedGraph {
+            intervals,
+            meta: PswMeta {
+                n_vertices: n as u64,
+                n_edges: el.len() as u64,
+            },
+            shards: ShardSet {
+                files,
+                window_offsets,
+                records,
+            },
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Number of shards / intervals.
+    pub fn n_shards(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Record-index range of the window of interval `i` inside shard `q`.
+    pub fn window_range(&self, q: usize, i: usize) -> Range<u64> {
+        self.shards.window_offsets[q][i]..self.shards.window_offsets[q][i + 1]
+    }
+
+    /// Read one whole shard (the in-edges of its interval).
+    pub fn read_shard(&self, q: usize) -> io::Result<Vec<Record>> {
+        self.read_records(q, 0..self.shards.records[q])
+    }
+
+    /// Read the window of interval `i` from shard `q` (out-edges of
+    /// interval `i` whose destinations land in interval `q`).
+    pub fn read_window(&self, q: usize, i: usize) -> io::Result<Vec<Record>> {
+        self.read_records(q, self.window_range(q, i))
+    }
+
+    /// Write a window back (must be the same length it was read at).
+    pub fn write_window(&self, q: usize, i: usize, records: &[Record]) -> io::Result<()> {
+        let range = self.window_range(q, i);
+        assert_eq!(records.len() as u64, range.end - range.start);
+        let mut bytes = vec![0u8; records.len() * RECORD_BYTES];
+        for (k, r) in records.iter().enumerate() {
+            r.write_to(&mut bytes[k * RECORD_BYTES..(k + 1) * RECORD_BYTES]);
+        }
+        self.shards.files[q].write_all_at(&bytes, range.start * RECORD_BYTES as u64)
+    }
+
+    fn read_records(&self, q: usize, range: Range<u64>) -> io::Result<Vec<Record>> {
+        let len = (range.end - range.start) as usize;
+        let mut bytes = vec![0u8; len * RECORD_BYTES];
+        self.shards.files[q].read_exact_at(&mut bytes, range.start * RECORD_BYTES as u64)?;
+        Ok(bytes
+            .chunks_exact(RECORD_BYTES)
+            .map(Record::read_from)
+            .collect())
+    }
+
+    /// Total bytes on disk across all shard files.
+    pub fn shard_bytes(&self) -> u64 {
+        self.shards.records.iter().sum::<u64>() * RECORD_BYTES as u64
+    }
+
+    /// The shard (= interval index) owning vertex `v`.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        // Intervals are contiguous and sorted; binary search the starts.
+        match self
+            .intervals
+            .binary_search_by(|r| {
+                if v < r.start {
+                    std::cmp::Ordering::Greater
+                } else if v >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            }) {
+            Ok(i) => i,
+            Err(_) => self.intervals.len() - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsa_graph::{generate, Edge};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gpsa-shard-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn shards_partition_edges_by_destination() {
+        let el = generate::rmat(100, 600, generate::RmatParams::default(), 3);
+        let g = ShardedGraph::build(&el, 4, 7, &tmpdir("part")).unwrap();
+        let mut seen = 0;
+        for q in 0..4 {
+            let recs = g.read_shard(q).unwrap();
+            let iv = &g.intervals[q];
+            for r in &recs {
+                assert!(iv.contains(&r.dst), "dst {} outside interval {iv:?}", r.dst);
+                assert_eq!(r.val, 7, "edge value initialized");
+            }
+            // Sorted by src.
+            assert!(recs.windows(2).all(|w| w[0].src <= w[1].src));
+            seen += recs.len();
+        }
+        assert_eq!(seen, 600);
+    }
+
+    #[test]
+    fn windows_cover_out_edges_exactly() {
+        let el = generate::rmat(80, 400, generate::RmatParams::default(), 5);
+        let g = ShardedGraph::build(&el, 3, 0, &tmpdir("win")).unwrap();
+        // Union over q of window(q, i) == all edges with src in interval i.
+        for i in 0..3 {
+            let iv = g.intervals[i].clone();
+            let mut got: Vec<(u32, u32)> = Vec::new();
+            for q in 0..3 {
+                for r in g.read_window(q, i).unwrap() {
+                    assert!(iv.contains(&r.src));
+                    got.push((r.src, r.dst));
+                }
+            }
+            got.sort_unstable();
+            let mut want: Vec<(u32, u32)> = el
+                .edges
+                .iter()
+                .filter(|e| iv.contains(&e.src))
+                .map(|e| (e.src, e.dst))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "interval {i}");
+        }
+    }
+
+    #[test]
+    fn window_writeback_persists() {
+        let el = EdgeList::from_edges(vec![
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(1, 2),
+            Edge::new(2, 0),
+        ]);
+        let g = ShardedGraph::build(&el, 2, 0, &tmpdir("wb")).unwrap();
+        for q in 0..2 {
+            for i in 0..2 {
+                let mut w = g.read_window(q, i).unwrap();
+                for r in &mut w {
+                    r.val = r.src * 100 + r.dst;
+                }
+                g.write_window(q, i, &w).unwrap();
+            }
+        }
+        for q in 0..2 {
+            for r in g.read_shard(q).unwrap() {
+                assert_eq!(r.val, r.src * 100 + r.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_consistent_with_intervals() {
+        let el = generate::erdos_renyi(50, 300, 8);
+        let g = ShardedGraph::build(&el, 4, 0, &tmpdir("of")).unwrap();
+        for v in 0..50u32 {
+            let p = g.shard_of(v);
+            assert!(g.intervals[p].contains(&v), "v={v} p={p} iv={:?}", g.intervals[p]);
+        }
+    }
+
+    #[test]
+    fn skewed_graph_balances_by_in_degree() {
+        // Star reversed: everyone points at vertex 0 => shard 0 gets all.
+        let el = EdgeList::from_edges(
+            (1..100).map(|i| Edge::new(i, 0)).collect::<Vec<_>>(),
+        );
+        let g = ShardedGraph::build(&el, 4, 0, &tmpdir("skew")).unwrap();
+        assert_eq!(g.intervals[0], 0..1, "hub isolated into its own interval");
+        assert_eq!(g.read_shard(0).unwrap().len(), 99);
+    }
+
+    #[test]
+    fn more_shards_than_vertices() {
+        let el = generate::chain(3);
+        let g = ShardedGraph::build(&el, 8, 0, &tmpdir("many")).unwrap();
+        assert_eq!(g.n_shards(), 8);
+        let total: usize = (0..8).map(|q| g.read_shard(q).unwrap().len()).sum();
+        assert_eq!(total, 2);
+    }
+}

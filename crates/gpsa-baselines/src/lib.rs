@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Re-implementations of the paper's two comparator systems.
+//!
+//! The GPSA evaluation (paper §VI) compares against GraphChi 0.2.6 and
+//! X-Stream. Neither C++ codebase is part of this reproduction, so this
+//! crate rebuilds the *algorithmic shape* of each — the properties the
+//! paper's analysis leans on:
+//!
+//! * [`graphchi`] — a vertex-centric, out-of-core engine with interval
+//!   shards and Parallel Sliding Windows: communication through **edge
+//!   values**, sequential shard I/O with explicit buffer management (not
+//!   mmap), and selective scheduling that skips inactive vertices.
+//! * [`xstream`] — an edge-centric scatter–gather engine with streaming
+//!   partitions: every iteration **streams all edges** (no inactive-vertex
+//!   skipping — the behaviour behind the paper's BFS/CC results), shuffles
+//!   updates into per-partition buffers, then gathers them into vertex
+//!   state; all partitions stream in parallel (the near-100% CPU profile
+//!   of paper Fig. 11).
+//!
+//! Both engines share the value-bit conventions of the GPSA core (32-bit
+//! payloads; `f32` via bit casts) so the same algorithms can be validated
+//! across all three engines.
+
+pub mod graphchi;
+pub mod xstream;

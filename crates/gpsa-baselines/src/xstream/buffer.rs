@@ -1,0 +1,167 @@
+//! Spillable update buffers for the shuffle between scatter and gather.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// A buffer of `(dst, value)` updates that spills to a file once it
+/// exceeds its in-memory budget — X-Stream's out-of-core update streams.
+#[derive(Debug)]
+pub struct UpdateBuffer {
+    mem: Vec<(u32, u32)>,
+    budget: usize,
+    spill: Option<File>,
+    spill_path: Option<PathBuf>,
+    spilled: u64,
+}
+
+impl UpdateBuffer {
+    /// An in-memory-only buffer (budget = unlimited).
+    pub fn in_memory() -> Self {
+        UpdateBuffer {
+            mem: Vec::new(),
+            budget: usize::MAX,
+            spill: None,
+            spill_path: None,
+            spilled: 0,
+        }
+    }
+
+    /// A buffer that spills to `path` beyond `budget` entries.
+    pub fn spilling(path: PathBuf, budget: usize) -> Self {
+        UpdateBuffer {
+            mem: Vec::new(),
+            budget: budget.max(1),
+            spill: None,
+            spill_path: Some(path),
+            spilled: 0,
+        }
+    }
+
+    /// Append one update.
+    pub fn push(&mut self, dst: u32, val: u32) -> io::Result<()> {
+        self.mem.push((dst, val));
+        if self.mem.len() >= self.budget {
+            self.spill_now()?;
+        }
+        Ok(())
+    }
+
+    fn spill_now(&mut self) -> io::Result<()> {
+        let path = self
+            .spill_path
+            .as_ref()
+            .expect("spilling buffer has a path");
+        if self.spill.is_none() {
+            self.spill = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(path)?,
+            );
+        }
+        let f = self.spill.as_mut().unwrap();
+        let mut bytes = Vec::with_capacity(self.mem.len() * 8);
+        for &(d, v) in &self.mem {
+            bytes.extend_from_slice(&d.to_le_bytes());
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        f.write_all(&bytes)?;
+        self.spilled += self.mem.len() as u64;
+        self.mem.clear();
+        Ok(())
+    }
+
+    /// Total updates held (memory + spilled).
+    pub fn len(&self) -> u64 {
+        self.spilled + self.mem.len() as u64
+    }
+
+    /// `true` when no updates are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain every update through `f` (spilled first, then in-memory),
+    /// leaving the buffer empty for the next iteration.
+    pub fn drain<F: FnMut(u32, u32)>(&mut self, mut f: F) -> io::Result<()> {
+        if let Some(file) = self.spill.as_mut() {
+            file.seek(SeekFrom::Start(0))?;
+            let mut reader = std::io::BufReader::new(&*file);
+            let mut buf = [0u8; 8];
+            for _ in 0..self.spilled {
+                reader.read_exact(&mut buf)?;
+                f(
+                    u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+                    u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+                );
+            }
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            self.spilled = 0;
+        }
+        for &(d, v) in &self.mem {
+            f(d, v);
+        }
+        self.mem.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gpsa-xsbuf-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn in_memory_roundtrip() {
+        let mut b = UpdateBuffer::in_memory();
+        for i in 0..100u32 {
+            b.push(i, i * 2).unwrap();
+        }
+        assert_eq!(b.len(), 100);
+        let mut got = Vec::new();
+        b.drain(|d, v| got.push((d, v))).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], (7, 14));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn spills_beyond_budget_and_preserves_order() {
+        let mut b = UpdateBuffer::spilling(tmp("spill.bin"), 16);
+        for i in 0..100u32 {
+            b.push(i, !i).unwrap();
+        }
+        assert_eq!(b.len(), 100);
+        let mut got = Vec::new();
+        b.drain(|d, v| got.push((d, v))).unwrap();
+        let want: Vec<(u32, u32)> = (0..100u32).map(|i| (i, !i)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn buffer_reusable_across_iterations() {
+        let mut b = UpdateBuffer::spilling(tmp("reuse.bin"), 4);
+        for round in 0..3u32 {
+            for i in 0..10u32 {
+                b.push(i, round).unwrap();
+            }
+            let mut count = 0;
+            b.drain(|_, v| {
+                assert_eq!(v, round);
+                count += 1;
+            })
+            .unwrap();
+            assert_eq!(count, 10);
+            assert!(b.is_empty());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! An X-Stream-like engine: edge-centric scatter–gather over streaming
+//! partitions.
+//!
+//! Faithful properties (per Roy et al., SOSP'13, as characterized by the
+//! GPSA paper):
+//!
+//! * vertices are split into `K` streaming partitions; each partition owns
+//!   the edges whose *source* lies in it, stored as a completely unordered
+//!   stream (no preprocessing sort — X-Stream's pitch);
+//! * every iteration has a **scatter** phase that streams *all* edges of
+//!   every partition (inactive sources still cost a read — the behaviour
+//!   behind the paper's BFS/CC results) emitting `(dst, value)` updates
+//!   into per-destination-partition buffers, a shuffle, and a **gather**
+//!   phase that streams the update buffers into vertex state;
+//! * partitions stream in parallel, keeping all cores busy regardless of
+//!   how little useful work remains (the paper's Fig. 11 CPU profile);
+//! * updates optionally spill to disk (out-of-core mode).
+
+mod buffer;
+mod engine;
+mod program;
+
+pub use buffer::UpdateBuffer;
+pub use engine::{XsConfig, XsEngine, XsReport, XsTermination};
+pub use program::{XsMeta, XsProgram};

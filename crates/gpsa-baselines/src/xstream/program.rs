@@ -1,0 +1,74 @@
+//! The X-Stream-style user program: edge-centric scatter and gather.
+
+use gpsa_graph::VertexId;
+
+/// Static graph facts passed to every hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsMeta {
+    /// Number of vertices.
+    pub n_vertices: u64,
+    /// Number of edges.
+    pub n_edges: u64,
+}
+
+/// An edge-centric scatter–gather program. All state is 32-bit words;
+/// float programs bit-cast.
+pub trait XsProgram: Send + Sync + 'static {
+    /// Initial vertex state.
+    fn init(&self, v: VertexId, meta: &XsMeta) -> u32;
+
+    /// Scatter: inspect the source state of an edge and optionally emit an
+    /// update value for the destination. Called for **every** edge, every
+    /// iteration — X-Stream has no way to skip edges of inactive vertices.
+    fn scatter(
+        &self,
+        src: VertexId,
+        src_state: u32,
+        src_out_degree: u32,
+        dst: VertexId,
+        meta: &XsMeta,
+    ) -> Option<u32>;
+
+    /// Gather: fold one update into the destination's next state.
+    fn gather(&self, dst: VertexId, state: u32, update: u32, meta: &XsMeta) -> u32;
+
+    /// Next-iteration state of a vertex before any gathers are applied.
+    /// Default keeps the previous state (BFS/CC); PageRank resets to its
+    /// base term so ranks are rebuilt from this iteration's updates.
+    fn reset(&self, _v: VertexId, prev: u32, _meta: &XsMeta) -> u32 {
+        prev
+    }
+
+    /// Does the transition count as a change (drives quiescence)?
+    fn changed(&self, old: u32, new: u32) -> bool {
+        old != new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Min;
+    impl XsProgram for Min {
+        fn init(&self, v: VertexId, _m: &XsMeta) -> u32 {
+            v
+        }
+        fn scatter(&self, _s: VertexId, st: u32, _d: u32, _dst: VertexId, _m: &XsMeta) -> Option<u32> {
+            Some(st)
+        }
+        fn gather(&self, _d: VertexId, state: u32, update: u32, _m: &XsMeta) -> u32 {
+            state.min(update)
+        }
+    }
+
+    #[test]
+    fn defaults_keep_state() {
+        let p = Min;
+        let m = XsMeta { n_vertices: 3, n_edges: 2 };
+        assert_eq!(p.reset(1, 42, &m), 42);
+        assert!(p.changed(1, 2));
+        assert!(!p.changed(2, 2));
+        assert_eq!(p.gather(0, 5, 3, &m), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Behavioural tests for the two baseline engines using small inline
+//! programs (the full algorithm suite lives in `gpsa-algorithms`).
+
+use gpsa_baselines::graphchi::{PswConfig, PswEngine, PswMeta, PswProgram, PswTermination};
+use gpsa_baselines::xstream::{XsConfig, XsEngine, XsMeta, XsProgram, XsTermination};
+use gpsa_graph::{generate, EdgeList, VertexId};
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-bl-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Sequential min-label fixpoint (directed), the shared oracle.
+fn ref_min_label(el: &EdgeList) -> Vec<u32> {
+    let mut label: Vec<u32> = (0..el.n_vertices as u32).collect();
+    loop {
+        let mut changed = false;
+        for e in &el.edges {
+            if label[e.src as usize] < label[e.dst as usize] {
+                label[e.dst as usize] = label[e.src as usize];
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    label
+}
+
+// --- min-label (CC) on PSW ---
+
+struct PswMin;
+impl PswProgram for PswMin {
+    fn init(&self, v: VertexId, _m: &PswMeta) -> u32 {
+        v
+    }
+    fn initially_active(&self, _v: VertexId, _m: &PswMeta) -> bool {
+        true
+    }
+    fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _m: &PswMeta) -> u32 {
+        in_vals.iter().copied().fold(value, u32::min)
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, _d: u32, _m: &PswMeta) -> Option<u32> {
+        Some(new)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+// --- min-label (CC) on X-Stream ---
+
+struct XsMin;
+impl XsProgram for XsMin {
+    fn init(&self, v: VertexId, _m: &XsMeta) -> u32 {
+        v
+    }
+    fn scatter(&self, _s: VertexId, st: u32, _deg: u32, _dst: VertexId, _m: &XsMeta) -> Option<u32> {
+        Some(st)
+    }
+    fn gather(&self, _d: VertexId, state: u32, update: u32, _m: &XsMeta) -> u32 {
+        state.min(update)
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+#[test]
+fn psw_min_label_matches_reference() {
+    for (tag, el) in [
+        ("cycle", generate::cycle(40)),
+        ("two", generate::two_components(15, 25)),
+        ("rmat", generate::symmetrize(&generate::rmat(200, 900, generate::RmatParams::default(), 4))),
+    ] {
+        let engine = PswEngine::new(PswConfig::new(workdir(&format!("psw-{tag}"))));
+        let report = engine.run(&el, PswMin).unwrap();
+        assert_eq!(report.values, ref_min_label(&el), "{tag}");
+        assert!(report.iterations > 0);
+        assert_eq!(report.step_times.len() as u64, report.iterations);
+    }
+}
+
+#[test]
+fn psw_parallel_updates_agree_with_sequential() {
+    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 6));
+    let mut cfg = PswConfig::new(workdir("psw-par"));
+    cfg.threads = 4;
+    cfg.n_shards = 3;
+    let report = PswEngine::new(cfg).run(&el, PswMin).unwrap();
+    assert_eq!(report.values, ref_min_label(&el));
+}
+
+/// BFS whose wave moves *against* the interval processing order, so it
+/// cannot collapse within one async iteration — the selective-scheduling
+/// stress case.
+struct PswBfsDown {
+    root: u32,
+}
+const FAR: u32 = u32::MAX;
+impl PswProgram for PswBfsDown {
+    fn init(&self, v: VertexId, _m: &PswMeta) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            FAR
+        }
+    }
+    fn initially_active(&self, v: VertexId, _m: &PswMeta) -> bool {
+        v == self.root
+    }
+    fn update(&self, _v: VertexId, value: u32, in_vals: &[u32], _m: &PswMeta) -> u32 {
+        in_vals
+            .iter()
+            .map(|&l| if l == FAR { FAR } else { l + 1 })
+            .fold(value, u32::min)
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, _d: u32, _m: &PswMeta) -> Option<u32> {
+        if new == FAR {
+            None
+        } else {
+            Some(new)
+        }
+    }
+    fn changed(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+    fn init_edge(&self, _m: &PswMeta) -> u32 {
+        FAR
+    }
+}
+
+#[test]
+fn psw_selective_scheduling_reduces_updates() {
+    // Descending chain n-1 -> n-2 -> ... -> 0, BFS from n-1: the frontier
+    // is one vertex per iteration, so total update calls stay near n while
+    // a dense engine would pay iterations * n.
+    let n = 60u32;
+    let el = EdgeList::with_vertices(
+        (1..n).map(|i| (i, i - 1).into()).collect(),
+        n as usize,
+    );
+    let engine = PswEngine::new(PswConfig::new(workdir("psw-sel")));
+    let report = engine.run(&el, PswBfsDown { root: n - 1 }).unwrap();
+    let expect: Vec<u32> = (0..n).map(|v| n - 1 - v).collect();
+    assert_eq!(report.values, expect);
+    let dense_cost = report.iterations * n as u64;
+    assert!(
+        report.updates * 4 < dense_cost,
+        "selective scheduling should skip most work: {} updates vs dense {}",
+        report.updates,
+        dense_cost
+    );
+}
+
+#[test]
+fn psw_fixed_iterations_mode() {
+    let el = generate::cycle(30);
+    let mut cfg = PswConfig::new(workdir("psw-fixed"));
+    cfg.termination = PswTermination::Iterations(3);
+    let report = PswEngine::new(cfg).run(&el, PswMin).unwrap();
+    assert_eq!(report.iterations, 3);
+}
+
+#[test]
+fn xstream_min_label_matches_reference() {
+    for (tag, el) in [
+        ("cycle", generate::cycle(40)),
+        ("two", generate::two_components(15, 25)),
+        ("rmat", generate::symmetrize(&generate::rmat(200, 900, generate::RmatParams::default(), 4))),
+    ] {
+        for in_memory in [true, false] {
+            let mut cfg = XsConfig::new(workdir(&format!("xs-{tag}-{in_memory}")));
+            cfg.in_memory = in_memory;
+            let report = XsEngine::new(cfg).run(&el, XsMin).unwrap();
+            assert_eq!(report.values, ref_min_label(&el), "{tag} mem={in_memory}");
+        }
+    }
+}
+
+#[test]
+fn xstream_parallel_agrees_with_sequential() {
+    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 8));
+    let mut cfg = XsConfig::new(workdir("xs-par"));
+    cfg.threads = 4;
+    cfg.n_partitions = 4;
+    let report = XsEngine::new(cfg).run(&el, XsMin).unwrap();
+    assert_eq!(report.values, ref_min_label(&el));
+}
+
+#[test]
+fn xstream_streams_all_edges_every_iteration() {
+    // The paper's key X-Stream property: edges streamed = E * iterations,
+    // no matter how little useful work remains.
+    let el = generate::chain(50);
+    let mut cfg = XsConfig::new(workdir("xs-stream"));
+    cfg.in_memory = true;
+    let report = XsEngine::new(cfg).run(&el, XsMin).unwrap();
+    assert_eq!(
+        report.edges_streamed,
+        el.len() as u64 * report.iterations,
+        "X-Stream must pay the full edge stream every iteration"
+    );
+    assert!(report.iterations as usize >= 49, "chain needs ~n iterations");
+}
+
+#[test]
+fn xstream_spilling_buffers_match_in_memory() {
+    let el = generate::symmetrize(&generate::erdos_renyi(150, 800, 12));
+    let mut mem_cfg = XsConfig::new(workdir("xs-mem"));
+    mem_cfg.in_memory = true;
+    let mem = XsEngine::new(mem_cfg).run(&el, XsMin).unwrap();
+
+    let mut disk_cfg = XsConfig::new(workdir("xs-disk"));
+    disk_cfg.in_memory = false;
+    disk_cfg.update_budget = 16; // force heavy spilling
+    let disk = XsEngine::new(disk_cfg).run(&el, XsMin).unwrap();
+    assert_eq!(mem.values, disk.values);
+    assert_eq!(mem.iterations, disk.iterations);
+}
+
+#[test]
+fn xstream_fixed_iterations_mode() {
+    let el = generate::cycle(30);
+    let mut cfg = XsConfig::new(workdir("xs-fixed"));
+    cfg.termination = XsTermination::Iterations(4);
+    cfg.in_memory = true;
+    let report = XsEngine::new(cfg).run(&el, XsMin).unwrap();
+    assert_eq!(report.iterations, 4);
+    assert_eq!(report.edges_streamed, 30 * 4);
+}
+
+// --- PageRank smoke on both engines (full parity tested in algorithms) ---
+
+struct PswPr;
+impl PswProgram for PswPr {
+    fn init(&self, _v: VertexId, m: &PswMeta) -> u32 {
+        (1.0f32 / m.n_vertices as f32).to_bits()
+    }
+    fn initially_active(&self, _v: VertexId, _m: &PswMeta) -> bool {
+        true
+    }
+    fn update(&self, _v: VertexId, _value: u32, in_vals: &[u32], m: &PswMeta) -> u32 {
+        let sum: f32 = in_vals.iter().map(|&b| f32::from_bits(b)).sum();
+        (0.15 / m.n_vertices as f32 + 0.85 * sum).to_bits()
+    }
+    fn out_signal(&self, _v: VertexId, new: u32, d: u32, _m: &PswMeta) -> Option<u32> {
+        if d == 0 {
+            None
+        } else {
+            Some((f32::from_bits(new) / d as f32).to_bits())
+        }
+    }
+    fn always_active(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn psw_pagerank_mass_is_sane() {
+    let el = generate::symmetrize(&generate::erdos_renyi(100, 500, 3));
+    let mut cfg = PswConfig::new(workdir("psw-pr"));
+    cfg.termination = PswTermination::Iterations(20);
+    let report = PswEngine::new(cfg).run(&el, PswPr).unwrap();
+    let total: f32 = report.values.iter().map(|&b| f32::from_bits(b)).sum();
+    assert!(total > 0.5 && total < 1.5, "total rank {total}");
+    assert_eq!(report.iterations, 20);
+}

@@ -1,0 +1,104 @@
+//! Ablation: actor-runtime message overhead vs a raw channel, plus
+//! scheduling throughput with many actors — validating that the Kilim
+//! substitute is cheap enough to carry the engine's message volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::mpsc;
+
+use actor::{Actor, Ctx, System};
+
+struct Counter {
+    remaining: u64,
+    done: Option<mpsc::Sender<()>>,
+}
+
+impl Actor for Counter {
+    type Msg = u64;
+    fn handle(&mut self, msg: u64, _ctx: &mut Ctx<'_, Self>) {
+        self.remaining = self.remaining.saturating_sub(msg);
+        if self.remaining == 0 {
+            if let Some(d) = self.done.take() {
+                let _ = d.send(());
+            }
+        }
+    }
+}
+
+fn bench_actor_vs_channel(c: &mut Criterion) {
+    let n: u64 = 100_000;
+    let mut g = c.benchmark_group("message_throughput");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+
+    g.bench_function("actor_system", |b| {
+        let sys = System::builder().workers(4).build();
+        b.iter(|| {
+            let (tx, rx) = mpsc::channel();
+            let addr = sys.spawn(Counter {
+                remaining: n,
+                done: Some(tx),
+            });
+            for _ in 0..n {
+                addr.send(1).unwrap();
+            }
+            rx.recv().unwrap();
+        });
+        sys.shutdown();
+    });
+
+    g.bench_function("crossbeam_channel_baseline", |b| {
+        b.iter(|| {
+            let (tx, rx) = crossbeam_channel::unbounded::<u64>();
+            let h = std::thread::spawn(move || {
+                let mut remaining = n;
+                while remaining > 0 {
+                    remaining -= rx.recv().unwrap();
+                }
+            });
+            for _ in 0..n {
+                tx.send(1).unwrap();
+            }
+            h.join().unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_many_actors(c: &mut Criterion) {
+    // Fan messages over many mailboxes: the paper's "thousands of actors"
+    // claim as a scheduling benchmark.
+    let msgs: u64 = 100_000;
+    let mut g = c.benchmark_group("fanout_actors");
+    g.throughput(Throughput::Elements(msgs));
+    g.sample_size(10);
+    for actors in [8usize, 64, 512, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(actors), &actors, |b, &k| {
+            let sys = System::builder().workers(4).build();
+            b.iter(|| {
+                let (tx, rx) = mpsc::channel();
+                let per = msgs / k as u64;
+                let addrs: Vec<_> = (0..k)
+                    .map(|_| {
+                        sys.spawn(Counter {
+                            remaining: per,
+                            done: Some(tx.clone()),
+                        })
+                    })
+                    .collect();
+                for a in &addrs {
+                    for _ in 0..per {
+                        a.send(1).unwrap();
+                    }
+                }
+                for _ in 0..k {
+                    rx.recv().unwrap();
+                }
+            });
+            sys.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_actor_vs_channel, bench_many_actors);
+criterion_main!(benches);

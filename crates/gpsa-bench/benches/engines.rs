@@ -1,0 +1,38 @@
+//! Per-engine microbenches: the three algorithms on a small google-graph
+//! stand-in, one full run per iteration — criterion-tracked versions of
+//! the Figs. 7–10 cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gpsa_bench::{run_on_edges, Algo, EngineKind, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        scale: 1024,
+        runs: 1,
+        supersteps: 5,
+        threads: 4,
+        data_dir: std::env::temp_dir().join(format!("gpsa-bench-eng-{}", std::process::id())),
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = cfg();
+    let el = gpsa_bench::dataset_edges(Dataset::Google, cfg.scale);
+    for algo in Algo::ALL {
+        let mut g = c.benchmark_group(format!("google_s1024_{}", algo.name()));
+        g.sample_size(10);
+        for kind in EngineKind::ALL {
+            g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| {
+                    run_on_edges(&el, "bench", algo, k, &cfg, false).unwrap();
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

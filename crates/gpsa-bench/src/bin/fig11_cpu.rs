@@ -1,0 +1,61 @@
+//! Regenerates paper Fig. 11: CPU utilization of the three systems.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin fig11_cpu -- \
+//!     [--graph pokec] [--scale N] [--threads N]
+//! ```
+//!
+//! Expected shape (paper §VI-C): X-Stream pegs all cores regardless of
+//! useful work; the GraphChi-like engine shows the lowest utilization
+//! (I/O-bound sweeps); GPSA's utilization follows workload complexity.
+
+use gpsa_bench::{run_one, Algo, EngineKind, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = HarnessConfig::default().apply_flags(&argv)?;
+    cfg.runs = 1; // CPU is sampled over a single run per cell
+    let which = argv
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("pokec");
+    let ds = Dataset::parse(which).ok_or("unknown --graph")?;
+    let el = gpsa_bench::dataset_edges(ds, cfg.scale);
+
+    println!(
+        "Fig. 11 — CPU utilization on {} at 1/{} scale ({} vertices, {} edges), {} worker threads\n",
+        ds.name(),
+        cfg.scale,
+        el.n_vertices,
+        el.len(),
+        cfg.threads,
+    );
+    let mut t = Table::new(&[
+        "engine",
+        "algorithm",
+        "mean cores",
+        "peak cores",
+        "machine %",
+        "wall",
+    ]);
+    for kind in EngineKind::ALL {
+        for algo in Algo::ALL {
+            let m = run_one(ds, algo, kind, &cfg, true)?;
+            let cpu = m.cpu.expect("cpu sampled");
+            t.row(&[
+                kind.name().to_string(),
+                algo.name().to_string(),
+                format!("{:.2}", cpu.mean_cores),
+                format!("{:.2}", cpu.peak_cores),
+                format!("{:.0}%", cpu.mean_machine_frac * 100.0),
+                format!("{:.2?}", cpu.wall),
+            ]);
+        }
+    }
+    print!("{t}");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Regenerates paper Figs. 7–10: PageRank / CC / BFS runtime across the
+//! three engines, one figure per dataset.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin figures -- \
+//!     [--graph google|pokec|journal|twitter|all] [--scale N] [--runs N]
+//! ```
+//!
+//! The headline cell is the paper's metric: the average elapsed time of
+//! the first five supersteps, averaged over three repetitions. Speedup
+//! columns are relative to GPSA (>1 means GPSA is faster).
+
+use gpsa_bench::{fmt_dur, run_one, Algo, EngineKind, HarnessConfig, Measurement};
+use gpsa_graph::datasets::Dataset;
+use gpsa_metrics::Table;
+
+fn figure_number(ds: Dataset) -> &'static str {
+    match ds {
+        Dataset::Google => "Fig. 7",
+        Dataset::Pokec => "Fig. 8",
+        Dataset::LiveJournal => "Fig. 9",
+        Dataset::Twitter => "Fig. 10",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    let which = argv
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let datasets: Vec<Dataset> = if which == "all" {
+        Dataset::ALL.to_vec()
+    } else {
+        vec![Dataset::parse(which).ok_or("unknown --graph")?]
+    };
+
+    for ds in datasets {
+        let el = gpsa_bench::dataset_edges(ds, cfg.scale);
+        println!(
+            "\n{} — {} at 1/{} scale ({} vertices, {} edges); mean of first {} supersteps, {} runs\n",
+            figure_number(ds),
+            ds.name(),
+            cfg.scale,
+            el.n_vertices,
+            el.len(),
+            cfg.supersteps,
+            cfg.runs,
+        );
+        let mut rows: Vec<(Algo, Vec<Measurement>)> = Vec::new();
+        for algo in Algo::ALL {
+            let mut ms = Vec::new();
+            for kind in EngineKind::ALL {
+                ms.push(run_one(ds, algo, kind, &cfg, false)?);
+            }
+            rows.push((algo, ms));
+        }
+        let mut t = Table::new(&[
+            "algorithm",
+            "GPSA",
+            "GraphChi-like",
+            "X-Stream-like",
+            "vs GraphChi",
+            "vs X-Stream",
+            "GPSA steps",
+        ]);
+        for (algo, ms) in &rows {
+            let gpsa = ms[0].mean_step.as_secs_f64();
+            let gc = ms[1].mean_step.as_secs_f64();
+            let xs = ms[2].mean_step.as_secs_f64();
+            t.row(&[
+                algo.name().to_string(),
+                fmt_dur(ms[0].mean_step),
+                fmt_dur(ms[1].mean_step),
+                fmt_dur(ms[2].mean_step),
+                format!("{:.2}x", gc / gpsa),
+                format!("{:.2}x", xs / gpsa),
+                ms[0].supersteps.to_string(),
+            ]);
+        }
+        print!("{t}");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Thread-scalability sweep (paper §VI text: "GPSA is not only faster but
+//! more scalable than X-Stream"; §I: "X-Stream shows poor scalability").
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin scalability -- \
+//!     [--graph pokec] [--scale N] [--max-threads N] [--runs N]
+//! ```
+//!
+//! Runs 5-superstep PageRank on each engine at 1, 2, 4, … threads and
+//! prints per-superstep time plus speedup over the single-threaded run.
+//! (On a single-core container the sweep degenerates — the harness prints
+//! the detected core count so the reader can judge.)
+
+use gpsa_bench::{fmt_dur, run_one, Algo, EngineKind, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let base = HarnessConfig::default().apply_flags(&argv)?;
+    let max_threads: usize = argv
+        .iter()
+        .position(|a| a == "--max-threads")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(8);
+    let which = argv
+        .iter()
+        .position(|a| a == "--graph")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("pokec");
+    let ds = Dataset::parse(which).ok_or("unknown --graph")?;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "Thread scalability — PageRank on {} at 1/{} scale ({} logical cores detected)\n",
+        ds.name(),
+        base.scale,
+        cores
+    );
+
+    let mut threads = Vec::new();
+    let mut t = 1;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+
+    let mut table = Table::new(&["engine", "threads", "mean step", "speedup vs 1T"]);
+    for kind in EngineKind::ALL {
+        let mut base_time = None;
+        for &t in &threads {
+            let mut cfg = base.clone();
+            cfg.threads = t;
+            let m = run_one(ds, Algo::PageRank, kind, &cfg, false)?;
+            let secs = m.mean_step.as_secs_f64();
+            let speedup = base_time.get_or_insert(secs).max(1e-12) / secs.max(1e-12);
+            table.row(&[
+                kind.name().to_string(),
+                t.to_string(),
+                fmt_dur(m.mean_step),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    print!("{table}");
+    Ok(())
+}

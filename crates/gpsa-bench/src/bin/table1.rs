@@ -1,0 +1,64 @@
+//! Regenerates paper Table I (the dataset table) for the scaled synthetic
+//! stand-ins, plus the §VI-B CSR compression numbers with `--compression`.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin table1 -- [--scale N] [--compression]
+//! ```
+
+use gpsa_bench::HarnessConfig;
+use gpsa_graph::datasets::Dataset;
+use gpsa_graph::preprocess;
+use gpsa_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    let compression = argv.iter().any(|a| a == "--compression");
+
+    println!(
+        "Table I — graphs used in the experiments (scaled 1/{} vs the paper)\n",
+        cfg.scale
+    );
+    let mut t = Table::new(&[
+        "Name",
+        "Nodes (paper)",
+        "Edges (paper)",
+        "Nodes (ours)",
+        "Edges (ours)",
+    ]);
+    for ds in Dataset::ALL {
+        let el = ds.generate(cfg.scale);
+        t.row(&[
+            ds.name().to_string(),
+            ds.paper_nodes().to_string(),
+            ds.paper_edges().to_string(),
+            el.n_vertices.to_string(),
+            el.len().to_string(),
+        ]);
+    }
+    print!("{t}");
+
+    if compression {
+        // §VI-B: "with CSR format data, we compress the twitter graph from
+        // 26GB to 6.5GB" — reproduce the ratio on the scaled stand-in.
+        println!("\nCSR compression (paper §VI-B: twitter 26GB -> 6.5GB, ~4x)\n");
+        let mut t = Table::new(&["Name", "text edge list", "binary CSR", "ratio"]);
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        for ds in Dataset::ALL {
+            let el = ds.generate(cfg.scale);
+            let txt = cfg.data_dir.join(format!("{}.txt", ds.name()));
+            el.write_text_file(&txt)?;
+            let csr = cfg.data_dir.join(format!("{}.gcsr", ds.name()));
+            let stats = preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default())?;
+            t.row(&[
+                ds.name().to_string(),
+                format!("{} B", stats.input_bytes),
+                format!("{} B", stats.output_bytes),
+                format!("{:.2}x", stats.input_bytes as f64 / stats.output_bytes as f64),
+            ]);
+            let _ = std::fs::remove_file(&txt);
+        }
+        print!("{t}");
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Tiny flag parser: `--key value` pairs and `--flag` booleans.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` / `--flag` arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse everything after the subcommand. `known_flags` lists the
+    /// boolean switches (which consume no value).
+    pub fn parse(argv: &[String], known_flags: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {a:?}"))?;
+            if known_flags.contains(&key) {
+                out.flags.push(key.to_string());
+                i += 1;
+            } else {
+                let val = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.values.insert(key.to_string(), val.clone());
+                i += 2;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// The string value of `--key`, or an error naming it.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Parse `--key` as `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s:?}")),
+        }
+    }
+
+    /// Was the boolean `--flag` given?
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&v(&["--graph", "g.gcsr", "--durable", "--workers", "4"]), &["durable"]).unwrap();
+        assert_eq!(a.require("graph").unwrap(), "g.gcsr");
+        assert!(a.flag("durable"));
+        assert_eq!(a.get_parsed("workers", 1usize).unwrap(), 4);
+        assert_eq!(a.get_parsed("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&v(&["graph"]), &[]).is_err());
+        assert!(Args::parse(&v(&["--graph"]), &[]).is_err());
+        let a = Args::parse(&v(&["--workers", "x"]), &[]).unwrap();
+        assert!(a.get_parsed("workers", 1usize).is_err());
+        assert!(a.require("absent").is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Subcommand implementations.
+
+use std::path::{Path, PathBuf};
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank, Sssp, UNREACHED};
+use gpsa::{Engine, EngineConfig, Termination, VertexProgram};
+use gpsa_graph::datasets::Dataset;
+use gpsa_graph::{preprocess, DiskCsr};
+use gpsa_metrics::Table;
+
+use crate::args::Args;
+
+const USAGE: &str = "\
+gpsa — a graph processing system with actors (GPSA, ICPP'15)
+
+USAGE:
+  gpsa generate   --dataset <google|pokec|journal|twitter> [--scale N] [--out DIR]
+  gpsa preprocess --input <edges.txt|edges.bin|adj.txt> --output <graph.gcsr>
+                  [--format text|binary|adjacency] [--no-degrees]
+                  [--run-capacity N]
+  gpsa info       --graph <graph.gcsr>
+  gpsa run        --graph <graph.gcsr> --algo <pagerank|bfs|cc|sssp>
+                  [--engine gpsa|graphchi|xstream|sync|dist]
+                  [--root N] [--supersteps N] [--max-supersteps N]
+                  [--dispatchers N] [--computers N] [--workers N]
+                  [--nodes N (dist engine)]
+                  [--work-dir DIR] [--durable] [--resume] [--top N]
+  gpsa help
+";
+
+/// Route a command line to its implementation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(|s| s.as_str()) {
+        Some("generate") => generate(&argv[1..]),
+        Some("preprocess") => preprocess_cmd(&argv[1..]),
+        Some("info") => info(&argv[1..]),
+        Some("run") => run(&argv[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let ds = Dataset::parse(args.require("dataset")?)
+        .ok_or_else(|| "unknown dataset (google|pokec|journal|twitter)".to_string())?;
+    let scale: u64 = args.get_parsed("scale", 64)?;
+    let out = PathBuf::from(args.get("out").unwrap_or("data"));
+    let (path, stats) = ds.materialize(&out, scale).map_err(|e| e.to_string())?;
+    println!(
+        "generated {} at 1/{scale} scale: {} vertices, {} edges -> {}",
+        ds.name(),
+        stats.n_vertices,
+        stats.n_edges,
+        path.display()
+    );
+    Ok(())
+}
+
+fn preprocess_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["binary", "no-degrees"])?;
+    let input = PathBuf::from(args.require("input")?);
+    let output = PathBuf::from(args.require("output")?);
+    let opts = preprocess::PreprocessOptions {
+        run_capacity: args.get_parsed("run-capacity", 8usize << 20)?,
+        with_degrees: !args.flag("no-degrees"),
+        temp_dir: None,
+    };
+    let format = if args.flag("binary") {
+        "binary" // legacy alias for --format binary
+    } else {
+        args.get("format").unwrap_or("text")
+    };
+    let stats = match format {
+        "binary" => preprocess::binary_to_csr(&input, &output, &opts),
+        "adjacency" | "adj" => preprocess::adjacency_to_csr(&input, &output, &opts),
+        "text" | "edgelist" => preprocess::text_to_csr(&input, &output, &opts),
+        other => return Err(format!("unknown --format {other:?} (text|binary|adjacency)")),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "preprocessed {} -> {}: {} vertices, {} edges, {} runs, {} -> {} bytes",
+        input.display(),
+        output.display(),
+        stats.n_vertices,
+        stats.n_edges,
+        stats.runs,
+        stats.input_bytes,
+        stats.output_bytes
+    );
+    Ok(())
+}
+
+fn info(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let path = PathBuf::from(args.require("graph")?);
+    let g = DiskCsr::open(&path).map_err(|e| e.to_string())?;
+    let mut max_deg = 0u32;
+    let mut sinks = 0usize;
+    for r in g.cursor(0..g.n_vertices() as u32) {
+        max_deg = max_deg.max(r.degree);
+        if r.degree == 0 {
+            sinks += 1;
+        }
+    }
+    let mut t = Table::new(&["property", "value"]);
+    t.row(&["file", &path.display().to_string()]);
+    t.row(&["vertices", &g.n_vertices().to_string()]);
+    t.row(&["edges", &g.n_edges().to_string()]);
+    t.row(&["with degrees", &g.with_degrees().to_string()]);
+    t.row(&["file bytes", &g.file_bytes().to_string()]);
+    t.row(&["max out-degree", &max_deg.to_string()]);
+    t.row(&["sinks", &sinks.to_string()]);
+    print!("{t}");
+    Ok(())
+}
+
+fn engine_from(args: &Args) -> Result<Engine, String> {
+    let work_dir = PathBuf::from(args.get("work-dir").unwrap_or("gpsa-work"));
+    let mut config = EngineConfig::new(&work_dir);
+    config.n_dispatchers = args.get_parsed("dispatchers", config.n_dispatchers)?;
+    config.n_computers = args.get_parsed("computers", config.n_computers)?;
+    config.workers = args.get_parsed("workers", config.workers)?;
+    config.durable = args.flag("durable");
+    config.resume = args.flag("resume");
+    let max: u64 = args.get_parsed("max-supersteps", 10_000u64)?;
+    config.termination = match args.get("supersteps") {
+        Some(s) => Termination::Supersteps(
+            s.parse().map_err(|_| "bad --supersteps".to_string())?,
+        ),
+        None => Termination::Quiescence {
+            max_supersteps: max,
+        },
+    };
+    Ok(Engine::new(config))
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["durable", "resume"])?;
+    let graph = PathBuf::from(args.require("graph")?);
+    let algo = args.require("algo")?.to_string();
+    let root: u32 = args.get_parsed("root", 0u32)?;
+    let top: usize = args.get_parsed("top", 5usize)?;
+    let which = args.get("engine").unwrap_or("gpsa").to_string();
+    if which != "gpsa" {
+        return run_alternative_engine(&which, &args, &graph, &algo, root, top);
+    }
+    let engine = engine_from(&args)?;
+    match algo.as_str() {
+        "pagerank" | "pr" => {
+            // PageRank defaults to the paper's 5-superstep methodology.
+            let engine = if args.get("supersteps").is_none() {
+                let mut c = engine.config().clone();
+                c.termination = Termination::Supersteps(5);
+                Engine::new(c)
+            } else {
+                engine
+            };
+            let report = run_program(&engine, &graph, PageRank::default())?;
+            print_top_f32("rank", &report, top);
+        }
+        "bfs" => {
+            let report = run_program(&engine, &graph, Bfs { root })?;
+            print_levels("level", &report, top);
+        }
+        "cc" => {
+            let report = run_program(&engine, &graph, ConnectedComponents)?;
+            let mut sizes = std::collections::BTreeMap::new();
+            for &l in &report.values {
+                *sizes.entry(l).or_insert(0u64) += 1;
+            }
+            println!("components: {}", sizes.len());
+            let mut by_size: Vec<_> = sizes.into_iter().collect();
+            by_size.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+            for (label, size) in by_size.into_iter().take(top) {
+                println!("  component {label}: {size} vertices");
+            }
+        }
+        "sssp" => {
+            let report = run_program(&engine, &graph, Sssp { root })?;
+            print_levels("distance", &report, top);
+        }
+        other => return Err(format!("unknown algorithm {other:?} (pagerank|bfs|cc|sssp)")),
+    }
+    Ok(())
+}
+
+/// Run on one of the non-default engines by bridging the CSR back to an
+/// edge list (the baselines and the cluster consume edge lists).
+fn run_alternative_engine(
+    which: &str,
+    args: &Args,
+    graph: &Path,
+    algo: &str,
+    root: u32,
+    top: usize,
+) -> Result<(), String> {
+    use gpsa_algorithms::psw::{PswBfs, PswCc, PswPageRank, PswSssp};
+    use gpsa_algorithms::xs::{XsBfs, XsCc, XsPageRank, XsSssp};
+    use gpsa_baselines::graphchi::{PswConfig, PswEngine, PswTermination};
+    use gpsa_baselines::xstream::{XsConfig, XsEngine, XsTermination};
+
+    let el = DiskCsr::open(graph).map_err(|e| e.to_string())?.to_edge_list();
+    let work_dir = PathBuf::from(args.get("work-dir").unwrap_or("gpsa-work"));
+    let steps: u64 = args.get_parsed("supersteps", 5u64)?;
+    let max: u64 = args.get_parsed("max-supersteps", 10_000u64)?;
+    let fixed = args.get("supersteps").is_some() || algo == "pagerank" || algo == "pr";
+
+    let print_u32 = |name: &str, values: &[u32], iterations: u64| {
+        println!("{which}: {iterations} iterations");
+        let reached = values.iter().filter(|&&l| l < UNREACHED).count();
+        println!("reached/nontrivial {reached}/{} vertices", values.len());
+        for (v, l) in values.iter().enumerate().filter(|(_, &l)| l < UNREACHED).take(top) {
+            println!("  v{v}: {name} {l}");
+        }
+    };
+
+    match which {
+        "graphchi" | "psw" => {
+            let mut cfg = PswConfig::new(&work_dir);
+            cfg.termination = if fixed {
+                PswTermination::Iterations(steps)
+            } else {
+                PswTermination::Quiescence { max }
+            };
+            let engine = PswEngine::new(cfg);
+            match algo {
+                "pagerank" | "pr" => {
+                    let r = engine.run(&el, PswPageRank::default()).map_err(|e| e.to_string())?;
+                    println!("{which}: {} iterations", r.iterations);
+                    print_top_ranks(&r.values, top);
+                }
+                "bfs" => {
+                    let r = engine.run(&el, PswBfs { root }).map_err(|e| e.to_string())?;
+                    print_u32("level", &r.values, r.iterations);
+                }
+                "cc" => {
+                    let r = engine.run(&el, PswCc).map_err(|e| e.to_string())?;
+                    print_u32("label", &r.values, r.iterations);
+                }
+                "sssp" => {
+                    let r = engine.run(&el, PswSssp { root }).map_err(|e| e.to_string())?;
+                    print_u32("distance", &r.values, r.iterations);
+                }
+                other => return Err(format!("unknown algorithm {other:?}")),
+            }
+        }
+        "xstream" | "xs" => {
+            let mut cfg = XsConfig::new(&work_dir);
+            cfg.termination = if fixed {
+                XsTermination::Iterations(steps)
+            } else {
+                XsTermination::Quiescence { max }
+            };
+            let engine = XsEngine::new(cfg);
+            match algo {
+                "pagerank" | "pr" => {
+                    let r = engine.run(&el, XsPageRank::default()).map_err(|e| e.to_string())?;
+                    println!("{which}: {} iterations", r.iterations);
+                    print_top_ranks(&r.values, top);
+                }
+                "bfs" => {
+                    let r = engine.run(&el, XsBfs { root }).map_err(|e| e.to_string())?;
+                    print_u32("level", &r.values, r.iterations);
+                }
+                "cc" => {
+                    let r = engine.run(&el, XsCc).map_err(|e| e.to_string())?;
+                    print_u32("label", &r.values, r.iterations);
+                }
+                "sssp" => {
+                    let r = engine.run(&el, XsSssp { root }).map_err(|e| e.to_string())?;
+                    print_u32("distance", &r.values, r.iterations);
+                }
+                other => return Err(format!("unknown algorithm {other:?}")),
+            }
+        }
+        "sync" => {
+            let term = if fixed {
+                Termination::Supersteps(steps)
+            } else {
+                Termination::Quiescence {
+                    max_supersteps: max,
+                }
+            };
+            let engine = gpsa::SyncEngine::new(term);
+            match algo {
+                "pagerank" | "pr" => {
+                    let r = engine.run(&el, PageRank::default());
+                    println!("{which}: {} supersteps", r.supersteps);
+                    let mut idx: Vec<u32> = (0..r.values.len() as u32).collect();
+                    idx.sort_by(|&a, &b| {
+                        r.values[b as usize].partial_cmp(&r.values[a as usize]).unwrap()
+                    });
+                    for &v in idx.iter().take(top) {
+                        println!("  v{v}: {:.6}", r.values[v as usize]);
+                    }
+                }
+                "bfs" => {
+                    let r = engine.run(&el, Bfs { root });
+                    print_u32("level", &r.values, r.supersteps);
+                }
+                "cc" => {
+                    let r = engine.run(&el, ConnectedComponents);
+                    print_u32("label", &r.values, r.supersteps);
+                }
+                "sssp" => {
+                    let r = engine.run(&el, Sssp { root });
+                    print_u32("distance", &r.values, r.supersteps);
+                }
+                other => return Err(format!("unknown algorithm {other:?}")),
+            }
+        }
+        "dist" | "cluster" => {
+            let nodes: usize = args.get_parsed("nodes", 2usize)?;
+            let term = if fixed {
+                Termination::Supersteps(steps)
+            } else {
+                Termination::Quiescence {
+                    max_supersteps: max,
+                }
+            };
+            let config = gpsa_dist::ClusterConfig::new(nodes, &work_dir).with_termination(term);
+            let cluster = gpsa_dist::Cluster::new(config);
+            match algo {
+                "cc" => {
+                    let r = cluster.run(&el, ConnectedComponents).map_err(|e| e.to_string())?;
+                    print_u32("label", &r.values, r.supersteps);
+                    println!(
+                        "traffic: {} local, {} remote messages across {nodes} nodes",
+                        r.traffic.local(),
+                        r.traffic.remote()
+                    );
+                }
+                "bfs" => {
+                    let r = cluster.run(&el, Bfs { root }).map_err(|e| e.to_string())?;
+                    print_u32("level", &r.values, r.supersteps);
+                    println!(
+                        "traffic: {} local, {} remote messages across {nodes} nodes",
+                        r.traffic.local(),
+                        r.traffic.remote()
+                    );
+                }
+                "pagerank" | "pr" => {
+                    let r = cluster.run(&el, PageRank::default()).map_err(|e| e.to_string())?;
+                    println!("{which}: {} supersteps", r.supersteps);
+                    println!(
+                        "traffic: {} local, {} remote messages across {nodes} nodes",
+                        r.traffic.local(),
+                        r.traffic.remote()
+                    );
+                }
+                "sssp" => {
+                    let r = cluster.run(&el, Sssp { root }).map_err(|e| e.to_string())?;
+                    print_u32("distance", &r.values, r.supersteps);
+                }
+                other => return Err(format!("unknown algorithm {other:?}")),
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown engine {other:?} (gpsa|graphchi|xstream|sync|dist)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn print_top_ranks(bits: &[u32], top: usize) {
+    let ranks: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+    let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        ranks[b as usize]
+            .partial_cmp(&ranks[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("top {top} vertices by rank:");
+    for &v in idx.iter().take(top) {
+        println!("  v{v}: {:.6}", ranks[v as usize]);
+    }
+}
+
+fn run_program<P: VertexProgram>(
+    engine: &Engine,
+    graph: &Path,
+    program: P,
+) -> Result<gpsa::RunReport<P::Value>, String> {
+    let report = engine.run(graph, program).map_err(|e| e.to_string())?;
+    println!(
+        "{} supersteps in {:?} ({:?}/superstep avg of first 5); {} messages",
+        report.supersteps,
+        report.superstep_total(),
+        report.mean_superstep(5),
+        report.messages
+    );
+    Ok(report)
+}
+
+fn print_top_f32(name: &str, report: &gpsa::RunReport<f32>, top: usize) {
+    let mut idx: Vec<u32> = (0..report.values.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        report.values[b as usize]
+            .partial_cmp(&report.values[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("top {top} vertices by {name}:");
+    for &v in idx.iter().take(top) {
+        println!("  v{v}: {:.6}", report.values[v as usize]);
+    }
+}
+
+fn print_levels(name: &str, report: &gpsa::RunReport<u32>, top: usize) {
+    let reached = report.values.iter().filter(|&&l| l < UNREACHED).count();
+    let max = report
+        .values
+        .iter()
+        .filter(|&&l| l < UNREACHED)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "reached {reached}/{} vertices; max {name} {max}",
+        report.values.len()
+    );
+    for (v, l) in report
+        .values
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l < UNREACHED)
+        .take(top)
+    {
+        println!("  v{v}: {l}");
+    }
+}

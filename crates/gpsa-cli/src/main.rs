@@ -1,0 +1,22 @@
+//! `gpsa` — command-line front end for the GPSA engine.
+//!
+//! ```text
+//! gpsa generate   --dataset pokec --scale 64 --out data/
+//! gpsa preprocess --input edges.txt --output graph.gcsr
+//! gpsa info       --graph graph.gcsr
+//! gpsa run        --graph graph.gcsr --algo pagerank --supersteps 5
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("gpsa: {e}");
+            std::process::exit(1);
+        }
+    }
+}

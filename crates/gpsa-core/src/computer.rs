@@ -1,0 +1,178 @@
+//! The compute actor (paper Algorithm 3).
+//!
+//! A compute actor owns a disjoint set of vertices (defined by the
+//! [`crate::Router`]) and is the only writer of their update-column slots.
+//! It is purely message-driven: updates begin as soon as the first batch
+//! arrives, while dispatchers are still streaming — the overlap that
+//! motivates the paper.
+//!
+//! ## First-message protocol
+//!
+//! At superstep start every update-column slot is flagged ("no update
+//! yet"). On a vertex's first message the accumulator is seeded from
+//! [`crate::VertexProgram::freshest`] over the two buffered copies; from
+//! then on the slot holds the running accumulator, written flag-clear.
+//! When the COMPUTE_OVER token arrives (FIFO mailboxes guarantee it
+//! follows every batch), the actor walks its dirty list, re-flags vertices
+//! whose final value does not count as changed, and reports its tallies to
+//! the manager. Deferring the changed/flag decision to the flush keeps
+//! accumulation correct even when an intermediate fold lands exactly on
+//! the old value — a case the paper's per-message re-flagging would
+//! mis-handle as a fresh first message.
+
+use std::sync::Arc;
+
+use actor::{Actor, Addr, Ctx};
+use gpsa_graph::VertexId;
+
+use crate::manager::{Manager, ManagerMsg};
+use crate::program::{GraphMeta, VertexProgram};
+use crate::value_file::ValueFile;
+use crate::word::{clear_flag, is_flagged};
+use crate::VertexValue;
+
+/// Mailbox protocol of a compute actor.
+pub(crate) enum ComputeCmd<M> {
+    /// A batch of `(destination, message value)` updates targeting the
+    /// given update column.
+    Batch {
+        update_col: u32,
+        msgs: Box<[(VertexId, M)]>,
+    },
+    /// COMPUTE_OVER token: finalize the superstep, report to the manager.
+    Flush { superstep: u64, update_col: u32 },
+    /// SYSTEM_OVER.
+    Shutdown,
+}
+
+pub(crate) struct Computer<P: VertexProgram> {
+    pub program: Arc<P>,
+    pub values: Arc<ValueFile>,
+    pub meta: GraphMeta,
+    pub manager: Addr<Manager<P>>,
+    /// Vertices that received their first message this superstep, with
+    /// the basis (freshest prior value) they were seeded from. The flush
+    /// pass compares the final accumulator against this saved basis —
+    /// comparing against the raw dispatch-column payload instead would
+    /// use a possibly-stale copy and let two neighbors reactivate each
+    /// other forever.
+    pub dirty: Vec<(VertexId, P::Value)>,
+    /// Messages folded this superstep.
+    pub messages: u64,
+    /// All vertices routed to this actor — only populated for
+    /// always-dispatch (dense) programs, which must re-evaluate every
+    /// owned vertex each superstep even if no message arrived.
+    pub owned: Vec<VertexId>,
+}
+
+impl<P: VertexProgram> Computer<P> {
+    pub fn new(
+        program: Arc<P>,
+        values: Arc<ValueFile>,
+        meta: GraphMeta,
+        manager: Addr<Manager<P>>,
+        owned: Vec<VertexId>,
+    ) -> Self {
+        Computer {
+            program,
+            values,
+            meta,
+            manager,
+            dirty: Vec::new(),
+            messages: 0,
+            owned,
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, update_col: u32, v: VertexId, msg: P::MsgVal) {
+        let dispatch_col = 1 - update_col;
+        let u_bits = self.values.load(update_col, v);
+        let new = if is_flagged(u_bits) {
+            // First message for `v` this superstep: seed the accumulator
+            // from the freshest buffered copy (paper: "fetch value from the
+            // message sending column"; see VertexProgram::freshest for why
+            // the update-column copy must be consulted too).
+            let d = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            let u = P::Value::from_bits(clear_flag(u_bits));
+            let basis = self.program.freshest(d, u);
+            self.dirty.push((v, basis));
+            self.program.compute(v, None, basis, msg, &self.meta)
+        } else {
+            let acc = P::Value::from_bits(u_bits);
+            let basis = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            self.program.compute(v, Some(acc), basis, msg, &self.meta)
+        };
+        // Accumulator is stored flag-clear; the flush pass decides the
+        // final flag.
+        self.values.store(update_col, v, new.to_bits());
+        self.messages += 1;
+    }
+
+    fn flush(&mut self, superstep: u64, update_col: u32) {
+        let dispatch_col = 1 - update_col;
+        let mut activated = 0u64;
+        let mut delta = 0.0f64;
+        // Dense-program sweep first: owned vertices whose update slot is
+        // still flagged received no messages; give them their no-message
+        // value (e.g. PageRank's base term). Runs before the dirty pass so
+        // dirty-but-unchanged vertices (re-flagged below) are not mistaken
+        // for message-less ones.
+        for &v in &self.owned {
+            let u_bits = self.values.load(update_col, v);
+            if !is_flagged(u_bits) {
+                continue;
+            }
+            let d = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            let u = P::Value::from_bits(clear_flag(u_bits));
+            let basis = self.program.freshest(d, u);
+            let new = self.program.no_message_value(v, basis, &self.meta);
+            if self.program.changed(basis, new) {
+                self.values.store(update_col, v, new.to_bits());
+                activated += 1;
+                delta += self.program.delta(basis, new);
+            } else {
+                self.values
+                    .store(update_col, v, crate::word::set_flag(new.to_bits()));
+            }
+        }
+        for &(v, basis) in &self.dirty {
+            let final_v = P::Value::from_bits(clear_flag(self.values.load(update_col, v)));
+            if self.program.changed(basis, final_v) {
+                activated += 1;
+                delta += self.program.delta(basis, final_v);
+            } else {
+                // No real update: re-flag so next superstep's dispatcher
+                // skips the vertex (and its first message re-seeds).
+                self.values.invalidate(update_col, v);
+            }
+        }
+        self.dirty.clear();
+        let messages = std::mem::take(&mut self.messages);
+        let _ = self.manager.send(ManagerMsg::ComputeOver {
+            superstep,
+            activated,
+            delta,
+            messages,
+        });
+    }
+}
+
+impl<P: VertexProgram> Actor for Computer<P> {
+    type Msg = ComputeCmd<P::MsgVal>;
+
+    fn handle(&mut self, msg: ComputeCmd<P::MsgVal>, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            ComputeCmd::Batch { update_col, msgs } => {
+                for &(v, m) in msgs.iter() {
+                    self.fold(update_col, v, m);
+                }
+            }
+            ComputeCmd::Flush {
+                superstep,
+                update_col,
+            } => self.flush(superstep, update_col),
+            ComputeCmd::Shutdown => ctx.stop(),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Engine configuration.
+
+use std::path::{Path, PathBuf};
+
+/// When does a run stop?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// Run exactly this many supersteps (the paper's timing methodology:
+    /// "the average elapsed time of five supersteps").
+    Supersteps(u64),
+    /// Run until a superstep activates no vertex (BFS, CC), bounded by
+    /// `max_supersteps`.
+    Quiescence {
+        /// Upper bound on supersteps.
+        max_supersteps: u64,
+    },
+    /// Run until the summed per-vertex delta falls to `epsilon` or below
+    /// (PageRank-style convergence), bounded by `max_supersteps`.
+    Delta {
+        /// Convergence threshold.
+        epsilon: f64,
+        /// Upper bound on supersteps.
+        max_supersteps: u64,
+    },
+}
+
+/// How destination vertices map to compute actors (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterStrategy {
+    /// `v mod n_computers` — the paper's default.
+    Mod,
+    /// Contiguous id ranges — better value-file locality.
+    Range,
+}
+
+/// How vertex intervals map to dispatch actors (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalStrategy {
+    /// Near-equal id ranges.
+    Uniform,
+    /// Ranges balanced by out-edge count so every dispatcher sends about
+    /// the same number of messages.
+    EdgeBalanced,
+    /// The paper's "simple mod algorithm": dispatcher `i` owns every
+    /// vertex `v` with `v % k == i`. Convenient but gives up sequential
+    /// edge-file streaming.
+    Strided,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of dispatch actors.
+    pub n_dispatchers: usize,
+    /// Number of compute actors.
+    pub n_computers: usize,
+    /// Kernel worker threads multiplexing all actors.
+    pub workers: usize,
+    /// Actor-runtime fairness batch (messages per activation).
+    pub actor_batch: usize,
+    /// `(dst, msg)` pairs per batch sent dispatcher → computer.
+    pub msg_batch: usize,
+    /// Stop condition.
+    pub termination: Termination,
+    /// Destination routing strategy.
+    pub router: RouterStrategy,
+    /// Dispatch interval strategy.
+    pub intervals: IntervalStrategy,
+    /// Directory for the value file.
+    pub work_dir: PathBuf,
+    /// `msync` the value file at every superstep commit (cheap checkpoint;
+    /// required for crash recovery across process death).
+    pub durable: bool,
+    /// Resume from an existing value file instead of reinitializing.
+    pub resume: bool,
+    /// Test hook: simulate a crash right after the dispatch phase of this
+    /// superstep.
+    pub crash_after_dispatch: Option<u64>,
+    /// Combine same-destination messages per batch when the program
+    /// supports it ([`crate::VertexProgram::combines`]).
+    pub combine_messages: bool,
+}
+
+impl EngineConfig {
+    /// Sensible defaults sized to the machine: one dispatcher and one
+    /// computer per two cores, quiescence-bounded termination.
+    pub fn new<P: AsRef<Path>>(work_dir: P) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        EngineConfig {
+            n_dispatchers: (cores / 2).max(1),
+            n_computers: (cores / 2).max(1),
+            workers: cores,
+            actor_batch: 64,
+            msg_batch: 4096,
+            termination: Termination::Quiescence {
+                max_supersteps: 10_000,
+            },
+            router: RouterStrategy::Mod,
+            intervals: IntervalStrategy::EdgeBalanced,
+            work_dir: work_dir.as_ref().to_path_buf(),
+            durable: false,
+            resume: false,
+            crash_after_dispatch: None,
+            combine_messages: true,
+        }
+    }
+
+    /// A small fixed configuration for tests and doctests: 2 dispatchers,
+    /// 2 computers, 2 workers.
+    pub fn small<P: AsRef<Path>>(work_dir: P) -> Self {
+        EngineConfig {
+            n_dispatchers: 2,
+            n_computers: 2,
+            workers: 2,
+            msg_batch: 64,
+            ..EngineConfig::new(work_dir)
+        }
+    }
+
+    /// Builder-style: set the termination mode.
+    pub fn with_termination(mut self, t: Termination) -> Self {
+        self.termination = t;
+        self
+    }
+
+    /// Builder-style: set actor counts.
+    pub fn with_actors(mut self, dispatchers: usize, computers: usize) -> Self {
+        self.n_dispatchers = dispatchers.max(1);
+        self.n_computers = computers.max(1);
+        self
+    }
+
+    /// Builder-style: set worker thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = EngineConfig::new("/tmp");
+        assert!(c.n_dispatchers >= 1);
+        assert!(c.n_computers >= 1);
+        assert!(c.workers >= 1);
+        assert!(c.msg_batch >= 1);
+        assert!(!c.durable);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let c = EngineConfig::new("/tmp").with_actors(0, 0).with_workers(0);
+        assert_eq!(c.n_dispatchers, 1);
+        assert_eq!(c.n_computers, 1);
+        assert_eq!(c.workers, 1);
+    }
+}

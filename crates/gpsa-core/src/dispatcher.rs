@@ -1,0 +1,159 @@
+//! The dispatch actor (paper Algorithm 2).
+//!
+//! Each dispatcher owns a contiguous vertex-id interval of the mmap'ed CSR
+//! edge file. On ITERATION_START it streams its interval sequentially:
+//! skips vertices whose dispatch-column value carries the not-updated
+//! flag, otherwise generates one message value via the program's `genMsg`
+//! and routes a copy to the compute actor owning each out-neighbor,
+//! batching per destination actor. After a vertex is dispatched its
+//! dispatch-column slot is invalidated (flag set) — pre-clearing the slot
+//! for its next life as the update column.
+
+use std::sync::Arc;
+
+use actor::{Actor, Addr, Ctx};
+use gpsa_graph::{DiskCsr, VertexId};
+
+use crate::computer::{ComputeCmd, Computer};
+use crate::manager::{Manager, ManagerMsg};
+use crate::program::{GraphMeta, VertexProgram};
+use crate::partition::DispatchAssignment;
+use crate::value_file::ValueFile;
+use crate::word::{clear_flag, is_flagged};
+use crate::Router;
+use crate::VertexValue;
+
+/// Mailbox protocol of a dispatch actor.
+#[derive(Debug)]
+pub(crate) enum DispatchCmd {
+    /// ITERATION_START for `superstep`, reading the given dispatch column.
+    Start { superstep: u64, dispatch_col: u32 },
+    /// SYSTEM_OVER.
+    Shutdown,
+}
+
+pub(crate) struct Dispatcher<P: VertexProgram> {
+    /// Index of this dispatcher (stable; used for per-actor statistics).
+    pub id: usize,
+    pub program: Arc<P>,
+    pub graph: Arc<DiskCsr>,
+    pub values: Arc<ValueFile>,
+    pub meta: GraphMeta,
+    pub assignment: DispatchAssignment,
+    pub router: Arc<dyn Router>,
+    pub computers: Vec<Addr<Computer<P>>>,
+    pub manager: Addr<Manager<P>>,
+    /// Per-computer output buffers, flushed at `msg_batch` entries.
+    pub buffers: Vec<Vec<(VertexId, P::MsgVal)>>,
+    pub msg_batch: usize,
+    /// Dispatch every vertex regardless of its flag (dense programs like
+    /// PageRank; see `VertexProgram::always_dispatch`).
+    pub always_dispatch: bool,
+    /// Merge same-destination messages per batch before sending
+    /// (`VertexProgram::combines` && config opt-in).
+    pub combine: bool,
+}
+
+impl<P: VertexProgram> Dispatcher<P> {
+    /// Flush one per-computer buffer, optionally combining
+    /// same-destination messages first (Pregel-combiner style: sort by
+    /// destination, fold adjacent duplicates).
+    /// Flush one per-computer buffer, returning how many messages went out.
+    fn flush_buffer(&mut self, owner: usize, update_col: u32) -> u64 {
+        let mut buf = std::mem::take(&mut self.buffers[owner]);
+        if buf.is_empty() {
+            return 0;
+        }
+        if self.combine {
+            buf.sort_unstable_by_key(|&(dst, _)| dst);
+            let mut out: Vec<(VertexId, P::MsgVal)> = Vec::with_capacity(buf.len());
+            for (dst, msg) in buf {
+                match out.last_mut() {
+                    Some((d, m)) if *d == dst => *m = self.program.combine(*m, msg),
+                    _ => out.push((dst, msg)),
+                }
+            }
+            buf = out;
+        }
+        let sent = buf.len() as u64;
+        let _ = self.computers[owner].send(ComputeCmd::Batch {
+            update_col,
+            msgs: buf.into_boxed_slice(),
+        });
+        sent
+    }
+
+    /// Process one vertex record: skip-or-dispatch, then invalidate
+    /// (Algorithm 2's loop body).
+    #[inline]
+    fn dispatch_vertex(
+        &mut self,
+        rec: gpsa_graph::VertexEdges<'_>,
+        dispatch_col: u32,
+        update_col: u32,
+        sent: &mut u64,
+    ) {
+        let bits = self.values.load(dispatch_col, rec.vid);
+        if !self.always_dispatch && is_flagged(bits) {
+            return; // not updated last superstep — skip (Alg. 2 l.8)
+        }
+        let value = P::Value::from_bits(clear_flag(bits));
+        if let Some(msg) = self.program.gen_msg(rec.vid, value, rec.degree, &self.meta) {
+            for &dst in rec.targets {
+                let owner = self.router.route(dst);
+                self.buffers[owner].push((dst, msg));
+                if self.buffers[owner].len() >= self.msg_batch {
+                    *sent += self.flush_buffer(owner, update_col);
+                }
+            }
+        }
+        // Invalidate after dispatching (Alg. 2 l.20): the slot is now
+        // "no update yet" for its next role as update column.
+        self.values.invalidate(dispatch_col, rec.vid);
+    }
+
+    fn run_superstep(&mut self, superstep: u64, dispatch_col: u32) {
+        let update_col = 1 - dispatch_col;
+        let mut sent = 0u64;
+        let graph = self.graph.clone();
+        match self.assignment.clone() {
+            // Sequential streaming over a contiguous interval — the
+            // efficient path.
+            DispatchAssignment::Range(interval) => {
+                for rec in graph.cursor(interval) {
+                    self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                }
+            }
+            // The paper's "simple mod algorithm": random-access reads of
+            // every stride-th vertex record.
+            strided @ DispatchAssignment::Strided { .. } => {
+                for v in strided.iter() {
+                    let rec = graph.vertex_edges(v);
+                    self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                }
+            }
+        }
+        for owner in 0..self.buffers.len() {
+            sent += self.flush_buffer(owner, update_col);
+        }
+        let _ = self.manager.send(ManagerMsg::DispatchOver {
+            superstep,
+            dispatcher: self.id,
+            sent,
+        });
+    }
+}
+
+impl<P: VertexProgram> Actor for Dispatcher<P> {
+    type Msg = DispatchCmd;
+
+    fn handle(&mut self, msg: DispatchCmd, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            DispatchCmd::Start {
+                superstep,
+                dispatch_col,
+            } => self.run_superstep(superstep, dispatch_col),
+            DispatchCmd::Shutdown => ctx.stop(),
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Engine front end: wires the actor graph, blocks for the result,
+//! extracts final values, and handles crash recovery / resume.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use actor::System;
+
+use crate::computer::Computer;
+use crate::config::{EngineConfig, IntervalStrategy, RouterStrategy, Termination};
+use crate::dispatcher::Dispatcher;
+use crate::manager::{Manager, ManagerMsg};
+use crate::partition::{
+    edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment,
+    ModRouter, RangeRouter, Router,
+};
+use crate::program::{GraphMeta, VertexProgram};
+use crate::report::{RunOutcome, RunReport};
+use crate::value_file::ValueFile;
+use crate::word::{clear_flag, is_flagged};
+use crate::VertexValue;
+use gpsa_graph::{DiskCsr, EdgeList};
+
+/// Errors surfaced by [`Engine::run`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem / mapping failure.
+    Io(std::io::Error),
+    /// Inconsistent inputs (e.g. value file does not match the graph).
+    Config(String),
+    /// The actor pipeline failed to report (worker panic or deadlock).
+    Protocol(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
+            EngineError::Config(m) => write!(f, "engine configuration error: {m}"),
+            EngineError::Protocol(m) => write!(f, "engine protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// The GPSA engine. Construct once with a config, run programs against
+/// on-disk CSR graphs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+/// How long the caller waits for the actor pipeline before declaring a
+/// protocol failure (a worker panicked and the manager can never finish).
+/// Generous: full-scale datasets legitimately run for minutes; the
+/// timeout only exists so a panicked worker cannot hang the caller
+/// forever.
+const RUN_TIMEOUT: Duration = Duration::from_secs(4 * 3600);
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Path of the value file used for the CSR at `csr_path`.
+    pub fn value_file_path(&self, csr_path: &Path) -> PathBuf {
+        let stem = csr_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "graph".to_string());
+        self.config.work_dir.join(format!("{stem}.gval"))
+    }
+
+    /// Convenience: materialize `edges` as a CSR in the work dir under
+    /// `name`, then [`run`](Self::run) the program on it.
+    pub fn run_edge_list<P: VertexProgram>(
+        &self,
+        edges: EdgeList,
+        name: &str,
+        program: P,
+    ) -> Result<RunReport<P::Value>, EngineError> {
+        std::fs::create_dir_all(&self.config.work_dir)?;
+        let csr_path = self.config.work_dir.join(format!("{name}.gcsr"));
+        gpsa_graph::preprocess::edges_to_csr(
+            edges,
+            &csr_path,
+            &gpsa_graph::preprocess::PreprocessOptions::default(),
+        )?;
+        self.run(&csr_path, program)
+    }
+
+    /// Run `program` over the on-disk CSR at `csr_path` until the
+    /// configured termination condition, and return the final values.
+    ///
+    /// With `config.resume` set and a recoverable value file present, the
+    /// run resumes from the last committed superstep (paper §IV-G);
+    /// otherwise the value file is (re)initialized from
+    /// [`VertexProgram::init`].
+    pub fn run<P: VertexProgram>(
+        &self,
+        csr_path: &Path,
+        program: P,
+    ) -> Result<RunReport<P::Value>, EngineError> {
+        let t0 = Instant::now();
+        if let Termination::Supersteps(0) = self.config.termination {
+            return Err(EngineError::Config("Termination::Supersteps(0)".into()));
+        }
+        std::fs::create_dir_all(&self.config.work_dir)?;
+        let graph = Arc::new(DiskCsr::open(csr_path)?);
+        let _ = graph.advise_sequential();
+        let meta = GraphMeta {
+            n_vertices: graph.n_vertices() as u64,
+            n_edges: graph.n_edges() as u64,
+        };
+        let program = Arc::new(program);
+
+        // Create or recover the value file.
+        let vf_path = self.value_file_path(csr_path);
+        let (values, resume_superstep, dispatch_col) =
+            if self.config.resume && vf_path.exists() {
+                let vf = ValueFile::open(&vf_path)?;
+                if vf.n_vertices() != graph.n_vertices() {
+                    return Err(EngineError::Config(format!(
+                        "value file has {} vertices, graph has {}",
+                        vf.n_vertices(),
+                        graph.n_vertices()
+                    )));
+                }
+                let resume = vf.recover();
+                let col = vf.header().next_dispatch_col;
+                (Arc::new(vf), resume, col)
+            } else {
+                let p = program.clone();
+                let m = meta;
+                let vf = ValueFile::create(&vf_path, graph.n_vertices(), |v| p.init(v, &m))?;
+                (Arc::new(vf), 0, 0)
+            };
+
+        // Spin up the actor system and the three roles.
+        let system = System::builder()
+            .workers(self.config.workers)
+            .batch(self.config.actor_batch)
+            .name("gpsa")
+            .build();
+        let (report_tx, report_rx) = crossbeam_channel::bounded(1);
+        let manager = system.spawn(Manager::<P>::new(
+            values.clone(),
+            self.config.termination,
+            self.config.durable,
+            self.config.crash_after_dispatch,
+            report_tx,
+            resume_superstep,
+            dispatch_col,
+        ));
+
+        let router: Arc<dyn Router> = match self.config.router {
+            RouterStrategy::Mod => Arc::new(ModRouter::new(self.config.n_computers)),
+            RouterStrategy::Range => Arc::new(RangeRouter::new(
+                self.config.n_computers,
+                graph.n_vertices(),
+            )),
+        };
+        // Dense programs need each computer to sweep its owned vertices at
+        // flush; sparse programs skip the sweep entirely (empty lists).
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); self.config.n_computers];
+        if program.always_dispatch() {
+            for v in 0..graph.n_vertices() as u32 {
+                owned[router.route(v)].push(v);
+            }
+        }
+        let computers: Vec<_> = owned
+            .into_iter()
+            .map(|owned| {
+                system.spawn(Computer::new(
+                    program.clone(),
+                    values.clone(),
+                    meta,
+                    manager.clone(),
+                    owned,
+                ))
+            })
+            .collect();
+
+        let assignments: Vec<DispatchAssignment> = match self.config.intervals {
+            IntervalStrategy::Uniform => uniform_intervals(graph.n_vertices(), self.config.n_dispatchers)
+                .into_iter()
+                .map(DispatchAssignment::Range)
+                .collect(),
+            IntervalStrategy::EdgeBalanced => edge_balanced_intervals(&graph, self.config.n_dispatchers)
+                .into_iter()
+                .map(DispatchAssignment::Range)
+                .collect(),
+            IntervalStrategy::Strided => {
+                strided_assignments(graph.n_vertices(), self.config.n_dispatchers)
+            }
+        };
+        let dispatchers: Vec<_> = assignments
+            .into_iter()
+            .enumerate()
+            .map(|(id, assignment)| {
+                system.spawn(Dispatcher {
+                    id,
+                    program: program.clone(),
+                    graph: graph.clone(),
+                    values: values.clone(),
+                    meta,
+                    assignment,
+                    router: router.clone(),
+                    computers: computers.clone(),
+                    manager: manager.clone(),
+                    buffers: vec![Vec::new(); self.config.n_computers],
+                    msg_batch: self.config.msg_batch.max(1),
+                    always_dispatch: program.always_dispatch(),
+                    combine: self.config.combine_messages && program.combines(),
+                })
+            })
+            .collect();
+
+        manager
+            .send(ManagerMsg::Wire {
+                dispatchers,
+                computers,
+            })
+            .map_err(|_| EngineError::Protocol("manager died before wiring".into()))?;
+
+        let report = report_rx
+            .recv_timeout(RUN_TIMEOUT)
+            .map_err(|_| EngineError::Protocol("run did not complete (worker panic?)".into()));
+        system.shutdown();
+        let report = report?;
+
+        // Extract final values: the freshest column is the one the *next*
+        // superstep would dispatch from.
+        let outcome = if report.crashed {
+            RunOutcome::Crashed
+        } else {
+            RunOutcome::Completed
+        };
+        let values_out = if report.crashed {
+            Vec::new()
+        } else {
+            let fresh = report.final_dispatch_col;
+            let old = 1 - fresh;
+            (0..graph.n_vertices() as u32)
+                .map(|v| {
+                    let f_bits = values.load(fresh, v);
+                    let f_val = P::Value::from_bits(clear_flag(f_bits));
+                    if !is_flagged(f_bits) {
+                        // Updated in the final superstep: authoritative.
+                        f_val
+                    } else {
+                        let o_val = P::Value::from_bits(clear_flag(values.load(old, v)));
+                        program.freshest(o_val, f_val)
+                    }
+                })
+                .collect()
+        };
+
+        Ok(RunReport {
+            values: values_out,
+            outcome,
+            supersteps: report.supersteps_run,
+            step_times: report.step_times,
+            activated: report.activated,
+            deltas: report.deltas,
+            messages: report.messages,
+            dispatcher_messages: report.dispatcher_messages,
+            elapsed: t0.elapsed(),
+        })
+    }
+}

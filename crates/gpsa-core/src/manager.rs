@@ -1,0 +1,258 @@
+//! The manager actor (paper Algorithm 1): superstep coordination,
+//! termination, commit points, and the crash-injection hook used by the
+//! fault-tolerance tests.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use actor::{Actor, Addr, Ctx};
+use crossbeam_channel::Sender;
+
+use crate::computer::{ComputeCmd, Computer};
+use crate::config::Termination;
+use crate::dispatcher::{DispatchCmd, Dispatcher};
+use crate::program::VertexProgram;
+use crate::value_file::ValueFile;
+
+/// Final report sent from the manager back to the blocking engine caller.
+#[derive(Debug, Clone)]
+pub(crate) struct ManagerReport {
+    pub crashed: bool,
+    pub supersteps_run: u64,
+    pub step_times: Vec<Duration>,
+    pub activated: Vec<u64>,
+    pub deltas: Vec<f64>,
+    pub messages: u64,
+    /// Messages sent per dispatcher over the whole run (load balance).
+    pub dispatcher_messages: Vec<u64>,
+    /// Column holding the results of the last completed superstep.
+    pub final_dispatch_col: u32,
+}
+
+/// Mailbox protocol of the manager.
+pub(crate) enum ManagerMsg<P: VertexProgram> {
+    /// Wiring + kick-off, sent by the engine once all actors exist.
+    Wire {
+        dispatchers: Vec<Addr<Dispatcher<P>>>,
+        computers: Vec<Addr<Computer<P>>>,
+    },
+    /// DISPATCH_OVER from one dispatcher, with its message count for the
+    /// superstep (per-actor load statistics).
+    DispatchOver {
+        superstep: u64,
+        dispatcher: usize,
+        sent: u64,
+    },
+    /// COMPUTE_OVER reply from one compute actor.
+    ComputeOver {
+        superstep: u64,
+        activated: u64,
+        delta: f64,
+        messages: u64,
+    },
+}
+
+pub(crate) struct Manager<P: VertexProgram> {
+    pub values: Arc<ValueFile>,
+    pub termination: Termination,
+    pub durable: bool,
+    /// Test hook: stop abruptly (no commit, no flush) once all dispatchers
+    /// of this superstep have reported — simulating a crash mid-superstep.
+    pub crash_after_dispatch: Option<u64>,
+    pub report_tx: Sender<ManagerReport>,
+
+    pub dispatchers: Vec<Addr<Dispatcher<P>>>,
+    pub computers: Vec<Addr<Computer<P>>>,
+
+    pub superstep: u64,
+    pub dispatch_col: u32,
+    pub pending_dispatch: usize,
+    pub pending_compute: usize,
+    pub step_started: Option<Instant>,
+
+    pub step_times: Vec<Duration>,
+    pub activated: Vec<u64>,
+    pub deltas: Vec<f64>,
+    pub messages: u64,
+    pub dispatcher_messages: Vec<u64>,
+    pub step_activated: u64,
+    pub step_delta: f64,
+    pub steps_run: u64,
+}
+
+impl<P: VertexProgram> Manager<P> {
+    pub fn new(
+        values: Arc<ValueFile>,
+        termination: Termination,
+        durable: bool,
+        crash_after_dispatch: Option<u64>,
+        report_tx: Sender<ManagerReport>,
+        resume_superstep: u64,
+        dispatch_col: u32,
+    ) -> Self {
+        Manager {
+            values,
+            termination,
+            durable,
+            crash_after_dispatch,
+            report_tx,
+            dispatchers: Vec::new(),
+            computers: Vec::new(),
+            superstep: resume_superstep,
+            dispatch_col,
+            pending_dispatch: 0,
+            pending_compute: 0,
+            step_started: None,
+            step_times: Vec::new(),
+            activated: Vec::new(),
+            deltas: Vec::new(),
+            messages: 0,
+            dispatcher_messages: Vec::new(),
+            step_activated: 0,
+            step_delta: 0.0,
+            steps_run: 0,
+        }
+    }
+
+    fn start_superstep(&mut self) {
+        self.pending_dispatch = self.dispatchers.len();
+        self.pending_compute = self.computers.len();
+        self.step_activated = 0;
+        self.step_delta = 0.0;
+        self.step_started = Some(Instant::now());
+        for d in &self.dispatchers {
+            let _ = d.send(DispatchCmd::Start {
+                superstep: self.superstep,
+                dispatch_col: self.dispatch_col,
+            });
+        }
+    }
+
+    fn shutdown_workers(&self) {
+        for d in &self.dispatchers {
+            let _ = d.send(DispatchCmd::Shutdown);
+        }
+        for c in &self.computers {
+            let _ = c.send(ComputeCmd::Shutdown);
+        }
+    }
+
+    fn finish(&mut self, crashed: bool, ctx: &mut Ctx<'_, Self>) {
+        self.shutdown_workers();
+        let _ = self.report_tx.send(ManagerReport {
+            crashed,
+            supersteps_run: self.steps_run,
+            step_times: std::mem::take(&mut self.step_times),
+            activated: std::mem::take(&mut self.activated),
+            deltas: std::mem::take(&mut self.deltas),
+            messages: self.messages,
+            dispatcher_messages: std::mem::take(&mut self.dispatcher_messages),
+            final_dispatch_col: self.dispatch_col,
+        });
+        ctx.stop();
+    }
+
+    /// Should another superstep run after the one that just completed?
+    fn wants_more(&self) -> bool {
+        let next = self.superstep + 1;
+        match self.termination {
+            Termination::Supersteps(n) => next < n,
+            Termination::Quiescence { max_supersteps } => {
+                self.step_activated > 0 && next < max_supersteps
+            }
+            Termination::Delta {
+                epsilon,
+                max_supersteps,
+            } => self.step_delta > epsilon && next < max_supersteps,
+        }
+    }
+
+    fn superstep_completed(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if let Some(t) = self.step_started.take() {
+            self.step_times.push(t.elapsed());
+        }
+        self.activated.push(self.step_activated);
+        self.deltas.push(self.step_delta);
+        self.steps_run += 1;
+        let next_dispatch = 1 - self.dispatch_col;
+        // Commit point: the update column of this superstep becomes the
+        // authoritative (dispatch) column of the next.
+        if self
+            .values
+            .commit(self.superstep, next_dispatch, self.durable)
+            .is_err()
+        {
+            self.finish(true, ctx);
+            return;
+        }
+        if self.wants_more() {
+            self.superstep += 1;
+            self.dispatch_col = next_dispatch;
+            self.start_superstep();
+        } else {
+            self.dispatch_col = next_dispatch;
+            self.finish(false, ctx);
+        }
+    }
+}
+
+impl<P: VertexProgram> Actor for Manager<P> {
+    type Msg = ManagerMsg<P>;
+
+    fn handle(&mut self, msg: ManagerMsg<P>, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            ManagerMsg::Wire {
+                dispatchers,
+                computers,
+            } => {
+                self.dispatcher_messages = vec![0; dispatchers.len()];
+                self.dispatchers = dispatchers;
+                self.computers = computers;
+                self.start_superstep();
+            }
+            ManagerMsg::DispatchOver {
+                superstep,
+                dispatcher,
+                sent,
+            } => {
+                debug_assert_eq!(superstep, self.superstep);
+                if self.dispatcher_messages.len() <= dispatcher {
+                    self.dispatcher_messages.resize(dispatcher + 1, 0);
+                }
+                self.dispatcher_messages[dispatcher] += sent;
+                self.pending_dispatch -= 1;
+                if self.pending_dispatch == 0 {
+                    if self.crash_after_dispatch == Some(self.superstep) {
+                        // Simulated crash: no COMPUTE_OVER flush, no commit.
+                        // The update column is left half-written, exactly
+                        // the state of paper Fig. 6.
+                        self.finish(true, ctx);
+                        return;
+                    }
+                    let update_col = 1 - self.dispatch_col;
+                    for c in &self.computers {
+                        let _ = c.send(ComputeCmd::Flush {
+                            superstep: self.superstep,
+                            update_col,
+                        });
+                    }
+                }
+            }
+            ManagerMsg::ComputeOver {
+                superstep,
+                activated,
+                delta,
+                messages,
+            } => {
+                debug_assert_eq!(superstep, self.superstep);
+                self.step_activated += activated;
+                self.step_delta += delta;
+                self.messages += messages;
+                self.pending_compute -= 1;
+                if self.pending_compute == 0 {
+                    self.superstep_completed(ctx);
+                }
+            }
+        }
+    }
+}

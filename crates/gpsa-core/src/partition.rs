@@ -1,0 +1,319 @@
+//! Work assignment (paper §V-A): vertex intervals for dispatch actors and
+//! vertex → compute-actor routing.
+//!
+//! "The vertices can be read by the dispatching worker with a simple mod
+//! algorithm. For efficiency, we can assign vertices to the dispatcher
+//! worker by the average edges... There are also different strategies to
+//! deliver a message to a specific computing worker. The easiest way is an
+//! average assignment by mod according to the vertex id. ... we provide
+//! interfaces for the developer to substitute the default implementation."
+
+use std::ops::Range;
+
+use gpsa_graph::{DiskCsr, VertexId};
+
+/// The set of vertices one dispatch actor owns.
+///
+/// `Range` is the efficient option (one contiguous streaming read of the
+/// CSR file); `Strided` is the paper's "simple mod algorithm" convenience
+/// option — dispatcher `offset` of `stride` reads vertices
+/// `offset, offset+stride, …`, at the cost of random accesses into the
+/// edge file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchAssignment {
+    /// A contiguous id interval (streamed sequentially).
+    Range(Range<VertexId>),
+    /// Every `stride`-th vertex starting at `offset` (random access).
+    Strided {
+        /// First vertex id.
+        offset: u32,
+        /// Step between owned vertices (= number of dispatchers).
+        stride: u32,
+        /// Total vertex count.
+        n_vertices: u32,
+    },
+}
+
+impl DispatchAssignment {
+    /// The owned vertex ids, in increasing order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = VertexId> + Send + '_> {
+        match self {
+            DispatchAssignment::Range(r) => Box::new(r.clone()),
+            DispatchAssignment::Strided {
+                offset,
+                stride,
+                n_vertices,
+            } => Box::new((*offset..*n_vertices).step_by(*stride as usize)),
+        }
+    }
+
+    /// Number of owned vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            DispatchAssignment::Range(r) => (r.end - r.start) as usize,
+            DispatchAssignment::Strided {
+                offset,
+                stride,
+                n_vertices,
+            } => {
+                if offset >= n_vertices {
+                    0
+                } else {
+                    ((n_vertices - offset - 1) / stride + 1) as usize
+                }
+            }
+        }
+    }
+
+    /// `true` when no vertices are owned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The paper's "simple mod algorithm": dispatcher `i` of `k` owns every
+/// vertex `v` with `v % k == i`.
+pub fn strided_assignments(n_vertices: usize, k: usize) -> Vec<DispatchAssignment> {
+    assert!(k > 0);
+    (0..k)
+        .map(|i| DispatchAssignment::Strided {
+            offset: i as u32,
+            stride: k as u32,
+            n_vertices: n_vertices as u32,
+        })
+        .collect()
+}
+
+/// Maps a destination vertex to the compute actor that owns it. Must be a
+/// function (same vertex → same actor) so each slot of the value file has
+/// a single writer.
+pub trait Router: Send + Sync + 'static {
+    /// Index of the owning compute actor, `< n_computers`.
+    fn route(&self, v: VertexId) -> usize;
+    /// Number of compute actors routed over.
+    fn n_computers(&self) -> usize;
+}
+
+/// The paper's default: `v mod k`.
+#[derive(Debug, Clone)]
+pub struct ModRouter {
+    k: usize,
+}
+
+impl ModRouter {
+    /// Route over `k` compute actors.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one compute actor");
+        ModRouter { k }
+    }
+}
+
+impl Router for ModRouter {
+    #[inline(always)]
+    fn route(&self, v: VertexId) -> usize {
+        v as usize % self.k
+    }
+    fn n_computers(&self) -> usize {
+        self.k
+    }
+}
+
+/// Contiguous-range routing: vertex ids are split into `k` equal ranges.
+/// Better value-file write locality, but skewed graphs can unbalance it.
+#[derive(Debug, Clone)]
+pub struct RangeRouter {
+    k: usize,
+    per: usize,
+}
+
+impl RangeRouter {
+    /// Route `n_vertices` over `k` compute actors in contiguous ranges.
+    pub fn new(k: usize, n_vertices: usize) -> Self {
+        assert!(k > 0, "need at least one compute actor");
+        RangeRouter {
+            k,
+            per: n_vertices.div_ceil(k).max(1),
+        }
+    }
+}
+
+impl Router for RangeRouter {
+    #[inline(always)]
+    fn route(&self, v: VertexId) -> usize {
+        (v as usize / self.per).min(self.k - 1)
+    }
+    fn n_computers(&self) -> usize {
+        self.k
+    }
+}
+
+/// Split `0..n_vertices` into `k` near-equal contiguous intervals (the
+/// paper's "simple" dispatch assignment).
+pub fn uniform_intervals(n_vertices: usize, k: usize) -> Vec<Range<VertexId>> {
+    assert!(k > 0);
+    let per = n_vertices.div_ceil(k).max(1);
+    (0..k)
+        .map(|i| {
+            let start = (i * per).min(n_vertices) as VertexId;
+            let end = ((i + 1) * per).min(n_vertices) as VertexId;
+            start..end
+        })
+        .collect()
+}
+
+/// Split vertices into `k` contiguous intervals balanced by **edge count**
+/// (the paper's "assign vertices to the dispatcher worker by the average
+/// edges to ensure that every dispatcher worker sends exactly the same
+/// number of messages").
+pub fn edge_balanced_intervals(csr: &DiskCsr, k: usize) -> Vec<Range<VertexId>> {
+    assert!(k > 0);
+    let n = csr.n_vertices();
+    let total = csr.n_edges() as u64;
+    let target = total.div_ceil(k as u64).max(1);
+    let mut intervals = Vec::with_capacity(k);
+    let mut start: usize = 0;
+    for i in 0..k {
+        if i == k - 1 {
+            intervals.push(start as VertexId..n as VertexId);
+            break;
+        }
+        let mut acc: u64 = 0;
+        let mut end = start;
+        while end < n && acc < target {
+            acc += csr.vertex_edges(end as VertexId).degree as u64;
+            end += 1;
+        }
+        intervals.push(start as VertexId..end as VertexId);
+        start = end;
+    }
+    // If the loop ended early (few vertices), pad with empty intervals.
+    while intervals.len() < k {
+        intervals.push(n as VertexId..n as VertexId);
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_assignments_partition_the_universe() {
+        for (n, k) in [(10usize, 3usize), (0, 2), (7, 7), (100, 1)] {
+            let asg = strided_assignments(n, k);
+            assert_eq!(asg.len(), k);
+            let mut seen = vec![false; n];
+            let mut total = 0usize;
+            for a in &asg {
+                assert_eq!(a.iter().count(), a.len());
+                for v in a.iter() {
+                    assert!(!seen[v as usize], "vertex {v} owned twice");
+                    seen[v as usize] = true;
+                    total += 1;
+                }
+            }
+            assert_eq!(total, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn assignment_len_and_empty() {
+        let r = DispatchAssignment::Range(3..7);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        let s = DispatchAssignment::Strided { offset: 9, stride: 4, n_vertices: 8 };
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        let s = DispatchAssignment::Strided { offset: 1, stride: 3, n_vertices: 10 };
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 7]);
+        assert_eq!(s.len(), 3);
+    }
+    use gpsa_graph::{generate, preprocess, DiskCsr};
+    use std::path::PathBuf;
+
+    fn materialize(name: &str, el: gpsa_graph::EdgeList) -> DiskCsr {
+        let dir = std::env::temp_dir().join(format!("gpsa-part-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path: PathBuf = dir.join(name);
+        preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+        DiskCsr::open(&path).unwrap()
+    }
+
+    #[test]
+    fn mod_router_covers_all_computers() {
+        let r = ModRouter::new(4);
+        let mut hit = [false; 4];
+        for v in 0..100u32 {
+            let i = r.route(v);
+            assert!(i < 4);
+            hit[i] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn range_router_is_contiguous_and_total() {
+        let r = RangeRouter::new(3, 10);
+        let owners: Vec<usize> = (0..10u32).map(|v| r.route(v)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        // Ids past n_vertices still clamp into range.
+        assert_eq!(r.route(1000), 2);
+    }
+
+    #[test]
+    fn uniform_intervals_partition_the_universe() {
+        for (n, k) in [(10, 3), (0, 2), (5, 8), (100, 1)] {
+            let iv = uniform_intervals(n, k);
+            assert_eq!(iv.len(), k);
+            let mut covered = 0usize;
+            let mut expect = 0 as VertexId;
+            for r in &iv {
+                assert!(r.start <= r.end);
+                assert_eq!(r.start, expect.min(n as VertexId));
+                expect = r.end;
+                covered += (r.end - r.start) as usize;
+            }
+            assert_eq!(covered, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn edge_balanced_intervals_balance_skewed_graphs() {
+        // A star graph: vertex 0 has all the edges. Uniform intervals give
+        // dispatcher 0 everything; edge-balanced must give later
+        // dispatchers nearly-empty ranges too, but the first interval must
+        // stop right after the hub.
+        let csr = materialize("star.gcsr", generate::star(1000));
+        let iv = edge_balanced_intervals(&csr, 4);
+        assert_eq!(iv.len(), 4);
+        assert_eq!(iv[0], 0..1, "hub alone saturates the first interval");
+        // Intervals tile 0..n.
+        let mut expect = 0;
+        for r in &iv {
+            assert_eq!(r.start, expect);
+            expect = r.end;
+        }
+        assert_eq!(expect, 1000);
+    }
+
+    #[test]
+    fn edge_balanced_intervals_on_uniform_graph_are_roughly_uniform() {
+        let csr = materialize(
+            "er.gcsr",
+            generate::erdos_renyi(1000, 10_000, 77),
+        );
+        let iv = edge_balanced_intervals(&csr, 4);
+        let loads: Vec<u64> = iv.iter().map(|r| csr.edges_in_range(r.clone())).collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 1.5, "loads {loads:?} should be balanced");
+    }
+
+    #[test]
+    fn more_intervals_than_vertices() {
+        let csr = materialize("tiny.gcsr", generate::chain(3));
+        let iv = edge_balanced_intervals(&csr, 8);
+        assert_eq!(iv.len(), 8);
+        assert_eq!(iv.iter().map(|r| (r.end - r.start) as usize).sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Run results.
+
+use std::time::Duration;
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The termination condition was met (fixed superstep count reached,
+    /// quiescence, or delta convergence).
+    Completed,
+    /// The configured fault injection fired; the value file is left in a
+    /// crashed state for recovery.
+    Crashed,
+}
+
+/// Everything a completed (or crashed) run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport<V> {
+    /// Final vertex values (empty for crashed runs).
+    pub values: Vec<V>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Supersteps executed in this run (excludes pre-crash runs resumed
+    /// from).
+    pub supersteps: u64,
+    /// Wall time of each superstep.
+    pub step_times: Vec<Duration>,
+    /// Vertices activated (updated) per superstep.
+    pub activated: Vec<u64>,
+    /// Summed convergence deltas per superstep.
+    pub deltas: Vec<f64>,
+    /// Total messages folded by compute actors.
+    pub messages: u64,
+    /// Messages sent per dispatch actor over the whole run — the paper's
+    /// §V-A load-balance story made observable.
+    pub dispatcher_messages: Vec<u64>,
+    /// Total wall time of the run (setup + supersteps + teardown).
+    pub elapsed: Duration,
+}
+
+impl<V> RunReport<V> {
+    /// Mean superstep wall time over the first `n` supersteps (the paper's
+    /// five-superstep methodology). Uses fewer if fewer ran.
+    pub fn mean_superstep(&self, n: usize) -> Duration {
+        let k = n.min(self.step_times.len());
+        if k == 0 {
+            return Duration::ZERO;
+        }
+        self.step_times[..k].iter().sum::<Duration>() / k as u32
+    }
+
+    /// Total superstep time (excluding setup/teardown).
+    pub fn superstep_total(&self) -> Duration {
+        self.step_times.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_superstep_handles_short_runs() {
+        let r = RunReport::<u32> {
+            values: vec![],
+            outcome: RunOutcome::Completed,
+            supersteps: 2,
+            step_times: vec![Duration::from_millis(10), Duration::from_millis(30)],
+            activated: vec![5, 0],
+            deltas: vec![],
+            messages: 12,
+            dispatcher_messages: vec![6, 6],
+            elapsed: Duration::from_millis(50),
+        };
+        assert_eq!(r.mean_superstep(5), Duration::from_millis(20));
+        assert_eq!(r.mean_superstep(1), Duration::from_millis(10));
+        assert_eq!(r.superstep_total(), Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,192 @@
+//! The *conventional* vertex-centric BSP engine the paper argues against
+//! (§III, Fig. 1): computing and message dispatching run strictly
+//! sequentially within a superstep, and all messages for superstep `S+1`
+//! are queued in full before any of them is processed.
+//!
+//! It executes the exact same [`VertexProgram`] trait as the actor engine,
+//! which makes it two things at once:
+//!
+//! * a **semantics oracle** — for any program, [`SyncEngine`] and
+//!   [`crate::Engine`] must produce the same values (tested), and
+//! * the **honest baseline** for the paper's core claim: the speedup of
+//!   the actor engine over this one is the value of decoupling dispatch
+//!   from compute (plus the memory cost: this engine materializes the full
+//!   message volume of a superstep, which is exactly the "large number of
+//!   messages in persistent storage" overhead of §III).
+
+use std::time::Instant;
+
+use gpsa_graph::{Csr, EdgeList, VertexId};
+
+use crate::config::Termination;
+use crate::program::{GraphMeta, VertexProgram};
+use crate::report::{RunOutcome, RunReport};
+
+/// The sequential-phase BSP engine.
+#[derive(Debug, Clone)]
+pub struct SyncEngine {
+    termination: Termination,
+}
+
+impl SyncEngine {
+    /// Create an engine with the given stop condition.
+    pub fn new(termination: Termination) -> Self {
+        SyncEngine { termination }
+    }
+
+    /// Run `program` over `edges` to termination.
+    pub fn run<P: VertexProgram>(&self, edges: &EdgeList, program: P) -> RunReport<P::Value> {
+        let t0 = Instant::now();
+        let csr = Csr::from_edge_list(edges);
+        let n = csr.n_vertices();
+        let meta = GraphMeta {
+            n_vertices: n as u64,
+            n_edges: csr.n_edges() as u64,
+        };
+
+        let mut values: Vec<P::Value> = Vec::with_capacity(n);
+        let mut active: Vec<bool> = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            let (val, act) = program.init(v, &meta);
+            values.push(val);
+            active.push(act);
+        }
+
+        let mut step_times = Vec::new();
+        let mut activated_hist = Vec::new();
+        let mut deltas = Vec::new();
+        let mut messages = 0u64;
+        let mut supersteps = 0u64;
+
+        // Inbox for the *next* compute phase: per destination, the pending
+        // message list — the §III "messages intended for the next
+        // superstep have to be stored somewhere" cost, paid explicitly.
+        let mut inbox: Vec<Vec<P::MsgVal>> = vec![Vec::new(); n];
+
+        loop {
+            let t_step = Instant::now();
+
+            // --- Phase 1: dispatch (sequential, Fig. 1) ---
+            for v in 0..n as VertexId {
+                if !program.always_dispatch() && !active[v as usize] {
+                    continue;
+                }
+                let deg = csr.out_degree(v);
+                if let Some(msg) = program.gen_msg(v, values[v as usize], deg, &meta) {
+                    for &dst in csr.neighbors(v) {
+                        inbox[dst as usize].push(msg);
+                        messages += 1;
+                    }
+                }
+            }
+
+            // --- Barrier, then Phase 2: compute (sequential) ---
+            let mut step_activated = 0u64;
+            let mut step_delta = 0.0f64;
+            for v in 0..n as VertexId {
+                let pending = std::mem::take(&mut inbox[v as usize]);
+                let basis = values[v as usize];
+                let new = if pending.is_empty() {
+                    if program.always_dispatch() {
+                        program.no_message_value(v, basis, &meta)
+                    } else {
+                        active[v as usize] = false;
+                        continue;
+                    }
+                } else {
+                    let mut acc: Option<P::Value> = None;
+                    for msg in pending {
+                        acc = Some(program.compute(v, acc, basis, msg, &meta));
+                    }
+                    acc.expect("non-empty inbox")
+                };
+                if program.changed(basis, new) {
+                    step_activated += 1;
+                    step_delta += program.delta(basis, new);
+                    values[v as usize] = new;
+                    active[v as usize] = true;
+                } else {
+                    // Store the (possibly re-derived) value but mark idle,
+                    // mirroring the actor engine's flush pass.
+                    values[v as usize] = new;
+                    active[v as usize] = false;
+                }
+            }
+
+            step_times.push(t_step.elapsed());
+            activated_hist.push(step_activated);
+            deltas.push(step_delta);
+            supersteps += 1;
+
+            let next = supersteps;
+            let more = match self.termination {
+                Termination::Supersteps(k) => next < k,
+                Termination::Quiescence { max_supersteps } => {
+                    step_activated > 0 && next < max_supersteps
+                }
+                Termination::Delta {
+                    epsilon,
+                    max_supersteps,
+                } => step_delta > epsilon && next < max_supersteps,
+            };
+            if !more {
+                break;
+            }
+        }
+
+        RunReport {
+            values,
+            outcome: RunOutcome::Completed,
+            supersteps,
+            step_times,
+            activated: activated_hist,
+            deltas,
+            messages,
+            dispatcher_messages: vec![messages],
+            elapsed: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{Bfs, ConnectedComponents, PageRank, UNREACHED};
+    use gpsa_graph::generate;
+
+    #[test]
+    fn bfs_levels_on_chain() {
+        let el = generate::chain(6);
+        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let r = eng.run(&el, Bfs { root: 0 });
+        assert_eq!(r.values, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cc_on_two_components() {
+        let el = generate::two_components(4, 5);
+        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let r = eng.run(&el, ConnectedComponents);
+        assert_eq!(r.values, vec![0, 0, 0, 0, 4, 4, 4, 4, 4]);
+        assert_eq!(*r.activated.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn pagerank_mass_on_cycle() {
+        let el = generate::cycle(8);
+        let eng = SyncEngine::new(Termination::Supersteps(20));
+        let r = eng.run(&el, PageRank::default());
+        for &v in &r.values {
+            assert!((v - 0.125).abs() < 1e-5);
+        }
+        assert_eq!(r.supersteps, 20);
+    }
+
+    #[test]
+    fn unreachable_stay_unreached() {
+        let el = generate::two_components(3, 3);
+        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let r = eng.run(&el, Bfs { root: 0 });
+        assert!(r.values[3..].iter().all(|&l| l == UNREACHED));
+    }
+}

@@ -1,0 +1,97 @@
+//! Vertex value encodings compatible with the in-band flag bit.
+
+use crate::word::FLAG_BIT;
+
+/// A vertex value storable in one 32-bit slot of the value file, leaving
+/// bit 31 (the flag) clear.
+///
+/// Implementations must guarantee `to_bits` never sets [`FLAG_BIT`]; the
+/// engine debug-asserts this. Provided impls: `u32` (31-bit payloads:
+/// BFS levels, CC labels) and `f32` (non-negative: PageRank ranks — the
+/// IEEE sign bit is the MSB and is free for values `>= 0`).
+pub trait VertexValue: Copy + PartialEq + Send + Sync + 'static {
+    /// Encode into the low 31 bits of a word.
+    fn to_bits(self) -> u32;
+    /// Decode from a word whose flag bit has been cleared.
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl VertexValue for u32 {
+    #[inline(always)]
+    fn to_bits(self) -> u32 {
+        debug_assert!(self & FLAG_BIT == 0, "u32 vertex values must be < 2^31");
+        self
+    }
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl VertexValue for f32 {
+    #[inline(always)]
+    fn to_bits(self) -> u32 {
+        debug_assert!(
+            self.to_bits() & FLAG_BIT == 0,
+            "f32 vertex values must be non-negative (sign bit doubles as flag)"
+        );
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+impl VertexValue for i32 {
+    #[inline(always)]
+    fn to_bits(self) -> u32 {
+        debug_assert!(self >= 0, "i32 vertex values must be non-negative");
+        self as u32
+    }
+    #[inline(always)]
+    fn from_bits(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        for v in [0u32, 1, 0x7FFF_FFFF] {
+            assert_eq!(u32::from_bits(v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        for v in [0.0f32, 0.15, 1.0, 1e30, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_bits(VertexValue::to_bits(v)), v);
+            assert_eq!(VertexValue::to_bits(v) & FLAG_BIT, 0);
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        for v in [0i32, 7, i32::MAX] {
+            assert_eq!(<i32 as VertexValue>::from_bits(v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn negative_f32_rejected_in_debug() {
+        let _ = VertexValue::to_bits(-1.0f32);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn oversized_u32_rejected_in_debug() {
+        let _ = (0x8000_0000u32).to_bits();
+    }
+}

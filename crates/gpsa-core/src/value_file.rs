@@ -1,0 +1,370 @@
+//! The memory-mapped two-column vertex value file (paper §IV-D, §IV-F).
+//!
+//! Layout: one 4 KiB header page, then two interleaved 32-bit slots per
+//! vertex — columns 0 and 1 "next to each other" exactly as in the paper
+//! (`offset(v) = |V| * sizeof(Val)` generalized to `2 * v + column`). The
+//! columns alternate roles every superstep: one is read by dispatchers
+//! (the result of the previous superstep), the other is written by compute
+//! actors. Bit 31 of every slot is the *not-updated* flag ([`crate::word`]).
+//!
+//! The header records the last **committed** superstep and which column
+//! will be the dispatch column of the next superstep. Because the dispatch
+//! column is never payload-mutated during a superstep, a crash
+//! mid-superstep always leaves one intact column — the paper's lightweight
+//! fault tolerance (§IV-G); [`ValueFile::recover`] rebuilds a runnable
+//! state from it.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gpsa_mmap::MmapMut;
+
+use crate::value::VertexValue;
+use crate::word::{clear_flag, set_flag};
+
+const MAGIC: u32 = u32::from_le_bytes(*b"GVAL");
+const VERSION: u32 = 1;
+/// Header page size in bytes / words.
+const HEADER_BYTES: usize = 4096;
+const HEADER_WORDS: usize = HEADER_BYTES / 4;
+
+// Header word indices.
+const W_MAGIC: usize = 0;
+const W_VERSION: usize = 1;
+const W_NVERT_LO: usize = 2;
+const W_NVERT_HI: usize = 3;
+/// Committed superstep, biased by +1 so 0 means "initialized, none run".
+const W_COMMITTED: usize = 4;
+const W_NEXT_DISPATCH: usize = 5;
+/// First global vertex id held by this file (0 for single-node files; a
+/// node's range start in the distributed simulation).
+const W_BASE: usize = 6;
+
+/// Decoded header state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueFileHeader {
+    /// Number of vertices.
+    pub n_vertices: u64,
+    /// Last committed superstep (`None` right after initialization).
+    pub committed_superstep: Option<u64>,
+    /// Column that the *next* superstep dispatches (reads) from.
+    pub next_dispatch_col: u32,
+}
+
+/// The mmap-backed value file. All slot accesses are atomic so dispatch and
+/// compute actors can share one instance behind an `Arc`.
+#[derive(Debug)]
+pub struct ValueFile {
+    map: MmapMut,
+    n: usize,
+    /// First global vertex id stored here; slots are indexed by `v - base`.
+    base: u32,
+}
+
+impl ValueFile {
+    /// Create a fresh value file for `n` vertices.
+    ///
+    /// `init` supplies each vertex's initial value and whether the vertex
+    /// starts *active*. Both columns receive the payload; the column that
+    /// superstep 0 dispatches from (column 0) gets the flag **cleared**
+    /// for active vertices (initialization counts as an update, otherwise
+    /// superstep 0 would dispatch nothing), while the superstep-0 update
+    /// column (column 1) starts fully flagged.
+    pub fn create<P, V, F>(path: P, n: usize, init: F) -> std::io::Result<ValueFile>
+    where
+        P: AsRef<Path>,
+        V: VertexValue,
+        F: FnMut(u32) -> (V, bool),
+    {
+        Self::create_ranged(path, 0..n as u32, init)
+    }
+
+    /// Create a value file holding only the global vertex range
+    /// `range` — one shard of a distributed deployment. Slot addressing
+    /// still uses global ids.
+    pub fn create_ranged<P, V, F>(
+        path: P,
+        range: std::ops::Range<u32>,
+        mut init: F,
+    ) -> std::io::Result<ValueFile>
+    where
+        P: AsRef<Path>,
+        V: VertexValue,
+        F: FnMut(u32) -> (V, bool),
+    {
+        let n = (range.end - range.start) as usize;
+        let len = HEADER_BYTES + n * 8;
+        let map = MmapMut::create(path, len).map_err(std::io::Error::from)?;
+        let vf = ValueFile {
+            map,
+            n,
+            base: range.start,
+        };
+        {
+            let words = vf.words();
+            words[W_MAGIC].store(MAGIC, Ordering::Relaxed);
+            words[W_VERSION].store(VERSION, Ordering::Relaxed);
+            words[W_NVERT_LO].store(n as u32, Ordering::Relaxed);
+            words[W_NVERT_HI].store(((n as u64) >> 32) as u32, Ordering::Relaxed);
+            words[W_COMMITTED].store(0, Ordering::Relaxed);
+            words[W_NEXT_DISPATCH].store(0, Ordering::Relaxed);
+            words[W_BASE].store(range.start, Ordering::Relaxed);
+            for v in range {
+                let (val, active) = init(v);
+                let bits = val.to_bits();
+                let dispatch_bits = if active { bits } else { set_flag(bits) };
+                vf.store(0, v, dispatch_bits);
+                vf.store(1, v, set_flag(bits));
+            }
+        }
+        vf.flush()?;
+        Ok(vf)
+    }
+
+    /// Open an existing value file, validating the header.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<ValueFile> {
+        let map = MmapMut::open(path).map_err(std::io::Error::from)?;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        if map.len() < HEADER_BYTES {
+            return Err(bad("value file shorter than its header"));
+        }
+        let vf = ValueFile { map, n: 0, base: 0 };
+        let words = vf.words();
+        if words[W_MAGIC].load(Ordering::Relaxed) != MAGIC {
+            return Err(bad("not a GVAL value file"));
+        }
+        if words[W_VERSION].load(Ordering::Relaxed) != VERSION {
+            return Err(bad("unsupported GVAL version"));
+        }
+        let n = words[W_NVERT_LO].load(Ordering::Relaxed) as u64
+            | (words[W_NVERT_HI].load(Ordering::Relaxed) as u64) << 32;
+        if vf.map.len() != HEADER_BYTES + n as usize * 8 {
+            return Err(bad("value file length mismatch"));
+        }
+        let base = words[W_BASE].load(Ordering::Relaxed);
+        Ok(ValueFile {
+            map: vf.map,
+            n: n as usize,
+            base,
+        })
+    }
+
+    fn words(&self) -> &[AtomicU32] {
+        self.map.atomic_u32().expect("value file is u32-aligned")
+    }
+
+    /// Number of vertices held by this file.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Global id range held by this file.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.base..self.base + self.n as u32
+    }
+
+    /// Decode the header.
+    pub fn header(&self) -> ValueFileHeader {
+        let words = self.words();
+        let committed = words[W_COMMITTED].load(Ordering::Acquire);
+        ValueFileHeader {
+            n_vertices: self.n as u64,
+            committed_superstep: committed.checked_sub(1).map(u64::from),
+            next_dispatch_col: words[W_NEXT_DISPATCH].load(Ordering::Acquire),
+        }
+    }
+
+    /// Record that `superstep` completed and the next superstep dispatches
+    /// from `next_dispatch_col`. With `durable`, `msync` the mapping so the
+    /// commit survives a crash (the paper's per-superstep checkpoint —
+    /// cheap because only the header and already-written value pages are
+    /// involved).
+    pub fn commit(&self, superstep: u64, next_dispatch_col: u32, durable: bool) -> std::io::Result<()> {
+        let words = self.words();
+        words[W_NEXT_DISPATCH].store(next_dispatch_col & 1, Ordering::Release);
+        words[W_COMMITTED].store(superstep as u32 + 1, Ordering::Release);
+        if durable {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Raw word index of `(col, v)`; `v` is a global id within
+    /// [`Self::range`].
+    #[inline(always)]
+    fn slot(&self, col: u32, v: u32) -> usize {
+        debug_assert!(
+            col < 2 && v >= self.base && ((v - self.base) as usize) < self.n,
+            "vertex {v} outside value-file range"
+        );
+        HEADER_WORDS + 2 * (v - self.base) as usize + col as usize
+    }
+
+    /// Atomically load the raw word (payload + flag) of vertex `v` in
+    /// `col`.
+    #[inline(always)]
+    pub fn load(&self, col: u32, v: u32) -> u32 {
+        self.words()[self.slot(col, v)].load(Ordering::Relaxed)
+    }
+
+    /// Atomically store the raw word of vertex `v` in `col`.
+    #[inline(always)]
+    pub fn store(&self, col: u32, v: u32, bits: u32) {
+        self.words()[self.slot(col, v)].store(bits, Ordering::Relaxed);
+    }
+
+    /// Atomically set the flag bit of vertex `v` in `col`, preserving the
+    /// payload (the dispatcher's "invalidate after dispatch").
+    #[inline(always)]
+    pub fn invalidate(&self, col: u32, v: u32) {
+        self.words()[self.slot(col, v)].fetch_or(crate::word::FLAG_BIT, Ordering::Relaxed);
+    }
+
+    /// `msync` the whole mapping.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.map.flush().map_err(std::io::Error::from)
+    }
+
+    /// Rebuild a runnable state after a crash (paper §IV-G, Fig. 6).
+    ///
+    /// The header names the column that held the last committed superstep's
+    /// results (`next_dispatch_col`); its payloads are intact because
+    /// dispatchers only ever set flag bits. Recovery copies those payloads
+    /// over the possibly half-written other column (flagged, = "no update
+    /// yet") and re-activates every vertex in the dispatch column so the
+    /// interrupted superstep is re-run conservatively. Returns the
+    /// superstep to resume from.
+    pub fn recover(&self) -> u64 {
+        let h = self.header();
+        let good = h.next_dispatch_col;
+        let resume = h.committed_superstep.map(|s| s + 1).unwrap_or(0);
+        for v in self.range() {
+            let payload = clear_flag(self.load(good, v));
+            self.store(good, v, payload); // flag 0: active
+            self.store(1 - good, v, set_flag(payload));
+        }
+        resume
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::is_flagged;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-vf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_initializes_columns_per_protocol() {
+        let path = tmp("init.gval");
+        let vf = ValueFile::create(&path, 4, |v| (v * 10, v % 2 == 0)).unwrap();
+        // Active vertices: flag clear in column 0.
+        assert!(!is_flagged(vf.load(0, 0)));
+        assert!(is_flagged(vf.load(0, 1)));
+        assert!(!is_flagged(vf.load(0, 2)));
+        // Column 1 fully flagged.
+        for v in 0..4 {
+            assert!(is_flagged(vf.load(1, v)));
+            assert_eq!(clear_flag(vf.load(1, v)), v * 10);
+            assert_eq!(clear_flag(vf.load(0, v)), v * 10);
+        }
+        let h = vf.header();
+        assert_eq!(h.n_vertices, 4);
+        assert_eq!(h.committed_superstep, None);
+        assert_eq!(h.next_dispatch_col, 0);
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let path = tmp("reopen.gval");
+        {
+            let vf = ValueFile::create(&path, 3, |v| (v, true)).unwrap();
+            vf.store(1, 2, 99);
+            vf.commit(5, 1, true).unwrap();
+        }
+        let vf = ValueFile::open(&path).unwrap();
+        assert_eq!(vf.n_vertices(), 3);
+        assert_eq!(vf.load(1, 2), 99);
+        let h = vf.header();
+        assert_eq!(h.committed_superstep, Some(5));
+        assert_eq!(h.next_dispatch_col, 1);
+    }
+
+    #[test]
+    fn invalidate_preserves_payload() {
+        let path = tmp("inval.gval");
+        let vf = ValueFile::create(&path, 1, |_| (1234u32, true)).unwrap();
+        vf.invalidate(0, 0);
+        assert!(is_flagged(vf.load(0, 0)));
+        assert_eq!(clear_flag(vf.load(0, 0)), 1234);
+        // Idempotent.
+        vf.invalidate(0, 0);
+        assert_eq!(clear_flag(vf.load(0, 0)), 1234);
+    }
+
+    #[test]
+    fn recover_restores_from_good_column() {
+        let path = tmp("recover.gval");
+        let vf = ValueFile::create(&path, 3, |_| (7u32, true)).unwrap();
+        // Pretend superstep 0 completed: column 1 holds results, next
+        // superstep (1) dispatches from column 1.
+        for v in 0..3 {
+            vf.store(1, v, 100 + v);
+        }
+        vf.commit(0, 1, false).unwrap();
+        // Crash mid-superstep-1: column 0 is half garbage.
+        vf.store(0, 0, set_flag(0x7FFF_0000));
+        vf.store(0, 1, 0x0BAD);
+        let resume = vf.recover();
+        assert_eq!(resume, 1);
+        for v in 0..3 {
+            // Good column re-activated, payload intact.
+            assert!(!is_flagged(vf.load(1, v)));
+            assert_eq!(clear_flag(vf.load(1, v)), 100 + v);
+            // Other column rebuilt: flagged copy of the good payload.
+            assert!(is_flagged(vf.load(0, v)));
+            assert_eq!(clear_flag(vf.load(0, v)), 100 + v);
+        }
+    }
+
+    #[test]
+    fn recover_on_fresh_file_resumes_at_zero() {
+        let path = tmp("fresh.gval");
+        let vf = ValueFile::create(&path, 2, |v| (v, v == 0)).unwrap();
+        assert_eq!(vf.recover(), 0);
+        // All vertices conservatively active.
+        assert!(!is_flagged(vf.load(0, 0)));
+        assert!(!is_flagged(vf.load(0, 1)));
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let path = tmp("bad.gval");
+        ValueFile::create(&path, 2, |v| (v, true)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ValueFile::open(&path).is_err());
+        // Length mismatch.
+        let path2 = tmp("short.gval");
+        ValueFile::create(&path2, 2, |v| (v, true)).unwrap();
+        let bytes = std::fs::read(&path2).unwrap();
+        std::fs::write(&path2, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(ValueFile::open(&path2).is_err());
+    }
+
+    #[test]
+    fn f32_values_roundtrip_through_slots() {
+        let path = tmp("f32.gval");
+        let vf = ValueFile::create(&path, 2, |_| (0.15f32, true)).unwrap();
+        let bits = clear_flag(vf.load(0, 0));
+        assert_eq!(f32::from_bits(bits), 0.15);
+    }
+}

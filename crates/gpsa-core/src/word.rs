@@ -1,0 +1,58 @@
+//! The in-band flag bit (paper §IV-F).
+//!
+//! Every vertex-value slot is one 32-bit word whose highest bit marks the
+//! value as *not updated*: the dispatcher skips flagged vertices, and the
+//! compute actor uses a still-flagged slot in the update column to detect
+//! the first message of a vertex in a superstep. Payload encodings must
+//! therefore leave bit 31 clear — 31-bit unsigned integers, or
+//! non-negative IEEE-754 floats (whose free sign bit is exactly the MSB).
+
+/// The "not updated" flag: bit 31, the paper's "highest bit".
+pub const FLAG_BIT: u32 = 1 << 31;
+
+/// Is the flag set (vertex NOT updated)?
+#[inline(always)]
+pub fn is_flagged(word: u32) -> bool {
+    word & FLAG_BIT != 0
+}
+
+/// Set the flag, preserving the payload (the paper's "invalidate").
+#[inline(always)]
+pub fn set_flag(word: u32) -> u32 {
+    word | FLAG_BIT
+}
+
+/// Clear the flag, recovering the payload bits.
+#[inline(always)]
+pub fn clear_flag(word: u32) -> u32 {
+    word & !FLAG_BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip_preserves_payload() {
+        for payload in [0u32, 1, 0x7FFF_FFFF, 12345] {
+            let f = set_flag(payload);
+            assert!(is_flagged(f));
+            assert_eq!(clear_flag(f), payload);
+            assert!(!is_flagged(clear_flag(f)));
+        }
+    }
+
+    #[test]
+    fn flag_matches_paper_examples() {
+        // Paper Fig. 5: 0x80000001 is value 1 with the flag set.
+        assert!(is_flagged(0x8000_0001));
+        assert_eq!(clear_flag(0x8000_0001), 1);
+        assert_eq!(set_flag(2), 0x8000_0002);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        assert_eq!(set_flag(set_flag(7)), set_flag(7));
+        assert_eq!(clear_flag(clear_flag(7)), 7);
+    }
+}

@@ -1,0 +1,495 @@
+//! End-to-end engine tests: correctness against sequential references,
+//! configuration strategies, resumption, and crash recovery.
+
+use gpsa::programs::{Bfs, ConnectedComponents, InDegree, PageRank, Sssp, UNREACHED};
+use gpsa::{Engine, EngineConfig, RunOutcome, Termination};
+use gpsa_graph::{generate, preprocess, EdgeList};
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpsa-engine-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn csr_for(tag: &str, el: &EdgeList) -> PathBuf {
+    let dir = workdir(tag);
+    let path = dir.join(format!("{tag}.gcsr"));
+    preprocess::edges_to_csr(el.clone(), &path, &preprocess::PreprocessOptions::default())
+        .unwrap();
+    path
+}
+
+// ---------- sequential references ----------
+
+fn ref_bfs(el: &EdgeList, root: u32) -> Vec<u32> {
+    let csr = gpsa_graph::Csr::from_edge_list(el);
+    let mut level = vec![UNREACHED; el.n_vertices];
+    let mut frontier = vec![root];
+    level[root as usize] = 0;
+    let mut l = 0;
+    while !frontier.is_empty() {
+        l += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &d in csr.neighbors(v) {
+                if level[d as usize] == UNREACHED {
+                    level[d as usize] = l;
+                    next.push(d);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+fn ref_cc(el: &EdgeList) -> Vec<u32> {
+    // Min-label propagation along *directed* edges to a fixpoint — the
+    // exact semantics of the CC vertex program.
+    let csr = gpsa_graph::Csr::from_edge_list(el);
+    let mut label: Vec<u32> = (0..el.n_vertices as u32).collect();
+    loop {
+        let mut changed = false;
+        for v in 0..el.n_vertices as u32 {
+            for &d in csr.neighbors(v) {
+                if label[v as usize] < label[d as usize] {
+                    label[d as usize] = label[v as usize];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    label
+}
+
+fn ref_pagerank(el: &EdgeList, damping: f32, supersteps: usize) -> Vec<f32> {
+    let csr = gpsa_graph::Csr::from_edge_list(el);
+    let n = el.n_vertices;
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let base = (1.0 - damping) / n as f32;
+    for _ in 0..supersteps {
+        let mut next = vec![base; n];
+        for v in 0..n as u32 {
+            let deg = csr.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = rank[v as usize] / deg as f32;
+            for &d in csr.neighbors(v) {
+                next[d as usize] += damping * share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+fn ref_sssp(el: &EdgeList, root: u32) -> Vec<u32> {
+    // Bellman-Ford with the program's synthetic weights.
+    let mut dist = vec![UNREACHED; el.n_vertices];
+    dist[root as usize] = 0;
+    loop {
+        let mut changed = false;
+        for e in &el.edges {
+            let du = dist[e.src as usize];
+            if du == UNREACHED {
+                continue;
+            }
+            let cand = du.saturating_add(Sssp::weight(e.src, e.dst)).min(UNREACHED);
+            if cand < dist[e.dst as usize] {
+                dist[e.dst as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+// ---------- correctness ----------
+
+#[test]
+fn bfs_matches_reference_on_rmat() {
+    let el = generate::rmat(500, 3000, generate::RmatParams::default(), 21);
+    let path = csr_for("bfs-rmat", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("bfs-rmat")));
+    let report = engine.run(&path, Bfs { root: 0 }).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.values, ref_bfs(&el, 0));
+}
+
+#[test]
+fn bfs_on_chain_takes_n_supersteps() {
+    let el = generate::chain(30);
+    let path = csr_for("bfs-chain", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("bfs-chain")));
+    let report = engine.run(&path, Bfs { root: 0 }).unwrap();
+    let expect: Vec<u32> = (0..30).collect();
+    assert_eq!(report.values, expect);
+    // Depth-29 chain needs 29 propagating supersteps plus one quiescent one.
+    assert!(report.supersteps >= 29, "got {}", report.supersteps);
+    assert_eq!(*report.activated.last().unwrap(), 0);
+}
+
+#[test]
+fn bfs_leaves_unreachable_at_unreached() {
+    let el = generate::two_components(10, 10);
+    let path = csr_for("bfs-2c", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("bfs-2c")));
+    let report = engine.run(&path, Bfs { root: 0 }).unwrap();
+    assert!(report.values[10..].iter().all(|&v| v == UNREACHED));
+    assert_eq!(report.values[..10], *ref_bfs(&el, 0)[..10].to_vec());
+}
+
+#[test]
+fn cc_matches_reference_on_random_graphs() {
+    for seed in [1, 2, 3] {
+        let el = generate::symmetrize(&generate::erdos_renyi(200, 600, seed));
+        let path = csr_for(&format!("cc-{seed}"), &el);
+        let engine = Engine::new(EngineConfig::small(workdir(&format!("cc-{seed}"))));
+        let report = engine.run(&path, ConnectedComponents).unwrap();
+        assert_eq!(report.values, ref_cc(&el), "seed {seed}");
+    }
+}
+
+#[test]
+fn pagerank_matches_reference_power_iteration() {
+    let el = generate::rmat(300, 2400, generate::RmatParams::default(), 33);
+    let path = csr_for("pr", &el);
+    let steps = 10;
+    let config = EngineConfig::small(workdir("pr"))
+        .with_termination(Termination::Supersteps(steps as u64));
+    let engine = Engine::new(config);
+    let report = engine.run(&path, PageRank::default()).unwrap();
+    let expect = ref_pagerank(&el, 0.85, steps);
+    assert_eq!(report.supersteps, steps as u64);
+    let mut max_err = 0.0f32;
+    for (got, want) in report.values.iter().zip(&expect) {
+        max_err = max_err.max((got - want).abs());
+    }
+    assert!(
+        max_err < 1e-5,
+        "PageRank diverges from power iteration: max err {max_err}"
+    );
+    // Mass sanity: total rank stays near 1 (sinks hold their mass).
+    let total: f32 = report.values.iter().sum();
+    assert!(total > 0.5 && total < 1.5, "total rank {total}");
+}
+
+#[test]
+fn pagerank_delta_termination_converges() {
+    let el = generate::symmetrize(&generate::erdos_renyi(100, 400, 9));
+    let path = csr_for("pr-delta", &el);
+    let config = EngineConfig::small(workdir("pr-delta")).with_termination(Termination::Delta {
+        epsilon: 1e-7,
+        max_supersteps: 200,
+    });
+    let engine = Engine::new(config);
+    let report = engine.run(&path, PageRank::default()).unwrap();
+    assert!(report.supersteps < 200, "should converge before the cap");
+    assert!(*report.deltas.last().unwrap() <= 1e-7);
+    // Deltas shrink monotonically-ish: last is far below first.
+    assert!(report.deltas[0] > *report.deltas.last().unwrap() * 10.0);
+}
+
+#[test]
+fn sssp_matches_bellman_ford() {
+    let el = generate::rmat(200, 1500, generate::RmatParams::default(), 44);
+    let path = csr_for("sssp", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("sssp")));
+    let report = engine.run(&path, Sssp { root: 0 }).unwrap();
+    assert_eq!(report.values, ref_sssp(&el, 0));
+}
+
+#[test]
+fn indegree_counts_in_one_superstep() {
+    let el = generate::rmat(100, 700, generate::RmatParams::default(), 50);
+    let path = csr_for("indeg", &el);
+    let config =
+        EngineConfig::small(workdir("indeg")).with_termination(Termination::Supersteps(1));
+    let engine = Engine::new(config);
+    let report = engine.run(&path, InDegree).unwrap();
+    let mut expect = vec![0u32; el.n_vertices];
+    for e in &el.edges {
+        expect[e.dst as usize] += 1;
+    }
+    assert_eq!(report.values, expect);
+}
+
+// ---------- configuration space ----------
+
+#[test]
+fn all_strategy_combinations_agree() {
+    use gpsa::{IntervalStrategy, RouterStrategy};
+    let el = generate::symmetrize(&generate::rmat(300, 1500, generate::RmatParams::default(), 66));
+    let path = csr_for("strategies", &el);
+    let expect = ref_cc(&el);
+    for router in [RouterStrategy::Mod, RouterStrategy::Range] {
+        for intervals in [
+            IntervalStrategy::Uniform,
+            IntervalStrategy::EdgeBalanced,
+            IntervalStrategy::Strided,
+        ] {
+            for (d, c) in [(1, 1), (2, 3), (4, 2)] {
+                let mut config = EngineConfig::small(workdir("strategies")).with_actors(d, c);
+                config.router = router;
+                config.intervals = intervals;
+                let engine = Engine::new(config);
+                let report = engine.run(&path, ConnectedComponents).unwrap();
+                assert_eq!(
+                    report.values, expect,
+                    "router {router:?} intervals {intervals:?} d={d} c={c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn more_actors_than_vertices_is_fine() {
+    let el = generate::cycle(5);
+    let path = csr_for("tiny", &el);
+    let config = EngineConfig::small(workdir("tiny")).with_actors(8, 8);
+    let engine = Engine::new(config);
+    let report = engine.run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.values, vec![0; 5]);
+}
+
+#[test]
+fn empty_and_edgeless_graphs() {
+    let el = EdgeList::with_vertices(vec![], 7);
+    let path = csr_for("edgeless", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("edgeless")));
+    let report = engine.run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.values, (0..7).collect::<Vec<u32>>());
+    assert_eq!(report.messages, 0);
+}
+
+#[test]
+fn supersteps_zero_is_a_config_error() {
+    let el = generate::cycle(3);
+    let path = csr_for("zero", &el);
+    let config =
+        EngineConfig::small(workdir("zero")).with_termination(Termination::Supersteps(0));
+    let engine = Engine::new(config);
+    assert!(engine.run(&path, ConnectedComponents).is_err());
+}
+
+#[test]
+fn report_statistics_are_consistent() {
+    let el = generate::symmetrize(&generate::erdos_renyi(100, 500, 13));
+    let path = csr_for("stats", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("stats")));
+    let report = engine.run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.step_times.len() as u64, report.supersteps);
+    assert_eq!(report.activated.len() as u64, report.supersteps);
+    // Superstep 0 dispatches all 100 labels; messages flow until quiescence.
+    assert!(report.messages >= el.len() as u64);
+    assert_eq!(*report.activated.last().unwrap(), 0);
+    assert!(report.superstep_total() <= report.elapsed);
+    assert!(report.mean_superstep(5) > std::time::Duration::ZERO);
+}
+
+// ---------- fault tolerance ----------
+
+#[test]
+fn crash_and_recover_reaches_same_fixpoint() {
+    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 77));
+    let dir = workdir("recover");
+    let path = csr_for("recover", &el);
+
+    // Clean run for the expected answer.
+    let clean_dir = workdir("recover-clean");
+    let clean_path = {
+        let p = clean_dir.join("recover.gcsr");
+        preprocess::edges_to_csr(el.clone(), &p, &preprocess::PreprocessOptions::default())
+            .unwrap();
+        p
+    };
+    let clean = Engine::new(EngineConfig::small(&clean_dir))
+        .run(&clean_path, ConnectedComponents)
+        .unwrap();
+
+    // Crashing run: durable commits, killed after the dispatch phase of
+    // superstep 1 (mid-superstep: compute actors never flushed).
+    let mut config = EngineConfig::small(&dir);
+    config.durable = true;
+    config.crash_after_dispatch = Some(1);
+    let crashed = Engine::new(config).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(crashed.outcome, RunOutcome::Crashed);
+    assert!(crashed.values.is_empty());
+
+    // Recovery run resumes from the last committed superstep and finishes.
+    let mut config = EngineConfig::small(&dir);
+    config.resume = true;
+    let recovered = Engine::new(config).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    assert_eq!(recovered.values, clean.values);
+}
+
+#[test]
+fn crash_at_superstep_zero_recovers_too() {
+    let el = generate::two_components(20, 30);
+    let dir = workdir("recover0");
+    let path = csr_for("recover0", &el);
+    let mut config = EngineConfig::small(&dir);
+    config.durable = true;
+    config.crash_after_dispatch = Some(0);
+    let crashed = Engine::new(config).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(crashed.outcome, RunOutcome::Crashed);
+
+    let mut config = EngineConfig::small(&dir);
+    config.resume = true;
+    let recovered = Engine::new(config).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(recovered.outcome, RunOutcome::Completed);
+    let mut expect = vec![0u32; 50];
+    for e in expect.iter_mut().skip(20) {
+        *e = 20;
+    }
+    assert_eq!(recovered.values, expect);
+}
+
+#[test]
+fn resume_without_crash_just_reruns_conservatively() {
+    // Completing a run, then resuming it, must not corrupt the fixpoint.
+    let el = generate::symmetrize(&generate::erdos_renyi(80, 300, 31));
+    let dir = workdir("resume-idem");
+    let path = csr_for("resume-idem", &el);
+    let first = Engine::new(EngineConfig::small(&dir))
+        .run(&path, ConnectedComponents)
+        .unwrap();
+    let mut config = EngineConfig::small(&dir);
+    config.resume = true;
+    let second = Engine::new(config).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(first.values, second.values);
+}
+
+#[test]
+fn edge_balanced_intervals_balance_dispatcher_load() {
+    // Paper §V-A: assigning vertices "by the average edges" makes every
+    // dispatcher send about the same number of messages. Verify via the
+    // per-dispatcher counters on a skewed graph where uniform intervals
+    // would be badly lopsided.
+    use gpsa::IntervalStrategy;
+    let el = generate::rmat(2000, 20_000, generate::RmatParams::default(), 3);
+    let path = csr_for("balance", &el);
+    let run = |strategy: IntervalStrategy| {
+        let mut config = EngineConfig::small(workdir("balance")).with_actors(4, 2);
+        config.intervals = strategy;
+        config.termination = Termination::Supersteps(3);
+        Engine::new(config)
+            .run(&path, gpsa::programs::PageRank::default())
+            .unwrap()
+    };
+    let balanced = run(IntervalStrategy::EdgeBalanced);
+    assert_eq!(balanced.dispatcher_messages.len(), 4);
+    let total: u64 = balanced.dispatcher_messages.iter().sum();
+    assert_eq!(total, balanced.messages, "per-dispatcher counts sum to total");
+    let max = *balanced.dispatcher_messages.iter().max().unwrap() as f64;
+    let min = *balanced.dispatcher_messages.iter().min().unwrap() as f64;
+    assert!(
+        max / min.max(1.0) < 2.0,
+        "edge-balanced loads should be even: {:?}",
+        balanced.dispatcher_messages
+    );
+
+    let uniform = run(IntervalStrategy::Uniform);
+    let u_max = *uniform.dispatcher_messages.iter().max().unwrap() as f64;
+    let u_min = *uniform.dispatcher_messages.iter().min().unwrap() as f64;
+    assert!(
+        u_max / u_min.max(1.0) > max / min.max(1.0),
+        "uniform intervals on a skewed R-MAT should be more lopsided: \
+         uniform {:?} vs balanced {:?}",
+        uniform.dispatcher_messages,
+        balanced.dispatcher_messages
+    );
+}
+
+#[test]
+fn combiner_preserves_results_and_reduces_messages() {
+    // Reverse star: every spoke points at the hub, so all messages share
+    // one destination and combine maximally.
+    let n = 500u32;
+    let mut edges: Vec<gpsa_graph::Edge> =
+        (1..n).map(|i| gpsa_graph::Edge::new(i, 0)).collect();
+    // Plus a cycle so CC has real propagation to do.
+    for i in 0..n {
+        edges.push(gpsa_graph::Edge::new(i, (i + 1) % n));
+    }
+    let el = EdgeList::with_vertices(edges, n as usize);
+    let path = csr_for("combine", &el);
+
+    let mut on = EngineConfig::small(workdir("combine-on"));
+    on.combine_messages = true;
+    on.msg_batch = 4096; // big batches => more combining opportunity
+    let with = Engine::new(on).run(&path, ConnectedComponents).unwrap();
+
+    let mut off = EngineConfig::small(workdir("combine-off"));
+    off.combine_messages = false;
+    off.msg_batch = 4096;
+    let without = Engine::new(off).run(&path, ConnectedComponents).unwrap();
+
+    assert_eq!(with.values, without.values, "combining must not change results");
+    // Hub messages (half the volume) combine to ~1 per batch; cycle
+    // messages (distinct destinations) cannot combine at all.
+    assert!(
+        with.messages <= without.messages * 6 / 10,
+        "reverse star should combine heavily: {} vs {}",
+        with.messages,
+        without.messages
+    );
+}
+
+#[test]
+fn combiner_parity_for_pagerank_sum() {
+    let el = generate::rmat(300, 3000, generate::RmatParams::default(), 13);
+    let path = csr_for("combine-pr", &el);
+    let term = Termination::Supersteps(5);
+    let mut on = EngineConfig::small(workdir("combine-pr-on")).with_termination(term);
+    on.combine_messages = true;
+    let with = Engine::new(on).run(&path, PageRank::default()).unwrap();
+    let mut off = EngineConfig::small(workdir("combine-pr-off")).with_termination(term);
+    off.combine_messages = false;
+    let without = Engine::new(off).run(&path, PageRank::default()).unwrap();
+    // Sum order differs, so allow float noise only.
+    let max_diff = with
+        .values
+        .iter()
+        .zip(&without.values)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 1e-6, "combined PR diverged: {max_diff}");
+}
+
+#[test]
+fn cc_quiesces_promptly_on_bidirectional_graphs() {
+    // Regression: flush-time `changed` once compared against the raw
+    // dispatch-column payload; a stale copy there let adjacent vertices
+    // reactivate each other forever, so CC only stopped at max_supersteps.
+    let el = generate::symmetrize(&generate::erdos_renyi(500, 2500, 77));
+    let path = csr_for("quiesce", &el);
+    let engine = Engine::new(EngineConfig::small(workdir("quiesce")));
+    let report = engine.run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.values, ref_cc(&el));
+    assert!(
+        report.supersteps < 60,
+        "CC must quiesce in O(diameter) supersteps, took {}",
+        report.supersteps
+    );
+    assert_eq!(*report.activated.last().unwrap(), 0);
+}
+
+#[test]
+fn run_edge_list_convenience() {
+    let engine = Engine::new(EngineConfig::small(workdir("conv")));
+    let report = engine
+        .run_edge_list(generate::cycle(12), "cyc", ConnectedComponents)
+        .unwrap();
+    assert_eq!(report.values, vec![0; 12]);
+}

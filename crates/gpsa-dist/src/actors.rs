@@ -1,0 +1,458 @@
+//! The distributed variants of the GPSA actors. Protocol identical to
+//! `gpsa-core` (paper Algorithms 1–3); the differences are that every
+//! actor knows which *node* it lives on, state accesses go to that node's
+//! value-file shard, and cross-node sends are tallied in the
+//! [`TrafficMatrix`].
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use actor::{Actor, Addr, Ctx};
+use crossbeam_channel::Sender;
+use gpsa::{clear_flag, is_flagged, GraphMeta, Termination, ValueFile, VertexProgram, VertexValue};
+use gpsa_graph::{DiskCsr, VertexId};
+
+use crate::traffic::TrafficMatrix;
+
+/// Global routing: vertex → (node, compute actor).
+#[derive(Debug, Clone)]
+pub(crate) struct DistRouter {
+    pub n_nodes: usize,
+    pub per_node: usize,
+    pub computers_per_node: usize,
+}
+
+impl DistRouter {
+    #[inline]
+    pub fn node_of_vertex(&self, v: VertexId) -> usize {
+        (v as usize / self.per_node).min(self.n_nodes - 1)
+    }
+
+    /// Index into the global computer list.
+    #[inline]
+    pub fn computer_of_vertex(&self, v: VertexId) -> usize {
+        self.node_of_vertex(v) * self.computers_per_node + (v as usize % self.computers_per_node)
+    }
+
+    #[inline]
+    pub fn node_of_computer(&self, idx: usize) -> usize {
+        idx / self.computers_per_node
+    }
+
+    /// Vertex range owned by `node`.
+    pub fn node_range(&self, node: usize, n_vertices: usize) -> Range<VertexId> {
+        let lo = (node * self.per_node).min(n_vertices);
+        let hi = if node + 1 == self.n_nodes {
+            n_vertices
+        } else {
+            ((node + 1) * self.per_node).min(n_vertices)
+        };
+        lo as VertexId..hi as VertexId
+    }
+}
+
+pub(crate) enum DispatchCmd {
+    Start { superstep: u64, dispatch_col: u32 },
+    Shutdown,
+}
+
+#[cfg(test)]
+mod router_tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_total_and_consistent() {
+        let r = DistRouter {
+            n_nodes: 3,
+            per_node: 10,
+            computers_per_node: 2,
+        };
+        for v in 0..30u32 {
+            let node = r.node_of_vertex(v);
+            assert!(node < 3);
+            let c = r.computer_of_vertex(v);
+            assert_eq!(r.node_of_computer(c), node, "computer lives on the vertex's node");
+            assert!(r.node_range(node, 30).contains(&v));
+        }
+        // Overflow ids clamp to the last node.
+        assert_eq!(r.node_of_vertex(1000), 2);
+    }
+
+    #[test]
+    fn node_ranges_tile_the_vertex_space() {
+        for (n, nodes, per) in [(30usize, 3usize, 10usize), (31, 3, 11), (5, 4, 2), (7, 7, 1)] {
+            let r = DistRouter {
+                n_nodes: nodes,
+                per_node: per,
+                computers_per_node: 1,
+            };
+            let mut covered = 0usize;
+            let mut expect_start = 0u32;
+            for node in 0..nodes {
+                let range = r.node_range(node, n);
+                assert_eq!(range.start, expect_start.min(n as u32));
+                expect_start = range.end;
+                covered += (range.end - range.start) as usize;
+            }
+            assert_eq!(covered, n, "n={n} nodes={nodes} per={per}");
+        }
+    }
+
+    #[test]
+    fn computers_within_a_node_partition_its_vertices() {
+        let r = DistRouter {
+            n_nodes: 2,
+            per_node: 8,
+            computers_per_node: 3,
+        };
+        // Same vertex always routes to the same computer; computers of a
+        // node cover exactly the node's vertices.
+        let mut seen = std::collections::HashMap::new();
+        for v in 0..16u32 {
+            let c = r.computer_of_vertex(v);
+            assert_eq!(r.computer_of_vertex(v), c);
+            *seen.entry(c).or_insert(0) += 1;
+        }
+        assert!(seen.keys().all(|&c| c < 6));
+        assert_eq!(seen.values().sum::<i32>(), 16);
+    }
+}
+
+pub(crate) enum ComputeCmd<M> {
+    Batch {
+        update_col: u32,
+        msgs: Box<[(VertexId, M)]>,
+    },
+    Flush { superstep: u64, update_col: u32 },
+    Shutdown,
+}
+
+pub(crate) enum CoordinatorMsg<P: VertexProgram> {
+    Wire {
+        dispatchers: Vec<Addr<DistDispatcher<P>>>,
+        computers: Vec<Addr<DistComputer<P>>>,
+    },
+    DispatchOver { superstep: u64 },
+    ComputeOver { superstep: u64, activated: u64, delta: f64, messages: u64 },
+}
+
+/// Per-run result forwarded to the blocking caller.
+#[derive(Debug, Clone)]
+pub(crate) struct CoordinatorReport {
+    pub supersteps: u64,
+    pub step_times: Vec<std::time::Duration>,
+    pub activated: Vec<u64>,
+    pub deltas: Vec<f64>,
+    pub messages: u64,
+    pub final_dispatch_col: u32,
+}
+
+pub(crate) struct DistDispatcher<P: VertexProgram> {
+    pub node: usize,
+    pub program: Arc<P>,
+    pub graph: Arc<DiskCsr>,
+    pub values: Arc<ValueFile>,
+    pub meta: GraphMeta,
+    pub interval: Range<VertexId>,
+    pub router: Arc<DistRouter>,
+    pub computers: Vec<Addr<DistComputer<P>>>,
+    pub coordinator: Addr<Coordinator<P>>,
+    pub traffic: Arc<TrafficMatrix>,
+    pub buffers: Vec<Vec<(VertexId, P::MsgVal)>>,
+    pub msg_batch: usize,
+    pub always_dispatch: bool,
+    pub combine: bool,
+}
+
+impl<P: VertexProgram> DistDispatcher<P> {
+    fn flush_buffer(&mut self, owner: usize, update_col: u32) {
+        let mut buf = std::mem::take(&mut self.buffers[owner]);
+        if buf.is_empty() {
+            return;
+        }
+        if self.combine {
+            buf.sort_unstable_by_key(|&(dst, _)| dst);
+            let mut out: Vec<(VertexId, P::MsgVal)> = Vec::with_capacity(buf.len());
+            for (dst, msg) in buf {
+                match out.last_mut() {
+                    Some((d, m)) if *d == dst => *m = self.program.combine(*m, msg),
+                    _ => out.push((dst, msg)),
+                }
+            }
+            buf = out;
+        }
+        // Tally the (simulated) wire: messages leaving this node.
+        self.traffic.record(
+            self.node,
+            self.router.node_of_computer(owner),
+            buf.len() as u64,
+        );
+        let _ = self.computers[owner].send(ComputeCmd::Batch {
+            update_col,
+            msgs: buf.into_boxed_slice(),
+        });
+    }
+
+    fn run_superstep(&mut self, superstep: u64, dispatch_col: u32) {
+        let update_col = 1 - dispatch_col;
+        let graph = self.graph.clone();
+        for rec in graph.cursor(self.interval.clone()) {
+            let bits = self.values.load(dispatch_col, rec.vid);
+            if !self.always_dispatch && is_flagged(bits) {
+                continue;
+            }
+            let value = P::Value::from_bits(clear_flag(bits));
+            if let Some(msg) = self.program.gen_msg(rec.vid, value, rec.degree, &self.meta) {
+                for &dst in rec.targets {
+                    let owner = self.router.computer_of_vertex(dst);
+                    self.buffers[owner].push((dst, msg));
+                    if self.buffers[owner].len() >= self.msg_batch {
+                        self.flush_buffer(owner, update_col);
+                    }
+                }
+            }
+            self.values.invalidate(dispatch_col, rec.vid);
+        }
+        for owner in 0..self.buffers.len() {
+            self.flush_buffer(owner, update_col);
+        }
+        let _ = self
+            .coordinator
+            .send(CoordinatorMsg::DispatchOver { superstep });
+    }
+}
+
+impl<P: VertexProgram> Actor for DistDispatcher<P> {
+    type Msg = DispatchCmd;
+    fn handle(&mut self, msg: DispatchCmd, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            DispatchCmd::Start {
+                superstep,
+                dispatch_col,
+            } => self.run_superstep(superstep, dispatch_col),
+            DispatchCmd::Shutdown => ctx.stop(),
+        }
+    }
+}
+
+pub(crate) struct DistComputer<P: VertexProgram> {
+    pub program: Arc<P>,
+    /// This node's value-file shard; every vertex routed here is in its
+    /// range.
+    pub values: Arc<ValueFile>,
+    pub meta: GraphMeta,
+    pub coordinator: Addr<Coordinator<P>>,
+    pub dirty: Vec<(VertexId, P::Value)>,
+    pub owned: Vec<VertexId>,
+    pub messages: u64,
+}
+
+impl<P: VertexProgram> DistComputer<P> {
+    #[inline]
+    fn fold(&mut self, update_col: u32, v: VertexId, msg: P::MsgVal) {
+        let dispatch_col = 1 - update_col;
+        let u_bits = self.values.load(update_col, v);
+        let new = if is_flagged(u_bits) {
+            let d = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            let u = P::Value::from_bits(clear_flag(u_bits));
+            let basis = self.program.freshest(d, u);
+            self.dirty.push((v, basis));
+            self.program.compute(v, None, basis, msg, &self.meta)
+        } else {
+            let acc = P::Value::from_bits(u_bits);
+            let basis = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            self.program.compute(v, Some(acc), basis, msg, &self.meta)
+        };
+        self.values.store(update_col, v, new.to_bits());
+        self.messages += 1;
+    }
+
+    fn flush(&mut self, superstep: u64, update_col: u32) {
+        let dispatch_col = 1 - update_col;
+        let mut activated = 0u64;
+        let mut delta = 0.0f64;
+        for &v in &self.owned {
+            let u_bits = self.values.load(update_col, v);
+            if !is_flagged(u_bits) {
+                continue;
+            }
+            let d = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
+            let u = P::Value::from_bits(clear_flag(u_bits));
+            let basis = self.program.freshest(d, u);
+            let new = self.program.no_message_value(v, basis, &self.meta);
+            if self.program.changed(basis, new) {
+                self.values.store(update_col, v, new.to_bits());
+                activated += 1;
+                delta += self.program.delta(basis, new);
+            } else {
+                self.values
+                    .store(update_col, v, gpsa::set_flag(new.to_bits()));
+            }
+        }
+        for &(v, basis) in &self.dirty {
+            let final_v = P::Value::from_bits(clear_flag(self.values.load(update_col, v)));
+            if self.program.changed(basis, final_v) {
+                activated += 1;
+                delta += self.program.delta(basis, final_v);
+            } else {
+                self.values.invalidate(update_col, v);
+            }
+        }
+        self.dirty.clear();
+        let messages = std::mem::take(&mut self.messages);
+        let _ = self.coordinator.send(CoordinatorMsg::ComputeOver {
+            superstep,
+            activated,
+            delta,
+            messages,
+        });
+    }
+}
+
+impl<P: VertexProgram> Actor for DistComputer<P> {
+    type Msg = ComputeCmd<P::MsgVal>;
+    fn handle(&mut self, msg: ComputeCmd<P::MsgVal>, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            ComputeCmd::Batch { update_col, msgs } => {
+                for &(v, m) in msgs.iter() {
+                    self.fold(update_col, v, m);
+                }
+            }
+            ComputeCmd::Flush {
+                superstep,
+                update_col,
+            } => self.flush(superstep, update_col),
+            ComputeCmd::Shutdown => ctx.stop(),
+        }
+    }
+}
+
+/// The global barrier coordinator (paper Algorithm 1 across nodes).
+pub(crate) struct Coordinator<P: VertexProgram> {
+    pub value_files: Vec<Arc<ValueFile>>,
+    pub termination: Termination,
+    pub report_tx: Sender<CoordinatorReport>,
+    pub dispatchers: Vec<Addr<DistDispatcher<P>>>,
+    pub computers: Vec<Addr<DistComputer<P>>>,
+    pub superstep: u64,
+    pub dispatch_col: u32,
+    pub pending_dispatch: usize,
+    pub pending_compute: usize,
+    pub step_started: Option<std::time::Instant>,
+    pub step_times: Vec<std::time::Duration>,
+    pub activated: Vec<u64>,
+    pub deltas: Vec<f64>,
+    pub messages: u64,
+    pub step_activated: u64,
+    pub step_delta: f64,
+    pub steps_run: u64,
+}
+
+impl<P: VertexProgram> Coordinator<P> {
+    fn start_superstep(&mut self) {
+        self.pending_dispatch = self.dispatchers.len();
+        self.pending_compute = self.computers.len();
+        self.step_activated = 0;
+        self.step_delta = 0.0;
+        self.step_started = Some(std::time::Instant::now());
+        for d in &self.dispatchers {
+            let _ = d.send(DispatchCmd::Start {
+                superstep: self.superstep,
+                dispatch_col: self.dispatch_col,
+            });
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_, Self>) {
+        for d in &self.dispatchers {
+            let _ = d.send(DispatchCmd::Shutdown);
+        }
+        for c in &self.computers {
+            let _ = c.send(ComputeCmd::Shutdown);
+        }
+        let _ = self.report_tx.send(CoordinatorReport {
+            supersteps: self.steps_run,
+            step_times: std::mem::take(&mut self.step_times),
+            activated: std::mem::take(&mut self.activated),
+            deltas: std::mem::take(&mut self.deltas),
+            messages: self.messages,
+            final_dispatch_col: self.dispatch_col,
+        });
+        ctx.stop();
+    }
+
+    fn wants_more(&self) -> bool {
+        let next = self.superstep + 1;
+        match self.termination {
+            Termination::Supersteps(n) => next < n,
+            Termination::Quiescence { max_supersteps } => {
+                self.step_activated > 0 && next < max_supersteps
+            }
+            Termination::Delta {
+                epsilon,
+                max_supersteps,
+            } => self.step_delta > epsilon && next < max_supersteps,
+        }
+    }
+}
+
+impl<P: VertexProgram> Actor for Coordinator<P> {
+    type Msg = CoordinatorMsg<P>;
+    fn handle(&mut self, msg: CoordinatorMsg<P>, ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            CoordinatorMsg::Wire {
+                dispatchers,
+                computers,
+            } => {
+                self.dispatchers = dispatchers;
+                self.computers = computers;
+                self.start_superstep();
+            }
+            CoordinatorMsg::DispatchOver { superstep } => {
+                debug_assert_eq!(superstep, self.superstep);
+                self.pending_dispatch -= 1;
+                if self.pending_dispatch == 0 {
+                    let update_col = 1 - self.dispatch_col;
+                    for c in &self.computers {
+                        let _ = c.send(ComputeCmd::Flush {
+                            superstep: self.superstep,
+                            update_col,
+                        });
+                    }
+                }
+            }
+            CoordinatorMsg::ComputeOver {
+                superstep,
+                activated,
+                delta,
+                messages,
+            } => {
+                debug_assert_eq!(superstep, self.superstep);
+                self.step_activated += activated;
+                self.step_delta += delta;
+                self.messages += messages;
+                self.pending_compute -= 1;
+                if self.pending_compute == 0 {
+                    if let Some(t) = self.step_started.take() {
+                        self.step_times.push(t.elapsed());
+                    }
+                    self.activated.push(self.step_activated);
+                    self.deltas.push(self.step_delta);
+                    self.steps_run += 1;
+                    let next_dispatch = 1 - self.dispatch_col;
+                    // Per-node commit points (each shard its own header).
+                    for vf in &self.value_files {
+                        let _ = vf.commit(self.superstep, next_dispatch, false);
+                    }
+                    self.dispatch_col = next_dispatch;
+                    if self.wants_more() {
+                        self.superstep += 1;
+                        self.start_superstep();
+                    } else {
+                        self.finish(ctx);
+                    }
+                }
+            }
+        }
+    }
+}

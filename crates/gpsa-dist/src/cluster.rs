@@ -1,0 +1,273 @@
+//! Cluster assembly and the blocking run entry point.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use actor::System;
+use gpsa::{clear_flag, is_flagged, GraphMeta, Termination, ValueFile, VertexProgram, VertexValue};
+use gpsa_graph::{preprocess, DiskCsr, Edge, EdgeList};
+
+use crate::actors::{
+    Coordinator, CoordinatorMsg, DistComputer, DistDispatcher, DistRouter,
+};
+use crate::traffic::TrafficMatrix;
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated nodes (each gets its own actor system and
+    /// state shard).
+    pub n_nodes: usize,
+    /// Dispatch actors per node.
+    pub dispatchers_per_node: usize,
+    /// Compute actors per node.
+    pub computers_per_node: usize,
+    /// Worker threads per node system.
+    pub workers_per_node: usize,
+    /// Stop condition.
+    pub termination: Termination,
+    /// Scratch directory (per-node CSR fragments + value shards).
+    pub work_dir: PathBuf,
+    /// Dispatcher batch size.
+    pub msg_batch: usize,
+}
+
+impl ClusterConfig {
+    /// A small cluster suitable for tests: 2 workers and 2+2 actors per
+    /// node.
+    pub fn new<P: Into<PathBuf>>(n_nodes: usize, work_dir: P) -> Self {
+        ClusterConfig {
+            n_nodes: n_nodes.max(1),
+            dispatchers_per_node: 2,
+            computers_per_node: 2,
+            workers_per_node: 2,
+            termination: Termination::Quiescence {
+                max_supersteps: 10_000,
+            },
+            work_dir: work_dir.into(),
+            msg_batch: 1024,
+        }
+    }
+
+    /// Builder-style: set the termination mode.
+    pub fn with_termination(mut self, t: Termination) -> Self {
+        self.termination = t;
+        self
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct DistReport<V> {
+    /// Final vertex values, stitched across node shards, indexed by
+    /// global id.
+    pub values: Vec<V>,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Wall time per superstep (global barrier to barrier).
+    pub step_times: Vec<Duration>,
+    /// Vertices activated per superstep (cluster-wide).
+    pub activated: Vec<u64>,
+    /// Convergence deltas per superstep.
+    pub deltas: Vec<f64>,
+    /// Messages folded cluster-wide.
+    pub messages: u64,
+    /// Node-to-node message counts; off-diagonal = simulated network.
+    pub traffic: Arc<TrafficMatrix>,
+}
+
+/// A simulated GPSA cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Create a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Run `program` over `edges` across the simulated cluster.
+    pub fn run<P: VertexProgram>(
+        &self,
+        edges: &EdgeList,
+        program: P,
+    ) -> std::io::Result<DistReport<P::Value>> {
+        let cfg = &self.config;
+        std::fs::create_dir_all(&cfg.work_dir)?;
+        let n = edges.n_vertices;
+        let n_nodes = cfg.n_nodes.min(n.max(1));
+        let router = Arc::new(DistRouter {
+            n_nodes,
+            per_node: n.div_ceil(n_nodes).max(1),
+            computers_per_node: cfg.computers_per_node.max(1),
+        });
+        let meta = GraphMeta {
+            n_vertices: n as u64,
+            n_edges: edges.len() as u64,
+        };
+        let program = Arc::new(program);
+        let traffic = Arc::new(TrafficMatrix::new(n_nodes));
+
+        // Per-node state: CSR fragment (this node's out-edges) + value
+        // shard over its vertex range.
+        let mut node_graphs: Vec<Arc<DiskCsr>> = Vec::with_capacity(n_nodes);
+        let mut node_values: Vec<Arc<ValueFile>> = Vec::with_capacity(n_nodes);
+        let mut node_systems: Vec<System> = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            let range = router.node_range(node, n);
+            let frag_edges: Vec<Edge> = edges
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| range.contains(&e.src))
+                .collect();
+            let frag = EdgeList::with_vertices(frag_edges, n);
+            let frag_path = cfg.work_dir.join(format!("node{node}.gcsr"));
+            preprocess::edges_to_csr(frag, &frag_path, &preprocess::PreprocessOptions::default())?;
+            node_graphs.push(Arc::new(DiskCsr::open(&frag_path)?));
+
+            let vf_path = cfg.work_dir.join(format!("node{node}.gval"));
+            let p = program.clone();
+            let m = meta;
+            node_values.push(Arc::new(ValueFile::create_ranged(
+                &vf_path,
+                range,
+                |v| p.init(v, &m),
+            )?));
+
+            node_systems.push(
+                System::builder()
+                    .workers(cfg.workers_per_node)
+                    .name(format!("node{node}"))
+                    .build(),
+            );
+        }
+
+        // The coordinator lives on a dedicated "master" system.
+        let master = System::builder().workers(1).name("gpsa-master").build();
+        let (report_tx, report_rx) = crossbeam_channel::bounded(1);
+        let coordinator = master.spawn(Coordinator::<P> {
+            value_files: node_values.clone(),
+            termination: cfg.termination,
+            report_tx,
+            dispatchers: Vec::new(),
+            computers: Vec::new(),
+            superstep: 0,
+            dispatch_col: 0,
+            pending_dispatch: 0,
+            pending_compute: 0,
+            step_started: None,
+            step_times: Vec::new(),
+            activated: Vec::new(),
+            deltas: Vec::new(),
+            messages: 0,
+            step_activated: 0,
+            step_delta: 0.0,
+            steps_run: 0,
+        });
+
+        // Compute actors: global list ordered node-major (the router's
+        // index space).
+        let mut computers = Vec::with_capacity(n_nodes * cfg.computers_per_node);
+        for node in 0..n_nodes {
+            let range = router.node_range(node, n);
+            for slot in 0..cfg.computers_per_node {
+                let owned: Vec<u32> = if program.always_dispatch() {
+                    range
+                        .clone()
+                        .filter(|&v| router.computer_of_vertex(v) % cfg.computers_per_node == slot)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                computers.push(node_systems[node].spawn(DistComputer {
+                    program: program.clone(),
+                    values: node_values[node].clone(),
+                    meta,
+                    coordinator: coordinator.clone(),
+                    dirty: Vec::new(),
+                    owned,
+                    messages: 0,
+                }));
+            }
+        }
+
+        // Dispatch actors: each node splits its own range uniformly.
+        let mut dispatchers = Vec::with_capacity(n_nodes * cfg.dispatchers_per_node);
+        for node in 0..n_nodes {
+            let range = router.node_range(node, n);
+            let width = (range.end - range.start) as usize;
+            let per = width.div_ceil(cfg.dispatchers_per_node.max(1)).max(1);
+            for d in 0..cfg.dispatchers_per_node {
+                let lo = (range.start as usize + d * per).min(range.end as usize) as u32;
+                let hi = (lo as usize + per).min(range.end as usize) as u32;
+                dispatchers.push(node_systems[node].spawn(DistDispatcher {
+                    node,
+                    program: program.clone(),
+                    graph: node_graphs[node].clone(),
+                    values: node_values[node].clone(),
+                    meta,
+                    interval: lo..hi,
+                    router: router.clone(),
+                    computers: computers.clone(),
+                    coordinator: coordinator.clone(),
+                    traffic: traffic.clone(),
+                    buffers: vec![Vec::new(); computers.len()],
+                    msg_batch: cfg.msg_batch.max(1),
+                    always_dispatch: program.always_dispatch(),
+                    combine: program.combines(),
+                }));
+            }
+        }
+
+        coordinator
+            .send(CoordinatorMsg::Wire {
+                dispatchers,
+                computers,
+            })
+            .map_err(|_| std::io::Error::other("coordinator died before wiring"))?;
+
+        let report = report_rx
+            .recv_timeout(Duration::from_secs(4 * 3600))
+            .map_err(|_| std::io::Error::other("distributed run did not complete"))?;
+        for sys in &node_systems {
+            sys.shutdown();
+        }
+        master.shutdown();
+
+        // Stitch the shards into one global value vector.
+        let fresh = report.final_dispatch_col;
+        let old = 1 - fresh;
+        let mut values = Vec::with_capacity(n);
+        for vf in node_values.iter().take(n_nodes) {
+            for v in vf.range() {
+                let f_bits = vf.load(fresh, v);
+                let f_val = P::Value::from_bits(clear_flag(f_bits));
+                values.push(if !is_flagged(f_bits) {
+                    f_val
+                } else {
+                    let o_val = P::Value::from_bits(clear_flag(vf.load(old, v)));
+                    program.freshest(o_val, f_val)
+                });
+            }
+        }
+
+        Ok(DistReport {
+            values,
+            supersteps: report.supersteps,
+            step_times: report.step_times,
+            activated: report.activated,
+            deltas: report.deltas,
+            messages: report.messages,
+            traffic,
+        })
+    }
+}

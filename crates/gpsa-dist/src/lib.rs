@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Distributed-GPSA simulation.
+//!
+//! The paper's motivation (§III) claims the actor model makes GPSA
+//! "directly applicable to distributed systems": actors give location
+//! transparency, so the same dispatch/compute protocol should span
+//! machines. This crate demonstrates that on one machine by simulating a
+//! cluster:
+//!
+//! * vertices are range-partitioned across `N` **nodes**;
+//! * every node runs **its own actor [`actor::System`]** (its own worker
+//!   threads — no shared scheduler), holds its own mmap'ed
+//!   [`gpsa::ValueFile`] shard and its own CSR fragment (the edges
+//!   whose *source* it owns);
+//! * dispatch actors route messages to the compute actor owning the
+//!   destination — which may live on another node's system. Actor
+//!   addresses are location-transparent, so the engine protocol is
+//!   byte-for-byte the one from `gpsa-core`; the only addition is a
+//!   traffic matrix counting cross-node messages (what a real deployment
+//!   would serialize onto the network);
+//! * one global coordinator actor runs the superstep barrier across all
+//!   nodes (paper Algorithm 1, unchanged).
+//!
+//! What this is *not*: a network stack. Message transport is in-process;
+//! the simulation's outputs are correctness (distributed == single-node
+//! results, tested) and the communication-volume consequences of
+//! partitioning, not wire latency.
+
+mod actors;
+mod cluster;
+mod traffic;
+
+pub use cluster::{Cluster, ClusterConfig, DistReport};
+pub use traffic::TrafficMatrix;

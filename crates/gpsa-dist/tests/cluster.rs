@@ -1,0 +1,164 @@
+//! Distributed correctness: a simulated cluster must compute the same
+//! answers as the single-node engine / sequential references, with sane
+//! traffic accounting.
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank, UNREACHED};
+use gpsa::Termination;
+use gpsa_dist::{Cluster, ClusterConfig};
+use gpsa_graph::{generate, EdgeList};
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-dist-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn ref_cc(el: &EdgeList) -> Vec<u32> {
+    let csr = gpsa_graph::Csr::from_edge_list(el);
+    let mut label: Vec<u32> = (0..el.n_vertices as u32).collect();
+    loop {
+        let mut changed = false;
+        for v in 0..el.n_vertices as u32 {
+            for &d in csr.neighbors(v) {
+                if label[v as usize] < label[d as usize] {
+                    label[d as usize] = label[v as usize];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return label;
+        }
+    }
+}
+
+#[test]
+fn cc_agrees_across_cluster_sizes() {
+    let el = generate::symmetrize(&generate::rmat(
+        600,
+        3000,
+        generate::RmatParams::default(),
+        5,
+    ));
+    let expect = ref_cc(&el);
+    for nodes in [1usize, 2, 3, 5] {
+        let cluster = Cluster::new(ClusterConfig::new(
+            nodes,
+            workdir(&format!("cc-{nodes}")),
+        ));
+        let report = cluster.run(&el, ConnectedComponents).unwrap();
+        assert_eq!(report.values, expect, "{nodes} nodes");
+        assert_eq!(report.traffic.n_nodes(), nodes.min(el.n_vertices));
+        assert_eq!(*report.activated.last().unwrap(), 0, "quiesced");
+    }
+}
+
+#[test]
+fn bfs_crosses_node_boundaries() {
+    // Chain spanning all nodes: the frontier must hop across every
+    // node-to-node link.
+    let n = 40usize;
+    let el = generate::chain(n);
+    let cluster = Cluster::new(ClusterConfig::new(4, workdir("bfs-chain")));
+    let report = cluster.run(&el, Bfs { root: 0 }).unwrap();
+    let expect: Vec<u32> = (0..n as u32).collect();
+    assert_eq!(report.values, expect);
+    // Node i forwards exactly one chain edge to node i+1.
+    assert_eq!(report.traffic.remote(), 3, "three boundary crossings");
+    assert_eq!(report.traffic.local() + 3, n as u64 - 1);
+}
+
+#[test]
+fn pagerank_matches_single_node_trajectory() {
+    let el = generate::symmetrize(&generate::erdos_renyi(300, 1500, 9));
+    let steps = 6u64;
+    // Sequential BSP oracle (same trait, same trajectory).
+    let expect = gpsa::SyncEngine::new(Termination::Supersteps(steps))
+        .run(&el, PageRank::default())
+        .values;
+    let cluster = Cluster::new(
+        ClusterConfig::new(3, workdir("pr")).with_termination(Termination::Supersteps(steps)),
+    );
+    let report = cluster.run(&el, PageRank::default()).unwrap();
+    assert_eq!(report.supersteps, steps);
+    let max_diff = report
+        .values
+        .iter()
+        .zip(&expect)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 1e-6, "distributed PR diverged: {max_diff}");
+}
+
+#[test]
+fn traffic_depends_on_partition_locality() {
+    // Two dense clusters aligned with the node split: almost all traffic
+    // stays local. The same graph relabeled to interleave the clusters
+    // across nodes forces most traffic remote.
+    let k = 200u32;
+    let mut aligned = Vec::new();
+    let mut interleaved = Vec::new();
+    let cluster_edges = generate::symmetrize(&generate::erdos_renyi(k as usize, 800, 7)).edges;
+    for e in &cluster_edges {
+        // Cluster A: ids [0, k); cluster B: ids [k, 2k).
+        aligned.push(*e);
+        aligned.push(gpsa_graph::Edge::new(e.src + k, e.dst + k));
+        // Interleaved labeling: cluster A -> even ids, B -> odd ids.
+        interleaved.push(gpsa_graph::Edge::new(e.src * 2, e.dst * 2));
+        interleaved.push(gpsa_graph::Edge::new(e.src * 2 + 1, e.dst * 2 + 1));
+    }
+    let aligned = EdgeList::with_vertices(aligned, 2 * k as usize);
+    let interleaved = EdgeList::with_vertices(interleaved, 2 * k as usize);
+
+    let run = |tag: &str, el: &EdgeList| {
+        let cluster = Cluster::new(ClusterConfig::new(2, workdir(tag)));
+        cluster.run(el, ConnectedComponents).unwrap()
+    };
+    let a = run("aligned", &aligned);
+    let b = run("interleaved", &interleaved);
+    assert_eq!(a.traffic.remote(), 0, "aligned clusters never cross nodes");
+    assert!(
+        b.traffic.remote() > b.traffic.local(),
+        "interleaved labeling should push most traffic over the wire: \
+         remote {} local {}",
+        b.traffic.remote(),
+        b.traffic.local()
+    );
+    // Same answers regardless of locality (up to the relabeling).
+    assert_eq!(a.values[..k as usize], ref_cc(&aligned)[..k as usize]);
+}
+
+#[test]
+fn more_nodes_than_vertices() {
+    let el = generate::cycle(3);
+    let cluster = Cluster::new(ClusterConfig::new(8, workdir("tiny")));
+    let report = cluster.run(&el, ConnectedComponents).unwrap();
+    assert_eq!(report.values, vec![0, 0, 0]);
+}
+
+#[test]
+fn unreachable_vertices_stay_unreached_across_shards() {
+    let el = generate::two_components(30, 30);
+    let cluster = Cluster::new(ClusterConfig::new(3, workdir("2c")));
+    let report = cluster.run(&el, Bfs { root: 0 }).unwrap();
+    assert!(report.values[30..].iter().all(|&l| l == UNREACHED));
+    assert!(report.values[..30].iter().all(|&l| l < UNREACHED));
+}
+
+#[test]
+fn kcore_runs_distributed() {
+    let el = generate::symmetrize(&generate::erdos_renyi(200, 1200, 3));
+    let program = gpsa::programs::KCore::new(3, el.out_degrees());
+    let cluster = Cluster::new(ClusterConfig::new(3, workdir("kcore")));
+    let report = cluster.run(&el, program).unwrap();
+    // Compare against the single-node actor engine.
+    let single = gpsa::Engine::new(gpsa::EngineConfig::small(workdir("kcore-single")))
+        .run_edge_list(
+            el.clone(),
+            "kc",
+            gpsa::programs::KCore::new(3, el.out_degrees()),
+        )
+        .unwrap();
+    assert_eq!(report.values, single.values);
+}

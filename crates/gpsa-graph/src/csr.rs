@@ -1,0 +1,196 @@
+//! In-memory Compressed Sparse Row graph.
+//!
+//! Used by the reference algorithm implementations, the in-memory modes of
+//! the baseline engines, and as the construction intermediate for the
+//! on-disk format.
+
+use crate::types::{Edge, VertexId};
+use crate::EdgeList;
+
+/// An immutable in-memory CSR graph: `offsets[v]..offsets[v+1]` indexes the
+/// out-neighbors of `v` in `targets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from an edge list (counting sort by source; `O(V + E)`).
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_edges(el.n_vertices, el.edges.iter().copied())
+    }
+
+    /// Build from an iterator of edges over `n_vertices` vertices.
+    ///
+    /// # Panics
+    /// Panics if any endpoint id is `>= n_vertices`.
+    pub fn from_edges<I: IntoIterator<Item = Edge> + Clone>(n_vertices: usize, edges: I) -> Self {
+        let mut counts = vec![0u64; n_vertices + 1];
+        let mut n_edges = 0u64;
+        for e in edges.clone() {
+            assert!(
+                (e.src as usize) < n_vertices && (e.dst as usize) < n_vertices,
+                "edge {e:?} out of range for {n_vertices} vertices"
+            );
+            counts[e.src as usize + 1] += 1;
+            n_edges += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; n_edges as usize];
+        for e in edges {
+            let slot = cursor[e.src as usize];
+            targets[slot as usize] = e.dst;
+            cursor[e.src as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The offsets array (length `n_vertices + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flattened, source-sorted target array.
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Iterate `(src, dst)` pairs in source order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n_vertices() as VertexId).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .map(move |&d| Edge { src: v, dst: d })
+        })
+    }
+
+    /// The reverse graph (every edge flipped). `O(V + E)`.
+    pub fn transpose(&self) -> Csr {
+        let edges: Vec<Edge> = self.edges().map(Edge::reversed).collect();
+        Csr::from_edges(self.n_vertices(), edges.iter().copied())
+    }
+
+    /// Vertices with out-degree zero.
+    pub fn sinks(&self) -> Vec<VertexId> {
+        (0..self.n_vertices() as VertexId)
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example graph from paper Fig. 4: vertex 0 -> {2, 3}, 1 -> {0},
+    /// 2 -> {}, 3 -> {1, 2}.
+    pub(crate) fn fig4_graph() -> Csr {
+        Csr::from_edges(
+            4,
+            vec![
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(1, 0),
+                Edge::new(3, 1),
+                Edge::new(3, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn builds_fig4_layout() {
+        let g = fig4_graph();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.neighbors(0), &[2, 3]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.sinks(), vec![2]);
+    }
+
+    #[test]
+    fn unsorted_input_is_grouped_by_source() {
+        let g = Csr::from_edges(
+            3,
+            vec![Edge::new(2, 0), Edge::new(0, 1), Edge::new(2, 1), Edge::new(0, 2)],
+        );
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = fig4_graph();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        let g2 = Csr::from_edges(4, edges);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn transpose_flips_all_edges() {
+        let g = fig4_graph();
+        let t = g.transpose();
+        assert_eq!(t.n_edges(), g.n_edges());
+        assert_eq!(t.neighbors(2), &[0, 3]);
+        assert_eq!(t.neighbors(0), &[1]);
+        let tt = t.transpose();
+        assert_eq!(tt, g);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = Csr::from_edges(0, Vec::<Edge>::new());
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.n_edges(), 0);
+        let g = Csr::from_edges(1, Vec::<Edge>::new());
+        assert_eq!(g.n_vertices(), 1);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Csr::from_edges(2, vec![Edge::new(0, 5)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_kept() {
+        // The formats are mechanism, not policy: duplicates/self-loops are
+        // the generator's concern.
+        let g = Csr::from_edges(2, vec![Edge::new(0, 0), Edge::new(0, 1), Edge::new(0, 1)]);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Scaled stand-ins for the paper's four evaluation graphs (Table I).
+//!
+//! The paper used SNAP's google web graph, soc-pokec, soc-LiveJournal1 and
+//! twitter-2010. We synthesize R-MAT graphs with the same vertex/edge
+//! *ratios*, divided by a configurable scale factor so the full harness
+//! runs in minutes on a laptop. At `scale = 1` the generated sizes match
+//! Table I exactly.
+
+use std::path::{Path, PathBuf};
+
+use crate::generate::{rmat, RmatParams};
+use crate::preprocess::{edges_to_csr, PreprocessOptions, PreprocessStats};
+use crate::EdgeList;
+
+/// One of the paper's evaluation graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// web-Google: 875,713 nodes, 5,105,039 edges.
+    Google,
+    /// soc-Pokec: 1,632,803 nodes, 30,622,564 edges.
+    Pokec,
+    /// soc-LiveJournal1: 4,847,571 nodes, 68,993,773 edges.
+    LiveJournal,
+    /// twitter-2010: 41,652,230 nodes, 1,468,365,182 edges.
+    Twitter,
+}
+
+impl Dataset {
+    /// All four datasets in Table I order.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Google,
+        Dataset::Pokec,
+        Dataset::LiveJournal,
+        Dataset::Twitter,
+    ];
+
+    /// Name as printed in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Google => "google",
+            Dataset::Pokec => "soc-pokec",
+            Dataset::LiveJournal => "soc-liveJournal",
+            Dataset::Twitter => "twitter-2010",
+        }
+    }
+
+    /// Paper node count (Table I).
+    pub fn paper_nodes(self) -> u64 {
+        match self {
+            Dataset::Google => 875_713,
+            Dataset::Pokec => 1_632_803,
+            Dataset::LiveJournal => 4_847_571,
+            Dataset::Twitter => 41_652_230,
+        }
+    }
+
+    /// Paper edge count (Table I).
+    pub fn paper_edges(self) -> u64 {
+        match self {
+            Dataset::Google => 5_105_039,
+            Dataset::Pokec => 30_622_564,
+            Dataset::LiveJournal => 68_993_773,
+            Dataset::Twitter => 1_468_365_182,
+        }
+    }
+
+    /// Parse a name (paper form or short alias).
+    pub fn parse(s: &str) -> Option<Dataset> {
+        match s.to_ascii_lowercase().as_str() {
+            "google" | "web-google" => Some(Dataset::Google),
+            "pokec" | "soc-pokec" => Some(Dataset::Pokec),
+            "journal" | "livejournal" | "soc-livejournal" => Some(Dataset::LiveJournal),
+            "twitter" | "twitter-2010" => Some(Dataset::Twitter),
+            _ => None,
+        }
+    }
+
+    /// Deterministic seed per dataset so runs are reproducible.
+    pub fn seed(self) -> u64 {
+        match self {
+            Dataset::Google => 0x600613,
+            Dataset::Pokec => 0x90CEC,
+            Dataset::LiveJournal => 0x11FE,
+            Dataset::Twitter => 0x7917,
+        }
+    }
+
+    /// Node count at `1/scale_divisor` of the paper size (minimum 64).
+    pub fn scaled_nodes(self, scale_divisor: u64) -> usize {
+        ((self.paper_nodes() / scale_divisor.max(1)).max(64)) as usize
+    }
+
+    /// Edge count at `1/scale_divisor` of the paper size (minimum 256).
+    pub fn scaled_edges(self, scale_divisor: u64) -> usize {
+        ((self.paper_edges() / scale_divisor.max(1)).max(256)) as usize
+    }
+
+    /// Generate the scaled stand-in as an in-memory edge list.
+    pub fn generate(self, scale_divisor: u64) -> EdgeList {
+        rmat(
+            self.scaled_nodes(scale_divisor),
+            self.scaled_edges(scale_divisor),
+            RmatParams::default(),
+            self.seed(),
+        )
+    }
+
+    /// Path of the cached CSR file for this dataset/scale under `dir`.
+    pub fn csr_path(self, dir: &Path, scale_divisor: u64) -> PathBuf {
+        dir.join(format!("{}-s{}.gcsr", self.name(), scale_divisor))
+    }
+
+    /// Generate (or reuse a cached) on-disk CSR for this dataset.
+    pub fn materialize(
+        self,
+        dir: &Path,
+        scale_divisor: u64,
+    ) -> std::io::Result<(PathBuf, PreprocessStats)> {
+        std::fs::create_dir_all(dir)?;
+        let path = self.csr_path(dir, scale_divisor);
+        let el = self.generate(scale_divisor);
+        let stats = edges_to_csr(el, &path, &PreprocessOptions::default())?;
+        Ok((path, stats))
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_are_papers() {
+        assert_eq!(Dataset::Google.paper_nodes(), 875_713);
+        assert_eq!(Dataset::Twitter.paper_edges(), 1_468_365_182);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(Dataset::parse("Twitter"), Some(Dataset::Twitter));
+        assert_eq!(Dataset::parse("soc-pokec"), Some(Dataset::Pokec));
+        assert_eq!(Dataset::parse("journal"), Some(Dataset::LiveJournal));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaling_preserves_ratio() {
+        let n = Dataset::LiveJournal.scaled_nodes(64);
+        let e = Dataset::LiveJournal.scaled_edges(64);
+        let paper_ratio = Dataset::LiveJournal.paper_edges() as f64
+            / Dataset::LiveJournal.paper_nodes() as f64;
+        let ratio = e as f64 / n as f64;
+        assert!((ratio - paper_ratio).abs() / paper_ratio < 0.01);
+    }
+
+    #[test]
+    fn generate_small_scale() {
+        // Very aggressive scale keeps this test fast.
+        let el = Dataset::Google.generate(4096);
+        assert_eq!(el.len(), Dataset::Google.scaled_edges(4096));
+        assert!(el.n_vertices >= 64);
+    }
+
+    #[test]
+    fn materialize_writes_csr() {
+        let dir = std::env::temp_dir().join(format!("gpsa-ds-{}", std::process::id()));
+        let (path, stats) = Dataset::Google.materialize(&dir, 8192).unwrap();
+        assert!(path.exists());
+        assert_eq!(stats.n_edges, Dataset::Google.scaled_edges(8192));
+        let d = crate::disk_csr::DiskCsr::open(&path).unwrap();
+        assert_eq!(d.n_edges(), stats.n_edges);
+    }
+}

@@ -1,0 +1,434 @@
+//! The paper's on-disk CSR format (Fig. 4) and its mmap-backed reader.
+//!
+//! The body is one big `u32` array: for each vertex in id order, optionally
+//! the vertex's out-degree, then its destination ids, then the
+//! [`SEPARATOR`] word (the paper's `-1`). Dispatch actors stream this array
+//! sequentially from a memory mapping.
+//!
+//! A companion index file stores the word offset of every vertex's record
+//! so the manager can assign vertex intervals to dispatchers (paper §V-A:
+//! by id ranges or balanced by edge counts) and so random access for tests
+//! and tools stays `O(1)`.
+
+use std::io::{self, BufWriter, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use gpsa_mmap::{Advice, Mmap};
+
+use crate::csr::Csr;
+use crate::types::{VertexId, SEPARATOR};
+
+const MAGIC: u32 = u32::from_le_bytes(*b"GCSR");
+const IDX_MAGIC: u32 = u32::from_le_bytes(*b"GIDX");
+const VERSION: u32 = 1;
+/// Header length in u32 words: magic, version, flags, pad, n_vertices(2),
+/// n_edges(2).
+const HEADER_WORDS: usize = 8;
+const FLAG_DEGREES: u32 = 1;
+
+/// Derive the index-file path for a CSR file (`graph.gcsr` →
+/// `graph.gcsr.gidx`).
+pub fn index_path(csr: &Path) -> PathBuf {
+    let mut p = csr.as_os_str().to_owned();
+    p.push(".gidx");
+    PathBuf::from(p)
+}
+
+/// Writes the on-disk format.
+pub struct DiskCsrWriter;
+
+impl DiskCsrWriter {
+    /// Serialize `graph` to `path` (+ companion index), optionally inlining
+    /// out-degrees (paper Fig. 4c).
+    pub fn write<P: AsRef<Path>>(path: P, graph: &Csr, with_degrees: bool) -> io::Result<()> {
+        let path = path.as_ref();
+        let n = graph.n_vertices();
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        let flags = if with_degrees { FLAG_DEGREES } else { 0 };
+        let nv = n as u64;
+        let ne = graph.n_edges() as u64;
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&flags.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        out.write_all(&nv.to_le_bytes())?;
+        out.write_all(&ne.to_le_bytes())?;
+
+        let mut idx = BufWriter::new(std::fs::File::create(index_path(path))?);
+        idx.write_all(&IDX_MAGIC.to_le_bytes())?;
+        idx.write_all(&VERSION.to_le_bytes())?;
+        idx.write_all(&nv.to_le_bytes())?;
+
+        let mut word_off: u64 = 0;
+        for v in 0..n as VertexId {
+            idx.write_all(&word_off.to_le_bytes())?;
+            let nbrs = graph.neighbors(v);
+            if with_degrees {
+                out.write_all(&(nbrs.len() as u32).to_le_bytes())?;
+                word_off += 1;
+            }
+            for &d in nbrs {
+                out.write_all(&d.to_le_bytes())?;
+                word_off += 1;
+            }
+            out.write_all(&SEPARATOR.to_le_bytes())?;
+            word_off += 1;
+        }
+        idx.write_all(&word_off.to_le_bytes())?;
+        out.flush()?;
+        idx.flush()?;
+        Ok(())
+    }
+}
+
+/// A read-only, mmap-backed view of the on-disk CSR format.
+#[derive(Debug)]
+pub struct DiskCsr {
+    data: Mmap,
+    index: Mmap,
+    n_vertices: usize,
+    n_edges: usize,
+    with_degrees: bool,
+}
+
+/// One vertex's record as streamed from the edge file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexEdges<'a> {
+    /// The vertex id.
+    pub vid: VertexId,
+    /// Out-degree (inlined in the file or derived from the list length).
+    pub degree: u32,
+    /// Destination ids.
+    pub targets: &'a [VertexId],
+}
+
+impl DiskCsr {
+    /// Map `path` (and its companion index) and validate headers.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<DiskCsr> {
+        let path = path.as_ref();
+        let data = Mmap::open(path).map_err(io::Error::from)?;
+        let index = Mmap::open(index_path(path)).map_err(io::Error::from)?;
+        let words: &[u32] = data.as_slice_of().map_err(io::Error::from)?;
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if words.len() < HEADER_WORDS || words[0] != MAGIC {
+            return Err(bad("not a GCSR file"));
+        }
+        if words[1] != VERSION {
+            return Err(bad("unsupported GCSR version"));
+        }
+        let with_degrees = words[2] & FLAG_DEGREES != 0;
+        let n_vertices = (words[4] as u64 | (words[5] as u64) << 32) as usize;
+        let n_edges = (words[6] as u64 | (words[7] as u64) << 32) as usize;
+
+        let ibytes = index.as_bytes();
+        if ibytes.len() < 16 {
+            return Err(bad("truncated GIDX file"));
+        }
+        let imagic = u32::from_le_bytes(ibytes[0..4].try_into().unwrap());
+        let iver = u32::from_le_bytes(ibytes[4..8].try_into().unwrap());
+        let inv = u64::from_le_bytes(ibytes[8..16].try_into().unwrap());
+        if imagic != IDX_MAGIC || iver != VERSION {
+            return Err(bad("not a GIDX file"));
+        }
+        if inv as usize != n_vertices {
+            return Err(bad("index/data vertex count mismatch"));
+        }
+        if ibytes.len() != 16 + 8 * (n_vertices + 1) {
+            return Err(bad("GIDX length mismatch"));
+        }
+        let expected_body =
+            n_edges + n_vertices * (1 + usize::from(with_degrees));
+        if words.len() != HEADER_WORDS + expected_body {
+            return Err(bad("GCSR body length mismatch"));
+        }
+        let csr = DiskCsr {
+            data,
+            index,
+            n_vertices,
+            n_edges,
+            with_degrees,
+        };
+        if csr.word_offset(n_vertices) != expected_body as u64 {
+            return Err(bad("GIDX terminal offset mismatch"));
+        }
+        Ok(csr)
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Whether out-degrees are inlined (paper Fig. 4c vs 4b).
+    pub fn with_degrees(&self) -> bool {
+        self.with_degrees
+    }
+
+    /// Total size of the edge file in bytes (for the paper's compression
+    /// discussion: twitter 26 GB edge list → 6.5 GB CSR).
+    pub fn file_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Advise the kernel we will stream the edge file sequentially.
+    pub fn advise_sequential(&self) -> io::Result<()> {
+        self.data.advise(Advice::Sequential).map_err(io::Error::from)
+    }
+
+    fn body(&self) -> &[u32] {
+        &self.data.as_slice_of::<u32>().expect("validated at open")[HEADER_WORDS..]
+    }
+
+    /// Word offset of vertex `v`'s record within the body
+    /// (`v == n_vertices` gives the body length).
+    pub fn word_offset(&self, v: usize) -> u64 {
+        debug_assert!(v <= self.n_vertices);
+        let b = self.index.as_bytes();
+        let at = 16 + 8 * v;
+        u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+    }
+
+    /// Random access to one vertex's record.
+    pub fn vertex_edges(&self, v: VertexId) -> VertexEdges<'_> {
+        assert!((v as usize) < self.n_vertices, "vertex {v} out of range");
+        let start = self.word_offset(v as usize) as usize;
+        let end = self.word_offset(v as usize + 1) as usize;
+        let rec = &self.body()[start..end];
+        debug_assert_eq!(*rec.last().unwrap(), SEPARATOR);
+        if self.with_degrees {
+            VertexEdges {
+                vid: v,
+                degree: rec[0],
+                targets: &rec[1..rec.len() - 1],
+            }
+        } else {
+            VertexEdges {
+                vid: v,
+                degree: (rec.len() - 1) as u32,
+                targets: &rec[..rec.len() - 1],
+            }
+        }
+    }
+
+    /// A sequential cursor over the records of `vertices` (a contiguous id
+    /// range) — the dispatch actor's streaming read path.
+    pub fn cursor(&self, vertices: Range<VertexId>) -> EdgeCursor<'_> {
+        assert!(vertices.end as usize <= self.n_vertices);
+        let start_word = self.word_offset(vertices.start as usize) as usize;
+        EdgeCursor {
+            csr: self,
+            next: vertices.start,
+            end: vertices.end,
+            pos: start_word,
+        }
+    }
+
+    /// Materialize the whole graph back into an in-memory edge list
+    /// (source-sorted). Used by tools that bridge to engines consuming
+    /// edge lists.
+    pub fn to_edge_list(&self) -> crate::EdgeList {
+        let mut edges = Vec::with_capacity(self.n_edges);
+        for rec in self.cursor(0..self.n_vertices as u32) {
+            for &dst in rec.targets {
+                edges.push(crate::Edge::new(rec.vid, dst));
+            }
+        }
+        crate::EdgeList::with_vertices(edges, self.n_vertices)
+    }
+
+    /// Sum of out-degrees over an id range (used by the edge-balanced
+    /// partitioner).
+    pub fn edges_in_range(&self, vertices: Range<VertexId>) -> u64 {
+        let words = self.word_offset(vertices.end as usize) - self.word_offset(vertices.start as usize);
+        let n = (vertices.end - vertices.start) as u64;
+        // Each record is degree? + targets + separator.
+        words - n * (1 + u64::from(self.with_degrees))
+    }
+}
+
+/// Sequential streaming iterator over vertex records. See
+/// [`DiskCsr::cursor`].
+#[derive(Debug)]
+pub struct EdgeCursor<'a> {
+    csr: &'a DiskCsr,
+    next: VertexId,
+    end: VertexId,
+    pos: usize,
+}
+
+impl<'a> Iterator for EdgeCursor<'a> {
+    type Item = VertexEdges<'a>;
+
+    fn next(&mut self) -> Option<VertexEdges<'a>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let body = self.csr.body();
+        let vid = self.next;
+        let mut pos = self.pos;
+        let degree_word = if self.csr.with_degrees {
+            let d = body[pos];
+            pos += 1;
+            Some(d)
+        } else {
+            None
+        };
+        let start = pos;
+        // Scan forward to the separator. Sequential, cache-friendly — this
+        // is the paper's "edges are processed by dispatching actors
+        // sequentially from disk".
+        while body[pos] != SEPARATOR {
+            pos += 1;
+        }
+        let targets = &body[start..pos];
+        self.pos = pos + 1;
+        self.next += 1;
+        Some(VertexEdges {
+            vid,
+            degree: degree_word.unwrap_or(targets.len() as u32),
+            targets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-diskcsr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fig4() -> Csr {
+        Csr::from_edges(
+            4,
+            vec![
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(1, 0),
+                Edge::new(3, 1),
+                Edge::new(3, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_and_without_degrees() {
+        for with_deg in [false, true] {
+            let path = tmpdir().join(format!("fig4-{with_deg}.gcsr"));
+            DiskCsrWriter::write(&path, &fig4(), with_deg).unwrap();
+            let d = DiskCsr::open(&path).unwrap();
+            assert_eq!(d.n_vertices(), 4);
+            assert_eq!(d.n_edges(), 5);
+            assert_eq!(d.with_degrees(), with_deg);
+            let v0 = d.vertex_edges(0);
+            assert_eq!(v0.degree, 2);
+            assert_eq!(v0.targets, &[2, 3]);
+            let v2 = d.vertex_edges(2);
+            assert_eq!(v2.degree, 0);
+            assert!(v2.targets.is_empty());
+            let v3 = d.vertex_edges(3);
+            assert_eq!(v3.targets, &[1, 2]);
+        }
+    }
+
+    #[test]
+    fn cursor_streams_ranges() {
+        let path = tmpdir().join("cursor.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        let all: Vec<_> = d.cursor(0..4).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].vid, 0);
+        assert_eq!(all[3].targets, &[1, 2]);
+        let mid: Vec<_> = d.cursor(1..3).collect();
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid[0].vid, 1);
+        assert_eq!(mid[0].targets, &[0]);
+        assert_eq!(mid[1].vid, 2);
+        assert!(d.cursor(2..2).next().is_none());
+    }
+
+    #[test]
+    fn edges_in_range_matches_degrees() {
+        let path = tmpdir().join("range.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        assert_eq!(d.edges_in_range(0..4), 5);
+        assert_eq!(d.edges_in_range(0..1), 2);
+        assert_eq!(d.edges_in_range(1..3), 1);
+        assert_eq!(d.edges_in_range(2..2), 0);
+    }
+
+    #[test]
+    fn golden_bytes_fig4b_layout() {
+        // Paper Fig. 4b: without degrees, body is
+        // 2 3 -1 | 0 -1 | -1 | 1 2 -1
+        let path = tmpdir().join("golden.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), false).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let s = SEPARATOR;
+        assert_eq!(&words[HEADER_WORDS..], &[2, 3, s, 0, s, s, 1, 2, s]);
+    }
+
+    #[test]
+    fn golden_bytes_fig4c_layout_with_degrees() {
+        // Paper Fig. 4c: with degrees, body is
+        // 2 2 3 -1 | 1 0 -1 | 0 -1 | 2 1 2 -1
+        let path = tmpdir().join("golden-deg.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let s = SEPARATOR;
+        assert_eq!(
+            &words[HEADER_WORDS..],
+            &[2, 2, 3, s, 1, 0, s, 0, s, 2, 1, 2, s]
+        );
+    }
+
+    #[test]
+    fn corrupt_files_rejected() {
+        let dir = tmpdir();
+        let path = dir.join("corrupt.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        // Flip the magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(DiskCsr::open(&path).is_err());
+
+        // Truncate the body.
+        let path2 = dir.join("trunc.gcsr");
+        DiskCsrWriter::write(&path2, &fig4(), true).unwrap();
+        let bytes = std::fs::read(&path2).unwrap();
+        std::fs::write(&path2, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(DiskCsr::open(&path2).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let path = tmpdir().join("empty.gcsr");
+        DiskCsrWriter::write(&path, &Csr::from_edges(3, Vec::<Edge>::new()), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        assert_eq!(d.n_vertices(), 3);
+        assert_eq!(d.n_edges(), 0);
+        assert_eq!(d.cursor(0..3).count(), 3);
+        assert!(d.cursor(0..3).all(|r| r.targets.is_empty() && r.degree == 0));
+    }
+}

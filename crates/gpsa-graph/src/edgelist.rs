@@ -1,0 +1,378 @@
+//! Text and binary edge-list formats.
+//!
+//! GPSA's input format is "text-based edge list or adjacency graph"
+//! (paper §V-A). The text format is one `src dst` pair per line (tabs or
+//! spaces), `#`-prefixed comment lines ignored — the SNAP convention used
+//! by the paper's datasets. The binary format is a flat array of
+//! little-endian `u32` pairs, which is what the preprocessing pipeline
+//! consumes.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::types::{Edge, VertexId, SEPARATOR};
+
+/// An in-memory edge list with a vertex-count bound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// The edges, in arbitrary order.
+    pub edges: Vec<Edge>,
+    /// Number of vertices (`max id + 1`, or a caller-supplied larger bound).
+    pub n_vertices: usize,
+}
+
+impl EdgeList {
+    /// Build from raw edges, deriving the vertex count from the largest id.
+    pub fn from_edges(edges: Vec<Edge>) -> Self {
+        let n_vertices = edges
+            .iter()
+            .map(|e| e.src.max(e.dst) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        EdgeList { edges, n_vertices }
+    }
+
+    /// Build from raw edges with an explicit vertex count (must cover all
+    /// endpoint ids).
+    pub fn with_vertices(edges: Vec<Edge>, n_vertices: usize) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.src as usize) < n_vertices && (e.dst as usize) < n_vertices));
+        EdgeList { edges, n_vertices }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Parse the SNAP-style text format from a reader.
+    ///
+    /// Lines are `src<ws>dst`; blank lines and lines starting with `#` or
+    /// `%` are skipped. Ids must be decimal `u32` below [`SEPARATOR`].
+    pub fn read_text<R: Read>(reader: R) -> io::Result<Self> {
+        let mut edges = Vec::new();
+        let mut r = BufReader::new(reader);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let mut declared_vertices: usize = 0;
+        loop {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                // Honor our own writer's header so isolated tail vertices
+                // survive a text roundtrip: "# gpsa edge list: N vertices …".
+                if let Some(rest) = t.strip_prefix("# gpsa edge list:") {
+                    if let Some(n) = rest.split_whitespace().next().and_then(|w| w.parse().ok()) {
+                        declared_vertices = n;
+                    }
+                }
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+                let tok = tok.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: expected `src dst`"),
+                    )
+                })?;
+                let v: VertexId = tok.parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: bad vertex id {tok:?}"),
+                    )
+                })?;
+                if v == SEPARATOR {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: vertex id {v} is reserved"),
+                    ));
+                }
+                Ok(v)
+            };
+            let src = parse(it.next())?;
+            let dst = parse(it.next())?;
+            edges.push(Edge { src, dst });
+        }
+        let mut el = EdgeList::from_edges(edges);
+        el.n_vertices = el.n_vertices.max(declared_vertices);
+        Ok(el)
+    }
+
+    /// Parse the text format from a file.
+    pub fn read_text_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        EdgeList::read_text(File::open(path)?)
+    }
+
+    /// Write the text format.
+    pub fn write_text<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        writeln!(w, "# gpsa edge list: {} vertices {} edges", self.n_vertices, self.edges.len())?;
+        for e in &self.edges {
+            writeln!(w, "{}\t{}", e.src, e.dst)?;
+        }
+        w.flush()
+    }
+
+    /// Write the text format to a file.
+    pub fn write_text_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.write_text(File::create(path)?)
+    }
+
+    /// Write the binary format: little-endian `u32` pairs.
+    pub fn write_binary<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        for e in &self.edges {
+            w.write_all(&e.src.to_le_bytes())?;
+            w.write_all(&e.dst.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Write the binary format to a file.
+    pub fn write_binary_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.write_binary(File::create(path)?)
+    }
+
+    /// Read the binary format (whole stream).
+    pub fn read_binary<R: Read>(reader: R) -> io::Result<Self> {
+        let mut edges = Vec::new();
+        let mut r = BufReader::new(reader);
+        let mut buf = [0u8; 8];
+        loop {
+            match r.read_exact(&mut buf) {
+                Ok(()) => {
+                    let src = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                    let dst = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                    edges.push(Edge { src, dst });
+                }
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(EdgeList::from_edges(edges))
+    }
+
+    /// Read the binary format from a file.
+    pub fn read_binary_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        EdgeList::read_binary(File::open(path)?)
+    }
+
+    /// Parse the adjacency text format (the paper's second input format,
+    /// §V-A): one line per vertex, `src n_neighbors d1 d2 ... dn`; blank
+    /// and `#`/`%` comment lines skipped. Vertices may appear in any
+    /// order; vertices without a line are isolated.
+    pub fn read_adjacency<R: Read>(reader: R) -> io::Result<Self> {
+        let mut edges = Vec::new();
+        let mut max_seen: Option<VertexId> = None;
+        let mut r = BufReader::new(reader);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                continue;
+            }
+            let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+            let mut it = t.split_whitespace();
+            let parse_id = |tok: &str| -> io::Result<VertexId> {
+                let v: VertexId = tok
+                    .parse()
+                    .map_err(|_| bad(format!("line {lineno}: bad vertex id {tok:?}")))?;
+                if v == SEPARATOR {
+                    return Err(bad(format!("line {lineno}: vertex id {v} is reserved")));
+                }
+                Ok(v)
+            };
+            let src = parse_id(
+                it.next()
+                    .ok_or_else(|| bad(format!("line {lineno}: empty record")))?,
+            )?;
+            let count: usize = it
+                .next()
+                .ok_or_else(|| bad(format!("line {lineno}: missing neighbor count")))?
+                .parse()
+                .map_err(|_| bad(format!("line {lineno}: bad neighbor count")))?;
+            max_seen = Some(max_seen.map_or(src, |m| m.max(src)));
+            for i in 0..count {
+                let dst = parse_id(it.next().ok_or_else(|| {
+                    bad(format!(
+                        "line {lineno}: expected {count} neighbors, got {i}"
+                    ))
+                })?)?;
+                max_seen = Some(max_seen.map_or(dst, |m| m.max(dst)));
+                edges.push(Edge { src, dst });
+            }
+            if it.next().is_some() {
+                return Err(bad(format!(
+                    "line {lineno}: more than {count} neighbors listed"
+                )));
+            }
+        }
+        let n_vertices = max_seen.map_or(0, |m| m as usize + 1);
+        Ok(EdgeList {
+            edges,
+            n_vertices,
+        })
+    }
+
+    /// Parse the adjacency format from a file.
+    pub fn read_adjacency_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        EdgeList::read_adjacency(File::open(path)?)
+    }
+
+    /// Write the adjacency text format: one line per vertex that has
+    /// out-edges, `src n d1 ... dn`.
+    pub fn write_adjacency<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        writeln!(
+            w,
+            "# gpsa adjacency: {} vertices {} edges",
+            self.n_vertices,
+            self.edges.len()
+        )?;
+        let csr = crate::Csr::from_edge_list(self);
+        for v in 0..self.n_vertices as VertexId {
+            let nbrs = csr.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            write!(w, "{v} {}", nbrs.len())?;
+            for d in nbrs {
+                write!(w, " {d}")?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n_vertices];
+        for e in &self.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_edges(vec![
+            Edge::new(0, 2),
+            Edge::new(0, 3),
+            Edge::new(1, 0),
+            Edge::new(3, 1),
+        ])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        el.write_text(&mut buf).unwrap();
+        let back = EdgeList::read_text(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        el.write_binary(&mut buf).unwrap();
+        assert_eq!(buf.len(), el.len() * 8);
+        let back = EdgeList::read_binary(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n% matrix-market style\n0 1\n2\t3\n";
+        let el = EdgeList::read_text(text.as_bytes()).unwrap();
+        assert_eq!(el.edges, vec![Edge::new(0, 1), Edge::new(2, 3)]);
+        assert_eq!(el.n_vertices, 4);
+    }
+
+    #[test]
+    fn bad_lines_are_errors() {
+        assert!(EdgeList::read_text("0\n".as_bytes()).is_err());
+        assert!(EdgeList::read_text("a b\n".as_bytes()).is_err());
+        assert!(EdgeList::read_text("0 4294967295\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn degrees_counted() {
+        let el = sample();
+        assert_eq!(el.out_degrees(), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let el = EdgeList::from_edges(vec![]);
+        assert!(el.is_empty());
+        assert_eq!(el.n_vertices, 0);
+        let mut buf = Vec::new();
+        el.write_binary(&mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let el = sample();
+        let mut buf = Vec::new();
+        el.write_adjacency(&mut buf).unwrap();
+        let back = EdgeList::read_adjacency(&buf[..]).unwrap();
+        // Adjacency groups by source, so compare multisets + counts.
+        let mut a = back.edges.clone();
+        let mut b = el.edges.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(back.n_vertices, el.n_vertices);
+    }
+
+    #[test]
+    fn adjacency_parses_mixed_order_and_comments() {
+        let text = "# hi\n3 2 1 0\n\n0 1 2\n";
+        let el = EdgeList::read_adjacency(text.as_bytes()).unwrap();
+        assert_eq!(el.n_vertices, 4);
+        let mut e = el.edges.clone();
+        e.sort_unstable();
+        assert_eq!(e, vec![Edge::new(0, 2), Edge::new(3, 0), Edge::new(3, 1)]);
+    }
+
+    #[test]
+    fn adjacency_rejects_malformed_records() {
+        assert!(EdgeList::read_adjacency("0\n".as_bytes()).is_err());
+        assert!(EdgeList::read_adjacency("0 2 1\n".as_bytes()).is_err()); // too few
+        assert!(EdgeList::read_adjacency("0 1 2 3\n".as_bytes()).is_err()); // too many
+        assert!(EdgeList::read_adjacency("0 x\n".as_bytes()).is_err());
+        assert!(EdgeList::read_adjacency("0 1 4294967295\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn with_vertices_allows_isolated_tail() {
+        let el = EdgeList::with_vertices(vec![Edge::new(0, 1)], 10);
+        assert_eq!(el.n_vertices, 10);
+        assert_eq!(el.out_degrees().len(), 10);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP social/web graphs we cannot redistribute;
+//! the harness substitutes R-MAT graphs with matched vertex/edge counts
+//! (R-MAT reproduces the skewed degree distributions that drive the
+//! engines' relative behaviour). Deterministic small graphs (chain, star,
+//! grid, …) back the correctness tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{Edge, VertexId};
+use crate::EdgeList;
+
+/// R-MAT quadrant probabilities. The defaults are the Graph500/social-graph
+/// standard `(0.57, 0.19, 0.19, 0.05)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (dense core).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+impl RmatParams {
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "R-MAT parameters must be non-negative and sum to 1 (got {sum})"
+        );
+    }
+}
+
+/// Generate an R-MAT graph with `n_vertices` (rounded up to a power of
+/// two internally, then mapped back down by rejection) and exactly
+/// `n_edges` edges. Self-loops are rerolled; duplicate edges are kept, as
+/// in real web crawls.
+pub fn rmat(n_vertices: usize, n_edges: usize, params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    assert!(n_vertices >= 2, "R-MAT needs at least 2 vertices");
+    let scale = (usize::BITS - (n_vertices - 1).leading_zeros()) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let (src, dst) = rmat_one(&mut rng, scale, params);
+        if src == dst {
+            continue; // reroll self-loops
+        }
+        if (src as usize) >= n_vertices || (dst as usize) >= n_vertices {
+            continue; // rejection-map the power-of-two grid down
+        }
+        edges.push(Edge { src, dst });
+    }
+    EdgeList::with_vertices(edges, n_vertices)
+}
+
+fn rmat_one(rng: &mut StdRng, scale: usize, p: RmatParams) -> (VertexId, VertexId) {
+    let mut src: u64 = 0;
+    let mut dst: u64 = 0;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left: neither bit set
+        } else if r < p.a + p.b {
+            dst |= 1;
+        } else if r < p.a + p.b + p.c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    (src as VertexId, dst as VertexId)
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` uniform random edges (self-loops rerolled,
+/// duplicates kept).
+pub fn erdos_renyi(n_vertices: usize, n_edges: usize, seed: u64) -> EdgeList {
+    assert!(n_vertices >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let src = rng.gen_range(0..n_vertices) as VertexId;
+        let dst = rng.gen_range(0..n_vertices) as VertexId;
+        if src != dst {
+            edges.push(Edge { src, dst });
+        }
+    }
+    EdgeList::with_vertices(edges, n_vertices)
+}
+
+/// Directed chain `0 -> 1 -> ... -> n-1`.
+pub fn chain(n: usize) -> EdgeList {
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| Edge::new(i as VertexId, i as VertexId + 1))
+        .collect();
+    EdgeList::with_vertices(edges, n)
+}
+
+/// Star: hub `0` points at every other vertex.
+pub fn star(n: usize) -> EdgeList {
+    let edges = (1..n).map(|i| Edge::new(0, i as VertexId)).collect();
+    EdgeList::with_vertices(edges, n)
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: usize) -> EdgeList {
+    let edges = (0..n)
+        .map(|i| Edge::new(i as VertexId, ((i + 1) % n) as VertexId))
+        .collect();
+    EdgeList::with_vertices(edges, n)
+}
+
+/// `rows x cols` grid with edges right and down (and their reverses), so it
+/// is strongly connected as an undirected structure.
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+                edges.push(Edge::new(id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+                edges.push(Edge::new(id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    EdgeList::with_vertices(edges, rows * cols)
+}
+
+/// Two disjoint directed cycles of sizes `a` and `b` — the standard
+/// connected-components fixture (components `{0..a}` and `{a..a+b}`).
+pub fn two_components(a: usize, b: usize) -> EdgeList {
+    let mut edges = Vec::new();
+    for i in 0..a {
+        edges.push(Edge::new(i as VertexId, ((i + 1) % a) as VertexId));
+    }
+    for i in 0..b {
+        edges.push(Edge::new(
+            (a + i) as VertexId,
+            (a + (i + 1) % b) as VertexId,
+        ));
+    }
+    EdgeList::with_vertices(edges, a + b)
+}
+
+/// Make a directed edge list symmetric (add every reverse edge).
+pub fn symmetrize(el: &EdgeList) -> EdgeList {
+    let mut edges = Vec::with_capacity(el.edges.len() * 2);
+    for &e in &el.edges {
+        edges.push(e);
+        if e.src != e.dst {
+            edges.push(e.reversed());
+        }
+    }
+    EdgeList::with_vertices(edges, el.n_vertices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_counts_and_ranges() {
+        let el = rmat(1000, 5000, RmatParams::default(), 42);
+        assert_eq!(el.len(), 5000);
+        assert_eq!(el.n_vertices, 1000);
+        assert!(el.edges.iter().all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
+        assert!(el.edges.iter().all(|e| e.src != e.dst), "self-loops rerolled");
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = rmat(512, 2048, RmatParams::default(), 7);
+        let b = rmat(512, 2048, RmatParams::default(), 7);
+        let c = rmat(512, 2048, RmatParams::default(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With a=0.57 the degree distribution must be far from uniform:
+        // the max out-degree should greatly exceed the mean.
+        let el = rmat(4096, 40960, RmatParams::default(), 1);
+        let deg = el.out_degrees();
+        let mean = 40960.0 / 4096.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(
+            max > mean * 8.0,
+            "R-MAT should be skewed: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_is_roughly_uniform() {
+        let el = erdos_renyi(1024, 20480, 3);
+        let deg = el.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = 20480.0 / 1024.0;
+        assert!(max < mean * 4.0, "ER should not be heavily skewed: max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_rmat_params_panic() {
+        rmat(16, 16, RmatParams { a: 0.9, b: 0.9, c: 0.1, d: 0.1 }, 0);
+    }
+
+    #[test]
+    fn deterministic_fixtures_shapes() {
+        assert_eq!(chain(5).len(), 4);
+        assert_eq!(chain(1).len(), 0);
+        assert_eq!(star(5).len(), 4);
+        assert_eq!(cycle(5).len(), 5);
+        let g = grid(3, 4);
+        assert_eq!(g.n_vertices, 12);
+        assert_eq!(g.len(), 2 * (3 * 3 + 2 * 4)); // 2*(rows*(cols-1) + (rows-1)*cols)
+        let tc = two_components(3, 4);
+        assert_eq!(tc.n_vertices, 7);
+        assert_eq!(tc.len(), 7);
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_preserves() {
+        let el = chain(4);
+        let s = symmetrize(&el);
+        assert_eq!(s.len(), 6);
+        assert!(s.edges.contains(&Edge::new(1, 0)));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Graph storage substrate for GPSA: formats, preprocessing, generators.
+//!
+//! GPSA assumes vertices are labeled `0..|V|` and stores the graph on disk
+//! in a CSR-style format (paper Fig. 4): one big edge array sorted by source
+//! vertex, each vertex's out-edge list terminated by a separator (`-1` in
+//! the paper, [`SEPARATOR`] here), optionally with the vertex's out-degree
+//! inlined ahead of its list so PageRank-style programs need no extra
+//! lookup.
+//!
+//! This crate provides:
+//!
+//! * [`EdgeList`] text / binary readers and writers,
+//! * the in-memory [`Csr`] graph,
+//! * the on-disk format: [`DiskCsrWriter`] / [`DiskCsr`] (mmap-backed),
+//! * [`preprocess`] — the paper's preprocessing phase: text edge list →
+//!   external sort → binary CSR (the "sharder"),
+//! * [`generate`] — synthetic graphs (R-MAT, Erdős–Rényi, chains, stars,
+//!   grids) used in place of the paper's SNAP datasets,
+//! * [`datasets`] — scaled stand-ins for the paper's four graphs
+//!   (google, soc-pokec, soc-LiveJournal, twitter-2010).
+
+pub mod csr;
+pub mod datasets;
+pub mod disk_csr;
+pub mod edgelist;
+pub mod generate;
+pub mod preprocess;
+mod types;
+
+pub use csr::Csr;
+pub use disk_csr::{DiskCsr, DiskCsrWriter, EdgeCursor, VertexEdges};
+pub use edgelist::EdgeList;
+pub use types::{Edge, VertexId, SEPARATOR};

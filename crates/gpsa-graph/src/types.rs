@@ -1,0 +1,70 @@
+//! Core graph value types.
+
+/// Vertex identifier. The paper assumes vertices are labeled `0..|V|` with
+/// 32-bit ids (the twitter-2010 graph has 41.6M vertices, well within
+/// `u32`).
+pub type VertexId = u32;
+
+/// End-of-adjacency-list marker in the on-disk CSR edge array.
+///
+/// The paper writes `-1`; we use `u32::MAX`, the same bit pattern, which
+/// also means real vertex ids must stay below `u32::MAX`.
+pub const SEPARATOR: u32 = u32::MAX;
+
+/// A directed edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Construct an edge.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge { src, dst }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_ordering_is_src_major() {
+        let mut v = vec![Edge::new(2, 0), Edge::new(0, 5), Edge::new(0, 1), Edge::new(1, 9)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Edge::new(0, 1), Edge::new(0, 5), Edge::new(1, 9), Edge::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        assert_eq!(Edge::new(3, 7).reversed(), Edge::new(7, 3));
+    }
+
+    #[test]
+    fn separator_is_all_ones() {
+        assert_eq!(SEPARATOR, 0xFFFF_FFFF);
+        assert_eq!(SEPARATOR as i32, -1); // the paper's -1
+    }
+}

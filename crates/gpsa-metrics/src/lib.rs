@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Measurement substrate for the GPSA evaluation harness.
+//!
+//! The paper's evaluation reports (a) elapsed time averaged over supersteps
+//! and repeated runs (Figs. 7–10) and (b) CPU utilization of each system
+//! (Fig. 11). This crate provides those instruments plus the text-table
+//! renderer the figure binaries print with:
+//!
+//! * [`Stopwatch`] / [`SuperstepTimer`] — wall-clock timing per superstep,
+//! * [`ProcessCpu`] / [`CpuMonitor`] — process CPU time from `/proc`,
+//!   turned into a utilization fraction of the machine,
+//! * [`rss_bytes`] — resident set size,
+//! * [`Table`] — aligned text tables for harness output.
+
+mod cpu;
+mod mem;
+mod table;
+mod timer;
+
+pub use cpu::{CpuMonitor, CpuReport, ProcessCpu};
+pub use mem::rss_bytes;
+pub use table::Table;
+pub use timer::{Stopwatch, SuperstepTimer};

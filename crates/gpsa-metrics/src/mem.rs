@@ -1,0 +1,40 @@
+//! Resident-set-size reading from `/proc/self/statm`.
+
+/// Current resident set size of this process in bytes, or `None` when
+/// `/proc` is unavailable.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    // SAFETY: sysconf is always safe to call.
+    let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    let page = if page <= 0 { 4096 } else { page as u64 };
+    Some(resident_pages * page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_and_plausible() {
+        let rss = rss_bytes().expect("/proc/self/statm readable");
+        assert!(rss > 1024 * 1024, "a Rust test binary uses >1MiB: {rss}");
+        assert!(rss < 1 << 40, "RSS below 1TiB: {rss}");
+    }
+
+    #[test]
+    fn rss_grows_with_allocation() {
+        let before = rss_bytes().unwrap();
+        // Touch 32 MiB so the pages become resident.
+        let mut v = vec![0u8; 32 << 20];
+        for i in (0..v.len()).step_by(4096) {
+            v[i] = 1;
+        }
+        std::hint::black_box(&v);
+        let after = rss_bytes().unwrap();
+        assert!(
+            after >= before + (16 << 20),
+            "RSS should grow by most of 32MiB: before={before} after={after}"
+        );
+    }
+}

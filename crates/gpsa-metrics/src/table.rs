@@ -1,0 +1,128 @@
+//! Minimal aligned text-table renderer for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// An aligned, plain-text table. Columns are sized to their widest cell.
+///
+/// ```
+/// use gpsa_metrics::Table;
+/// let mut t = Table::new(&["system", "pagerank", "bfs"]);
+/// t.row(&["GPSA", "1.23s", "0.45s"]);
+/// t.row(&["X-Stream", "9.87s", "3.21s"]);
+/// let s = t.render();
+/// assert!(s.contains("GPSA"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells; longer rows
+    /// are truncated to the header width.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        let mut r: Vec<String> = cells
+            .iter()
+            .take(self.header.len())
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (header, separator, rows).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "n"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // The "n" column starts at the same offset in every row.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].as_bytes()[col] as char, '2');
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3", "4"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('4'), "extra cell dropped");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

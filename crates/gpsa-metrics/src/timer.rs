@@ -1,0 +1,147 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A restartable wall-clock stopwatch.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since start (or last restart).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Reset the start point and return the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        self.start = now;
+        d
+    }
+}
+
+/// Records the wall time of each superstep of an engine run.
+///
+/// The paper compares "the average elapsed time of five supersteps", so the
+/// primary accessors are [`SuperstepTimer::mean`] and
+/// [`SuperstepTimer::mean_of_first`].
+#[derive(Debug, Default, Clone)]
+pub struct SuperstepTimer {
+    steps: Vec<Duration>,
+    current: Option<Instant>,
+}
+
+impl SuperstepTimer {
+    /// New, empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the beginning of a superstep.
+    pub fn begin_step(&mut self) {
+        self.current = Some(Instant::now());
+    }
+
+    /// Mark the end of the current superstep.
+    ///
+    /// # Panics
+    /// Panics if no step was begun.
+    pub fn end_step(&mut self) {
+        let start = self.current.take().expect("end_step without begin_step");
+        self.steps.push(start.elapsed());
+    }
+
+    /// Record an externally measured superstep duration.
+    pub fn record(&mut self, d: Duration) {
+        self.steps.push(d);
+    }
+
+    /// Durations of all completed supersteps, in order.
+    pub fn steps(&self) -> &[Duration] {
+        &self.steps
+    }
+
+    /// Number of completed supersteps.
+    pub fn count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total time across all completed supersteps.
+    pub fn total(&self) -> Duration {
+        self.steps.iter().sum()
+    }
+
+    /// Mean superstep duration (zero if none recorded).
+    pub fn mean(&self) -> Duration {
+        if self.steps.is_empty() {
+            return Duration::ZERO;
+        }
+        self.total() / self.steps.len() as u32
+    }
+
+    /// Mean over the first `n` supersteps — the paper's five-superstep
+    /// methodology. Uses fewer if fewer completed.
+    pub fn mean_of_first(&self, n: usize) -> Duration {
+        let k = n.min(self.steps.len());
+        if k == 0 {
+            return Duration::ZERO;
+        }
+        self.steps[..k].iter().sum::<Duration>() / k as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(10));
+        let lap = sw.lap();
+        assert!(lap >= Duration::from_millis(9));
+        assert!(sw.elapsed() < lap);
+    }
+
+    #[test]
+    fn superstep_timer_means() {
+        let mut t = SuperstepTimer::new();
+        assert_eq!(t.mean(), Duration::ZERO);
+        t.record(Duration::from_millis(10));
+        t.record(Duration::from_millis(20));
+        t.record(Duration::from_millis(30));
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.total(), Duration::from_millis(60));
+        assert_eq!(t.mean(), Duration::from_millis(20));
+        assert_eq!(t.mean_of_first(2), Duration::from_millis(15));
+        assert_eq!(t.mean_of_first(5), Duration::from_millis(20));
+        assert_eq!(t.mean_of_first(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn begin_end_pairs() {
+        let mut t = SuperstepTimer::new();
+        t.begin_step();
+        std::thread::sleep(Duration::from_millis(5));
+        t.end_step();
+        assert_eq!(t.count(), 1);
+        assert!(t.steps()[0] >= Duration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "end_step without begin_step")]
+    fn end_without_begin_panics() {
+        let mut t = SuperstepTimer::new();
+        t.end_step();
+    }
+}

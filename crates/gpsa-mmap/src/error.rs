@@ -1,0 +1,68 @@
+//! Error type for mapping operations.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O or syscall failure.
+    Io(io::Error),
+    /// A zero-length mapping was requested; `mmap(2)` rejects those.
+    EmptyMapping,
+    /// A typed view was requested whose element type does not evenly divide
+    /// or align with the mapped region.
+    BadLayout {
+        /// Size of the requested element type in bytes.
+        elem_size: usize,
+        /// Alignment of the requested element type in bytes.
+        elem_align: usize,
+        /// Length of the mapped region in bytes.
+        map_len: usize,
+    },
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "mmap I/O error: {e}"),
+            Error::EmptyMapping => write!(f, "cannot create a zero-length mapping"),
+            Error::BadLayout {
+                elem_size,
+                elem_align,
+                map_len,
+            } => write!(
+                f,
+                "typed view mismatch: {map_len}-byte mapping cannot be viewed as \
+                 elements of size {elem_size} / align {elem_align}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<Error> for io::Error {
+    fn from(e: Error) -> io::Error {
+        match e {
+            Error::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidInput, other.to_string()),
+        }
+    }
+}

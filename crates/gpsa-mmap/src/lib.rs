@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Memory-mapped file I/O substrate for GPSA.
+//!
+//! The GPSA paper replaces the explicit buffer management of GraphChi and
+//! X-Stream with plain OS memory mapping: the vertex-value file and the CSR
+//! edge file are `mmap`ed and accessed directly, letting the page cache do
+//! the I/O scheduling. This crate provides that substrate:
+//!
+//! * [`MmapMut`] / [`Mmap`] — shared, file-backed mappings built directly on
+//!   `libc::mmap` (no third-party mmap crate),
+//! * typed views over mappings for any [`Pod`] element type,
+//! * atomic views ([`MmapMut::atomic_u32`], [`MmapMut::atomic_u64`]) used by
+//!   the engine so dispatch and compute actors can share one mapping without
+//!   data races,
+//! * [`Advice`] — `madvise` hints (the dispatcher streams edges
+//!   sequentially, the computer touches values randomly).
+//!
+//! # Example
+//!
+//! ```
+//! use gpsa_mmap::{MmapMut, Advice};
+//! let dir = std::env::temp_dir().join(format!("gpsa-mmap-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("values.bin");
+//! let mut map = MmapMut::create(&path, 4096).unwrap();
+//! map.advise(Advice::Sequential).unwrap();
+//! map.as_mut_slice_of::<u32>().unwrap()[0] = 42;
+//! map.flush().unwrap();
+//! drop(map);
+//! let map = MmapMut::open(&path).unwrap();
+//! assert_eq!(map.as_slice_of::<u32>().unwrap()[0], 42);
+//! ```
+
+mod error;
+mod mapping;
+mod pod;
+
+pub use error::{Error, Result};
+pub use mapping::{Advice, Mmap, MmapMut};
+pub use pod::Pod;

@@ -1,0 +1,419 @@
+//! File-backed shared mappings over raw `libc::mmap`.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+
+use crate::error::{Error, Result};
+use crate::pod::Pod;
+
+/// Access-pattern hints forwarded to `madvise(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Default OS read-ahead behaviour.
+    Normal,
+    /// The region will be scanned front to back (dispatcher edge streaming).
+    Sequential,
+    /// The region will be accessed at random offsets (vertex value file).
+    Random,
+    /// The region will be needed soon; prefault pages.
+    WillNeed,
+}
+
+impl Advice {
+    fn as_raw(self) -> libc::c_int {
+        match self {
+            Advice::Normal => libc::MADV_NORMAL,
+            Advice::Sequential => libc::MADV_SEQUENTIAL,
+            Advice::Random => libc::MADV_RANDOM,
+            Advice::WillNeed => libc::MADV_WILLNEED,
+        }
+    }
+}
+
+/// A shared, writable, file-backed memory mapping.
+///
+/// The mapping is `MAP_SHARED`, so stores become visible to the file and to
+/// any other mapping of the same file. Dropping the value unmaps the region
+/// (dirty pages are still written back by the kernel; call
+/// [`MmapMut::flush`] for durability at a known point).
+#[derive(Debug)]
+pub struct MmapMut {
+    ptr: NonNull<u8>,
+    len: usize,
+    file: File,
+}
+
+// SAFETY: the mapping is plain memory owned by this value; the `File` is
+// only used for msync/ftruncate which are thread-safe.
+unsafe impl Send for MmapMut {}
+unsafe impl Sync for MmapMut {}
+
+/// A shared read-only, file-backed memory mapping.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: NonNull<u8>,
+    len: usize,
+    _file: File,
+}
+
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+fn map_fd(file: &File, len: usize, prot: libc::c_int) -> Result<NonNull<u8>> {
+    if len == 0 {
+        return Err(Error::EmptyMapping);
+    }
+    // SAFETY: standard mmap of a file descriptor we own; failure is checked.
+    let ptr = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            prot,
+            libc::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr == libc::MAP_FAILED {
+        return Err(Error::Io(std::io::Error::last_os_error()));
+    }
+    Ok(NonNull::new(ptr as *mut u8).expect("mmap returned non-null on success"))
+}
+
+impl MmapMut {
+    /// Create (or truncate) `path` to exactly `len` bytes and map it
+    /// read-write.
+    pub fn create<P: AsRef<Path>>(path: P, len: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        let ptr = map_fd(&file, len, libc::PROT_READ | libc::PROT_WRITE)?;
+        Ok(MmapMut { ptr, len, file })
+    }
+
+    /// Map an existing file read-write over its full current length.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let ptr = map_fd(&file, len, libc::PROT_READ | libc::PROT_WRITE)?;
+        Ok(MmapMut { ptr, len, file })
+    }
+
+    /// Length of the mapped region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the region is empty (never true for a live mapping).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw byte view of the whole mapping.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live MAP_SHARED region we own.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable raw byte view of the whole mapping.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as above; &mut self guarantees exclusivity at this layer.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn check_layout<T: Pod>(&self) -> Result<usize> {
+        let size = std::mem::size_of::<T>();
+        let align = std::mem::align_of::<T>();
+        // mmap returns page-aligned addresses, so alignment can only fail
+        // for exotic over-aligned types; length must divide exactly.
+        if size == 0 || !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(align) {
+            return Err(Error::BadLayout {
+                elem_size: size,
+                elem_align: align,
+                map_len: self.len,
+            });
+        }
+        Ok(self.len / size)
+    }
+
+    /// View the mapping as a slice of `T`.
+    pub fn as_slice_of<T: Pod>(&self) -> Result<&[T]> {
+        let n = self.check_layout::<T>()?;
+        // SAFETY: layout checked; T is Pod so any bytes are valid.
+        Ok(unsafe { std::slice::from_raw_parts(self.ptr.as_ptr() as *const T, n) })
+    }
+
+    /// View the mapping as a mutable slice of `T`.
+    pub fn as_mut_slice_of<T: Pod>(&mut self) -> Result<&mut [T]> {
+        let n = self.check_layout::<T>()?;
+        // SAFETY: layout checked; &mut self gives exclusivity.
+        Ok(unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr() as *mut T, n) })
+    }
+
+    /// View the mapping as a slice of `AtomicU32`.
+    ///
+    /// This is the engine's shared-access path: dispatch and compute actors
+    /// hold the same `Arc<MmapMut>` and perform relaxed atomic loads/stores;
+    /// ordering across superstep boundaries comes from the manager barrier.
+    pub fn atomic_u32(&self) -> Result<&[AtomicU32]> {
+        let size = std::mem::size_of::<AtomicU32>();
+        if !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(size) {
+            return Err(Error::BadLayout {
+                elem_size: size,
+                elem_align: size,
+                map_len: self.len,
+            });
+        }
+        // SAFETY: AtomicU32 has the same layout as u32 and every bit pattern
+        // is valid; shared mutation through &self is the whole point of the
+        // atomic type.
+        Ok(unsafe {
+            std::slice::from_raw_parts(self.ptr.as_ptr() as *const AtomicU32, self.len / size)
+        })
+    }
+
+    /// View the mapping as a slice of `AtomicU64`. See [`Self::atomic_u32`].
+    pub fn atomic_u64(&self) -> Result<&[AtomicU64]> {
+        let size = std::mem::size_of::<AtomicU64>();
+        if !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(size) {
+            return Err(Error::BadLayout {
+                elem_size: size,
+                elem_align: size,
+                map_len: self.len,
+            });
+        }
+        // SAFETY: as atomic_u32.
+        Ok(unsafe {
+            std::slice::from_raw_parts(self.ptr.as_ptr() as *const AtomicU64, self.len / size)
+        })
+    }
+
+    /// Synchronously write dirty pages back to the file (`msync(MS_SYNC)`).
+    pub fn flush(&self) -> Result<()> {
+        // SAFETY: valid region owned by self.
+        let rc = unsafe { libc::msync(self.ptr.as_ptr() as *mut _, self.len, libc::MS_SYNC) };
+        if rc != 0 {
+            return Err(Error::Io(std::io::Error::last_os_error()));
+        }
+        Ok(())
+    }
+
+    /// Hint the kernel about the upcoming access pattern.
+    pub fn advise(&self, advice: Advice) -> Result<()> {
+        // SAFETY: valid region owned by self.
+        let rc = unsafe { libc::madvise(self.ptr.as_ptr() as *mut _, self.len, advice.as_raw()) };
+        if rc != 0 {
+            return Err(Error::Io(std::io::Error::last_os_error()));
+        }
+        Ok(())
+    }
+
+    /// The underlying file handle (for metadata or extra fsyncs).
+    pub fn file(&self) -> &File {
+        &self.file
+    }
+}
+
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact region we mapped; errors on unmap are
+        // not actionable during drop.
+        unsafe {
+            libc::munmap(self.ptr.as_ptr() as *mut _, self.len);
+        }
+    }
+}
+
+impl Mmap {
+    /// Map an existing file read-only over its full current length.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let ptr = map_fd(&file, len, libc::PROT_READ)?;
+        Ok(Mmap {
+            ptr,
+            len,
+            _file: file,
+        })
+    }
+
+    /// Length of the mapped region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the region is empty (never true for a live mapping).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw byte view of the whole mapping.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live mapping we own.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// View the mapping as a slice of `T`.
+    pub fn as_slice_of<T: Pod>(&self) -> Result<&[T]> {
+        let size = std::mem::size_of::<T>();
+        let align = std::mem::align_of::<T>();
+        if size == 0 || !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(align) {
+            return Err(Error::BadLayout {
+                elem_size: size,
+                elem_align: align,
+                map_len: self.len,
+            });
+        }
+        // SAFETY: layout checked; T is Pod.
+        Ok(unsafe { std::slice::from_raw_parts(self.ptr.as_ptr() as *const T, self.len / size) })
+    }
+
+    /// Hint the kernel about the upcoming access pattern.
+    pub fn advise(&self, advice: Advice) -> Result<()> {
+        // SAFETY: valid region owned by self.
+        let rc = unsafe { libc::madvise(self.ptr.as_ptr() as *mut _, self.len, advice.as_raw()) };
+        if rc != 0 {
+            return Err(Error::Io(std::io::Error::last_os_error()));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact region we mapped.
+        unsafe {
+            libc::munmap(self.ptr.as_ptr() as *mut _, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-mmap-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_write_reopen_roundtrip() {
+        let path = tmp("roundtrip.bin");
+        {
+            let mut m = MmapMut::create(&path, 8192).unwrap();
+            let s = m.as_mut_slice_of::<u64>().unwrap();
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (i as u64) * 3;
+            }
+            m.flush().unwrap();
+        }
+        let m = Mmap::open(&path).unwrap();
+        let s = m.as_slice_of::<u64>().unwrap();
+        assert_eq!(s.len(), 1024);
+        assert_eq!(s[7], 21);
+        assert_eq!(s[1023], 1023 * 3);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let path = tmp("empty.bin");
+        match MmapMut::create(&path, 0) {
+            Err(Error::EmptyMapping) => {}
+            other => panic!("expected EmptyMapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        let path = tmp("odd.bin");
+        let m = MmapMut::create(&path, 10).unwrap();
+        assert!(m.as_slice_of::<u64>().is_err());
+        assert!(m.as_slice_of::<u8>().is_ok());
+        assert!(m.atomic_u32().is_err());
+    }
+
+    #[test]
+    fn shared_visibility_between_two_maps() {
+        let path = tmp("shared.bin");
+        let mut a = MmapMut::create(&path, 4096).unwrap();
+        let b = MmapMut::open(&path).unwrap();
+        a.as_mut_slice_of::<u32>().unwrap()[17] = 0xDEAD_BEEF;
+        assert_eq!(b.as_slice_of::<u32>().unwrap()[17], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn atomic_view_cross_thread() {
+        let path = tmp("atomic.bin");
+        let m = std::sync::Arc::new(MmapMut::create(&path, 4096).unwrap());
+        let n_threads = 8;
+        let incr_per_thread = 10_000;
+        let mut handles = Vec::new();
+        for _ in 0..n_threads {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                let a = m.atomic_u32().unwrap();
+                for _ in 0..incr_per_thread {
+                    a[0].fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            m.atomic_u32().unwrap()[0].load(Ordering::Relaxed),
+            n_threads * incr_per_thread
+        );
+    }
+
+    #[test]
+    fn advise_all_variants_accepted() {
+        let path = tmp("advise.bin");
+        let m = MmapMut::create(&path, 4096).unwrap();
+        for adv in [
+            Advice::Normal,
+            Advice::Sequential,
+            Advice::Random,
+            Advice::WillNeed,
+        ] {
+            m.advise(adv).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_maps_existing_contents() {
+        let path = tmp("existing.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let m = MmapMut::open(&path).unwrap();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.as_bytes(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.as_slice_of::<u32>().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn atomic_u64_view_works() {
+        let path = tmp("atomic64.bin");
+        let m = MmapMut::create(&path, 64).unwrap();
+        let a = m.atomic_u64().unwrap();
+        a[3].store(u64::MAX - 1, Ordering::Relaxed);
+        assert_eq!(a[3].load(Ordering::Relaxed), u64::MAX - 1);
+        assert_eq!(m.as_slice_of::<u64>().unwrap()[3], u64::MAX - 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Plain-old-data marker for types that may be viewed inside a mapping.
+
+/// Types that are safe to reinterpret from raw mapped bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee that **every** bit pattern of
+/// `size_of::<Self>()` bytes is a valid value of `Self` and that `Self`
+/// contains no padding, pointers, or interior mutability. All primitive
+/// integer and IEEE-754 float types qualify.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_pod<T: Pod>() {}
+
+    #[test]
+    fn primitives_are_pod() {
+        assert_pod::<u8>();
+        assert_pod::<u32>();
+        assert_pod::<u64>();
+        assert_pod::<f32>();
+        assert_pod::<f64>();
+        assert_pod::<[u32; 2]>();
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: mapped writes must roundtrip through the filesystem
+//! byte-for-byte for arbitrary contents and access patterns.
+
+use gpsa_mmap::{Mmap, MmapMut};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpsa-mmap-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{case}.bin"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bytes_roundtrip_through_flush_and_reopen(data in proptest::collection::vec(any::<u8>(), 1..8192)) {
+        let path = tmp("bytes");
+        {
+            let mut m = MmapMut::create(&path, data.len()).unwrap();
+            m.as_bytes_mut().copy_from_slice(&data);
+            m.flush().unwrap();
+        }
+        let m = Mmap::open(&path).unwrap();
+        prop_assert_eq!(m.as_bytes(), &data[..]);
+        // And through plain fs read too.
+        prop_assert_eq!(std::fs::read(&path).unwrap(), data);
+    }
+
+    #[test]
+    fn sparse_u32_writes_land_at_their_offsets(
+        len_words in 1usize..2048,
+        writes in proptest::collection::vec((any::<prop::sample::Index>(), any::<u32>()), 0..64),
+    ) {
+        let path = tmp("sparse");
+        let mut expect = vec![0u32; len_words];
+        {
+            let mut m = MmapMut::create(&path, len_words * 4).unwrap();
+            let s = m.as_mut_slice_of::<u32>().unwrap();
+            for (idx, val) in &writes {
+                let i = idx.index(len_words);
+                s[i] = *val;
+                expect[i] = *val;
+            }
+            m.flush().unwrap();
+        }
+        let m = Mmap::open(&path).unwrap();
+        prop_assert_eq!(m.as_slice_of::<u32>().unwrap(), &expect[..]);
+    }
+
+    #[test]
+    fn atomic_and_plain_views_agree(words in proptest::collection::vec(any::<u32>(), 1..512)) {
+        let path = tmp("views");
+        let mut m = MmapMut::create(&path, words.len() * 4).unwrap();
+        m.as_mut_slice_of::<u32>().unwrap().copy_from_slice(&words);
+        let atomics = m.atomic_u32().unwrap();
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(atomics[i].load(Ordering::Relaxed), *w);
+        }
+        // Store through the atomic view, read through the plain view.
+        for a in atomics {
+            a.store(a.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+        }
+        let plain = m.as_slice_of::<u32>().unwrap();
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(plain[i], w.wrapping_add(1));
+        }
+    }
+}

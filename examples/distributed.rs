@@ -1,0 +1,65 @@
+//! Distributed GPSA: the same actor protocol spanning a simulated
+//! cluster (the paper's §III claim that the model "can be directly
+//! applicable to distributed systems"), with cross-node traffic as the
+//! observable.
+//!
+//! ```text
+//! cargo run --release -p gpsa-cli --example distributed
+//! ```
+
+use gpsa::programs::ConnectedComponents;
+use gpsa::Termination;
+use gpsa_dist::{Cluster, ClusterConfig};
+use gpsa_graph::generate::{self, RmatParams};
+use gpsa_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let work = std::env::temp_dir().join("gpsa-distributed");
+    std::fs::create_dir_all(&work)?;
+    let el = generate::symmetrize(&generate::rmat(40_000, 200_000, RmatParams::default(), 21));
+    println!(
+        "graph: {} vertices, {} edges (symmetrized R-MAT)\n",
+        el.n_vertices,
+        el.len()
+    );
+
+    let mut t = Table::new(&[
+        "nodes",
+        "supersteps",
+        "total time",
+        "local msgs",
+        "remote msgs",
+        "remote %",
+    ]);
+    let mut first_values: Option<Vec<u32>> = None;
+    for nodes in [1usize, 2, 4, 8] {
+        let config = ClusterConfig::new(nodes, work.join(format!("n{nodes}")))
+            .with_termination(Termination::Quiescence {
+                max_supersteps: 10_000,
+            });
+        let cluster = Cluster::new(config);
+        let report = cluster.run(&el, ConnectedComponents)?;
+        match &first_values {
+            None => first_values = Some(report.values.clone()),
+            Some(v) => assert_eq!(v, &report.values, "all cluster sizes agree"),
+        }
+        let total: std::time::Duration = report.step_times.iter().sum();
+        let local = report.traffic.local();
+        let remote = report.traffic.remote();
+        t.row(&[
+            nodes.to_string(),
+            report.supersteps.to_string(),
+            format!("{total:.2?}"),
+            local.to_string(),
+            remote.to_string(),
+            format!("{:.0}%", 100.0 * remote as f64 / (local + remote).max(1) as f64),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\nRange partitioning of an R-MAT graph sends most messages across \
+         nodes as the cluster grows — the communication cost the paper's \
+         distributed-systems discussion (§I) warns about, now measurable."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Social-influence analysis: PageRank on a soc-pokec-like graph across
+//! all three engines, with per-engine timing — a miniature of the paper's
+//! Fig. 8 experiment.
+//!
+//! ```text
+//! cargo run --release -p gpsa-cli --example social_influence
+//! ```
+
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_algorithms::gpsa_programs::PageRank;
+use gpsa_algorithms::psw::PswPageRank;
+use gpsa_algorithms::reference;
+use gpsa_algorithms::xs::XsPageRank;
+use gpsa_baselines::graphchi::{PswConfig, PswEngine, PswTermination};
+use gpsa_baselines::xstream::{XsConfig, XsEngine, XsTermination};
+use gpsa_graph::datasets::Dataset;
+use gpsa_metrics::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let work_dir = std::env::temp_dir().join("gpsa-social");
+    std::fs::create_dir_all(&work_dir)?;
+    // A ~1/512-scale soc-pokec stand-in keeps this example under a minute.
+    let scale = 512;
+    let el = Dataset::Pokec.generate(scale);
+    println!(
+        "soc-pokec at 1/{scale} scale: {} vertices, {} edges",
+        el.n_vertices,
+        el.len()
+    );
+    let steps = 5u64; // the paper's methodology
+
+    // GPSA.
+    let engine = Engine::new(
+        EngineConfig::new(work_dir.join("gpsa"))
+            .with_termination(Termination::Supersteps(steps)),
+    );
+    let gpsa_report = engine.run_edge_list(el.clone(), "pokec", PageRank::default())?;
+
+    // GraphChi-like.
+    let mut psw_cfg = PswConfig::new(work_dir.join("psw"));
+    psw_cfg.termination = PswTermination::Iterations(steps);
+    psw_cfg.threads = 2;
+    let psw_report = PswEngine::new(psw_cfg).run(&el, PswPageRank::default())?;
+
+    // X-Stream-like.
+    let mut xs_cfg = XsConfig::new(work_dir.join("xs"));
+    xs_cfg.termination = XsTermination::Iterations(steps);
+    xs_cfg.threads = 2;
+    let xs_report = XsEngine::new(xs_cfg).run(&el, XsPageRank::default())?;
+
+    let mut t = Table::new(&["engine", "supersteps", "mean step", "total"]);
+    let mean = |times: &[std::time::Duration]| {
+        let k = times.len().min(steps as usize).max(1);
+        times[..k].iter().sum::<std::time::Duration>() / k as u32
+    };
+    t.row(&[
+        "GPSA".to_string(),
+        gpsa_report.supersteps.to_string(),
+        format!("{:?}", mean(&gpsa_report.step_times)),
+        format!("{:?}", gpsa_report.superstep_total()),
+    ]);
+    t.row(&[
+        "GraphChi-like".to_string(),
+        psw_report.iterations.to_string(),
+        format!("{:?}", mean(&psw_report.step_times)),
+        format!("{:?}", psw_report.step_times.iter().sum::<std::time::Duration>()),
+    ]);
+    t.row(&[
+        "X-Stream-like".to_string(),
+        xs_report.iterations.to_string(),
+        format!("{:?}", mean(&xs_report.step_times)),
+        format!("{:?}", xs_report.step_times.iter().sum::<std::time::Duration>()),
+    ]);
+    print!("{t}");
+
+    // The engines agree on the result.
+    let expect = reference::pagerank(&el, 0.85, steps as usize);
+    let xs_ranks: Vec<f32> = xs_report.values.iter().map(|&b| f32::from_bits(b)).collect();
+    println!(
+        "max |GPSA - reference| = {:.2e}, max |X-Stream - reference| = {:.2e}",
+        reference::max_abs_diff(&gpsa_report.values, &expect),
+        reference::max_abs_diff(&xs_ranks, &expect),
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Repo-level integration: the scaled paper datasets flow through
+//! generation → preprocessing → all three engines, and the engines agree.
+
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_algorithms::gpsa_programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa_algorithms::psw::PswCc;
+use gpsa_algorithms::reference;
+use gpsa_algorithms::xs::XsCc;
+use gpsa_baselines::graphchi::{PswConfig, PswEngine};
+use gpsa_baselines::xstream::{XsConfig, XsEngine};
+use gpsa_graph::datasets::Dataset;
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-int-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Heavily scaled-down google graph exercises the whole dataset pipeline.
+const SCALE: u64 = 2048;
+
+#[test]
+fn dataset_materialization_matches_catalog() {
+    let dir = workdir("ds");
+    for ds in Dataset::ALL {
+        let el = ds.generate(SCALE * 16);
+        assert_eq!(el.len(), ds.scaled_edges(SCALE * 16), "{ds}");
+        assert_eq!(el.n_vertices, ds.scaled_nodes(SCALE * 16), "{ds}");
+    }
+    // Materialize one and reopen it.
+    let (path, stats) = Dataset::Google.materialize(&dir, SCALE).unwrap();
+    let csr = gpsa_graph::DiskCsr::open(&path).unwrap();
+    assert_eq!(csr.n_edges(), stats.n_edges);
+    assert_eq!(csr.n_vertices(), stats.n_vertices);
+}
+
+#[test]
+fn google_standin_runs_all_three_algorithms_on_gpsa() {
+    let dir = workdir("google");
+    let (path, _) = Dataset::Google.materialize(&dir, SCALE).unwrap();
+    let el = Dataset::Google.generate(SCALE);
+
+    // PageRank, 5 supersteps (the paper's methodology).
+    let pr = Engine::new(
+        EngineConfig::new(dir.join("pr")).with_termination(Termination::Supersteps(5)),
+    )
+    .run(&path, PageRank::default())
+    .unwrap();
+    let expect_pr = reference::pagerank(&el, 0.85, 5);
+    assert!(
+        reference::max_abs_diff(&pr.values, &expect_pr) < 1e-5,
+        "pagerank parity"
+    );
+
+    // BFS from the hub.
+    let deg = el.out_degrees();
+    let root = (0..el.n_vertices as u32)
+        .max_by_key(|&v| deg[v as usize])
+        .unwrap();
+    let bfs = Engine::new(EngineConfig::new(dir.join("bfs")))
+        .run(&path, Bfs { root })
+        .unwrap();
+    assert_eq!(bfs.values, reference::bfs(&el, root), "bfs parity");
+
+    // CC.
+    let cc = Engine::new(EngineConfig::new(dir.join("cc")))
+        .run(&path, ConnectedComponents)
+        .unwrap();
+    assert_eq!(
+        cc.values,
+        reference::connected_components(&el),
+        "cc parity"
+    );
+}
+
+#[test]
+fn all_three_engines_agree_on_pokec_standin() {
+    let dir = workdir("pokec");
+    let el = Dataset::Pokec.generate(SCALE * 8);
+    let expect = reference::connected_components(&el);
+
+    let engine = Engine::new(EngineConfig::new(dir.join("gpsa")));
+    let gpsa_cc = engine
+        .run_edge_list(el.clone(), "pokec-cc", ConnectedComponents)
+        .unwrap();
+    assert_eq!(gpsa_cc.values, expect, "gpsa");
+
+    let psw = PswEngine::new(PswConfig::new(dir.join("psw")))
+        .run(&el, PswCc)
+        .unwrap();
+    assert_eq!(psw.values, expect, "psw");
+
+    let mut xcfg = XsConfig::new(dir.join("xs"));
+    xcfg.in_memory = true;
+    let xs = XsEngine::new(xcfg).run(&el, XsCc).unwrap();
+    assert_eq!(xs.values, expect, "xstream");
+}
+
+#[test]
+fn engine_scales_with_actor_counts() {
+    // More dispatchers/computers than the default must not change results
+    // (the paper runs with "thousands of actors").
+    let dir = workdir("scalecfg");
+    let el = Dataset::Google.generate(SCALE);
+    let expect = reference::connected_components(&el);
+    for (d, c) in [(1, 1), (4, 4), (16, 16), (64, 64)] {
+        let config = EngineConfig::new(dir.join(format!("d{d}c{c}"))).with_actors(d, c);
+        let engine = Engine::new(config);
+        let got = engine
+            .run_edge_list(el.clone(), &format!("g-{d}-{c}"), ConnectedComponents)
+            .unwrap();
+        assert_eq!(got.values, expect, "d={d} c={c}");
+    }
+}

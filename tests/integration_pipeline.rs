@@ -1,0 +1,240 @@
+//! End-to-end pipeline tests: text input → external-sort preprocessing →
+//! on-disk CSR → engine run, plus smoke tests of the `gpsa` binary.
+
+use gpsa::programs::ConnectedComponents;
+use gpsa::{Engine, EngineConfig};
+use gpsa_algorithms::reference;
+use gpsa_graph::{generate, preprocess, DiskCsr, EdgeList};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-pipe-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn text_to_result_pipeline() {
+    let dir = workdir("text");
+    let el = generate::symmetrize(&generate::rmat(
+        300,
+        1500,
+        generate::RmatParams::default(),
+        17,
+    ));
+    let txt = dir.join("graph.txt");
+    el.write_text_file(&txt).unwrap();
+
+    let csr = dir.join("graph.gcsr");
+    let stats =
+        preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default()).unwrap();
+    assert_eq!(stats.n_edges, el.len());
+
+    let report = Engine::new(EngineConfig::new(&dir))
+        .run(&csr, ConnectedComponents)
+        .unwrap();
+    assert_eq!(report.values, reference::connected_components(&el));
+}
+
+#[test]
+fn binary_external_sort_to_result_pipeline() {
+    let dir = workdir("bin");
+    let el = generate::rmat(400, 3000, generate::RmatParams::default(), 23);
+    let bin = dir.join("graph.bin");
+    el.write_binary_file(&bin).unwrap();
+
+    // Tiny run capacity: the external sort really merges many runs.
+    let opts = preprocess::PreprocessOptions {
+        run_capacity: 100,
+        with_degrees: true,
+        temp_dir: Some(dir.clone()),
+    };
+    let csr = dir.join("graph.gcsr");
+    let stats = preprocess::binary_to_csr(&bin, &csr, &opts).unwrap();
+    assert!(stats.runs >= 30);
+
+    let d = DiskCsr::open(&csr).unwrap();
+    assert_eq!(d.n_edges(), 3000);
+
+    let report = Engine::new(EngineConfig::new(&dir))
+        .run(&csr, ConnectedComponents)
+        .unwrap();
+    // A headerless binary edge list cannot express isolated tail vertices,
+    // so the CSR may cover slightly fewer vertices than the generator's
+    // nominal count; the covered prefix must still match, and any dropped
+    // tail must be isolated.
+    let expect = reference::connected_components(&el);
+    let covered = report.values.len();
+    assert!(covered <= expect.len());
+    assert_eq!(report.values, expect[..covered]);
+    let deg = el.out_degrees();
+    let indeg = reference::in_degree(&el);
+    for v in covered..el.n_vertices {
+        assert_eq!(deg[v] + indeg[v], 0, "dropped vertex {v} must be isolated");
+    }
+}
+
+fn gpsa_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpsa"))
+}
+
+#[test]
+fn cli_help_and_unknown_command() {
+    let out = gpsa_bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = gpsa_bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_generate_info_run_roundtrip() {
+    let dir = workdir("cli");
+    // generate
+    let out = gpsa_bin()
+        .args([
+            "generate",
+            "--dataset",
+            "google",
+            "--scale",
+            "4096",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let csr = dir.join("google-s4096.gcsr");
+    assert!(csr.exists(), "generate output missing; stdout: {stdout}");
+
+    // info
+    let out = gpsa_bin().args(["info", "--graph"]).arg(&csr).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vertices"), "info output: {stdout}");
+
+    // run cc
+    let out = gpsa_bin()
+        .args(["run", "--algo", "cc", "--graph"])
+        .arg(&csr)
+        .args(["--work-dir"])
+        .arg(dir.join("work"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("components:"), "run output: {stdout}");
+
+    // run pagerank with explicit supersteps
+    let out = gpsa_bin()
+        .args(["run", "--algo", "pagerank", "--supersteps", "3", "--graph"])
+        .arg(&csr)
+        .args(["--work-dir"])
+        .arg(dir.join("work-pr"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top 5 vertices"), "pr output: {stdout}");
+    assert!(stdout.contains("3 supersteps"), "pr output: {stdout}");
+}
+
+#[test]
+fn cli_preprocess_text_input() {
+    let dir = workdir("cli-prep");
+    let el = EdgeList::from_edges(vec![
+        (0u32, 1u32).into(),
+        (1, 2).into(),
+        (2, 0).into(),
+        (2, 3).into(),
+    ]);
+    let txt = dir.join("tiny.txt");
+    el.write_text_file(&txt).unwrap();
+    let csr = dir.join("tiny.gcsr");
+    let out = gpsa_bin()
+        .args(["preprocess", "--input"])
+        .arg(&txt)
+        .args(["--output"])
+        .arg(&csr)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "preprocess failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let d = DiskCsr::open(&csr).unwrap();
+    assert_eq!(d.n_edges(), 4);
+    assert_eq!(d.vertex_edges(2).targets, &[0, 3]);
+}
+
+#[test]
+fn cli_alternative_engines_run() {
+    let dir = workdir("cli-engines");
+    let el = generate::symmetrize(&generate::erdos_renyi(60, 240, 4));
+    let txt = dir.join("g.txt");
+    el.write_text_file(&txt).unwrap();
+    let csr = dir.join("g.gcsr");
+    preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default()).unwrap();
+    for engine in ["graphchi", "xstream", "sync", "dist"] {
+        let out = gpsa_bin()
+            .args(["run", "--algo", "cc", "--engine", engine, "--graph"])
+            .arg(&csr)
+            .args(["--work-dir"])
+            .arg(dir.join(format!("work-{engine}")))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "engine {engine} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("label") || stdout.contains("iterations"),
+            "engine {engine} output: {stdout}"
+        );
+    }
+    // dist reports traffic.
+    let out = gpsa_bin()
+        .args(["run", "--algo", "cc", "--engine", "dist", "--nodes", "3", "--graph"])
+        .arg(&csr)
+        .args(["--work-dir"])
+        .arg(dir.join("work-dist3"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("traffic:"));
+}
+
+#[test]
+fn cli_bfs_reports_reachability() {
+    let dir = workdir("cli-bfs");
+    let el = generate::chain(10);
+    let txt = dir.join("chain.txt");
+    el.write_text_file(&txt).unwrap();
+    let csr = dir.join("chain.gcsr");
+    preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default()).unwrap();
+    let out = gpsa_bin()
+        .args(["run", "--algo", "bfs", "--root", "0", "--graph"])
+        .arg(&csr)
+        .args(["--work-dir"])
+        .arg(dir.join("work"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reached 10/10"), "bfs output: {stdout}");
+    assert!(stdout.contains("max level 9"), "bfs output: {stdout}");
+}

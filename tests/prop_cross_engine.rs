@@ -1,0 +1,143 @@
+//! Property-based cross-engine tests: on arbitrary random graphs, all
+//! three engines must agree with the sequential references.
+
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_algorithms::gpsa_programs::{Bfs, ConnectedComponents, PageRank, Sssp};
+use gpsa_algorithms::psw::PswCc;
+use gpsa_algorithms::reference;
+use gpsa_algorithms::xs::XsBfs;
+use gpsa_baselines::graphchi::{PswConfig, PswEngine};
+use gpsa_baselines::xstream::{XsConfig, XsEngine};
+use gpsa_graph::{Edge, EdgeList};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn workdir(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "gpsa-prop-{}-{tag}-{case}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Strategy: a graph with 2..=40 vertices and 0..=120 arbitrary edges.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..=40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=120).prop_map(move |pairs| {
+            let edges = pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| Edge::new(a, b))
+                .collect();
+            EdgeList::with_vertices(edges, n)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gpsa_cc_matches_reference(el in arb_graph()) {
+        let expect = reference::connected_components(&el);
+        let engine = Engine::new(EngineConfig::small(workdir("cc")));
+        let got = engine.run_edge_list(el, "g", ConnectedComponents).unwrap();
+        prop_assert_eq!(got.values, expect);
+    }
+
+    #[test]
+    fn gpsa_bfs_matches_reference(el in arb_graph(), root_sel in 0u32..40) {
+        let root = root_sel % el.n_vertices as u32;
+        let expect = reference::bfs(&el, root);
+        let engine = Engine::new(EngineConfig::small(workdir("bfs")));
+        let got = engine.run_edge_list(el, "g", Bfs { root }).unwrap();
+        prop_assert_eq!(got.values, expect);
+    }
+
+    #[test]
+    fn gpsa_sssp_matches_bellman_ford(el in arb_graph()) {
+        let expect = reference::sssp(&el, 0);
+        let engine = Engine::new(EngineConfig::small(workdir("sssp")));
+        let got = engine.run_edge_list(el, "g", Sssp { root: 0 }).unwrap();
+        prop_assert_eq!(got.values, expect);
+    }
+
+    #[test]
+    fn gpsa_pagerank_matches_power_iteration(el in arb_graph()) {
+        let steps = 6;
+        let expect = reference::pagerank(&el, 0.85, steps);
+        let engine = Engine::new(
+            EngineConfig::small(workdir("pr"))
+                .with_termination(Termination::Supersteps(steps as u64)),
+        );
+        let got = engine.run_edge_list(el, "g", PageRank::default()).unwrap();
+        let diff = reference::max_abs_diff(&got.values, &expect);
+        prop_assert!(diff < 1e-5, "diff {}", diff);
+    }
+
+    #[test]
+    fn psw_cc_matches_reference(el in arb_graph()) {
+        let expect = reference::connected_components(&el);
+        let engine = PswEngine::new(PswConfig::new(workdir("psw")));
+        let got = engine.run(&el, PswCc).unwrap();
+        prop_assert_eq!(got.values, expect);
+    }
+
+    #[test]
+    fn xstream_bfs_matches_reference(el in arb_graph(), root_sel in 0u32..40) {
+        let root = root_sel % el.n_vertices as u32;
+        let expect = reference::bfs(&el, root);
+        let mut cfg = XsConfig::new(workdir("xs"));
+        cfg.in_memory = true;
+        let got = XsEngine::new(cfg).run(&el, XsBfs { root }).unwrap();
+        prop_assert_eq!(got.values, expect);
+    }
+
+    /// The actor engine and the sequential-phase BSP engine execute the
+    /// SAME VertexProgram trait; they must agree everywhere.
+    #[test]
+    fn actor_engine_matches_sync_engine_cc(el in arb_graph()) {
+        let term = Termination::Quiescence { max_supersteps: 2000 };
+        let sync = gpsa::SyncEngine::new(term).run(&el, ConnectedComponents);
+        let engine = Engine::new(EngineConfig::small(workdir("sync-cc")).with_termination(term));
+        let actor = engine.run_edge_list(el, "g", ConnectedComponents).unwrap();
+        prop_assert_eq!(actor.values, sync.values);
+    }
+
+    #[test]
+    fn actor_engine_matches_sync_engine_pagerank(el in arb_graph()) {
+        let term = Termination::Supersteps(5);
+        let sync = gpsa::SyncEngine::new(term).run(&el, PageRank::default());
+        let engine = Engine::new(EngineConfig::small(workdir("sync-pr")).with_termination(term));
+        let actor = engine.run_edge_list(el, "g", PageRank::default()).unwrap();
+        let max_diff = actor.values.iter().zip(&sync.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(max_diff < 1e-6, "diff {}", max_diff);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_adjacency(el in arb_graph()) {
+        let dir = workdir("csr");
+        let path = dir.join("g.gcsr");
+        gpsa_graph::preprocess::edges_to_csr(
+            el.clone(),
+            &path,
+            &gpsa_graph::preprocess::PreprocessOptions::default(),
+        ).unwrap();
+        let d = gpsa_graph::DiskCsr::open(&path).unwrap();
+        prop_assert_eq!(d.n_vertices(), el.n_vertices);
+        prop_assert_eq!(d.n_edges(), el.len());
+        let csr = gpsa_graph::Csr::from_edge_list(&el);
+        for v in 0..el.n_vertices as u32 {
+            let rec = d.vertex_edges(v);
+            prop_assert_eq!(rec.targets, csr.neighbors(v));
+            prop_assert_eq!(rec.degree as usize, csr.neighbors(v).len());
+        }
+    }
+}
