@@ -92,11 +92,15 @@ impl Scheduler {
 
     fn find_task(&self, local: &Deque<Task>, index: usize) -> Option<Task> {
         if let Some(t) = local.pop() {
+            self.metrics.local_pops.fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
         loop {
             match self.injector.steal_batch_and_pop(local) {
-                crossbeam_deque::Steal::Success(t) => return Some(t),
+                crossbeam_deque::Steal::Success(t) => {
+                    self.metrics.injector_pops.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
                 crossbeam_deque::Steal::Retry => continue,
                 crossbeam_deque::Steal::Empty => break,
             }
@@ -107,13 +111,23 @@ impl Scheduler {
             let victim = &self.stealers[(index + off) % n];
             loop {
                 match victim.steal() {
-                    crossbeam_deque::Steal::Success(t) => return Some(t),
+                    crossbeam_deque::Steal::Success(t) => {
+                        self.metrics.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
                     crossbeam_deque::Steal::Retry => continue,
                     crossbeam_deque::Steal::Empty => break,
                 }
             }
         }
         None
+    }
+
+    /// Is there any task a worker could run right now? Consulted under the
+    /// sleep lock before parking: a task sitting in *any* peer's local deque
+    /// is stealable and therefore counts as visible work.
+    fn has_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
     }
 
     /// The body of one worker thread.
@@ -141,8 +155,14 @@ impl Scheduler {
                     self.sleepers.fetch_add(1, Ordering::AcqRel);
                     let mut g = self.sleep_lock.lock();
                     // Re-check under the lock so a schedule() between our
-                    // failed find_task and here is not missed.
-                    if self.injector.is_empty() && !self.is_shutdown() {
+                    // failed find_task and here is not missed. The check must
+                    // cover the peer deques, not just the injector: a worker
+                    // that pushes to its *local* deque while we are en route
+                    // to sleep sees `sleepers == 0` and skips the notify, and
+                    // an injector-only re-check would then strand that task
+                    // (and us) for the full 10ms backstop.
+                    if !self.has_visible_work() && !self.is_shutdown() {
+                        self.metrics.parks.fetch_add(1, Ordering::Relaxed);
                         self.sleep_cv
                             .wait_for(&mut g, Duration::from_millis(10));
                     }

@@ -26,6 +26,14 @@ pub struct SystemMetrics {
     pub spawned: AtomicU64,
     /// Supervised actors rebuilt after a panic.
     pub restarts: AtomicU64,
+    /// Tasks a worker popped from its own local deque.
+    pub local_pops: AtomicU64,
+    /// Tasks taken from the global injector queue.
+    pub injector_pops: AtomicU64,
+    /// Tasks stolen from a peer worker's deque.
+    pub steals: AtomicU64,
+    /// Times a worker found no runnable task and went to sleep.
+    pub parks: AtomicU64,
 }
 
 struct SystemInner {

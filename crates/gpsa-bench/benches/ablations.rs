@@ -273,6 +273,43 @@ fn bench_combiner(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_chunked_dispatch(c: &mut Criterion) {
+    // Tentpole ablation: cooperative ~N-edge dispatch chunks + recycled
+    // message slabs vs one monolithic activation per dispatcher. With more
+    // workers than dispatchers, chunking lets freed workers interleave
+    // compute batches between chunks (and steal dispatch work); monolithic
+    // dispatch caps dispatch parallelism at n_dispatchers.
+    use gpsa::programs::PageRank;
+    for (ds, scale, tag) in [
+        (Dataset::Twitter, 4096u64, "twitter-s"),
+        (Dataset::Google, 256, "google-s"),
+    ] {
+        let el = gpsa_bench::dataset_edges(ds, scale);
+        let mut g = c.benchmark_group(format!("chunked_dispatch_{tag}"));
+        g.sample_size(10);
+        for (sub, chunk) in [
+            ("monolithic", EngineConfig::MONOLITHIC_DISPATCH),
+            ("chunk64k", 65_536),
+            ("chunk16k", 16_384),
+        ] {
+            g.bench_function(sub, |b| {
+                let config = EngineConfig::new(workdir(&format!("cd-{tag}-{sub}")))
+                    .with_workers(4)
+                    .with_actors(2, 2)
+                    .with_termination(Termination::Supersteps(5))
+                    .with_dispatch_chunk(chunk);
+                let engine = Engine::new(config);
+                b.iter(|| {
+                    engine
+                        .run_edge_list(el.clone(), "g", PageRank::default())
+                        .unwrap()
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_flag_skipping,
@@ -280,6 +317,7 @@ criterion_group!(
     bench_csr_degree_inlining,
     bench_mmap_vs_read,
     bench_overlap,
-    bench_combiner
+    bench_combiner,
+    bench_chunked_dispatch
 );
 criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Chunked-dispatch benchmark: monolithic vs cooperative ~N-edge chunks,
+//! with recycled message slabs, on the scaled twitter/google stand-ins.
+//!
+//! Writes `BENCH_dispatch.json` (messages/sec, time-to-first-compute-batch,
+//! slab-pool hit rate per configuration) into `--data-dir` to seed the perf
+//! trajectory, and prints the same numbers as a table.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin bench_dispatch -- \
+//!     [--scale N] [--runs N] [--threads N] [--data-dir D]
+//! ```
+
+use std::time::Duration;
+
+use gpsa::programs::PageRank;
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_bench::{fmt_dur, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_metrics::Table;
+
+struct Cell {
+    dataset: &'static str,
+    mode: &'static str,
+    chunk: usize,
+    total: Duration,
+    messages: u64,
+    msgs_per_sec: f64,
+    first_batch: Option<Duration>,
+    pool_hit_rate: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    std::fs::create_dir_all(&cfg.data_dir)?;
+
+    // More workers than dispatchers, so freed workers can interleave
+    // compute batches between dispatch chunks — the regime the tentpole
+    // targets.
+    let workers = cfg.threads.max(4);
+    let dispatchers = (workers / 2).max(2) - 1;
+    let computers = dispatchers;
+
+    let modes: [(&'static str, usize); 3] = [
+        ("monolithic", EngineConfig::MONOLITHIC_DISPATCH),
+        ("chunk64k", 65_536),
+        ("chunk16k", 16_384),
+    ];
+    // twitter-s is the headline (chunked should win); google-s is the
+    // regression guard (chunked must stay within 5% of monolithic).
+    let datasets = [
+        (Dataset::Twitter, 16 * cfg.scale, "twitter-s"),
+        (Dataset::Google, cfg.scale, "google-s"),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (ds, scale, tag) in datasets {
+        let el = gpsa_bench::dataset_edges(ds, scale);
+        eprintln!(
+            "{tag}: {} vertices, {} edges; workers={workers} dispatchers={dispatchers}",
+            el.n_vertices,
+            el.len()
+        );
+        for (mode, chunk) in modes {
+            let mut totals = Vec::new();
+            let mut first = Vec::new();
+            let mut messages = 0u64;
+            let mut hit_rate = 0.0f64;
+            for run in 0..cfg.runs.max(1) {
+                let dir = cfg.data_dir.join(format!("bd-{tag}-{mode}-{run}"));
+                let config = EngineConfig::new(&dir)
+                    .with_workers(workers)
+                    .with_actors(dispatchers, computers)
+                    .with_termination(Termination::Supersteps(cfg.supersteps))
+                    .with_dispatch_chunk(chunk);
+                let r = Engine::new(config)
+                    .run_edge_list(el.clone(), tag, PageRank::default())
+                    .map_err(|e| e.to_string())?;
+                totals.push(r.step_times.iter().sum::<Duration>());
+                if let Some(fb) = r.mean_first_batch() {
+                    first.push(fb);
+                }
+                messages = r.messages;
+                hit_rate = r.pool_hit_rate();
+            }
+            let total = totals.iter().sum::<Duration>() / totals.len().max(1) as u32;
+            let first_batch = if first.is_empty() {
+                None
+            } else {
+                Some(first.iter().sum::<Duration>() / first.len() as u32)
+            };
+            let msgs_per_sec = messages as f64 / total.as_secs_f64().max(1e-9);
+            cells.push(Cell {
+                dataset: tag,
+                mode,
+                chunk,
+                total,
+                messages,
+                msgs_per_sec,
+                first_batch,
+                pool_hit_rate: hit_rate,
+            });
+        }
+    }
+
+    let mut t = Table::new(&[
+        "dataset",
+        "dispatch",
+        "superstep total",
+        "messages/sec",
+        "first batch",
+        "pool hit rate",
+    ]);
+    for c in &cells {
+        t.row(&[
+            c.dataset.to_string(),
+            c.mode.to_string(),
+            fmt_dur(c.total),
+            format!("{:.0}", c.msgs_per_sec),
+            c.first_batch.map(fmt_dur).unwrap_or_else(|| "-".into()),
+            format!("{:.1}%", c.pool_hit_rate * 100.0),
+        ]);
+    }
+    print!("{t}");
+
+    // Hand-rolled JSON: the workspace deliberately has no serde dependency.
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"dataset\": \"{}\",\n",
+                    "      \"mode\": \"{}\",\n",
+                    "      \"dispatch_chunk\": {},\n",
+                    "      \"superstep_total_us\": {},\n",
+                    "      \"messages\": {},\n",
+                    "      \"messages_per_sec\": {:.1},\n",
+                    "      \"first_batch_us\": {},\n",
+                    "      \"pool_hit_rate\": {:.4}\n",
+                    "    }}"
+                ),
+                c.dataset,
+                c.mode,
+                if c.chunk == EngineConfig::MONOLITHIC_DISPATCH {
+                    "null".to_string()
+                } else {
+                    c.chunk.to_string()
+                },
+                c.total.as_micros(),
+                c.messages,
+                c.msgs_per_sec,
+                c.first_batch
+                    .map(|d| d.as_micros().to_string())
+                    .unwrap_or_else(|| "null".into()),
+                c.pool_hit_rate,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"chunked_dispatch\",\n  \"supersteps\": {},\n  \"runs\": {},\n  \"workers\": {},\n  \"dispatchers\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cfg.supersteps,
+        cfg.runs,
+        workers,
+        dispatchers,
+        entries.join(",\n")
+    );
+    let out = cfg.data_dir.join("BENCH_dispatch.json");
+    std::fs::write(&out, &json)?;
+    println!("\nwrote {}", out.display());
+    Ok(())
+}

@@ -27,6 +27,7 @@ use gpsa_graph::VertexId;
 
 use crate::manager::{Manager, ManagerMsg};
 use crate::program::{GraphMeta, VertexProgram};
+use crate::slab::{MsgSlabPool, OverlapStats};
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::VertexValue;
@@ -34,10 +35,11 @@ use crate::VertexValue;
 /// Mailbox protocol of a compute actor.
 pub(crate) enum ComputeCmd<M> {
     /// A batch of `(destination, message value)` updates targeting the
-    /// given update column.
+    /// given update column. The buffer is a slab on loan from the shared
+    /// pool; the computer releases it back after folding.
     Batch {
         update_col: u32,
-        msgs: Box<[(VertexId, M)]>,
+        msgs: Vec<(VertexId, M)>,
     },
     /// COMPUTE_OVER token: finalize the superstep, report to the manager.
     Flush { superstep: u64, update_col: u32 },
@@ -63,6 +65,11 @@ pub(crate) struct Computer<P: VertexProgram> {
     /// always-dispatch (dense) programs, which must re-evaluate every
     /// owned vertex each superstep even if no message arrived.
     pub owned: Vec<VertexId>,
+    /// Slab free-list shared with the dispatchers; folded batches are
+    /// returned here.
+    pub pool: Arc<MsgSlabPool<P::MsgVal>>,
+    /// Superstep overlap statistics (time-to-first-batch).
+    pub stats: Arc<OverlapStats>,
 }
 
 impl<P: VertexProgram> Computer<P> {
@@ -72,6 +79,8 @@ impl<P: VertexProgram> Computer<P> {
         meta: GraphMeta,
         manager: Addr<Manager<P>>,
         owned: Vec<VertexId>,
+        pool: Arc<MsgSlabPool<P::MsgVal>>,
+        stats: Arc<OverlapStats>,
     ) -> Self {
         Computer {
             program,
@@ -81,6 +90,8 @@ impl<P: VertexProgram> Computer<P> {
             dirty: Vec::new(),
             messages: 0,
             owned,
+            pool,
+            stats,
         }
     }
 
@@ -164,9 +175,11 @@ impl<P: VertexProgram> Actor for Computer<P> {
     fn handle(&mut self, msg: ComputeCmd<P::MsgVal>, ctx: &mut Ctx<'_, Self>) {
         match msg {
             ComputeCmd::Batch { update_col, msgs } => {
+                self.stats.record_first_batch();
                 for &(v, m) in msgs.iter() {
                     self.fold(update_col, v, m);
                 }
+                self.pool.release(msgs);
             }
             ComputeCmd::Flush {
                 superstep,

@@ -60,6 +60,14 @@ pub struct EngineConfig {
     pub actor_batch: usize,
     /// `(dst, msg)` pairs per batch sent dispatcher → computer.
     pub msg_batch: usize,
+    /// Edges (CSR body words) per cooperative dispatch chunk. Each
+    /// dispatcher streams its interval as a sequence of roughly
+    /// this-many-edge slices, re-enqueueing itself between slices, so
+    /// dispatch work is subject to scheduler fairness and work stealing
+    /// and compute batches interleave with later chunks.
+    /// [`EngineConfig::MONOLITHIC_DISPATCH`] disables chunking (one
+    /// activation scans the whole interval, the original behaviour).
+    pub dispatch_chunk: usize,
     /// Stop condition.
     pub termination: Termination,
     /// Destination routing strategy.
@@ -82,6 +90,9 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// `dispatch_chunk` value that disables chunking entirely.
+    pub const MONOLITHIC_DISPATCH: usize = usize::MAX;
+
     /// Sensible defaults sized to the machine: one dispatcher and one
     /// computer per two cores, quiescence-bounded termination.
     pub fn new<P: AsRef<Path>>(work_dir: P) -> Self {
@@ -94,6 +105,7 @@ impl EngineConfig {
             workers: cores,
             actor_batch: 64,
             msg_batch: 4096,
+            dispatch_chunk: 32_768,
             termination: Termination::Quiescence {
                 max_supersteps: 10_000,
             },
@@ -115,6 +127,9 @@ impl EngineConfig {
             n_computers: 2,
             workers: 2,
             msg_batch: 64,
+            // Small enough that the test graphs exercise multi-chunk
+            // supersteps, not just the single-chunk fast path.
+            dispatch_chunk: 512,
             ..EngineConfig::new(work_dir)
         }
     }
@@ -137,6 +152,14 @@ impl EngineConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Builder-style: set the edges-per-chunk dispatch granularity
+    /// (clamped to at least 1; pass
+    /// [`EngineConfig::MONOLITHIC_DISPATCH`] to disable chunking).
+    pub fn with_dispatch_chunk(mut self, edges: usize) -> Self {
+        self.dispatch_chunk = edges.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,14 +173,25 @@ mod tests {
         assert!(c.n_computers >= 1);
         assert!(c.workers >= 1);
         assert!(c.msg_batch >= 1);
+        assert!(c.dispatch_chunk >= 1);
         assert!(!c.durable);
     }
 
     #[test]
     fn builders_clamp_to_one() {
-        let c = EngineConfig::new("/tmp").with_actors(0, 0).with_workers(0);
+        let c = EngineConfig::new("/tmp")
+            .with_actors(0, 0)
+            .with_workers(0)
+            .with_dispatch_chunk(0);
         assert_eq!(c.n_dispatchers, 1);
         assert_eq!(c.n_computers, 1);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.dispatch_chunk, 1);
+    }
+
+    #[test]
+    fn monolithic_dispatch_survives_the_builder() {
+        let c = EngineConfig::new("/tmp").with_dispatch_chunk(EngineConfig::MONOLITHIC_DISPATCH);
+        assert_eq!(c.dispatch_chunk, EngineConfig::MONOLITHIC_DISPATCH);
     }
 }

@@ -1,14 +1,33 @@
-//! The dispatch actor (paper Algorithm 2).
+//! The dispatch actor (paper Algorithm 2), chunked.
 //!
-//! Each dispatcher owns a contiguous vertex-id interval of the mmap'ed CSR
-//! edge file. On ITERATION_START it streams its interval sequentially:
-//! skips vertices whose dispatch-column value carries the not-updated
-//! flag, otherwise generates one message value via the program's `genMsg`
-//! and routes a copy to the compute actor owning each out-neighbor,
-//! batching per destination actor. After a vertex is dispatched its
-//! dispatch-column slot is invalidated (flag set) — pre-clearing the slot
-//! for its next life as the update column.
+//! Each dispatcher owns a vertex-id interval of the mmap'ed CSR edge
+//! file. On ITERATION_START it streams its interval: skips vertices whose
+//! dispatch-column value carries the not-updated flag, otherwise generates
+//! one message value via the program's `genMsg` and routes a copy to the
+//! compute actor owning each out-neighbor, batching per destination actor.
+//! After a vertex is dispatched its dispatch-column slot is invalidated
+//! (flag set) — pre-clearing the slot for its next life as the update
+//! column.
+//!
+//! ## Chunked dispatch
+//!
+//! The interval is not scanned in one activation. Each activation covers a
+//! slice of roughly `dispatch_chunk` edges and then self-sends a
+//! [`DispatchCmd::Chunk`] for the remainder, so (a) the actor scheduler's
+//! fairness batch and work stealing apply to dispatch work, (b) compute
+//! batches interleave with later chunks for deeper dispatch/compute
+//! overlap, and (c) a long interval cannot monopolize a worker thread.
+//! DISPATCH_OVER is only reported after the final chunk. Chunk
+//! self-messages never interleave with the next superstep's START: the
+//! manager does not start superstep `s+1` until every dispatcher reported
+//! DISPATCH_OVER for `s` and every computer flushed.
+//!
+//! Outgoing buffers are recycled through the shared
+//! [`MsgSlabPool`](crate::MsgSlabPool) rather than allocated per flush,
+//! and same-destination messages are merged by an in-place adjacent-run
+//! dedup that exploits CSR source ordering instead of sorting every batch.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use actor::{Actor, Addr, Ctx};
@@ -16,8 +35,9 @@ use gpsa_graph::{DiskCsr, VertexId};
 
 use crate::computer::{ComputeCmd, Computer};
 use crate::manager::{Manager, ManagerMsg};
-use crate::program::{GraphMeta, VertexProgram};
 use crate::partition::DispatchAssignment;
+use crate::program::{GraphMeta, VertexProgram};
+use crate::slab::MsgSlabPool;
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::Router;
@@ -28,6 +48,14 @@ use crate::VertexValue;
 pub(crate) enum DispatchCmd {
     /// ITERATION_START for `superstep`, reading the given dispatch column.
     Start { superstep: u64, dispatch_col: u32 },
+    /// Continue the current superstep's scan over `range` (a cooperative
+    /// self-message; the first ~chunk's worth of `range` is processed and
+    /// the rest re-enqueued).
+    Chunk {
+        superstep: u64,
+        dispatch_col: u32,
+        range: Range<VertexId>,
+    },
     /// SYSTEM_OVER.
     Shutdown,
 }
@@ -46,6 +74,14 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// Per-computer output buffers, flushed at `msg_batch` entries.
     pub buffers: Vec<Vec<(VertexId, P::MsgVal)>>,
     pub msg_batch: usize,
+    /// Shared slab free-list backing `buffers` (see [`MsgSlabPool`]).
+    pub pool: Arc<MsgSlabPool<P::MsgVal>>,
+    /// Edges per cooperative chunk; `u64::MAX` scans the whole interval
+    /// in one activation.
+    pub chunk_edges: u64,
+    /// Messages sent so far in the in-flight superstep (accumulated
+    /// across chunks, reported with DISPATCH_OVER).
+    pub step_sent: u64,
     /// Dispatch every vertex regardless of its flag (dense programs like
     /// PageRank; see `VertexProgram::always_dispatch`).
     pub always_dispatch: bool,
@@ -55,30 +91,39 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
 }
 
 impl<P: VertexProgram> Dispatcher<P> {
-    /// Flush one per-computer buffer, optionally combining
-    /// same-destination messages first (Pregel-combiner style: sort by
-    /// destination, fold adjacent duplicates).
-    /// Flush one per-computer buffer, returning how many messages went out.
+    /// Flush one per-computer buffer, returning how many messages went
+    /// out. The buffer is replaced with a recycled slab from the pool;
+    /// the computer releases the sent one back after folding it.
     fn flush_buffer(&mut self, owner: usize, update_col: u32) -> u64 {
-        let mut buf = std::mem::take(&mut self.buffers[owner]);
-        if buf.is_empty() {
+        if self.buffers[owner].is_empty() {
             return 0;
         }
+        let mut buf = std::mem::replace(&mut self.buffers[owner], self.pool.acquire());
         if self.combine {
-            buf.sort_unstable_by_key(|&(dst, _)| dst);
-            let mut out: Vec<(VertexId, P::MsgVal)> = Vec::with_capacity(buf.len());
-            for (dst, msg) in buf {
-                match out.last_mut() {
-                    Some((d, m)) if *d == dst => *m = self.program.combine(*m, msg),
-                    _ => out.push((dst, msg)),
+            // In-place adjacent-run dedup. The buffer is filled in CSR scan
+            // order, so one source's duplicate targets (parallel edges) and
+            // consecutive sources hitting the same destination are adjacent
+            // — the common combining wins — without the former
+            // sort_unstable_by_key over every batch. Non-adjacent
+            // duplicates still fold correctly at the computer; combining
+            // is an optimization, never required for correctness.
+            let mut w = 0usize;
+            let mut r = 1usize;
+            while r < buf.len() {
+                if buf[r].0 == buf[w].0 {
+                    buf[w].1 = self.program.combine(buf[w].1, buf[r].1);
+                } else {
+                    w += 1;
+                    buf[w] = buf[r];
                 }
+                r += 1;
             }
-            buf = out;
+            buf.truncate(w + 1);
         }
         let sent = buf.len() as u64;
         let _ = self.computers[owner].send(ComputeCmd::Batch {
             update_col,
-            msgs: buf.into_boxed_slice(),
+            msgs: buf,
         });
         sent
     }
@@ -112,35 +157,92 @@ impl<P: VertexProgram> Dispatcher<P> {
         self.values.invalidate(dispatch_col, rec.vid);
     }
 
-    fn run_superstep(&mut self, superstep: u64, dispatch_col: u32) {
+    /// The id range the whole superstep must cover for this assignment.
+    /// For strided assignments this is the global `offset..n_vertices`
+    /// span; the per-chunk loop applies the stride.
+    fn full_range(&self) -> Range<VertexId> {
+        match &self.assignment {
+            DispatchAssignment::Range(interval) => interval.clone(),
+            DispatchAssignment::Strided {
+                offset, n_vertices, ..
+            } => (*offset).min(*n_vertices)..*n_vertices,
+        }
+    }
+
+    /// Where the current chunk of `range` should stop.
+    fn chunk_end(&self, range: &Range<VertexId>) -> VertexId {
+        if self.chunk_edges == u64::MAX || range.start >= range.end {
+            return range.end;
+        }
+        match &self.assignment {
+            DispatchAssignment::Range(_) => self.graph.chunk_end(range.clone(), self.chunk_edges),
+            DispatchAssignment::Strided { stride, .. } => {
+                // Random-access path: per-chunk edge counts would cost an
+                // index lookup per vertex, so budget by vertex count at the
+                // graph's mean degree instead.
+                let n = self.graph.n_vertices().max(1) as u64;
+                let mean_degree = (self.graph.n_edges() as u64 / n).max(1);
+                let vertices = (self.chunk_edges / mean_degree).max(1);
+                let span = vertices.saturating_mul(u64::from(*stride));
+                (u64::from(range.start).saturating_add(span)).min(u64::from(range.end)) as VertexId
+            }
+        }
+    }
+
+    /// Run one cooperative chunk: scan `[range.start, chunk_end)`, then
+    /// either self-send the remainder or finish the superstep (flush all
+    /// buffers, report DISPATCH_OVER).
+    fn run_chunk(
+        &mut self,
+        superstep: u64,
+        dispatch_col: u32,
+        range: Range<VertexId>,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
         let update_col = 1 - dispatch_col;
+        let end = self.chunk_end(&range);
         let mut sent = 0u64;
         let graph = self.graph.clone();
         match self.assignment.clone() {
             // Sequential streaming over a contiguous interval — the
             // efficient path.
-            DispatchAssignment::Range(interval) => {
-                for rec in graph.cursor(interval) {
+            DispatchAssignment::Range(_) => {
+                for rec in graph.cursor(range.start..end) {
                     self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
                 }
             }
             // The paper's "simple mod algorithm": random-access reads of
-            // every stride-th vertex record.
-            strided @ DispatchAssignment::Strided { .. } => {
-                for v in strided.iter() {
+            // every stride-th vertex record. Chunk boundaries are always
+            // `offset + k*stride`, so `range.start` stays on-stride.
+            DispatchAssignment::Strided { stride, .. } => {
+                let mut v = range.start;
+                while v < end {
                     let rec = graph.vertex_edges(v);
                     self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                    v = match v.checked_add(stride) {
+                        Some(next) => next,
+                        None => break,
+                    };
                 }
             }
         }
-        for owner in 0..self.buffers.len() {
-            sent += self.flush_buffer(owner, update_col);
+        self.step_sent += sent;
+        if end < range.end {
+            let _ = ctx.addr().send(DispatchCmd::Chunk {
+                superstep,
+                dispatch_col,
+                range: end..range.end,
+            });
+        } else {
+            for owner in 0..self.buffers.len() {
+                self.step_sent += self.flush_buffer(owner, update_col);
+            }
+            let _ = self.manager.send(ManagerMsg::DispatchOver {
+                superstep,
+                dispatcher: self.id,
+                sent: std::mem::take(&mut self.step_sent),
+            });
         }
-        let _ = self.manager.send(ManagerMsg::DispatchOver {
-            superstep,
-            dispatcher: self.id,
-            sent,
-        });
     }
 }
 
@@ -152,7 +254,16 @@ impl<P: VertexProgram> Actor for Dispatcher<P> {
             DispatchCmd::Start {
                 superstep,
                 dispatch_col,
-            } => self.run_superstep(superstep, dispatch_col),
+            } => {
+                self.step_sent = 0;
+                let full = self.full_range();
+                self.run_chunk(superstep, dispatch_col, full, ctx);
+            }
+            DispatchCmd::Chunk {
+                superstep,
+                dispatch_col,
+                range,
+            } => self.run_chunk(superstep, dispatch_col, range, ctx),
             DispatchCmd::Shutdown => ctx.stop(),
         }
     }

@@ -17,6 +17,7 @@ use crate::partition::{
 };
 use crate::program::{GraphMeta, VertexProgram};
 use crate::report::{RunOutcome, RunReport};
+use crate::slab::{MsgSlabPool, OverlapStats};
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::VertexValue;
@@ -121,7 +122,17 @@ impl Engine {
         }
         std::fs::create_dir_all(&self.config.work_dir)?;
         let graph = Arc::new(DiskCsr::open(csr_path)?);
-        let _ = graph.advise_sequential();
+        // Readahead hint: Range assignments stream the edge file
+        // sequentially; Strided dispatch hops between records, where
+        // sequential readahead would only pollute the page cache.
+        match self.config.intervals {
+            IntervalStrategy::Strided => {
+                let _ = graph.advise_random();
+            }
+            IntervalStrategy::Uniform | IntervalStrategy::EdgeBalanced => {
+                let _ = graph.advise_sequential();
+            }
+        }
         let meta = GraphMeta {
             n_vertices: graph.n_vertices() as u64,
             n_edges: graph.n_edges() as u64,
@@ -157,12 +168,15 @@ impl Engine {
             .name("gpsa")
             .build();
         let (report_tx, report_rx) = crossbeam_channel::bounded(1);
+        let pool = Arc::new(MsgSlabPool::<P::MsgVal>::new(self.config.msg_batch.max(1)));
+        let overlap = Arc::new(OverlapStats::new());
         let manager = system.spawn(Manager::<P>::new(
             values.clone(),
             self.config.termination,
             self.config.durable,
             self.config.crash_after_dispatch,
             report_tx,
+            overlap.clone(),
             resume_superstep,
             dispatch_col,
         ));
@@ -191,6 +205,8 @@ impl Engine {
                     meta,
                     manager.clone(),
                     owned,
+                    pool.clone(),
+                    overlap.clone(),
                 ))
             })
             .collect();
@@ -224,6 +240,14 @@ impl Engine {
                     manager: manager.clone(),
                     buffers: vec![Vec::new(); self.config.n_computers],
                     msg_batch: self.config.msg_batch.max(1),
+                    pool: pool.clone(),
+                    chunk_edges: if self.config.dispatch_chunk == EngineConfig::MONOLITHIC_DISPATCH
+                    {
+                        u64::MAX
+                    } else {
+                        self.config.dispatch_chunk.max(1) as u64
+                    },
+                    step_sent: 0,
                     always_dispatch: program.always_dispatch(),
                     combine: self.config.combine_messages && program.combines(),
                 })
@@ -279,6 +303,9 @@ impl Engine {
             deltas: report.deltas,
             messages: report.messages,
             dispatcher_messages: report.dispatcher_messages,
+            pool_hits: pool.hits(),
+            pool_misses: pool.misses(),
+            first_batch: report.first_batch,
             elapsed: t0.elapsed(),
         })
     }

@@ -56,6 +56,7 @@ mod partition;
 mod program;
 pub mod programs;
 mod report;
+mod slab;
 pub mod sync_engine;
 mod value;
 mod value_file;
@@ -69,6 +70,7 @@ pub use partition::{
 };
 pub use program::{GraphMeta, VertexProgram};
 pub use report::{RunOutcome, RunReport};
+pub use slab::MsgSlabPool;
 pub use sync_engine::SyncEngine;
 pub use value::VertexValue;
 pub use value_file::{ValueFile, ValueFileHeader};

@@ -12,6 +12,7 @@ use crate::computer::{ComputeCmd, Computer};
 use crate::config::Termination;
 use crate::dispatcher::{DispatchCmd, Dispatcher};
 use crate::program::VertexProgram;
+use crate::slab::OverlapStats;
 use crate::value_file::ValueFile;
 
 /// Final report sent from the manager back to the blocking engine caller.
@@ -25,6 +26,9 @@ pub(crate) struct ManagerReport {
     pub messages: u64,
     /// Messages sent per dispatcher over the whole run (load balance).
     pub dispatcher_messages: Vec<u64>,
+    /// Per superstep: time from ITERATION_START until the first compute
+    /// batch was folded (`None` if the superstep produced no messages).
+    pub first_batch: Vec<Option<Duration>>,
     /// Column holding the results of the last completed superstep.
     pub final_dispatch_col: u32,
 }
@@ -60,6 +64,8 @@ pub(crate) struct Manager<P: VertexProgram> {
     /// of this superstep have reported — simulating a crash mid-superstep.
     pub crash_after_dispatch: Option<u64>,
     pub report_tx: Sender<ManagerReport>,
+    /// Shared with the computers; the manager owns the superstep epoch.
+    pub overlap: Arc<OverlapStats>,
 
     pub dispatchers: Vec<Addr<Dispatcher<P>>>,
     pub computers: Vec<Addr<Computer<P>>>,
@@ -75,6 +81,7 @@ pub(crate) struct Manager<P: VertexProgram> {
     pub deltas: Vec<f64>,
     pub messages: u64,
     pub dispatcher_messages: Vec<u64>,
+    pub first_batch: Vec<Option<Duration>>,
     pub step_activated: u64,
     pub step_delta: f64,
     pub steps_run: u64,
@@ -87,6 +94,7 @@ impl<P: VertexProgram> Manager<P> {
         durable: bool,
         crash_after_dispatch: Option<u64>,
         report_tx: Sender<ManagerReport>,
+        overlap: Arc<OverlapStats>,
         resume_superstep: u64,
         dispatch_col: u32,
     ) -> Self {
@@ -96,6 +104,7 @@ impl<P: VertexProgram> Manager<P> {
             durable,
             crash_after_dispatch,
             report_tx,
+            overlap,
             dispatchers: Vec::new(),
             computers: Vec::new(),
             superstep: resume_superstep,
@@ -108,6 +117,7 @@ impl<P: VertexProgram> Manager<P> {
             deltas: Vec::new(),
             messages: 0,
             dispatcher_messages: Vec::new(),
+            first_batch: Vec::new(),
             step_activated: 0,
             step_delta: 0.0,
             steps_run: 0,
@@ -119,6 +129,9 @@ impl<P: VertexProgram> Manager<P> {
         self.pending_compute = self.computers.len();
         self.step_activated = 0;
         self.step_delta = 0.0;
+        // Epoch first: every batch of the superstep must be timed against
+        // a stamp taken before any dispatcher starts.
+        self.overlap.begin_superstep();
         self.step_started = Some(Instant::now());
         for d in &self.dispatchers {
             let _ = d.send(DispatchCmd::Start {
@@ -147,6 +160,7 @@ impl<P: VertexProgram> Manager<P> {
             deltas: std::mem::take(&mut self.deltas),
             messages: self.messages,
             dispatcher_messages: std::mem::take(&mut self.dispatcher_messages),
+            first_batch: std::mem::take(&mut self.first_batch),
             final_dispatch_col: self.dispatch_col,
         });
         ctx.stop();
@@ -173,6 +187,7 @@ impl<P: VertexProgram> Manager<P> {
         }
         self.activated.push(self.step_activated);
         self.deltas.push(self.step_delta);
+        self.first_batch.push(self.overlap.take_first_batch());
         self.steps_run += 1;
         let next_dispatch = 1 - self.dispatch_col;
         // Commit point: the update column of this superstep becomes the

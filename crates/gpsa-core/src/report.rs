@@ -34,6 +34,19 @@ pub struct RunReport<V> {
     /// Messages sent per dispatch actor over the whole run — the paper's
     /// §V-A load-balance story made observable.
     pub dispatcher_messages: Vec<u64>,
+    /// Message-slab pool acquisitions served from the free-list (recycled
+    /// buffers) over the whole run.
+    pub pool_hits: u64,
+    /// Slab acquisitions that had to allocate a fresh buffer. At steady
+    /// state the pool holds the maximum number of in-flight batches and
+    /// misses stop growing.
+    pub pool_misses: u64,
+    /// Per superstep: time from superstep start until the first message
+    /// batch reached a compute actor — the paper's dispatch/compute
+    /// overlap made observable (`None` when a superstep sent no
+    /// messages). With chunked dispatch this should be on the order of
+    /// one chunk, not a whole interval scan.
+    pub first_batch: Vec<Option<Duration>>,
     /// Total wall time of the run (setup + supersteps + teardown).
     pub elapsed: Duration,
 }
@@ -53,6 +66,28 @@ impl<V> RunReport<V> {
     pub fn superstep_total(&self) -> Duration {
         self.step_times.iter().sum()
     }
+
+    /// Fraction of slab acquisitions served by recycling,
+    /// `hits / (hits + misses)`; 0.0 if the pool was never used.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean time-to-first-compute-batch over supersteps that sent
+    /// messages, if any did.
+    pub fn mean_first_batch(&self) -> Option<Duration> {
+        let with: Vec<Duration> = self.first_batch.iter().flatten().copied().collect();
+        if with.is_empty() {
+            None
+        } else {
+            Some(with.iter().sum::<Duration>() / with.len() as u32)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,10 +105,15 @@ mod tests {
             deltas: vec![],
             messages: 12,
             dispatcher_messages: vec![6, 6],
+            pool_hits: 9,
+            pool_misses: 3,
+            first_batch: vec![Some(Duration::from_millis(1)), None],
             elapsed: Duration::from_millis(50),
         };
         assert_eq!(r.mean_superstep(5), Duration::from_millis(20));
         assert_eq!(r.mean_superstep(1), Duration::from_millis(10));
         assert_eq!(r.superstep_total(), Duration::from_millis(40));
+        assert!((r.pool_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(r.mean_first_batch(), Some(Duration::from_millis(1)));
     }
 }

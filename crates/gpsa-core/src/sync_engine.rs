@@ -143,6 +143,10 @@ impl SyncEngine {
             deltas,
             messages,
             dispatcher_messages: vec![messages],
+            // No actor pipeline: no slab pool, no batch timing.
+            pool_hits: 0,
+            pool_misses: 0,
+            first_batch: Vec::new(),
             elapsed: t0.elapsed(),
         }
     }

@@ -413,11 +413,17 @@ fn edge_balanced_intervals_balance_dispatcher_load() {
 
 #[test]
 fn combiner_preserves_results_and_reduces_messages() {
-    // Reverse star: every spoke points at the hub, so all messages share
-    // one destination and combine maximally.
+    // Reverse star with tripled spokes: every spoke points at the hub
+    // three times, so each source's buffer run holds adjacent duplicate
+    // destinations — exactly what the run-dedup combiner collapses
+    // (duplicates from one source are adjacent in CSR scan order).
     let n = 500u32;
-    let mut edges: Vec<gpsa_graph::Edge> =
-        (1..n).map(|i| gpsa_graph::Edge::new(i, 0)).collect();
+    let mut edges: Vec<gpsa_graph::Edge> = Vec::new();
+    for i in 1..n {
+        for _ in 0..3 {
+            edges.push(gpsa_graph::Edge::new(i, 0));
+        }
+    }
     // Plus a cycle so CC has real propagation to do.
     for i in 0..n {
         edges.push(gpsa_graph::Edge::new(i, (i + 1) % n));
@@ -436,8 +442,8 @@ fn combiner_preserves_results_and_reduces_messages() {
     let without = Engine::new(off).run(&path, ConnectedComponents).unwrap();
 
     assert_eq!(with.values, without.values, "combining must not change results");
-    // Hub messages (half the volume) combine to ~1 per batch; cycle
-    // messages (distinct destinations) cannot combine at all.
+    // Hub messages (3/4 of the volume) combine at least 3→1 per source;
+    // cycle messages (distinct destinations) cannot combine at all.
     assert!(
         with.messages <= without.messages * 6 / 10,
         "reverse star should combine heavily: {} vs {}",
@@ -465,6 +471,55 @@ fn combiner_parity_for_pagerank_sum() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     assert!(max_diff < 1e-6, "combined PR diverged: {max_diff}");
+}
+
+#[test]
+fn chunked_dispatch_matches_monolithic() {
+    // The chunk protocol must be invisible to results: a tiny chunk size
+    // (many self-messages per superstep) and monolithic dispatch reach
+    // the same fixpoint. CC's min-fold is order-independent, so equality
+    // is exact even with several dispatchers interleaving.
+    let el = generate::symmetrize(&generate::rmat(400, 2400, generate::RmatParams::default(), 91));
+    let path = csr_for("chunked", &el);
+    let run = |chunk: usize| {
+        let config = EngineConfig::small(workdir(&format!("chunked-{chunk}")))
+            .with_actors(3, 2)
+            .with_dispatch_chunk(chunk);
+        Engine::new(config).run(&path, ConnectedComponents).unwrap()
+    };
+    let mono = run(EngineConfig::MONOLITHIC_DISPATCH);
+    for chunk in [7, 64, 1024] {
+        let chunked = run(chunk);
+        assert_eq!(chunked.values, mono.values, "chunk={chunk}");
+        assert_eq!(chunked.supersteps, mono.supersteps, "chunk={chunk}");
+        assert_eq!(chunked.messages, mono.messages, "chunk={chunk}");
+    }
+}
+
+#[test]
+fn slab_pool_recycles_buffers() {
+    // After the first few flushes seed the pool, later acquisitions are
+    // recycled: hits dominate over a multi-superstep dense run.
+    let el = generate::rmat(800, 8000, generate::RmatParams::default(), 17);
+    let path = csr_for("slab", &el);
+    let mut config = EngineConfig::small(workdir("slab"))
+        .with_termination(Termination::Supersteps(6));
+    config.msg_batch = 256; // many batches per superstep
+    let report = Engine::new(config).run(&path, PageRank::default()).unwrap();
+    assert!(report.pool_misses > 0, "first flushes must allocate");
+    assert!(report.pool_hits > 0, "steady state must recycle");
+    assert!(
+        report.pool_hit_rate() > 0.5,
+        "pool should serve most acquisitions after superstep 1: \
+         {} hits / {} misses",
+        report.pool_hits,
+        report.pool_misses
+    );
+    // Overlap statistics: every dense superstep sends messages, so each
+    // records a time-to-first-batch.
+    assert_eq!(report.first_batch.len() as u64, report.supersteps);
+    assert!(report.first_batch.iter().all(|t| t.is_some()));
+    assert!(report.mean_first_batch().unwrap() <= report.superstep_total());
 }
 
 #[test]

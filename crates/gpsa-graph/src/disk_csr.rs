@@ -181,6 +181,13 @@ impl DiskCsr {
         self.data.advise(Advice::Sequential).map_err(io::Error::from)
     }
 
+    /// Advise the kernel the edge file will be accessed at random (the
+    /// strided dispatch path hops between records, where sequential
+    /// readahead would only pollute the page cache).
+    pub fn advise_random(&self) -> io::Result<()> {
+        self.data.advise(Advice::Random).map_err(io::Error::from)
+    }
+
     fn body(&self) -> &[u32] {
         &self.data.as_slice_of::<u32>().expect("validated at open")[HEADER_WORDS..]
     }
@@ -229,6 +236,51 @@ impl DiskCsr {
         }
     }
 
+    /// End of the first chunk of `vertices` covering roughly `edge_budget`
+    /// body words: the smallest `end > vertices.start` whose records span
+    /// at least the budget, or `vertices.end` if the whole range fits.
+    /// Always makes progress (returns at least `vertices.start + 1` for a
+    /// non-empty range), so a single vertex fatter than the budget forms a
+    /// chunk of its own. `O(log n)` via the word-offset index.
+    pub fn chunk_end(&self, vertices: Range<VertexId>, edge_budget: u64) -> VertexId {
+        assert!(vertices.end as usize <= self.n_vertices);
+        if vertices.start >= vertices.end {
+            return vertices.end;
+        }
+        let target = self
+            .word_offset(vertices.start as usize)
+            .saturating_add(edge_budget.max(1));
+        if self.word_offset(vertices.end as usize) <= target {
+            return vertices.end;
+        }
+        // Binary search for the smallest end with word_offset(end) >= target;
+        // word offsets are monotone in vertex id.
+        let mut lo = vertices.start as usize + 1;
+        let mut hi = vertices.end as usize;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.word_offset(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as VertexId
+    }
+
+    /// Split `vertices` into contiguous subranges of roughly `edge_budget`
+    /// body words each (see [`DiskCsr::chunk_end`]). The chunks tile the
+    /// input range exactly; an empty range yields no chunks.
+    pub fn chunks(&self, vertices: Range<VertexId>, edge_budget: u64) -> ChunkCursor<'_> {
+        assert!(vertices.end as usize <= self.n_vertices);
+        ChunkCursor {
+            csr: self,
+            next: vertices.start,
+            end: vertices.end,
+            budget: edge_budget,
+        }
+    }
+
     /// Materialize the whole graph back into an in-memory edge list
     /// (source-sorted). Used by tools that bridge to engines consuming
     /// edge lists.
@@ -249,6 +301,29 @@ impl DiskCsr {
         let n = (vertices.end - vertices.start) as u64;
         // Each record is degree? + targets + separator.
         words - n * (1 + u64::from(self.with_degrees))
+    }
+}
+
+/// Iterator over ~equal-edge-weight vertex subranges. See
+/// [`DiskCsr::chunks`].
+#[derive(Debug)]
+pub struct ChunkCursor<'a> {
+    csr: &'a DiskCsr,
+    next: VertexId,
+    end: VertexId,
+    budget: u64,
+}
+
+impl Iterator for ChunkCursor<'_> {
+    type Item = Range<VertexId>;
+
+    fn next(&mut self) -> Option<Range<VertexId>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let start = self.next;
+        self.next = self.csr.chunk_end(start..self.end, self.budget);
+        Some(start..self.next)
     }
 }
 
@@ -367,6 +442,39 @@ mod tests {
         assert_eq!(d.edges_in_range(0..1), 2);
         assert_eq!(d.edges_in_range(1..3), 1);
         assert_eq!(d.edges_in_range(2..2), 0);
+    }
+
+    #[test]
+    fn chunk_end_respects_budget_and_progress() {
+        // Fig. 4c record word offsets: [0, 4, 7, 9, 13].
+        let path = tmpdir().join("chunk.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        // A tiny budget still advances one vertex per chunk.
+        assert_eq!(d.chunk_end(0..4, 1), 1);
+        // Budget larger than the remaining range returns the range end.
+        assert_eq!(d.chunk_end(0..4, 100), 4);
+        assert_eq!(d.chunk_end(3..4, 1), 4);
+        // Mid-range: the 10-word target lands past vertex 3's offset (9).
+        assert_eq!(d.chunk_end(2..4, 3), 4);
+        // ...while an 8-word target stops at vertex 3 (offset 9 >= 8).
+        assert_eq!(d.chunk_end(2..4, 1), 3);
+        // Empty range is a no-op.
+        assert_eq!(d.chunk_end(2..2, 1), 2);
+    }
+
+    #[test]
+    fn chunks_tile_the_range() {
+        let path = tmpdir().join("chunks.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        let got: Vec<_> = d.chunks(0..4, 4).collect();
+        assert_eq!(got, vec![0..1, 1..3, 3..4]);
+        assert_eq!(d.chunks(0..4, u64::MAX).collect::<Vec<_>>(), vec![0..4]);
+        assert!(d.chunks(2..2, 4).next().is_none());
+        // Per-vertex chunking covers every vertex exactly once.
+        let singles: Vec<_> = d.chunks(0..4, 1).collect();
+        assert_eq!(singles, vec![0..1, 1..2, 2..3, 3..4]);
     }
 
     #[test]

@@ -121,6 +121,53 @@ proptest! {
         prop_assert!(max_diff < 1e-6, "diff {}", max_diff);
     }
 
+    /// Chunked dispatch must be invisible: a tiny chunk size and
+    /// monolithic dispatch reach bit-identical fixpoints. BFS and CC fold
+    /// with `min`, which is order-independent, so equality is exact even
+    /// with two dispatchers interleaving chunks.
+    #[test]
+    fn chunked_dispatch_bit_identical_bfs_cc(el in arb_graph(), chunk in 1usize..=64) {
+        let run_cc = |chunk: usize| {
+            let config = EngineConfig::small(workdir("chunk-cc"))
+                .with_dispatch_chunk(chunk);
+            Engine::new(config).run_edge_list(el.clone(), "g", ConnectedComponents).unwrap()
+        };
+        let mono = run_cc(usize::MAX);
+        let chunked = run_cc(chunk);
+        prop_assert_eq!(&chunked.values, &mono.values);
+        prop_assert_eq!(chunked.supersteps, mono.supersteps);
+        prop_assert_eq!(chunked.messages, mono.messages);
+
+        let root = 0u32;
+        let run_bfs = |chunk: usize| {
+            let config = EngineConfig::small(workdir("chunk-bfs"))
+                .with_dispatch_chunk(chunk);
+            Engine::new(config).run_edge_list(el.clone(), "g", Bfs { root }).unwrap()
+        };
+        prop_assert_eq!(run_bfs(chunk).values, run_bfs(usize::MAX).values);
+    }
+
+    /// PageRank's f32 sum depends on fold order, so bit-identity is
+    /// checked with one dispatcher: message order is then deterministic,
+    /// and chunk boundaries never force a flush, so chunking must not
+    /// perturb a single bit.
+    #[test]
+    fn chunked_dispatch_bit_identical_pagerank(el in arb_graph(), chunk in 1usize..=64) {
+        let run = |chunk: usize| {
+            let config = EngineConfig::small(workdir("chunk-pr"))
+                .with_actors(1, 2)
+                .with_termination(Termination::Supersteps(5))
+                .with_dispatch_chunk(chunk);
+            Engine::new(config).run_edge_list(el.clone(), "g", PageRank::default()).unwrap()
+        };
+        let mono = run(usize::MAX);
+        let chunked = run(chunk);
+        prop_assert_eq!(chunked.values.len(), mono.values.len());
+        for (i, (a, b)) in chunked.values.iter().zip(&mono.values).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "vertex {} differs: {} vs {}", i, a, b);
+        }
+    }
+
     #[test]
     fn csr_roundtrip_preserves_adjacency(el in arb_graph()) {
         let dir = workdir("csr");
