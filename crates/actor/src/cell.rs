@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 
 use crate::actor::{Actor, Ctx};
 use crate::scheduler::{Runnable, Scheduler};
-use crate::system::System;
+use crate::system::{FailureEvent, System};
 
 /// Actor lifecycle / scheduling status.
 ///
@@ -25,6 +25,7 @@ const DEAD: u8 = 2;
 struct Supervision<A> {
     factory: Box<dyn FnMut() -> A + Send>,
     restarts_left: usize,
+    restarts_used: usize,
 }
 
 pub(crate) struct Cell<A: Actor> {
@@ -62,6 +63,7 @@ impl<A: Actor> Cell<A> {
             supervision: Mutex::new(Some(Supervision {
                 factory,
                 restarts_left: max_restarts,
+                restarts_used: 0,
             })),
             status: AtomicU8::new(IDLE),
             system,
@@ -157,11 +159,16 @@ impl<A: Actor> Runnable for Cell<A> {
                     sched.metrics.panics.fetch_add(1, Ordering::Relaxed);
                     // Supervised actors are rebuilt from their factory and
                     // keep draining the mailbox (the poisoned message is
-                    // consumed); unsupervised actors die.
+                    // consumed); unsupervised actors die. Every
+                    // panic-death raises exactly one FailureEvent so a
+                    // watching engine learns the fleet is short a member
+                    // instead of waiting forever.
                     let mut sup = self.supervision.lock();
                     match sup.as_mut() {
                         Some(s) if s.restarts_left > 0 => {
                             s.restarts_left -= 1;
+                            s.restarts_used += 1;
+                            let used = s.restarts_used;
                             sched.metrics.restarts.fetch_add(1, Ordering::Relaxed);
                             let fresh = (s.factory)();
                             drop(sup);
@@ -172,15 +179,43 @@ impl<A: Actor> Runnable for Cell<A> {
                                 system: &self.system,
                                 stop: false,
                             };
-                            actor.started(&mut ctx);
-                            if ctx.stop {
-                                self.kill(&mut guard, true);
-                                return;
+                            // `started` runs actor code too: a panic here
+                            // must kill the cell (and escalate) rather
+                            // than unwind past this loop with the status
+                            // still SCHEDULED — a wedged cell that can
+                            // never be scheduled again.
+                            let started = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                actor.started(&mut ctx)
+                            }));
+                            match started {
+                                Ok(()) if ctx.stop => {
+                                    self.kill(&mut guard, true);
+                                    return;
+                                }
+                                Ok(()) => {}
+                                Err(_panic) => {
+                                    sched.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                                    self.kill(&mut guard, false);
+                                    self.system.notify_failure(FailureEvent {
+                                        actor: std::any::type_name::<A>(),
+                                        supervised: true,
+                                        restarts_used: used,
+                                    });
+                                    return;
+                                }
                             }
                         }
-                        _ => {
+                        exhausted => {
+                            let supervised = exhausted.is_some();
+                            let restarts_used =
+                                exhausted.as_ref().map(|s| s.restarts_used).unwrap_or(0);
                             drop(sup);
                             self.kill(&mut guard, false);
+                            self.system.notify_failure(FailureEvent {
+                                actor: std::any::type_name::<A>(),
+                                supervised,
+                                restarts_used,
+                            });
                             return;
                         }
                     }

@@ -18,7 +18,11 @@
 //!   activation for fairness, then requeue the actor if its mailbox is
 //!   still non-empty. Idle workers steal from each other.
 //! * Supervision — a panic inside `handle` kills only that actor; the
-//!   system records the failure and keeps running.
+//!   system records the failure and keeps running. Supervised actors are
+//!   rebuilt from a factory up to a restart budget; when a cell dies for
+//!   good, the runtime raises a [`FailureEvent`] through
+//!   [`System::set_failure_handler`] so an engine can tear down and
+//!   recover instead of hanging.
 //!
 //! # Example
 //!
@@ -58,4 +62,4 @@ mod system;
 pub use actor::{Actor, Ctx};
 pub use addr::{Addr, Recipient};
 pub use error::SendError;
-pub use system::{System, SystemBuilder, SystemMetrics};
+pub use system::{FailureEvent, System, SystemBuilder, SystemMetrics};

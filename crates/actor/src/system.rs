@@ -34,13 +34,35 @@ pub struct SystemMetrics {
     pub steals: AtomicU64,
     /// Times a worker found no runnable task and went to sleep.
     pub parks: AtomicU64,
+    /// Cells that died from a panic (unsupervised, or supervised with the
+    /// restart budget exhausted) — each one also raised a [`FailureEvent`].
+    pub failures: AtomicU64,
 }
+
+/// Emitted when a cell dies from a panic: an unsupervised actor panicked,
+/// or a supervised one panicked with no restarts left (including a panic
+/// in `started` during a supervised restart). Raised exactly once per
+/// death, via the handler installed with [`System::set_failure_handler`] —
+/// the escalation path supervisors and engines use to learn that a fleet
+/// member is gone rather than hanging on messages that will never come.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureEvent {
+    /// `std::any::type_name` of the actor that died.
+    pub actor: &'static str,
+    /// Whether the cell was supervised (death means budget exhaustion).
+    pub supervised: bool,
+    /// Restarts consumed before death (0 for unsupervised actors).
+    pub restarts_used: usize,
+}
+
+type FailureHandler = Arc<dyn Fn(FailureEvent) + Send + Sync>;
 
 struct SystemInner {
     scheduler: Arc<Scheduler>,
     metrics: Arc<SystemMetrics>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shut: AtomicBool,
+    failure_handler: Mutex<Option<FailureHandler>>,
 }
 
 /// A handle to a running actor system. Cheap to clone; the worker threads
@@ -110,6 +132,7 @@ impl SystemBuilder {
                 metrics,
                 workers: Mutex::new(handles),
                 shut: AtomicBool::new(false),
+                failure_handler: Mutex::new(None),
             }),
         }
     }
@@ -165,6 +188,40 @@ impl System {
             if h.thread().id() != std::thread::current().id() {
                 let _ = h.join();
             }
+        }
+    }
+
+    /// Abandon the worker threads **without joining them**: signal
+    /// shutdown and drop the join handles. This is the teardown path for
+    /// a wedged fleet — a worker stuck inside an actor's `handle` (an
+    /// infinite loop, a blocked syscall) would make [`System::shutdown`]'s
+    /// join block forever. Abandoned workers exit on their own the next
+    /// time they reach the scheduler; until then they may still be
+    /// running actor code, so callers must treat shared state as
+    /// concurrently accessed until the process exits. Idempotent with
+    /// `shutdown` (whichever runs first wins).
+    pub fn abandon(&self) {
+        if self.inner.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.scheduler.begin_shutdown();
+        drop(std::mem::take(&mut *self.inner.workers.lock()));
+    }
+
+    /// Install the handler invoked (from the dying actor's worker thread)
+    /// whenever a cell dies from a panic. Replaces any previous handler.
+    pub fn set_failure_handler<F>(&self, f: F)
+    where
+        F: Fn(FailureEvent) + Send + Sync + 'static,
+    {
+        *self.inner.failure_handler.lock() = Some(Arc::new(f));
+    }
+
+    pub(crate) fn notify_failure(&self, ev: FailureEvent) {
+        self.inner.metrics.failures.fetch_add(1, Ordering::Relaxed);
+        let handler = self.inner.failure_handler.lock().clone();
+        if let Some(handler) = handler {
+            handler(ev);
         }
     }
 

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use actor::{Actor, Ctx, System};
+use actor::{Actor, Ctx, FailureEvent, System};
 
 /// Collects the u64s it receives and reports them when asked.
 struct Collector {
@@ -377,6 +377,118 @@ fn supervised_actor_dies_after_budget_exhausted() {
     assert!(!addr.is_alive(), "third panic exceeds the 2-restart budget");
     assert_eq!(sys.metrics().restarts.load(Ordering::Relaxed), 2);
     assert_eq!(sys.metrics().panics.load(Ordering::Relaxed), 3);
+    sys.shutdown();
+}
+
+/// Collects [`FailureEvent`]s from the system's escalation handler.
+fn capture_failures(sys: &System) -> Arc<std::sync::Mutex<Vec<FailureEvent>>> {
+    let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = events.clone();
+    sys.set_failure_handler(move |ev| sink.lock().unwrap().push(ev));
+    events
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn budget_exhaustion_raises_exactly_one_failure_event() {
+    struct AlwaysPanics;
+    impl Actor for AlwaysPanics {
+        type Msg = ();
+        fn handle(&mut self, _m: (), _ctx: &mut Ctx<'_, Self>) {
+            panic!("always");
+        }
+    }
+    let sys = System::builder().workers(1).build();
+    let events = capture_failures(&sys);
+    let addr = sys.spawn_supervised(|| AlwaysPanics, 2);
+    // Panics 1 and 2 consume the restart budget silently; panic 3 kills
+    // the cell. Extra queued messages after death must not re-raise.
+    for _ in 0..5 {
+        let _ = addr.send(());
+    }
+    wait_until(|| !addr.is_alive());
+    assert!(!addr.is_alive());
+    // Give any (buggy) duplicate escalation a chance to land before the
+    // exactly-once assertions.
+    std::thread::sleep(Duration::from_millis(20));
+    let got = events.lock().unwrap().clone();
+    assert_eq!(got.len(), 1, "exactly one escalation per death: {got:?}");
+    assert!(got[0].supervised);
+    assert_eq!(got[0].restarts_used, 2, "both restarts were consumed");
+    assert_eq!(sys.metrics().failures.load(Ordering::Relaxed), 1);
+    assert_eq!(sys.metrics().restarts.load(Ordering::Relaxed), 2);
+    sys.shutdown();
+}
+
+#[test]
+fn panic_in_started_during_restart_escalates_instead_of_wedging() {
+    // Regression: a panic in `started` while rebuilding a supervised
+    // actor used to unwind past the cell's run loop with the status still
+    // SCHEDULED — a permanently wedged cell that looks alive, accepts
+    // sends, and never runs again.
+    struct PoisonedRestart {
+        panic_on_start: bool,
+    }
+    impl Actor for PoisonedRestart {
+        type Msg = ();
+        fn started(&mut self, _ctx: &mut Ctx<'_, Self>) {
+            if self.panic_on_start {
+                panic!("restart sabotaged");
+            }
+        }
+        fn handle(&mut self, _m: (), _ctx: &mut Ctx<'_, Self>) {
+            panic!("trigger a restart");
+        }
+    }
+    let sys = System::builder().workers(1).build();
+    let events = capture_failures(&sys);
+    let builds = Arc::new(AtomicUsize::new(0));
+    let b = builds.clone();
+    // First build starts cleanly; every rebuild panics in `started`.
+    let addr = sys.spawn_supervised(
+        move || PoisonedRestart {
+            panic_on_start: b.fetch_add(1, Ordering::SeqCst) > 0,
+        },
+        3,
+    );
+    addr.send(()).unwrap();
+    wait_until(|| !addr.is_alive());
+    assert!(!addr.is_alive(), "cell must die, not wedge in SCHEDULED");
+    assert!(addr.send(()).is_err(), "dead cell must refuse messages");
+    let got = events.lock().unwrap().clone();
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].supervised);
+    assert_eq!(got[0].restarts_used, 1, "died on its first rebuild");
+    assert_eq!(builds.load(Ordering::SeqCst), 2, "initial build + one rebuild");
+    // Both the handler panic and the started panic are counted; the
+    // remaining restart budget was never spent.
+    assert_eq!(sys.metrics().panics.load(Ordering::Relaxed), 2);
+    assert_eq!(sys.metrics().restarts.load(Ordering::Relaxed), 1);
+    assert_eq!(sys.metrics().failures.load(Ordering::Relaxed), 1);
+    sys.shutdown();
+}
+
+#[test]
+fn unsupervised_panic_death_raises_failure_event() {
+    let sys = System::builder().workers(1).build();
+    let events = capture_failures(&sys);
+    let addr = sys.spawn(Panicker);
+    addr.send(()).unwrap();
+    wait_until(|| !addr.is_alive());
+    let got = events.lock().unwrap().clone();
+    assert_eq!(got.len(), 1);
+    assert!(!got[0].supervised);
+    assert_eq!(got[0].restarts_used, 0);
+    assert!(got[0].actor.contains("Panicker"), "got {:?}", got[0].actor);
+    assert_eq!(sys.metrics().failures.load(Ordering::Relaxed), 1);
     sys.shutdown();
 }
 

@@ -70,6 +70,9 @@ pub(crate) struct Computer<P: VertexProgram> {
     pub pool: Arc<MsgSlabPool<P::MsgVal>>,
     /// Superstep overlap statistics (time-to-first-batch).
     pub stats: Arc<OverlapStats>,
+    /// Chaos harness: scripted computer panics (per-batch and at flush).
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> Computer<P> {
@@ -92,6 +95,8 @@ impl<P: VertexProgram> Computer<P> {
             owned,
             pool,
             stats,
+            #[cfg(feature = "chaos")]
+            fault: None,
         }
     }
 
@@ -180,11 +185,27 @@ impl<P: VertexProgram> Actor for Computer<P> {
                     self.fold(update_col, v, m);
                 }
                 self.pool.release(msgs);
+                // Batch boundary: the update column now holds a partial
+                // fold that recovery must throw away.
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &self.fault {
+                    plan.panic_if_due(crate::fault::FaultRole::Computer, 0, self.messages);
+                }
             }
             ComputeCmd::Flush {
                 superstep,
                 update_col,
-            } => self.flush(superstep, update_col),
+            } => {
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &self.fault {
+                    plan.panic_if_due(
+                        crate::fault::FaultRole::Computer,
+                        superstep,
+                        crate::fault::FaultPlan::AT_FLUSH,
+                    );
+                }
+                self.flush(superstep, update_col)
+            }
             ComputeCmd::Shutdown => ctx.stop(),
         }
     }

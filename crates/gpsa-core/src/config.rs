@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// When does a run stop?
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,9 +85,27 @@ pub struct EngineConfig {
     /// Test hook: simulate a crash right after the dispatch phase of this
     /// superstep.
     pub crash_after_dispatch: Option<u64>,
+    /// Test hook: simulate a crash in the middle of the compute phase of
+    /// this superstep (after the first computer finishes, before the
+    /// superstep commits).
+    pub crash_in_compute: Option<u64>,
     /// Combine same-destination messages per batch when the program
     /// supports it ([`crate::VertexProgram::combines`]).
     pub combine_messages: bool,
+    /// Watchdog: if no superstep completes for this long, the engine
+    /// declares the fleet wedged, abandons it, and retries from the last
+    /// committed superstep. `None` disables the watchdog (failures are
+    /// still caught via the actor runtime's `FailureEvent` escalation).
+    /// Set it well above the worst-case superstep time.
+    pub superstep_deadline: Option<Duration>,
+    /// How many in-process recovery attempts (`ValueFile::recover` +
+    /// fleet re-spawn, with exponential backoff) the engine makes before
+    /// giving up and surfacing the causes in the error.
+    pub max_superstep_retries: u32,
+    /// Chaos harness: scripted fault injections consulted by the
+    /// dispatcher/computer/manager hooks and `ValueFile::commit`.
+    #[cfg(feature = "chaos")]
+    pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl EngineConfig {
@@ -115,7 +134,12 @@ impl EngineConfig {
             durable: false,
             resume: false,
             crash_after_dispatch: None,
+            crash_in_compute: None,
             combine_messages: true,
+            superstep_deadline: None,
+            max_superstep_retries: 2,
+            #[cfg(feature = "chaos")]
+            fault_plan: None,
         }
     }
 
@@ -158,6 +182,25 @@ impl EngineConfig {
     /// [`EngineConfig::MONOLITHIC_DISPATCH`] to disable chunking).
     pub fn with_dispatch_chunk(mut self, edges: usize) -> Self {
         self.dispatch_chunk = edges.max(1);
+        self
+    }
+
+    /// Builder-style: arm the per-superstep watchdog.
+    pub fn with_superstep_deadline(mut self, deadline: Duration) -> Self {
+        self.superstep_deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: set the recovery retry budget.
+    pub fn with_max_superstep_retries(mut self, retries: u32) -> Self {
+        self.max_superstep_retries = retries;
+        self
+    }
+
+    /// Builder-style: install a chaos fault plan.
+    #[cfg(feature = "chaos")]
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

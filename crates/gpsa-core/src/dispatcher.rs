@@ -88,6 +88,9 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// Merge same-destination messages per batch before sending
     /// (`VertexProgram::combines` && config opt-in).
     pub combine: bool,
+    /// Chaos harness: scripted dispatcher panics (per-chunk check).
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> Dispatcher<P> {
@@ -227,6 +230,17 @@ impl<P: VertexProgram> Dispatcher<P> {
             }
         }
         self.step_sent += sent;
+        // Chunk boundary: a panic here leaves the interval part-scanned
+        // and part-invalidated — the messiest mid-superstep state the
+        // recovery path must absorb.
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            plan.panic_if_due(
+                crate::fault::FaultRole::Dispatcher,
+                superstep,
+                self.step_sent,
+            );
+        }
         if end < range.end {
             let _ = ctx.addr().send(DispatchCmd::Chunk {
                 superstep,

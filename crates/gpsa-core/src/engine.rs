@@ -2,6 +2,7 @@
 //! extracts final values, and handles crash recovery / resume.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -10,7 +11,7 @@ use actor::System;
 use crate::computer::Computer;
 use crate::config::{EngineConfig, IntervalStrategy, RouterStrategy, Termination};
 use crate::dispatcher::Dispatcher;
-use crate::manager::{Manager, ManagerMsg};
+use crate::manager::{Manager, ManagerMsg, ManagerReport};
 use crate::partition::{
     edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment,
     ModRouter, RangeRouter, Router,
@@ -32,6 +33,9 @@ pub enum EngineError {
     Config(String),
     /// The actor pipeline failed to report (worker panic or deadlock).
     Protocol(String),
+    /// The self-healing loop exhausted its retry budget; each element is
+    /// the cause of one failed attempt, in order.
+    RetriesExhausted(Vec<String>),
 }
 
 impl std::fmt::Display for EngineError {
@@ -40,6 +44,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
             EngineError::Config(m) => write!(f, "engine configuration error: {m}"),
             EngineError::Protocol(m) => write!(f, "engine protocol error: {m}"),
+            EngineError::RetriesExhausted(causes) => write!(
+                f,
+                "self-healing gave up after {} failed attempt(s): [{}]",
+                causes.len(),
+                causes.join("; ")
+            ),
         }
     }
 }
@@ -49,6 +59,15 @@ impl std::error::Error for EngineError {}
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e)
+    }
+}
+
+impl From<crate::value_file::ValueFileError> for EngineError {
+    fn from(e: crate::value_file::ValueFileError) -> Self {
+        match e {
+            crate::value_file::ValueFileError::Io(e) => EngineError::Io(e),
+            other => EngineError::Config(other.to_string()),
+        }
     }
 }
 
@@ -161,26 +180,7 @@ impl Engine {
                 (Arc::new(vf), 0, 0)
             };
 
-        // Spin up the actor system and the three roles.
-        let system = System::builder()
-            .workers(self.config.workers)
-            .batch(self.config.actor_batch)
-            .name("gpsa")
-            .build();
-        let (report_tx, report_rx) = crossbeam_channel::bounded(1);
-        let pool = Arc::new(MsgSlabPool::<P::MsgVal>::new(self.config.msg_batch.max(1)));
-        let overlap = Arc::new(OverlapStats::new());
-        let manager = system.spawn(Manager::<P>::new(
-            values.clone(),
-            self.config.termination,
-            self.config.durable,
-            self.config.crash_after_dispatch,
-            report_tx,
-            overlap.clone(),
-            resume_superstep,
-            dispatch_col,
-        ));
-
+        // Routing and vertex ownership are attempt-invariant.
         let router: Arc<dyn Router> = match self.config.router {
             RouterStrategy::Mod => Arc::new(ModRouter::new(self.config.n_computers)),
             RouterStrategy::Range => Arc::new(RangeRouter::new(
@@ -190,27 +190,12 @@ impl Engine {
         };
         // Dense programs need each computer to sweep its owned vertices at
         // flush; sparse programs skip the sweep entirely (empty lists).
-        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); self.config.n_computers];
+        let mut owned_template: Vec<Vec<u32>> = vec![Vec::new(); self.config.n_computers];
         if program.always_dispatch() {
             for v in 0..graph.n_vertices() as u32 {
-                owned[router.route(v)].push(v);
+                owned_template[router.route(v)].push(v);
             }
         }
-        let computers: Vec<_> = owned
-            .into_iter()
-            .map(|owned| {
-                system.spawn(Computer::new(
-                    program.clone(),
-                    values.clone(),
-                    meta,
-                    manager.clone(),
-                    owned,
-                    pool.clone(),
-                    overlap.clone(),
-                ))
-            })
-            .collect();
-
         let assignments: Vec<DispatchAssignment> = match self.config.intervals {
             IntervalStrategy::Uniform => uniform_intervals(graph.n_vertices(), self.config.n_dispatchers)
                 .into_iter()
@@ -224,48 +209,200 @@ impl Engine {
                 strided_assignments(graph.n_vertices(), self.config.n_dispatchers)
             }
         };
-        let dispatchers: Vec<_> = assignments
-            .into_iter()
-            .enumerate()
-            .map(|(id, assignment)| {
-                system.spawn(Dispatcher {
-                    id,
-                    program: program.clone(),
-                    graph: graph.clone(),
-                    values: values.clone(),
-                    meta,
-                    assignment,
-                    router: router.clone(),
-                    computers: computers.clone(),
-                    manager: manager.clone(),
-                    buffers: vec![Vec::new(); self.config.n_computers],
-                    msg_batch: self.config.msg_batch.max(1),
-                    pool: pool.clone(),
-                    chunk_edges: if self.config.dispatch_chunk == EngineConfig::MONOLITHIC_DISPATCH
+
+        // Self-healing loop: spin up the actor fleet and wait for its
+        // report; if the fleet dies (FailureEvent escalation from the
+        // actor runtime) or wedges (no superstep commits within the
+        // watchdog deadline), tear it down, roll the value file back to
+        // the last committed superstep, and re-run — with exponential
+        // backoff, up to `max_superstep_retries` times.
+        enum Attempt {
+            Done(ManagerReport),
+            /// Actors died but their worker threads are healthy (a join
+            /// is safe).
+            Failed(String),
+            /// A worker may be stuck inside a handler; joining could hang.
+            Wedged(String),
+        }
+
+        let pool = Arc::new(MsgSlabPool::<P::MsgVal>::new(self.config.msg_batch.max(1)));
+        let overlap = Arc::new(OverlapStats::new());
+        let mut resume_superstep = resume_superstep;
+        let mut dispatch_col = dispatch_col;
+        let mut retry_causes: Vec<String> = Vec::new();
+
+        let report = 'attempts: loop {
+            let system = System::builder()
+                .workers(self.config.workers)
+                .batch(self.config.actor_batch)
+                .name("gpsa")
+                .build();
+            // Escalations arrive from the dying actor's worker thread;
+            // the channel is drained by the select below.
+            let (failure_tx, failure_rx) = crossbeam_channel::bounded::<String>(64);
+            system.set_failure_handler(move |ev| {
+                let restarts = if ev.supervised {
+                    format!(" after {} restart(s)", ev.restarts_used)
+                } else {
+                    String::new()
+                };
+                let _ = failure_tx.try_send(format!("{} died{restarts}", ev.actor));
+            });
+            let (report_tx, report_rx) = crossbeam_channel::bounded(1);
+            let progress = Arc::new(AtomicU64::new(0));
+            #[allow(unused_mut)]
+            let mut mgr = Manager::<P>::new(
+                values.clone(),
+                self.config.termination,
+                self.config.durable,
+                self.config.crash_after_dispatch,
+                self.config.crash_in_compute,
+                report_tx,
+                overlap.clone(),
+                resume_superstep,
+                dispatch_col,
+                progress.clone(),
+            );
+            #[cfg(feature = "chaos")]
+            {
+                mgr.fault = self.config.fault_plan.clone();
+                values.set_fault_plan(self.config.fault_plan.clone());
+            }
+            let manager = system.spawn(mgr);
+
+            let computers: Vec<_> = owned_template
+                .iter()
+                .map(|owned| {
+                    #[allow(unused_mut)]
+                    let mut comp = Computer::new(
+                        program.clone(),
+                        values.clone(),
+                        meta,
+                        manager.clone(),
+                        owned.clone(),
+                        pool.clone(),
+                        overlap.clone(),
+                    );
+                    #[cfg(feature = "chaos")]
                     {
-                        u64::MAX
-                    } else {
-                        self.config.dispatch_chunk.max(1) as u64
-                    },
-                    step_sent: 0,
-                    always_dispatch: program.always_dispatch(),
-                    combine: self.config.combine_messages && program.combines(),
+                        comp.fault = self.config.fault_plan.clone();
+                    }
+                    system.spawn(comp)
                 })
-            })
-            .collect();
+                .collect();
 
-        manager
-            .send(ManagerMsg::Wire {
-                dispatchers,
-                computers,
-            })
-            .map_err(|_| EngineError::Protocol("manager died before wiring".into()))?;
+            let dispatchers: Vec<_> = assignments
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(id, assignment)| {
+                    system.spawn(Dispatcher {
+                        id,
+                        program: program.clone(),
+                        graph: graph.clone(),
+                        values: values.clone(),
+                        meta,
+                        assignment,
+                        router: router.clone(),
+                        computers: computers.clone(),
+                        manager: manager.clone(),
+                        buffers: vec![Vec::new(); self.config.n_computers],
+                        msg_batch: self.config.msg_batch.max(1),
+                        pool: pool.clone(),
+                        chunk_edges: if self.config.dispatch_chunk
+                            == EngineConfig::MONOLITHIC_DISPATCH
+                        {
+                            u64::MAX
+                        } else {
+                            self.config.dispatch_chunk.max(1) as u64
+                        },
+                        step_sent: 0,
+                        always_dispatch: program.always_dispatch(),
+                        combine: self.config.combine_messages && program.combines(),
+                        #[cfg(feature = "chaos")]
+                        fault: self.config.fault_plan.clone(),
+                    })
+                })
+                .collect();
 
-        let report = report_rx
-            .recv_timeout(RUN_TIMEOUT)
-            .map_err(|_| EngineError::Protocol("run did not complete (worker panic?)".into()));
-        system.shutdown();
-        let report = report?;
+            let wired = manager
+                .send(ManagerMsg::Wire {
+                    dispatchers,
+                    computers,
+                })
+                .is_ok();
+
+            let outcome = if !wired {
+                Attempt::Failed("manager died before wiring".into())
+            } else {
+                let mut last_progress = progress.load(Ordering::Relaxed);
+                let mut last_commit = Instant::now();
+                'wait: loop {
+                    crossbeam_channel::select! {
+                        recv(report_rx) -> r => match r {
+                            Ok(rep) => break 'wait Attempt::Done(rep),
+                            Err(_) => break 'wait Attempt::Failed(
+                                "manager terminated without reporting".into(),
+                            ),
+                        },
+                        recv(failure_rx) -> f => break 'wait Attempt::Failed(
+                            f.unwrap_or_else(|_| "actor failure".into()),
+                        ),
+                        default(Duration::from_millis(20)) => {
+                            if t0.elapsed() > RUN_TIMEOUT {
+                                break 'wait Attempt::Wedged(
+                                    "run exceeded the global timeout".into(),
+                                );
+                            }
+                            if let Some(deadline) = self.config.superstep_deadline {
+                                let p = progress.load(Ordering::Relaxed);
+                                if p != last_progress {
+                                    last_progress = p;
+                                    last_commit = Instant::now();
+                                } else if last_commit.elapsed() >= deadline {
+                                    break 'wait Attempt::Wedged(format!(
+                                        "watchdog: no superstep committed within {deadline:?}",
+                                    ));
+                                }
+                            }
+                        },
+                    }
+                }
+            };
+
+            let cause = match outcome {
+                Attempt::Done(report) => {
+                    system.shutdown();
+                    break 'attempts report;
+                }
+                Attempt::Failed(cause) => {
+                    // The dead actor's thread already unwound; the rest of
+                    // the fleet is responsive, so a joining shutdown is
+                    // safe and leaves no thread touching the value file.
+                    system.shutdown();
+                    cause
+                }
+                Attempt::Wedged(cause) => {
+                    // A wedged worker cannot be joined without hanging the
+                    // caller; signal shutdown and leak the threads. They
+                    // may still run actor code briefly, so the deadline
+                    // must be set well above the worst-case superstep
+                    // time (see EngineConfig::superstep_deadline).
+                    system.abandon();
+                    cause
+                }
+            };
+            retry_causes.push(cause);
+            if retry_causes.len() as u32 > self.config.max_superstep_retries {
+                return Err(EngineError::RetriesExhausted(retry_causes));
+            }
+            // Exponential backoff: 10ms, 20ms, ... capped at 640ms.
+            let shift = (retry_causes.len() as u32 - 1).min(6);
+            std::thread::sleep(Duration::from_millis(10u64 << shift));
+            // Roll back to the last committed superstep and go again.
+            resume_superstep = values.recover();
+            dispatch_col = values.header().next_dispatch_col;
+        };
 
         // Extract final values: the freshest column is the one the *next*
         // superstep would dispatch from.
@@ -307,6 +444,8 @@ impl Engine {
             pool_misses: pool.misses(),
             first_batch: report.first_batch,
             elapsed: t0.elapsed(),
+            retry_attempts: retry_causes.len() as u32,
+            retry_causes,
         })
     }
 }

@@ -1,0 +1,260 @@
+//! Deterministic, seeded fault injection — the chaos harness
+//! (`--features chaos`).
+//!
+//! A [`FaultPlan`] is a fixed list of injection points, each of which
+//! fires **at most once** per plan. Points are either scripted explicitly
+//! (builder methods) or derived from a seed via splitmix64, so a failing
+//! run is reproducible from its seed alone — the failpoint discipline of
+//! production storage engines (FoundationDB-style simulation), scaled
+//! down to one process.
+//!
+//! The hooks live in the dispatcher (per chunk), computer (per batch and
+//! at flush), manager (at superstep start), and
+//! [`crate::ValueFile::commit`] (msync failure, torn header). All of them
+//! compile away without the `chaos` feature.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which actor role a panic injection targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRole {
+    /// A dispatch actor, mid-interval.
+    Dispatcher,
+    /// A compute actor, mid-fold or at flush.
+    Computer,
+    /// The manager, at superstep start.
+    Manager,
+}
+
+/// One scripted injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Panic a dispatcher during `superstep` once the role has sent at
+    /// least `after_messages` messages in that superstep.
+    DispatcherPanic {
+        /// Superstep the panic arms in.
+        superstep: u64,
+        /// Per-superstep sent-message threshold.
+        after_messages: u64,
+    },
+    /// Panic a computer once it has folded at least `after_messages`
+    /// messages within one superstep (checked per batch, any superstep).
+    ComputerPanic {
+        /// Per-superstep folded-message threshold.
+        after_messages: u64,
+    },
+    /// Panic a computer while it finalizes `superstep` (the flush barrier).
+    ComputerFlushPanic {
+        /// Superstep whose flush dies.
+        superstep: u64,
+    },
+    /// Panic the manager as it starts `superstep`.
+    ManagerPanic {
+        /// Superstep whose kickoff dies.
+        superstep: u64,
+    },
+    /// The durable commit of `superstep` fails its data msync.
+    MsyncFail {
+        /// Superstep whose commit fails.
+        superstep: u64,
+    },
+    /// The commit of `superstep` writes a torn (bad-CRC) header slot and
+    /// then dies — a crash mid-header-write.
+    TornCommit {
+        /// Superstep whose commit tears.
+        superstep: u64,
+    },
+}
+
+/// A seeded, fire-once fault schedule shared by the whole fleet.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<(FaultSpec, AtomicBool)>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed` (fill in points with the `with_*`
+    /// builders).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Derive `n_points` injections from `seed` alone, targeting
+    /// supersteps below `max_superstep`. The same seed always yields the
+    /// same schedule.
+    pub fn scripted(seed: u64, n_points: usize, max_superstep: u64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        let mut state = seed;
+        let max_step = max_superstep.max(1);
+        for _ in 0..n_points {
+            let kind = splitmix64(&mut state) % 6;
+            let superstep = splitmix64(&mut state) % max_step;
+            let after_messages = splitmix64(&mut state) % 512;
+            let spec = match kind {
+                0 => FaultSpec::DispatcherPanic {
+                    superstep,
+                    after_messages,
+                },
+                1 => FaultSpec::ComputerPanic { after_messages },
+                2 => FaultSpec::ComputerFlushPanic { superstep },
+                3 => FaultSpec::ManagerPanic { superstep },
+                4 => FaultSpec::MsyncFail { superstep },
+                _ => FaultSpec::TornCommit { superstep },
+            };
+            plan = plan.with(spec);
+        }
+        plan
+    }
+
+    /// Add one injection point.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.points.push((spec, AtomicBool::new(false)));
+        self
+    }
+
+    /// The seed this plan was built from (reporting only).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Injection points in this plan.
+    pub fn specs(&self) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.points.iter().map(|(s, _)| *s)
+    }
+
+    /// Total number of injection points (each costs the engine at most
+    /// one recovery attempt, a lower bound for the retry budget).
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    fn fire(&self, idx: usize) -> bool {
+        self.points[idx]
+            .1
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Panic (once) if a point matching `role` at (`superstep`,
+    /// `messages`) is due. Called from inside actor handlers, so the
+    /// panic rides the runtime's supervision / escalation path.
+    pub fn panic_if_due(&self, role: FaultRole, superstep: u64, messages: u64) {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            let due = match (*spec, role) {
+                (
+                    FaultSpec::DispatcherPanic {
+                        superstep: s,
+                        after_messages,
+                    },
+                    FaultRole::Dispatcher,
+                ) => s == superstep && messages >= after_messages,
+                (FaultSpec::ComputerPanic { after_messages }, FaultRole::Computer) => {
+                    messages >= after_messages
+                }
+                (FaultSpec::ComputerFlushPanic { superstep: s }, FaultRole::Computer) => {
+                    s == superstep && messages == u64::MAX
+                }
+                (FaultSpec::ManagerPanic { superstep: s }, FaultRole::Manager) => s == superstep,
+                _ => false,
+            };
+            if due && self.fire(i) {
+                panic!(
+                    "chaos-injected panic: seed={} role={role:?} superstep={superstep} messages={messages}",
+                    self.seed
+                );
+            }
+        }
+    }
+
+    /// Sentinel passed as `messages` by the computer's flush hook so
+    /// [`FaultSpec::ComputerFlushPanic`] points (and only those) match.
+    pub const AT_FLUSH: u64 = u64::MAX;
+
+    /// True (once) if the durable commit of `superstep` should fail its
+    /// msync.
+    pub fn take_msync_failure(&self, superstep: u64) -> bool {
+        self.take_commit_fault(superstep, true)
+    }
+
+    /// True (once) if the commit of `superstep` should write a torn slot.
+    pub fn take_torn_commit(&self, superstep: u64) -> bool {
+        self.take_commit_fault(superstep, false)
+    }
+
+    fn take_commit_fault(&self, superstep: u64, msync: bool) -> bool {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            let due = match *spec {
+                FaultSpec::MsyncFail { superstep: s } => msync && s == superstep,
+                FaultSpec::TornCommit { superstep: s } => !msync && s == superstep,
+                _ => false,
+            };
+            if due && self.fire(i) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plans_are_reproducible() {
+        let a: Vec<_> = FaultPlan::scripted(42, 8, 5).specs().collect();
+        let b: Vec<_> = FaultPlan::scripted(42, 8, 5).specs().collect();
+        let c: Vec<_> = FaultPlan::scripted(43, 8, 5).specs().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different schedules");
+        assert!(a
+            .iter()
+            .all(|s| !matches!(s, FaultSpec::DispatcherPanic { superstep, .. } if *superstep >= 5)));
+    }
+
+    #[test]
+    fn points_fire_at_most_once() {
+        let plan = FaultPlan::new(1).with(FaultSpec::MsyncFail { superstep: 3 });
+        assert!(!plan.take_msync_failure(2));
+        assert!(plan.take_msync_failure(3));
+        assert!(!plan.take_msync_failure(3), "second take must be a no-op");
+    }
+
+    #[test]
+    fn panic_points_respect_role_and_threshold() {
+        let plan = FaultPlan::new(7).with(FaultSpec::DispatcherPanic {
+            superstep: 1,
+            after_messages: 10,
+        });
+        // Wrong role, wrong superstep, under threshold: all quiet.
+        plan.panic_if_due(FaultRole::Computer, 1, 100);
+        plan.panic_if_due(FaultRole::Dispatcher, 0, 100);
+        plan.panic_if_due(FaultRole::Dispatcher, 1, 9);
+        let boom = std::panic::catch_unwind(|| plan.panic_if_due(FaultRole::Dispatcher, 1, 10));
+        assert!(boom.is_err());
+        // Fired once; never again.
+        plan.panic_if_due(FaultRole::Dispatcher, 1, 10);
+    }
+
+    #[test]
+    fn flush_points_only_match_the_sentinel() {
+        let plan = FaultPlan::new(9).with(FaultSpec::ComputerFlushPanic { superstep: 2 });
+        plan.panic_if_due(FaultRole::Computer, 2, 500);
+        let boom = std::panic::catch_unwind(|| {
+            plan.panic_if_due(FaultRole::Computer, 2, FaultPlan::AT_FLUSH)
+        });
+        assert!(boom.is_err());
+    }
+}

@@ -51,6 +51,8 @@ mod computer;
 mod config;
 mod dispatcher;
 mod engine;
+#[cfg(feature = "chaos")]
+pub mod fault;
 mod manager;
 mod partition;
 mod program;
@@ -73,5 +75,5 @@ pub use report::{RunOutcome, RunReport};
 pub use slab::MsgSlabPool;
 pub use sync_engine::SyncEngine;
 pub use value::VertexValue;
-pub use value_file::{ValueFile, ValueFileHeader};
+pub use value_file::{ValueFile, ValueFileError, ValueFileHeader};
 pub use word::{clear_flag, is_flagged, set_flag, FLAG_BIT};

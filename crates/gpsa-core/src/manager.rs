@@ -2,6 +2,7 @@
 //! termination, commit points, and the crash-injection hook used by the
 //! fault-tolerance tests.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,9 +64,19 @@ pub(crate) struct Manager<P: VertexProgram> {
     /// Test hook: stop abruptly (no commit, no flush) once all dispatchers
     /// of this superstep have reported — simulating a crash mid-superstep.
     pub crash_after_dispatch: Option<u64>,
+    /// Test hook: stop abruptly once the *first* computer of this
+    /// superstep reports — a crash in the middle of the compute phase,
+    /// with the update column genuinely half-written.
+    pub crash_in_compute: Option<u64>,
     pub report_tx: Sender<ManagerReport>,
     /// Shared with the computers; the manager owns the superstep epoch.
     pub overlap: Arc<OverlapStats>,
+    /// Bumped once per committed superstep; the engine's watchdog reads
+    /// it to tell "slow" from "wedged".
+    pub progress: Arc<AtomicU64>,
+    /// Chaos harness: scripted manager panics (superstep start).
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 
     pub dispatchers: Vec<Addr<Dispatcher<P>>>,
     pub computers: Vec<Addr<Computer<P>>>,
@@ -88,23 +99,30 @@ pub(crate) struct Manager<P: VertexProgram> {
 }
 
 impl<P: VertexProgram> Manager<P> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         values: Arc<ValueFile>,
         termination: Termination,
         durable: bool,
         crash_after_dispatch: Option<u64>,
+        crash_in_compute: Option<u64>,
         report_tx: Sender<ManagerReport>,
         overlap: Arc<OverlapStats>,
         resume_superstep: u64,
         dispatch_col: u32,
+        progress: Arc<AtomicU64>,
     ) -> Self {
         Manager {
             values,
             termination,
             durable,
             crash_after_dispatch,
+            crash_in_compute,
             report_tx,
             overlap,
+            progress,
+            #[cfg(feature = "chaos")]
+            fault: None,
             dispatchers: Vec::new(),
             computers: Vec::new(),
             superstep: resume_superstep,
@@ -125,6 +143,10 @@ impl<P: VertexProgram> Manager<P> {
     }
 
     fn start_superstep(&mut self) {
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            plan.panic_if_due(crate::fault::FaultRole::Manager, self.superstep, 0);
+        }
         self.pending_dispatch = self.dispatchers.len();
         self.pending_compute = self.computers.len();
         self.step_activated = 0;
@@ -191,15 +213,16 @@ impl<P: VertexProgram> Manager<P> {
         self.steps_run += 1;
         let next_dispatch = 1 - self.dispatch_col;
         // Commit point: the update column of this superstep becomes the
-        // authoritative (dispatch) column of the next.
-        if self
-            .values
-            .commit(self.superstep, next_dispatch, self.durable)
-            .is_err()
-        {
-            self.finish(true, ctx);
-            return;
+        // authoritative (dispatch) column of the next. A commit failure
+        // panics rather than reporting a crash: the panic rides the actor
+        // runtime's FailureEvent escalation, so the engine recovers from
+        // the last *successful* commit and retries — the header on disk
+        // is still the previous slot (dual-slot scheme), so nothing is
+        // lost.
+        if let Err(e) = self.values.commit(self.superstep, next_dispatch, self.durable) {
+            panic!("superstep {} commit failed: {e}", self.superstep);
         }
+        self.progress.fetch_add(1, Ordering::Relaxed);
         if self.wants_more() {
             self.superstep += 1;
             self.dispatch_col = next_dispatch;
@@ -263,6 +286,12 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 self.step_activated += activated;
                 self.step_delta += delta;
                 self.messages += messages;
+                if self.crash_in_compute == Some(self.superstep) {
+                    // Simulated crash while sibling computers are still
+                    // folding: no commit, update column half-written.
+                    self.finish(true, ctx);
+                    return;
+                }
                 self.pending_compute -= 1;
                 if self.pending_compute == 0 {
                     self.superstep_completed(ctx);

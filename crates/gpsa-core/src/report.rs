@@ -49,6 +49,12 @@ pub struct RunReport<V> {
     pub first_batch: Vec<Option<Duration>>,
     /// Total wall time of the run (setup + supersteps + teardown).
     pub elapsed: Duration,
+    /// In-process recovery attempts the self-healing loop made (fleet
+    /// teardown + `ValueFile::recover` + re-spawn). 0 for a clean run.
+    pub retry_attempts: u32,
+    /// Why each retry happened (failure escalations, watchdog deadlines),
+    /// in order.
+    pub retry_causes: Vec<String>,
 }
 
 impl<V> RunReport<V> {
@@ -109,6 +115,8 @@ mod tests {
             pool_misses: 3,
             first_batch: vec![Some(Duration::from_millis(1)), None],
             elapsed: Duration::from_millis(50),
+            retry_attempts: 0,
+            retry_causes: vec![],
         };
         assert_eq!(r.mean_superstep(5), Duration::from_millis(20));
         assert_eq!(r.mean_superstep(1), Duration::from_millis(10));

@@ -148,6 +148,8 @@ impl SyncEngine {
             pool_misses: 0,
             first_batch: Vec::new(),
             elapsed: t0.elapsed(),
+            retry_attempts: 0,
+            retry_causes: Vec::new(),
         }
     }
 }

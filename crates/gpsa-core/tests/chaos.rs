@@ -1,0 +1,224 @@
+//! Seeded chaos runs (`--features chaos`): scripted fault plans inject
+//! actor panics, msync failures and torn commit headers into real engine
+//! runs, and every run must still land on final values **bit-identical**
+//! to a fault-free run of the same configuration — the paper's §IV-G
+//! recovery claim, tested end to end instead of trusted.
+//!
+//! Determinism ground rules (see also `FaultPlan`): plans fire each point
+//! at most once, so a plan of `n` points costs at most `n` in-process
+//! recovery attempts; the retry budget is sized accordingly. PageRank is
+//! run with one dispatcher and one computer because its f32 fold order is
+//! part of the bit pattern; BFS and CC min-folds are exact under any
+//! actor layout.
+
+#![cfg(feature = "chaos")]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gpsa::fault::{FaultPlan, FaultSpec};
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa::{Engine, EngineConfig, RunOutcome, Termination};
+use gpsa_graph::{generate, preprocess, EdgeList};
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-chaos-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn materialize(dir: &std::path::Path, el: &EdgeList) -> PathBuf {
+    let p = dir.join("graph.gcsr");
+    preprocess::edges_to_csr(el.clone(), &p, &preprocess::PreprocessOptions::default()).unwrap();
+    p
+}
+
+/// Durable config with a retry budget sized to the plan: each injection
+/// point fires at most once, so `n_points` bounds the failed attempts.
+fn chaos_config(dir: &std::path::Path, plan: &FaultPlan) -> EngineConfig {
+    let mut c = EngineConfig::small(dir);
+    c.durable = true;
+    c.max_superstep_retries = plan.n_points() as u32 + 2;
+    c
+}
+
+fn fault_free_config(dir: &std::path::Path) -> EngineConfig {
+    let mut c = EngineConfig::small(dir);
+    c.durable = true;
+    c
+}
+
+fn cc_graph(seed: u64) -> EdgeList {
+    generate::symmetrize(&generate::rmat(
+        250,
+        1200,
+        generate::RmatParams::default(),
+        seed,
+    ))
+}
+
+#[test]
+fn cc_is_bit_identical_across_a_seed_matrix() {
+    let el = cc_graph(90);
+    let baseline = {
+        let dir = workdir("cc-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap()
+            .values
+    };
+    for seed in [11u64, 29, 47] {
+        let plan = Arc::new(FaultPlan::scripted(seed, 4, 4));
+        let dir = workdir(&format!("cc-{seed}"));
+        let path = materialize(&dir, &el);
+        let mut c = chaos_config(&dir, &plan);
+        c.fault_plan = Some(plan);
+        let report = Engine::new(c).run(&path, ConnectedComponents).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed, "seed {seed}");
+        assert_eq!(report.values, baseline, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn bfs_is_bit_identical_across_a_seed_matrix() {
+    let el = generate::symmetrize(&generate::grid(14, 14));
+    let baseline = {
+        let dir = workdir("bfs-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, Bfs { root: 0 })
+            .unwrap()
+            .values
+    };
+    for seed in [5u64, 17] {
+        let plan = Arc::new(FaultPlan::scripted(seed, 4, 6));
+        let dir = workdir(&format!("bfs-{seed}"));
+        let path = materialize(&dir, &el);
+        let mut c = chaos_config(&dir, &plan);
+        c.fault_plan = Some(plan);
+        let report = Engine::new(c).run(&path, Bfs { root: 0 }).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed, "seed {seed}");
+        assert_eq!(report.values, baseline, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn pagerank_is_bit_identical_across_a_seed_matrix() {
+    // One dispatcher, one computer: the f32 fold order is fixed, so a
+    // replayed superstep reproduces the exact bit pattern of the
+    // original — the strongest form of the recovery claim.
+    let el = cc_graph(91);
+    let steps = 6u64;
+    let baseline: Vec<u32> = {
+        let dir = workdir("pr-base");
+        let path = materialize(&dir, &el);
+        let c = fault_free_config(&dir)
+            .with_actors(1, 1)
+            .with_termination(Termination::Supersteps(steps));
+        let r = Engine::new(c).run(&path, PageRank::default()).unwrap();
+        r.values.iter().map(|v| v.to_bits()).collect()
+    };
+    for seed in [3u64, 13] {
+        let plan = Arc::new(FaultPlan::scripted(seed, 3, steps));
+        let dir = workdir(&format!("pr-{seed}"));
+        let path = materialize(&dir, &el);
+        let mut c = chaos_config(&dir, &plan)
+            .with_actors(1, 1)
+            .with_termination(Termination::Supersteps(steps));
+        c.fault_plan = Some(plan);
+        let report = Engine::new(c).run(&path, PageRank::default()).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed, "seed {seed}");
+        let bits: Vec<u32> = report.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, baseline, "seed {seed}: ranks not bit-identical");
+    }
+}
+
+#[test]
+fn every_actor_role_panic_is_survived() {
+    // One run, every panic flavor: a dispatcher mid-chunk, a computer
+    // mid-fold, a computer at its flush barrier, the manager at a
+    // superstep kickoff.
+    let el = cc_graph(92);
+    let baseline = {
+        let dir = workdir("roles-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap()
+            .values
+    };
+    let plan = Arc::new(
+        FaultPlan::new(0)
+            .with(FaultSpec::DispatcherPanic {
+                superstep: 0,
+                after_messages: 64,
+            })
+            .with(FaultSpec::ComputerPanic { after_messages: 32 })
+            .with(FaultSpec::ComputerFlushPanic { superstep: 2 })
+            .with(FaultSpec::ManagerPanic { superstep: 3 }),
+    );
+    let dir = workdir("roles");
+    let path = materialize(&dir, &el);
+    let mut c = chaos_config(&dir, &plan);
+    c.fault_plan = Some(plan);
+    let report = Engine::new(c).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.values, baseline);
+    assert!(
+        report.retry_attempts >= 1,
+        "at least one injection must have fired"
+    );
+}
+
+#[test]
+fn torn_commit_header_rolls_back_one_superstep() {
+    // The commit of superstep 2 writes a torn (bad-CRC) slot and dies.
+    // Recovery must reject that slot, resume from superstep 1's commit,
+    // and the re-run must land on the fault-free fixpoint.
+    let el = generate::cycle(60);
+    let baseline = {
+        let dir = workdir("torn-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap()
+            .values
+    };
+    let plan = Arc::new(FaultPlan::new(0).with(FaultSpec::TornCommit { superstep: 2 }));
+    let dir = workdir("torn");
+    let path = materialize(&dir, &el);
+    let mut c = chaos_config(&dir, &plan);
+    c.fault_plan = Some(plan);
+    let report = Engine::new(c).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.values, baseline);
+    assert_eq!(report.retry_attempts, 1, "{:?}", report.retry_causes);
+    assert!(
+        report.retry_causes[0].contains("Manager"),
+        "a failed commit escalates through the manager: {:?}",
+        report.retry_causes[0]
+    );
+}
+
+#[test]
+fn msync_failure_is_survived() {
+    let el = generate::cycle(60);
+    let baseline = {
+        let dir = workdir("msync-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap()
+            .values
+    };
+    let plan = Arc::new(FaultPlan::new(0).with(FaultSpec::MsyncFail { superstep: 1 }));
+    let dir = workdir("msync");
+    let path = materialize(&dir, &el);
+    let mut c = chaos_config(&dir, &plan);
+    c.fault_plan = Some(plan);
+    let report = Engine::new(c).run(&path, ConnectedComponents).unwrap();
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.values, baseline);
+    assert_eq!(report.retry_attempts, 1, "{:?}", report.retry_causes);
+}

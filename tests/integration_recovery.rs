@@ -27,6 +27,13 @@ fn crash_config(dir: &std::path::Path, at: u64) -> EngineConfig {
     c
 }
 
+fn crash_compute_config(dir: &std::path::Path, at: u64) -> EngineConfig {
+    let mut c = EngineConfig::small(dir);
+    c.durable = true;
+    c.crash_in_compute = Some(at);
+    c
+}
+
 fn resume_config(dir: &std::path::Path) -> EngineConfig {
     let mut c = EngineConfig::small(dir);
     c.resume = true;
@@ -98,6 +105,55 @@ fn pagerank_recovers_with_fixed_superstep_budget() {
     let expect = reference::pagerank(&el, 0.85, steps as usize);
     let diff = reference::max_abs_diff(&recovered.values, &expect);
     assert!(diff < 1e-5, "recovered PR diverges: {diff}");
+}
+
+#[test]
+fn cc_recovers_from_mid_compute_crashes() {
+    // A mid-compute crash is messier than the post-dispatch one: the
+    // update column holds partial folds from the computers that already
+    // reported, and the dispatch column is fully invalidated. Recovery
+    // must discard all of it and replay from the last commit.
+    // Same graph as the post-dispatch test above: known to run well past
+    // superstep 2, so every crash point actually fires.
+    let el = generate::symmetrize(&generate::rmat(
+        300,
+        1500,
+        generate::RmatParams::default(),
+        41,
+    ));
+    let expect = reference::connected_components(&el);
+    for crash_at in [0u64, 1, 2] {
+        let dir = workdir(&format!("cc-mid-{crash_at}"));
+        let path = materialize(&dir, &el);
+        let crashed = Engine::new(crash_compute_config(&dir, crash_at))
+            .run(&path, ConnectedComponents)
+            .unwrap();
+        assert_eq!(
+            crashed.outcome,
+            RunOutcome::Crashed,
+            "mid-compute crash at {crash_at}"
+        );
+
+        let recovered = Engine::new(resume_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap();
+        assert_eq!(recovered.outcome, RunOutcome::Completed);
+        assert_eq!(recovered.values, expect, "mid-compute crash at {crash_at}");
+    }
+}
+
+#[test]
+fn mid_compute_crash_leaves_header_stale_by_one() {
+    let el = generate::cycle(50);
+    let dir = workdir("mid-stale");
+    let path = materialize(&dir, &el);
+    let crashed = Engine::new(crash_compute_config(&dir, 2))
+        .run(&path, ConnectedComponents)
+        .unwrap();
+    assert_eq!(crashed.outcome, RunOutcome::Crashed);
+    let vf = ValueFile::open(Engine::new(EngineConfig::small(&dir)).value_file_path(&path)).unwrap();
+    // Superstep 2 died before its commit, so the header still names 1.
+    assert_eq!(vf.header().committed_superstep, Some(1));
 }
 
 #[test]
