@@ -32,6 +32,13 @@ impl<A: Actor> Addr<A> {
         self.cell.is_alive()
     }
 
+    /// Messages currently waiting in the actor's mailbox. A racy snapshot
+    /// (messages may land or drain concurrently) — meant for backlog
+    /// gauges and admission-control heuristics, not for synchronization.
+    pub fn queue_len(&self) -> usize {
+        self.cell.queue_len()
+    }
+
     /// Erase the actor type, keeping only the ability to send `M` (with a
     /// conversion into the actor's message type).
     pub fn recipient<M>(&self) -> Recipient<M>

@@ -74,13 +74,20 @@ impl<A: Actor> Cell<A> {
         self.status.load(Ordering::Acquire) != DEAD
     }
 
+    pub(crate) fn queue_len(&self) -> usize {
+        self.mailbox.len()
+    }
+
     /// Enqueue a message and make sure the cell is scheduled.
     pub(crate) fn deliver(self: &Arc<Self>, msg: A::Msg) -> Result<(), crate::SendError<A::Msg>> {
         if !self.is_alive() {
             return Err(crate::SendError(msg));
         }
         self.mailbox.push(msg);
-        self.system.metrics().messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.system
+            .metrics()
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
         self.try_schedule();
         Ok(())
     }
@@ -148,7 +155,10 @@ impl<A: Actor> Runnable for Cell<A> {
             let outcome =
                 std::panic::catch_unwind(AssertUnwindSafe(|| actor.handle(msg, &mut ctx)));
             processed += 1;
-            sched.metrics.messages_handled.fetch_add(1, Ordering::Relaxed);
+            sched
+                .metrics
+                .messages_handled
+                .fetch_add(1, Ordering::Relaxed);
             match outcome {
                 Ok(()) if ctx.stop => {
                     self.kill(&mut guard, true);

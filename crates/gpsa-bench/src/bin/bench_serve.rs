@@ -1,0 +1,105 @@
+//! Serving-layer benchmark: boot a resident-graph job server in-process,
+//! replay a deterministic synthetic job trace against it over the wire,
+//! and report end-to-end submit latency (p50/p99), throughput, and the
+//! result-cache hit rate.
+//!
+//! Writes `BENCH_serve.json` into `--data-dir` and prints the same
+//! numbers as a table.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin bench_serve -- \
+//!     [--scale N] [--threads N] [--jobs N] [--clients N] [--data-dir D]
+//! ```
+
+use gpsa::EngineConfig;
+use gpsa_bench::HarnessConfig;
+use gpsa_dist::{replay_against_server, synthetic_jobs, ReplayConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_graph::preprocess;
+use gpsa_metrics::Table;
+use gpsa_serve::{Client, ServeConfig};
+
+fn scan_flag(argv: &[String], key: &str, default: usize) -> Result<usize, String> {
+    match argv.iter().position(|a| a == key) {
+        None => Ok(default),
+        Some(i) => argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{key} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {key}")),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    let n_jobs = scan_flag(&argv, "--jobs", 64)?;
+    let clients = scan_flag(&argv, "--clients", 4)?;
+    std::fs::create_dir_all(&cfg.data_dir)?;
+
+    // Two resident graphs: the mixed trace alternates between them, so
+    // the registry's one-mmap-many-jobs sharing is actually exercised.
+    let mut graph_ids = Vec::new();
+    for ds in [Dataset::Google, Dataset::Pokec] {
+        let el = gpsa_bench::dataset_edges(ds, cfg.scale);
+        let path = cfg.data_dir.join(format!("serve-{}.gcsr", ds.name()));
+        preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default())?;
+        graph_ids.push((ds.name().to_string(), path));
+    }
+
+    let work = cfg.data_dir.join("serve-work");
+    let max_jobs = (cfg.threads / 2).max(1);
+    let actors = (cfg.threads / 2).max(1);
+    let config = ServeConfig::new(&work)
+        .with_max_concurrent_jobs(max_jobs)
+        .with_queue_capacity(n_jobs.max(64))
+        .with_engine(EngineConfig::new(&work).with_actors(actors, actors));
+    let handle = gpsa_serve::start(config)?;
+    let addr = handle.addr();
+    eprintln!(
+        "serving on {addr}: {max_jobs} concurrent jobs, {clients} replay clients, {n_jobs} jobs"
+    );
+
+    let mut admin = Client::connect(addr)?;
+    for (id, path) in &graph_ids {
+        let info = admin.register_graph(id, path.to_str().ok_or("non-utf8 path")?)?;
+        eprintln!(
+            "  resident {:?}: {} vertices, {} edges, {} bytes",
+            info.graph_id, info.n_vertices, info.n_edges, info.bytes
+        );
+    }
+
+    let ids: Vec<String> = graph_ids.iter().map(|(id, _)| id.clone()).collect();
+    let jobs = synthetic_jobs(&ids, n_jobs, 42);
+    let report = replay_against_server(
+        addr,
+        &jobs,
+        &ReplayConfig {
+            concurrency: clients.max(1),
+            deadline: None,
+        },
+    )?;
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["jobs total", &report.jobs_total.to_string()]);
+    t.row(&["jobs ok", &report.jobs_ok.to_string()]);
+    t.row(&["jobs rejected", &report.jobs_rejected.to_string()]);
+    t.row(&["jobs failed", &report.jobs_failed.to_string()]);
+    t.row(&["p50 latency", &format!("{}us", report.p50_us)]);
+    t.row(&["p99 latency", &format!("{}us", report.p99_us)]);
+    t.row(&[
+        "throughput",
+        &format!("{:.2} jobs/s", report.jobs_per_sec()),
+    ]);
+    t.row(&["cache hits", &report.cache_hits.to_string()]);
+    t.row(&[
+        "cache hit rate",
+        &format!("{:.1}%", 100.0 * report.cache_hit_rate),
+    ]);
+    print!("{t}");
+
+    let out = cfg.data_dir.join("BENCH_serve.json");
+    std::fs::write(&out, report.to_bench_json())?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}

@@ -25,6 +25,13 @@ USAGE:
                   [--dispatchers N] [--computers N] [--workers N]
                   [--nodes N (dist engine)]
                   [--work-dir DIR] [--durable] [--resume] [--top N]
+  gpsa serve      --listen <host:port> [--work-dir DIR] [--max-jobs N]
+                  [--queue-capacity N] [--cache-capacity N] [--budget-mb N]
+                  [--deadline-ms N] [--graphs id=path[,id=path...]]
+  gpsa submit     --addr <host:port> --graph <id> --algo <pagerank|bfs|cc|sssp>
+                  [--register PATH (make <id> resident first)]
+                  [--root N] [--damping F] [--supersteps N]
+                  [--priority normal|high] [--deadline-ms N] [--top N]
   gpsa help
 ";
 
@@ -35,6 +42,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("preprocess") => preprocess_cmd(&argv[1..]),
         Some("info") => info(&argv[1..]),
         Some("run") => run(&argv[1..]),
+        Some("serve") => serve(&argv[1..]),
+        Some("submit") => submit(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -78,7 +87,11 @@ fn preprocess_cmd(argv: &[String]) -> Result<(), String> {
         "binary" => preprocess::binary_to_csr(&input, &output, &opts),
         "adjacency" | "adj" => preprocess::adjacency_to_csr(&input, &output, &opts),
         "text" | "edgelist" => preprocess::text_to_csr(&input, &output, &opts),
-        other => return Err(format!("unknown --format {other:?} (text|binary|adjacency)")),
+        other => {
+            return Err(format!(
+                "unknown --format {other:?} (text|binary|adjacency)"
+            ))
+        }
     }
     .map_err(|e| e.to_string())?;
     println!(
@@ -128,9 +141,7 @@ fn engine_from(args: &Args) -> Result<Engine, String> {
     config.resume = args.flag("resume");
     let max: u64 = args.get_parsed("max-supersteps", 10_000u64)?;
     config.termination = match args.get("supersteps") {
-        Some(s) => Termination::Supersteps(
-            s.parse().map_err(|_| "bad --supersteps".to_string())?,
-        ),
+        Some(s) => Termination::Supersteps(s.parse().map_err(|_| "bad --supersteps".to_string())?),
         None => Termination::Quiescence {
             max_supersteps: max,
         },
@@ -183,8 +194,161 @@ fn run(argv: &[String]) -> Result<(), String> {
             let report = run_program(&engine, &graph, Sssp { root })?;
             print_levels("distance", &report, top);
         }
-        other => return Err(format!("unknown algorithm {other:?} (pagerank|bfs|cc|sssp)")),
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (pagerank|bfs|cc|sssp)"
+            ))
+        }
     }
+    Ok(())
+}
+
+/// Boot a resident-graph job server and block until a client sends the
+/// `shutdown` op (or the process is killed).
+fn serve(argv: &[String]) -> Result<(), String> {
+    use gpsa_serve::{Client, ServeConfig};
+
+    let args = Args::parse(argv, &[])?;
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7171").to_string();
+    let work_dir = PathBuf::from(args.get("work-dir").unwrap_or("gpsa-serve-work"));
+    let mut config = ServeConfig::new(&work_dir).with_listen(&listen);
+    config = config
+        .with_max_concurrent_jobs(args.get_parsed("max-jobs", config.max_concurrent_jobs)?)
+        .with_queue_capacity(args.get_parsed("queue-capacity", config.queue_capacity)?)
+        .with_cache_capacity(args.get_parsed("cache-capacity", config.cache_capacity)?);
+    if let Some(mb) = args.get("budget-mb") {
+        let mb: u64 = mb.parse().map_err(|_| "bad --budget-mb".to_string())?;
+        config = config.with_memory_budget(mb.saturating_mul(1 << 20));
+    }
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+        config = config.with_default_deadline(std::time::Duration::from_millis(ms));
+    }
+    let max_jobs = config.max_concurrent_jobs;
+    let mut handle = gpsa_serve::start(config).map_err(|e| e.to_string())?;
+    println!(
+        "gpsa-serve listening on {} ({} concurrent jobs, work dir {})",
+        handle.addr(),
+        max_jobs,
+        work_dir.display()
+    );
+
+    // Preload graphs through the wire path, same as any client would.
+    if let Some(spec) = args.get("graphs") {
+        let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (id, path) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--graphs entry {pair:?} is not id=path"))?;
+            let info = client.register_graph(id, path).map_err(|e| e.to_string())?;
+            println!(
+                "  resident {:?}: {} vertices, {} edges, {} bytes (epoch {})",
+                info.graph_id, info.n_vertices, info.n_edges, info.bytes, info.epoch
+            );
+        }
+    }
+
+    while !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    println!("gpsa-serve: shutdown requested, draining");
+    handle.shutdown();
+    Ok(())
+}
+
+/// Submit one job to a running server and print the result.
+fn submit(argv: &[String]) -> Result<(), String> {
+    use gpsa_serve::{AlgorithmSpec, Client, Priority, SubmitRequest, ValueType};
+
+    let args = Args::parse(argv, &[])?;
+    let addr = args.require("addr")?;
+    let graph_id = args.require("graph")?.to_string();
+    let algo = args.require("algo")?;
+    let root: u32 = args.get_parsed("root", 0u32)?;
+    let top: usize = args.get_parsed("top", 5usize)?;
+    let algorithm = match algo {
+        "pagerank" | "pr" => AlgorithmSpec::PageRank {
+            damping: args.get_parsed("damping", 0.85f32)?,
+            supersteps: args.get_parsed("supersteps", 5u64)?,
+        },
+        "bfs" => AlgorithmSpec::Bfs { root },
+        "cc" => AlgorithmSpec::Cc,
+        "sssp" => AlgorithmSpec::Sssp { root },
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (pagerank|bfs|cc|sssp)"
+            ))
+        }
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("register") {
+        let info = client
+            .register_graph(&graph_id, path)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered {:?}: {} vertices, {} edges (epoch {})",
+            info.graph_id, info.n_vertices, info.n_edges, info.epoch
+        );
+    }
+
+    let mut req = SubmitRequest::new(&graph_id, algorithm)
+        .with_priority(Priority::parse(args.get("priority").unwrap_or("normal")));
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+        req = req.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    let resp = client.submit(&req).map_err(|e| e.to_string())?;
+    println!(
+        "job {}: {} ({} supersteps, {} messages; queue {:?}, run {:?})",
+        resp.job_id,
+        if resp.cache_hit {
+            "cache hit"
+        } else {
+            "computed"
+        },
+        resp.outcome.supersteps,
+        resp.outcome.messages,
+        resp.queue_wait,
+        resp.run_time
+    );
+    match resp.outcome.value_type {
+        ValueType::F32 => {
+            let ranks = resp.outcome.values_f32().unwrap_or_default();
+            let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                ranks[b as usize]
+                    .partial_cmp(&ranks[a as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            println!("top {top} vertices by value:");
+            for &v in idx.iter().take(top) {
+                println!("  v{v}: {:.6}", ranks[v as usize]);
+            }
+        }
+        ValueType::U32 => {
+            let values = &resp.outcome.values_u32;
+            let reached = values.iter().filter(|&&l| l < UNREACHED).count();
+            println!("reached/nontrivial {reached}/{} vertices", values.len());
+            for (v, l) in values
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l < UNREACHED)
+                .take(top)
+            {
+                println!("  v{v}: {l}");
+            }
+        }
+    }
+    let s = &resp.stats;
+    println!(
+        "server: {} running, {} queued, {} completed, cache {:.0}% of {} lookups",
+        s.running,
+        s.queue_depth,
+        s.jobs_completed,
+        100.0 * s.cache_hit_rate(),
+        s.cache_hits + s.cache_misses
+    );
     Ok(())
 }
 
@@ -203,7 +367,9 @@ fn run_alternative_engine(
     use gpsa_baselines::graphchi::{PswConfig, PswEngine, PswTermination};
     use gpsa_baselines::xstream::{XsConfig, XsEngine, XsTermination};
 
-    let el = DiskCsr::open(graph).map_err(|e| e.to_string())?.to_edge_list();
+    let el = DiskCsr::open(graph)
+        .map_err(|e| e.to_string())?
+        .to_edge_list();
     let work_dir = PathBuf::from(args.get("work-dir").unwrap_or("gpsa-work"));
     let steps: u64 = args.get_parsed("supersteps", 5u64)?;
     let max: u64 = args.get_parsed("max-supersteps", 10_000u64)?;
@@ -213,7 +379,12 @@ fn run_alternative_engine(
         println!("{which}: {iterations} iterations");
         let reached = values.iter().filter(|&&l| l < UNREACHED).count();
         println!("reached/nontrivial {reached}/{} vertices", values.len());
-        for (v, l) in values.iter().enumerate().filter(|(_, &l)| l < UNREACHED).take(top) {
+        for (v, l) in values
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l < UNREACHED)
+            .take(top)
+        {
             println!("  v{v}: {name} {l}");
         }
     };
@@ -229,12 +400,16 @@ fn run_alternative_engine(
             let engine = PswEngine::new(cfg);
             match algo {
                 "pagerank" | "pr" => {
-                    let r = engine.run(&el, PswPageRank::default()).map_err(|e| e.to_string())?;
+                    let r = engine
+                        .run(&el, PswPageRank::default())
+                        .map_err(|e| e.to_string())?;
                     println!("{which}: {} iterations", r.iterations);
                     print_top_ranks(&r.values, top);
                 }
                 "bfs" => {
-                    let r = engine.run(&el, PswBfs { root }).map_err(|e| e.to_string())?;
+                    let r = engine
+                        .run(&el, PswBfs { root })
+                        .map_err(|e| e.to_string())?;
                     print_u32("level", &r.values, r.iterations);
                 }
                 "cc" => {
@@ -242,7 +417,9 @@ fn run_alternative_engine(
                     print_u32("label", &r.values, r.iterations);
                 }
                 "sssp" => {
-                    let r = engine.run(&el, PswSssp { root }).map_err(|e| e.to_string())?;
+                    let r = engine
+                        .run(&el, PswSssp { root })
+                        .map_err(|e| e.to_string())?;
                     print_u32("distance", &r.values, r.iterations);
                 }
                 other => return Err(format!("unknown algorithm {other:?}")),
@@ -258,7 +435,9 @@ fn run_alternative_engine(
             let engine = XsEngine::new(cfg);
             match algo {
                 "pagerank" | "pr" => {
-                    let r = engine.run(&el, XsPageRank::default()).map_err(|e| e.to_string())?;
+                    let r = engine
+                        .run(&el, XsPageRank::default())
+                        .map_err(|e| e.to_string())?;
                     println!("{which}: {} iterations", r.iterations);
                     print_top_ranks(&r.values, top);
                 }
@@ -271,7 +450,9 @@ fn run_alternative_engine(
                     print_u32("label", &r.values, r.iterations);
                 }
                 "sssp" => {
-                    let r = engine.run(&el, XsSssp { root }).map_err(|e| e.to_string())?;
+                    let r = engine
+                        .run(&el, XsSssp { root })
+                        .map_err(|e| e.to_string())?;
                     print_u32("distance", &r.values, r.iterations);
                 }
                 other => return Err(format!("unknown algorithm {other:?}")),
@@ -292,7 +473,9 @@ fn run_alternative_engine(
                     println!("{which}: {} supersteps", r.supersteps);
                     let mut idx: Vec<u32> = (0..r.values.len() as u32).collect();
                     idx.sort_by(|&a, &b| {
-                        r.values[b as usize].partial_cmp(&r.values[a as usize]).unwrap()
+                        r.values[b as usize]
+                            .partial_cmp(&r.values[a as usize])
+                            .unwrap()
                     });
                     for &v in idx.iter().take(top) {
                         println!("  v{v}: {:.6}", r.values[v as usize]);
@@ -326,7 +509,9 @@ fn run_alternative_engine(
             let cluster = gpsa_dist::Cluster::new(config);
             match algo {
                 "cc" => {
-                    let r = cluster.run(&el, ConnectedComponents).map_err(|e| e.to_string())?;
+                    let r = cluster
+                        .run(&el, ConnectedComponents)
+                        .map_err(|e| e.to_string())?;
                     print_u32("label", &r.values, r.supersteps);
                     println!(
                         "traffic: {} local, {} remote messages across {nodes} nodes",
@@ -344,7 +529,9 @@ fn run_alternative_engine(
                     );
                 }
                 "pagerank" | "pr" => {
-                    let r = cluster.run(&el, PageRank::default()).map_err(|e| e.to_string())?;
+                    let r = cluster
+                        .run(&el, PageRank::default())
+                        .map_err(|e| e.to_string())?;
                     println!("{which}: {} supersteps", r.supersteps);
                     println!(
                         "traffic: {} local, {} remote messages across {nodes} nodes",

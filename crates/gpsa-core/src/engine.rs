@@ -13,8 +13,8 @@ use crate::config::{EngineConfig, IntervalStrategy, RouterStrategy, Termination}
 use crate::dispatcher::Dispatcher;
 use crate::manager::{Manager, ManagerMsg, ManagerReport};
 use crate::partition::{
-    edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment,
-    ModRouter, RangeRouter, Router,
+    edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment, ModRouter,
+    RangeRouter, Router,
 };
 use crate::program::{GraphMeta, VertexProgram};
 use crate::report::{RunOutcome, RunReport};
@@ -135,12 +135,39 @@ impl Engine {
         csr_path: &Path,
         program: P,
     ) -> Result<RunReport<P::Value>, EngineError> {
+        std::fs::create_dir_all(&self.config.work_dir)?;
+        let graph = Arc::new(DiskCsr::open(csr_path)?);
+        let vf_path = self.value_file_path(csr_path);
+        self.run_shared(&graph, &vf_path, program)
+    }
+
+    /// Run `program` over an **already-opened, shared** graph, writing the
+    /// per-run state to an explicit value-file path.
+    ///
+    /// This is the serving-layer entry point: a resident [`DiskCsr`] is one
+    /// mmap shared read-only by any number of concurrent runs, while each
+    /// run keeps its own private scratch state in `value_file`. Callers are
+    /// responsible for handing every *concurrent* run a distinct
+    /// `value_file` path (e.g. a job-scoped temp dir) — the value file is
+    /// mutated in place and two runs sharing one path would corrupt each
+    /// other. [`Engine::run`] derives a per-graph path under
+    /// `config.work_dir` and delegates here.
+    pub fn run_shared<P: VertexProgram>(
+        &self,
+        graph: &Arc<DiskCsr>,
+        value_file: &Path,
+        program: P,
+    ) -> Result<RunReport<P::Value>, EngineError> {
         let t0 = Instant::now();
         if let Termination::Supersteps(0) = self.config.termination {
             return Err(EngineError::Config("Termination::Supersteps(0)".into()));
         }
-        std::fs::create_dir_all(&self.config.work_dir)?;
-        let graph = Arc::new(DiskCsr::open(csr_path)?);
+        if let Some(parent) = value_file.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let graph = graph.clone();
         // Readahead hint: Range assignments stream the edge file
         // sequentially; Strided dispatch hops between records, where
         // sequential readahead would only pollute the page cache.
@@ -159,26 +186,25 @@ impl Engine {
         let program = Arc::new(program);
 
         // Create or recover the value file.
-        let vf_path = self.value_file_path(csr_path);
-        let (values, resume_superstep, dispatch_col) =
-            if self.config.resume && vf_path.exists() {
-                let vf = ValueFile::open(&vf_path)?;
-                if vf.n_vertices() != graph.n_vertices() {
-                    return Err(EngineError::Config(format!(
-                        "value file has {} vertices, graph has {}",
-                        vf.n_vertices(),
-                        graph.n_vertices()
-                    )));
-                }
-                let resume = vf.recover();
-                let col = vf.header().next_dispatch_col;
-                (Arc::new(vf), resume, col)
-            } else {
-                let p = program.clone();
-                let m = meta;
-                let vf = ValueFile::create(&vf_path, graph.n_vertices(), |v| p.init(v, &m))?;
-                (Arc::new(vf), 0, 0)
-            };
+        let (values, resume_superstep, dispatch_col) = if self.config.resume && value_file.exists()
+        {
+            let vf = ValueFile::open(value_file)?;
+            if vf.n_vertices() != graph.n_vertices() {
+                return Err(EngineError::Config(format!(
+                    "value file has {} vertices, graph has {}",
+                    vf.n_vertices(),
+                    graph.n_vertices()
+                )));
+            }
+            let resume = vf.recover();
+            let col = vf.header().next_dispatch_col;
+            (Arc::new(vf), resume, col)
+        } else {
+            let p = program.clone();
+            let m = meta;
+            let vf = ValueFile::create(value_file, graph.n_vertices(), |v| p.init(v, &m))?;
+            (Arc::new(vf), 0, 0)
+        };
 
         // Routing and vertex ownership are attempt-invariant.
         let router: Arc<dyn Router> = match self.config.router {
@@ -197,14 +223,18 @@ impl Engine {
             }
         }
         let assignments: Vec<DispatchAssignment> = match self.config.intervals {
-            IntervalStrategy::Uniform => uniform_intervals(graph.n_vertices(), self.config.n_dispatchers)
-                .into_iter()
-                .map(DispatchAssignment::Range)
-                .collect(),
-            IntervalStrategy::EdgeBalanced => edge_balanced_intervals(&graph, self.config.n_dispatchers)
-                .into_iter()
-                .map(DispatchAssignment::Range)
-                .collect(),
+            IntervalStrategy::Uniform => {
+                uniform_intervals(graph.n_vertices(), self.config.n_dispatchers)
+                    .into_iter()
+                    .map(DispatchAssignment::Range)
+                    .collect()
+            }
+            IntervalStrategy::EdgeBalanced => {
+                edge_balanced_intervals(&graph, self.config.n_dispatchers)
+                    .into_iter()
+                    .map(DispatchAssignment::Range)
+                    .collect()
+            }
             IntervalStrategy::Strided => {
                 strided_assignments(graph.n_vertices(), self.config.n_dispatchers)
             }

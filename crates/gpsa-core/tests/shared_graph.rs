@@ -1,0 +1,131 @@
+//! Regression: concurrent `run_shared` jobs against ONE shared `DiskCsr`
+//! must not collide, as long as each run gets a private value file —
+//! the contract the serving layer's job-unique scratch dirs rely on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_graph::{generate, preprocess, DiskCsr};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-shared-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn engine(dir: &PathBuf, termination: Termination) -> Engine {
+    let mut cfg = EngineConfig::small(dir).with_actors(1, 1);
+    cfg.termination = termination;
+    Engine::new(cfg)
+}
+
+#[test]
+fn concurrent_jobs_on_one_graph_match_sequential_baselines() {
+    let dir = test_dir("concurrent");
+    let csr = dir.join("g.gcsr");
+    preprocess::edges_to_csr(
+        generate::erdos_renyi(500, 2500, 11),
+        &csr,
+        &preprocess::PreprocessOptions::default(),
+    )
+    .unwrap();
+    let graph = Arc::new(DiskCsr::open(&csr).unwrap());
+
+    // Sequential baselines, each with its own value file.
+    let quiesce = Termination::Quiescence {
+        max_supersteps: 10_000,
+    };
+    let base_pr = engine(&dir, Termination::Supersteps(5))
+        .run_shared(
+            &graph,
+            &dir.join("base-pr.gval"),
+            PageRank { damping: 0.85 },
+        )
+        .unwrap();
+    let base_bfs = engine(&dir, quiesce)
+        .run_shared(&graph, &dir.join("base-bfs.gval"), Bfs { root: 0 })
+        .unwrap();
+    let base_cc = engine(&dir, quiesce)
+        .run_shared(&graph, &dir.join("base-cc.gval"), ConnectedComponents)
+        .unwrap();
+
+    // Now the same three programs, three threads, one shared mmap, each
+    // run writing a job-unique value file — exactly what the job server
+    // does for concurrent submissions against one resident graph.
+    let mut handles = Vec::new();
+    for round in 0..2u32 {
+        let (g, d) = (graph.clone(), dir.clone());
+        handles.push(std::thread::spawn(move || {
+            let vf = d.join(format!("job-pr-{round}.gval"));
+            let r = engine(&d, Termination::Supersteps(5))
+                .run_shared(&g, &vf, PageRank { damping: 0.85 })
+                .unwrap();
+            (
+                "pr",
+                round,
+                r.values.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            )
+        }));
+        let (g, d) = (graph.clone(), dir.clone());
+        handles.push(std::thread::spawn(move || {
+            let vf = d.join(format!("job-bfs-{round}.gval"));
+            let r = engine(&d, quiesce)
+                .run_shared(&g, &vf, Bfs { root: 0 })
+                .unwrap();
+            ("bfs", round, r.values)
+        }));
+        let (g, d) = (graph.clone(), dir.clone());
+        handles.push(std::thread::spawn(move || {
+            let vf = d.join(format!("job-cc-{round}.gval"));
+            let r = engine(&d, quiesce)
+                .run_shared(&g, &vf, ConnectedComponents)
+                .unwrap();
+            ("cc", round, r.values)
+        }));
+    }
+
+    let expected_pr: Vec<u32> = base_pr.values.iter().map(|v| v.to_bits()).collect();
+    for h in handles {
+        let (kind, round, values) = h.join().unwrap();
+        let expected = match kind {
+            "pr" => &expected_pr,
+            "bfs" => &base_bfs.values,
+            _ => &base_cc.values,
+        };
+        assert_eq!(
+            &values, expected,
+            "concurrent {kind} run (round {round}) diverged from its sequential baseline"
+        );
+    }
+}
+
+#[test]
+fn run_shared_refuses_nothing_but_needs_distinct_value_files() {
+    // Sanity for the contract itself: two back-to-back runs reusing the
+    // SAME value file path still work sequentially (create-or-recover),
+    // which is why collision avoidance must come from path uniqueness,
+    // not from file locking.
+    let dir = test_dir("same-path");
+    let csr = dir.join("g.gcsr");
+    preprocess::edges_to_csr(
+        generate::cycle(64),
+        &csr,
+        &preprocess::PreprocessOptions::default(),
+    )
+    .unwrap();
+    let graph = Arc::new(DiskCsr::open(&csr).unwrap());
+    let quiesce = Termination::Quiescence {
+        max_supersteps: 10_000,
+    };
+    let vf = dir.join("shared.gval");
+    let a = engine(&dir, quiesce)
+        .run_shared(&graph, &vf, Bfs { root: 0 })
+        .unwrap();
+    let b = engine(&dir, quiesce)
+        .run_shared(&graph, &vf, Bfs { root: 0 })
+        .unwrap();
+    assert_eq!(a.values, b.values);
+}

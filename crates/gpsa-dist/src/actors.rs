@@ -71,7 +71,11 @@ mod router_tests {
             let node = r.node_of_vertex(v);
             assert!(node < 3);
             let c = r.computer_of_vertex(v);
-            assert_eq!(r.node_of_computer(c), node, "computer lives on the vertex's node");
+            assert_eq!(
+                r.node_of_computer(c),
+                node,
+                "computer lives on the vertex's node"
+            );
             assert!(r.node_range(node, 30).contains(&v));
         }
         // Overflow ids clamp to the last node.
@@ -80,7 +84,12 @@ mod router_tests {
 
     #[test]
     fn node_ranges_tile_the_vertex_space() {
-        for (n, nodes, per) in [(30usize, 3usize, 10usize), (31, 3, 11), (5, 4, 2), (7, 7, 1)] {
+        for (n, nodes, per) in [
+            (30usize, 3usize, 10usize),
+            (31, 3, 11),
+            (5, 4, 2),
+            (7, 7, 1),
+        ] {
             let r = DistRouter {
                 n_nodes: nodes,
                 per_node: per,
@@ -123,7 +132,10 @@ pub(crate) enum ComputeCmd<M> {
         update_col: u32,
         msgs: Box<[(VertexId, M)]>,
     },
-    Flush { superstep: u64, update_col: u32 },
+    Flush {
+        superstep: u64,
+        update_col: u32,
+    },
     Shutdown,
 }
 
@@ -132,8 +144,15 @@ pub(crate) enum CoordinatorMsg<P: VertexProgram> {
         dispatchers: Vec<Addr<DistDispatcher<P>>>,
         computers: Vec<Addr<DistComputer<P>>>,
     },
-    DispatchOver { superstep: u64 },
-    ComputeOver { superstep: u64, activated: u64, delta: f64, messages: u64 },
+    DispatchOver {
+        superstep: u64,
+    },
+    ComputeOver {
+        superstep: u64,
+        activated: u64,
+        delta: f64,
+        messages: u64,
+    },
 }
 
 /// Per-run result forwarded to the blocking caller.

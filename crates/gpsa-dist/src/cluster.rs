@@ -8,9 +8,7 @@ use actor::System;
 use gpsa::{clear_flag, is_flagged, GraphMeta, Termination, ValueFile, VertexProgram, VertexValue};
 use gpsa_graph::{preprocess, DiskCsr, Edge, EdgeList};
 
-use crate::actors::{
-    Coordinator, CoordinatorMsg, DistComputer, DistDispatcher, DistRouter,
-};
+use crate::actors::{Coordinator, CoordinatorMsg, DistComputer, DistDispatcher, DistRouter};
 use crate::traffic::TrafficMatrix;
 
 /// Configuration of the simulated cluster.
@@ -137,11 +135,9 @@ impl Cluster {
             let vf_path = cfg.work_dir.join(format!("node{node}.gval"));
             let p = program.clone();
             let m = meta;
-            node_values.push(Arc::new(ValueFile::create_ranged(
-                &vf_path,
-                range,
-                |v| p.init(v, &m),
-            )?));
+            node_values.push(Arc::new(ValueFile::create_ranged(&vf_path, range, |v| {
+                p.init(v, &m)
+            })?));
 
             node_systems.push(
                 System::builder()

@@ -32,4 +32,6 @@ mod cluster;
 mod traffic;
 
 pub use cluster::{Cluster, ClusterConfig, DistReport};
-pub use traffic::TrafficMatrix;
+pub use traffic::{
+    replay_against_server, synthetic_jobs, ReplayConfig, ReplayJob, ReplayReport, TrafficMatrix,
+};

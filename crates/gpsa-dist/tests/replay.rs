@@ -1,0 +1,66 @@
+//! End-to-end replay: boot a job server, register two graphs, replay a
+//! deterministic synthetic trace against it, and sanity-check the
+//! latency/throughput/cache profile the BENCH emitter reports.
+
+use std::path::{Path, PathBuf};
+
+use gpsa::EngineConfig;
+use gpsa_dist::{replay_against_server, synthetic_jobs, ReplayConfig};
+use gpsa_graph::{generate, preprocess};
+use gpsa_serve::{start, Client, ServeConfig};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-replay-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build_csr(dir: &Path, name: &str, el: gpsa_graph::EdgeList) -> PathBuf {
+    let path = dir.join(format!("{name}.gcsr"));
+    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+    path
+}
+
+#[test]
+fn replay_completes_the_trace_and_hits_the_cache() {
+    let dir = test_dir("e2e");
+    let g1 = build_csr(&dir, "g1", generate::cycle(256));
+    let g2 = build_csr(&dir, "g2", generate::grid(10, 10));
+    let serve_work = dir.join("serve");
+    let config = ServeConfig::small(&serve_work)
+        .with_max_concurrent_jobs(2)
+        .with_queue_capacity(64)
+        .with_engine(EngineConfig::small(&serve_work).with_actors(1, 1));
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.register_graph("g1", g1.to_str().unwrap()).unwrap();
+    admin.register_graph("g2", g2.to_str().unwrap()).unwrap();
+
+    let jobs = synthetic_jobs(&["g1".to_string(), "g2".to_string()], 40, 7);
+    let report = replay_against_server(
+        addr,
+        &jobs,
+        &ReplayConfig {
+            concurrency: 4,
+            deadline: None,
+        },
+    )
+    .unwrap();
+
+    // Queue capacity 64 > trace size: nothing may be rejected or fail.
+    assert_eq!(report.jobs_total, 40);
+    assert_eq!(report.jobs_ok, 40, "report: {report:?}");
+    assert_eq!(report.jobs_rejected, 0);
+    assert_eq!(report.jobs_failed, 0);
+    // The trace's parameter space is tiny (two graphs, a handful of
+    // param combos), so a 40-job replay must see repeats → cache hits.
+    assert!(report.cache_hits > 0, "report: {report:?}");
+    assert!(report.cache_hit_rate > 0.0);
+    assert!(report.p50_us <= report.p99_us);
+    assert!(report.jobs_per_sec() > 0.0);
+    let json = report.to_bench_json();
+    assert!(json.contains("\"jobs_ok\": 40"));
+}

@@ -7,18 +7,24 @@
 //! (Fig. 11). This crate provides those instruments plus the text-table
 //! renderer the figure binaries print with:
 //!
-//! * [`Stopwatch`] / [`SuperstepTimer`] — wall-clock timing per superstep,
+//! * [`Stopwatch`] / [`SuperstepTimer`] / [`Timer`] — wall-clock timing per
+//!   superstep, plus named-phase breakdowns (queue-wait vs. run-time in
+//!   `gpsa-serve`),
 //! * [`ProcessCpu`] / [`CpuMonitor`] — process CPU time from `/proc`,
 //!   turned into a utilization fraction of the machine,
 //! * [`rss_bytes`] — resident set size,
 //! * [`Table`] — aligned text tables for harness output.
+//!
+//! The modules are public so downstream crates can name the instruments by
+//! area (`gpsa_metrics::timer::Timer`, `gpsa_metrics::table::Table`); the
+//! flat re-exports below are the original spellings and keep working.
 
-mod cpu;
-mod mem;
-mod table;
-mod timer;
+pub mod cpu;
+pub mod mem;
+pub mod table;
+pub mod timer;
 
 pub use cpu::{CpuMonitor, CpuReport, ProcessCpu};
 pub use mem::rss_bytes;
 pub use table::Table;
-pub use timer::{Stopwatch, SuperstepTimer};
+pub use timer::{Stopwatch, SuperstepTimer, Timer};

@@ -100,6 +100,54 @@ impl SuperstepTimer {
     }
 }
 
+/// A named-phase timer: each [`Timer::lap`] call closes the current phase,
+/// labels it, and starts the next one.
+///
+/// Built for per-job breakdowns in the serving layer — e.g. a job's ticket
+/// carries a `Timer` started at admission; the runner calls
+/// `lap("queue_wait")` when the job leaves the queue and `lap("run")` when
+/// the engine returns, and the response reports both slices.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    last: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Timer {
+    /// Start the first (unnamed, open) phase now.
+    pub fn start() -> Self {
+        Timer {
+            last: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Close the current phase under `label` and start the next one.
+    /// Returns the closed phase's duration.
+    pub fn lap(&mut self, label: &str) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        self.laps.push((label.to_string(), d));
+        d
+    }
+
+    /// All closed phases, in order.
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// Duration of the first closed phase labelled `label`, if any.
+    pub fn get(&self, label: &str) -> Option<Duration> {
+        self.laps.iter().find(|(l, _)| l == label).map(|&(_, d)| d)
+    }
+
+    /// Sum of all closed phases (excludes the still-open one).
+    pub fn total(&self) -> Duration {
+        self.laps.iter().map(|&(_, d)| d).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +191,21 @@ mod tests {
     fn end_without_begin_panics() {
         let mut t = SuperstepTimer::new();
         t.end_step();
+    }
+
+    #[test]
+    fn phase_timer_slices_and_labels() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let q = t.lap("queue_wait");
+        assert!(q >= Duration::from_millis(4));
+        std::thread::sleep(Duration::from_millis(5));
+        let r = t.lap("run");
+        assert!(r >= Duration::from_millis(4));
+        assert_eq!(t.laps().len(), 2);
+        assert_eq!(t.get("queue_wait"), Some(q));
+        assert_eq!(t.get("run"), Some(r));
+        assert_eq!(t.get("absent"), None);
+        assert_eq!(t.total(), q + r);
     }
 }

@@ -1,0 +1,202 @@
+//! The result cache: identical queries against an unchanged graph are
+//! answered without running a single superstep.
+//!
+//! Keys are `(graph_id, algorithm, canonical params, graph_epoch)`. The
+//! epoch component makes invalidation structural: re-registering a graph
+//! bumps its epoch, so every old entry simply stops matching (and
+//! [`ResultCache::purge_graph`] reclaims the memory eagerly). Eviction is
+//! least-recently-used over a fixed entry capacity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::job::JobOutcome;
+
+/// Cache key. `params` must be the canonical rendering produced by
+/// [`crate::job::AlgorithmSpec::canonical_params`] so that semantically
+/// identical submissions hash identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registered graph id.
+    pub graph_id: String,
+    /// Algorithm name (`"pagerank"`, `"bfs"`, ...).
+    pub algorithm: String,
+    /// Canonical parameter string.
+    pub params: String,
+    /// Registry epoch of the graph at submit time.
+    pub epoch: u64,
+}
+
+struct Slot {
+    outcome: Arc<JobOutcome>,
+    /// Logical access clock value at last touch; smallest = coldest.
+    last_used: u64,
+}
+
+/// LRU cache of completed job outcomes.
+pub struct ResultCache {
+    slots: HashMap<CacheKey, Slot>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            slots: HashMap::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a result, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<JobOutcome>> {
+        self.clock += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.clock;
+                self.hits += 1;
+                Some(slot.outcome.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a completed outcome, evicting the least-recently-used entry
+    /// if the cache is full. A no-op when capacity is 0.
+    pub fn put(&mut self, key: CacheKey, outcome: Arc<JobOutcome>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
+            if let Some(coldest) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.slots.remove(&coldest);
+            }
+        }
+        self.slots.insert(
+            key,
+            Slot {
+                outcome,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drop every entry for `graph_id`, whatever its epoch. Called on
+    /// re-register; correctness does not depend on it (the epoch in the
+    /// key already prevents stale hits) but it frees the value arrays.
+    pub fn purge_graph(&mut self, graph_id: &str) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|k, _| k.graph_id != graph_id);
+        before - self.slots.len()
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ValueType;
+
+    fn key(graph: &str, params: &str, epoch: u64) -> CacheKey {
+        CacheKey {
+            graph_id: graph.to_string(),
+            algorithm: "bfs".to_string(),
+            params: params.to_string(),
+            epoch,
+        }
+    }
+
+    fn outcome(tag: u32) -> Arc<JobOutcome> {
+        Arc::new(JobOutcome {
+            value_type: ValueType::U32,
+            values_u32: Arc::new(vec![tag]),
+            supersteps: 1,
+            messages: 1,
+            retry_attempts: 0,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key("g", "root=0", 1)).is_none());
+        c.put(key("g", "root=0", 1), outcome(7));
+        let got = c.get(&key("g", "root=0", 1)).unwrap();
+        assert_eq!(*got.values_u32, vec![7]);
+        // Different epoch: structurally a different key.
+        assert!(c.get(&key("g", "root=0", 2)).is_none());
+        assert_eq!(c.counters(), (1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut c = ResultCache::new(2);
+        c.put(key("g", "a", 1), outcome(1));
+        c.put(key("g", "b", 1), outcome(2));
+        // Touch "a" so "b" is the coldest.
+        assert!(c.get(&key("g", "a", 1)).is_some());
+        c.put(key("g", "c", 1), outcome(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key("g", "a", 1)).is_some());
+        assert!(c.get(&key("g", "b", 1)).is_none());
+        assert!(c.get(&key("g", "c", 1)).is_some());
+    }
+
+    #[test]
+    fn purge_drops_all_epochs_of_one_graph() {
+        let mut c = ResultCache::new(8);
+        c.put(key("g", "a", 1), outcome(1));
+        c.put(key("g", "a", 2), outcome(2));
+        c.put(key("h", "a", 1), outcome(3));
+        assert_eq!(c.purge_graph("g"), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("h", "a", 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.put(key("g", "a", 1), outcome(1));
+        assert!(c.get(&key("g", "a", 1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = ResultCache::new(1);
+        c.put(key("g", "a", 1), outcome(1));
+        c.put(key("g", "a", 1), outcome(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get(&key("g", "a", 1)).unwrap().values_u32, vec![9]);
+    }
+}

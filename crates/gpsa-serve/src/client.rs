@@ -1,0 +1,204 @@
+//! A blocking wire-protocol client.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection). For
+//! concurrent load, open one client per thread — the replay driver and
+//! the integration tests do exactly that.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::job::{AlgorithmSpec, JobResponse, Priority};
+use crate::json::Json;
+use crate::registry::GraphInfo;
+use crate::stats::ServerStats;
+use crate::wire::{read_frame, write_frame};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A submission, client-side.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Which resident graph to run against.
+    pub graph_id: String,
+    /// What to run.
+    pub algorithm: AlgorithmSpec,
+    /// Queue class.
+    pub priority: Priority,
+    /// Wall-clock budget, if any.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitRequest {
+    /// A normal-priority, no-deadline submission.
+    pub fn new(graph_id: impl Into<String>, algorithm: AlgorithmSpec) -> Self {
+        SubmitRequest {
+            graph_id: graph_id.into(),
+            algorithm,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Builder-style: set the queue class.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder-style: set the deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Client-side failure: transport errors and server-reported errors are
+/// distinct — a `server_busy` rejection is not a broken connection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, bad frame...).
+    Io(io::Error),
+    /// The server answered with a typed error.
+    Server(ServeError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// One request/response round trip. Answers with the response object
+    /// when `"ok": true`, the server's typed error otherwise.
+    fn call(&mut self, req: &Json) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, req)?;
+        let resp = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            ))
+        })?;
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(resp)
+        } else {
+            let code = resp
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("engine_error");
+            let message = resp
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("no message")
+                .to_string();
+            Err(ClientError::Server(ServeError::from_code(code, message)))
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::obj().set("op", Json::str("ping")))
+            .map(|_| ())
+    }
+
+    /// Open the CSR at `path` (a path on the **server's** filesystem) and
+    /// make it resident as `graph_id`. Returns the graph's registry row,
+    /// including the epoch this registration produced.
+    pub fn register_graph(&mut self, graph_id: &str, path: &str) -> Result<GraphInfo, ClientError> {
+        let req = Json::obj()
+            .set("op", Json::str("register_graph"))
+            .set("graph_id", Json::str(graph_id))
+            .set("path", Json::str(path));
+        let resp = self.call(&req)?;
+        let u = |k: &str| resp.get(k).and_then(Json::as_u64).unwrap_or(0);
+        Ok(GraphInfo {
+            graph_id: resp
+                .get("graph_id")
+                .and_then(Json::as_str)
+                .unwrap_or(graph_id)
+                .to_string(),
+            epoch: u("epoch"),
+            n_vertices: u("n_vertices") as usize,
+            n_edges: u("n_edges") as usize,
+            bytes: u("bytes"),
+        })
+    }
+
+    /// Submit a job and block until the server answers (completion,
+    /// cache hit, or typed rejection).
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<JobResponse, ClientError> {
+        let mut j = Json::obj()
+            .set("op", Json::str("submit"))
+            .set("graph_id", Json::str(&req.graph_id))
+            .set("algorithm", Json::str(req.algorithm.name()))
+            .set("params", req.algorithm.params_json())
+            .set("priority", Json::str(req.priority.as_str()));
+        if let Some(d) = req.deadline {
+            j = j.set("deadline_ms", Json::num(d.as_millis() as u64));
+        }
+        let resp = self.call(&j)?;
+        JobResponse::from_json(&resp).map_err(ClientError::Server)
+    }
+
+    /// Snapshot the server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let resp = self.call(&Json::obj().set("op", Json::str("stats")))?;
+        Ok(resp
+            .get("stats")
+            .map(ServerStats::from_json)
+            .unwrap_or_default())
+    }
+
+    /// List resident graphs.
+    pub fn list_graphs(&mut self) -> Result<Vec<GraphInfo>, ClientError> {
+        let resp = self.call(&Json::obj().set("op", Json::str("list_graphs")))?;
+        let rows = resp.get("graphs").and_then(Json::as_arr).unwrap_or(&[]);
+        Ok(rows
+            .iter()
+            .map(|r| {
+                let u = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+                GraphInfo {
+                    graph_id: r
+                        .get("graph_id")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    epoch: u("epoch"),
+                    n_vertices: u("n_vertices") as usize,
+                    n_edges: u("n_edges") as usize,
+                    bytes: u("bytes"),
+                }
+            })
+            .collect())
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::obj().set("op", Json::str("shutdown")))
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,156 @@
+//! Server configuration.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use gpsa::EngineConfig;
+
+/// Full configuration for a [`crate::server::start`] instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7171"`; port `0` picks an ephemeral
+    /// port (tests read it back from the handle).
+    pub listen: String,
+    /// Root for server state: per-job scratch dirs live under
+    /// `<work_dir>/jobs/`.
+    pub work_dir: PathBuf,
+    /// Jobs allowed to run engine supersteps at once; the scheduler spawns
+    /// this many runner actors.
+    pub max_concurrent_jobs: usize,
+    /// Admitted-but-not-yet-running jobs the bounded queue holds before
+    /// admission control answers `server_busy`.
+    pub queue_capacity: usize,
+    /// Budget for resident graph bytes across the registry; a `register`
+    /// that would exceed it is refused with `server_busy`. `u64::MAX`
+    /// disables the check.
+    pub memory_budget_bytes: u64,
+    /// Result-cache entries kept (LRU). `0` disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own. `None` means
+    /// no default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Per-job engine template. `work_dir`, `termination`, `resume` and the
+    /// watchdog fields are overridden per job; the actor/worker counts,
+    /// routing and batching knobs are taken as-is.
+    pub engine: EngineConfig,
+}
+
+impl ServeConfig {
+    /// Machine-sized defaults under `work_dir`.
+    pub fn new<P: AsRef<Path>>(work_dir: P) -> Self {
+        let work_dir = work_dir.as_ref().to_path_buf();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::new(&work_dir),
+            work_dir,
+            max_concurrent_jobs: (cores / 2).max(1),
+            queue_capacity: 64,
+            memory_budget_bytes: u64::MAX,
+            cache_capacity: 128,
+            default_deadline: None,
+        }
+    }
+
+    /// A small fixed configuration for tests: 2 concurrent jobs, a 4-deep
+    /// queue, 16 cache entries, and the [`EngineConfig::small`] template.
+    pub fn small<P: AsRef<Path>>(work_dir: P) -> Self {
+        let work_dir = work_dir.as_ref().to_path_buf();
+        ServeConfig {
+            engine: EngineConfig::small(&work_dir),
+            max_concurrent_jobs: 2,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            ..ServeConfig::new(&work_dir)
+        }
+    }
+
+    /// Builder-style: set the bind address.
+    pub fn with_listen(mut self, listen: impl Into<String>) -> Self {
+        self.listen = listen.into();
+        self
+    }
+
+    /// Builder-style: set the concurrent-job cap (clamped to at least 1).
+    pub fn with_max_concurrent_jobs(mut self, n: usize) -> Self {
+        self.max_concurrent_jobs = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the admission-queue depth.
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Builder-style: set the result-cache capacity (0 disables).
+    pub fn with_cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Builder-style: set the resident-graph memory budget.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set the default per-job deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style: replace the per-job engine template.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Where job `job_id` keeps its private scratch state.
+    pub fn job_scratch_dir(&self, job_id: u64) -> PathBuf {
+        self.work_dir.join("jobs").join(format!("job-{job_id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::new("/tmp/serve");
+        assert!(c.max_concurrent_jobs >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert_eq!(c.memory_budget_bytes, u64::MAX);
+        assert!(c.listen.ends_with(":0"));
+    }
+
+    #[test]
+    fn scratch_dirs_are_job_unique() {
+        let c = ServeConfig::small("/tmp/serve");
+        let a = c.job_scratch_dir(1);
+        let b = c.job_scratch_dir(2);
+        assert_ne!(a, b);
+        assert!(a.starts_with("/tmp/serve"));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ServeConfig::small("/tmp/serve")
+            .with_max_concurrent_jobs(0)
+            .with_queue_capacity(7)
+            .with_cache_capacity(3)
+            .with_memory_budget(1024)
+            .with_default_deadline(Duration::from_secs(9))
+            .with_listen("0.0.0.0:7171");
+        assert_eq!(c.max_concurrent_jobs, 1);
+        assert_eq!(c.queue_capacity, 7);
+        assert_eq!(c.cache_capacity, 3);
+        assert_eq!(c.memory_budget_bytes, 1024);
+        assert_eq!(c.default_deadline, Some(Duration::from_secs(9)));
+        assert_eq!(c.listen, "0.0.0.0:7171");
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed server errors and their wire codes.
+
+use std::fmt;
+
+/// Everything a request can fail with. Each variant has a stable wire code
+/// (see [`ServeError::code`]) so clients can branch without string-matching
+/// messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the job: the bounded queue is full or the
+    /// resident-memory budget would be exceeded. The client may retry
+    /// later — in-flight work is unaffected.
+    ServerBusy(String),
+    /// The job's deadline expired (in the queue, or its run tripped the
+    /// engine watchdog) and it was torn down.
+    DeadlineExceeded(String),
+    /// The request names a `graph_id` that is not registered.
+    UnknownGraph(String),
+    /// The request is malformed (missing fields, unknown algorithm...).
+    BadRequest(String),
+    /// The engine failed while running the job.
+    Engine(String),
+}
+
+impl ServeError {
+    /// The stable wire code for this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::ServerBusy(_) => "server_busy",
+            ServeError::DeadlineExceeded(_) => "deadline_exceeded",
+            ServeError::UnknownGraph(_) => "unknown_graph",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Engine(_) => "engine_error",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::ServerBusy(m)
+            | ServeError::DeadlineExceeded(m)
+            | ServeError::UnknownGraph(m)
+            | ServeError::BadRequest(m)
+            | ServeError::Engine(m) => m,
+        }
+    }
+
+    /// Rebuild from a wire code + message (the client-side inverse of
+    /// [`ServeError::code`]). Unknown codes map to [`ServeError::Engine`].
+    pub fn from_code(code: &str, message: String) -> ServeError {
+        match code {
+            "server_busy" => ServeError::ServerBusy(message),
+            "deadline_exceeded" => ServeError::DeadlineExceeded(message),
+            "unknown_graph" => ServeError::UnknownGraph(message),
+            "bad_request" => ServeError::BadRequest(message),
+            _ => ServeError::Engine(message),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        let all = [
+            ServeError::ServerBusy("q".into()),
+            ServeError::DeadlineExceeded("d".into()),
+            ServeError::UnknownGraph("g".into()),
+            ServeError::BadRequest("b".into()),
+            ServeError::Engine("e".into()),
+        ];
+        for e in all {
+            let back = ServeError::from_code(e.code(), e.message().to_string());
+            assert_eq!(back, e);
+        }
+    }
+}

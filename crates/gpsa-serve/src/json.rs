@@ -1,0 +1,519 @@
+//! A minimal JSON document model with encoder and parser.
+//!
+//! The workspace deliberately carries no `serde_json` dependency; the wire
+//! protocol needs exactly one document shape (objects of scalars, arrays of
+//! integers, one level of nesting for counters), so this module implements
+//! the subset of RFC 8259 the protocol uses — which happens to be all of
+//! JSON's value grammar — in a few hundred lines.
+//!
+//! Numbers are carried as `f64`. Every integer the protocol ships (vertex
+//! counts, value bits, microsecond timings) fits losslessly below 2^53;
+//! [`Json::encode`] prints integral values without a decimal point so
+//! `u32` value bits round-trip exactly.
+
+use std::fmt;
+
+/// A parsed or under-construction JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Integral values up to 2^53 round-trip exactly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved (deterministic encoding).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, for builder-style construction with [`Json::set`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Builder-style field insert; replaces an existing key.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an object.
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for magnitudes below 2^53).
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A floating-point value.
+    pub fn float(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    /// Field lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u32`, if it fits.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => encode_number(*n, out),
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text into a value.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn encode_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; the protocol never produces them, but a
+        // defensive null beats emitting an unparseable token.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // Rust's f64 Display prints the shortest string that round-trips.
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting bound: the protocol uses two levels; 64 guards the recursive
+/// parser against stack exhaustion from hostile input.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte {b:#04x} at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(code).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(hi).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; undo the
+                            // generic advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8; copy whole code points).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control byte at offset {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+        let n = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.encode(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_are_exact() {
+        let bits: Vec<u64> = vec![0, 1, u32::MAX as u64, (1u64 << 53) - 1];
+        let arr = Json::Arr(bits.iter().map(|&b| Json::num(b)).collect());
+        let back = Json::parse(&arr.encode()).unwrap();
+        let got: Vec<u64> = back
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|j| j.as_u64().unwrap())
+            .collect();
+        assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn objects_preserve_order_and_get() {
+        let v = Json::obj()
+            .set("b", Json::num(2))
+            .set("a", Json::str("x"))
+            .set("b", Json::num(3));
+        assert_eq!(v.encode(), "{\"b\":3,\"a\":\"x\"}");
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(3));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline2\t\"quoted\" back\\slash \u{1F600} \u{7}";
+        let encoded = Json::Str(s.to_string()).encode();
+        assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("A\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn nested_document_roundtrips() {
+        let text = r#"{"ok":true,"jobs":[{"id":1,"t":0.25},{"id":2,"t":-3}],"none":null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+        assert_eq!(
+            v.get("jobs").unwrap().as_arr().unwrap()[1]
+                .get("t")
+                .unwrap()
+                .as_f64(),
+            Some(-3.0)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "[1]]",
+            "{\"a\":1,}",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! gpsa-serve: a resident-graph job server over the GPSA engine.
+//!
+//! The batch CLI pays the dominant cost of graph analytics — opening and
+//! mapping the CSR — on every single run. This crate amortizes it: a
+//! long-running server keeps graphs resident in a [`registry`], schedules
+//! jobs against them through an actor-based [`scheduler`] with bounded
+//! admission control, answers repeated queries from a [`cache`] without
+//! running a superstep, and speaks a length-prefixed JSON [`wire`]
+//! protocol over TCP.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`json`] / [`wire`]: the protocol encoding (hand-rolled, like the
+//!   rest of the workspace — no serde).
+//! - [`error`] / [`stats`] / [`job`]: the shared vocabulary — typed
+//!   errors with stable wire codes, counter snapshots, job specs and
+//!   responses.
+//! - [`registry`] / [`cache`]: resident state — shared read-only
+//!   [`gpsa_graph::DiskCsr`] mmaps with epochs, and LRU'd results keyed
+//!   by `(graph, algorithm, params, epoch)`.
+//! - [`scheduler`]: the policy actor plus its runner fleet, on the same
+//!   [`actor`] runtime the engine uses.
+//! - [`server`] / [`client`]: the TCP endpoints.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gpsa_serve::{start, AlgorithmSpec, Client, ServeConfig, SubmitRequest};
+//!
+//! let handle = start(ServeConfig::new("/tmp/gpsa-serve")).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.register_graph("web", "/data/web.gcsr").unwrap();
+//! let resp = client
+//!     .submit(&SubmitRequest::new(
+//!         "web",
+//!         AlgorithmSpec::PageRank { damping: 0.85, supersteps: 5 },
+//!     ))
+//!     .unwrap();
+//! assert!(!resp.cache_hit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod job;
+pub mod json;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use cache::{CacheKey, ResultCache};
+pub use client::{Client, ClientError, SubmitRequest};
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use job::{AlgorithmSpec, JobOutcome, JobResponse, JobSpec, Priority, ValueType};
+pub use registry::{GraphInfo, GraphRegistry};
+pub use server::{start, ServerHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,218 @@
+//! The resident-graph registry: one mmap per graph, shared read-only by
+//! every job that names it.
+//!
+//! The Ammar & Özsu survey's observation motivating this whole subsystem is
+//! that end-to-end time is dominated by per-job graph loading; the registry
+//! amortizes that cost by opening each [`DiskCsr`] once and handing out
+//! `Arc` clones. Re-registering an id **bumps its epoch** — the epoch is
+//! part of every result-cache key, so stale cached results can never be
+//! served for a replaced graph.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gpsa_graph::DiskCsr;
+
+use crate::error::ServeError;
+
+/// One resident graph.
+#[derive(Debug, Clone)]
+pub struct GraphEntry {
+    /// The shared read-only mmap.
+    pub graph: Arc<DiskCsr>,
+    /// Where it was opened from.
+    pub path: PathBuf,
+    /// Bumped on every (re-)register of this id; starts at 1.
+    pub epoch: u64,
+}
+
+/// A row of [`GraphRegistry::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// Registered id.
+    pub graph_id: String,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Vertex count.
+    pub n_vertices: usize,
+    /// Edge count.
+    pub n_edges: usize,
+    /// Mapped bytes (CSR body).
+    pub bytes: u64,
+}
+
+/// Resident graphs by id, with a resident-byte budget.
+#[derive(Debug)]
+pub struct GraphRegistry {
+    graphs: HashMap<String, GraphEntry>,
+    budget_bytes: u64,
+}
+
+impl GraphRegistry {
+    /// An empty registry with the given resident-byte budget
+    /// (`u64::MAX` = unlimited).
+    pub fn new(budget_bytes: u64) -> Self {
+        GraphRegistry {
+            graphs: HashMap::new(),
+            budget_bytes,
+        }
+    }
+
+    /// Open the CSR at `path` and make it resident under `id`. Replacing
+    /// an existing id bumps its epoch (callers must then purge cache
+    /// entries for the id). Fails with [`ServeError::ServerBusy`] when the
+    /// graph would push resident bytes over the budget, and
+    /// [`ServeError::BadRequest`] when the file cannot be opened.
+    pub fn register(&mut self, id: &str, path: &Path) -> Result<GraphEntry, ServeError> {
+        if id.is_empty() {
+            return Err(ServeError::BadRequest("empty graph_id".to_string()));
+        }
+        let graph = DiskCsr::open(path)
+            .map_err(|e| ServeError::BadRequest(format!("cannot open {}: {e}", path.display())))?;
+        let incoming = graph.file_bytes() as u64;
+        let displaced = self
+            .graphs
+            .get(id)
+            .map(|e| e.graph.file_bytes() as u64)
+            .unwrap_or(0);
+        let resident_after = self.resident_bytes() - displaced + incoming;
+        if resident_after > self.budget_bytes {
+            return Err(ServeError::ServerBusy(format!(
+                "registering {id:?} ({incoming} bytes) would put {resident_after} resident \
+                 bytes over the {}-byte budget",
+                self.budget_bytes
+            )));
+        }
+        let epoch = self.graphs.get(id).map(|e| e.epoch + 1).unwrap_or(1);
+        let entry = GraphEntry {
+            graph: Arc::new(graph),
+            path: path.to_path_buf(),
+            epoch,
+        };
+        self.graphs.insert(id.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// The resident graph and its epoch, if `id` is registered.
+    pub fn get(&self, id: &str) -> Option<(Arc<DiskCsr>, u64)> {
+        self.graphs.get(id).map(|e| (e.graph.clone(), e.epoch))
+    }
+
+    /// Total mapped bytes across resident graphs.
+    pub fn resident_bytes(&self) -> u64 {
+        self.graphs
+            .values()
+            .map(|e| e.graph.file_bytes() as u64)
+            .sum()
+    }
+
+    /// Number of resident graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Snapshot of every resident graph, sorted by id.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        let mut rows: Vec<GraphInfo> = self
+            .graphs
+            .iter()
+            .map(|(id, e)| GraphInfo {
+                graph_id: id.clone(),
+                epoch: e.epoch,
+                n_vertices: e.graph.n_vertices(),
+                n_edges: e.graph.n_edges(),
+                bytes: e.graph.file_bytes() as u64,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.graph_id.cmp(&b.graph_id));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsa_graph::{generate, preprocess};
+
+    fn materialize(tag: &str, el: gpsa_graph::EdgeList) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-serve-reg-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.gcsr"));
+        preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+        path
+    }
+
+    #[test]
+    fn register_get_and_epoch_bump() {
+        let path = materialize("cycle", generate::cycle(32));
+        let mut reg = GraphRegistry::new(u64::MAX);
+        let first = reg.register("g", &path).unwrap();
+        assert_eq!(first.epoch, 1);
+        let (graph, epoch) = reg.get("g").unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(graph.n_vertices(), 32);
+        // Same id again: same bytes, bumped epoch.
+        let second = reg.register("g", &path).unwrap();
+        assert_eq!(second.epoch, 2);
+        assert_eq!(reg.get("g").unwrap().1, 2);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("absent").is_none());
+    }
+
+    #[test]
+    fn budget_refuses_but_leaves_registry_intact() {
+        let small = materialize("small", generate::chain(16));
+        let big = materialize("big", generate::cycle(4096));
+        let mut reg = GraphRegistry::new(0);
+        // Learn the small graph's real size, then budget exactly for it.
+        let bytes = DiskCsr::open(&small).unwrap().file_bytes() as u64;
+        let mut reg2 = GraphRegistry::new(bytes);
+        assert!(matches!(
+            reg.register("s", &small),
+            Err(ServeError::ServerBusy(_))
+        ));
+        reg2.register("s", &small).unwrap();
+        let err = reg2.register("b", &big).unwrap_err();
+        assert!(matches!(err, ServeError::ServerBusy(_)), "{err:?}");
+        // The refused register didn't disturb the resident entry.
+        assert_eq!(reg2.len(), 1);
+        assert!(reg2.get("s").is_some());
+        // Replacing the resident graph with itself stays within budget.
+        assert_eq!(reg2.register("s", &small).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn unknown_path_is_bad_request() {
+        let mut reg = GraphRegistry::new(u64::MAX);
+        let err = reg
+            .register("g", Path::new("/nonexistent/nope.gcsr"))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted_and_complete() {
+        let a = materialize("la", generate::chain(8));
+        let b = materialize("lb", generate::star(8));
+        let mut reg = GraphRegistry::new(u64::MAX);
+        reg.register("zz", &a).unwrap();
+        reg.register("aa", &b).unwrap();
+        let rows = reg.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].graph_id, "aa");
+        assert_eq!(rows[1].graph_id, "zz");
+        assert_eq!(reg.resident_bytes(), rows[0].bytes + rows[1].bytes);
+    }
+}

@@ -1,0 +1,450 @@
+//! The job scheduler and its runner fleet, built on the same actor
+//! runtime the engine itself uses.
+//!
+//! One [`Scheduler`] actor owns *all* mutable server state — registry,
+//! cache, queues, counters — so there is no locking anywhere in the
+//! serving path; connection threads talk to it purely by message.
+//! `max_concurrent_jobs` [`Runner`] actors execute jobs; each engine run
+//! blocks its runner for the duration, which is why the serve
+//! [`actor::System`] is sized with one worker thread per runner plus one
+//! so the scheduler always stays responsive.
+//!
+//! Admission control (tentpole): a submit that finds an idle runner
+//! starts immediately; otherwise it queues FIFO within its priority
+//! class; a full queue answers `server_busy` without disturbing in-flight
+//! work. Deadlines are re-checked at every hand-off point (queue pop and
+//! run start), and running jobs arm the engine's superstep watchdog with
+//! their remaining budget so a wedged run is torn down rather than
+//! holding a runner forever.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use actor::{Actor, Addr, Ctx};
+use crossbeam_channel::Sender;
+use gpsa::{Engine, EngineError};
+use gpsa_graph::DiskCsr;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::job::{run_job, JobOutcome, JobResponse, JobTicket, Priority};
+use crate::registry::{GraphInfo, GraphRegistry};
+use crate::stats::ServerStats;
+
+/// Floor for the per-superstep watchdog derived from a job deadline, so
+/// a nearly-expired job still gets a meaningful (if tiny) timeout rather
+/// than a zero one.
+const MIN_WATCHDOG: Duration = Duration::from_millis(10);
+
+/// Everything the scheduler can be asked to do.
+pub enum SchedulerMsg {
+    /// Submit a job; the reply goes out on the ticket's channel.
+    Submit(JobTicket),
+    /// Open a CSR file and make it resident.
+    RegisterGraph {
+        /// Id to register under.
+        graph_id: String,
+        /// On-disk CSR path.
+        path: PathBuf,
+        /// Result + stats snapshot.
+        reply: Sender<(Result<GraphInfo, ServeError>, ServerStats)>,
+    },
+    /// Snapshot the resident graphs.
+    ListGraphs {
+        /// Rows + stats snapshot.
+        reply: Sender<(Vec<GraphInfo>, ServerStats)>,
+    },
+    /// Snapshot the counters.
+    GetStats {
+        /// The snapshot.
+        reply: Sender<ServerStats>,
+    },
+    /// A runner finished (successfully or not); always sent, even when
+    /// the job panicked, so runner capacity can never leak.
+    Done {
+        /// Which runner is idle again.
+        runner: usize,
+        /// The job's ticket (reply channel still unsent).
+        ticket: JobTicket,
+        /// Epoch of the graph the job ran against, for the cache key.
+        epoch: u64,
+        /// What happened.
+        result: Result<JobOutcome, ServeError>,
+    },
+}
+
+/// A queued job with its pre-resolved graph (resolving at submit keeps
+/// `unknown_graph` synchronous and pins the epoch the job will run — and
+/// be cached — against).
+struct QueuedJob {
+    ticket: JobTicket,
+    graph: Arc<DiskCsr>,
+    epoch: u64,
+}
+
+/// The scheduler actor.
+pub struct Scheduler {
+    config: ServeConfig,
+    registry: GraphRegistry,
+    cache: ResultCache,
+    queue_high: VecDeque<QueuedJob>,
+    queue_normal: VecDeque<QueuedJob>,
+    runners: Vec<Addr<Runner>>,
+    idle: Vec<usize>,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_rejected: u64,
+    jobs_deadline: u64,
+    jobs_failed: u64,
+}
+
+impl Scheduler {
+    /// Build a scheduler for `config`. Runners are spawned in
+    /// [`Actor::started`], once the scheduler has an address.
+    pub fn new(config: ServeConfig) -> Self {
+        let registry = GraphRegistry::new(config.memory_budget_bytes);
+        let cache = ResultCache::new(config.cache_capacity);
+        Scheduler {
+            config,
+            registry,
+            cache,
+            queue_high: VecDeque::new(),
+            queue_normal: VecDeque::new(),
+            runners: Vec::new(),
+            idle: Vec::new(),
+            jobs_submitted: 0,
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            jobs_deadline: 0,
+            jobs_failed: 0,
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue_high.len() + self.queue_normal.len()
+    }
+
+    fn stats(&self) -> ServerStats {
+        let (cache_hits, cache_misses) = self.cache.counters();
+        ServerStats {
+            jobs_submitted: self.jobs_submitted,
+            jobs_completed: self.jobs_completed,
+            jobs_rejected: self.jobs_rejected,
+            jobs_deadline: self.jobs_deadline,
+            jobs_failed: self.jobs_failed,
+            cache_hits,
+            cache_misses,
+            cache_len: self.cache.len() as u64,
+            queue_depth: self.queue_depth() as u64,
+            running: (self.runners.len() - self.idle.len()) as u64,
+            max_concurrent_jobs: self.config.max_concurrent_jobs as u64,
+            graphs_resident: self.registry.len() as u64,
+            resident_bytes: self.registry.resident_bytes(),
+        }
+    }
+
+    fn cache_key(&self, ticket: &JobTicket, epoch: u64) -> CacheKey {
+        CacheKey {
+            graph_id: ticket.spec.graph_id.clone(),
+            algorithm: ticket.spec.algorithm.name().to_string(),
+            params: ticket.spec.algorithm.canonical_params(),
+            epoch,
+        }
+    }
+
+    fn reply_err(&mut self, ticket: &JobTicket, err: ServeError) {
+        match &err {
+            ServeError::ServerBusy(_) => self.jobs_rejected += 1,
+            ServeError::DeadlineExceeded(_) => self.jobs_deadline += 1,
+            _ => self.jobs_failed += 1,
+        }
+        let _ = ticket.reply.send((Err(err), self.stats()));
+    }
+
+    fn reply_hit(&mut self, ticket: &JobTicket, outcome: Arc<JobOutcome>) {
+        let stats = self.stats();
+        let resp = JobResponse {
+            job_id: ticket.job_id,
+            cache_hit: true,
+            outcome,
+            queue_wait: Duration::ZERO,
+            run_time: Duration::ZERO,
+            stats: stats.clone(),
+        };
+        let _ = ticket.reply.send((Ok(resp), stats));
+    }
+
+    fn dispatch(&mut self, job: QueuedJob) {
+        let runner = self.idle.pop().expect("dispatch without an idle runner");
+        // Send only fails during system shutdown, when no reply matters.
+        let _ = self.runners[runner].send(RunJob {
+            ticket: job.ticket,
+            graph: job.graph,
+            epoch: job.epoch,
+        });
+    }
+
+    /// Hand queued jobs to idle runners, expiring any whose deadline
+    /// passed while they waited.
+    fn drain_queue(&mut self) {
+        while !self.idle.is_empty() {
+            let job = match self.queue_high.pop_front() {
+                Some(j) => j,
+                None => match self.queue_normal.pop_front() {
+                    Some(j) => j,
+                    None => return,
+                },
+            };
+            if job.ticket.remaining() == Some(Duration::ZERO) {
+                let wait = job.ticket.submitted.elapsed();
+                self.reply_err(
+                    &job.ticket,
+                    ServeError::DeadlineExceeded(format!(
+                        "job {} expired after {wait:?} in the queue",
+                        job.ticket.job_id
+                    )),
+                );
+                continue;
+            }
+            self.dispatch(job);
+        }
+    }
+
+    fn handle_submit(&mut self, ticket: JobTicket) {
+        let Some((graph, epoch)) = self.registry.get(&ticket.spec.graph_id) else {
+            let id = ticket.spec.graph_id.clone();
+            self.reply_err(
+                &ticket,
+                ServeError::UnknownGraph(format!("graph {id:?} is not registered")),
+            );
+            return;
+        };
+        let key = self.cache_key(&ticket, epoch);
+        if let Some(outcome) = self.cache.get(&key) {
+            self.reply_hit(&ticket, outcome);
+            return;
+        }
+        // Admission control: run now, or queue, or refuse — in that order.
+        if self.idle.is_empty() && self.queue_depth() >= self.config.queue_capacity {
+            let (depth, cap) = (self.queue_depth(), self.config.queue_capacity);
+            self.reply_err(
+                &ticket,
+                ServeError::ServerBusy(format!(
+                    "admission queue is full ({depth}/{cap} waiting, all \
+                     {} runners busy); retry later",
+                    self.runners.len()
+                )),
+            );
+            return;
+        }
+        self.jobs_submitted += 1;
+        let job = QueuedJob {
+            ticket,
+            graph,
+            epoch,
+        };
+        if self.idle.is_empty() {
+            match job.ticket.spec.priority {
+                Priority::High => self.queue_high.push_back(job),
+                Priority::Normal => self.queue_normal.push_back(job),
+            }
+        } else {
+            self.dispatch(job);
+        }
+    }
+
+    fn handle_done(
+        &mut self,
+        runner: usize,
+        ticket: JobTicket,
+        epoch: u64,
+        result: Result<JobOutcome, ServeError>,
+    ) {
+        self.idle.push(runner);
+        match result {
+            Ok(outcome) => {
+                self.jobs_completed += 1;
+                let outcome = Arc::new(outcome);
+                self.cache
+                    .put(self.cache_key(&ticket, epoch), outcome.clone());
+                let queue_wait = ticket.timer.get("queue_wait").unwrap_or(Duration::ZERO);
+                let run_time = ticket.timer.get("run").unwrap_or(Duration::ZERO);
+                let stats = self.stats();
+                let resp = JobResponse {
+                    job_id: ticket.job_id,
+                    cache_hit: false,
+                    outcome,
+                    queue_wait,
+                    run_time,
+                    stats: stats.clone(),
+                };
+                let _ = ticket.reply.send((Ok(resp), stats));
+            }
+            Err(err) => self.reply_err(&ticket, err),
+        }
+        self.drain_queue();
+    }
+}
+
+impl Actor for Scheduler {
+    type Msg = SchedulerMsg;
+
+    fn started(&mut self, ctx: &mut Ctx<'_, Self>) {
+        for id in 0..self.config.max_concurrent_jobs {
+            let runner = Runner {
+                id,
+                scheduler: ctx.addr(),
+                config: self.config.clone(),
+            };
+            self.runners.push(ctx.system().spawn(runner));
+            self.idle.push(id);
+        }
+    }
+
+    fn handle(&mut self, msg: SchedulerMsg, _ctx: &mut Ctx<'_, Self>) {
+        match msg {
+            SchedulerMsg::Submit(ticket) => self.handle_submit(ticket),
+            SchedulerMsg::RegisterGraph {
+                graph_id,
+                path,
+                reply,
+            } => {
+                let result = self.registry.register(&graph_id, &path).map(|entry| {
+                    // Epoch bumped: old cached results can never match
+                    // again; reclaim their memory eagerly.
+                    self.cache.purge_graph(&graph_id);
+                    GraphInfo {
+                        graph_id: graph_id.clone(),
+                        epoch: entry.epoch,
+                        n_vertices: entry.graph.n_vertices(),
+                        n_edges: entry.graph.n_edges(),
+                        bytes: entry.graph.file_bytes() as u64,
+                    }
+                });
+                let _ = reply.send((result, self.stats()));
+            }
+            SchedulerMsg::ListGraphs { reply } => {
+                let _ = reply.send((self.registry.list(), self.stats()));
+            }
+            SchedulerMsg::GetStats { reply } => {
+                let _ = reply.send(self.stats());
+            }
+            SchedulerMsg::Done {
+                runner,
+                ticket,
+                epoch,
+                result,
+            } => self.handle_done(runner, ticket, epoch, result),
+        }
+    }
+}
+
+/// One job execution slot.
+pub struct Runner {
+    id: usize,
+    scheduler: Addr<Scheduler>,
+    config: ServeConfig,
+}
+
+/// The runner's only message: execute this job and report back.
+pub struct RunJob {
+    /// The job (ticket travels to the runner and back; the scheduler
+    /// sends the reply).
+    pub ticket: JobTicket,
+    /// Pre-resolved shared graph.
+    pub graph: Arc<DiskCsr>,
+    /// Registry epoch pinned at submit.
+    pub epoch: u64,
+}
+
+impl Runner {
+    /// Execute the job body; every early return is an error the scheduler
+    /// will relay.
+    fn execute(&self, ticket: &JobTicket, graph: &Arc<DiskCsr>) -> Result<JobOutcome, ServeError> {
+        let remaining = ticket.remaining();
+        if remaining == Some(Duration::ZERO) {
+            return Err(ServeError::DeadlineExceeded(format!(
+                "job {} deadline ({:?}) expired before the run started",
+                ticket.job_id, ticket.spec.deadline
+            )));
+        }
+        // Job-unique scratch dir: concurrent jobs against the same graph
+        // each get a private ValueFile (the shared mmap stays read-only).
+        let scratch = self.config.job_scratch_dir(ticket.job_id);
+        std::fs::create_dir_all(&scratch)
+            .map_err(|e| ServeError::Engine(format!("cannot create scratch dir: {e}")))?;
+        let value_file = scratch.join("values.gval");
+
+        let mut econf = self.config.engine.clone();
+        econf.work_dir = scratch.clone();
+        econf.termination = ticket.spec.algorithm.termination();
+        econf.resume = false;
+        if let Some(rem) = remaining {
+            // Per-job deadline reuses the engine's superstep watchdog: if
+            // any superstep (or wedged fleet) outlives the remaining
+            // budget, the watchdog fires and, with no retries allowed,
+            // surfaces RetriesExhausted — which we map back to the job
+            // deadline below.
+            econf.superstep_deadline = Some(rem.max(MIN_WATCHDOG));
+            econf.max_superstep_retries = 0;
+        }
+        let had_deadline = remaining.is_some();
+        let engine = Engine::new(econf);
+        let result = run_job(&engine, graph, &value_file, &ticket.spec.algorithm);
+        let _ = std::fs::remove_dir_all(&scratch);
+        match result {
+            Ok(outcome) => {
+                if ticket.remaining() == Some(Duration::ZERO) {
+                    return Err(ServeError::DeadlineExceeded(format!(
+                        "job {} finished after its deadline",
+                        ticket.job_id
+                    )));
+                }
+                Ok(outcome)
+            }
+            Err(EngineError::RetriesExhausted(causes)) if had_deadline => {
+                Err(ServeError::DeadlineExceeded(format!(
+                    "job {} hit its deadline mid-run: [{}]",
+                    ticket.job_id,
+                    causes.join("; ")
+                )))
+            }
+            Err(e) => Err(ServeError::Engine(e.to_string())),
+        }
+    }
+}
+
+impl Actor for Runner {
+    type Msg = RunJob;
+
+    fn handle(&mut self, msg: RunJob, _ctx: &mut Ctx<'_, Self>) {
+        let RunJob {
+            mut ticket,
+            graph,
+            epoch,
+        } = msg;
+        ticket.timer.lap("queue_wait");
+        // catch_unwind so Done is sent even if the engine panics: a lost
+        // Done would leak this runner's capacity forever.
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute(&ticket, &graph)))
+            .unwrap_or_else(|p| {
+                let what = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".to_string());
+                Err(ServeError::Engine(format!("job runner panicked: {what}")))
+            });
+        ticket.timer.lap("run");
+        let _ = self.scheduler.send(SchedulerMsg::Done {
+            runner: self.id,
+            ticket,
+            epoch,
+            result,
+        });
+    }
+}

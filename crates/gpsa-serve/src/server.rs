@@ -1,0 +1,365 @@
+//! The TCP server: accept loop, per-connection threads, and the wire
+//! protocol dispatch.
+//!
+//! Connection threads do no scheduling themselves — every request is a
+//! message to the [`Scheduler`] actor and a blocking wait on a one-shot
+//! reply channel, so all policy lives in one place and the protocol layer
+//! stays a thin translation between frames and messages.
+//!
+//! ## Protocol
+//!
+//! One request frame in, one response frame out, repeated per connection
+//! (frames are length-prefixed JSON, see [`crate::wire`]). Requests carry
+//! an `"op"` field:
+//!
+//! | op               | request fields                                             |
+//! |------------------|------------------------------------------------------------|
+//! | `ping`           | —                                                          |
+//! | `register_graph` | `graph_id`, `path`                                         |
+//! | `list_graphs`    | —                                                          |
+//! | `stats`          | —                                                          |
+//! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?` |
+//! | `shutdown`       | —                                                          |
+//!
+//! Every response has `"ok"` and (except `ping`) a `"stats"` counter
+//! object; failures carry the stable `"code"` / `"message"` pair from
+//! [`ServeError`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use actor::{Addr, System};
+use crossbeam_channel::bounded;
+use gpsa_metrics::timer::Timer;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::job::{AlgorithmSpec, JobSpec, JobTicket, Priority};
+use crate::json::Json;
+use crate::registry::GraphInfo;
+use crate::scheduler::{Scheduler, SchedulerMsg};
+use crate::stats::ServerStats;
+use crate::wire::{read_frame, write_frame};
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: Addr<Scheduler>,
+    system: System,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Shared state handed to every connection thread.
+#[derive(Clone)]
+struct Shared {
+    scheduler: Addr<Scheduler>,
+    config: ServeConfig,
+    next_job_id: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// Boot a server: bind the listener, spawn the scheduler and its runner
+/// fleet, and start accepting connections. Returns once the socket is
+/// live; use [`ServerHandle::addr`] to learn the bound port.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    std::fs::create_dir_all(&config.work_dir)?;
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    // One worker per runner (each blocks for a whole engine run) plus one
+    // so the scheduler always has a thread to answer on.
+    let system = System::builder()
+        .workers(config.max_concurrent_jobs + 1)
+        .build();
+    let scheduler = system.spawn(Scheduler::new(config.clone()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Shared {
+        scheduler: scheduler.clone(),
+        config,
+        next_job_id: Arc::new(AtomicU64::new(1)),
+        shutdown: shutdown.clone(),
+        addr,
+    };
+    let accept_thread = std::thread::Builder::new()
+        .name("gpsa-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, shared))?;
+    Ok(ServerHandle {
+        addr,
+        scheduler,
+        system,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler address, for in-process submission from tests.
+    pub fn scheduler(&self) -> Addr<Scheduler> {
+        self.scheduler.clone()
+    }
+
+    /// Has a `shutdown` request been received (wire op or
+    /// [`ServerHandle::shutdown`])? Lets a hosting process poll for the
+    /// moment it should tear the handle down.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting connections and tear down the actor system.
+    /// In-flight connections see closed sockets. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The accept loop is blocked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.system.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let shared = shared.clone();
+                let _ = std::thread::Builder::new()
+                    .name("gpsa-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, shared));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept error (e.g. EMFILE); keep serving.
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Shared) {
+    loop {
+        let req = match read_frame(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between frames
+            Err(_) => {
+                // Can't resynchronize a broken frame stream; best-effort
+                // error frame, then drop the connection.
+                let err = ServeError::BadRequest("unreadable frame".to_string());
+                let _ = write_frame(&mut stream, &error_frame(&err, None));
+                return;
+            }
+        };
+        let resp = handle_request(&req, &shared);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Render an error response; attaches stats when the caller has them.
+fn error_frame(err: &ServeError, stats: Option<&ServerStats>) -> Json {
+    let mut j = Json::obj()
+        .set("ok", Json::Bool(false))
+        .set("code", Json::str(err.code()))
+        .set("message", Json::str(err.message()));
+    if let Some(s) = stats {
+        j = j.set("stats", s.to_json());
+    }
+    j
+}
+
+fn graph_info_json(info: &GraphInfo) -> Json {
+    Json::obj()
+        .set("graph_id", Json::str(&info.graph_id))
+        .set("epoch", Json::num(info.epoch))
+        .set("n_vertices", Json::num(info.n_vertices as u64))
+        .set("n_edges", Json::num(info.n_edges as u64))
+        .set("bytes", Json::num(info.bytes))
+}
+
+/// Fetch a stats snapshot for requests that fail before reaching a
+/// scheduler path that would carry one (the protocol promises counters
+/// in every response).
+fn fetch_stats(shared: &Shared) -> Option<ServerStats> {
+    let (tx, rx) = bounded(1);
+    shared
+        .scheduler
+        .send(SchedulerMsg::GetStats { reply: tx })
+        .ok()?;
+    rx.recv().ok()
+}
+
+fn handle_request(req: &Json, shared: &Shared) -> Json {
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => Json::obj()
+            .set("ok", Json::Bool(true))
+            .set("pong", Json::Bool(true)),
+        "stats" => match fetch_stats(shared) {
+            Some(stats) => Json::obj()
+                .set("ok", Json::Bool(true))
+                .set("stats", stats.to_json()),
+            None => error_frame(
+                &ServeError::Engine("scheduler unavailable".to_string()),
+                None,
+            ),
+        },
+        "register_graph" => handle_register(req, shared),
+        "list_graphs" => {
+            let (tx, rx) = bounded(1);
+            if shared
+                .scheduler
+                .send(SchedulerMsg::ListGraphs { reply: tx })
+                .is_err()
+            {
+                return error_frame(
+                    &ServeError::Engine("scheduler unavailable".to_string()),
+                    None,
+                );
+            }
+            match rx.recv() {
+                Ok((rows, stats)) => Json::obj()
+                    .set("ok", Json::Bool(true))
+                    .set(
+                        "graphs",
+                        Json::Arr(rows.iter().map(graph_info_json).collect()),
+                    )
+                    .set("stats", stats.to_json()),
+                Err(_) => error_frame(
+                    &ServeError::Engine("scheduler unavailable".to_string()),
+                    None,
+                ),
+            }
+        }
+        "submit" => handle_submit(req, shared),
+        "shutdown" => {
+            if !shared.shutdown.swap(true, Ordering::AcqRel) {
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+            }
+            Json::obj().set("ok", Json::Bool(true))
+        }
+        other => {
+            let err = ServeError::BadRequest(format!("unknown op {other:?}"));
+            error_frame(&err, fetch_stats(shared).as_ref())
+        }
+    }
+}
+
+fn handle_register(req: &Json, shared: &Shared) -> Json {
+    let Some(graph_id) = req.get("graph_id").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("register_graph needs graph_id".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let Some(path) = req.get("path").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("register_graph needs path".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let (tx, rx) = bounded(1);
+    let msg = SchedulerMsg::RegisterGraph {
+        graph_id: graph_id.to_string(),
+        path: path.into(),
+        reply: tx,
+    };
+    if shared.scheduler.send(msg).is_err() {
+        return error_frame(
+            &ServeError::Engine("scheduler unavailable".to_string()),
+            None,
+        );
+    }
+    match rx.recv() {
+        Ok((Ok(info), stats)) => Json::obj()
+            .set("ok", Json::Bool(true))
+            .set("graph_id", Json::str(&info.graph_id))
+            .set("epoch", Json::num(info.epoch))
+            .set("n_vertices", Json::num(info.n_vertices as u64))
+            .set("n_edges", Json::num(info.n_edges as u64))
+            .set("bytes", Json::num(info.bytes))
+            .set("stats", stats.to_json()),
+        Ok((Err(err), stats)) => error_frame(&err, Some(&stats)),
+        Err(_) => error_frame(
+            &ServeError::Engine("scheduler unavailable".to_string()),
+            None,
+        ),
+    }
+}
+
+fn handle_submit(req: &Json, shared: &Shared) -> Json {
+    let Some(graph_id) = req.get("graph_id").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("submit needs graph_id".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let Some(algorithm) = req.get("algorithm").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("submit needs algorithm".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let empty = Json::obj();
+    let params = req.get("params").unwrap_or(&empty);
+    let alg = match AlgorithmSpec::parse(algorithm, params) {
+        Ok(a) => a,
+        Err(err) => return error_frame(&err, fetch_stats(shared).as_ref()),
+    };
+    let priority = req
+        .get("priority")
+        .and_then(Json::as_str)
+        .map(Priority::parse)
+        .unwrap_or_default();
+    let deadline = req
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis)
+        .or(shared.config.default_deadline);
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = bounded(1);
+    let ticket = JobTicket {
+        job_id,
+        spec: JobSpec {
+            graph_id: graph_id.to_string(),
+            algorithm: alg,
+            priority,
+            deadline,
+        },
+        submitted: Instant::now(),
+        timer: Timer::start(),
+        reply: tx,
+    };
+    if shared.scheduler.send(SchedulerMsg::Submit(ticket)).is_err() {
+        return error_frame(
+            &ServeError::Engine("scheduler unavailable".to_string()),
+            None,
+        );
+    }
+    match rx.recv() {
+        Ok((Ok(resp), _stats)) => resp.to_json(),
+        Ok((Err(err), stats)) => error_frame(&err, Some(&stats)),
+        Err(_) => error_frame(
+            &ServeError::Engine("scheduler dropped the job reply".to_string()),
+            None,
+        ),
+    }
+}

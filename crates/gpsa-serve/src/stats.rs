@@ -1,0 +1,117 @@
+//! Server-wide counters, attached to every wire response.
+//!
+//! A snapshot is taken by the scheduler (which owns all the underlying
+//! state, so no locks or atomics are involved) at the moment it writes a
+//! reply; clients therefore always see queue/cache/utilization figures
+//! consistent with the response they accompany.
+
+use crate::json::Json;
+
+/// One consistent snapshot of the server counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs ever accepted for scheduling (cache hits excluded).
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs refused by admission control (`server_busy`).
+    pub jobs_rejected: u64,
+    /// Jobs torn down for missing their deadline (queued or running).
+    pub jobs_deadline: u64,
+    /// Jobs that failed in the engine.
+    pub jobs_failed: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Jobs running engine supersteps right now.
+    pub running: u64,
+    /// The configured concurrency cap.
+    pub max_concurrent_jobs: u64,
+    /// Graphs resident in the registry.
+    pub graphs_resident: u64,
+    /// Mapped bytes across resident graphs.
+    pub resident_bytes: u64,
+}
+
+impl ServerStats {
+    /// Cache hit rate over the lifetime of the server, 0.0 if untouched.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Render as the protocol's `"stats"` object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("jobs_submitted", Json::num(self.jobs_submitted))
+            .set("jobs_completed", Json::num(self.jobs_completed))
+            .set("jobs_rejected", Json::num(self.jobs_rejected))
+            .set("jobs_deadline", Json::num(self.jobs_deadline))
+            .set("jobs_failed", Json::num(self.jobs_failed))
+            .set("cache_hits", Json::num(self.cache_hits))
+            .set("cache_misses", Json::num(self.cache_misses))
+            .set("cache_len", Json::num(self.cache_len))
+            .set("queue_depth", Json::num(self.queue_depth))
+            .set("running", Json::num(self.running))
+            .set("max_concurrent_jobs", Json::num(self.max_concurrent_jobs))
+            .set("graphs_resident", Json::num(self.graphs_resident))
+            .set("resident_bytes", Json::num(self.resident_bytes))
+    }
+
+    /// Parse a `"stats"` object (the client-side inverse of
+    /// [`ServerStats::to_json`]). Missing fields read as 0.
+    pub fn from_json(j: &Json) -> ServerStats {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        ServerStats {
+            jobs_submitted: u("jobs_submitted"),
+            jobs_completed: u("jobs_completed"),
+            jobs_rejected: u("jobs_rejected"),
+            jobs_deadline: u("jobs_deadline"),
+            jobs_failed: u("jobs_failed"),
+            cache_hits: u("cache_hits"),
+            cache_misses: u("cache_misses"),
+            cache_len: u("cache_len"),
+            queue_depth: u("queue_depth"),
+            running: u("running"),
+            max_concurrent_jobs: u("max_concurrent_jobs"),
+            graphs_resident: u("graphs_resident"),
+            resident_bytes: u("resident_bytes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let s = ServerStats {
+            jobs_submitted: 9,
+            jobs_completed: 7,
+            jobs_rejected: 1,
+            jobs_deadline: 1,
+            jobs_failed: 0,
+            cache_hits: 3,
+            cache_misses: 6,
+            cache_len: 4,
+            queue_depth: 2,
+            running: 2,
+            max_concurrent_jobs: 2,
+            graphs_resident: 1,
+            resident_bytes: 1 << 20,
+        };
+        assert_eq!(ServerStats::from_json(&s.to_json()), s);
+        assert!((s.cache_hit_rate() - 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(ServerStats::default().cache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Length-prefixed JSON framing.
+//!
+//! Every protocol message is one frame: a 4-byte big-endian length followed
+//! by that many bytes of UTF-8 JSON. Framing keeps the stream synchronized
+//! without a streaming JSON parser, and the length cap bounds what a
+//! misbehaving peer can make the server buffer.
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 (BE)  | len bytes of JSON (UTF-8) |
+//! +----------------+---------------------------+
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::json::Json;
+
+/// Largest accepted frame body. A full value array for a 10M-vertex graph
+/// (`"4294967295",` per vertex worst case) stays under this.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
+    let body = msg.encode();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the protocol cap", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames); mid-frame EOF and malformed JSON are errors.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame, over the protocol cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let a = Json::obj().set("op", Json::str("ping"));
+        let b = Json::Arr(vec![Json::num(1), Json::num(2)]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(b));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::str("hello world")).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+        // Truncated length prefix, too.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"{}");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

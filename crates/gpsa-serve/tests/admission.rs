@@ -1,0 +1,216 @@
+//! Admission control under pressure: queue-full rejection, deadline
+//! teardown, and epoch-bumped cache invalidation.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use gpsa::EngineConfig;
+use gpsa_graph::{generate, preprocess};
+use gpsa_serve::{
+    start, AlgorithmSpec, Client, ClientError, ServeConfig, ServeError, ServerHandle, SubmitRequest,
+};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-serve-adm-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build_csr(dir: &Path, name: &str, el: gpsa_graph::EdgeList) -> PathBuf {
+    let path = dir.join(format!("{name}.gcsr"));
+    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+    path
+}
+
+/// A PageRank spec sized to keep a runner busy for a long time (hundreds
+/// of supersteps over a few thousand vertices) — long enough that the
+/// admission assertions below cannot race its completion.
+fn slow_job() -> AlgorithmSpec {
+    AlgorithmSpec::PageRank {
+        damping: 0.85,
+        supersteps: 2000,
+    }
+}
+
+/// Poll the server until `pred` holds (the scheduler applies admission
+/// asynchronously to the submitting threads).
+fn wait_for(client: &mut Client, pred: impl Fn(&gpsa_serve::ServerStats) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().unwrap();
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never reached the expected state: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn boot(tag: &str, config: ServeConfig) -> (ServerHandle, PathBuf) {
+    let dir = test_dir(tag);
+    let g = build_csr(&dir, "g", generate::cycle(4096));
+    let handle = start(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.register_graph("g", g.to_str().unwrap()).unwrap();
+    (handle, g)
+}
+
+#[test]
+fn full_queue_rejects_while_in_flight_jobs_complete() {
+    let dir = test_dir("queue-full");
+    let g = build_csr(&dir, "g", generate::cycle(4096));
+    let serve_work = dir.join("serve");
+    // One runner, one queue slot: the third concurrent job must bounce.
+    let config = ServeConfig::small(&serve_work)
+        .with_max_concurrent_jobs(1)
+        .with_queue_capacity(1)
+        .with_engine(EngineConfig::small(&serve_work).with_actors(1, 1));
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin.register_graph("g", g.to_str().unwrap()).unwrap();
+
+    // Occupy the single runner with a long job.
+    let running = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.submit(&SubmitRequest::new("g", slow_job())).unwrap()
+    });
+    wait_for(&mut admin, |s| s.running == 1);
+
+    // Fill the single queue slot (different params: must not cache-hit).
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.submit(&SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 }))
+            .unwrap()
+    });
+    wait_for(&mut admin, |s| s.queue_depth == 1);
+
+    // Runner busy + queue full: admission control must refuse, typed.
+    let mut probe = Client::connect(addr).unwrap();
+    let err = probe
+        .submit(&SubmitRequest::new("g", AlgorithmSpec::Cc))
+        .unwrap_err();
+    match err {
+        ClientError::Server(ServeError::ServerBusy(_)) => {}
+        other => panic!("expected server_busy, got {other:?}"),
+    }
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.jobs_rejected, 1);
+    // The rejection disturbed nothing in flight.
+    assert_eq!(stats.running, 1);
+    assert_eq!(stats.queue_depth, 1);
+
+    // Both admitted jobs still complete with real results.
+    let slow = running.join().unwrap();
+    assert_eq!(slow.outcome.supersteps, 2000);
+    assert_eq!(slow.outcome.values_u32.len(), 4096);
+    let bfs = queued.join().unwrap();
+    assert!(!bfs.cache_hit);
+    assert!(
+        bfs.queue_wait > Duration::ZERO,
+        "queued job must report its wait"
+    );
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.jobs_rejected, 1);
+}
+
+#[test]
+fn expired_deadline_tears_down_and_leaves_the_server_usable() {
+    let serve_work = test_dir("deadline").join("serve");
+    let config = ServeConfig::small(&serve_work)
+        .with_engine(EngineConfig::small(&serve_work).with_actors(1, 1));
+    let (handle, g) = boot("deadline", config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let _ = g;
+
+    // A zero deadline has always already expired by the time the runner
+    // picks the job up — deterministic deadline_exceeded.
+    let err = client
+        .submit(
+            &SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 }).with_deadline(Duration::ZERO),
+        )
+        .unwrap_err();
+    match err {
+        ClientError::Server(ServeError::DeadlineExceeded(_)) => {}
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_deadline, 1);
+    assert_eq!(stats.running, 0);
+
+    // Registry and runners are untouched: the same submission with a
+    // generous deadline runs to completion.
+    let ok = client
+        .submit(
+            &SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 })
+                .with_deadline(Duration::from_secs(120)),
+        )
+        .unwrap();
+    assert!(!ok.cache_hit);
+    assert!(ok.outcome.supersteps > 0);
+    assert_eq!(ok.stats.jobs_completed, 1);
+}
+
+#[test]
+fn re_register_bumps_epoch_and_invalidates_cache() {
+    let serve_work = test_dir("epoch").join("serve");
+    let config = ServeConfig::small(&serve_work)
+        .with_engine(EngineConfig::small(&serve_work).with_actors(1, 1));
+    let (handle, g) = boot("epoch", config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let req = SubmitRequest::new("g", AlgorithmSpec::Cc);
+    let first = client.submit(&req).unwrap();
+    assert!(!first.cache_hit);
+    let hit = client.submit(&req).unwrap();
+    assert!(hit.cache_hit);
+    assert_eq!(hit.stats.cache_len, 1);
+
+    // Re-register the same file: epoch bumps, cached results are dead.
+    let info = client.register_graph("g", g.to_str().unwrap()).unwrap();
+    assert_eq!(info.epoch, 2);
+    let after = client.stats().unwrap();
+    assert_eq!(
+        after.cache_len, 0,
+        "re-register must purge the graph's cache"
+    );
+
+    let rerun = client.submit(&req).unwrap();
+    assert!(!rerun.cache_hit, "epoch bump must force a fresh run");
+    // Same file, same deterministic engine: same labels.
+    assert_eq!(rerun.outcome.values_u32, first.outcome.values_u32);
+    assert_eq!(rerun.stats.jobs_completed, 2);
+}
+
+#[test]
+fn memory_budget_refuses_oversized_registration() {
+    let dir = test_dir("budget");
+    let small = build_csr(&dir, "small", generate::chain(64));
+    let big = build_csr(&dir, "big", generate::cycle(8192));
+    let small_bytes = std::fs::metadata(&small).unwrap().len();
+    let serve_work = dir.join("serve");
+    let config = ServeConfig::small(&serve_work).with_memory_budget(small_bytes + 64);
+    let handle = start(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client
+        .register_graph("small", small.to_str().unwrap())
+        .unwrap();
+    let err = client
+        .register_graph("big", big.to_str().unwrap())
+        .unwrap_err();
+    match err {
+        ClientError::Server(ServeError::ServerBusy(_)) => {}
+        other => panic!("expected server_busy, got {other:?}"),
+    }
+    // The resident graph still serves jobs.
+    let resp = client
+        .submit(&SubmitRequest::new("small", AlgorithmSpec::Bfs { root: 0 }))
+        .unwrap();
+    assert_eq!(resp.outcome.values_u32.len(), 64);
+}
