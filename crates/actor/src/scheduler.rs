@@ -38,7 +38,13 @@ pub(crate) struct Scheduler {
 thread_local! {
     /// Set while a worker thread is running, so cells activated on a worker
     /// can push follow-up work to the local deque instead of the injector.
-    static LOCAL: std::cell::RefCell<Option<Deque<Task>>> = const { std::cell::RefCell::new(None) };
+    /// Tagged with the owning scheduler's identity: systems can nest (a serve
+    /// Runner drives an engine with its own `System` from a serve worker
+    /// thread), and a send to the *inner* system must not land on the outer
+    /// system's deque — its workers would never look there, and the stranded
+    /// cascade would migrate onto (and starve) the outer pool.
+    static LOCAL: std::cell::RefCell<Option<(usize, Deque<Task>)>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 impl Scheduler {
@@ -59,15 +65,17 @@ impl Scheduler {
     }
 
     /// Enqueue a cell for execution. Prefers the current worker's local
-    /// deque when called from a worker thread.
+    /// deque when called from a worker thread *of this scheduler*.
     pub(crate) fn schedule(&self, task: Task) {
+        let me = self as *const Scheduler as usize;
         let pushed_local = LOCAL.with(|l| {
-            if let Some(d) = l.borrow().as_ref() {
-                d.push(task.clone());
-                true
-            } else {
-                false
+            if let Some((owner, d)) = l.borrow().as_ref() {
+                if *owner == me {
+                    d.push(task.clone());
+                    return true;
+                }
             }
+            false
         });
         if !pushed_local {
             self.injector.push(task);
@@ -136,14 +144,15 @@ impl Scheduler {
         // task on this thread push to the local queue; `find_task` borrows
         // it back out for popping (the borrows never overlap: the find_task
         // borrow ends before `t.run` begins).
-        LOCAL.with(|l| *l.borrow_mut() = Some(local));
+        let me = Arc::as_ptr(self) as *const Scheduler as usize;
+        LOCAL.with(|l| *l.borrow_mut() = Some((me, local)));
         loop {
             if self.is_shutdown() {
                 break;
             }
             let task = LOCAL.with(|l| {
                 let b = l.borrow();
-                let d = b.as_ref().expect("worker TLS deque installed");
+                let (_, d) = b.as_ref().expect("worker TLS deque installed");
                 self.find_task(d, index)
             });
             match task {

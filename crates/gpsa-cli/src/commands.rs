@@ -28,10 +28,13 @@ USAGE:
   gpsa serve      --listen <host:port> [--work-dir DIR] [--max-jobs N]
                   [--queue-capacity N] [--cache-capacity N] [--budget-mb N]
                   [--deadline-ms N] [--graphs id=path[,id=path...]]
+                  [--no-durable (skip journaling; no crash recovery)]
   gpsa submit     --addr <host:port> --graph <id> --algo <pagerank|bfs|cc|sssp>
                   [--register PATH (make <id> resident first)]
                   [--root N] [--damping F] [--supersteps N]
                   [--priority normal|high] [--deadline-ms N] [--top N]
+                  [--key K (idempotency key; safe resubmission)]
+                  [--no-retry (fail fast instead of backing off)]
   gpsa help
 ";
 
@@ -208,14 +211,20 @@ fn run(argv: &[String]) -> Result<(), String> {
 fn serve(argv: &[String]) -> Result<(), String> {
     use gpsa_serve::{Client, ServeConfig};
 
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["no-durable"])?;
     let listen = args.get("listen").unwrap_or("127.0.0.1:7171").to_string();
     let work_dir = PathBuf::from(args.get("work-dir").unwrap_or("gpsa-serve-work"));
     let mut config = ServeConfig::new(&work_dir).with_listen(&listen);
+    let (max_jobs, queue_cap, cache_cap) = (
+        config.max_concurrent_jobs,
+        config.queue_capacity,
+        config.cache_capacity,
+    );
     config = config
-        .with_max_concurrent_jobs(args.get_parsed("max-jobs", config.max_concurrent_jobs)?)
-        .with_queue_capacity(args.get_parsed("queue-capacity", config.queue_capacity)?)
-        .with_cache_capacity(args.get_parsed("cache-capacity", config.cache_capacity)?);
+        .with_max_concurrent_jobs(args.get_parsed("max-jobs", max_jobs)?)
+        .with_queue_capacity(args.get_parsed("queue-capacity", queue_cap)?)
+        .with_cache_capacity(args.get_parsed("cache-capacity", cache_cap)?)
+        .with_durable(!args.flag("no-durable"));
     if let Some(mb) = args.get("budget-mb") {
         let mb: u64 = mb.parse().map_err(|_| "bad --budget-mb".to_string())?;
         config = config.with_memory_budget(mb.saturating_mul(1 << 20));
@@ -225,12 +234,18 @@ fn serve(argv: &[String]) -> Result<(), String> {
         config = config.with_default_deadline(std::time::Duration::from_millis(ms));
     }
     let max_jobs = config.max_concurrent_jobs;
+    let durable = config.durable;
     let mut handle = gpsa_serve::start(config).map_err(|e| e.to_string())?;
     println!(
-        "gpsa-serve listening on {} ({} concurrent jobs, work dir {})",
+        "gpsa-serve listening on {} ({} concurrent jobs, work dir {}, {})",
         handle.addr(),
         max_jobs,
-        work_dir.display()
+        work_dir.display(),
+        if durable {
+            "durable: crash recovery on"
+        } else {
+            "NOT durable: no crash recovery"
+        }
     );
 
     // Preload graphs through the wire path, same as any client would.
@@ -258,9 +273,9 @@ fn serve(argv: &[String]) -> Result<(), String> {
 
 /// Submit one job to a running server and print the result.
 fn submit(argv: &[String]) -> Result<(), String> {
-    use gpsa_serve::{AlgorithmSpec, Client, Priority, SubmitRequest, ValueType};
+    use gpsa_serve::{AlgorithmSpec, Client, Priority, RetryPolicy, SubmitRequest, ValueType};
 
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["no-retry"])?;
     let addr = args.require("addr")?;
     let graph_id = args.require("graph")?.to_string();
     let algo = args.require("algo")?;
@@ -281,7 +296,15 @@ fn submit(argv: &[String]) -> Result<(), String> {
         }
     };
 
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    // Interactive submissions ride out transient trouble (admission
+    // bursts, a server mid-restart) by default; --no-retry surfaces the
+    // first failure instead.
+    let policy = if args.flag("no-retry") {
+        RetryPolicy::disabled()
+    } else {
+        RetryPolicy::default_enabled()
+    };
+    let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
     if let Some(path) = args.get("register") {
         let info = client
             .register_graph(&graph_id, path)
@@ -297,6 +320,9 @@ fn submit(argv: &[String]) -> Result<(), String> {
     if let Some(ms) = args.get("deadline-ms") {
         let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
         req = req.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(key) = args.get("key") {
+        req = req.with_idempotency_key(key);
     }
     let resp = client.submit(&req).map_err(|e| e.to_string())?;
     println!(

@@ -371,9 +371,18 @@ impl Engine {
                     crossbeam_channel::select! {
                         recv(report_rx) -> r => match r {
                             Ok(rep) => break 'wait Attempt::Done(rep),
-                            Err(_) => break 'wait Attempt::Failed(
-                                "manager terminated without reporting".into(),
-                            ),
+                            Err(_) => {
+                                // A dying manager drops its report channel a
+                                // hair before its FailureEvent lands; give
+                                // the escalation a beat and prefer its
+                                // richer cause over the bare disconnect.
+                                let cause = failure_rx
+                                    .recv_timeout(Duration::from_millis(200))
+                                    .unwrap_or_else(|_| {
+                                        "manager terminated without reporting".into()
+                                    });
+                                break 'wait Attempt::Failed(cause);
+                            }
                         },
                         recv(failure_rx) -> f => break 'wait Attempt::Failed(
                             f.unwrap_or_else(|_| "actor failure".into()),

@@ -73,7 +73,12 @@ pub struct FaultPlan {
     points: Vec<(FaultSpec, AtomicBool)>,
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+/// One step of the splitmix64 sequence — the workspace's standard source
+/// of cheap deterministic pseudo-randomness. Public so other chaos
+/// harnesses (the serving layer's [`FaultPlan`] counterpart, client retry
+/// jitter) derive their schedules from the same generator and stay
+/// reproducible from a seed alone.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

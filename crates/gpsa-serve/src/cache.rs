@@ -6,11 +6,21 @@
 //! bumps its epoch, so every old entry simply stops matching (and
 //! [`ResultCache::purge_graph`] reclaims the memory eagerly). Eviction is
 //! least-recently-used over a fixed entry capacity.
+//!
+//! With a spill directory attached, the cache also survives restarts:
+//! every insert writes the entry to one JSON file (tmp + rename, named by
+//! an FNV-1a hash of the key), eviction and purging delete the file, and
+//! [`ResultCache::open`] loads whatever the directory holds. The spill is
+//! strictly best-effort — a lost or corrupt entry file is a cache miss,
+//! never an error — and [`ResultCache::retain_valid`] drops restored
+//! entries whose graph epoch no longer matches the restored registry.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::job::JobOutcome;
+use crate::job::{JobOutcome, ValueType};
+use crate::json::Json;
 
 /// Cache key. `params` must be the canonical rendering produced by
 /// [`crate::job::AlgorithmSpec::canonical_params`] so that semantically
@@ -27,6 +37,72 @@ pub struct CacheKey {
     pub epoch: u64,
 }
 
+impl CacheKey {
+    /// Stable spill filename for this key: FNV-1a over the fields with a
+    /// separator no field can contain.
+    fn file_name(&self) -> String {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= 0x1f; // field separator
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        eat(self.graph_id.as_bytes());
+        eat(self.algorithm.as_bytes());
+        eat(self.params.as_bytes());
+        eat(&self.epoch.to_le_bytes());
+        format!("e{h:016x}.json")
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("graph_id", Json::str(&self.graph_id))
+            .set("algorithm", Json::str(&self.algorithm))
+            .set("params", Json::str(&self.params))
+            .set("epoch", Json::num(self.epoch))
+    }
+
+    fn from_json(j: &Json) -> Option<CacheKey> {
+        Some(CacheKey {
+            graph_id: j.get("graph_id")?.as_str()?.to_string(),
+            algorithm: j.get("algorithm")?.as_str()?.to_string(),
+            params: j.get("params")?.as_str()?.to_string(),
+            epoch: j.get("epoch")?.as_u64()?,
+        })
+    }
+}
+
+fn outcome_to_json(o: &JobOutcome) -> Json {
+    Json::obj()
+        .set("value_type", Json::str(o.value_type.as_str()))
+        .set(
+            "values_u32",
+            Json::Arr(o.values_u32.iter().map(|b| Json::num(*b as u64)).collect()),
+        )
+        .set("supersteps", Json::num(o.supersteps))
+        .set("messages", Json::num(o.messages))
+        .set("retry_attempts", Json::num(o.retry_attempts as u64))
+}
+
+fn outcome_from_json(j: &Json) -> Option<JobOutcome> {
+    let values = j
+        .get("values_u32")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u32)
+        .collect::<Option<Vec<u32>>>()?;
+    Some(JobOutcome {
+        value_type: ValueType::parse(j.get("value_type")?.as_str()?)?,
+        values_u32: Arc::new(values),
+        supersteps: j.get("supersteps")?.as_u64()?,
+        messages: j.get("messages")?.as_u64()?,
+        retry_attempts: j.get("retry_attempts")?.as_u64()? as u32,
+    })
+}
+
 struct Slot {
     outcome: Arc<JobOutcome>,
     /// Logical access clock value at last touch; smallest = coldest.
@@ -40,11 +116,13 @@ pub struct ResultCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    spill_dir: Option<PathBuf>,
 }
 
 impl ResultCache {
-    /// An empty cache holding at most `capacity` entries (0 disables
-    /// caching entirely: every lookup misses, every insert is dropped).
+    /// An empty, memory-only cache holding at most `capacity` entries
+    /// (0 disables caching entirely: every lookup misses, every insert is
+    /// dropped).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             slots: HashMap::new(),
@@ -52,6 +130,69 @@ impl ResultCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            spill_dir: None,
+        }
+    }
+
+    /// A durable cache spilling to `spill_dir`, reloaded with whatever a
+    /// previous server left there (at most `capacity` entries; surplus
+    /// and unreadable files are deleted). Restored entries start cold —
+    /// recency does not survive a restart, which only costs eviction
+    /// ordering, never correctness.
+    pub fn open(capacity: usize, spill_dir: PathBuf) -> Self {
+        let mut cache = ResultCache::new(capacity);
+        let _ = std::fs::create_dir_all(&spill_dir);
+        if let Ok(entries) = std::fs::read_dir(&spill_dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let loaded = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| Json::parse(&text).ok())
+                    .and_then(|j| {
+                        let key = CacheKey::from_json(j.get("key")?)?;
+                        let outcome = outcome_from_json(j.get("outcome")?)?;
+                        Some((key, outcome))
+                    });
+                match loaded {
+                    Some((key, outcome)) if cache.slots.len() < capacity => {
+                        cache.clock += 1;
+                        cache.slots.insert(
+                            key,
+                            Slot {
+                                outcome: Arc::new(outcome),
+                                last_used: cache.clock,
+                            },
+                        );
+                    }
+                    _ => {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        cache.spill_dir = Some(spill_dir);
+        cache
+    }
+
+    fn spill_write(&self, key: &CacheKey, outcome: &JobOutcome) {
+        let Some(dir) = &self.spill_dir else { return };
+        let body = Json::obj()
+            .set("key", key.to_json())
+            .set("outcome", outcome_to_json(outcome))
+            .encode();
+        let path = dir.join(key.file_name());
+        let tmp = path.with_extension("json.tmp");
+        let ok = std::fs::write(&tmp, body.as_bytes())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_ok();
+        if !ok {
+            eprintln!("gpsa-serve: cannot spill cache entry {}", path.display());
+        }
+    }
+
+    fn spill_remove(&self, key: &CacheKey) {
+        if let Some(dir) = &self.spill_dir {
+            let _ = std::fs::remove_file(dir.join(key.file_name()));
         }
     }
 
@@ -86,8 +227,10 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
             {
                 self.slots.remove(&coldest);
+                self.spill_remove(&coldest);
             }
         }
+        self.spill_write(&key, &outcome);
         self.slots.insert(
             key,
             Slot {
@@ -101,9 +244,36 @@ impl ResultCache {
     /// re-register; correctness does not depend on it (the epoch in the
     /// key already prevents stale hits) but it frees the value arrays.
     pub fn purge_graph(&mut self, graph_id: &str) -> usize {
-        let before = self.slots.len();
-        self.slots.retain(|k, _| k.graph_id != graph_id);
-        before - self.slots.len()
+        let doomed: Vec<CacheKey> = self
+            .slots
+            .keys()
+            .filter(|k| k.graph_id == graph_id)
+            .cloned()
+            .collect();
+        for key in &doomed {
+            self.slots.remove(key);
+            self.spill_remove(key);
+        }
+        doomed.len()
+    }
+
+    /// Drop every entry whose `(graph_id, epoch)` is not current in
+    /// `epochs` (the restored registry's [`crate::GraphRegistry::epochs`]).
+    /// Run once after a restart: a graph that vanished or changed on disk
+    /// invalidates its restored results here. Returns how many were
+    /// dropped.
+    pub fn retain_valid(&mut self, epochs: &HashMap<String, u64>) -> usize {
+        let doomed: Vec<CacheKey> = self
+            .slots
+            .keys()
+            .filter(|k| epochs.get(&k.graph_id) != Some(&k.epoch))
+            .cloned()
+            .collect();
+        for key in &doomed {
+            self.slots.remove(key);
+            self.spill_remove(key);
+        }
+        doomed.len()
     }
 
     /// Entries currently cached.
@@ -144,6 +314,12 @@ mod tests {
             messages: 1,
             retry_attempts: 0,
         })
+    }
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -198,5 +374,90 @@ mod tests {
         c.put(key("g", "a", 1), outcome(9));
         assert_eq!(c.len(), 1);
         assert_eq!(*c.get(&key("g", "a", 1)).unwrap().values_u32, vec![9]);
+    }
+
+    #[test]
+    fn spilled_entries_reload_bit_exact() {
+        let dir = spill_dir("reload");
+        {
+            let mut c = ResultCache::open(8, dir.clone());
+            c.put(
+                key("g", "damping_bits=1062836634,supersteps=5", 2),
+                Arc::new(JobOutcome {
+                    value_type: ValueType::F32,
+                    values_u32: Arc::new(vec![0.17f32.to_bits(), f32::NAN.to_bits(), u32::MAX]),
+                    supersteps: 5,
+                    messages: 42,
+                    retry_attempts: 1,
+                }),
+            );
+            c.put(key("h", "root=3", 1), outcome(9));
+        }
+        let mut c = ResultCache::open(8, dir);
+        assert_eq!(c.len(), 2);
+        let got = c
+            .get(&key("g", "damping_bits=1062836634,supersteps=5", 2))
+            .unwrap();
+        assert_eq!(
+            *got.values_u32,
+            vec![0.17f32.to_bits(), f32::NAN.to_bits(), u32::MAX],
+            "restored values must be bit-identical"
+        );
+        assert_eq!(got.value_type, ValueType::F32);
+        assert_eq!(got.supersteps, 5);
+        assert_eq!(got.retry_attempts, 1);
+        assert_eq!(*c.get(&key("h", "root=3", 1)).unwrap().values_u32, vec![9]);
+    }
+
+    #[test]
+    fn eviction_and_purge_delete_spill_files() {
+        let dir = spill_dir("evict");
+        let mut c = ResultCache::open(2, dir.clone());
+        c.put(key("g", "a", 1), outcome(1));
+        c.put(key("g", "b", 1), outcome(2));
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        c.get(&key("g", "a", 1));
+        c.put(key("g", "c", 1), outcome(3)); // evicts "b"
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        c.purge_graph("g");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        // A fresh open of the emptied dir restores nothing.
+        drop(c);
+        let c = ResultCache::open(2, dir);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn corrupt_spill_files_are_deleted_not_fatal() {
+        let dir = spill_dir("corrupt");
+        {
+            let mut c = ResultCache::open(4, dir.clone());
+            c.put(key("g", "a", 1), outcome(5));
+        }
+        std::fs::write(dir.join("e0000000000000000.json"), b"{not json").unwrap();
+        let mut c = ResultCache::open(4, dir.clone());
+        assert_eq!(c.len(), 1, "the intact entry survives");
+        assert!(c.get(&key("g", "a", 1)).is_some());
+        assert!(
+            !dir.join("e0000000000000000.json").exists(),
+            "garbage is swept"
+        );
+    }
+
+    #[test]
+    fn retain_valid_drops_stale_epochs() {
+        let dir = spill_dir("retain");
+        let mut c = ResultCache::open(8, dir.clone());
+        c.put(key("g", "a", 1), outcome(1));
+        c.put(key("g", "a", 2), outcome(2));
+        c.put(key("dead", "a", 1), outcome(3));
+        let epochs = HashMap::from([("g".to_string(), 2u64)]);
+        assert_eq!(c.retain_valid(&epochs), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("g", "a", 2)).is_some());
+        // Deletions reached the spill files too.
+        drop(c);
+        let c = ResultCache::open(8, dir);
+        assert_eq!(c.len(), 1);
     }
 }

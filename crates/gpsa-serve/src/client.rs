@@ -4,10 +4,28 @@
 //! time (the protocol is strictly request/response per connection). For
 //! concurrent load, open one client per thread — the replay driver and
 //! the integration tests do exactly that.
+//!
+//! ## Retries
+//!
+//! A [`RetryPolicy`] makes the client survive transient trouble: a
+//! `server_busy` admission rejection, a `slow_client` shed, a refused or
+//! reset connection, a server that died mid-response. Eligible failures
+//! (see [`ClientError::retriable`]) are retried with bounded exponential
+//! backoff plus jitter, reconnecting first when the transport broke.
+//! Retries are **off by default** on [`Client::connect`] — admission
+//! control is a feature, and callers probing it (or tests asserting on
+//! `server_busy`) must see the first answer — and opt in via
+//! [`Client::with_retry_policy`] or [`Client::connect_with`].
+//!
+//! Retrying a submit is safe even when the failure struck *after* the
+//! server started the job: pass an idempotency key
+//! ([`SubmitRequest::with_idempotency_key`]) and the resubmission either
+//! attaches to the still-running job or is answered from its committed
+//! result — never a duplicate run.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::error::ServeError;
 use crate::job::{AlgorithmSpec, JobResponse, Priority};
@@ -16,9 +34,66 @@ use crate::registry::GraphInfo;
 use crate::stats::ServerStats;
 use crate::wire::{read_frame, write_frame};
 
+/// How a client retries transient failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = one attempt, no retries).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay * 2^n`, capped at
+    /// `max_delay`.
+    pub base_delay: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_delay: Duration,
+    /// Scale each backoff by a random factor in `[0.5, 1.5)` so a burst
+    /// of rejected clients doesn't re-arrive in lockstep.
+    pub jitter: bool,
+}
+
+impl RetryPolicy {
+    /// Four retries, 25 ms base, 2 s cap, jitter on: rides out an
+    /// admission-control burst or a server restart measured in seconds.
+    pub fn default_enabled() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            jitter: true,
+        }
+    }
+
+    /// No retries at all: every failure surfaces immediately.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: false,
+        }
+    }
+
+    /// The backoff before retry `attempt` (0-based), jittered by `rng`.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        if !self.jitter {
+            return exp;
+        }
+        // Factor in [0.5, 1.5): full-jitter style, centered on the curve.
+        let factor = 0.5 + (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(factor)
+    }
+}
+
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    /// Resolved address, kept for reconnects.
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    /// splitmix64 state for backoff jitter.
+    rng: u64,
 }
 
 /// A submission, client-side.
@@ -32,6 +107,9 @@ pub struct SubmitRequest {
     pub priority: Priority,
     /// Wall-clock budget, if any.
     pub deadline: Option<Duration>,
+    /// Idempotency key: resubmitting the same key never runs the job
+    /// twice, even across a server crash and restart.
+    pub idempotency_key: Option<String>,
 }
 
 impl SubmitRequest {
@@ -42,6 +120,7 @@ impl SubmitRequest {
             algorithm,
             priority: Priority::Normal,
             deadline: None,
+            idempotency_key: None,
         }
     }
 
@@ -56,6 +135,12 @@ impl SubmitRequest {
         self.deadline = Some(d);
         self
     }
+
+    /// Builder-style: set the idempotency key.
+    pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Self {
+        self.idempotency_key = Some(key.into());
+        self
+    }
 }
 
 /// Client-side failure: transport errors and server-reported errors are
@@ -66,6 +151,34 @@ pub enum ClientError {
     Io(io::Error),
     /// The server answered with a typed error.
     Server(ServeError),
+}
+
+impl ClientError {
+    /// Whether a retry may succeed: transient server errors
+    /// ([`ServeError::retriable`]) and connection-level transport
+    /// failures (refused / reset / timed out / server died mid-response)
+    /// qualify; malformed frames and permanent server errors do not.
+    pub fn retriable(&self) -> bool {
+        match self {
+            ClientError::Server(e) => e.retriable(),
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::UnexpectedEof
+            ),
+        }
+    }
+
+    /// Whether the connection itself is unusable (vs a clean error frame
+    /// over a healthy connection).
+    fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Io(_))
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -85,17 +198,62 @@ impl From<io::Error> for ClientError {
     }
 }
 
+fn resolve<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })
+}
+
+fn open_stream(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server, with retries **disabled** (see the module
+    /// docs for why that is the default).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Client::connect_with(addr, RetryPolicy::disabled())
     }
 
-    /// One request/response round trip. Answers with the response object
-    /// when `"ok": true`, the server's typed error otherwise.
-    fn call(&mut self, req: &Json) -> Result<Json, ClientError> {
+    /// Connect with a retry policy; the initial connection itself is
+    /// retried under the same policy (a restarting server refuses
+    /// connections for a moment).
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<Client> {
+        let addr = resolve(addr)?;
+        let mut rng = jitter_seed(addr);
+        let mut attempt = 0;
+        let stream = loop {
+            match open_stream(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if attempt >= policy.max_retries
+                        || !ClientError::Io(io::Error::new(e.kind(), "")).retriable()
+                    {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+            }
+        };
+        Ok(Client {
+            stream,
+            addr,
+            policy,
+            rng,
+        })
+    }
+
+    /// Builder-style: replace the retry policy on an existing client.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// One raw request/response round trip on the current stream.
+    fn call_once(&mut self, req: &Json) -> Result<Json, ClientError> {
         write_frame(&mut self.stream, req)?;
         let resp = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
@@ -116,6 +274,36 @@ impl Client {
                 .unwrap_or("no message")
                 .to_string();
             Err(ClientError::Server(ServeError::from_code(code, message)))
+        }
+    }
+
+    /// A round trip under the retry policy: retriable failures back off
+    /// (exponential + jitter), reconnect if the transport broke, and try
+    /// again up to `max_retries` times.
+    fn call(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut attempt = 0;
+        loop {
+            let err = match self.call_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if attempt >= self.policy.max_retries || !err.retriable() {
+                return Err(err);
+            }
+            std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+            if err.is_transport() {
+                // The old stream is poisoned (mid-frame state unknown);
+                // a fresh connection is the only way to resynchronize.
+                match open_stream(self.addr) {
+                    Ok(s) => self.stream = s,
+                    Err(e) => {
+                        if attempt + 1 >= self.policy.max_retries {
+                            return Err(e.into());
+                        }
+                    }
+                }
+            }
+            attempt += 1;
         }
     }
 
@@ -149,7 +337,9 @@ impl Client {
     }
 
     /// Submit a job and block until the server answers (completion,
-    /// cache hit, or typed rejection).
+    /// cache hit, or typed rejection). With a retry policy, transient
+    /// failures are retried — pair with an idempotency key if the job
+    /// must not run twice.
     pub fn submit(&mut self, req: &SubmitRequest) -> Result<JobResponse, ClientError> {
         let mut j = Json::obj()
             .set("op", Json::str("submit"))
@@ -159,6 +349,9 @@ impl Client {
             .set("priority", Json::str(req.priority.as_str()));
         if let Some(d) = req.deadline {
             j = j.set("deadline_ms", Json::num(d.as_millis() as u64));
+        }
+        if let Some(k) = &req.idempotency_key {
+            j = j.set("idempotency_key", Json::str(k));
         }
         let resp = self.call(&j)?;
         JobResponse::from_json(&resp).map_err(ClientError::Server)
@@ -200,5 +393,86 @@ impl Client {
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.call(&Json::obj().set("op", Json::str("shutdown")))
             .map(|_| ())
+    }
+}
+
+/// One step of splitmix64 — same generator as `gpsa::fault`, copied here
+/// because that module only exists under the `chaos` feature and retry
+/// jitter must work in every build.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed backoff jitter from wall-clock nanos and the target address, so
+/// concurrent clients desynchronize without any shared state.
+fn jitter_seed(addr: SocketAddr) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed);
+    nanos ^ ((addr.port() as u64) << 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter: false,
+        };
+        let mut rng = 1;
+        assert_eq!(p.backoff(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, &mut rng), Duration::from_millis(40));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(80));
+        assert_eq!(p.backoff(4, &mut rng), Duration::from_millis(100), "capped");
+        assert_eq!(p.backoff(9, &mut rng), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_one_and_a_half() {
+        let p = RetryPolicy {
+            jitter: true,
+            ..RetryPolicy::default_enabled()
+        };
+        let mut rng = 42;
+        for attempt in 0..8 {
+            let exp = p
+                .base_delay
+                .saturating_mul(1u32 << attempt)
+                .min(p.max_delay);
+            let d = p.backoff(attempt, &mut rng);
+            assert!(d >= exp.mul_f64(0.5) && d < exp.mul_f64(1.5), "{d:?} vs {exp:?}");
+        }
+    }
+
+    #[test]
+    fn retriable_classification() {
+        let refused = ClientError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "x"));
+        let eof = ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "x"));
+        let bad = ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, "x"));
+        assert!(refused.retriable());
+        assert!(eof.retriable());
+        assert!(!bad.retriable(), "a malformed frame won't improve");
+        assert!(ClientError::Server(ServeError::ServerBusy("q".into())).retriable());
+        assert!(ClientError::Server(ServeError::SlowClient("s".into())).retriable());
+        assert!(!ClientError::Server(ServeError::BadRequest("b".into())).retriable());
+    }
+
+    #[test]
+    fn disabled_policy_never_sleeps() {
+        let p = RetryPolicy::disabled();
+        assert_eq!(p.max_retries, 0);
+        let mut rng = 7;
+        assert_eq!(p.backoff(0, &mut rng), Duration::ZERO);
     }
 }

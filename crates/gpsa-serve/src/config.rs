@@ -5,6 +5,11 @@ use std::time::Duration;
 
 use gpsa::EngineConfig;
 
+#[cfg(feature = "chaos")]
+use crate::fault::ServeFaultPlan;
+#[cfg(feature = "chaos")]
+use std::sync::Arc;
+
 /// Full configuration for a [`crate::server::start`] instance.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -33,6 +38,24 @@ pub struct ServeConfig {
     /// watchdog fields are overridden per job; the actor/worker counts,
     /// routing and batching knobs are taken as-is.
     pub engine: EngineConfig,
+    /// Durability switch. When on (the default), the server journals every
+    /// job state change to `<work_dir>/journal.wal`, persists the graph
+    /// registry to `<work_dir>/registry.manifest`, and spills the result
+    /// cache to `<work_dir>/cache/` — a restarted server against the same
+    /// `work_dir` restores all three and replays incomplete jobs. When
+    /// off, state lives in memory only (the pre-durability behavior).
+    pub durable: bool,
+    /// Once a request frame has *started* arriving, the rest of it must
+    /// land within this deadline or the connection is shed with a
+    /// retriable `slow_client` error. Idle time **between** frames is
+    /// never limited — only a peer stalled mid-frame is shed.
+    pub frame_read_timeout: Duration,
+    /// OS-level write timeout on accepted connections, bounding how long a
+    /// response write can block on a client that stopped reading.
+    pub write_timeout: Duration,
+    /// Scripted serving-layer fault plan (`--features chaos` only).
+    #[cfg(feature = "chaos")]
+    pub fault_plan: Option<Arc<ServeFaultPlan>>,
 }
 
 impl ServeConfig {
@@ -51,6 +74,11 @@ impl ServeConfig {
             memory_budget_bytes: u64::MAX,
             cache_capacity: 128,
             default_deadline: None,
+            durable: true,
+            frame_read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            #[cfg(feature = "chaos")]
+            fault_plan: None,
         }
     }
 
@@ -109,9 +137,50 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style: turn durability off (or back on).
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Builder-style: set the mid-frame read deadline for accepted
+    /// connections.
+    pub fn with_frame_read_timeout(mut self, timeout: Duration) -> Self {
+        self.frame_read_timeout = timeout;
+        self
+    }
+
+    /// Builder-style: set the response write timeout.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Builder-style: install a scripted serving-layer fault plan.
+    #[cfg(feature = "chaos")]
+    pub fn with_fault_plan(mut self, plan: Arc<ServeFaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Where job `job_id` keeps its private scratch state.
     pub fn job_scratch_dir(&self, job_id: u64) -> PathBuf {
         self.work_dir.join("jobs").join(format!("job-{job_id}"))
+    }
+
+    /// The job journal's path under this config's `work_dir`.
+    pub fn journal_path(&self) -> PathBuf {
+        self.work_dir.join("journal.wal")
+    }
+
+    /// The registry manifest's path under this config's `work_dir`.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.work_dir.join("registry.manifest")
+    }
+
+    /// The result cache's spill directory under this config's `work_dir`.
+    pub fn cache_spill_dir(&self) -> PathBuf {
+        self.work_dir.join("cache")
     }
 }
 
@@ -145,12 +214,30 @@ mod tests {
             .with_cache_capacity(3)
             .with_memory_budget(1024)
             .with_default_deadline(Duration::from_secs(9))
-            .with_listen("0.0.0.0:7171");
+            .with_listen("0.0.0.0:7171")
+            .with_durable(false)
+            .with_frame_read_timeout(Duration::from_millis(250))
+            .with_write_timeout(Duration::from_secs(2));
         assert_eq!(c.max_concurrent_jobs, 1);
         assert_eq!(c.queue_capacity, 7);
         assert_eq!(c.cache_capacity, 3);
         assert_eq!(c.memory_budget_bytes, 1024);
         assert_eq!(c.default_deadline, Some(Duration::from_secs(9)));
         assert_eq!(c.listen, "0.0.0.0:7171");
+        assert!(!c.durable);
+        assert_eq!(c.frame_read_timeout, Duration::from_millis(250));
+        assert_eq!(c.write_timeout, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn durable_paths_live_under_work_dir() {
+        let c = ServeConfig::small("/tmp/serve");
+        assert!(c.durable, "durability is on by default");
+        assert_eq!(c.journal_path(), PathBuf::from("/tmp/serve/journal.wal"));
+        assert_eq!(
+            c.manifest_path(),
+            PathBuf::from("/tmp/serve/registry.manifest")
+        );
+        assert_eq!(c.cache_spill_dir(), PathBuf::from("/tmp/serve/cache"));
     }
 }

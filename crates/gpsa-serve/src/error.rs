@@ -20,6 +20,10 @@ pub enum ServeError {
     BadRequest(String),
     /// The engine failed while running the job.
     Engine(String),
+    /// The connection stalled mid-frame past the server's per-connection
+    /// deadline and was shed to free the handler thread. The client may
+    /// reconnect and retry.
+    SlowClient(String),
 }
 
 impl ServeError {
@@ -31,7 +35,18 @@ impl ServeError {
             ServeError::UnknownGraph(_) => "unknown_graph",
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Engine(_) => "engine_error",
+            ServeError::SlowClient(_) => "slow_client",
         }
+    }
+
+    /// Whether a client may expect the same request to succeed if simply
+    /// retried later. Admission-control rejections and shed connections
+    /// are transient (nothing about the request itself was wrong);
+    /// everything else needs the request or the server fixed first.
+    /// Error frames carry this as a `"retriable"` field so non-Rust
+    /// clients can branch without a code table.
+    pub fn retriable(&self) -> bool {
+        matches!(self, ServeError::ServerBusy(_) | ServeError::SlowClient(_))
     }
 
     /// Human-readable detail.
@@ -41,7 +56,8 @@ impl ServeError {
             | ServeError::DeadlineExceeded(m)
             | ServeError::UnknownGraph(m)
             | ServeError::BadRequest(m)
-            | ServeError::Engine(m) => m,
+            | ServeError::Engine(m)
+            | ServeError::SlowClient(m) => m,
         }
     }
 
@@ -53,6 +69,7 @@ impl ServeError {
             "deadline_exceeded" => ServeError::DeadlineExceeded(message),
             "unknown_graph" => ServeError::UnknownGraph(message),
             "bad_request" => ServeError::BadRequest(message),
+            "slow_client" => ServeError::SlowClient(message),
             _ => ServeError::Engine(message),
         }
     }
@@ -78,10 +95,21 @@ mod tests {
             ServeError::UnknownGraph("g".into()),
             ServeError::BadRequest("b".into()),
             ServeError::Engine("e".into()),
+            ServeError::SlowClient("s".into()),
         ];
         for e in all {
             let back = ServeError::from_code(e.code(), e.message().to_string());
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn only_transient_failures_are_retriable() {
+        assert!(ServeError::ServerBusy("q".into()).retriable());
+        assert!(ServeError::SlowClient("s".into()).retriable());
+        assert!(!ServeError::DeadlineExceeded("d".into()).retriable());
+        assert!(!ServeError::UnknownGraph("g".into()).retriable());
+        assert!(!ServeError::BadRequest("b".into()).retriable());
+        assert!(!ServeError::Engine("e".into()).retriable());
     }
 }

@@ -1,0 +1,274 @@
+//! Serving-layer fault injection — the network/journal half of the chaos
+//! harness (`--features chaos`).
+//!
+//! The engine's [`gpsa::fault::FaultPlan`] injects faults *inside* a
+//! superstep; a [`ServeFaultPlan`] injects them at the serving layer's
+//! two durability boundaries instead: the wire (connections dropped
+//! mid-frame, writers that stall past the client's read deadline) and the
+//! job journal (torn tails, crash-at-state aborts). Same discipline as
+//! the engine plan: every point fires **at most once**, schedules are
+//! reproducible from a seed via the shared
+//! [`gpsa::fault::splitmix64`] generator, and everything compiles away
+//! without the feature.
+//!
+//! Hooks live in the server's response writer ([`ServeFaultPlan::on_response`],
+//! consulted once per response frame) and in
+//! [`crate::journal::JobJournal::append`]
+//! ([`ServeFaultPlan::on_journal_append`], consulted once per record).
+//! `CrashAtJournal` points do not return — they [`std::process::abort`],
+//! which is exactly a `kill -9` as far as the restarted server can tell;
+//! they are exercised from subprocess tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use gpsa::fault::splitmix64;
+
+use crate::journal::JournalState;
+
+/// One scripted serving-layer injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Write roughly half of response frame `nth_response` (0-based,
+    /// counted across all connections), then sever the connection — a
+    /// peer vanishing mid-frame.
+    DropConnMidFrame {
+        /// Which response frame dies.
+        nth_response: u64,
+    },
+    /// Stall for `stall_ms` in the middle of writing response frame
+    /// `nth_response`, then finish it — a writer outliving the client's
+    /// read deadline.
+    StalledWriter {
+        /// Which response frame stalls.
+        nth_response: u64,
+        /// How long it stalls.
+        stall_ms: u64,
+    },
+    /// Journal append number `nth_append` (0-based, any state) writes
+    /// only a prefix of its record and skips the fsync — a crash tearing
+    /// the journal tail. Recovery must truncate back to the last whole
+    /// record.
+    TornJournalTail {
+        /// Which append tears.
+        nth_append: u64,
+    },
+    /// Abort the whole process (SIGABRT, unclean by construction) as the
+    /// journal is about to append its `nth` record of `state` — a crash
+    /// pinned to an exact journal state.
+    CrashAtJournal {
+        /// Which record state triggers the crash.
+        state: JournalState,
+        /// 0-based occurrence count within that state.
+        nth: u64,
+    },
+}
+
+/// What the response-write hook should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseFault {
+    /// Write the frame normally.
+    None,
+    /// Write a partial frame, then drop the connection.
+    DropMidFrame,
+    /// Stall mid-frame for this long, then finish the write.
+    Stall(Duration),
+}
+
+/// What the journal-append hook should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFault {
+    /// Append normally.
+    None,
+    /// Write a torn (partial, unsynced) record.
+    Torn,
+    /// Abort the process before the record is written.
+    Crash,
+}
+
+/// A seeded, fire-once serving-layer fault schedule.
+#[derive(Debug, Default)]
+pub struct ServeFaultPlan {
+    seed: u64,
+    points: Vec<(ServeFault, AtomicBool)>,
+    responses: AtomicU64,
+    appends: AtomicU64,
+    appends_by_state: [AtomicU64; JournalState::COUNT],
+}
+
+impl ServeFaultPlan {
+    /// An empty plan tagged with `seed` (fill in points with
+    /// [`ServeFaultPlan::with`]).
+    pub fn new(seed: u64) -> Self {
+        ServeFaultPlan {
+            seed,
+            ..ServeFaultPlan::default()
+        }
+    }
+
+    /// Derive `n_points` network injections (drops, stalls, torn tails —
+    /// never crashes, which need a subprocess harness) from `seed` alone.
+    /// The same seed always yields the same schedule.
+    pub fn scripted(seed: u64, n_points: usize) -> Self {
+        let mut plan = ServeFaultPlan::new(seed);
+        let mut state = seed;
+        for _ in 0..n_points {
+            let kind = splitmix64(&mut state) % 3;
+            let nth = splitmix64(&mut state) % 8;
+            let spec = match kind {
+                0 => ServeFault::DropConnMidFrame { nth_response: nth },
+                1 => ServeFault::StalledWriter {
+                    nth_response: nth,
+                    stall_ms: 20 + splitmix64(&mut state) % 80,
+                },
+                _ => ServeFault::TornJournalTail { nth_append: nth },
+            };
+            plan = plan.with(spec);
+        }
+        plan
+    }
+
+    /// Add one injection point.
+    pub fn with(mut self, spec: ServeFault) -> Self {
+        self.points.push((spec, AtomicBool::new(false)));
+        self
+    }
+
+    /// The seed this plan was built from (reporting only).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Injection points in this plan.
+    pub fn specs(&self) -> impl Iterator<Item = ServeFault> + '_ {
+        self.points.iter().map(|(s, _)| *s)
+    }
+
+    fn fire(&self, idx: usize) -> bool {
+        self.points[idx]
+            .1
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Consulted once per response frame (any connection). Counts the
+    /// frame and answers with the fault due for it, if any.
+    pub fn on_response(&self) -> ResponseFault {
+        let n = self.responses.fetch_add(1, Ordering::AcqRel);
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            let fault = match *spec {
+                ServeFault::DropConnMidFrame { nth_response } if nth_response == n => {
+                    ResponseFault::DropMidFrame
+                }
+                ServeFault::StalledWriter {
+                    nth_response,
+                    stall_ms,
+                } if nth_response == n => ResponseFault::Stall(Duration::from_millis(stall_ms)),
+                _ => continue,
+            };
+            if self.fire(i) {
+                return fault;
+            }
+        }
+        ResponseFault::None
+    }
+
+    /// Consulted once per journal record, before it is written. Counts
+    /// the append (globally and per state) and answers with the fault due
+    /// for it. A [`JournalFault::Crash`] answer is advisory only in the
+    /// sense that the *journal* performs the abort — this method never
+    /// panics or aborts itself, so it stays unit-testable.
+    pub fn on_journal_append(&self, state: JournalState) -> JournalFault {
+        let n = self.appends.fetch_add(1, Ordering::AcqRel);
+        let n_state = self.appends_by_state[state as usize].fetch_add(1, Ordering::AcqRel);
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            let fault = match *spec {
+                ServeFault::TornJournalTail { nth_append } if nth_append == n => JournalFault::Torn,
+                ServeFault::CrashAtJournal { state: s, nth } if s == state && nth == n_state => {
+                    JournalFault::Crash
+                }
+                _ => continue,
+            };
+            if self.fire(i) {
+                return fault;
+            }
+        }
+        JournalFault::None
+    }
+
+    /// How many injection points have fired so far.
+    pub fn fired(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|(_, f)| f.load(Ordering::Acquire))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plans_are_reproducible() {
+        let a: Vec<_> = ServeFaultPlan::scripted(11, 6).specs().collect();
+        let b: Vec<_> = ServeFaultPlan::scripted(11, 6).specs().collect();
+        let c: Vec<_> = ServeFaultPlan::scripted(12, 6).specs().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a
+            .iter()
+            .all(|s| !matches!(s, ServeFault::CrashAtJournal { .. })));
+    }
+
+    #[test]
+    fn response_points_fire_once_at_their_frame() {
+        let plan = ServeFaultPlan::new(1).with(ServeFault::DropConnMidFrame { nth_response: 2 });
+        assert_eq!(plan.on_response(), ResponseFault::None); // frame 0
+        assert_eq!(plan.on_response(), ResponseFault::None); // frame 1
+        assert_eq!(plan.on_response(), ResponseFault::DropMidFrame); // frame 2
+        assert_eq!(plan.on_response(), ResponseFault::None); // fired already
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn journal_points_match_global_and_per_state_counts() {
+        let plan = ServeFaultPlan::new(2)
+            .with(ServeFault::TornJournalTail { nth_append: 1 })
+            .with(ServeFault::CrashAtJournal {
+                state: JournalState::Started,
+                nth: 1,
+            });
+        // Append 0 (submitted): nothing due.
+        assert_eq!(
+            plan.on_journal_append(JournalState::Submitted),
+            JournalFault::None
+        );
+        // Append 1 (started #0): torn tail by global count.
+        assert_eq!(
+            plan.on_journal_append(JournalState::Started),
+            JournalFault::Torn
+        );
+        // Append 2 (started #1): crash by per-state count.
+        assert_eq!(
+            plan.on_journal_append(JournalState::Started),
+            JournalFault::Crash
+        );
+        assert_eq!(
+            plan.on_journal_append(JournalState::Started),
+            JournalFault::None
+        );
+    }
+
+    #[test]
+    fn stall_points_carry_their_duration() {
+        let plan = ServeFaultPlan::new(3).with(ServeFault::StalledWriter {
+            nth_response: 0,
+            stall_ms: 40,
+        });
+        assert_eq!(
+            plan.on_response(),
+            ResponseFault::Stall(Duration::from_millis(40))
+        );
+    }
+}

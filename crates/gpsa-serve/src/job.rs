@@ -216,6 +216,11 @@ pub struct JobSpec {
     pub priority: Priority,
     /// Wall-clock budget from submission to completion, if any.
     pub deadline: Option<Duration>,
+    /// Client-supplied idempotency key. Two submissions with the same key
+    /// are the same logical job: the second attaches to the first's
+    /// in-flight run or is answered from its committed result, even
+    /// across a server restart. Keys are journaled with the job.
+    pub idempotency_key: Option<String>,
 }
 
 /// What a completed run produced (the cacheable part of a response).

@@ -1,0 +1,537 @@
+//! The durable job journal: an append-only, fsync'd write-ahead log of
+//! job state transitions, plus the recovery scan that replays it.
+//!
+//! The engine's double-buffered value file (DESIGN.md §3.3) makes a
+//! single *run* crash-safe; the journal extends the same discipline to
+//! the *server*: every admitted job appends a `submitted` record before
+//! any superstep runs, `started` when a runner picks it up, and
+//! `committed` (or `failed`) when it resolves — each record fsync'd
+//! before the state change is acted on. A restarted server replays the
+//! log: jobs with a `submitted`/`started` record but no terminal record
+//! are re-enqueued and run again (job results are deterministic, so a
+//! replay is bit-identical to the lost run), and `committed` records
+//! rebuild the idempotency-key map so a client that never heard an
+//! answer can resubmit the same key and get the cached result.
+//!
+//! ## On-disk format
+//!
+//! One record per line: 8 lowercase hex digits of CRC32 over the JSON
+//! text, one space, the JSON, `\n`. A crash can tear at most the final
+//! record (appends are sequential); recovery scans forward and truncates
+//! the file at the first line that is incomplete, fails its CRC, or does
+//! not parse — the torn-tail handling the chaos suite exercises
+//! directly.
+//!
+//! ```text
+//! 3f1d9a02 {"state":"submitted","job_id":7,"graph_id":"web",...}
+//! 9c04e11b {"state":"started","job_id":7}
+//! 5ab77310 {"state":"committed","job_id":7,"epoch":1}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::job::{AlgorithmSpec, Priority};
+use crate::json::Json;
+
+#[cfg(feature = "chaos")]
+use crate::fault::{JournalFault, ServeFaultPlan};
+#[cfg(feature = "chaos")]
+use std::sync::Arc;
+
+/// The journal's job-lifecycle states, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalState {
+    /// Admitted: the server has taken responsibility for running the job.
+    Submitted,
+    /// A runner began executing supersteps.
+    Started,
+    /// The job completed and its result entered the cache.
+    Committed,
+    /// The job resolved with an error; it must not replay.
+    Failed,
+}
+
+impl JournalState {
+    /// Number of states (sizes the chaos plan's per-state counters).
+    pub const COUNT: usize = 4;
+
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JournalState::Submitted => "submitted",
+            JournalState::Started => "started",
+            JournalState::Committed => "committed",
+            JournalState::Failed => "failed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JournalState> {
+        match s {
+            "submitted" => Some(JournalState::Submitted),
+            "started" => Some(JournalState::Started),
+            "committed" => Some(JournalState::Committed),
+            "failed" => Some(JournalState::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// The job was admitted; everything needed to re-run it rides along.
+    Submitted {
+        /// Server-assigned job id (unique across restarts).
+        job_id: u64,
+        /// Client-supplied idempotency key, if any.
+        key: Option<String>,
+        /// Which resident graph the job targets.
+        graph_id: String,
+        /// What to run.
+        algorithm: AlgorithmSpec,
+        /// Queue class for the replay.
+        priority: Priority,
+    },
+    /// A runner began executing the job.
+    Started {
+        /// The job.
+        job_id: u64,
+    },
+    /// The job completed; its result is in the cache under this epoch.
+    Committed {
+        /// The job.
+        job_id: u64,
+        /// Registry epoch of the graph the result was computed against —
+        /// together with the `Submitted` record this reconstructs the
+        /// exact cache key.
+        epoch: u64,
+    },
+    /// The job resolved with an error and must not replay.
+    Failed {
+        /// The job.
+        job_id: u64,
+    },
+}
+
+impl JournalRecord {
+    /// Which lifecycle state this record advances its job to.
+    pub fn state(&self) -> JournalState {
+        match self {
+            JournalRecord::Submitted { .. } => JournalState::Submitted,
+            JournalRecord::Started { .. } => JournalState::Started,
+            JournalRecord::Committed { .. } => JournalState::Committed,
+            JournalRecord::Failed { .. } => JournalState::Failed,
+        }
+    }
+
+    /// The job this record belongs to.
+    pub fn job_id(&self) -> u64 {
+        match *self {
+            JournalRecord::Submitted { job_id, .. }
+            | JournalRecord::Started { job_id }
+            | JournalRecord::Committed { job_id, .. }
+            | JournalRecord::Failed { job_id } => job_id,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let base = Json::obj().set("state", Json::str(self.state().as_str()));
+        match self {
+            JournalRecord::Submitted {
+                job_id,
+                key,
+                graph_id,
+                algorithm,
+                priority,
+            } => {
+                let mut j = base
+                    .set("job_id", Json::num(*job_id))
+                    .set("graph_id", Json::str(graph_id))
+                    .set("algorithm", Json::str(algorithm.name()))
+                    .set("params", algorithm.params_json())
+                    .set("priority", Json::str(priority.as_str()));
+                if let Some(k) = key {
+                    j = j.set("key", Json::str(k));
+                }
+                j
+            }
+            JournalRecord::Started { job_id } | JournalRecord::Failed { job_id } => {
+                base.set("job_id", Json::num(*job_id))
+            }
+            JournalRecord::Committed { job_id, epoch } => base
+                .set("job_id", Json::num(*job_id))
+                .set("epoch", Json::num(*epoch)),
+        }
+    }
+
+    fn from_json(j: &Json) -> Option<JournalRecord> {
+        let state = JournalState::parse(j.get("state")?.as_str()?)?;
+        let job_id = j.get("job_id")?.as_u64()?;
+        Some(match state {
+            JournalState::Submitted => {
+                let empty = Json::obj();
+                let algorithm = AlgorithmSpec::parse(
+                    j.get("algorithm")?.as_str()?,
+                    j.get("params").unwrap_or(&empty),
+                )
+                .ok()?;
+                JournalRecord::Submitted {
+                    job_id,
+                    key: j.get("key").and_then(Json::as_str).map(str::to_string),
+                    graph_id: j.get("graph_id")?.as_str()?.to_string(),
+                    algorithm,
+                    priority: Priority::parse(
+                        j.get("priority").and_then(Json::as_str).unwrap_or("normal"),
+                    ),
+                }
+            }
+            JournalState::Started => JournalRecord::Started { job_id },
+            JournalState::Committed => JournalRecord::Committed {
+                job_id,
+                epoch: j.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+            },
+            JournalState::Failed => JournalRecord::Failed { job_id },
+        })
+    }
+}
+
+/// CRC32 (IEEE, reflected) over bytes — the same polynomial the value
+/// file uses for its commit headers.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode_line(rec: &JournalRecord) -> String {
+    let body = rec.to_json().encode();
+    format!("{:08x} {body}\n", crc32(body.as_bytes()))
+}
+
+/// Parse one `\n`-terminated line (without the newline). `None` means
+/// the line is torn or corrupt.
+fn decode_line(line: &str) -> Option<JournalRecord> {
+    let (crc_hex, body) = line.split_at_checked(8)?;
+    let body = body.strip_prefix(' ')?;
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(body.as_bytes()) != want {
+        return None;
+    }
+    JournalRecord::from_json(&Json::parse(body).ok()?)
+}
+
+/// The append-only journal file.
+pub struct JobJournal {
+    file: File,
+    path: PathBuf,
+    #[cfg(feature = "chaos")]
+    plan: Option<Arc<ServeFaultPlan>>,
+}
+
+impl std::fmt::Debug for JobJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobJournal").field("path", &self.path).finish()
+    }
+}
+
+impl JobJournal {
+    /// Open (or create) the journal at `path`, replaying every intact
+    /// record. A torn or corrupt tail is truncated away — the records
+    /// before it are returned, the garbage after it is gone, and the
+    /// journal is ready to append.
+    pub fn open(path: &Path) -> io::Result<(JobJournal, Vec<JournalRecord>)> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut records = Vec::new();
+        let mut valid_len = 0usize;
+        let mut offset = 0usize;
+        while offset < raw.len() {
+            let Some(nl) = raw[offset..].iter().position(|&b| b == b'\n') else {
+                break; // no newline: torn tail
+            };
+            let Ok(line) = std::str::from_utf8(&raw[offset..offset + nl]) else {
+                break;
+            };
+            let Some(rec) = decode_line(line) else {
+                break;
+            };
+            records.push(rec);
+            offset += nl + 1;
+            valid_len = offset;
+        }
+        if valid_len < raw.len() {
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+        }
+        Ok((
+            JobJournal {
+                file,
+                path: path.to_path_buf(),
+                #[cfg(feature = "chaos")]
+                plan: None,
+            },
+            records,
+        ))
+    }
+
+    /// Install a chaos fault plan consulted on every append.
+    #[cfg(feature = "chaos")]
+    pub fn set_fault_plan(&mut self, plan: Arc<ServeFaultPlan>) {
+        self.plan = Some(plan);
+    }
+
+    /// Append one record and fsync it. Returns only after the record is
+    /// durable — callers act on the state change strictly after this.
+    pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
+        let line = encode_line(rec);
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.plan {
+            match plan.on_journal_append(rec.state()) {
+                JournalFault::None => {}
+                JournalFault::Torn => {
+                    // A crash mid-append: half the bytes reach the file,
+                    // no fsync, and (in the tests that script this) the
+                    // process goes down before appending again.
+                    let torn = &line.as_bytes()[..line.len() / 2];
+                    self.file.write_all(torn)?;
+                    self.file.flush()?;
+                    return Ok(());
+                }
+                JournalFault::Crash => {
+                    eprintln!(
+                        "chaos: aborting at journal append {} (job {})",
+                        rec.state().as_str(),
+                        rec.job_id()
+                    );
+                    std::process::abort();
+                }
+            }
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Rewrite the journal to contain exactly `keep`, atomically
+    /// (tmp + fsync + rename). Run at boot after recovery: terminal
+    /// records for jobs nobody can ask about again are dropped, so the
+    /// log stays proportional to incomplete work plus keyed history
+    /// instead of growing forever.
+    pub fn compact(&mut self, keep: &[JournalRecord]) -> io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut f = File::create(&tmp)?;
+        for rec in keep {
+            f.write_all(encode_line(rec).as_bytes())?;
+        }
+        f.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Delete `job-*` scratch directories a crashed server left under
+/// `<work_dir>/jobs/`, returning the number of bytes reclaimed. A live
+/// server deletes each job's scratch as the job finishes, so anything
+/// found here is an orphan of a previous process.
+pub fn sweep_scratch_dirs(work_dir: &Path) -> u64 {
+    let jobs = work_dir.join("jobs");
+    let Ok(entries) = std::fs::read_dir(&jobs) else {
+        return 0;
+    };
+    let mut reclaimed = 0u64;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("job-") {
+            continue;
+        }
+        reclaimed += dir_bytes(&entry.path());
+        let _ = std::fs::remove_dir_all(entry.path());
+    }
+    reclaimed
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if meta.is_dir() {
+            total += dir_bytes(&entry.path());
+        } else {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gpsa-journal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn submitted(job_id: u64, key: Option<&str>) -> JournalRecord {
+        JournalRecord::Submitted {
+            job_id,
+            key: key.map(str::to_string),
+            graph_id: "g".to_string(),
+            algorithm: AlgorithmSpec::PageRank {
+                damping: 0.85,
+                supersteps: 5,
+            },
+            priority: Priority::High,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_lines() {
+        let recs = [
+            submitted(1, Some("k-1")),
+            submitted(2, None),
+            JournalRecord::Started { job_id: 1 },
+            JournalRecord::Committed { job_id: 1, epoch: 3 },
+            JournalRecord::Failed { job_id: 2 },
+        ];
+        for rec in &recs {
+            let line = encode_line(rec);
+            let back = decode_line(line.trim_end_matches('\n')).unwrap();
+            assert_eq!(&back, rec);
+        }
+    }
+
+    #[test]
+    fn append_and_reopen_replays_everything() {
+        let dir = tmp("replay");
+        let path = dir.join("journal.wal");
+        let (mut j, recs) = JobJournal::open(&path).unwrap();
+        assert!(recs.is_empty());
+        j.append(&submitted(1, Some("k"))).unwrap();
+        j.append(&JournalRecord::Started { job_id: 1 }).unwrap();
+        j.append(&JournalRecord::Committed { job_id: 1, epoch: 1 })
+            .unwrap();
+        drop(j);
+        let (_, recs) = JobJournal::open(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], submitted(1, Some("k")));
+        assert_eq!(recs[2].state(), JournalState::Committed);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_continues() {
+        let dir = tmp("torn");
+        let path = dir.join("journal.wal");
+        let (mut j, _) = JobJournal::open(&path).unwrap();
+        j.append(&submitted(1, None)).unwrap();
+        j.append(&JournalRecord::Started { job_id: 1 }).unwrap();
+        drop(j);
+        // Tear the tail: append half of a third record, no newline.
+        let line = encode_line(&JournalRecord::Committed { job_id: 1, epoch: 1 });
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&line.as_bytes()[..line.len() / 2]).unwrap();
+        drop(f);
+        // Recovery: the two whole records survive, the torn tail is gone.
+        let (mut j, recs) = JobJournal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        // The file is usable again: a fresh append lands on a clean tail.
+        j.append(&JournalRecord::Committed { job_id: 1, epoch: 1 })
+            .unwrap();
+        drop(j);
+        let (_, recs) = JobJournal::open(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], JournalRecord::Committed { job_id: 1, epoch: 1 });
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_from_the_bad_record() {
+        let dir = tmp("crc");
+        let path = dir.join("journal.wal");
+        let (mut j, _) = JobJournal::open(&path).unwrap();
+        j.append(&submitted(1, None)).unwrap();
+        j.append(&submitted(2, None)).unwrap();
+        drop(j);
+        // Flip a byte inside the second record's JSON.
+        let mut raw = std::fs::read(&path).unwrap();
+        let first_len = encode_line(&submitted(1, None)).len();
+        raw[first_len + 12] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, recs) = JobJournal::open(&path).unwrap();
+        assert_eq!(recs, vec![submitted(1, None)]);
+        // Everything after the corrupt record was discarded on disk too.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            first_len as u64,
+            "truncation must be physical, not just logical"
+        );
+    }
+
+    #[test]
+    fn compact_rewrites_atomically() {
+        let dir = tmp("compact");
+        let path = dir.join("journal.wal");
+        let (mut j, _) = JobJournal::open(&path).unwrap();
+        for id in 1..=4 {
+            j.append(&submitted(id, None)).unwrap();
+            j.append(&JournalRecord::Committed {
+                job_id: id,
+                epoch: 1,
+            })
+            .unwrap();
+        }
+        j.compact(&[submitted(9, Some("keep"))]).unwrap();
+        // Appends keep working against the compacted file.
+        j.append(&JournalRecord::Started { job_id: 9 }).unwrap();
+        drop(j);
+        let (_, recs) = JobJournal::open(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], submitted(9, Some("keep")));
+        assert_eq!(recs[1], JournalRecord::Started { job_id: 9 });
+    }
+
+    #[test]
+    fn scratch_sweep_reclaims_orphans_only() {
+        let dir = tmp("sweep");
+        let jobs = dir.join("jobs");
+        std::fs::create_dir_all(jobs.join("job-3")).unwrap();
+        std::fs::create_dir_all(jobs.join("job-4/nested")).unwrap();
+        std::fs::create_dir_all(jobs.join("unrelated")).unwrap();
+        std::fs::write(jobs.join("job-3/values.gval"), vec![0u8; 100]).unwrap();
+        std::fs::write(jobs.join("job-4/nested/x"), vec![0u8; 28]).unwrap();
+        std::fs::write(jobs.join("unrelated/y"), vec![0u8; 9]).unwrap();
+        assert_eq!(sweep_scratch_dirs(&dir), 128);
+        assert!(!jobs.join("job-3").exists());
+        assert!(!jobs.join("job-4").exists());
+        assert!(jobs.join("unrelated/y").exists(), "non-job dirs survive");
+        // Idempotent, and a missing jobs dir is fine.
+        assert_eq!(sweep_scratch_dirs(&dir), 0);
+        assert_eq!(sweep_scratch_dirs(&dir.join("absent")), 0);
+    }
+}

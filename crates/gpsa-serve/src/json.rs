@@ -88,7 +88,7 @@ impl Json {
     /// The value as a non-negative integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT_INT => Some(*n as u64),
             _ => None,
         }
     }
@@ -183,12 +183,17 @@ impl fmt::Display for Json {
     }
 }
 
+/// Largest f64 whose integral values are all exactly representable
+/// (`2^53 - 1`); integers at or below this round-trip through `Json::Num`
+/// bit-for-bit.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_991.0;
+
 fn encode_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Inf; the protocol never produces them, but a
         // defensive null beats emitting an unparseable token.
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() <= 9e15 {
+    } else if n.fract() == 0.0 && n.abs() <= MAX_EXACT_INT {
         out.push_str(&format!("{}", n as i64));
     } else {
         // Rust's f64 Display prints the shortest string that round-trips.

@@ -17,7 +17,12 @@
 //!   responses.
 //! - [`registry`] / [`cache`]: resident state — shared read-only
 //!   [`gpsa_graph::DiskCsr`] mmaps with epochs, and LRU'd results keyed
-//!   by `(graph, algorithm, params, epoch)`.
+//!   by `(graph, algorithm, params, epoch)`. Both persist: the registry
+//!   writes a manifest, the cache spills entries to disk, and a restarted
+//!   server restores both.
+//! - [`journal`]: the append-only, fsync'd job WAL that makes the server
+//!   itself crash-safe — incomplete jobs replay on restart, and
+//!   idempotency keys answer resubmissions without rerunning.
 //! - [`scheduler`]: the policy actor plus its runner fleet, on the same
 //!   [`actor`] runtime the engine uses.
 //! - [`server`] / [`client`]: the TCP endpoints.
@@ -45,7 +50,10 @@ pub mod cache;
 pub mod client;
 pub mod config;
 pub mod error;
+#[cfg(feature = "chaos")]
+pub mod fault;
 pub mod job;
+pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod scheduler;
@@ -54,10 +62,13 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{Client, ClientError, SubmitRequest};
+pub use client::{Client, ClientError, RetryPolicy, SubmitRequest};
 pub use config::ServeConfig;
 pub use error::ServeError;
+#[cfg(feature = "chaos")]
+pub use fault::{ServeFault, ServeFaultPlan};
 pub use job::{AlgorithmSpec, JobOutcome, JobResponse, JobSpec, Priority, ValueType};
+pub use journal::{JobJournal, JournalRecord, JournalState};
 pub use registry::{GraphInfo, GraphRegistry};
 pub use server::{start, ServerHandle};
 pub use stats::ServerStats;

@@ -7,14 +7,26 @@
 //! `Arc` clones. Re-registering an id **bumps its epoch** — the epoch is
 //! part of every result-cache key, so stale cached results can never be
 //! served for a replaced graph.
+//!
+//! With a manifest path attached, the registry is also **durable**: every
+//! successful register rewrites a small JSON manifest (atomically —
+//! tmp + fsync + rename) recording each graph's id, path, epoch, and the
+//! file's size/mtime at registration. A restarted server re-opens every
+//! manifest entry; if the underlying `.gcsr` changed while the server was
+//! down, the entry's epoch is bumped on restore, so cached results from
+//! the old bytes structurally stop matching.
 
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use gpsa_graph::DiskCsr;
 
 use crate::error::ServeError;
+use crate::json::Json;
 
 /// One resident graph.
 #[derive(Debug, Clone)]
@@ -47,15 +59,144 @@ pub struct GraphInfo {
 pub struct GraphRegistry {
     graphs: HashMap<String, GraphEntry>,
     budget_bytes: u64,
+    manifest: Option<PathBuf>,
+}
+
+/// `(size, mtime_secs, mtime_nanos)` of a file — the change detector the
+/// manifest stores per graph.
+fn file_stamp(path: &Path) -> (u64, u64, u64) {
+    let Ok(meta) = std::fs::metadata(path) else {
+        return (0, 0, 0);
+    };
+    let (s, ns) = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+        .map(|d| (d.as_secs(), d.subsec_nanos() as u64))
+        .unwrap_or((0, 0));
+    (meta.len(), s, ns)
 }
 
 impl GraphRegistry {
-    /// An empty registry with the given resident-byte budget
+    /// An empty, memory-only registry with the given resident-byte budget
     /// (`u64::MAX` = unlimited).
     pub fn new(budget_bytes: u64) -> Self {
         GraphRegistry {
             graphs: HashMap::new(),
             budget_bytes,
+            manifest: None,
+        }
+    }
+
+    /// A durable registry backed by `manifest`, restoring every entry a
+    /// previous server persisted there. Restore is best-effort and never
+    /// fails the boot: entries whose file vanished or no longer opens are
+    /// dropped (with a note on stderr), entries whose file changed since
+    /// registration come back with a **bumped epoch**. Returns the
+    /// registry and how many graphs were restored.
+    pub fn open(budget_bytes: u64, manifest: PathBuf) -> (Self, usize) {
+        let mut reg = GraphRegistry {
+            graphs: HashMap::new(),
+            budget_bytes,
+            manifest: Some(manifest.clone()),
+        };
+        let rows = match std::fs::read_to_string(&manifest).ok().and_then(|text| {
+            Json::parse(&text)
+                .ok()
+                .and_then(|j| j.get("graphs").and_then(|g| g.as_arr().map(<[Json]>::to_vec)))
+        }) {
+            Some(rows) => rows,
+            None => return (reg, 0),
+        };
+        let mut changed = false;
+        for row in &rows {
+            let Some((id, path)) = row
+                .get("graph_id")
+                .and_then(Json::as_str)
+                .zip(row.get("path").and_then(Json::as_str))
+            else {
+                continue;
+            };
+            let path = PathBuf::from(path);
+            let graph = match DiskCsr::open(&path) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!(
+                        "gpsa-serve: dropping graph {id:?} on restore: cannot open {}: {e}",
+                        path.display()
+                    );
+                    changed = true;
+                    continue;
+                }
+            };
+            if reg.resident_bytes() + graph.file_bytes() as u64 > reg.budget_bytes {
+                eprintln!("gpsa-serve: dropping graph {id:?} on restore: over memory budget");
+                changed = true;
+                continue;
+            }
+            let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let mut epoch = u("epoch").max(1);
+            if file_stamp(&path) != (u("bytes"), u("mtime_s"), u("mtime_ns")) {
+                // The file changed while the server was down: same id, new
+                // bytes. Bump the epoch so old cached results can't match.
+                epoch += 1;
+                changed = true;
+            }
+            reg.graphs.insert(
+                id.to_string(),
+                GraphEntry {
+                    graph: Arc::new(graph),
+                    path,
+                    epoch,
+                },
+            );
+        }
+        if changed {
+            reg.persist();
+        }
+        let n = reg.graphs.len();
+        (reg, n)
+    }
+
+    /// Rewrite the manifest to match resident state, atomically. A no-op
+    /// for memory-only registries; failures are reported, not fatal (the
+    /// server keeps serving, it just restores less after the next crash).
+    fn persist(&self) {
+        let Some(manifest) = &self.manifest else {
+            return;
+        };
+        let mut rows: Vec<&str> = self.graphs.keys().map(String::as_str).collect();
+        rows.sort_unstable();
+        let graphs: Vec<Json> = rows
+            .iter()
+            .map(|id| {
+                let e = &self.graphs[*id];
+                let (bytes, mtime_s, mtime_ns) = file_stamp(&e.path);
+                Json::obj()
+                    .set("graph_id", Json::str(*id))
+                    .set("path", Json::str(e.path.to_string_lossy()))
+                    .set("epoch", Json::num(e.epoch))
+                    .set("bytes", Json::num(bytes))
+                    .set("mtime_s", Json::num(mtime_s))
+                    .set("mtime_ns", Json::num(mtime_ns))
+            })
+            .collect();
+        let body = Json::obj().set("graphs", Json::Arr(graphs)).encode();
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = manifest.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            let tmp = manifest.with_extension("manifest.tmp");
+            let mut f = File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, manifest)
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "gpsa-serve: cannot persist registry manifest {}: {e}",
+                manifest.display()
+            );
         }
     }
 
@@ -91,6 +232,7 @@ impl GraphRegistry {
             epoch,
         };
         self.graphs.insert(id.to_string(), entry.clone());
+        self.persist();
         Ok(entry)
     }
 
@@ -122,6 +264,15 @@ impl GraphRegistry {
         self.budget_bytes
     }
 
+    /// Current `graph_id → epoch` map (what the result cache validates
+    /// restored entries against).
+    pub fn epochs(&self) -> HashMap<String, u64> {
+        self.graphs
+            .iter()
+            .map(|(id, e)| (id.clone(), e.epoch))
+            .collect()
+    }
+
     /// Snapshot of every resident graph, sorted by id.
     pub fn list(&self) -> Vec<GraphInfo> {
         let mut rows: Vec<GraphInfo> = self
@@ -151,6 +302,13 @@ mod tests {
         let path = dir.join(format!("{tag}.gcsr"));
         preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
         path
+    }
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-serve-man-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -214,5 +372,79 @@ mod tests {
         assert_eq!(rows[0].graph_id, "aa");
         assert_eq!(rows[1].graph_id, "zz");
         assert_eq!(reg.resident_bytes(), rows[0].bytes + rows[1].bytes);
+    }
+
+    #[test]
+    fn manifest_restores_graphs_and_epochs() {
+        let dir = test_dir("restore");
+        let manifest = dir.join("registry.manifest");
+        let a = materialize("ma", generate::cycle(16));
+        let b = materialize("mb", generate::chain(8));
+        {
+            let (mut reg, restored) = GraphRegistry::open(u64::MAX, manifest.clone());
+            assert_eq!(restored, 0);
+            reg.register("a", &a).unwrap();
+            reg.register("a", &a).unwrap(); // epoch 2
+            reg.register("b", &b).unwrap();
+        }
+        let (reg, restored) = GraphRegistry::open(u64::MAX, manifest);
+        assert_eq!(restored, 2);
+        assert_eq!(reg.get("a").unwrap().1, 2, "epochs survive restart");
+        assert_eq!(reg.get("b").unwrap().1, 1);
+        assert_eq!(reg.get("a").unwrap().0.n_vertices(), 16);
+        // Registering after restore keeps counting from the restored epoch.
+        let mut reg = reg;
+        assert_eq!(reg.register("a", &a).unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn changed_file_bumps_epoch_on_restore() {
+        let dir = test_dir("changed");
+        let manifest = dir.join("registry.manifest");
+        let path = materialize("mc", generate::cycle(16));
+        {
+            let (mut reg, _) = GraphRegistry::open(u64::MAX, manifest.clone());
+            reg.register("g", &path).unwrap();
+        }
+        // Replace the graph file while the "server" is down.
+        gpsa_graph::preprocess::edges_to_csr(
+            generate::cycle(32),
+            &path,
+            &gpsa_graph::preprocess::PreprocessOptions::default(),
+        )
+        .unwrap();
+        let (reg, restored) = GraphRegistry::open(u64::MAX, manifest.clone());
+        assert_eq!(restored, 1);
+        let (graph, epoch) = reg.get("g").unwrap();
+        assert_eq!(epoch, 2, "changed bytes must look like a re-register");
+        assert_eq!(graph.n_vertices(), 32);
+        // The bump was persisted: a second restart does not bump again.
+        drop(reg);
+        let (reg, _) = GraphRegistry::open(u64::MAX, manifest);
+        assert_eq!(reg.get("g").unwrap().1, 2);
+    }
+
+    #[test]
+    fn missing_file_is_dropped_on_restore() {
+        let dir = test_dir("missing");
+        let manifest = dir.join("registry.manifest");
+        let keep = materialize("mk", generate::chain(8));
+        let doomed = dir.join("doomed.gcsr");
+        gpsa_graph::preprocess::edges_to_csr(
+            generate::chain(8),
+            &doomed,
+            &gpsa_graph::preprocess::PreprocessOptions::default(),
+        )
+        .unwrap();
+        {
+            let (mut reg, _) = GraphRegistry::open(u64::MAX, manifest.clone());
+            reg.register("keep", &keep).unwrap();
+            reg.register("doomed", &doomed).unwrap();
+        }
+        std::fs::remove_file(&doomed).unwrap();
+        let (reg, restored) = GraphRegistry::open(u64::MAX, manifest);
+        assert_eq!(restored, 1);
+        assert!(reg.get("keep").is_some());
+        assert!(reg.get("doomed").is_none());
     }
 }

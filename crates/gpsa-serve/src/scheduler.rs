@@ -2,36 +2,48 @@
 //! runtime the engine itself uses.
 //!
 //! One [`Scheduler`] actor owns *all* mutable server state — registry,
-//! cache, queues, counters — so there is no locking anywhere in the
-//! serving path; connection threads talk to it purely by message.
-//! `max_concurrent_jobs` [`Runner`] actors execute jobs; each engine run
-//! blocks its runner for the duration, which is why the serve
-//! [`actor::System`] is sized with one worker thread per runner plus one
-//! so the scheduler always stays responsive.
+//! cache, queues, journal, idempotency map, counters — so there is no
+//! locking anywhere in the serving path; connection threads talk to it
+//! purely by message. `max_concurrent_jobs` [`Runner`] actors execute
+//! jobs; each engine run blocks its runner for the duration, which is why
+//! the serve [`actor::System`] is sized with one worker thread per runner
+//! plus one so the scheduler always stays responsive.
 //!
-//! Admission control (tentpole): a submit that finds an idle runner
-//! starts immediately; otherwise it queues FIFO within its priority
-//! class; a full queue answers `server_busy` without disturbing in-flight
-//! work. Deadlines are re-checked at every hand-off point (queue pop and
-//! run start), and running jobs arm the engine's superstep watchdog with
+//! Admission control: a submit that finds an idle runner starts
+//! immediately; otherwise it queues FIFO within its priority class; a
+//! full queue answers `server_busy` without disturbing in-flight work.
+//! Deadlines are re-checked at every hand-off point (queue pop and run
+//! start), and running jobs arm the engine's superstep watchdog with
 //! their remaining budget so a wedged run is torn down rather than
 //! holding a runner forever.
+//!
+//! Durability (when [`ServeConfig::durable`]): every admitted job is
+//! journaled `submitted → started → committed|failed`, fsync'd before the
+//! state change takes effect. Construction replays the journal: the
+//! scheduler sweeps orphaned job scratch, restores the registry from its
+//! manifest and the result cache from its spill directory, rebuilds the
+//! idempotency map from committed keyed jobs, and re-enqueues every
+//! incomplete job — results are deterministic, so a replayed run answers
+//! a later resubmission of the same idempotency key bit-identically to
+//! the run the crash destroyed.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use actor::{Actor, Addr, Ctx};
 use crossbeam_channel::Sender;
 use gpsa::{Engine, EngineError};
 use gpsa_graph::DiskCsr;
+use gpsa_metrics::timer::Timer;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::job::{run_job, JobOutcome, JobResponse, JobTicket, Priority};
+use crate::job::{run_job, JobOutcome, JobResponse, JobSpec, JobTicket, Priority, SubmitReply};
+use crate::journal::{sweep_scratch_dirs, JobJournal, JournalRecord};
 use crate::registry::{GraphInfo, GraphRegistry};
 use crate::stats::ServerStats;
 
@@ -63,6 +75,8 @@ pub enum SchedulerMsg {
         /// The snapshot.
         reply: Sender<ServerStats>,
     },
+    /// A connection was shed for stalling mid-frame (bookkeeping only).
+    NoteShed,
     /// A runner finished (successfully or not); always sent, even when
     /// the job panicked, so runner capacity can never leak.
     Done {
@@ -86,11 +100,32 @@ struct QueuedJob {
     epoch: u64,
 }
 
+/// What an idempotency key currently maps to.
+enum IdemState {
+    /// The keyed job is queued or running; resubmissions of the key park
+    /// their reply channels here and are all answered when it resolves.
+    InFlight {
+        waiters: Vec<Sender<SubmitReply>>,
+    },
+    /// The keyed job committed; resubmissions resolve through the result
+    /// cache under this key (and fall back to a fresh run if the entry
+    /// was evicted).
+    Completed {
+        key: CacheKey,
+    },
+}
+
 /// The scheduler actor.
 pub struct Scheduler {
     config: ServeConfig,
     registry: GraphRegistry,
     cache: ResultCache,
+    journal: Option<JobJournal>,
+    idem: HashMap<String, IdemState>,
+    /// Incomplete journaled jobs awaiting replay, built during recovery
+    /// and enqueued in [`Actor::started`] once runners exist.
+    replay: Vec<JobTicket>,
+    next_job_id: u64,
     queue_high: VecDeque<QueuedJob>,
     queue_normal: VecDeque<QueuedJob>,
     runners: Vec<Addr<Runner>>,
@@ -100,18 +135,123 @@ pub struct Scheduler {
     jobs_rejected: u64,
     jobs_deadline: u64,
     jobs_failed: u64,
+    jobs_replayed: u64,
+    idempotent_hits: u64,
+    conns_shed: u64,
+    scratch_reclaimed_bytes: u64,
+}
+
+/// A reply channel nobody listens on, for replayed tickets: the client
+/// that submitted the original job is gone, so the result only needs to
+/// reach the cache and the idempotency map.
+fn dead_reply() -> Sender<SubmitReply> {
+    crossbeam_channel::bounded(1).0
 }
 
 impl Scheduler {
-    /// Build a scheduler for `config`. Runners are spawned in
+    /// Build a scheduler for `config`. With durability on this is where
+    /// crash recovery happens: scratch sweep, registry/cache restore,
+    /// journal replay and compaction — all before the listener accepts a
+    /// single connection. Every step is best-effort: a damaged artifact
+    /// costs restored state (reported on stderr), never the boot.
+    /// Runners are spawned — and replayed jobs enqueued — in
     /// [`Actor::started`], once the scheduler has an address.
     pub fn new(config: ServeConfig) -> Self {
-        let registry = GraphRegistry::new(config.memory_budget_bytes);
-        let cache = ResultCache::new(config.cache_capacity);
+        let mut scratch_reclaimed_bytes = 0;
+        let mut journal = None;
+        let mut idem = HashMap::new();
+        let mut replay = Vec::new();
+        let mut next_job_id = 1;
+
+        let (registry, mut cache) = if config.durable {
+            scratch_reclaimed_bytes = sweep_scratch_dirs(&config.work_dir);
+            let (registry, restored) =
+                GraphRegistry::open(config.memory_budget_bytes, config.manifest_path());
+            if restored > 0 {
+                eprintln!("gpsa-serve: restored {restored} graph(s) from the manifest");
+            }
+            let cache = ResultCache::open(config.cache_capacity, config.cache_spill_dir());
+            (registry, cache)
+        } else {
+            (
+                GraphRegistry::new(config.memory_budget_bytes),
+                ResultCache::new(config.cache_capacity),
+            )
+        };
+        // Entries for graphs that vanished or changed on disk while the
+        // server was down must not be served.
+        cache.retain_valid(&registry.epochs());
+
+        if config.durable {
+            match JobJournal::open(&config.journal_path()) {
+                Ok((mut j, records)) => {
+                    let analysis = analyze(&records);
+                    next_job_id = analysis.max_job_id + 1;
+                    for (key, cache_key) in analysis.completed_keys {
+                        idem.insert(key, IdemState::Completed { key: cache_key });
+                    }
+                    for rec in &analysis.incomplete {
+                        let JournalRecord::Submitted {
+                            job_id,
+                            key,
+                            graph_id,
+                            algorithm,
+                            priority,
+                        } = rec
+                        else {
+                            continue;
+                        };
+                        if let Some(k) = key {
+                            idem.insert(
+                                k.clone(),
+                                IdemState::InFlight {
+                                    waiters: Vec::new(),
+                                },
+                            );
+                        }
+                        replay.push(JobTicket {
+                            job_id: *job_id,
+                            spec: JobSpec {
+                                graph_id: graph_id.clone(),
+                                algorithm: *algorithm,
+                                priority: *priority,
+                                // The original deadline died with the
+                                // original client; the replay runs for the
+                                // journal's sake, unbudgeted.
+                                deadline: None,
+                                idempotency_key: key.clone(),
+                            },
+                            submitted: Instant::now(),
+                            timer: Timer::start(),
+                            reply: dead_reply(),
+                        });
+                    }
+                    if let Err(e) = j.compact(&analysis.keep) {
+                        eprintln!("gpsa-serve: journal compaction failed: {e}");
+                    }
+                    #[cfg(feature = "chaos")]
+                    if let Some(plan) = &config.fault_plan {
+                        j.set_fault_plan(plan.clone());
+                    }
+                    journal = Some(j);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "gpsa-serve: cannot open job journal {}: {e}; running without one",
+                        config.journal_path().display()
+                    );
+                }
+            }
+        }
+
         Scheduler {
             config,
             registry,
             cache,
+            journal,
+            idem,
+            replay,
+            next_job_id,
             queue_high: VecDeque::new(),
             queue_normal: VecDeque::new(),
             runners: Vec::new(),
@@ -121,6 +261,19 @@ impl Scheduler {
             jobs_rejected: 0,
             jobs_deadline: 0,
             jobs_failed: 0,
+            jobs_replayed: 0,
+            idempotent_hits: 0,
+            conns_shed: 0,
+            scratch_reclaimed_bytes,
+        }
+    }
+
+    /// Append one record to the journal (fsync'd), if one is attached.
+    fn journal_append(&mut self, rec: &JournalRecord) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.append(rec) {
+                eprintln!("gpsa-serve: journal append failed: {e}");
+            }
         }
     }
 
@@ -144,6 +297,10 @@ impl Scheduler {
             max_concurrent_jobs: self.config.max_concurrent_jobs as u64,
             graphs_resident: self.registry.len() as u64,
             resident_bytes: self.registry.resident_bytes(),
+            jobs_replayed: self.jobs_replayed,
+            idempotent_hits: self.idempotent_hits,
+            conns_shed: self.conns_shed,
+            scratch_reclaimed_bytes: self.scratch_reclaimed_bytes,
         }
     }
 
@@ -180,6 +337,9 @@ impl Scheduler {
 
     fn dispatch(&mut self, job: QueuedJob) {
         let runner = self.idle.pop().expect("dispatch without an idle runner");
+        self.journal_append(&JournalRecord::Started {
+            job_id: job.ticket.job_id,
+        });
         // Send only fails during system shutdown, when no reply matters.
         let _ = self.runners[runner].send(RunJob {
             ticket: job.ticket,
@@ -201,7 +361,7 @@ impl Scheduler {
             };
             if job.ticket.remaining() == Some(Duration::ZERO) {
                 let wait = job.ticket.submitted.elapsed();
-                self.reply_err(
+                self.resolve_failure(
                     &job.ticket,
                     ServeError::DeadlineExceeded(format!(
                         "job {} expired after {wait:?} in the queue",
@@ -214,7 +374,41 @@ impl Scheduler {
         }
     }
 
-    fn handle_submit(&mut self, ticket: JobTicket) {
+    /// Answer a keyed submission from the idempotency map, if it can be.
+    /// `true` means the ticket was consumed (parked or answered).
+    fn try_idempotent(&mut self, ticket: &JobTicket) -> bool {
+        let Some(k) = ticket.spec.idempotency_key.as_deref() else {
+            return false;
+        };
+        match self.idem.get_mut(k) {
+            Some(IdemState::InFlight { waiters }) => {
+                // Same logical job, already on its way: park the reply.
+                waiters.push(ticket.reply.clone());
+                self.idempotent_hits += 1;
+                true
+            }
+            Some(IdemState::Completed { key }) => {
+                let key = key.clone();
+                match self.cache.get(&key) {
+                    Some(outcome) => {
+                        self.idempotent_hits += 1;
+                        self.reply_hit(ticket, outcome);
+                        true
+                    }
+                    // Committed but evicted since: the key's result is
+                    // recomputable (deterministic), so fall through to a
+                    // fresh run that will re-complete the key.
+                    None => false,
+                }
+            }
+            None => false,
+        }
+    }
+
+    fn handle_submit(&mut self, mut ticket: JobTicket) {
+        if self.try_idempotent(&ticket) {
+            return;
+        }
         let Some((graph, epoch)) = self.registry.get(&ticket.spec.graph_id) else {
             let id = ticket.spec.graph_id.clone();
             self.reply_err(
@@ -225,6 +419,10 @@ impl Scheduler {
         };
         let key = self.cache_key(&ticket, epoch);
         if let Some(outcome) = self.cache.get(&key) {
+            if let Some(k) = &ticket.spec.idempotency_key {
+                self.idem
+                    .insert(k.clone(), IdemState::Completed { key: key.clone() });
+            }
             self.reply_hit(&ticket, outcome);
             return;
         }
@@ -241,7 +439,24 @@ impl Scheduler {
             );
             return;
         }
+        ticket.job_id = self.next_job_id;
+        self.next_job_id += 1;
         self.jobs_submitted += 1;
+        self.journal_append(&JournalRecord::Submitted {
+            job_id: ticket.job_id,
+            key: ticket.spec.idempotency_key.clone(),
+            graph_id: ticket.spec.graph_id.clone(),
+            algorithm: ticket.spec.algorithm,
+            priority: ticket.spec.priority,
+        });
+        if let Some(k) = &ticket.spec.idempotency_key {
+            self.idem.insert(
+                k.clone(),
+                IdemState::InFlight {
+                    waiters: Vec::new(),
+                },
+            );
+        }
         let job = QueuedJob {
             ticket,
             graph,
@@ -257,6 +472,25 @@ impl Scheduler {
         }
     }
 
+    /// Resolve an admitted (journaled) job as failed: journal the terminal
+    /// record, fail any parked resubmissions of its key, answer the
+    /// submitter.
+    fn resolve_failure(&mut self, ticket: &JobTicket, err: ServeError) {
+        self.journal_append(&JournalRecord::Failed {
+            job_id: ticket.job_id,
+        });
+        if let Some(k) = &ticket.spec.idempotency_key {
+            // The key did not complete: forget it so a later resubmission
+            // gets a fresh attempt rather than a parked forever-wait.
+            if let Some(IdemState::InFlight { waiters }) = self.idem.remove(k) {
+                for w in waiters {
+                    let _ = w.send((Err(err.clone()), self.stats()));
+                }
+            }
+        }
+        self.reply_err(ticket, err);
+    }
+
     fn handle_done(
         &mut self,
         runner: usize,
@@ -267,10 +501,23 @@ impl Scheduler {
         self.idle.push(runner);
         match result {
             Ok(outcome) => {
+                self.journal_append(&JournalRecord::Committed {
+                    job_id: ticket.job_id,
+                    epoch,
+                });
                 self.jobs_completed += 1;
                 let outcome = Arc::new(outcome);
-                self.cache
-                    .put(self.cache_key(&ticket, epoch), outcome.clone());
+                let key = self.cache_key(&ticket, epoch);
+                self.cache.put(key.clone(), outcome.clone());
+                let mut waiters = Vec::new();
+                if let Some(k) = &ticket.spec.idempotency_key {
+                    if let Some(IdemState::InFlight { waiters: w }) = self
+                        .idem
+                        .insert(k.clone(), IdemState::Completed { key })
+                    {
+                        waiters = w;
+                    }
+                }
                 let queue_wait = ticket.timer.get("queue_wait").unwrap_or(Duration::ZERO);
                 let run_time = ticket.timer.get("run").unwrap_or(Duration::ZERO);
                 let stats = self.stats();
@@ -282,12 +529,94 @@ impl Scheduler {
                     run_time,
                     stats: stats.clone(),
                 };
+                for w in waiters {
+                    self.idempotent_hits += 1;
+                    let _ = w.send((Ok(resp.clone()), stats.clone()));
+                }
                 let _ = ticket.reply.send((Ok(resp), stats));
             }
-            Err(err) => self.reply_err(&ticket, err),
+            Err(err) => self.resolve_failure(&ticket, err),
         }
         self.drain_queue();
     }
+}
+
+/// What one pass over the recovered journal yields.
+struct Analysis {
+    /// Highest job id ever journaled (id assignment resumes above it).
+    max_job_id: u64,
+    /// `Submitted` records of jobs with no terminal record, in journal
+    /// order — the replay set.
+    incomplete: Vec<JournalRecord>,
+    /// `idempotency key → cache key` for committed keyed jobs.
+    completed_keys: Vec<(String, CacheKey)>,
+    /// Records the compacted journal must retain: the incomplete
+    /// submissions plus the `Submitted`/`Committed` pairs of keyed jobs
+    /// (they back the idempotency map across further restarts).
+    keep: Vec<JournalRecord>,
+}
+
+fn analyze(records: &[JournalRecord]) -> Analysis {
+    let mut max_job_id = 0;
+    let mut submitted: HashMap<u64, &JournalRecord> = HashMap::new();
+    let mut committed: HashMap<u64, u64> = HashMap::new(); // job_id → epoch
+    let mut failed: Vec<u64> = Vec::new();
+    let mut order: Vec<u64> = Vec::new();
+    for rec in records {
+        max_job_id = max_job_id.max(rec.job_id());
+        match rec {
+            JournalRecord::Submitted { job_id, .. } => {
+                if submitted.insert(*job_id, rec).is_none() {
+                    order.push(*job_id);
+                }
+            }
+            JournalRecord::Started { .. } => {}
+            JournalRecord::Committed { job_id, epoch } => {
+                committed.insert(*job_id, *epoch);
+            }
+            JournalRecord::Failed { job_id } => failed.push(*job_id),
+        }
+    }
+    let mut analysis = Analysis {
+        max_job_id,
+        incomplete: Vec::new(),
+        completed_keys: Vec::new(),
+        keep: Vec::new(),
+    };
+    for job_id in order {
+        let rec = submitted[&job_id];
+        let JournalRecord::Submitted {
+            key,
+            graph_id,
+            algorithm,
+            ..
+        } = rec
+        else {
+            unreachable!("submitted map holds only Submitted records");
+        };
+        if let Some(epoch) = committed.get(&job_id) {
+            if let Some(k) = key {
+                analysis.completed_keys.push((
+                    k.clone(),
+                    CacheKey {
+                        graph_id: graph_id.clone(),
+                        algorithm: algorithm.name().to_string(),
+                        params: algorithm.canonical_params(),
+                        epoch: *epoch,
+                    },
+                ));
+                analysis.keep.push(rec.clone());
+                analysis.keep.push(JournalRecord::Committed {
+                    job_id,
+                    epoch: *epoch,
+                });
+            }
+        } else if !failed.contains(&job_id) {
+            analysis.incomplete.push(rec.clone());
+            analysis.keep.push(rec.clone());
+        }
+    }
+    analysis
 }
 
 impl Actor for Scheduler {
@@ -303,6 +632,35 @@ impl Actor for Scheduler {
             self.runners.push(ctx.system().spawn(runner));
             self.idle.push(id);
         }
+        // Replay incomplete journaled jobs, oldest first. They bypass the
+        // admission queue's capacity (they were admitted before the crash;
+        // refusing them now would break the journal's promise) but share
+        // runners fairly with new work via the normal queues.
+        for ticket in std::mem::take(&mut self.replay) {
+            let Some((graph, epoch)) = self.registry.get(&ticket.spec.graph_id) else {
+                // The graph did not survive the restart; the job cannot.
+                self.resolve_failure(
+                    &ticket,
+                    ServeError::UnknownGraph(format!(
+                        "graph {:?} was not restored; job {} cannot replay",
+                        ticket.spec.graph_id, ticket.job_id
+                    )),
+                );
+                continue;
+            };
+            self.jobs_replayed += 1;
+            self.jobs_submitted += 1;
+            let job = QueuedJob {
+                ticket,
+                graph,
+                epoch,
+            };
+            match job.ticket.spec.priority {
+                Priority::High => self.queue_high.push_back(job),
+                Priority::Normal => self.queue_normal.push_back(job),
+            }
+        }
+        self.drain_queue();
     }
 
     fn handle(&mut self, msg: SchedulerMsg, _ctx: &mut Ctx<'_, Self>) {
@@ -333,6 +691,7 @@ impl Actor for Scheduler {
             SchedulerMsg::GetStats { reply } => {
                 let _ = reply.send(self.stats());
             }
+            SchedulerMsg::NoteShed => self.conns_shed += 1,
             SchedulerMsg::Done {
                 runner,
                 ticket,
@@ -446,5 +805,61 @@ impl Actor for Runner {
             epoch,
             result,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::AlgorithmSpec;
+
+    fn submitted(job_id: u64, key: Option<&str>) -> JournalRecord {
+        JournalRecord::Submitted {
+            job_id,
+            key: key.map(str::to_string),
+            graph_id: "g".to_string(),
+            algorithm: AlgorithmSpec::Bfs { root: 0 },
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn analysis_separates_incomplete_from_terminal() {
+        let records = vec![
+            submitted(1, None),
+            JournalRecord::Started { job_id: 1 },
+            JournalRecord::Committed { job_id: 1, epoch: 1 },
+            submitted(2, Some("k2")),
+            JournalRecord::Started { job_id: 2 },
+            submitted(3, None),
+            JournalRecord::Failed { job_id: 3 },
+            submitted(4, None),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.max_job_id, 4);
+        let ids: Vec<u64> = a.incomplete.iter().map(JournalRecord::job_id).collect();
+        assert_eq!(ids, vec![2, 4], "started-not-committed and submitted-only");
+        assert!(a.completed_keys.is_empty(), "job 1 had no key");
+        // keep = the two incomplete submissions, nothing else.
+        assert_eq!(a.keep.len(), 2);
+    }
+
+    #[test]
+    fn analysis_maps_committed_keys_to_cache_keys() {
+        let records = vec![
+            submitted(1, Some("alpha")),
+            JournalRecord::Committed { job_id: 1, epoch: 7 },
+        ];
+        let a = analyze(&records);
+        assert!(a.incomplete.is_empty());
+        assert_eq!(a.completed_keys.len(), 1);
+        let (k, ck) = &a.completed_keys[0];
+        assert_eq!(k, "alpha");
+        assert_eq!(ck.graph_id, "g");
+        assert_eq!(ck.algorithm, "bfs");
+        assert_eq!(ck.epoch, 7);
+        // The keyed pair is retained by compaction so the idempotency map
+        // survives a second restart.
+        assert_eq!(a.keep.len(), 2);
     }
 }

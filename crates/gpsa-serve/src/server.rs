@@ -18,16 +18,27 @@
 //! | `register_graph` | `graph_id`, `path`                                         |
 //! | `list_graphs`    | —                                                          |
 //! | `stats`          | —                                                          |
-//! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?` |
+//! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?`, `idempotency_key?` |
 //! | `shutdown`       | —                                                          |
 //!
 //! Every response has `"ok"` and (except `ping`) a `"stats"` counter
 //! object; failures carry the stable `"code"` / `"message"` pair from
-//! [`ServeError`].
+//! [`ServeError`] plus a `"retriable"` flag for transient failures.
+//!
+//! ## Socket hygiene
+//!
+//! A connection may idle between frames forever, but once a request frame
+//! *starts* arriving it must finish within
+//! [`ServeConfig::frame_read_timeout`]: the first length byte is read
+//! with no deadline, the rest of the frame under one. A peer that stalls
+//! mid-frame is **shed** — best-effort `slow_client` error frame, then
+//! close — so a hostile or wedged client pins a connection thread for a
+//! bounded time only, and other clients keep being served. Response
+//! writes are bounded by [`ServeConfig::write_timeout`] at the OS level.
 
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,7 +54,7 @@ use crate::json::Json;
 use crate::registry::GraphInfo;
 use crate::scheduler::{Scheduler, SchedulerMsg};
 use crate::stats::ServerStats;
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame_resumed, write_frame};
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
@@ -59,7 +70,6 @@ pub struct ServerHandle {
 struct Shared {
     scheduler: Addr<Scheduler>,
     config: ServeConfig,
-    next_job_id: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
 }
@@ -81,7 +91,6 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let shared = Shared {
         scheduler: scheduler.clone(),
         config,
-        next_job_id: Arc::new(AtomicU64::new(1)),
         shutdown: shutdown.clone(),
         addr,
     };
@@ -158,11 +167,44 @@ fn accept_loop(listener: TcpListener, shared: Shared) {
     }
 }
 
+/// Read-timeout expiries surface as `WouldBlock` (Unix) or `TimedOut`
+/// depending on platform; both mean the peer stalled past the deadline.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(mut stream: TcpStream, shared: Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     loop {
-        let req = match read_frame(&mut stream) {
-            Ok(Some(req)) => req,
-            Ok(None) => return, // clean close between frames
+        // Phase 1: wait for a frame to start, with no deadline — an idle
+        // connection held open between requests is fine.
+        let _ = stream.set_read_timeout(None);
+        let mut first = [0u8; 1];
+        let first = loop {
+            match stream.read(&mut first) {
+                Ok(0) => return, // clean close between frames
+                Ok(_) => break first[0],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        };
+        // Phase 2: the frame has started; the rest must land within the
+        // deadline or this client is shed to free the thread.
+        let _ = stream.set_read_timeout(Some(shared.config.frame_read_timeout));
+        let req = match read_frame_resumed(&mut stream, first) {
+            Ok(req) => req,
+            Err(e) if is_timeout(&e) => {
+                let _ = shared.scheduler.send(SchedulerMsg::NoteShed);
+                let err = ServeError::SlowClient(format!(
+                    "request frame stalled past {:?}; connection shed",
+                    shared.config.frame_read_timeout
+                ));
+                let _ = write_frame(&mut stream, &error_frame(&err, None));
+                return;
+            }
             Err(_) => {
                 // Can't resynchronize a broken frame stream; best-effort
                 // error frame, then drop the connection.
@@ -172,7 +214,7 @@ fn handle_connection(mut stream: TcpStream, shared: Shared) {
             }
         };
         let resp = handle_request(&req, &shared);
-        if write_frame(&mut stream, &resp).is_err() {
+        if write_response(&mut stream, &resp, &shared).is_err() {
             return;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -181,12 +223,51 @@ fn handle_connection(mut stream: TcpStream, shared: Shared) {
     }
 }
 
+/// Write one response frame, with the chaos plan's scripted network
+/// faults injected here (and only here) when the feature is on.
+fn write_response(stream: &mut TcpStream, resp: &Json, shared: &Shared) -> io::Result<()> {
+    #[cfg(feature = "chaos")]
+    if let Some(plan) = &shared.config.fault_plan {
+        use crate::fault::ResponseFault;
+        use std::io::Write;
+        match plan.on_response() {
+            ResponseFault::None => {}
+            ResponseFault::DropMidFrame => {
+                // Announce the full frame, deliver half of it, vanish.
+                let body = resp.encode();
+                stream.write_all(&(body.len() as u32).to_be_bytes())?;
+                stream.write_all(&body.as_bytes()[..body.len() / 2])?;
+                stream.flush()?;
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "chaos: connection dropped mid-frame",
+                ));
+            }
+            ResponseFault::Stall(pause) => {
+                let body = resp.encode();
+                stream.write_all(&(body.len() as u32).to_be_bytes())?;
+                stream.write_all(&body.as_bytes()[..body.len() / 2])?;
+                stream.flush()?;
+                std::thread::sleep(pause);
+                stream.write_all(&body.as_bytes()[body.len() / 2..])?;
+                return stream.flush();
+            }
+        }
+    }
+    let _ = shared; // quiet the unused warning without the chaos feature
+    write_frame(stream, resp)
+}
+
 /// Render an error response; attaches stats when the caller has them.
+/// The `"retriable"` flag mirrors [`ServeError::retriable`] so clients in
+/// any language can branch transient-vs-permanent without a code table.
 fn error_frame(err: &ServeError, stats: Option<&ServerStats>) -> Json {
     let mut j = Json::obj()
         .set("ok", Json::Bool(false))
         .set("code", Json::str(err.code()))
-        .set("message", Json::str(err.message()));
+        .set("message", Json::str(err.message()))
+        .set("retriable", Json::Bool(err.retriable()));
     if let Some(s) = stats {
         j = j.set("stats", s.to_json());
     }
@@ -334,15 +415,21 @@ fn handle_submit(req: &Json, shared: &Shared) -> Json {
         .and_then(Json::as_u64)
         .map(Duration::from_millis)
         .or(shared.config.default_deadline);
-    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let idempotency_key = req
+        .get("idempotency_key")
+        .and_then(Json::as_str)
+        .map(str::to_string);
     let (tx, rx) = bounded(1);
+    // job_id 0 is a placeholder: the scheduler assigns real ids (it owns
+    // the counter so recovery can resume numbering above the journal).
     let ticket = JobTicket {
-        job_id,
+        job_id: 0,
         spec: JobSpec {
             graph_id: graph_id.to_string(),
             algorithm: alg,
             priority,
             deadline,
+            idempotency_key,
         },
         submitted: Instant::now(),
         timer: Timer::start(),

@@ -36,6 +36,15 @@ pub struct ServerStats {
     pub graphs_resident: u64,
     /// Mapped bytes across resident graphs.
     pub resident_bytes: u64,
+    /// Journaled jobs replayed by this process at boot (crash recovery).
+    pub jobs_replayed: u64,
+    /// Submissions answered by idempotency key (attached to an in-flight
+    /// run, or resolved from a committed result without rerunning).
+    pub idempotent_hits: u64,
+    /// Connections shed for stalling mid-frame past the read deadline.
+    pub conns_shed: u64,
+    /// Bytes of orphaned job scratch reclaimed by the boot-time sweep.
+    pub scratch_reclaimed_bytes: u64,
 }
 
 impl ServerStats {
@@ -65,6 +74,13 @@ impl ServerStats {
             .set("max_concurrent_jobs", Json::num(self.max_concurrent_jobs))
             .set("graphs_resident", Json::num(self.graphs_resident))
             .set("resident_bytes", Json::num(self.resident_bytes))
+            .set("jobs_replayed", Json::num(self.jobs_replayed))
+            .set("idempotent_hits", Json::num(self.idempotent_hits))
+            .set("conns_shed", Json::num(self.conns_shed))
+            .set(
+                "scratch_reclaimed_bytes",
+                Json::num(self.scratch_reclaimed_bytes),
+            )
     }
 
     /// Parse a `"stats"` object (the client-side inverse of
@@ -85,6 +101,10 @@ impl ServerStats {
             max_concurrent_jobs: u("max_concurrent_jobs"),
             graphs_resident: u("graphs_resident"),
             resident_bytes: u("resident_bytes"),
+            jobs_replayed: u("jobs_replayed"),
+            idempotent_hits: u("idempotent_hits"),
+            conns_shed: u("conns_shed"),
+            scratch_reclaimed_bytes: u("scratch_reclaimed_bytes"),
         }
     }
 }
@@ -109,6 +129,10 @@ mod tests {
             max_concurrent_jobs: 2,
             graphs_resident: 1,
             resident_bytes: 1 << 20,
+            jobs_replayed: 2,
+            idempotent_hits: 1,
+            conns_shed: 1,
+            scratch_reclaimed_bytes: 4096,
         };
         assert_eq!(ServerStats::from_json(&s.to_json()), s);
         assert!((s.cache_hit_rate() - 3.0 / 9.0).abs() < 1e-12);

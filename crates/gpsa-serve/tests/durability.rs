@@ -1,0 +1,364 @@
+//! Crash-restart acceptance: a server killed with SIGKILL mid-job must
+//! come back from the same `work_dir` with its registry, cache, and
+//! journal intact, replay whatever it never finished, and answer
+//! resubmitted idempotency keys with results **bit-identical** to an
+//! uninterrupted run.
+//!
+//! The victim server runs in a child process (this same test binary,
+//! re-executed with `--exact child_server` and an env-var gate) so the
+//! parent can `kill -9` it without dying itself. With `--features chaos`
+//! the same harness pins the crash to exact journal states via
+//! [`gpsa_serve::ServeFault::CrashAtJournal`] instead of a raw signal.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gpsa::{Engine, EngineConfig};
+use gpsa_graph::{generate, preprocess, DiskCsr};
+use gpsa_serve::job::run_job;
+use gpsa_serve::{start, AlgorithmSpec, Client, ServeConfig, ServerStats, SubmitRequest};
+
+const CHILD_ENV: &str = "GPSA_DURABILITY_CHILD";
+const WORK_ENV: &str = "GPSA_CHILD_WORK";
+#[cfg(feature = "chaos")]
+const CRASH_ENV: &str = "GPSA_CHILD_CRASH";
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-serve-dur-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build_csr(dir: &Path, el: gpsa_graph::EdgeList) -> PathBuf {
+    let path = dir.join("g.gcsr");
+    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+    path
+}
+
+/// The deterministic engine template both server lives and the direct
+/// baseline share; 1x1 actors pins the PageRank fold order so float sums
+/// are reproducible bit-for-bit.
+fn engine_template(work: &Path) -> EngineConfig {
+    EngineConfig::small(work).with_actors(1, 1)
+}
+
+/// The server configuration used by every life of a server over a given
+/// `work_dir` — child process, restarted parent, chaos victim alike.
+fn serve_config(work: &Path) -> ServeConfig {
+    ServeConfig::small(work)
+        .with_max_concurrent_jobs(1)
+        .with_queue_capacity(8)
+        .with_engine(engine_template(work))
+}
+
+fn direct_bits(alg: &AlgorithmSpec, csr: &Path, work: &Path) -> Vec<u32> {
+    std::fs::create_dir_all(work).unwrap();
+    let mut cfg = engine_template(work);
+    cfg.termination = alg.termination();
+    let engine = Engine::new(cfg);
+    let graph = Arc::new(DiskCsr::open(csr).unwrap());
+    let out = run_job(&engine, &graph, &work.join("values.gval"), alg).unwrap();
+    out.values_u32.as_ref().clone()
+}
+
+fn slow_pagerank() -> AlgorithmSpec {
+    AlgorithmSpec::PageRank {
+        damping: 0.85,
+        supersteps: 2000,
+    }
+}
+
+/// Spawn this test binary as a server child over `work`. The child
+/// writes its bound address to `<work>/addr.txt` once it is listening.
+fn spawn_child(work: &Path, crash: Option<&str>) -> Child {
+    let mut cmd = Command::new(std::env::current_exe().unwrap());
+    cmd.args(["--exact", "child_server", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env(WORK_ENV, work)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match crash {
+        #[cfg(feature = "chaos")]
+        Some(state) => {
+            cmd.env(CRASH_ENV, state);
+        }
+        _ => {
+            let _ = crash;
+        }
+    }
+    cmd.spawn().expect("spawn child server")
+}
+
+fn wait_for_addr(work: &Path) -> std::net::SocketAddr {
+    let path = work.join("addr.txt");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Ok(addr) = s.trim().parse() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_stats(
+    client: &mut Client,
+    pred: impl Fn(&ServerStats) -> bool,
+    what: &str,
+) -> ServerStats {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.stats().unwrap();
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Not a test of anything by itself: this is the server child the crash
+/// tests re-execute the binary into. Gated on an env var, so a normal
+/// test run sees it pass as an empty test.
+#[test]
+fn child_server() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let work = PathBuf::from(std::env::var_os(WORK_ENV).expect("child needs a work dir"));
+    #[allow(unused_mut)]
+    let mut config = serve_config(&work);
+    #[cfg(feature = "chaos")]
+    if let Ok(state) = std::env::var(CRASH_ENV) {
+        let state = gpsa_serve::JournalState::parse(&state).expect("valid crash state");
+        let plan = gpsa_serve::ServeFaultPlan::new(1)
+            .with(gpsa_serve::ServeFault::CrashAtJournal { state, nth: 0 });
+        config = config.with_fault_plan(Arc::new(plan));
+    }
+    let handle = start(config).unwrap();
+    let tmp = work.join("addr.txt.tmp");
+    std::fs::write(&tmp, handle.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, work.join("addr.txt")).unwrap();
+    // Serve until the parent kills us (or a safety valve for orphans).
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_mid_job_restart_recovers_and_replays() {
+    let dir = test_dir("sigkill");
+    let csr = build_csr(&dir, generate::cycle(2048));
+    let work = dir.join("serve");
+    std::fs::create_dir_all(&work).unwrap();
+
+    // Life 1: a child process we can murder.
+    let mut child = spawn_child(&work, None);
+    let addr = wait_for_addr(&work);
+    let mut admin = Client::connect(addr).unwrap();
+    admin.register_graph("g", csr.to_str().unwrap()).unwrap();
+
+    // One job committed before the crash...
+    let bfs = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 })
+        .with_idempotency_key("bfs-done");
+    let bfs_first = admin.submit(&bfs).unwrap();
+    assert!(!bfs_first.cache_hit);
+
+    // ...and one slow job the crash interrupts. Its client sees the
+    // connection die; the job's journal records survive.
+    let submitter = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.submit(
+            &SubmitRequest::new("g", slow_pagerank()).with_idempotency_key("pr-interrupted"),
+        )
+    });
+    wait_stats(&mut admin, |s| s.running >= 1, "the slow job to start");
+    // Give the Started record's fsync a beat to land before the kill.
+    std::thread::sleep(Duration::from_millis(100));
+    child.kill().unwrap();
+    child.wait().unwrap();
+    assert!(
+        submitter.join().unwrap().is_err(),
+        "the interrupted submit must surface a transport error"
+    );
+
+    // Life 2: same work_dir, in-process this time. Recovery runs before
+    // the listener accepts, so the very first stats call sees it.
+    let handle = start(serve_config(&work)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Registry restored from the manifest, not re-registered.
+    let graphs = client.list_graphs().unwrap();
+    assert_eq!(graphs.len(), 1);
+    assert_eq!(graphs[0].graph_id, "g");
+    assert_eq!(graphs[0].n_vertices, 2048);
+
+    // The interrupted job replays; wait for the server to go quiet.
+    let stats = wait_stats(
+        &mut client,
+        |s| s.jobs_completed >= 1 && s.running == 0 && s.queue_depth == 0,
+        "the replayed job to finish",
+    );
+    assert!(stats.jobs_replayed >= 1, "stats: {stats:?}");
+
+    // Resubmitting the interrupted key returns the replayed result —
+    // bit-identical to an uninterrupted direct run.
+    let pr = client
+        .submit(&SubmitRequest::new("g", slow_pagerank()).with_idempotency_key("pr-interrupted"))
+        .unwrap();
+    let baseline = direct_bits(&slow_pagerank(), &csr, &dir.join("direct-pr"));
+    assert_eq!(
+        *pr.outcome.values_u32, baseline,
+        "replayed job diverged from the uninterrupted run"
+    );
+
+    // The committed job's key answers from the restored cache without
+    // rerunning, and matches what the first life returned.
+    let before = client.stats().unwrap();
+    let bfs_again = client.submit(&bfs).unwrap();
+    assert!(bfs_again.cache_hit, "restored cache must answer the committed key");
+    assert_eq!(bfs_again.outcome.values_u32, bfs_first.outcome.values_u32);
+    assert_eq!(
+        client.stats().unwrap().jobs_completed,
+        before.jobs_completed,
+        "the committed job must not run again"
+    );
+}
+
+#[test]
+fn restart_sweeps_orphaned_scratch_dirs() {
+    let dir = test_dir("sweep");
+    let work = dir.join("serve");
+    // Fake debris from a previous life: scratch dirs nothing owns.
+    let jobs = work.join("jobs");
+    std::fs::create_dir_all(jobs.join("job-7")).unwrap();
+    std::fs::write(jobs.join("job-7").join("values.gval"), vec![0u8; 4096]).unwrap();
+    std::fs::create_dir_all(jobs.join("job-9")).unwrap();
+    std::fs::write(jobs.join("job-9").join("partial.tmp"), vec![0u8; 1024]).unwrap();
+
+    let handle = start(serve_config(&work)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.scratch_reclaimed_bytes >= 5120,
+        "sweep must report reclaimed bytes: {stats:?}"
+    );
+    assert!(!jobs.join("job-7").exists());
+    assert!(!jobs.join("job-9").exists());
+}
+
+/// Crash the server at each journal state in turn (chaos builds pin the
+/// abort to the exact append) and prove every one recovers to a serving
+/// server whose resubmitted keys match the uninterrupted baseline.
+#[cfg(feature = "chaos")]
+#[test]
+fn crash_at_each_journal_state_recovers() {
+    use gpsa_serve::JournalState;
+
+    let states = [
+        JournalState::Submitted,
+        JournalState::Started,
+        JournalState::Committed,
+    ];
+    for state in states {
+        let tag = format!("crash-{}", state.as_str());
+        let dir = test_dir(&tag);
+        let csr = build_csr(&dir, generate::cycle(256));
+        let work = dir.join("serve");
+        std::fs::create_dir_all(&work).unwrap();
+
+        // Life 1: aborts itself at the scripted journal append.
+        let mut child = spawn_child(&work, Some(state.as_str()));
+        let addr = wait_for_addr(&work);
+        let mut admin = Client::connect(addr).unwrap();
+        admin.register_graph("g", csr.to_str().unwrap()).unwrap();
+        let req = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 })
+            .with_idempotency_key("k");
+        let submitted = admin.submit(&req);
+        assert!(
+            submitted.is_err(),
+            "[{}] the crash must sever the submit",
+            state.as_str()
+        );
+        child.wait().unwrap();
+
+        // Life 2 recovers. A crash *before* the Submitted record leaves
+        // nothing to replay; after it, the job is incomplete and must
+        // replay exactly once.
+        let handle = start(serve_config(&work)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        let stats = wait_stats(
+            &mut client,
+            |s| s.running == 0 && s.queue_depth == 0,
+            "recovery to go quiet",
+        );
+        match state {
+            JournalState::Submitted => assert_eq!(stats.jobs_replayed, 0, "{stats:?}"),
+            _ => assert!(stats.jobs_replayed >= 1, "[{}] {stats:?}", state.as_str()),
+        }
+        assert_eq!(client.list_graphs().unwrap().len(), 1);
+
+        // Whatever was lost or replayed, the key resolves to the right
+        // bits after recovery.
+        let resp = client.submit(&req).unwrap();
+        let baseline = direct_bits(
+            &AlgorithmSpec::Bfs { root: 0 },
+            &csr,
+            &dir.join("direct"),
+        );
+        assert_eq!(
+            *resp.outcome.values_u32, baseline,
+            "[{}] post-recovery result diverged",
+            state.as_str()
+        );
+    }
+}
+
+/// A torn journal tail (partial final record, no fsync) must truncate
+/// cleanly on restart: the torn Committed record is discarded, the job
+/// replays, and the resubmitted key returns identical bits.
+#[cfg(feature = "chaos")]
+#[test]
+fn torn_journal_tail_truncates_and_replays() {
+    use gpsa_serve::{ServeFault, ServeFaultPlan};
+
+    let dir = test_dir("torn");
+    let csr = build_csr(&dir, generate::cycle(256));
+    let work = dir.join("serve");
+
+    // Life 1: the third journal append — the job's Committed record —
+    // writes only a prefix. The server itself is unbothered.
+    let plan = Arc::new(ServeFaultPlan::new(7).with(ServeFault::TornJournalTail { nth_append: 2 }));
+    let config = serve_config(&work).with_fault_plan(plan.clone());
+    let mut handle = start(config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.register_graph("g", csr.to_str().unwrap()).unwrap();
+    let req = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 3 }).with_idempotency_key("t1");
+    let first = client.submit(&req).unwrap();
+    assert_eq!(plan.fired(), 1, "the torn-tail point must have fired");
+    client.ping().unwrap();
+    handle.shutdown();
+
+    // Life 2: recovery truncates the tear, sees no Committed record, and
+    // replays the job.
+    let handle = start(serve_config(&work)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = wait_stats(
+        &mut client,
+        |s| s.running == 0 && s.queue_depth == 0 && s.jobs_completed >= 1,
+        "the torn job to replay",
+    );
+    assert!(stats.jobs_replayed >= 1, "stats: {stats:?}");
+    let again = client.submit(&req).unwrap();
+    assert_eq!(again.outcome.values_u32, first.outcome.values_u32);
+}
