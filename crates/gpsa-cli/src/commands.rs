@@ -338,6 +338,14 @@ fn submit(argv: &[String]) -> Result<(), String> {
         resp.queue_wait,
         resp.run_time
     );
+    if !resp.cache_hit {
+        println!(
+            "dispatch I/O: {} edge words streamed, {} skipped ({:.1}% mean frontier density)",
+            resp.outcome.edges_streamed,
+            resp.outcome.edges_skipped,
+            100.0 * resp.outcome.mean_frontier_density
+        );
+    }
     match resp.outcome.value_type {
         ValueType::F32 => {
             let ranks = resp.outcome.values_f32().unwrap_or_default();

@@ -113,6 +113,10 @@ impl<P: VertexProgram> Computer<P> {
             let u = P::Value::from_bits(clear_flag(u_bits));
             let basis = self.program.freshest(d, u);
             self.dirty.push((v, basis));
+            // First write to this vertex: raise its frontier bit so next
+            // superstep's dispatcher can find it without scanning. The
+            // flush pass lowers it again if the fold ends up a no-op.
+            self.values.frontier().mark(update_col, v);
             self.program.compute(v, None, basis, msg, &self.meta)
         } else {
             let acc = P::Value::from_bits(u_bits);
@@ -145,6 +149,7 @@ impl<P: VertexProgram> Computer<P> {
             let new = self.program.no_message_value(v, basis, &self.meta);
             if self.program.changed(basis, new) {
                 self.values.store(update_col, v, new.to_bits());
+                self.values.frontier().mark(update_col, v);
                 activated += 1;
                 delta += self.program.delta(basis, new);
             } else {
@@ -159,8 +164,10 @@ impl<P: VertexProgram> Computer<P> {
                 delta += self.program.delta(basis, final_v);
             } else {
                 // No real update: re-flag so next superstep's dispatcher
-                // skips the vertex (and its first message re-seeds).
+                // skips the vertex (and its first message re-seeds), and
+                // lower its frontier bit to keep the bitmap exact.
                 self.values.invalidate(update_col, v);
+                self.values.frontier().unmark(update_col, v);
             }
         }
         self.dirty.clear();

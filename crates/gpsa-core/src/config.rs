@@ -48,6 +48,25 @@ pub enum IntervalStrategy {
     Strided,
 }
 
+/// How dispatchers read their CSR interval each superstep (frontier-aware
+/// selective dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Always sweep the whole interval sequentially, skipping flagged
+    /// vertices after their record is read — the original behaviour.
+    Dense,
+    /// Always iterate the active-vertex bitmap and seek to each active
+    /// vertex's edge run. (Programs whose
+    /// [`crate::VertexProgram::always_dispatch`] is true fall back to
+    /// dense: their frontier is the whole interval by definition.)
+    Sparse,
+    /// Per dispatcher per superstep: go sparse when the interval's
+    /// frontier density is below
+    /// [`EngineConfig::sparse_density_threshold`], dense otherwise
+    /// (Beamer-style direction switching, applied to I/O).
+    Auto,
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -92,6 +111,14 @@ pub struct EngineConfig {
     /// Combine same-destination messages per batch when the program
     /// supports it ([`crate::VertexProgram::combines`]).
     pub combine_messages: bool,
+    /// How dispatchers read their interval: dense sweep, sparse
+    /// bitmap-driven seeks, or a per-superstep density-based choice.
+    pub dispatch_mode: DispatchMode,
+    /// In [`DispatchMode::Auto`], an interval goes sparse when
+    /// `active_vertices / interval_len` is strictly below this
+    /// (seek-per-vertex beats a full sweep only when most records are
+    /// skippable; 5% is conservative for 4 KiB pages).
+    pub sparse_density_threshold: f64,
     /// Watchdog: if no superstep completes for this long, the engine
     /// declares the fleet wedged, abandons it, and retries from the last
     /// committed superstep. `None` disables the watchdog (failures are
@@ -136,6 +163,8 @@ impl EngineConfig {
             crash_after_dispatch: None,
             crash_in_compute: None,
             combine_messages: true,
+            dispatch_mode: DispatchMode::Auto,
+            sparse_density_threshold: 0.05,
             superstep_deadline: None,
             max_superstep_retries: 2,
             #[cfg(feature = "chaos")]
@@ -185,6 +214,20 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style: force a dispatch mode (the default is
+    /// [`DispatchMode::Auto`]).
+    pub fn with_dispatch_mode(mut self, mode: DispatchMode) -> Self {
+        self.dispatch_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the auto-mode sparse/dense density threshold
+    /// (clamped to `[0, 1]`).
+    pub fn with_sparse_density_threshold(mut self, threshold: f64) -> Self {
+        self.sparse_density_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
     /// Builder-style: arm the per-superstep watchdog.
     pub fn with_superstep_deadline(mut self, deadline: Duration) -> Self {
         self.superstep_deadline = Some(deadline);
@@ -218,6 +261,18 @@ mod tests {
         assert!(c.msg_batch >= 1);
         assert!(c.dispatch_chunk >= 1);
         assert!(!c.durable);
+        assert_eq!(c.dispatch_mode, DispatchMode::Auto);
+        assert!(c.sparse_density_threshold > 0.0 && c.sparse_density_threshold < 1.0);
+    }
+
+    #[test]
+    fn density_threshold_clamps() {
+        let c = EngineConfig::new("/tmp").with_sparse_density_threshold(7.0);
+        assert_eq!(c.sparse_density_threshold, 1.0);
+        let c = EngineConfig::new("/tmp").with_sparse_density_threshold(-1.0);
+        assert_eq!(c.sparse_density_threshold, 0.0);
+        let c = EngineConfig::new("/tmp").with_dispatch_mode(DispatchMode::Sparse);
+        assert_eq!(c.dispatch_mode, DispatchMode::Sparse);
     }
 
     #[test]

@@ -26,14 +26,33 @@
 //! [`MsgSlabPool`](crate::MsgSlabPool) rather than allocated per flush,
 //! and same-destination messages are merged by an in-place adjacent-run
 //! dedup that exploits CSR source ordering instead of sorting every batch.
+//!
+//! ## Sparse (frontier-driven) dispatch
+//!
+//! When the superstep's frontier is sparse, sweeping the whole interval
+//! reads mostly-skippable records. In **sparse mode** the dispatcher
+//! instead iterates the set bits of the active-vertex bitmap
+//! ([`crate::Frontier`]) and *seeks* to each active vertex's edge run via
+//! the CSR word-offset index, with adjacent active vertices coalesced into
+//! one contiguous read ([`gpsa_graph::SeekCursor`]); the touched window is
+//! `madvise(Random)`d instead of the whole map. The mode is chosen per
+//! dispatcher per superstep from the interval's bitmap popcount carried on
+//! START ([`crate::DispatchMode`]); dense sweeps re-advise `Sequential`.
+//! Because the bitmap is a superset of the flag-clear set and both modes
+//! visit candidates in ascending id order with the same flag check, the
+//! two modes dispatch byte-identical message streams. Programs with
+//! `always_dispatch` and strided assignments always use the dense path
+//! (their frontier is the whole interval / non-contiguous).
 
 use std::ops::Range;
 use std::sync::Arc;
 
 use actor::{Actor, Addr, Ctx};
 use gpsa_graph::{DiskCsr, VertexId};
+use gpsa_mmap::Advice;
 
 use crate::computer::{ComputeCmd, Computer};
+use crate::config::DispatchMode;
 use crate::manager::{Manager, ManagerMsg};
 use crate::partition::DispatchAssignment;
 use crate::program::{GraphMeta, VertexProgram};
@@ -47,10 +66,18 @@ use crate::VertexValue;
 #[derive(Debug)]
 pub(crate) enum DispatchCmd {
     /// ITERATION_START for `superstep`, reading the given dispatch column.
-    Start { superstep: u64, dispatch_col: u32 },
+    /// `active` is the manager's popcount of this dispatcher's assignment
+    /// in the frontier bitmap — the density input for the sparse/dense
+    /// choice.
+    Start {
+        superstep: u64,
+        dispatch_col: u32,
+        active: u64,
+    },
     /// Continue the current superstep's scan over `range` (a cooperative
     /// self-message; the first ~chunk's worth of `range` is processed and
-    /// the rest re-enqueued).
+    /// the rest re-enqueued). The sparse/dense choice made at START holds
+    /// for every chunk of the superstep.
     Chunk {
         superstep: u64,
         dispatch_col: u32,
@@ -82,6 +109,18 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// Messages sent so far in the in-flight superstep (accumulated
     /// across chunks, reported with DISPATCH_OVER).
     pub step_sent: u64,
+    /// CSR body words actually read this superstep (accumulated across
+    /// chunks, reported with DISPATCH_OVER).
+    pub step_streamed: u64,
+    /// Dense sweep, bitmap seeks, or per-superstep choice.
+    pub mode: DispatchMode,
+    /// Auto-mode density cutoff (below ⇒ sparse).
+    pub density_threshold: f64,
+    /// The choice made at START, sticky across this superstep's chunks.
+    pub sparse_now: bool,
+    /// Whether the last madvise issued for our window was `Random` (so a
+    /// dense superstep after a sparse one restores `Sequential`).
+    pub advised_random: bool,
     /// Dispatch every vertex regardless of its flag (dense programs like
     /// PageRank; see `VertexProgram::always_dispatch`).
     pub always_dispatch: bool,
@@ -172,6 +211,60 @@ impl<P: VertexProgram> Dispatcher<P> {
         }
     }
 
+    /// The sparse/dense decision for this superstep. Only contiguous
+    /// (Range) assignments without `always_dispatch` are eligible: a dense
+    /// program's frontier is its whole interval, and a strided
+    /// assignment's active set is non-contiguous in the bitmap anyway.
+    fn choose_sparse(&self, active: u64) -> bool {
+        if self.always_dispatch || !matches!(self.assignment, DispatchAssignment::Range(_)) {
+            return false;
+        }
+        match self.mode {
+            DispatchMode::Dense => false,
+            DispatchMode::Sparse => true,
+            DispatchMode::Auto => {
+                let len = self.assignment.len() as f64;
+                len > 0.0 && (active as f64) < self.density_threshold * len
+            }
+        }
+    }
+
+    /// Issue the superstep's madvise: `Random` over just the seek window
+    /// (sparse and strided paths), `Sequential` over the interval when a
+    /// dense sweep follows a sparse superstep. Advice is a hint; failures
+    /// are ignored.
+    fn apply_advice(&mut self, dispatch_col: u32) {
+        match &self.assignment {
+            DispatchAssignment::Strided { .. } => {
+                // Hops between records every superstep — advise `Random`
+                // over our span once instead of demoting the whole map.
+                if !self.advised_random {
+                    let _ = self
+                        .graph
+                        .advise_vertex_range(self.full_range(), Advice::Random);
+                    self.advised_random = true;
+                }
+            }
+            DispatchAssignment::Range(interval) => {
+                if self.sparse_now {
+                    if let Some(window) = self
+                        .values
+                        .frontier()
+                        .bounds(dispatch_col, interval.clone())
+                    {
+                        let _ = self.graph.advise_vertex_range(window, Advice::Random);
+                        self.advised_random = true;
+                    }
+                } else if self.advised_random {
+                    let _ = self
+                        .graph
+                        .advise_vertex_range(interval.clone(), Advice::Sequential);
+                    self.advised_random = false;
+                }
+            }
+        }
+    }
+
     /// Where the current chunk of `range` should stop.
     fn chunk_end(&self, range: &Range<VertexId>) -> VertexId {
         if self.chunk_edges == u64::MAX || range.start >= range.end {
@@ -203,30 +296,58 @@ impl<P: VertexProgram> Dispatcher<P> {
         ctx: &mut Ctx<'_, Self>,
     ) {
         let update_col = 1 - dispatch_col;
-        let end = self.chunk_end(&range);
         let mut sent = 0u64;
         let graph = self.graph.clone();
-        match self.assignment.clone() {
-            // Sequential streaming over a contiguous interval — the
-            // efficient path.
-            DispatchAssignment::Range(_) => {
-                for rec in graph.cursor(range.start..end) {
-                    self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+        // Remainder to re-enqueue, `None` when this chunk ends the
+        // superstep.
+        let mut remainder: Option<Range<VertexId>> = None;
+        if self.sparse_now {
+            // Frontier-driven seeks: visit only bitmap-set vertices, in
+            // the same ascending order the dense sweep would, coalescing
+            // adjacent runs. The budget is on words actually read, so a
+            // sparse chunk does about as much I/O as a dense one.
+            let values = self.values.clone();
+            let mut cursor = graph.seek_cursor();
+            for v in values.frontier().iter_set(dispatch_col, range.clone()) {
+                if self.chunk_edges != u64::MAX && cursor.words_read() >= self.chunk_edges {
+                    remainder = Some(v..range.end);
+                    break;
+                }
+                let rec = cursor.record(v);
+                self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+            }
+            self.step_streamed += cursor.words_read();
+        } else {
+            let end = self.chunk_end(&range);
+            match self.assignment.clone() {
+                // Sequential streaming over a contiguous interval — the
+                // efficient path.
+                DispatchAssignment::Range(_) => {
+                    self.step_streamed +=
+                        graph.word_offset(end as usize) - graph.word_offset(range.start as usize);
+                    for rec in graph.cursor(range.start..end) {
+                        self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                    }
+                }
+                // The paper's "simple mod algorithm": random-access reads of
+                // every stride-th vertex record. Chunk boundaries are always
+                // `offset + k*stride`, so `range.start` stays on-stride.
+                DispatchAssignment::Strided { stride, .. } => {
+                    let rec_overhead = 1 + u64::from(graph.with_degrees());
+                    let mut v = range.start;
+                    while v < end {
+                        let rec = graph.vertex_edges(v);
+                        self.step_streamed += rec.targets.len() as u64 + rec_overhead;
+                        self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                        v = match v.checked_add(stride) {
+                            Some(next) => next,
+                            None => break,
+                        };
+                    }
                 }
             }
-            // The paper's "simple mod algorithm": random-access reads of
-            // every stride-th vertex record. Chunk boundaries are always
-            // `offset + k*stride`, so `range.start` stays on-stride.
-            DispatchAssignment::Strided { stride, .. } => {
-                let mut v = range.start;
-                while v < end {
-                    let rec = graph.vertex_edges(v);
-                    self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
-                    v = match v.checked_add(stride) {
-                        Some(next) => next,
-                        None => break,
-                    };
-                }
+            if end < range.end {
+                remainder = Some(end..range.end);
             }
         }
         self.step_sent += sent;
@@ -241,20 +362,33 @@ impl<P: VertexProgram> Dispatcher<P> {
                 self.step_sent,
             );
         }
-        if end < range.end {
+        if let Some(rest) = remainder {
             let _ = ctx.addr().send(DispatchCmd::Chunk {
                 superstep,
                 dispatch_col,
-                range: end..range.end,
+                range: rest,
             });
         } else {
             for owner in 0..self.buffers.len() {
                 self.step_sent += self.flush_buffer(owner, update_col);
             }
+            let streamed = std::mem::take(&mut self.step_streamed);
+            let skipped = match &self.assignment {
+                // What a full sweep of the interval would have read,
+                // minus what we did read. Zero for dense supersteps.
+                DispatchAssignment::Range(interval) => (graph.word_offset(interval.end as usize)
+                    - graph.word_offset(interval.start as usize))
+                .saturating_sub(streamed),
+                // A strided assignment's skipped records interleave other
+                // dispatchers' — "skipped" has no per-actor meaning there.
+                DispatchAssignment::Strided { .. } => 0,
+            };
             let _ = self.manager.send(ManagerMsg::DispatchOver {
                 superstep,
                 dispatcher: self.id,
                 sent: std::mem::take(&mut self.step_sent),
+                streamed,
+                skipped,
             });
         }
     }
@@ -268,8 +402,12 @@ impl<P: VertexProgram> Actor for Dispatcher<P> {
             DispatchCmd::Start {
                 superstep,
                 dispatch_col,
+                active,
             } => {
                 self.step_sent = 0;
+                self.step_streamed = 0;
+                self.sparse_now = self.choose_sparse(active);
+                self.apply_advice(dispatch_col);
                 let full = self.full_range();
                 self.run_chunk(superstep, dispatch_col, full, ctx);
             }

@@ -169,15 +169,13 @@ impl Engine {
         }
         let graph = graph.clone();
         // Readahead hint: Range assignments stream the edge file
-        // sequentially; Strided dispatch hops between records, where
-        // sequential readahead would only pollute the page cache.
-        match self.config.intervals {
-            IntervalStrategy::Strided => {
-                let _ = graph.advise_random();
-            }
-            IntervalStrategy::Uniform | IntervalStrategy::EdgeBalanced => {
-                let _ = graph.advise_sequential();
-            }
+        // sequentially. Strided dispatch hops between records — each
+        // dispatcher advises `Random` over just its own span on its first
+        // START (see `Dispatcher::apply_advice`) instead of demoting the
+        // whole map here; likewise sparse supersteps advise `Random` over
+        // only the seek window they actually touch.
+        if !matches!(self.config.intervals, IntervalStrategy::Strided) {
+            let _ = graph.advise_sequential();
         }
         let meta = GraphMeta {
             n_vertices: graph.n_vertices() as u64,
@@ -347,8 +345,13 @@ impl Engine {
                             self.config.dispatch_chunk.max(1) as u64
                         },
                         step_sent: 0,
+                        step_streamed: 0,
                         always_dispatch: program.always_dispatch(),
                         combine: self.config.combine_messages && program.combines(),
+                        mode: self.config.dispatch_mode,
+                        density_threshold: self.config.sparse_density_threshold,
+                        sparse_now: false,
+                        advised_random: false,
                         #[cfg(feature = "chaos")]
                         fault: self.config.fault_plan.clone(),
                     })
@@ -359,6 +362,7 @@ impl Engine {
                 .send(ManagerMsg::Wire {
                     dispatchers,
                     computers,
+                    assignments: assignments.clone(),
                 })
                 .is_ok();
 
@@ -479,6 +483,9 @@ impl Engine {
             deltas: report.deltas,
             messages: report.messages,
             dispatcher_messages: report.dispatcher_messages,
+            edges_streamed: report.edges_streamed,
+            edges_skipped: report.edges_skipped,
+            frontier_density: report.frontier_density,
             pool_hits: pool.hits(),
             pool_misses: pool.misses(),
             first_batch: report.first_batch,

@@ -224,9 +224,9 @@ mod tests {
         let c: Vec<_> = FaultPlan::scripted(43, 8, 5).specs().collect();
         assert_eq!(a, b);
         assert_ne!(a, c, "different seeds should give different schedules");
-        assert!(a
-            .iter()
-            .all(|s| !matches!(s, FaultSpec::DispatcherPanic { superstep, .. } if *superstep >= 5)));
+        assert!(a.iter().all(
+            |s| !matches!(s, FaultSpec::DispatcherPanic { superstep, .. } if *superstep >= 5)
+        ));
     }
 
     #[test]

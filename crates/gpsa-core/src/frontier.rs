@@ -1,0 +1,349 @@
+//! Per-superstep active-vertex bitmaps (the engine's frontier).
+//!
+//! The value file's not-updated flag (paper Fig. 5) tells a dispatcher
+//! whether to *skip* a vertex — but only after its record has already been
+//! streamed from disk. The [`Frontier`] keeps the same information in a
+//! word-packed bitset per column so a dispatcher can decide *before*
+//! touching the edge file which vertices need their adjacency at all, and
+//! seek straight to them when the frontier is sparse.
+//!
+//! Like the value columns, the two bitmap columns are double-buffered in
+//! lockstep: while computers mark first updates in the update column, the
+//! dispatch column is read-only for the superstep, and the manager clears
+//! the just-dispatched column when the superstep commits (it becomes the
+//! next update column). The invariant the dispatcher relies on is
+//! *superset*: at superstep start, every flag-clear vertex in the dispatch
+//! value column has its bit set. Extra set bits are harmless — the
+//! dispatcher still checks the flag word before generating messages, so
+//! dense and sparse modes dispatch identical vertex sequences.
+//!
+//! The bitmap lives in memory, not in the value file: recovery never needs
+//! to read it back. [`crate::ValueFile::recover`] conservatively
+//! re-activates *every* vertex in the good column, so the recovered
+//! frontier is simply all-ones on the dispatch column and all-zeros on the
+//! other — consistent with the recovered flags by construction.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Two word-packed active-vertex bitsets, one per value column, covering a
+/// global vertex id range. All operations are atomic; computers mark
+/// concurrently while dispatchers read the other column.
+#[derive(Debug)]
+pub struct Frontier {
+    cols: [Vec<AtomicU64>; 2],
+    base: u32,
+    n: usize,
+}
+
+impl Frontier {
+    /// An all-zeros frontier for the global id range `range`.
+    pub fn new(range: Range<u32>) -> Frontier {
+        let n = (range.end - range.start) as usize;
+        let words = n.div_ceil(64);
+        let mk = || (0..words).map(|_| AtomicU64::new(0)).collect();
+        Frontier {
+            cols: [mk(), mk()],
+            base: range.start,
+            n,
+        }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn locate(&self, v: u32) -> (usize, u64) {
+        debug_assert!(
+            v >= self.base && ((v - self.base) as usize) < self.n,
+            "vertex {v} outside frontier range"
+        );
+        let idx = (v - self.base) as usize;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    /// Set vertex `v`'s bit in `col` (idempotent).
+    #[inline]
+    pub fn mark(&self, col: u32, v: u32) {
+        let (w, bit) = self.locate(v);
+        self.cols[col as usize][w].fetch_or(bit, Ordering::Relaxed);
+    }
+
+    /// Clear vertex `v`'s bit in `col`.
+    #[inline]
+    pub fn unmark(&self, col: u32, v: u32) {
+        let (w, bit) = self.locate(v);
+        self.cols[col as usize][w].fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    /// Whether vertex `v`'s bit is set in `col`.
+    #[inline]
+    pub fn is_marked(&self, col: u32, v: u32) -> bool {
+        let (w, bit) = self.locate(v);
+        self.cols[col as usize][w].load(Ordering::Relaxed) & bit != 0
+    }
+
+    /// Clear every bit in `col`.
+    pub fn clear(&self, col: u32) {
+        for w in &self.cols[col as usize] {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Set every (in-range) bit in `col` — the conservative
+    /// "everything might be active" state used after open/recover. Bits
+    /// past `n` in the tail word stay clear so popcounts are exact.
+    pub fn fill(&self, col: u32) {
+        let words = &self.cols[col as usize];
+        for w in words {
+            w.store(u64::MAX, Ordering::Relaxed);
+        }
+        let tail = self.n % 64;
+        if tail != 0 {
+            if let Some(last) = words.last() {
+                last.store((1u64 << tail) - 1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Popcount of `col` over the whole range.
+    pub fn count(&self, col: u32) -> u64 {
+        self.cols[col as usize]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
+    }
+
+    /// Popcount of `col` over the global id range `range` (clamped to the
+    /// frontier's own range). Word-at-a-time with masked ends — the
+    /// manager's per-assignment density probe.
+    pub fn count_range(&self, col: u32, range: Range<u32>) -> u64 {
+        let start = range.start.max(self.base);
+        let end = range.end.min(self.base + self.n as u32);
+        if start >= end {
+            return 0;
+        }
+        let lo = (start - self.base) as usize;
+        let hi = (end - self.base) as usize;
+        let words = &self.cols[col as usize];
+        let (lw, hw) = (lo / 64, (hi - 1) / 64);
+        let lo_mask = u64::MAX << (lo % 64);
+        let hi_mask = u64::MAX >> (63 - (hi - 1) % 64);
+        if lw == hw {
+            return (words[lw].load(Ordering::Relaxed) & lo_mask & hi_mask).count_ones() as u64;
+        }
+        let mut c = (words[lw].load(Ordering::Relaxed) & lo_mask).count_ones() as u64;
+        for w in &words[lw + 1..hw] {
+            c += w.load(Ordering::Relaxed).count_ones() as u64;
+        }
+        c + (words[hw].load(Ordering::Relaxed) & hi_mask).count_ones() as u64
+    }
+
+    /// Smallest half-open global id range containing every set bit of
+    /// `col` within `range`; `None` if no bit is set there. This is the
+    /// seek window a sparse dispatcher advises `Random` over.
+    pub fn bounds(&self, col: u32, range: Range<u32>) -> Option<Range<u32>> {
+        let mut it = self.iter_set(col, range.clone());
+        let first = it.next()?;
+        // Scan backward for the last set bit; cheap (word at a time).
+        let start = (range.start.max(self.base) - self.base) as usize;
+        let end = (range.end.min(self.base + self.n as u32) - self.base) as usize;
+        let words = &self.cols[col as usize];
+        for w in (start / 64..=(end - 1) / 64).rev() {
+            let mut bits = words[w].load(Ordering::Relaxed);
+            // Mask out bits outside [start, end).
+            if w == (end - 1) / 64 {
+                bits &= u64::MAX >> (63 - (end - 1) % 64);
+            }
+            if w == start / 64 {
+                bits &= u64::MAX << (start % 64);
+            }
+            if bits != 0 {
+                let last = w * 64 + (63 - bits.leading_zeros() as usize);
+                return Some(first..self.base + last as u32 + 1);
+            }
+        }
+        Some(first..first + 1)
+    }
+
+    /// Iterate the set bits of `col` within the global id range `range`,
+    /// in ascending order.
+    pub fn iter_set(&self, col: u32, range: Range<u32>) -> SetBits<'_> {
+        let start = range.start.max(self.base);
+        let end = range.end.min(self.base + self.n as u32);
+        let (lo, hi) = if start >= end {
+            (0, 0)
+        } else {
+            ((start - self.base) as usize, (end - self.base) as usize)
+        };
+        let words = &self.cols[col as usize];
+        let mut cur = if hi == 0 {
+            0
+        } else {
+            words[lo / 64].load(Ordering::Relaxed) & (u64::MAX << (lo % 64))
+        };
+        if hi != 0 && lo / 64 == (hi - 1) / 64 {
+            cur &= u64::MAX >> (63 - (hi - 1) % 64);
+        }
+        SetBits {
+            words,
+            base: self.base,
+            word: lo / 64,
+            cur,
+            hi,
+        }
+    }
+}
+
+/// Ascending iterator over set bits. See [`Frontier::iter_set`].
+#[derive(Debug)]
+pub struct SetBits<'a> {
+    words: &'a [AtomicU64],
+    base: u32,
+    /// Index of the word `cur` was loaded from.
+    word: usize,
+    /// Remaining bits of the current word (already range-masked).
+    cur: u64,
+    /// Exclusive end, as a local bit index.
+    hi: usize,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.cur == 0 {
+            let next = self.word + 1;
+            if next * 64 >= self.hi {
+                return None;
+            }
+            self.word = next;
+            let mut bits = self.words[next].load(Ordering::Relaxed);
+            if next == (self.hi - 1) / 64 {
+                bits &= u64::MAX >> (63 - (self.hi - 1) % 64);
+            }
+            self.cur = bits;
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        let idx = self.word * 64 + bit;
+        if idx >= self.hi {
+            self.cur = 0;
+            return self.next();
+        }
+        Some(self.base + idx as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_unmark_count() {
+        let f = Frontier::new(0..200);
+        assert_eq!(f.count(0), 0);
+        for v in [0, 63, 64, 130, 199] {
+            f.mark(0, v);
+        }
+        assert_eq!(f.count(0), 5);
+        assert_eq!(f.count(1), 0, "columns are independent");
+        assert!(f.is_marked(0, 63));
+        assert!(!f.is_marked(0, 62));
+        f.mark(0, 63); // idempotent
+        assert_eq!(f.count(0), 5);
+        f.unmark(0, 63);
+        assert!(!f.is_marked(0, 63));
+        assert_eq!(f.count(0), 4);
+    }
+
+    #[test]
+    fn fill_and_clear_respect_tail() {
+        let f = Frontier::new(0..130);
+        f.fill(1);
+        assert_eq!(f.count(1), 130, "tail word past n stays clear");
+        assert!(f.is_marked(1, 129));
+        f.clear(1);
+        assert_eq!(f.count(1), 0);
+        // Exact multiple of 64: no tail masking needed.
+        let g = Frontier::new(0..128);
+        g.fill(0);
+        assert_eq!(g.count(0), 128);
+    }
+
+    #[test]
+    fn count_range_masks_both_ends() {
+        let f = Frontier::new(0..300);
+        f.fill(0);
+        assert_eq!(f.count_range(0, 0..300), 300);
+        assert_eq!(f.count_range(0, 10..10), 0);
+        assert_eq!(f.count_range(0, 10..75), 65);
+        assert_eq!(f.count_range(0, 64..128), 64);
+        assert_eq!(f.count_range(0, 63..65), 2);
+        assert_eq!(f.count_range(0, 290..400), 10, "clamped to n");
+        let g = Frontier::new(0..300);
+        for v in [5, 70, 71, 255] {
+            g.mark(1, v);
+        }
+        assert_eq!(g.count_range(1, 0..300), 4);
+        assert_eq!(g.count_range(1, 6..255), 2);
+        assert_eq!(g.count_range(1, 70..72), 2);
+    }
+
+    #[test]
+    fn iter_set_ascends_within_range() {
+        let f = Frontier::new(0..300);
+        for v in [3, 64, 65, 191, 192, 299] {
+            f.mark(0, v);
+        }
+        let all: Vec<u32> = f.iter_set(0, 0..300).collect();
+        assert_eq!(all, vec![3, 64, 65, 191, 192, 299]);
+        let mid: Vec<u32> = f.iter_set(0, 64..192).collect();
+        assert_eq!(mid, vec![64, 65, 191]);
+        let none: Vec<u32> = f.iter_set(0, 4..64).collect();
+        assert!(none.is_empty());
+        let empty: Vec<u32> = f.iter_set(0, 10..10).collect();
+        assert!(empty.is_empty());
+        // Single-word range with both ends masked.
+        let one: Vec<u32> = f.iter_set(0, 65..66).collect();
+        assert_eq!(one, vec![65]);
+    }
+
+    #[test]
+    fn bounds_names_the_seek_window() {
+        let f = Frontier::new(0..300);
+        assert_eq!(f.bounds(0, 0..300), None);
+        f.mark(0, 70);
+        assert_eq!(f.bounds(0, 0..300), Some(70..71));
+        f.mark(0, 250);
+        assert_eq!(f.bounds(0, 0..300), Some(70..251));
+        assert_eq!(f.bounds(0, 0..200), Some(70..71));
+        assert_eq!(f.bounds(0, 71..300), Some(250..251));
+        assert_eq!(f.bounds(0, 0..70), None);
+    }
+
+    #[test]
+    fn based_range_addressing() {
+        let f = Frontier::new(100..200);
+        f.mark(0, 100);
+        f.mark(0, 199);
+        assert_eq!(f.count(0), 2);
+        assert_eq!(f.count_range(0, 0..1000), 2);
+        let got: Vec<u32> = f.iter_set(0, 0..1000).collect();
+        assert_eq!(got, vec![100, 199]);
+        assert_eq!(f.bounds(0, 100..200), Some(100..200));
+    }
+
+    #[test]
+    fn empty_frontier_is_fine() {
+        let f = Frontier::new(5..5);
+        assert_eq!(f.count(0), 0);
+        f.fill(0);
+        assert_eq!(f.count(0), 0);
+        assert!(f.iter_set(0, 0..10).next().is_none());
+        assert_eq!(f.bounds(0, 0..10), None);
+    }
+}

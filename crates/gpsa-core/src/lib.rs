@@ -53,6 +53,7 @@ mod dispatcher;
 mod engine;
 #[cfg(feature = "chaos")]
 pub mod fault;
+pub mod frontier;
 mod manager;
 mod partition;
 mod program;
@@ -64,11 +65,12 @@ mod value;
 mod value_file;
 mod word;
 
-pub use config::{EngineConfig, IntervalStrategy, RouterStrategy, Termination};
+pub use config::{DispatchMode, EngineConfig, IntervalStrategy, RouterStrategy, Termination};
 pub use engine::{Engine, EngineError};
+pub use frontier::Frontier;
 pub use partition::{
-    edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment,
-    ModRouter, RangeRouter, Router,
+    edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment, ModRouter,
+    RangeRouter, Router,
 };
 pub use program::{GraphMeta, VertexProgram};
 pub use report::{RunOutcome, RunReport};

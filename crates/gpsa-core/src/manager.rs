@@ -12,6 +12,7 @@ use crossbeam_channel::Sender;
 use crate::computer::{ComputeCmd, Computer};
 use crate::config::Termination;
 use crate::dispatcher::{DispatchCmd, Dispatcher};
+use crate::partition::DispatchAssignment;
 use crate::program::VertexProgram;
 use crate::slab::OverlapStats;
 use crate::value_file::ValueFile;
@@ -30,6 +31,14 @@ pub(crate) struct ManagerReport {
     /// Per superstep: time from ITERATION_START until the first compute
     /// batch was folded (`None` if the superstep produced no messages).
     pub first_batch: Vec<Option<Duration>>,
+    /// CSR body words dispatchers actually read over the whole run.
+    pub edges_streamed: u64,
+    /// CSR body words a full sweep would have read but sparse dispatch
+    /// skipped over.
+    pub edges_skipped: u64,
+    /// Per superstep: frontier bitmap popcount / vertex count at
+    /// superstep start.
+    pub frontier_density: Vec<f64>,
     /// Column holding the results of the last completed superstep.
     pub final_dispatch_col: u32,
 }
@@ -37,16 +46,22 @@ pub(crate) struct ManagerReport {
 /// Mailbox protocol of the manager.
 pub(crate) enum ManagerMsg<P: VertexProgram> {
     /// Wiring + kick-off, sent by the engine once all actors exist.
+    /// `assignments[i]` is dispatcher `i`'s vertex set, kept by the
+    /// manager for per-interval frontier popcounts at superstep start.
     Wire {
         dispatchers: Vec<Addr<Dispatcher<P>>>,
         computers: Vec<Addr<Computer<P>>>,
+        assignments: Vec<DispatchAssignment>,
     },
     /// DISPATCH_OVER from one dispatcher, with its message count for the
-    /// superstep (per-actor load statistics).
+    /// superstep (per-actor load statistics) and its edge-word I/O
+    /// counters (selective-dispatch effectiveness).
     DispatchOver {
         superstep: u64,
         dispatcher: usize,
         sent: u64,
+        streamed: u64,
+        skipped: u64,
     },
     /// COMPUTE_OVER reply from one compute actor.
     ComputeOver {
@@ -80,6 +95,7 @@ pub(crate) struct Manager<P: VertexProgram> {
 
     pub dispatchers: Vec<Addr<Dispatcher<P>>>,
     pub computers: Vec<Addr<Computer<P>>>,
+    pub assignments: Vec<DispatchAssignment>,
 
     pub superstep: u64,
     pub dispatch_col: u32,
@@ -93,6 +109,9 @@ pub(crate) struct Manager<P: VertexProgram> {
     pub messages: u64,
     pub dispatcher_messages: Vec<u64>,
     pub first_batch: Vec<Option<Duration>>,
+    pub edges_streamed: u64,
+    pub edges_skipped: u64,
+    pub frontier_density: Vec<f64>,
     pub step_activated: u64,
     pub step_delta: f64,
     pub steps_run: u64,
@@ -125,6 +144,7 @@ impl<P: VertexProgram> Manager<P> {
             fault: None,
             dispatchers: Vec::new(),
             computers: Vec::new(),
+            assignments: Vec::new(),
             superstep: resume_superstep,
             dispatch_col,
             pending_dispatch: 0,
@@ -136,6 +156,9 @@ impl<P: VertexProgram> Manager<P> {
             messages: 0,
             dispatcher_messages: Vec::new(),
             first_batch: Vec::new(),
+            edges_streamed: 0,
+            edges_skipped: 0,
+            frontier_density: Vec::new(),
             step_activated: 0,
             step_delta: 0.0,
             steps_run: 0,
@@ -155,10 +178,30 @@ impl<P: VertexProgram> Manager<P> {
         // a stamp taken before any dispatcher starts.
         self.overlap.begin_superstep();
         self.step_started = Some(Instant::now());
-        for d in &self.dispatchers {
+        // Frontier popcounts: global for the density trace, per-interval
+        // as each dispatcher's sparse/dense input. The bitmap is stable
+        // here — computers only mark the *other* column.
+        let frontier = self.values.frontier();
+        let n = self.values.n_vertices();
+        let global_active = frontier.count(self.dispatch_col);
+        self.frontier_density.push(if n == 0 {
+            0.0
+        } else {
+            global_active as f64 / n as f64
+        });
+        for (i, d) in self.dispatchers.iter().enumerate() {
+            let active = match self.assignments.get(i) {
+                Some(DispatchAssignment::Range(r)) => {
+                    frontier.count_range(self.dispatch_col, r.clone())
+                }
+                // Strided assignments always sweep dense; the global
+                // count is only informational for them.
+                _ => global_active,
+            };
             let _ = d.send(DispatchCmd::Start {
                 superstep: self.superstep,
                 dispatch_col: self.dispatch_col,
+                active,
             });
         }
     }
@@ -183,6 +226,9 @@ impl<P: VertexProgram> Manager<P> {
             messages: self.messages,
             dispatcher_messages: std::mem::take(&mut self.dispatcher_messages),
             first_batch: std::mem::take(&mut self.first_batch),
+            edges_streamed: self.edges_streamed,
+            edges_skipped: self.edges_skipped,
+            frontier_density: std::mem::take(&mut self.frontier_density),
             final_dispatch_col: self.dispatch_col,
         });
         ctx.stop();
@@ -219,9 +265,17 @@ impl<P: VertexProgram> Manager<P> {
         // the last *successful* commit and retries — the header on disk
         // is still the previous slot (dual-slot scheme), so nothing is
         // lost.
-        if let Err(e) = self.values.commit(self.superstep, next_dispatch, self.durable) {
+        if let Err(e) = self
+            .values
+            .commit(self.superstep, next_dispatch, self.durable)
+        {
             panic!("superstep {} commit failed: {e}", self.superstep);
         }
+        // The just-dispatched column becomes the next superstep's update
+        // column: wipe its bitmap so computers mark a fresh frontier into
+        // it (its flags are all set too — dispatchers invalidate every
+        // vertex they dispatch — keeping bitmap ⊇ flag-clear exact).
+        self.values.frontier().clear(self.dispatch_col);
         self.progress.fetch_add(1, Ordering::Relaxed);
         if self.wants_more() {
             self.superstep += 1;
@@ -242,22 +296,28 @@ impl<P: VertexProgram> Actor for Manager<P> {
             ManagerMsg::Wire {
                 dispatchers,
                 computers,
+                assignments,
             } => {
                 self.dispatcher_messages = vec![0; dispatchers.len()];
                 self.dispatchers = dispatchers;
                 self.computers = computers;
+                self.assignments = assignments;
                 self.start_superstep();
             }
             ManagerMsg::DispatchOver {
                 superstep,
                 dispatcher,
                 sent,
+                streamed,
+                skipped,
             } => {
                 debug_assert_eq!(superstep, self.superstep);
                 if self.dispatcher_messages.len() <= dispatcher {
                     self.dispatcher_messages.resize(dispatcher + 1, 0);
                 }
                 self.dispatcher_messages[dispatcher] += sent;
+                self.edges_streamed += streamed;
+                self.edges_skipped += skipped;
                 self.pending_dispatch -= 1;
                 if self.pending_dispatch == 0 {
                     if self.crash_after_dispatch == Some(self.superstep) {

@@ -221,10 +221,18 @@ mod tests {
         let r = DispatchAssignment::Range(3..7);
         assert_eq!(r.len(), 4);
         assert!(!r.is_empty());
-        let s = DispatchAssignment::Strided { offset: 9, stride: 4, n_vertices: 8 };
+        let s = DispatchAssignment::Strided {
+            offset: 9,
+            stride: 4,
+            n_vertices: 8,
+        };
         assert_eq!(s.len(), 0);
         assert!(s.is_empty());
-        let s = DispatchAssignment::Strided { offset: 1, stride: 3, n_vertices: 10 };
+        let s = DispatchAssignment::Strided {
+            offset: 1,
+            stride: 3,
+            n_vertices: 10,
+        };
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 7]);
         assert_eq!(s.len(), 3);
     }
@@ -298,15 +306,15 @@ mod tests {
 
     #[test]
     fn edge_balanced_intervals_on_uniform_graph_are_roughly_uniform() {
-        let csr = materialize(
-            "er.gcsr",
-            generate::erdos_renyi(1000, 10_000, 77),
-        );
+        let csr = materialize("er.gcsr", generate::erdos_renyi(1000, 10_000, 77));
         let iv = edge_balanced_intervals(&csr, 4);
         let loads: Vec<u64> = iv.iter().map(|r| csr.edges_in_range(r.clone())).collect();
         let max = *loads.iter().max().unwrap() as f64;
         let min = *loads.iter().min().unwrap() as f64;
-        assert!(max / min.max(1.0) < 1.5, "loads {loads:?} should be balanced");
+        assert!(
+            max / min.max(1.0) < 1.5,
+            "loads {loads:?} should be balanced"
+        );
     }
 
     #[test]
@@ -314,6 +322,9 @@ mod tests {
         let csr = materialize("tiny.gcsr", generate::chain(3));
         let iv = edge_balanced_intervals(&csr, 8);
         assert_eq!(iv.len(), 8);
-        assert_eq!(iv.iter().map(|r| (r.end - r.start) as usize).sum::<usize>(), 3);
+        assert_eq!(
+            iv.iter().map(|r| (r.end - r.start) as usize).sum::<usize>(),
+            3
+        );
     }
 }

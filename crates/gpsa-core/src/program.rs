@@ -147,7 +147,14 @@ mod tests {
         fn gen_msg(&self, _src: VertexId, value: u32, _d: u32, _m: &GraphMeta) -> Option<u32> {
             Some(value)
         }
-        fn compute(&self, _v: VertexId, acc: Option<u32>, basis: u32, msg: u32, _m: &GraphMeta) -> u32 {
+        fn compute(
+            &self,
+            _v: VertexId,
+            acc: Option<u32>,
+            basis: u32,
+            msg: u32,
+            _m: &GraphMeta,
+        ) -> u32 {
             acc.unwrap_or(basis).min(msg)
         }
         fn freshest(&self, a: u32, b: u32) -> u32 {
@@ -165,7 +172,10 @@ mod tests {
     #[test]
     fn fold_sequence_behaves_like_min() {
         let p = MinLabel;
-        let meta = GraphMeta { n_vertices: 10, n_edges: 0 };
+        let meta = GraphMeta {
+            n_vertices: 10,
+            n_edges: 0,
+        };
         let a = p.compute(0, None, 7, 9, &meta);
         assert_eq!(a, 7);
         let b = p.compute(0, Some(a), 7, 2, &meta);

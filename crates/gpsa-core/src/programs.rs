@@ -32,7 +32,13 @@ impl VertexProgram for PageRank {
         (1.0 / meta.n_vertices.max(1) as f32, true)
     }
 
-    fn gen_msg(&self, _src: VertexId, value: f32, out_degree: u32, _meta: &GraphMeta) -> Option<f32> {
+    fn gen_msg(
+        &self,
+        _src: VertexId,
+        value: f32,
+        out_degree: u32,
+        _meta: &GraphMeta,
+    ) -> Option<f32> {
         if out_degree == 0 {
             None // sinks keep their mass (simplified PR, as in GraphChi's example)
         } else {
@@ -40,7 +46,14 @@ impl VertexProgram for PageRank {
         }
     }
 
-    fn compute(&self, _v: VertexId, acc: Option<f32>, _basis: f32, msg: f32, meta: &GraphMeta) -> f32 {
+    fn compute(
+        &self,
+        _v: VertexId,
+        acc: Option<f32>,
+        _basis: f32,
+        msg: f32,
+        meta: &GraphMeta,
+    ) -> f32 {
         let base = (1.0 - self.damping) / meta.n_vertices.max(1) as f32;
         match acc {
             None => base + self.damping * msg,
@@ -105,7 +118,14 @@ impl VertexProgram for Bfs {
         }
     }
 
-    fn compute(&self, _v: VertexId, acc: Option<u32>, basis: u32, msg: u32, _meta: &GraphMeta) -> u32 {
+    fn compute(
+        &self,
+        _v: VertexId,
+        acc: Option<u32>,
+        basis: u32,
+        msg: u32,
+        _meta: &GraphMeta,
+    ) -> u32 {
         acc.unwrap_or(basis).min(msg)
     }
 
@@ -144,7 +164,14 @@ impl VertexProgram for ConnectedComponents {
         Some(value)
     }
 
-    fn compute(&self, _v: VertexId, acc: Option<u32>, basis: u32, msg: u32, _meta: &GraphMeta) -> u32 {
+    fn compute(
+        &self,
+        _v: VertexId,
+        acc: Option<u32>,
+        basis: u32,
+        msg: u32,
+        _meta: &GraphMeta,
+    ) -> u32 {
         acc.unwrap_or(basis).min(msg)
     }
 
@@ -250,7 +277,14 @@ impl VertexProgram for InDegree {
         Some(1)
     }
 
-    fn compute(&self, _v: VertexId, acc: Option<u32>, _basis: u32, msg: u32, _meta: &GraphMeta) -> u32 {
+    fn compute(
+        &self,
+        _v: VertexId,
+        acc: Option<u32>,
+        _basis: u32,
+        msg: u32,
+        _meta: &GraphMeta,
+    ) -> u32 {
         acc.unwrap_or(0) + msg
     }
 
@@ -331,7 +365,14 @@ impl VertexProgram for KCore {
         }
     }
 
-    fn compute(&self, _v: VertexId, acc: Option<u32>, basis: u32, msg: u32, _meta: &GraphMeta) -> u32 {
+    fn compute(
+        &self,
+        _v: VertexId,
+        acc: Option<u32>,
+        basis: u32,
+        msg: u32,
+        _meta: &GraphMeta,
+    ) -> u32 {
         let cur = acc.unwrap_or(basis);
         if cur == REMOVED {
             return REMOVED; // decrements to a peeled vertex are moot

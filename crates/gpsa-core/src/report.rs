@@ -34,6 +34,18 @@ pub struct RunReport<V> {
     /// Messages sent per dispatch actor over the whole run — the paper's
     /// §V-A load-balance story made observable.
     pub dispatcher_messages: Vec<u64>,
+    /// CSR body words actually read by dispatchers over the whole run
+    /// (degree words + targets + separators). Under sparse dispatch this
+    /// counts only the records seeked to; under a dense sweep it is the
+    /// full interval each superstep.
+    pub edges_streamed: u64,
+    /// CSR body words dispatchers did *not* read thanks to frontier-driven
+    /// seeks (interval total minus streamed, per Range dispatcher per
+    /// superstep). 0 for dense sweeps and strided assignments.
+    pub edges_skipped: u64,
+    /// Per superstep: `active vertices / total vertices` at dispatch time
+    /// — the frontier density the sparse/dense decision was made from.
+    pub frontier_density: Vec<f64>,
     /// Message-slab pool acquisitions served from the free-list (recycled
     /// buffers) over the whole run.
     pub pool_hits: u64,
@@ -84,6 +96,15 @@ impl<V> RunReport<V> {
         }
     }
 
+    /// Mean frontier density over the run's supersteps; 0.0 if none ran.
+    pub fn mean_frontier_density(&self) -> f64 {
+        if self.frontier_density.is_empty() {
+            0.0
+        } else {
+            self.frontier_density.iter().sum::<f64>() / self.frontier_density.len() as f64
+        }
+    }
+
     /// Mean time-to-first-compute-batch over supersteps that sent
     /// messages, if any did.
     pub fn mean_first_batch(&self) -> Option<Duration> {
@@ -111,6 +132,9 @@ mod tests {
             deltas: vec![],
             messages: 12,
             dispatcher_messages: vec![6, 6],
+            edges_streamed: 40,
+            edges_skipped: 8,
+            frontier_density: vec![0.5, 0.1],
             pool_hits: 9,
             pool_misses: 3,
             first_batch: vec![Some(Duration::from_millis(1)), None],
@@ -122,6 +146,7 @@ mod tests {
         assert_eq!(r.mean_superstep(1), Duration::from_millis(10));
         assert_eq!(r.superstep_total(), Duration::from_millis(40));
         assert!((r.pool_hit_rate() - 0.75).abs() < 1e-9);
+        assert!((r.mean_frontier_density() - 0.3).abs() < 1e-9);
         assert_eq!(r.mean_first_batch(), Some(Duration::from_millis(1)));
     }
 }

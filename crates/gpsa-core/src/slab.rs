@@ -181,6 +181,9 @@ mod tests {
         s.record_first_batch();
         assert_eq!(s.take_first_batch(), Some(first), "later batches ignored");
         s.begin_superstep();
-        assert!(s.take_first_batch().is_none(), "epoch reset clears the record");
+        assert!(
+            s.take_first_batch().is_none(),
+            "epoch reset clears the record"
+        );
     }
 }

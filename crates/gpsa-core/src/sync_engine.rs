@@ -55,6 +55,7 @@ impl SyncEngine {
         let mut step_times = Vec::new();
         let mut activated_hist = Vec::new();
         let mut deltas = Vec::new();
+        let mut densities = Vec::new();
         let mut messages = 0u64;
         let mut supersteps = 0u64;
 
@@ -65,6 +66,12 @@ impl SyncEngine {
 
         loop {
             let t_step = Instant::now();
+            let frontier = active.iter().filter(|&&a| a).count();
+            densities.push(if n == 0 {
+                0.0
+            } else {
+                frontier as f64 / n as f64
+            });
 
             // --- Phase 1: dispatch (sequential, Fig. 1) ---
             for v in 0..n as VertexId {
@@ -143,6 +150,11 @@ impl SyncEngine {
             deltas,
             messages,
             dispatcher_messages: vec![messages],
+            // No frontier-aware I/O path: the oracle re-derives everything
+            // in memory, so the streamed/skipped tallies stay zero.
+            edges_streamed: 0,
+            edges_skipped: 0,
+            frontier_density: densities,
             // No actor pipeline: no slab pool, no batch timing.
             pool_hits: 0,
             pool_misses: 0,
@@ -163,7 +175,9 @@ mod tests {
     #[test]
     fn bfs_levels_on_chain() {
         let el = generate::chain(6);
-        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let eng = SyncEngine::new(Termination::Quiescence {
+            max_supersteps: 100,
+        });
         let r = eng.run(&el, Bfs { root: 0 });
         assert_eq!(r.values, vec![0, 1, 2, 3, 4, 5]);
     }
@@ -171,7 +185,9 @@ mod tests {
     #[test]
     fn cc_on_two_components() {
         let el = generate::two_components(4, 5);
-        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let eng = SyncEngine::new(Termination::Quiescence {
+            max_supersteps: 100,
+        });
         let r = eng.run(&el, ConnectedComponents);
         assert_eq!(r.values, vec![0, 0, 0, 0, 4, 4, 4, 4, 4]);
         assert_eq!(*r.activated.last().unwrap(), 0);
@@ -191,7 +207,9 @@ mod tests {
     #[test]
     fn unreachable_stay_unreached() {
         let el = generate::two_components(3, 3);
-        let eng = SyncEngine::new(Termination::Quiescence { max_supersteps: 100 });
+        let eng = SyncEngine::new(Termination::Quiescence {
+            max_supersteps: 100,
+        });
         let r = eng.run(&el, Bfs { root: 0 });
         assert!(r.values[3..].iter().all(|&l| l == UNREACHED));
     }

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use gpsa_mmap::MmapMut;
 
+use crate::frontier::Frontier;
 use crate::value::VertexValue;
 use crate::word::{clear_flag, set_flag};
 
@@ -141,7 +142,10 @@ impl std::fmt::Display for ValueFileError {
                 "value file length mismatch (header implies {expected} bytes, file has {actual})"
             ),
             ValueFileError::NoValidCommitSlot => {
-                write!(f, "no commit slot passes its checksum (corrupt header page)")
+                write!(
+                    f,
+                    "no commit slot passes its checksum (corrupt header page)"
+                )
             }
         }
     }
@@ -205,6 +209,10 @@ pub struct ValueFile {
     n: usize,
     /// First global vertex id stored here; slots are indexed by `v - base`.
     base: u32,
+    /// In-memory active-vertex bitmaps, one per column, kept in lockstep
+    /// with the flag bits (see [`crate::frontier`] for the superset
+    /// invariant and why recovery never needs to persist them).
+    frontier: Frontier,
     /// Chaos hook: scripted msync failures / torn headers.
     #[cfg(feature = "chaos")]
     fault: parking_lot::Mutex<Option<std::sync::Arc<crate::fault::FaultPlan>>>,
@@ -248,6 +256,7 @@ impl ValueFile {
             map,
             n,
             base: range.start,
+            frontier: Frontier::new(range.clone()),
             #[cfg(feature = "chaos")]
             fault: parking_lot::Mutex::new(None),
         };
@@ -261,7 +270,12 @@ impl ValueFile {
             for v in range {
                 let (val, active) = init(v);
                 let bits = val.to_bits();
-                let dispatch_bits = if active { bits } else { set_flag(bits) };
+                let dispatch_bits = if active {
+                    vf.frontier.mark(0, v);
+                    bits
+                } else {
+                    set_flag(bits)
+                };
                 vf.store(0, v, dispatch_bits);
                 vf.store(1, v, set_flag(bits));
             }
@@ -294,6 +308,7 @@ impl ValueFile {
             map,
             n: 0,
             base: 0,
+            frontier: Frontier::new(0..0),
             #[cfg(feature = "chaos")]
             fault: parking_lot::Mutex::new(None),
         };
@@ -324,12 +339,17 @@ impl ValueFile {
             map: vf.map,
             n: n as usize,
             base,
+            frontier: Frontier::new(base..base + n as u32),
             #[cfg(feature = "chaos")]
             fault: parking_lot::Mutex::new(None),
         };
         if vf.best_slot().is_none() {
             return Err(ValueFileError::NoValidCommitSlot);
         }
+        // The bitmap is not persisted; a freshly opened file starts from
+        // the conservative superset (next dispatch column all-active).
+        // The flag check downstream keeps dispatch exact.
+        vf.frontier.fill(vf.header().next_dispatch_col);
         Ok(vf)
     }
 
@@ -545,6 +565,12 @@ impl ValueFile {
         self.words()[self.slot(col, v)].fetch_or(crate::word::FLAG_BIT, Ordering::Relaxed);
     }
 
+    /// The per-column active-vertex bitmaps (see [`crate::frontier`]).
+    #[inline]
+    pub fn frontier(&self) -> &Frontier {
+        &self.frontier
+    }
+
     /// `msync` the whole mapping.
     pub fn flush(&self) -> std::io::Result<()> {
         self.map.flush().map_err(std::io::Error::from)
@@ -571,6 +597,10 @@ impl ValueFile {
             self.store(good, v, payload); // flag 0: active
             self.store(1 - good, v, set_flag(payload));
         }
+        // Bitmap in lockstep with the flags just rebuilt: every vertex is
+        // active in the dispatch column, none in the update column.
+        self.frontier.fill(good);
+        self.frontier.clear(1 - good);
         resume
     }
 }
@@ -812,6 +842,52 @@ mod tests {
             ValueFile::open(&path),
             Err(ValueFileError::NoValidCommitSlot)
         ));
+    }
+
+    #[test]
+    fn create_marks_frontier_for_active_vertices_only() {
+        let path = tmp("frontier-init.gval");
+        let vf = ValueFile::create(&path, 4, |v| (v, v % 2 == 0)).unwrap();
+        let f = vf.frontier();
+        assert!(f.is_marked(0, 0) && f.is_marked(0, 2));
+        assert!(!f.is_marked(0, 1) && !f.is_marked(0, 3));
+        assert_eq!(f.count(0), 2);
+        assert_eq!(f.count(1), 0, "superstep-0 update column starts empty");
+    }
+
+    #[test]
+    fn open_fills_frontier_conservatively() {
+        let path = tmp("frontier-open.gval");
+        {
+            let vf = ValueFile::create(&path, 3, |v| (v, v == 0)).unwrap();
+            vf.commit(0, 1, true).unwrap();
+        }
+        let vf = ValueFile::open(&path).unwrap();
+        // Bitmap is not persisted: the next dispatch column (1) reads
+        // all-active, the other empty.
+        assert_eq!(vf.frontier().count(1), 3);
+        assert_eq!(vf.frontier().count(0), 0);
+    }
+
+    #[test]
+    fn recover_rebuilds_frontier_in_lockstep_with_flags() {
+        let path = tmp("frontier-recover.gval");
+        let vf = ValueFile::create(&path, 3, |_| (7u32, true)).unwrap();
+        vf.commit(0, 1, false).unwrap();
+        // Mid-superstep-1 state: computer marked a partial frontier in
+        // the update column (0) before the crash.
+        vf.frontier().mark(0, 2);
+        vf.frontier().clear(1);
+        let resume = vf.recover();
+        assert_eq!(resume, 1);
+        // Dispatch column 1: every vertex flag-clear AND bitmap-set;
+        // update column 0: every vertex flagged AND bitmap-clear.
+        for v in 0..3 {
+            assert!(!is_flagged(vf.load(1, v)));
+            assert!(vf.frontier().is_marked(1, v));
+            assert!(is_flagged(vf.load(0, v)));
+            assert!(!vf.frontier().is_marked(0, v));
+        }
     }
 
     #[test]

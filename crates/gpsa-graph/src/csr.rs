@@ -144,7 +144,12 @@ mod tests {
     fn unsorted_input_is_grouped_by_source() {
         let g = Csr::from_edges(
             3,
-            vec![Edge::new(2, 0), Edge::new(0, 1), Edge::new(2, 1), Edge::new(0, 2)],
+            vec![
+                Edge::new(2, 0),
+                Edge::new(0, 1),
+                Edge::new(2, 1),
+                Edge::new(0, 2),
+            ],
         );
         assert_eq!(g.neighbors(0), &[1, 2]);
         assert_eq!(g.neighbors(2), &[0, 1]);

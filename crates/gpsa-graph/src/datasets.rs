@@ -152,8 +152,8 @@ mod tests {
     fn scaling_preserves_ratio() {
         let n = Dataset::LiveJournal.scaled_nodes(64);
         let e = Dataset::LiveJournal.scaled_edges(64);
-        let paper_ratio = Dataset::LiveJournal.paper_edges() as f64
-            / Dataset::LiveJournal.paper_nodes() as f64;
+        let paper_ratio =
+            Dataset::LiveJournal.paper_edges() as f64 / Dataset::LiveJournal.paper_nodes() as f64;
         let ratio = e as f64 / n as f64;
         assert!((ratio - paper_ratio).abs() / paper_ratio < 0.01);
     }

@@ -137,8 +137,7 @@ impl DiskCsr {
         if ibytes.len() != 16 + 8 * (n_vertices + 1) {
             return Err(bad("GIDX length mismatch"));
         }
-        let expected_body =
-            n_edges + n_vertices * (1 + usize::from(with_degrees));
+        let expected_body = n_edges + n_vertices * (1 + usize::from(with_degrees));
         if words.len() != HEADER_WORDS + expected_body {
             return Err(bad("GCSR body length mismatch"));
         }
@@ -178,7 +177,9 @@ impl DiskCsr {
 
     /// Advise the kernel we will stream the edge file sequentially.
     pub fn advise_sequential(&self) -> io::Result<()> {
-        self.data.advise(Advice::Sequential).map_err(io::Error::from)
+        self.data
+            .advise(Advice::Sequential)
+            .map_err(io::Error::from)
     }
 
     /// Advise the kernel the edge file will be accessed at random (the
@@ -186,6 +187,22 @@ impl DiskCsr {
     /// readahead would only pollute the page cache).
     pub fn advise_random(&self) -> io::Result<()> {
         self.data.advise(Advice::Random).map_err(io::Error::from)
+    }
+
+    /// Advise the kernel about just the span of the edge file holding the
+    /// records of `vertices`, leaving the rest of the map untouched. Sparse
+    /// and strided dispatchers use this so one actor's `Random` hint does
+    /// not demote its siblings' sequential windows.
+    pub fn advise_vertex_range(&self, vertices: Range<VertexId>, advice: Advice) -> io::Result<()> {
+        assert!(vertices.end as usize <= self.n_vertices);
+        if vertices.start >= vertices.end {
+            return Ok(());
+        }
+        let start = HEADER_WORDS as u64 + self.word_offset(vertices.start as usize);
+        let end = HEADER_WORDS as u64 + self.word_offset(vertices.end as usize);
+        self.data
+            .advise_range(start as usize * 4, (end - start) as usize * 4, advice)
+            .map_err(io::Error::from)
     }
 
     fn body(&self) -> &[u32] {
@@ -294,10 +311,26 @@ impl DiskCsr {
         crate::EdgeList::with_vertices(edges, self.n_vertices)
     }
 
+    /// A seeking cursor for sparse (frontier-driven) dispatch: the caller
+    /// feeds it a strictly ascending stream of active vertex ids and gets
+    /// each record back. Adjacent ids coalesce into one contiguous scan —
+    /// the cursor only consults the word-offset index (a seek) when the
+    /// requested id is not the one right after the last record read.
+    pub fn seek_cursor(&self) -> SeekCursor<'_> {
+        SeekCursor {
+            csr: self,
+            next: 0,
+            pos: 0,
+            words_read: 0,
+            seeks: 0,
+        }
+    }
+
     /// Sum of out-degrees over an id range (used by the edge-balanced
     /// partitioner).
     pub fn edges_in_range(&self, vertices: Range<VertexId>) -> u64 {
-        let words = self.word_offset(vertices.end as usize) - self.word_offset(vertices.start as usize);
+        let words =
+            self.word_offset(vertices.end as usize) - self.word_offset(vertices.start as usize);
         let n = (vertices.end - vertices.start) as u64;
         // Each record is degree? + targets + separator.
         words - n * (1 + u64::from(self.with_degrees))
@@ -324,6 +357,72 @@ impl Iterator for ChunkCursor<'_> {
         let start = self.next;
         self.next = self.csr.chunk_end(start..self.end, self.budget);
         Some(start..self.next)
+    }
+}
+
+/// Seek-based record reader over an ascending id stream. See
+/// [`DiskCsr::seek_cursor`].
+#[derive(Debug)]
+pub struct SeekCursor<'a> {
+    csr: &'a DiskCsr,
+    /// The vertex whose record starts at `pos` — requests for exactly this
+    /// id continue the current scan without touching the index.
+    next: VertexId,
+    pos: usize,
+    words_read: u64,
+    seeks: u64,
+}
+
+impl<'a> SeekCursor<'a> {
+    /// Read vertex `v`'s record. Ids must be requested in strictly
+    /// ascending order across calls.
+    pub fn record(&mut self, v: VertexId) -> VertexEdges<'a> {
+        assert!(
+            (v as usize) < self.csr.n_vertices,
+            "vertex {v} out of range"
+        );
+        assert!(
+            v >= self.next,
+            "seek cursor ids must ascend ({v} < {})",
+            self.next
+        );
+        if v != self.next {
+            self.pos = self.csr.word_offset(v as usize) as usize;
+            self.seeks += 1;
+        }
+        let body = self.csr.body();
+        let mut pos = self.pos;
+        let degree_word = if self.csr.with_degrees {
+            let d = body[pos];
+            pos += 1;
+            Some(d)
+        } else {
+            None
+        };
+        let start = pos;
+        while body[pos] != SEPARATOR {
+            pos += 1;
+        }
+        let targets = &body[start..pos];
+        self.words_read += (pos + 1 - self.pos) as u64;
+        self.pos = pos + 1;
+        self.next = v + 1;
+        VertexEdges {
+            vid: v,
+            degree: degree_word.unwrap_or(targets.len() as u32),
+            targets,
+        }
+    }
+
+    /// Body words consumed so far (degree words, targets, separators) —
+    /// the sparse-mode `edges_streamed` counter.
+    pub fn words_read(&self) -> u64 {
+        self.words_read
+    }
+
+    /// Index lookups performed (coalesced runs don't seek).
+    pub fn seeks(&self) -> u64 {
+        self.seeks
     }
 }
 
@@ -511,6 +610,59 @@ mod tests {
     }
 
     #[test]
+    fn seek_cursor_matches_random_access_and_coalesces() {
+        for with_deg in [false, true] {
+            let path = tmpdir().join(format!("seek-{with_deg}.gcsr"));
+            DiskCsrWriter::write(&path, &fig4(), with_deg).unwrap();
+            let d = DiskCsr::open(&path).unwrap();
+
+            // Sparse visit {0, 3}: one seek (vertex 3), records identical
+            // to random access.
+            let mut c = d.seek_cursor();
+            let r0 = c.record(0);
+            assert_eq!((r0.vid, r0.degree, r0.targets), (0, 2, &[2u32, 3][..]));
+            assert_eq!(c.seeks(), 0, "first record starts at offset 0");
+            let r3 = c.record(3);
+            assert_eq!(r3.targets, d.vertex_edges(3).targets);
+            assert_eq!(c.seeks(), 1);
+            // Words: exactly the two visited records.
+            let rec_words = |v: usize| d.word_offset(v + 1) - d.word_offset(v);
+            assert_eq!(c.words_read(), rec_words(0) + rec_words(3));
+
+            // Adjacent ids coalesce: visiting every vertex seeks zero times
+            // and reads exactly the whole body.
+            let mut c = d.seek_cursor();
+            for v in 0..4 {
+                assert_eq!(c.record(v).targets, d.vertex_edges(v).targets);
+            }
+            assert_eq!(c.seeks(), 0);
+            assert_eq!(c.words_read(), d.word_offset(4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn seek_cursor_rejects_descending_ids() {
+        let path = tmpdir().join("seek-desc.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        let mut c = d.seek_cursor();
+        c.record(2);
+        c.record(2);
+    }
+
+    #[test]
+    fn advise_vertex_range_accepts_any_subrange() {
+        let path = tmpdir().join("advise.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let d = DiskCsr::open(&path).unwrap();
+        d.advise_vertex_range(0..4, Advice::Random).unwrap();
+        d.advise_vertex_range(1..3, Advice::Sequential).unwrap();
+        d.advise_vertex_range(2..2, Advice::Random).unwrap();
+        d.advise_vertex_range(3..4, Advice::Normal).unwrap();
+    }
+
+    #[test]
     fn corrupt_files_rejected() {
         let dir = tmpdir();
         let path = dir.join("corrupt.gcsr");
@@ -537,6 +689,8 @@ mod tests {
         assert_eq!(d.n_vertices(), 3);
         assert_eq!(d.n_edges(), 0);
         assert_eq!(d.cursor(0..3).count(), 3);
-        assert!(d.cursor(0..3).all(|r| r.targets.is_empty() && r.degree == 0));
+        assert!(d
+            .cursor(0..3)
+            .all(|r| r.targets.is_empty() && r.degree == 0));
     }
 }

@@ -118,7 +118,12 @@ impl EdgeList {
     /// Write the text format.
     pub fn write_text<W: Write>(&self, writer: W) -> io::Result<()> {
         let mut w = BufWriter::new(writer);
-        writeln!(w, "# gpsa edge list: {} vertices {} edges", self.n_vertices, self.edges.len())?;
+        writeln!(
+            w,
+            "# gpsa edge list: {} vertices {} edges",
+            self.n_vertices,
+            self.edges.len()
+        )?;
         for e in &self.edges {
             writeln!(w, "{}\t{}", e.src, e.dst)?;
         }
@@ -226,10 +231,7 @@ impl EdgeList {
             }
         }
         let n_vertices = max_seen.map_or(0, |m| m as usize + 1);
-        Ok(EdgeList {
-            edges,
-            n_vertices,
-        })
+        Ok(EdgeList { edges, n_vertices })
     }
 
     /// Parse the adjacency format from a file.

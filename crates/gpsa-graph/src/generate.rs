@@ -41,7 +41,11 @@ impl RmatParams {
     fn validate(&self) {
         let sum = self.a + self.b + self.c + self.d;
         assert!(
-            (sum - 1.0).abs() < 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            (sum - 1.0).abs() < 1e-9
+                && self.a >= 0.0
+                && self.b >= 0.0
+                && self.c >= 0.0
+                && self.d >= 0.0,
             "R-MAT parameters must be non-negative and sum to 1 (got {sum})"
         );
     }
@@ -186,8 +190,14 @@ mod tests {
         let el = rmat(1000, 5000, RmatParams::default(), 42);
         assert_eq!(el.len(), 5000);
         assert_eq!(el.n_vertices, 1000);
-        assert!(el.edges.iter().all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
-        assert!(el.edges.iter().all(|e| e.src != e.dst), "self-loops rerolled");
+        assert!(el
+            .edges
+            .iter()
+            .all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
+        assert!(
+            el.edges.iter().all(|e| e.src != e.dst),
+            "self-loops rerolled"
+        );
     }
 
     #[test]
@@ -219,13 +229,26 @@ mod tests {
         let deg = el.out_degrees();
         let max = *deg.iter().max().unwrap() as f64;
         let mean = 20480.0 / 1024.0;
-        assert!(max < mean * 4.0, "ER should not be heavily skewed: max {max}");
+        assert!(
+            max < mean * 4.0,
+            "ER should not be heavily skewed: max {max}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_rmat_params_panic() {
-        rmat(16, 16, RmatParams { a: 0.9, b: 0.9, c: 0.1, d: 0.1 }, 0);
+        rmat(
+            16,
+            16,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.1,
+                d: 0.1,
+            },
+            0,
+        );
     }
 
     #[test]

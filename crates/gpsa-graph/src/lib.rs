@@ -30,6 +30,6 @@ pub mod preprocess;
 mod types;
 
 pub use csr::Csr;
-pub use disk_csr::{DiskCsr, DiskCsrWriter, EdgeCursor, VertexEdges};
+pub use disk_csr::{DiskCsr, DiskCsrWriter, EdgeCursor, SeekCursor, VertexEdges};
 pub use edgelist::EdgeList;
 pub use types::{Edge, VertexId, SEPARATOR};

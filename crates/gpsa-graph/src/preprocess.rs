@@ -124,7 +124,11 @@ pub fn binary_to_csr<P: AsRef<Path>, Q: AsRef<Path>>(
             break; // EOF reached inside read_run
         }
     }
-    let n_vertices = if n_edges == 0 { 0 } else { max_vertex as usize + 1 };
+    let n_vertices = if n_edges == 0 {
+        0
+    } else {
+        max_vertex as usize + 1
+    };
 
     // Phase 2: k-way merge runs, writing the CSR body directly.
     let stats = merge_runs_to_csr(&runs, n_vertices, n_edges, output, opts)?;
@@ -243,9 +247,9 @@ fn merge_runs_to_csr(
     let mut current: VertexId = 0;
     let mut pending: Vec<VertexId> = Vec::new();
     let flush_vertex = |out: &mut BufWriter<File>,
-                            idx: &mut BufWriter<File>,
-                            word_off: &mut u64,
-                            targets: &mut Vec<VertexId>|
+                        idx: &mut BufWriter<File>,
+                        word_off: &mut u64,
+                        targets: &mut Vec<VertexId>|
      -> io::Result<()> {
         idx.write_all(&word_off.to_le_bytes())?;
         if opts.with_degrees {

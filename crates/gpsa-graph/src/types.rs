@@ -49,11 +49,21 @@ mod tests {
 
     #[test]
     fn edge_ordering_is_src_major() {
-        let mut v = vec![Edge::new(2, 0), Edge::new(0, 5), Edge::new(0, 1), Edge::new(1, 9)];
+        let mut v = vec![
+            Edge::new(2, 0),
+            Edge::new(0, 5),
+            Edge::new(0, 1),
+            Edge::new(1, 9),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Edge::new(0, 1), Edge::new(0, 5), Edge::new(1, 9), Edge::new(2, 0)]
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 5),
+                Edge::new(1, 9),
+                Edge::new(2, 0)
+            ]
         );
     }
 

@@ -137,7 +137,10 @@ impl MmapMut {
         let align = std::mem::align_of::<T>();
         // mmap returns page-aligned addresses, so alignment can only fail
         // for exotic over-aligned types; length must divide exactly.
-        if size == 0 || !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(align) {
+        if size == 0
+            || !self.len.is_multiple_of(size)
+            || !(self.ptr.as_ptr() as usize).is_multiple_of(align)
+        {
             return Err(Error::BadLayout {
                 elem_size: size,
                 elem_align: align,
@@ -265,10 +268,60 @@ impl MmapMut {
         Ok(())
     }
 
+    /// Hint the kernel about the access pattern of just
+    /// `[offset, offset + len)` (page-aligned enclosing range), leaving
+    /// the rest of the mapping under its previous advice. Sparse readers
+    /// use this to mark only the window they will actually seek through
+    /// as `Random` instead of demoting the whole map.
+    pub fn advise_range(&self, offset: usize, len: usize, advice: Advice) -> Result<()> {
+        advise_range_raw(self.ptr, self.len, offset, len, advice)
+    }
+
     /// The underlying file handle (for metadata or extra fsyncs).
     pub fn file(&self) -> &File {
         &self.file
     }
+}
+
+/// `madvise` the page-aligned range enclosing `[offset, offset + len)`
+/// within a mapping of `map_len` bytes starting at `ptr`.
+fn advise_range_raw(
+    ptr: NonNull<u8>,
+    map_len: usize,
+    offset: usize,
+    len: usize,
+    advice: Advice,
+) -> Result<()> {
+    if len == 0 {
+        return Ok(());
+    }
+    let end = offset
+        .checked_add(len)
+        .filter(|&e| e <= map_len)
+        .ok_or_else(|| {
+            Error::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("advise_range {offset}+{len} exceeds {map_len}-byte mapping"),
+            ))
+        })?;
+    // SAFETY: sysconf is always safe to call.
+    let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    let page = if page > 0 { page as usize } else { 4096 };
+    let aligned_start = offset - (offset % page);
+    let aligned_len = end - aligned_start;
+    // SAFETY: the aligned range is within the region (start rounded down,
+    // end bounds-checked above).
+    let rc = unsafe {
+        libc::madvise(
+            ptr.as_ptr().add(aligned_start) as *mut _,
+            aligned_len,
+            advice.as_raw(),
+        )
+    };
+    if rc != 0 {
+        return Err(Error::Io(std::io::Error::last_os_error()));
+    }
+    Ok(())
 }
 
 impl Drop for MmapMut {
@@ -317,7 +370,10 @@ impl Mmap {
     pub fn as_slice_of<T: Pod>(&self) -> Result<&[T]> {
         let size = std::mem::size_of::<T>();
         let align = std::mem::align_of::<T>();
-        if size == 0 || !self.len.is_multiple_of(size) || !(self.ptr.as_ptr() as usize).is_multiple_of(align) {
+        if size == 0
+            || !self.len.is_multiple_of(size)
+            || !(self.ptr.as_ptr() as usize).is_multiple_of(align)
+        {
             return Err(Error::BadLayout {
                 elem_size: size,
                 elem_align: align,
@@ -336,6 +392,15 @@ impl Mmap {
             return Err(Error::Io(std::io::Error::last_os_error()));
         }
         Ok(())
+    }
+
+    /// Hint the kernel about the access pattern of just
+    /// `[offset, offset + len)` (page-aligned enclosing range), leaving
+    /// the rest of the mapping under its previous advice. Sparse readers
+    /// use this to mark only the window they will actually seek through
+    /// as `Random` instead of demoting the whole map.
+    pub fn advise_range(&self, offset: usize, len: usize, advice: Advice) -> Result<()> {
+        advise_range_raw(self.ptr, self.len, offset, len, advice)
     }
 }
 

@@ -84,6 +84,12 @@ fn outcome_to_json(o: &JobOutcome) -> Json {
         )
         .set("supersteps", Json::num(o.supersteps))
         .set("messages", Json::num(o.messages))
+        .set("edges_streamed", Json::num(o.edges_streamed))
+        .set("edges_skipped", Json::num(o.edges_skipped))
+        .set(
+            "mean_frontier_density",
+            Json::float(o.mean_frontier_density),
+        )
         .set("retry_attempts", Json::num(o.retry_attempts as u64))
 }
 
@@ -99,6 +105,14 @@ fn outcome_from_json(j: &Json) -> Option<JobOutcome> {
         values_u32: Arc::new(values),
         supersteps: j.get("supersteps")?.as_u64()?,
         messages: j.get("messages")?.as_u64()?,
+        // Dispatch-I/O counters arrived after the spill format shipped;
+        // entries journaled by older servers simply read back as 0.
+        edges_streamed: j.get("edges_streamed").and_then(Json::as_u64).unwrap_or(0),
+        edges_skipped: j.get("edges_skipped").and_then(Json::as_u64).unwrap_or(0),
+        mean_frontier_density: j
+            .get("mean_frontier_density")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
         retry_attempts: j.get("retry_attempts")?.as_u64()? as u32,
     })
 }
@@ -312,6 +326,9 @@ mod tests {
             values_u32: Arc::new(vec![tag]),
             supersteps: 1,
             messages: 1,
+            edges_streamed: 0,
+            edges_skipped: 0,
+            mean_frontier_density: 0.0,
             retry_attempts: 0,
         })
     }
@@ -388,6 +405,9 @@ mod tests {
                     values_u32: Arc::new(vec![0.17f32.to_bits(), f32::NAN.to_bits(), u32::MAX]),
                     supersteps: 5,
                     messages: 42,
+                    edges_streamed: 640,
+                    edges_skipped: 128,
+                    mean_frontier_density: 0.5,
                     retry_attempts: 1,
                 }),
             );
@@ -405,6 +425,9 @@ mod tests {
         );
         assert_eq!(got.value_type, ValueType::F32);
         assert_eq!(got.supersteps, 5);
+        assert_eq!(got.edges_streamed, 640);
+        assert_eq!(got.edges_skipped, 128);
+        assert!((got.mean_frontier_density - 0.5).abs() < 1e-9);
         assert_eq!(got.retry_attempts, 1);
         assert_eq!(*c.get(&key("h", "root=3", 1)).unwrap().values_u32, vec![9]);
     }

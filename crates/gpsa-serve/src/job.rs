@@ -234,6 +234,14 @@ pub struct JobOutcome {
     pub supersteps: u64,
     /// Messages folded by compute actors.
     pub messages: u64,
+    /// CSR body words dispatchers actually read (frontier-aware selective
+    /// dispatch; see `RunReport::edges_streamed`). 0 for cached results
+    /// parsed from pre-counter journals.
+    pub edges_streamed: u64,
+    /// CSR body words skipped by sparse seeks.
+    pub edges_skipped: u64,
+    /// Mean frontier density over the run's supersteps.
+    pub mean_frontier_density: f64,
     /// Self-healing retries the run needed (0 for a clean run).
     pub retry_attempts: u32,
 }
@@ -282,6 +290,12 @@ impl JobResponse {
             .set("values_u32", Json::Arr(values))
             .set("supersteps", Json::num(self.outcome.supersteps))
             .set("messages", Json::num(self.outcome.messages))
+            .set("edges_streamed", Json::num(self.outcome.edges_streamed))
+            .set("edges_skipped", Json::num(self.outcome.edges_skipped))
+            .set(
+                "mean_frontier_density",
+                Json::float(self.outcome.mean_frontier_density),
+            )
             .set(
                 "retry_attempts",
                 Json::num(self.outcome.retry_attempts as u64),
@@ -319,6 +333,12 @@ impl JobResponse {
                 values_u32: Arc::new(values),
                 supersteps: u("supersteps"),
                 messages: u("messages"),
+                edges_streamed: u("edges_streamed"),
+                edges_skipped: u("edges_skipped"),
+                mean_frontier_density: j
+                    .get("mean_frontier_density")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
                 retry_attempts: u("retry_attempts") as u32,
             }),
             queue_wait: Duration::from_micros(u("queue_wait_us")),
@@ -383,6 +403,9 @@ pub fn run_job(
                 values_u32: Arc::new(r.values.iter().map(|v| v.to_bits()).collect()),
                 supersteps: r.supersteps,
                 messages: r.messages,
+                edges_streamed: r.edges_streamed,
+                edges_skipped: r.edges_skipped,
+                mean_frontier_density: r.mean_frontier_density(),
                 retry_attempts: r.retry_attempts,
             })
         }
@@ -402,11 +425,15 @@ pub fn run_job(
 }
 
 fn u32_outcome(r: gpsa::RunReport<u32>) -> JobOutcome {
+    let mean_frontier_density = r.mean_frontier_density();
     JobOutcome {
         value_type: ValueType::U32,
         values_u32: Arc::new(r.values),
         supersteps: r.supersteps,
         messages: r.messages,
+        edges_streamed: r.edges_streamed,
+        edges_skipped: r.edges_skipped,
+        mean_frontier_density,
         retry_attempts: r.retry_attempts,
     }
 }
@@ -476,6 +503,9 @@ mod tests {
                 values_u32: Arc::new(vec![0.1f32.to_bits(), f32::NAN.to_bits(), u32::MAX]),
                 supersteps: 5,
                 messages: 17,
+                edges_streamed: 120,
+                edges_skipped: 36,
+                mean_frontier_density: 0.25,
                 retry_attempts: 1,
             }),
             queue_wait: Duration::from_micros(250),
