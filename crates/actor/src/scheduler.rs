@@ -48,7 +48,11 @@ thread_local! {
 }
 
 impl Scheduler {
-    pub(crate) fn new(workers: usize, batch: usize, metrics: Arc<SystemMetrics>) -> (Arc<Self>, Vec<Deque<Task>>) {
+    pub(crate) fn new(
+        workers: usize,
+        batch: usize,
+        metrics: Arc<SystemMetrics>,
+    ) -> (Arc<Self>, Vec<Deque<Task>>) {
         let deques: Vec<Deque<Task>> = (0..workers).map(|_| Deque::new_fifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let sched = Arc::new(Scheduler {
@@ -172,8 +176,7 @@ impl Scheduler {
                     // (and us) for the full 10ms backstop.
                     if !self.has_visible_work() && !self.is_shutdown() {
                         self.metrics.parks.fetch_add(1, Ordering::Relaxed);
-                        self.sleep_cv
-                            .wait_for(&mut g, Duration::from_millis(10));
+                        self.sleep_cv.wait_for(&mut g, Duration::from_millis(10));
                     }
                     drop(g);
                     self.sleepers.fetch_sub(1, Ordering::AcqRel);

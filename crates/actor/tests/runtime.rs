@@ -44,7 +44,10 @@ fn per_sender_fifo_order_is_preserved() {
     addr.send(CollectorMsg::Report).unwrap();
     let seen = rx.recv_timeout(Duration::from_secs(10)).unwrap();
     assert_eq!(seen.len(), 10_000);
-    assert!(seen.windows(2).all(|w| w[0] < w[1]), "single-sender FIFO violated");
+    assert!(
+        seen.windows(2).all(|w| w[0] < w[1]),
+        "single-sender FIFO violated"
+    );
     sys.shutdown();
 }
 
@@ -74,7 +77,11 @@ fn no_message_lost_or_duplicated_under_concurrent_senders() {
     let mut seen = rx.recv_timeout(Duration::from_secs(30)).unwrap();
     seen.sort_unstable();
     seen.dedup();
-    assert_eq!(seen.len() as u64, senders * per, "messages lost or duplicated");
+    assert_eq!(
+        seen.len() as u64,
+        senders * per,
+        "messages lost or duplicated"
+    );
     sys.shutdown();
 }
 
@@ -136,7 +143,8 @@ fn token_ring_of_a_thousand_actors() {
             .unwrap();
     }
     addrs[0].send(RingMsg::Token).unwrap();
-    rx.recv_timeout(Duration::from_secs(60)).expect("ring completed");
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("ring completed");
     sys.shutdown();
 }
 
@@ -205,7 +213,11 @@ fn graceful_stop_runs_stopped_hook_and_drops_mailbox() {
         std::thread::sleep(Duration::from_millis(2));
     }
     assert!(!addr.is_alive());
-    assert_eq!(flag.load(Ordering::SeqCst), 1, "stopped() must run exactly once");
+    assert_eq!(
+        flag.load(Ordering::SeqCst),
+        1,
+        "stopped() must run exactly once"
+    );
     assert!(addr.send(false).is_err());
     sys.shutdown();
 }
@@ -224,7 +236,9 @@ impl Actor for CountingActor {
 fn metrics_count_messages_and_activations() {
     let sys = System::builder().workers(2).batch(16).build();
     let count = Arc::new(AtomicU64::new(0));
-    let addr = sys.spawn(CountingActor { count: count.clone() });
+    let addr = sys.spawn(CountingActor {
+        count: count.clone(),
+    });
     let n = 1_000u64;
     for _ in 0..n {
         addr.send(1).unwrap();
@@ -313,7 +327,9 @@ fn started_hook_runs_before_messages_and_can_stop() {
 fn shutdown_is_idempotent_and_stops_workers() {
     let sys = System::builder().workers(3).build();
     let count = Arc::new(AtomicU64::new(0));
-    let addr = sys.spawn(CountingActor { count: count.clone() });
+    let addr = sys.spawn(CountingActor {
+        count: count.clone(),
+    });
     addr.send(5).unwrap();
     std::thread::sleep(Duration::from_millis(50));
     sys.shutdown();
@@ -339,7 +355,13 @@ fn supervised_actor_restarts_and_keeps_draining() {
     }
     let sys = System::builder().workers(2).build();
     let (tx, rx) = mpsc::channel();
-    let addr = sys.spawn_supervised(move || Flaky { seen: 0, tx: tx.clone() }, 3);
+    let addr = sys.spawn_supervised(
+        move || Flaky {
+            seen: 0,
+            tx: tx.clone(),
+        },
+        3,
+    );
     for m in [1u64, 2, 13, 4, 5] {
         addr.send(m).unwrap();
     }
@@ -347,7 +369,11 @@ fn supervised_actor_restarts_and_keeps_draining() {
     for _ in 0..4 {
         got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
     }
-    assert_eq!(got, vec![1, 2, 4, 5], "poisoned message consumed, rest delivered");
+    assert_eq!(
+        got,
+        vec![1, 2, 4, 5],
+        "poisoned message consumed, rest delivered"
+    );
     assert!(addr.is_alive(), "supervised actor survives a panic");
     assert_eq!(sys.metrics().restarts.load(Ordering::Relaxed), 1);
     assert_eq!(sys.metrics().panics.load(Ordering::Relaxed), 1);
@@ -467,7 +493,11 @@ fn panic_in_started_during_restart_escalates_instead_of_wedging() {
     assert_eq!(got.len(), 1, "{got:?}");
     assert!(got[0].supervised);
     assert_eq!(got[0].restarts_used, 1, "died on its first rebuild");
-    assert_eq!(builds.load(Ordering::SeqCst), 2, "initial build + one rebuild");
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        2,
+        "initial build + one rebuild"
+    );
     // Both the handler panic and the started panic are counted; the
     // remaining restart budget was never spent.
     assert_eq!(sys.metrics().panics.load(Ordering::Relaxed), 2);
@@ -564,7 +594,9 @@ fn heavy_fanout_fan_in() {
     }
     let sys = System::builder().workers(8).build();
     let count = Arc::new(AtomicU64::new(0));
-    let sink = sys.spawn(CountingActor { count: count.clone() });
+    let sink = sys.spawn(CountingActor {
+        count: count.clone(),
+    });
     let relays: Vec<_> = (0..64)
         .map(|_| sys.spawn(Relay { sink: sink.clone() }))
         .collect();

@@ -116,7 +116,9 @@ pub fn sssp(el: &EdgeList, root: VertexId) -> Vec<u32> {
 /// matching [`gpsa::programs::KCore`]. Expects a symmetrized graph.
 pub fn k_core(el: &EdgeList, k: u32) -> Vec<bool> {
     let csr = Csr::from_edge_list(el);
-    let mut degree: Vec<u32> = (0..el.n_vertices as u32).map(|v| csr.out_degree(v)).collect();
+    let mut degree: Vec<u32> = (0..el.n_vertices as u32)
+        .map(|v| csr.out_degree(v))
+        .collect();
     let mut alive = vec![true; el.n_vertices];
     let mut queue: Vec<u32> = (0..el.n_vertices as u32)
         .filter(|&v| degree[v as usize] < k)
@@ -165,7 +167,13 @@ mod tests {
     fn bfs_on_known_shapes() {
         let el = generate::chain(5);
         assert_eq!(bfs(&el, 0), vec![0, 1, 2, 3, 4]);
-        assert_eq!(bfs(&el, 4), vec![UNREACHED; 4].into_iter().chain([0]).collect::<Vec<_>>());
+        assert_eq!(
+            bfs(&el, 4),
+            vec![UNREACHED; 4]
+                .into_iter()
+                .chain([0])
+                .collect::<Vec<_>>()
+        );
         let star = generate::star(4);
         assert_eq!(bfs(&star, 0), vec![0, 1, 1, 1]);
     }
@@ -182,16 +190,18 @@ mod tests {
         let el = generate::cycle(10);
         let r = pagerank(&el, 0.85, 50);
         for &v in &r {
-            assert!((v - 0.1).abs() < 1e-5, "cycle rank should stay uniform: {v}");
+            assert!(
+                (v - 0.1).abs() < 1e-5,
+                "cycle rank should stay uniform: {v}"
+            );
         }
     }
 
     #[test]
     fn pagerank_ranks_hub_highest() {
         // Everyone points at vertex 0.
-        let el = gpsa_graph::EdgeList::from_edges(
-            (1..20).map(|i| (i, 0u32).into()).collect::<Vec<_>>(),
-        );
+        let el =
+            gpsa_graph::EdgeList::from_edges((1..20).map(|i| (i, 0u32).into()).collect::<Vec<_>>());
         let r = pagerank(&el, 0.85, 30);
         for v in 1..20 {
             assert!(r[0] > r[v], "hub should outrank spokes");

@@ -37,7 +37,12 @@ fn graphs() -> Vec<(&'static str, EdgeList)> {
         ("twocomp", generate::two_components(21, 34)),
         (
             "rmat",
-            generate::symmetrize(&generate::rmat(250, 1200, generate::RmatParams::default(), 99)),
+            generate::symmetrize(&generate::rmat(
+                250,
+                1200,
+                generate::RmatParams::default(),
+                99,
+            )),
         ),
         ("er", generate::erdos_renyi(180, 900, 5)),
     ]
@@ -120,7 +125,9 @@ fn pagerank_parity_across_all_three_engines() {
 
         let mut cfg = PswConfig::new(workdir(&format!("psw-pr-{tag}")));
         cfg.termination = PswTermination::Iterations(steps);
-        let psw = PswEngine::new(cfg).run(&el, PswPageRank::default()).unwrap();
+        let psw = PswEngine::new(cfg)
+            .run(&el, PswPageRank::default())
+            .unwrap();
         let psw_ranks: Vec<f32> = psw.values.iter().map(|&b| f32::from_bits(b)).collect();
         let diff = reference::max_abs_diff(&psw_ranks, &expect);
         assert!(diff < tol, "PSW pagerank on {tag}: max diff {diff}");
@@ -171,7 +178,12 @@ fn xstream_pagerank_is_exactly_synchronous() {
     // X-Stream's scatter-gather is a synchronous power iteration, so it
     // should match the reference almost bit-for-bit (modulo summation
     // order) even after few iterations.
-    let el = generate::symmetrize(&generate::rmat(200, 1000, generate::RmatParams::default(), 7));
+    let el = generate::symmetrize(&generate::rmat(
+        200,
+        1000,
+        generate::RmatParams::default(),
+        7,
+    ));
     let expect = reference::pagerank(&el, 0.85, 5);
     let mut cfg = XsConfig::new(workdir("xs-sync"));
     cfg.in_memory = true;
@@ -184,7 +196,12 @@ fn xstream_pagerank_is_exactly_synchronous() {
 #[test]
 fn gpsa_pagerank_is_exactly_synchronous() {
     // GPSA is BSP: its PR trajectory equals the reference's step by step.
-    let el = generate::symmetrize(&generate::rmat(200, 1000, generate::RmatParams::default(), 7));
+    let el = generate::symmetrize(&generate::rmat(
+        200,
+        1000,
+        generate::RmatParams::default(),
+        7,
+    ));
     for steps in [1u64, 2, 5] {
         let expect = reference::pagerank(&el, 0.85, steps as usize);
         let engine = Engine::new(

@@ -50,7 +50,10 @@ fn kcore_cascading_peel() {
     }
     let el = generate::symmetrize(&EdgeList::from_edges(edges));
     let got = run_kcore("cascade", &el, 2);
-    assert_eq!(got, vec![true, true, true, false, false, false, false, false]);
+    assert_eq!(
+        got,
+        vec![true, true, true, false, false, false, false, false]
+    );
 }
 
 #[test]

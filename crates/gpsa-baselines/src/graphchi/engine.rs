@@ -315,8 +315,7 @@ impl PswEngine {
                 return;
             }
             let old = values[v as usize].load(Ordering::Relaxed);
-            let in_vals: Vec<u32> = in_edges
-                [in_offsets[li] as usize..in_offsets[li + 1] as usize]
+            let in_vals: Vec<u32> = in_edges[in_offsets[li] as usize..in_offsets[li + 1] as usize]
                 .iter()
                 .map(|&rec| shard.vals[rec as usize].load(Ordering::Relaxed))
                 .collect();

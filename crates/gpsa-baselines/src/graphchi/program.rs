@@ -27,8 +27,13 @@ pub trait PswProgram: Send + Sync + 'static {
 
     /// Value written to **each** out-edge of `v` after an update (the
     /// GraphChi broadcast); `None` leaves the edge values untouched.
-    fn out_signal(&self, v: VertexId, new_value: u32, out_degree: u32, meta: &PswMeta)
-        -> Option<u32>;
+    fn out_signal(
+        &self,
+        v: VertexId,
+        new_value: u32,
+        out_degree: u32,
+        meta: &PswMeta,
+    ) -> Option<u32>;
 
     /// Per-edge variant of [`out_signal`](Self::out_signal): the value for
     /// the specific edge `(v, dst)`. Defaults to the uniform broadcast;
@@ -94,7 +99,10 @@ mod tests {
         assert!(p.changed(3, 1));
         assert!(!p.changed(3, 3));
         assert!(!p.always_active());
-        let m = PswMeta { n_vertices: 2, n_edges: 1 };
+        let m = PswMeta {
+            n_vertices: 2,
+            n_edges: 1,
+        };
         assert_eq!(p.init_edge(&m), 0);
         assert_eq!(p.update(0, 5, &[7, 2, 9], &m), 2);
     }

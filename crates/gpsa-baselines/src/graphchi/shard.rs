@@ -213,17 +213,15 @@ impl ShardedGraph {
     /// The shard (= interval index) owning vertex `v`.
     pub fn shard_of(&self, v: VertexId) -> usize {
         // Intervals are contiguous and sorted; binary search the starts.
-        match self
-            .intervals
-            .binary_search_by(|r| {
-                if v < r.start {
-                    std::cmp::Ordering::Greater
-                } else if v >= r.end {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        match self.intervals.binary_search_by(|r| {
+            if v < r.start {
+                std::cmp::Ordering::Greater
+            } else if v >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(i) => i,
             Err(_) => self.intervals.len() - 1,
         }
@@ -317,16 +315,18 @@ mod tests {
         let g = ShardedGraph::build(&el, 4, 0, &tmpdir("of")).unwrap();
         for v in 0..50u32 {
             let p = g.shard_of(v);
-            assert!(g.intervals[p].contains(&v), "v={v} p={p} iv={:?}", g.intervals[p]);
+            assert!(
+                g.intervals[p].contains(&v),
+                "v={v} p={p} iv={:?}",
+                g.intervals[p]
+            );
         }
     }
 
     #[test]
     fn skewed_graph_balances_by_in_degree() {
         // Star reversed: everyone points at vertex 0 => shard 0 gets all.
-        let el = EdgeList::from_edges(
-            (1..100).map(|i| Edge::new(i, 0)).collect::<Vec<_>>(),
-        );
+        let el = EdgeList::from_edges((1..100).map(|i| Edge::new(i, 0)).collect::<Vec<_>>());
         let g = ShardedGraph::build(&el, 4, 0, &tmpdir("skew")).unwrap();
         assert_eq!(g.intervals[0], 0..1, "hub isolated into its own interval");
         assert_eq!(g.read_shard(0).unwrap().len(), 99);

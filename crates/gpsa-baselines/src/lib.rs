@@ -23,4 +23,5 @@
 //! across all three engines.
 
 pub mod graphchi;
+pub mod seq;
 pub mod xstream;

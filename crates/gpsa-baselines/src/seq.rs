@@ -1,0 +1,234 @@
+//! The COST baseline: one tuned thread over flat in-memory CSR arrays.
+//!
+//! "Scalability! But at what COST?" (and its actor-flavored follow-up in
+//! PAPERS.md) asks the embarrassing question every parallel graph engine
+//! must answer: how many cores does it need to beat a competent
+//! single-threaded implementation? This module is that implementation for
+//! the three paper benchmarks — no actors, no channels, no mmap, no
+//! per-superstep bitmaps; just `offsets`/`targets` arrays, a worklist
+//! where one helps, and tight loops the compiler can see through.
+//!
+//! The algorithms compute the *same fixpoints* as the engine's vertex
+//! programs (`gpsa::programs`): BFS hop levels, min-label connected
+//! components over directed propagation, and the "simplified PageRank"
+//! where sinks generate no messages and a vertex with no inbound
+//! contribution falls back to the base term. BFS and CC reach identical
+//! integer fixpoints; PageRank agrees up to f32 summation order.
+
+use gpsa_graph::{Csr, VertexId};
+
+/// Level/label used for unreached vertices — mirrors
+/// `gpsa::programs::UNREACHED` (largest 31-bit payload; gpsa-baselines
+/// deliberately does not depend on gpsa-core).
+pub const UNREACHED: u32 = 0x7FFF_FFFF;
+
+/// What a baseline run did, for throughput accounting: every edge relaxed
+/// counts as one "message", making rates comparable with the engine's
+/// `RunReport::messages`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Edge relaxations performed (message-equivalents).
+    pub messages: u64,
+    /// Rounds / supersteps executed (1 for the worklist algorithms'
+    /// whole-run accounting).
+    pub rounds: u64,
+}
+
+/// Single-thread BFS from `root`: classic two-queue frontier sweep.
+/// Returns per-vertex hop levels ([`UNREACHED`] where unreachable).
+pub fn bfs(csr: &Csr, root: VertexId) -> (Vec<u32>, SeqStats) {
+    let n = csr.n_vertices();
+    let mut levels = vec![UNREACHED; n];
+    let mut messages = 0u64;
+    let mut rounds = 0u64;
+    if (root as usize) >= n {
+        return (levels, SeqStats { messages, rounds });
+    }
+    levels[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        rounds += 1;
+        level += 1;
+        for &u in &frontier {
+            for &v in csr.neighbors(u) {
+                messages += 1;
+                if levels[v as usize] == UNREACHED {
+                    levels[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    (levels, SeqStats { messages, rounds })
+}
+
+/// Single-thread connected components: min-label propagation along
+/// directed edges, driven by a worklist of vertices whose label just
+/// dropped. Reaches the same fixpoint as the engine's
+/// `ConnectedComponents` program (run both on a symmetrized graph for
+/// undirected components).
+pub fn connected_components(csr: &Csr) -> (Vec<u32>, SeqStats) {
+    let n = csr.n_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut messages = 0u64;
+    // Every vertex starts active (the program's init activates all).
+    let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut queued = vec![true; n];
+    let mut next = Vec::new();
+    let mut rounds = 0u64;
+    while !worklist.is_empty() {
+        rounds += 1;
+        for &u in &worklist {
+            queued[u as usize] = false;
+            let lu = labels[u as usize];
+            for &v in csr.neighbors(u) {
+                messages += 1;
+                if lu < labels[v as usize] {
+                    labels[v as usize] = lu;
+                    if !queued[v as usize] {
+                        queued[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        worklist.clear();
+        std::mem::swap(&mut worklist, &mut next);
+    }
+    (labels, SeqStats { messages, rounds })
+}
+
+/// Single-thread PageRank, `supersteps` rounds of the engine's simplified
+/// semantics: sinks send nothing; a vertex receiving no contribution
+/// scores the bare base term `(1 - d)/n`; otherwise
+/// `base + d * Σ rank(u)/deg(u)`. Two flat arrays, push-style.
+pub fn pagerank(csr: &Csr, damping: f32, supersteps: u64) -> (Vec<f32>, SeqStats) {
+    let n = csr.n_vertices();
+    if n == 0 {
+        return (
+            Vec::new(),
+            SeqStats {
+                messages: 0,
+                rounds: 0,
+            },
+        );
+    }
+    let base = (1.0 - damping) / n as f32;
+    let mut ranks = vec![1.0 / n as f32; n];
+    // `next` holds the damped inbound sum; `touched` distinguishes a true
+    // zero sum from "no message", which the engine maps to the bare base
+    // term.
+    let mut next = vec![0.0f32; n];
+    let mut touched = vec![false; n];
+    let mut messages = 0u64;
+    for _ in 0..supersteps {
+        next.fill(0.0);
+        touched.fill(false);
+        for u in 0..n {
+            let nbrs = csr.neighbors(u as VertexId);
+            if nbrs.is_empty() {
+                continue; // sink: no messages (gen_msg -> None)
+            }
+            let share = ranks[u] / nbrs.len() as f32;
+            for &v in nbrs {
+                messages += 1;
+                next[v as usize] += damping * share;
+                touched[v as usize] = true;
+            }
+        }
+        for v in 0..n {
+            // `compute` folds base + d*msg...; `no_message_value` is the
+            // bare base term either way.
+            ranks[v] = base + if touched[v] { next[v] } else { 0.0 };
+        }
+    }
+    (
+        ranks,
+        SeqStats {
+            messages,
+            rounds: supersteps,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsa_graph::{generate, EdgeList};
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
+        let el = EdgeList::from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]
+                .iter()
+                .map(|&(s, d)| gpsa_graph::Edge::new(s, d))
+                .collect(),
+        );
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn bfs_levels_on_diamond() {
+        let (levels, stats) = bfs(&diamond(), 0);
+        assert_eq!(levels, vec![0, 1, 1, 2, 3]);
+        assert_eq!(stats.messages, 5); // every edge relaxed exactly once
+        let (levels, _) = bfs(&diamond(), 4);
+        assert_eq!(levels, vec![UNREACHED, UNREACHED, UNREACHED, UNREACHED, 0]);
+    }
+
+    #[test]
+    fn cc_labels_min_propagation() {
+        // Two directed chains: 2 -> 3 and 0 -> 1 -> 0 (cycle).
+        let el = EdgeList::from_edges(
+            [(0, 1), (1, 0), (2, 3)]
+                .iter()
+                .map(|&(s, d)| gpsa_graph::Edge::new(s, d))
+                .collect(),
+        );
+        let (labels, _) = connected_components(&Csr::from_edge_list(&el));
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn pagerank_mass_with_sink_retention() {
+        let csr = diamond();
+        let (ranks, stats) = pagerank(&csr, 0.85, 5);
+        assert_eq!(ranks.len(), 5);
+        assert!(ranks.iter().all(|r| r.is_finite() && *r > 0.0));
+        // Vertex 3 receives from both branches: strictly the largest
+        // non-sink inflow.
+        assert!(ranks[3] > ranks[1] && ranks[3] > ranks[2]);
+        assert_eq!(stats.rounds, 5);
+    }
+
+    #[test]
+    fn worklists_converge_on_random_graphs() {
+        let el = generate::symmetrize(&generate::erdos_renyi(300, 900, 11));
+        let csr = Csr::from_edge_list(&el);
+        let (labels, _) = connected_components(&csr);
+        // Symmetric graph: label must be idempotent under one more sweep.
+        for u in 0..csr.n_vertices() as u32 {
+            for &v in csr.neighbors(u) {
+                assert_eq!(
+                    labels[u as usize].min(labels[v as usize]),
+                    labels[v as usize].min(labels[u as usize])
+                );
+                assert!(labels[v as usize] <= labels[u as usize].max(v));
+            }
+        }
+        let (levels, _) = bfs(&csr, 0);
+        // Triangle inequality over edges for reached vertices.
+        for u in 0..csr.n_vertices() as u32 {
+            if levels[u as usize] == UNREACHED {
+                continue;
+            }
+            for &v in csr.neighbors(u) {
+                assert!(levels[v as usize] <= levels[u as usize] + 1);
+            }
+        }
+    }
+}

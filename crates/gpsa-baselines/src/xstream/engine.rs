@@ -214,9 +214,14 @@ impl XsEngine {
             if threads == 1 {
                 for k in 0..k_parts {
                     let streamed = edge_store.stream(k, |s, d| {
-                        if let Some(u) = program.scatter(s, prev[s as usize], out_deg[s as usize], d, &meta) {
+                        if let Some(u) =
+                            program.scatter(s, prev[s as usize], out_deg[s as usize], d, &meta)
+                        {
                             let j = self.partition_of(d, per);
-                            outbox[k * k_parts + j].lock().push(d, u).expect("update push");
+                            outbox[k * k_parts + j]
+                                .lock()
+                                .push(d, u)
+                                .expect("update push");
                             updates_emitted.fetch_add(1, Ordering::Relaxed);
                         }
                     })?;
@@ -269,10 +274,8 @@ impl XsEngine {
                                     let mut buf = [0u8; 8];
                                     for _ in 0..count {
                                         r.read_exact(&mut buf).expect("edge read");
-                                        let src =
-                                            u32::from_le_bytes(buf[0..4].try_into().unwrap());
-                                        let dst =
-                                            u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                                        let src = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+                                        let dst = u32::from_le_bytes(buf[4..8].try_into().unwrap());
                                         if let Some(u) = program_ref.scatter(
                                             src,
                                             prev_ref[src as usize],

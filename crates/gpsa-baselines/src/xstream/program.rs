@@ -54,7 +54,14 @@ mod tests {
         fn init(&self, v: VertexId, _m: &XsMeta) -> u32 {
             v
         }
-        fn scatter(&self, _s: VertexId, st: u32, _d: u32, _dst: VertexId, _m: &XsMeta) -> Option<u32> {
+        fn scatter(
+            &self,
+            _s: VertexId,
+            st: u32,
+            _d: u32,
+            _dst: VertexId,
+            _m: &XsMeta,
+        ) -> Option<u32> {
             Some(st)
         }
         fn gather(&self, _d: VertexId, state: u32, update: u32, _m: &XsMeta) -> u32 {
@@ -65,7 +72,10 @@ mod tests {
     #[test]
     fn defaults_keep_state() {
         let p = Min;
-        let m = XsMeta { n_vertices: 3, n_edges: 2 };
+        let m = XsMeta {
+            n_vertices: 3,
+            n_edges: 2,
+        };
         assert_eq!(p.reset(1, 42, &m), 42);
         assert!(p.changed(1, 2));
         assert!(!p.changed(2, 2));

@@ -58,7 +58,14 @@ impl XsProgram for XsMin {
     fn init(&self, v: VertexId, _m: &XsMeta) -> u32 {
         v
     }
-    fn scatter(&self, _s: VertexId, st: u32, _deg: u32, _dst: VertexId, _m: &XsMeta) -> Option<u32> {
+    fn scatter(
+        &self,
+        _s: VertexId,
+        st: u32,
+        _deg: u32,
+        _dst: VertexId,
+        _m: &XsMeta,
+    ) -> Option<u32> {
         Some(st)
     }
     fn gather(&self, _d: VertexId, state: u32, update: u32, _m: &XsMeta) -> u32 {
@@ -74,7 +81,15 @@ fn psw_min_label_matches_reference() {
     for (tag, el) in [
         ("cycle", generate::cycle(40)),
         ("two", generate::two_components(15, 25)),
-        ("rmat", generate::symmetrize(&generate::rmat(200, 900, generate::RmatParams::default(), 4))),
+        (
+            "rmat",
+            generate::symmetrize(&generate::rmat(
+                200,
+                900,
+                generate::RmatParams::default(),
+                4,
+            )),
+        ),
     ] {
         let engine = PswEngine::new(PswConfig::new(workdir(&format!("psw-{tag}"))));
         let report = engine.run(&el, PswMin).unwrap();
@@ -86,7 +101,12 @@ fn psw_min_label_matches_reference() {
 
 #[test]
 fn psw_parallel_updates_agree_with_sequential() {
-    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 6));
+    let el = generate::symmetrize(&generate::rmat(
+        400,
+        2000,
+        generate::RmatParams::default(),
+        6,
+    ));
     let mut cfg = PswConfig::new(workdir("psw-par"));
     cfg.threads = 4;
     cfg.n_shards = 3;
@@ -139,10 +159,7 @@ fn psw_selective_scheduling_reduces_updates() {
     // is one vertex per iteration, so total update calls stay near n while
     // a dense engine would pay iterations * n.
     let n = 60u32;
-    let el = EdgeList::with_vertices(
-        (1..n).map(|i| (i, i - 1).into()).collect(),
-        n as usize,
-    );
+    let el = EdgeList::with_vertices((1..n).map(|i| (i, i - 1).into()).collect(), n as usize);
     let engine = PswEngine::new(PswConfig::new(workdir("psw-sel")));
     let report = engine.run(&el, PswBfsDown { root: n - 1 }).unwrap();
     let expect: Vec<u32> = (0..n).map(|v| n - 1 - v).collect();
@@ -170,7 +187,15 @@ fn xstream_min_label_matches_reference() {
     for (tag, el) in [
         ("cycle", generate::cycle(40)),
         ("two", generate::two_components(15, 25)),
-        ("rmat", generate::symmetrize(&generate::rmat(200, 900, generate::RmatParams::default(), 4))),
+        (
+            "rmat",
+            generate::symmetrize(&generate::rmat(
+                200,
+                900,
+                generate::RmatParams::default(),
+                4,
+            )),
+        ),
     ] {
         for in_memory in [true, false] {
             let mut cfg = XsConfig::new(workdir(&format!("xs-{tag}-{in_memory}")));
@@ -183,7 +208,12 @@ fn xstream_min_label_matches_reference() {
 
 #[test]
 fn xstream_parallel_agrees_with_sequential() {
-    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 8));
+    let el = generate::symmetrize(&generate::rmat(
+        400,
+        2000,
+        generate::RmatParams::default(),
+        8,
+    ));
     let mut cfg = XsConfig::new(workdir("xs-par"));
     cfg.threads = 4;
     cfg.n_partitions = 4;
@@ -204,7 +234,10 @@ fn xstream_streams_all_edges_every_iteration() {
         el.len() as u64 * report.iterations,
         "X-Stream must pay the full edge stream every iteration"
     );
-    assert!(report.iterations as usize >= 49, "chain needs ~n iterations");
+    assert!(
+        report.iterations as usize >= 49,
+        "chain needs ~n iterations"
+    );
 }
 
 #[test]

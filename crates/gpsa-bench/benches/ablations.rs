@@ -39,7 +39,14 @@ impl VertexProgram for DenseBfs {
     fn gen_msg(&self, src: VertexId, value: u32, d: u32, meta: &GraphMeta) -> Option<u32> {
         Bfs { root: self.root }.gen_msg(src, value, d, meta)
     }
-    fn compute(&self, v: VertexId, acc: Option<u32>, basis: u32, msg: u32, meta: &GraphMeta) -> u32 {
+    fn compute(
+        &self,
+        v: VertexId,
+        acc: Option<u32>,
+        basis: u32,
+        msg: u32,
+        meta: &GraphMeta,
+    ) -> u32 {
         Bfs { root: self.root }.compute(v, acc, basis, msg, meta)
     }
     fn changed(&self, basis: u32, new: u32) -> bool {
@@ -69,7 +76,11 @@ fn bench_flag_skipping(c: &mut Criterion) {
         // Fixed superstep count equal to the sparse run's depth, so both
         // traverse the same number of rounds.
         let engine = Engine::new(EngineConfig::new(workdir("flags-off")).with_termination(term));
-        b.iter(|| engine.run_edge_list(el.clone(), "g", DenseBfs { root }).unwrap());
+        b.iter(|| {
+            engine
+                .run_edge_list(el.clone(), "g", DenseBfs { root })
+                .unwrap()
+        });
     });
     g.finish();
 }
@@ -80,7 +91,11 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut g = c.benchmark_group("partitioning");
     g.sample_size(10);
     for (tag, router, intervals) in [
-        ("mod+uniform", RouterStrategy::Mod, IntervalStrategy::Uniform),
+        (
+            "mod+uniform",
+            RouterStrategy::Mod,
+            IntervalStrategy::Uniform,
+        ),
         (
             "mod+edge_balanced",
             RouterStrategy::Mod,
@@ -91,7 +106,11 @@ fn bench_partitioning(c: &mut Criterion) {
             RouterStrategy::Range,
             IntervalStrategy::EdgeBalanced,
         ),
-        ("mod+strided", RouterStrategy::Mod, IntervalStrategy::Strided),
+        (
+            "mod+strided",
+            RouterStrategy::Mod,
+            IntervalStrategy::Strided,
+        ),
     ] {
         g.bench_function(tag, |b| {
             let mut config = EngineConfig::new(workdir(tag));
@@ -117,7 +136,7 @@ fn bench_csr_degree_inlining(c: &mut Criterion) {
         &with,
         &preprocess::PreprocessOptions {
             with_degrees: true,
-            ..Default::default()
+            ..preprocess::PreprocessOptions::uncompressed()
         },
     )
     .unwrap();
@@ -126,7 +145,7 @@ fn bench_csr_degree_inlining(c: &mut Criterion) {
         &without,
         &preprocess::PreprocessOptions {
             with_degrees: false,
-            ..Default::default()
+            ..preprocess::PreprocessOptions::uncompressed()
         },
     )
     .unwrap();
@@ -139,7 +158,8 @@ fn bench_csr_degree_inlining(c: &mut Criterion) {
     g.throughput(Throughput::Elements(el.len() as u64));
     let sweep = |csr: &DiskCsr, degrees: Option<&[u32]>| -> u64 {
         let mut acc = 0u64;
-        for rec in csr.cursor(0..csr.n_vertices() as u32) {
+        let mut cursor = csr.cursor(0..csr.n_vertices() as u32);
+        while let Some(rec) = cursor.next_rec() {
             let deg = match degrees {
                 Some(d) => d[rec.vid as usize],
                 None => rec.degree,
@@ -165,7 +185,9 @@ fn bench_mmap_vs_read(c: &mut Criterion) {
     let el = generate::rmat(20_000, 400_000, generate::RmatParams::default(), 9);
     let dir = workdir("mmap");
     let path = dir.join("g.gcsr");
-    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
+    // v1 layout: the raw-sum and buffered-read variants below assume a
+    // word-array body.
+    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::uncompressed()).unwrap();
     let bytes = std::fs::metadata(&path).unwrap().len();
 
     let mut g = c.benchmark_group("edge_stream_io");
@@ -187,7 +209,8 @@ fn bench_mmap_vs_read(c: &mut Criterion) {
         let csr = DiskCsr::open(&path).unwrap();
         b.iter(|| {
             let mut acc = 0u64;
-            for rec in csr.cursor(0..csr.n_vertices() as u32) {
+            let mut cursor = csr.cursor(0..csr.n_vertices() as u32);
+            while let Some(rec) = cursor.next_rec() {
                 for &t in rec.targets {
                     acc = acc.wrapping_add(t as u64);
                 }
@@ -261,11 +284,7 @@ fn bench_combiner(c: &mut Criterion) {
             let engine = Engine::new(config);
             b.iter(|| {
                 engine
-                    .run_edge_list(
-                        el.clone(),
-                        "g",
-                        gpsa::programs::ConnectedComponents,
-                    )
+                    .run_edge_list(el.clone(), "g", gpsa::programs::ConnectedComponents)
                     .unwrap()
             });
         });

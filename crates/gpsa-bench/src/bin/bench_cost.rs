@@ -1,0 +1,563 @@
+//! COST benchmark: the engine vs one tuned thread, across edge formats.
+//!
+//! "Scalability! But at what COST?" — for BFS, CC, and PageRank on a
+//! power-law R-MAT graph, this bin measures the tuned single-thread
+//! baseline (`gpsa_baselines::seq`, flat in-memory CSR) against the full
+//! actor engine at ≥2 core counts, for both the v1 word-array and v2
+//! delta-varint edge formats, and reports the headline COST number: the
+//! smallest core count at which the engine beats the single thread.
+//!
+//! Writes `BENCH_cost.json` into `--data-dir` and enforces hard gates
+//! (process exits non-zero on violation):
+//!
+//! * **bit-identity** — engine BFS/CC values equal the `SyncEngine`
+//!   oracle exactly, in every cell; PageRank is bitwise identical between
+//!   v1 and v2 at 1 dispatcher + 1 computer and within tolerance of the
+//!   oracle elsewhere;
+//! * **compression** — the v2 edge file is ≥1.5x smaller than v1 on this
+//!   power-law graph, and a dense run streams fewer bytes under v2;
+//! * **COST reported** — every algorithm gets a COST entry (a core count
+//!   or an explicit "not beaten within N cores").
+//!
+//! `--strict-cost` additionally fails the run when any algorithm's COST
+//! exceeds the measured core range (off by default: CI smoke boxes are
+//! too small and too noisy to gate raw speed on).
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin bench_cost -- \
+//!     [--scale N] [--runs N] [--threads N] [--data-dir D] [--strict-cost]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa::{Engine, EngineConfig, RunReport, SyncEngine, Termination};
+use gpsa_baselines::seq;
+use gpsa_bench::{fmt_dur, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_graph::{preprocess, Csr, EdgeList};
+use gpsa_metrics::Table;
+
+/// One engine measurement cell.
+struct Cell {
+    algo: &'static str,
+    format: &'static str,
+    cores: usize,
+    total: Duration,
+    messages: u64,
+    msgs_per_sec: f64,
+    edge_bytes_streamed: u64,
+    edges_streamed: u64,
+}
+
+/// One single-thread baseline measurement.
+struct Baseline {
+    algo: &'static str,
+    total: Duration,
+    messages: u64,
+    msgs_per_sec: f64,
+}
+
+const ALGOS: [&str; 3] = ["bfs", "cc", "pagerank"];
+const PR_TOLERANCE: f32 = 1e-4;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_cost: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let strict_cost = argv.iter().any(|a| a == "--strict-cost");
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    std::fs::create_dir_all(&cfg.data_dir)?;
+
+    // The twitter stand-in: R-MAT with the default skewed quadrant
+    // probabilities — the power-law regime where delta-varint runs pay off.
+    let el = gpsa_bench::dataset_edges(Dataset::Twitter, 16 * cfg.scale);
+    let root = gpsa_bench::bfs_root(&el);
+    eprintln!(
+        "cost graph: {} vertices, {} edges (twitter-s R-MAT), bfs root {root}",
+        el.n_vertices,
+        el.len()
+    );
+
+    // --- Preprocess once per format; the compression gate reads the stats.
+    let v1_path = cfg.data_dir.join("cost-v1.gcsr");
+    let v2_path = cfg.data_dir.join("cost-v2.gcsr");
+    let v1_stats = preprocess::edges_to_csr(
+        el.clone(),
+        &v1_path,
+        &preprocess::PreprocessOptions::uncompressed(),
+    )?;
+    let v2_stats = preprocess::edges_to_csr(
+        el.clone(),
+        &v2_path,
+        &preprocess::PreprocessOptions::default(),
+    )?;
+    let file_ratio = v1_stats.output_bytes as f64 / v2_stats.output_bytes.max(1) as f64;
+    eprintln!(
+        "edge files: v1 {} bytes, v2 {} bytes ({file_ratio:.2}x smaller)",
+        v1_stats.output_bytes, v2_stats.output_bytes
+    );
+
+    // --- Sequential oracle (also the correctness reference for values).
+    let oracle_bfs = SyncEngine::new(quiesce()).run(&el, Bfs { root }).values;
+    let oracle_cc = SyncEngine::new(quiesce())
+        .run(&el, ConnectedComponents)
+        .values;
+    let oracle_pr = SyncEngine::new(Termination::Supersteps(cfg.supersteps))
+        .run(&el, PageRank::default())
+        .values;
+
+    // --- Tuned single-thread baseline on the in-memory CSR.
+    let csr = Csr::from_edge_list(&el);
+    let baselines = run_baselines(&csr, root, &cfg, &oracle_bfs, &oracle_cc)?;
+
+    // --- Engine cells: {1, N} cores × {v1, v2} × {bfs, cc, pagerank}.
+    let mut core_counts = vec![1usize, cfg.threads.max(2)];
+    core_counts.dedup();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut gate_errors: Vec<String> = Vec::new();
+    for &cores in &core_counts {
+        // PageRank v1-vs-v2 bitwise comparison at the same core count.
+        let mut pr_values: Vec<(u64, Vec<f32>)> = Vec::new();
+        for (format, path) in [("v1", &v1_path), ("v2", &v2_path)] {
+            for algo in ALGOS {
+                let (report_total, messages, values_err, bytes, words, pr_vals) = run_engine_cell(
+                    algo,
+                    format,
+                    path,
+                    cores,
+                    root,
+                    &cfg,
+                    &oracle_bfs,
+                    &oracle_cc,
+                    &oracle_pr,
+                )?;
+                if let Some(err) = values_err {
+                    gate_errors.push(err);
+                }
+                if let Some(vals) = pr_vals {
+                    pr_values.push((cores as u64, vals));
+                }
+                let msgs_per_sec = messages as f64 / report_total.as_secs_f64().max(1e-9);
+                cells.push(Cell {
+                    algo,
+                    format,
+                    cores,
+                    total: report_total,
+                    messages,
+                    msgs_per_sec,
+                    edge_bytes_streamed: bytes,
+                    edges_streamed: words,
+                });
+            }
+        }
+        // Gate: v1 and v2 PageRank values bitwise identical at 1 core
+        // (1 dispatcher + 1 computer makes the fold order deterministic).
+        if cores == 1 {
+            if let [(_, a), (_, b)] = &pr_values[..] {
+                let same =
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                if !same {
+                    gate_errors
+                        .push("pagerank v1 vs v2 values not bitwise identical at 1 core".into());
+                }
+            } else {
+                gate_errors.push("pagerank v1/v2 single-core cells missing".into());
+            }
+        }
+    }
+
+    // Gate: a dense full-graph run must stream fewer bytes under v2.
+    for algo in ALGOS {
+        let bytes_of = |fmt: &str| {
+            cells
+                .iter()
+                .find(|c| c.algo == algo && c.format == fmt && c.cores == core_counts[0])
+                .map(|c| c.edge_bytes_streamed)
+                .unwrap_or(0)
+        };
+        let (b1, b2) = (bytes_of("v1"), bytes_of("v2"));
+        if b2 >= b1 {
+            gate_errors.push(format!(
+                "{algo}: v2 streamed {b2} bytes, not less than v1's {b1}"
+            ));
+        }
+    }
+
+    // Gate: v2 edge file ≥1.5x smaller on this power-law graph.
+    if file_ratio < 1.5 {
+        gate_errors.push(format!(
+            "v2 edge file only {file_ratio:.2}x smaller than v1 (need >= 1.5x)"
+        ));
+    }
+
+    // --- COST: smallest measured core count where the v2 engine beats the
+    // single thread. The baseline's time covers the same work (no CSR
+    // build, no preprocessing on either side).
+    let mut costs: Vec<(&'static str, Option<usize>)> = Vec::new();
+    for b in &baselines {
+        let mut cost = None;
+        for &cores in &core_counts {
+            let cell = cells
+                .iter()
+                .find(|c| c.algo == b.algo && c.format == "v2" && c.cores == cores);
+            if let Some(c) = cell {
+                if c.total < b.total {
+                    cost = Some(cores);
+                    break;
+                }
+            }
+        }
+        if strict_cost && cost.is_none() {
+            gate_errors.push(format!(
+                "{}: engine never beat the single-thread baseline within {} cores",
+                b.algo,
+                core_counts.last().copied().unwrap_or(1)
+            ));
+        }
+        costs.push((b.algo, cost));
+    }
+    // Headline COST: the worst algorithm. An unbeaten baseline dominates
+    // any finite core count.
+    let max_cores = core_counts.last().copied().unwrap_or(1);
+    let headline = if costs.iter().any(|(_, c)| c.is_none()) {
+        format!(">{max_cores}")
+    } else {
+        costs
+            .iter()
+            .filter_map(|(_, c)| *c)
+            .max()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+
+    print_tables(&baselines, &cells, &costs, &core_counts);
+    let json = render_json(
+        &cfg,
+        &el,
+        file_ratio,
+        v1_stats.output_bytes,
+        v2_stats.output_bytes,
+        &baselines,
+        &cells,
+        &costs,
+        &core_counts,
+        &gate_errors,
+    );
+    let out = cfg.data_dir.join("BENCH_cost.json");
+    std::fs::write(&out, &json)?;
+    println!("\nheadline COST (cores to beat one tuned thread): {headline}");
+    println!("wrote {}", out.display());
+
+    if !gate_errors.is_empty() {
+        for e in &gate_errors {
+            eprintln!("GATE FAILED: {e}");
+        }
+        return Err(format!("{} gate(s) failed", gate_errors.len()).into());
+    }
+    Ok(())
+}
+
+fn quiesce() -> Termination {
+    Termination::Quiescence {
+        max_supersteps: 10_000,
+    }
+}
+
+/// Run the tuned single-thread baselines, checking them against the oracle
+/// (they must compute the same fixpoints or COST is meaningless).
+fn run_baselines(
+    csr: &Csr,
+    root: u32,
+    cfg: &HarnessConfig,
+    oracle_bfs: &[u32],
+    oracle_cc: &[u32],
+) -> Result<Vec<Baseline>, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for algo in ALGOS {
+        let mut totals = Vec::new();
+        let mut messages = 0u64;
+        for _ in 0..cfg.runs.max(1) {
+            let t0 = Instant::now();
+            match algo {
+                "bfs" => {
+                    let (values, stats) = seq::bfs(csr, root);
+                    totals.push(t0.elapsed());
+                    messages = stats.messages;
+                    if values != oracle_bfs {
+                        return Err("seq bfs disagrees with the SyncEngine oracle".into());
+                    }
+                }
+                "cc" => {
+                    let (values, stats) = seq::connected_components(csr);
+                    totals.push(t0.elapsed());
+                    messages = stats.messages;
+                    if values != oracle_cc {
+                        return Err("seq cc disagrees with the SyncEngine oracle".into());
+                    }
+                }
+                _ => {
+                    let (_values, stats) = seq::pagerank(csr, 0.85, cfg.supersteps);
+                    totals.push(t0.elapsed());
+                    messages = stats.messages;
+                }
+            }
+        }
+        let total = totals.iter().sum::<Duration>() / totals.len().max(1) as u32;
+        out.push(Baseline {
+            algo,
+            total,
+            messages,
+            msgs_per_sec: messages as f64 / total.as_secs_f64().max(1e-9),
+        });
+    }
+    Ok(out)
+}
+
+/// Run one engine cell and verify its values. Returns
+/// `(superstep_total, messages, gate_error, bytes_streamed, words_streamed,
+/// pagerank_values)`.
+#[allow(clippy::too_many_arguments)]
+fn run_engine_cell(
+    algo: &'static str,
+    format: &'static str,
+    path: &Path,
+    cores: usize,
+    root: u32,
+    cfg: &HarnessConfig,
+    oracle_bfs: &[u32],
+    oracle_cc: &[u32],
+    oracle_pr: &[f32],
+) -> Result<(Duration, u64, Option<String>, u64, u64, Option<Vec<f32>>), Box<dyn std::error::Error>>
+{
+    let actors = (cores / 2).max(1);
+    let mut totals = Vec::new();
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut words = 0u64;
+    let mut err = None;
+    let mut pr_vals = None;
+    for run in 0..cfg.runs.max(1) {
+        // Fresh work dir per repetition: a leftover value file must never
+        // turn a timing run into a recovery run.
+        let dir: PathBuf = cfg
+            .data_dir
+            .join(format!("cost-{algo}-{format}-c{cores}-{run}"));
+        let config = EngineConfig::new(&dir)
+            .with_workers(cores)
+            .with_actors(actors, actors)
+            .with_termination(match algo {
+                "pagerank" => Termination::Supersteps(cfg.supersteps),
+                _ => quiesce(),
+            });
+        let engine = Engine::new(config);
+        match algo {
+            "bfs" => {
+                let r = engine.run(path, Bfs { root }).map_err(|e| e.to_string())?;
+                tally(&r, &mut totals, &mut messages, &mut bytes, &mut words);
+                if run == 0 && r.values != oracle_bfs {
+                    err = Some(format!(
+                        "bfs {format} at {cores} cores disagrees with the oracle"
+                    ));
+                }
+            }
+            "cc" => {
+                let r = engine
+                    .run(path, ConnectedComponents)
+                    .map_err(|e| e.to_string())?;
+                tally(&r, &mut totals, &mut messages, &mut bytes, &mut words);
+                if run == 0 && r.values != oracle_cc {
+                    err = Some(format!(
+                        "cc {format} at {cores} cores disagrees with the oracle"
+                    ));
+                }
+            }
+            _ => {
+                let r = engine
+                    .run(path, PageRank::default())
+                    .map_err(|e| e.to_string())?;
+                tally(&r, &mut totals, &mut messages, &mut bytes, &mut words);
+                if run == 0 {
+                    let off = r
+                        .values
+                        .iter()
+                        .zip(oracle_pr)
+                        .filter(|(a, b)| (*a - *b).abs() > PR_TOLERANCE)
+                        .count();
+                    if off > 0 {
+                        err = Some(format!(
+                            "pagerank {format} at {cores} cores: {off} values \
+                             beyond {PR_TOLERANCE} of the oracle"
+                        ));
+                    }
+                    pr_vals = Some(r.values);
+                }
+            }
+        }
+    }
+    let total = totals.iter().sum::<Duration>() / totals.len().max(1) as u32;
+    Ok((total, messages, err, bytes, words, pr_vals))
+}
+
+fn tally<V>(
+    r: &RunReport<V>,
+    totals: &mut Vec<Duration>,
+    messages: &mut u64,
+    bytes: &mut u64,
+    words: &mut u64,
+) {
+    totals.push(r.superstep_total());
+    *messages = r.messages;
+    *bytes = r.edge_bytes_streamed;
+    *words = r.edges_streamed;
+}
+
+fn print_tables(
+    baselines: &[Baseline],
+    cells: &[Cell],
+    costs: &[(&'static str, Option<usize>)],
+    core_counts: &[usize],
+) {
+    let mut t = Table::new(&[
+        "algo",
+        "runner",
+        "format",
+        "total",
+        "messages/sec",
+        "bytes streamed",
+    ]);
+    for b in baselines {
+        t.row(&[
+            b.algo.to_string(),
+            "1 tuned thread".into(),
+            "ram".into(),
+            fmt_dur(b.total),
+            format!("{:.0}", b.msgs_per_sec),
+            "-".into(),
+        ]);
+    }
+    for c in cells {
+        t.row(&[
+            c.algo.to_string(),
+            format!("engine x{}", c.cores),
+            c.format.to_string(),
+            fmt_dur(c.total),
+            format!("{:.0}", c.msgs_per_sec),
+            c.edge_bytes_streamed.to_string(),
+        ]);
+    }
+    print!("{t}");
+    for (algo, cost) in costs {
+        let shown = cost
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!(">{}", core_counts.last().copied().unwrap_or(1)));
+        println!("COST[{algo}] = {shown} cores");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cfg: &HarnessConfig,
+    el: &EdgeList,
+    file_ratio: f64,
+    v1_bytes: u64,
+    v2_bytes: u64,
+    baselines: &[Baseline],
+    cells: &[Cell],
+    costs: &[(&'static str, Option<usize>)],
+    core_counts: &[usize],
+    gate_errors: &[String],
+) -> String {
+    // Hand-rolled JSON: the workspace deliberately has no serde dependency.
+    let baseline_entries: Vec<String> = baselines
+        .iter()
+        .map(|b| {
+            format!(
+                concat!(
+                    "    {{ \"algo\": \"{}\", \"total_us\": {}, ",
+                    "\"messages\": {}, \"messages_per_sec\": {:.1} }}"
+                ),
+                b.algo,
+                b.total.as_micros(),
+                b.messages,
+                b.msgs_per_sec,
+            )
+        })
+        .collect();
+    let cell_entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{ \"algo\": \"{}\", \"format\": \"{}\", \"cores\": {}, ",
+                    "\"superstep_total_us\": {}, \"messages\": {}, ",
+                    "\"messages_per_sec\": {:.1}, \"edge_bytes_streamed\": {}, ",
+                    "\"edge_words_streamed\": {} }}"
+                ),
+                c.algo,
+                c.format,
+                c.cores,
+                c.total.as_micros(),
+                c.messages,
+                c.msgs_per_sec,
+                c.edge_bytes_streamed,
+                c.edges_streamed,
+            )
+        })
+        .collect();
+    let cost_entries: Vec<String> = costs
+        .iter()
+        .map(|(algo, cost)| {
+            format!(
+                "    {{ \"algo\": \"{algo}\", \"cores\": {} }}",
+                cost.map(|n| n.to_string()).unwrap_or_else(|| "null".into())
+            )
+        })
+        .collect();
+    let gate_entries: Vec<String> = gate_errors
+        .iter()
+        .map(|e| format!("    \"{}\"", e.replace('"', "'")))
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"cost\",\n",
+            "  \"graph\": {{ \"vertices\": {}, \"edges\": {}, \"kind\": \"rmat-twitter-s\" }},\n",
+            "  \"runs\": {},\n",
+            "  \"supersteps\": {},\n",
+            "  \"core_counts\": [{}],\n",
+            "  \"compression\": {{ \"v1_edge_file_bytes\": {}, \"v2_edge_file_bytes\": {}, \"file_ratio\": {:.4} }},\n",
+            "  \"baseline\": [\n{}\n  ],\n",
+            "  \"engine\": [\n{}\n  ],\n",
+            "  \"cost\": [\n{}\n  ],\n",
+            "  \"gate_failures\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        el.n_vertices,
+        el.len(),
+        cfg.runs,
+        cfg.supersteps,
+        core_counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        v1_bytes,
+        v2_bytes,
+        file_ratio,
+        baseline_entries.join(",\n"),
+        cell_entries.join(",\n"),
+        cost_entries.join(",\n"),
+        if gate_entries.is_empty() {
+            String::new()
+        } else {
+            gate_entries.join(",\n")
+        },
+    )
+}

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.as_str())
         .unwrap_or("pokec");
     let ds = Dataset::parse(which).ok_or("unknown --graph")?;
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!(
         "Thread scalability — PageRank on {} at 1/{} scale ({} logical cores detected)\n",

@@ -49,12 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let txt = cfg.data_dir.join(format!("{}.txt", ds.name()));
             el.write_text_file(&txt)?;
             let csr = cfg.data_dir.join(format!("{}.gcsr", ds.name()));
-            let stats = preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default())?;
+            let stats =
+                preprocess::text_to_csr(&txt, &csr, &preprocess::PreprocessOptions::default())?;
             t.row(&[
                 ds.name().to_string(),
                 format!("{} B", stats.input_bytes),
                 format!("{} B", stats.output_bytes),
-                format!("{:.2}x", stats.input_bytes as f64 / stats.output_bytes as f64),
+                format!(
+                    "{:.2}x",
+                    stats.input_bytes as f64 / stats.output_bytes as f64
+                ),
             ]);
             let _ = std::fs::remove_file(&txt);
         }

@@ -194,7 +194,14 @@ pub fn run_one(
     measure_cpu: bool,
 ) -> std::io::Result<Measurement> {
     let el = dataset_edges(ds, cfg.scale);
-    run_on_edges(&el, &format!("{}-s{}", ds.name(), cfg.scale), algo, kind, cfg, measure_cpu)
+    run_on_edges(
+        &el,
+        &format!("{}-s{}", ds.name(), cfg.scale),
+        algo,
+        kind,
+        cfg,
+        measure_cpu,
+    )
 }
 
 /// Run one engine × algo on an explicit edge list.
@@ -251,7 +258,9 @@ fn run_gpsa(
     cfg: &HarnessConfig,
     run: usize,
 ) -> std::io::Result<(Vec<Duration>, u64)> {
-    let dir = cfg.data_dir.join(format!("gpsa-{tag}-{}-{run}", algo.name()));
+    let dir = cfg
+        .data_dir
+        .join(format!("gpsa-{tag}-{}-{run}", algo.name()));
     let actors = (cfg.threads / 2).max(1);
     let mut config = EngineConfig::new(&dir)
         .with_workers(cfg.threads)
@@ -265,7 +274,8 @@ fn run_gpsa(
     let engine = Engine::new(config);
     let report = match algo {
         Algo::PageRank => {
-            let r = engine.run_edge_list(el.clone(), tag, PageRank::default())
+            let r = engine
+                .run_edge_list(el.clone(), tag, PageRank::default())
                 .map_err(io_err)?;
             (r.step_times, r.supersteps)
         }

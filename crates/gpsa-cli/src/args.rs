@@ -48,7 +48,9 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s:?}")),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {s:?}")),
         }
     }
 
@@ -68,7 +70,11 @@ mod tests {
 
     #[test]
     fn parses_values_and_flags() {
-        let a = Args::parse(&v(&["--graph", "g.gcsr", "--durable", "--workers", "4"]), &["durable"]).unwrap();
+        let a = Args::parse(
+            &v(&["--graph", "g.gcsr", "--durable", "--workers", "4"]),
+            &["durable"],
+        )
+        .unwrap();
         assert_eq!(a.require("graph").unwrap(), "g.gcsr");
         assert!(a.flag("durable"));
         assert_eq!(a.get_parsed("workers", 1usize).unwrap(), 4);

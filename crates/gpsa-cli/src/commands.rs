@@ -17,6 +17,7 @@ USAGE:
   gpsa generate   --dataset <google|pokec|journal|twitter> [--scale N] [--out DIR]
   gpsa preprocess --input <edges.txt|edges.bin|adj.txt> --output <graph.gcsr>
                   [--format text|binary|adjacency] [--no-degrees]
+                  [--no-compress (write the v1 word-array layout)]
                   [--run-capacity N]
   gpsa info       --graph <graph.gcsr>
   gpsa run        --graph <graph.gcsr> --algo <pagerank|bfs|cc|sssp>
@@ -73,12 +74,13 @@ fn generate(argv: &[String]) -> Result<(), String> {
 }
 
 fn preprocess_cmd(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["binary", "no-degrees"])?;
+    let args = Args::parse(argv, &["binary", "no-degrees", "no-compress", "compress"])?;
     let input = PathBuf::from(args.require("input")?);
     let output = PathBuf::from(args.require("output")?);
     let opts = preprocess::PreprocessOptions {
         run_capacity: args.get_parsed("run-capacity", 8usize << 20)?,
         with_degrees: !args.flag("no-degrees"),
+        compress: !args.flag("no-compress"),
         temp_dir: None,
     };
     let format = if args.flag("binary") {
@@ -98,14 +100,26 @@ fn preprocess_cmd(argv: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     println!(
-        "preprocessed {} -> {}: {} vertices, {} edges, {} runs, {} -> {} bytes",
+        "preprocessed {} -> {}: {} vertices, {} edges, {} runs",
         input.display(),
         output.display(),
         stats.n_vertices,
         stats.n_edges,
         stats.runs,
+    );
+    println!(
+        "storage: {} input bytes -> {} edge-file bytes + {} index bytes ({})",
         stats.input_bytes,
-        stats.output_bytes
+        stats.output_bytes,
+        stats.index_bytes,
+        if stats.compressed {
+            format!(
+                "v2 delta-varint, {:.2}x smaller than v1",
+                stats.compression_ratio()
+            )
+        } else {
+            "v1 word array".to_string()
+        }
     );
     Ok(())
 }
@@ -116,7 +130,8 @@ fn info(argv: &[String]) -> Result<(), String> {
     let g = DiskCsr::open(&path).map_err(|e| e.to_string())?;
     let mut max_deg = 0u32;
     let mut sinks = 0usize;
-    for r in g.cursor(0..g.n_vertices() as u32) {
+    let mut cursor = g.cursor(0..g.n_vertices() as u32);
+    while let Some(r) = cursor.next_rec() {
         max_deg = max_deg.max(r.degree);
         if r.degree == 0 {
             sinks += 1;
@@ -124,10 +139,19 @@ fn info(argv: &[String]) -> Result<(), String> {
     }
     let mut t = Table::new(&["property", "value"]);
     t.row(&["file", &path.display().to_string()]);
+    t.row(&[
+        "format",
+        if g.compressed() {
+            "v2 (delta-varint)"
+        } else {
+            "v1 (word array)"
+        },
+    ]);
     t.row(&["vertices", &g.n_vertices().to_string()]);
     t.row(&["edges", &g.n_edges().to_string()]);
     t.row(&["with degrees", &g.with_degrees().to_string()]);
     t.row(&["file bytes", &g.file_bytes().to_string()]);
+    t.row(&["index bytes", &g.index_bytes().to_string()]);
     t.row(&["max out-degree", &max_deg.to_string()]);
     t.row(&["sinks", &sinks.to_string()]);
     print!("{t}");
@@ -616,6 +640,12 @@ fn run_program<P: VertexProgram>(
         report.mean_superstep(5),
         report.messages
     );
+    if report.edges_streamed > 0 {
+        println!(
+            "dispatch I/O: {} edge words ({} bytes) streamed, {} words skipped",
+            report.edges_streamed, report.edge_bytes_streamed, report.edges_skipped
+        );
+    }
     Ok(report)
 }
 

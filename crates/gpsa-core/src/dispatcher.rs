@@ -112,6 +112,14 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// CSR body words actually read this superstep (accumulated across
     /// chunks, reported with DISPATCH_OVER).
     pub step_streamed: u64,
+    /// CSR body *bytes* actually read this superstep. Words measure
+    /// logical work; bytes measure physical I/O, which is what the v2
+    /// compressed format shrinks.
+    pub step_bytes: u64,
+    /// Scratch buffer for random-access record decodes on the strided
+    /// path (reused across vertices; v2 decodes into it, v1 borrows the
+    /// map directly).
+    pub scratch: Vec<VertexId>,
     /// Dense sweep, bitmap seeks, or per-superstep choice.
     pub mode: DispatchMode,
     /// Auto-mode density cutoff (below ⇒ sparse).
@@ -317,15 +325,18 @@ impl<P: VertexProgram> Dispatcher<P> {
                 self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
             }
             self.step_streamed += cursor.words_read();
+            self.step_bytes += cursor.bytes_read();
         } else {
             let end = self.chunk_end(&range);
             match self.assignment.clone() {
                 // Sequential streaming over a contiguous interval — the
-                // efficient path.
+                // efficient path. v2 records decode into the cursor's
+                // scratch buffer; v1 records are borrowed from the map.
                 DispatchAssignment::Range(_) => {
-                    self.step_streamed +=
-                        graph.word_offset(end as usize) - graph.word_offset(range.start as usize);
-                    for rec in graph.cursor(range.start..end) {
+                    self.step_streamed += graph.words_in_range(range.start..end);
+                    self.step_bytes += graph.bytes_in_range(range.start..end);
+                    let mut cursor = graph.cursor(range.start..end);
+                    while let Some(rec) = cursor.next_rec() {
                         self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
                     }
                 }
@@ -333,17 +344,20 @@ impl<P: VertexProgram> Dispatcher<P> {
                 // every stride-th vertex record. Chunk boundaries are always
                 // `offset + k*stride`, so `range.start` stays on-stride.
                 DispatchAssignment::Strided { stride, .. } => {
-                    let rec_overhead = 1 + u64::from(graph.with_degrees());
+                    let rec_overhead = graph.record_overhead_words();
+                    let mut scratch = std::mem::take(&mut self.scratch);
                     let mut v = range.start;
                     while v < end {
-                        let rec = graph.vertex_edges(v);
-                        self.step_streamed += rec.targets.len() as u64 + rec_overhead;
+                        self.step_streamed += u64::from(graph.degree(v)) + rec_overhead;
+                        self.step_bytes += graph.bytes_in_range(v..v + 1);
+                        let rec = graph.record_into(v, &mut scratch);
                         self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
                         v = match v.checked_add(stride) {
                             Some(next) => next,
                             None => break,
                         };
                     }
+                    self.scratch = scratch;
                 }
             }
             if end < range.end {
@@ -376,9 +390,9 @@ impl<P: VertexProgram> Dispatcher<P> {
             let skipped = match &self.assignment {
                 // What a full sweep of the interval would have read,
                 // minus what we did read. Zero for dense supersteps.
-                DispatchAssignment::Range(interval) => (graph.word_offset(interval.end as usize)
-                    - graph.word_offset(interval.start as usize))
-                .saturating_sub(streamed),
+                DispatchAssignment::Range(interval) => graph
+                    .words_in_range(interval.clone())
+                    .saturating_sub(streamed),
                 // A strided assignment's skipped records interleave other
                 // dispatchers' — "skipped" has no per-actor meaning there.
                 DispatchAssignment::Strided { .. } => 0,
@@ -388,6 +402,7 @@ impl<P: VertexProgram> Dispatcher<P> {
                 dispatcher: self.id,
                 sent: std::mem::take(&mut self.step_sent),
                 streamed,
+                bytes: std::mem::take(&mut self.step_bytes),
                 skipped,
             });
         }
@@ -406,6 +421,7 @@ impl<P: VertexProgram> Actor for Dispatcher<P> {
             } => {
                 self.step_sent = 0;
                 self.step_streamed = 0;
+                self.step_bytes = 0;
                 self.sparse_now = self.choose_sparse(active);
                 self.apply_advice(dispatch_col);
                 let full = self.full_range();

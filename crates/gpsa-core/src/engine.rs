@@ -346,6 +346,8 @@ impl Engine {
                         },
                         step_sent: 0,
                         step_streamed: 0,
+                        step_bytes: 0,
+                        scratch: Vec::new(),
                         always_dispatch: program.always_dispatch(),
                         combine: self.config.combine_messages && program.combines(),
                         mode: self.config.dispatch_mode,
@@ -484,6 +486,7 @@ impl Engine {
             messages: report.messages,
             dispatcher_messages: report.dispatcher_messages,
             edges_streamed: report.edges_streamed,
+            edge_bytes_streamed: report.edge_bytes_streamed,
             edges_skipped: report.edges_skipped,
             frontier_density: report.frontier_density,
             pool_hits: pool.hits(),

@@ -33,6 +33,8 @@ pub(crate) struct ManagerReport {
     pub first_batch: Vec<Option<Duration>>,
     /// CSR body words dispatchers actually read over the whole run.
     pub edges_streamed: u64,
+    /// CSR body bytes dispatchers actually read over the whole run.
+    pub edge_bytes_streamed: u64,
     /// CSR body words a full sweep would have read but sparse dispatch
     /// skipped over.
     pub edges_skipped: u64,
@@ -61,6 +63,7 @@ pub(crate) enum ManagerMsg<P: VertexProgram> {
         dispatcher: usize,
         sent: u64,
         streamed: u64,
+        bytes: u64,
         skipped: u64,
     },
     /// COMPUTE_OVER reply from one compute actor.
@@ -110,6 +113,7 @@ pub(crate) struct Manager<P: VertexProgram> {
     pub dispatcher_messages: Vec<u64>,
     pub first_batch: Vec<Option<Duration>>,
     pub edges_streamed: u64,
+    pub edge_bytes_streamed: u64,
     pub edges_skipped: u64,
     pub frontier_density: Vec<f64>,
     pub step_activated: u64,
@@ -157,6 +161,7 @@ impl<P: VertexProgram> Manager<P> {
             dispatcher_messages: Vec::new(),
             first_batch: Vec::new(),
             edges_streamed: 0,
+            edge_bytes_streamed: 0,
             edges_skipped: 0,
             frontier_density: Vec::new(),
             step_activated: 0,
@@ -227,6 +232,7 @@ impl<P: VertexProgram> Manager<P> {
             dispatcher_messages: std::mem::take(&mut self.dispatcher_messages),
             first_batch: std::mem::take(&mut self.first_batch),
             edges_streamed: self.edges_streamed,
+            edge_bytes_streamed: self.edge_bytes_streamed,
             edges_skipped: self.edges_skipped,
             frontier_density: std::mem::take(&mut self.frontier_density),
             final_dispatch_col: self.dispatch_col,
@@ -309,6 +315,7 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 dispatcher,
                 sent,
                 streamed,
+                bytes,
                 skipped,
             } => {
                 debug_assert_eq!(superstep, self.superstep);
@@ -317,6 +324,7 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 }
                 self.dispatcher_messages[dispatcher] += sent;
                 self.edges_streamed += streamed;
+                self.edge_bytes_streamed += bytes;
                 self.edges_skipped += skipped;
                 self.pending_dispatch -= 1;
                 if self.pending_dispatch == 0 {

@@ -180,7 +180,7 @@ pub fn edge_balanced_intervals(csr: &DiskCsr, k: usize) -> Vec<Range<VertexId>> 
         let mut acc: u64 = 0;
         let mut end = start;
         while end < n && acc < target {
-            acc += csr.vertex_edges(end as VertexId).degree as u64;
+            acc += u64::from(csr.degree(end as VertexId));
             end += 1;
         }
         intervals.push(start as VertexId..end as VertexId);

@@ -39,6 +39,12 @@ pub struct RunReport<V> {
     /// counts only the records seeked to; under a dense sweep it is the
     /// full interval each superstep.
     pub edges_streamed: u64,
+    /// CSR body *bytes* actually read by dispatchers over the whole run —
+    /// the physical I/O behind `edges_streamed`'s logical words. With the
+    /// v2 compressed edge format this is what shrinks; the ratio
+    /// `edge_bytes_streamed / (4 * edges_streamed)` is the effective
+    /// compression on the bytes the run actually touched.
+    pub edge_bytes_streamed: u64,
     /// CSR body words dispatchers did *not* read thanks to frontier-driven
     /// seeks (interval total minus streamed, per Range dispatcher per
     /// superstep). 0 for dense sweeps and strided assignments.
@@ -133,6 +139,7 @@ mod tests {
             messages: 12,
             dispatcher_messages: vec![6, 6],
             edges_streamed: 40,
+            edge_bytes_streamed: 160,
             edges_skipped: 8,
             frontier_density: vec![0.5, 0.1],
             pool_hits: 9,

@@ -153,6 +153,7 @@ impl SyncEngine {
             // No frontier-aware I/O path: the oracle re-derives everything
             // in memory, so the streamed/skipped tallies stay zero.
             edges_streamed: 0,
+            edge_bytes_streamed: 0,
             edges_skipped: 0,
             frontier_density: densities,
             // No actor pipeline: no slab pool, no batch timing.

@@ -221,6 +221,43 @@ fn sparse_dispatch_survives_mid_superstep_recovery() {
 }
 
 #[test]
+fn recovery_is_format_agnostic() {
+    // `materialize` writes the default (v2 delta-varint) format, so every
+    // test above already chaoses v2. This one pins the claim explicitly:
+    // the same scripted fault plan over the v1 word-array layout and the
+    // v2 compressed layout of the same graph must both recover to the
+    // fault-free fixpoint — replayed supersteps re-decode their interval
+    // from scratch, so the edge encoding cannot leak into recovery.
+    let el = cc_graph(93);
+    let baseline = {
+        let dir = workdir("fmt-base");
+        let path = materialize(&dir, &el);
+        Engine::new(fault_free_config(&dir))
+            .run(&path, ConnectedComponents)
+            .unwrap()
+            .values
+    };
+    for (fmt, opts) in [
+        ("v1", preprocess::PreprocessOptions::uncompressed()),
+        ("v2", preprocess::PreprocessOptions::default()),
+    ] {
+        let plan = Arc::new(FaultPlan::scripted(19, 4, 4));
+        let dir = workdir(&format!("fmt-{fmt}"));
+        let path = dir.join("graph.gcsr");
+        preprocess::edges_to_csr(el.clone(), &path, &opts).unwrap();
+        let mut c = chaos_config(&dir, &plan);
+        c.fault_plan = Some(plan);
+        let report = Engine::new(c).run(&path, ConnectedComponents).unwrap();
+        assert_eq!(report.outcome, RunOutcome::Completed, "{fmt}");
+        assert_eq!(report.values, baseline, "{fmt} recovery diverged");
+        assert!(
+            report.retry_attempts >= 1,
+            "{fmt}: at least one injection must have fired"
+        );
+    }
+}
+
+#[test]
 fn torn_commit_header_rolls_back_one_superstep() {
     // The commit of superstep 2 writes a torn (bad-CRC) slot and dies.
     // Recovery must reject that slot, resume from superstep 1's commit,

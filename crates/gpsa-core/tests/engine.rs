@@ -15,8 +15,7 @@ fn workdir(tag: &str) -> PathBuf {
 fn csr_for(tag: &str, el: &EdgeList) -> PathBuf {
     let dir = workdir(tag);
     let path = dir.join(format!("{tag}.gcsr"));
-    preprocess::edges_to_csr(el.clone(), &path, &preprocess::PreprocessOptions::default())
-        .unwrap();
+    preprocess::edges_to_csr(el.clone(), &path, &preprocess::PreprocessOptions::default()).unwrap();
     path
 }
 
@@ -163,8 +162,8 @@ fn pagerank_matches_reference_power_iteration() {
     let el = generate::rmat(300, 2400, generate::RmatParams::default(), 33);
     let path = csr_for("pr", &el);
     let steps = 10;
-    let config = EngineConfig::small(workdir("pr"))
-        .with_termination(Termination::Supersteps(steps as u64));
+    let config =
+        EngineConfig::small(workdir("pr")).with_termination(Termination::Supersteps(steps as u64));
     let engine = Engine::new(config);
     let report = engine.run(&path, PageRank::default()).unwrap();
     let expect = ref_pagerank(&el, 0.85, steps);
@@ -211,8 +210,7 @@ fn sssp_matches_bellman_ford() {
 fn indegree_counts_in_one_superstep() {
     let el = generate::rmat(100, 700, generate::RmatParams::default(), 50);
     let path = csr_for("indeg", &el);
-    let config =
-        EngineConfig::small(workdir("indeg")).with_termination(Termination::Supersteps(1));
+    let config = EngineConfig::small(workdir("indeg")).with_termination(Termination::Supersteps(1));
     let engine = Engine::new(config);
     let report = engine.run(&path, InDegree).unwrap();
     let mut expect = vec![0u32; el.n_vertices];
@@ -227,7 +225,12 @@ fn indegree_counts_in_one_superstep() {
 #[test]
 fn all_strategy_combinations_agree() {
     use gpsa::{IntervalStrategy, RouterStrategy};
-    let el = generate::symmetrize(&generate::rmat(300, 1500, generate::RmatParams::default(), 66));
+    let el = generate::symmetrize(&generate::rmat(
+        300,
+        1500,
+        generate::RmatParams::default(),
+        66,
+    ));
     let path = csr_for("strategies", &el);
     let expect = ref_cc(&el);
     for router in [RouterStrategy::Mod, RouterStrategy::Range] {
@@ -275,8 +278,7 @@ fn empty_and_edgeless_graphs() {
 fn supersteps_zero_is_a_config_error() {
     let el = generate::cycle(3);
     let path = csr_for("zero", &el);
-    let config =
-        EngineConfig::small(workdir("zero")).with_termination(Termination::Supersteps(0));
+    let config = EngineConfig::small(workdir("zero")).with_termination(Termination::Supersteps(0));
     let engine = Engine::new(config);
     assert!(engine.run(&path, ConnectedComponents).is_err());
 }
@@ -300,7 +302,12 @@ fn report_statistics_are_consistent() {
 
 #[test]
 fn crash_and_recover_reaches_same_fixpoint() {
-    let el = generate::symmetrize(&generate::rmat(400, 2000, generate::RmatParams::default(), 77));
+    let el = generate::symmetrize(&generate::rmat(
+        400,
+        2000,
+        generate::RmatParams::default(),
+        77,
+    ));
     let dir = workdir("recover");
     let path = csr_for("recover", &el);
 
@@ -390,7 +397,10 @@ fn edge_balanced_intervals_balance_dispatcher_load() {
     let balanced = run(IntervalStrategy::EdgeBalanced);
     assert_eq!(balanced.dispatcher_messages.len(), 4);
     let total: u64 = balanced.dispatcher_messages.iter().sum();
-    assert_eq!(total, balanced.messages, "per-dispatcher counts sum to total");
+    assert_eq!(
+        total, balanced.messages,
+        "per-dispatcher counts sum to total"
+    );
     let max = *balanced.dispatcher_messages.iter().max().unwrap() as f64;
     let min = *balanced.dispatcher_messages.iter().min().unwrap() as f64;
     assert!(
@@ -441,7 +451,10 @@ fn combiner_preserves_results_and_reduces_messages() {
     off.msg_batch = 4096;
     let without = Engine::new(off).run(&path, ConnectedComponents).unwrap();
 
-    assert_eq!(with.values, without.values, "combining must not change results");
+    assert_eq!(
+        with.values, without.values,
+        "combining must not change results"
+    );
     // Hub messages (3/4 of the volume) combine at least 3→1 per source;
     // cycle messages (distinct destinations) cannot combine at all.
     assert!(
@@ -479,7 +492,12 @@ fn chunked_dispatch_matches_monolithic() {
     // (many self-messages per superstep) and monolithic dispatch reach
     // the same fixpoint. CC's min-fold is order-independent, so equality
     // is exact even with several dispatchers interleaving.
-    let el = generate::symmetrize(&generate::rmat(400, 2400, generate::RmatParams::default(), 91));
+    let el = generate::symmetrize(&generate::rmat(
+        400,
+        2400,
+        generate::RmatParams::default(),
+        91,
+    ));
     let path = csr_for("chunked", &el);
     let run = |chunk: usize| {
         let config = EngineConfig::small(workdir(&format!("chunked-{chunk}")))
@@ -502,8 +520,8 @@ fn slab_pool_recycles_buffers() {
     // recycled: hits dominate over a multi-superstep dense run.
     let el = generate::rmat(800, 8000, generate::RmatParams::default(), 17);
     let path = csr_for("slab", &el);
-    let mut config = EngineConfig::small(workdir("slab"))
-        .with_termination(Termination::Supersteps(6));
+    let mut config =
+        EngineConfig::small(workdir("slab")).with_termination(Termination::Supersteps(6));
     config.msg_batch = 256; // many batches per superstep
     let report = Engine::new(config).run(&path, PageRank::default()).unwrap();
     assert!(report.pool_misses > 0, "first flushes must allocate");

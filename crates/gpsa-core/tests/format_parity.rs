@@ -1,0 +1,262 @@
+//! v1/v2 edge-format parity: the delta-varint compressed format must be a
+//! pure representation change. For every dispatch mode and program, an
+//! engine run over a v2 graph must be *bit-identical* to the same run over
+//! the v1 word-array encoding of the same edge list — and both must match
+//! the sequential-phase oracle. The formats may differ only in the I/O
+//! profile: fewer bytes under v2, and a different logical word count
+//! (v2 records carry no separator/degree words).
+
+use std::path::PathBuf;
+
+use gpsa::programs::{Bfs, ConnectedComponents, Sssp};
+use gpsa::{DispatchMode, Engine, EngineConfig, RunReport, SyncEngine, Termination};
+use gpsa_graph::{generate, preprocess, EdgeList};
+
+const MODES: [DispatchMode; 3] = [
+    DispatchMode::Dense,
+    DispatchMode::Sparse,
+    DispatchMode::Auto,
+];
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-fmt-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn quiesce() -> Termination {
+    Termination::Quiescence {
+        max_supersteps: 2000,
+    }
+}
+
+/// Materialize `el` in both formats; returns `(v1_path, v2_path)`.
+fn both_formats(tag: &str, el: &EdgeList) -> (PathBuf, PathBuf) {
+    let dir = workdir(tag);
+    let v1 = dir.join("graph-v1.gcsr");
+    let v2 = dir.join("graph-v2.gcsr");
+    preprocess::edges_to_csr(
+        el.clone(),
+        &v1,
+        &preprocess::PreprocessOptions::uncompressed(),
+    )
+    .unwrap();
+    preprocess::edges_to_csr(el.clone(), &v2, &preprocess::PreprocessOptions::default()).unwrap();
+    (v1, v2)
+}
+
+fn run_path<P: gpsa::VertexProgram>(
+    tag: &str,
+    path: &PathBuf,
+    program: P,
+    term: Termination,
+    mode: DispatchMode,
+) -> RunReport<P::Value> {
+    let config = EngineConfig::small(workdir(tag))
+        .with_termination(term)
+        .with_dispatch_mode(mode);
+    Engine::new(config).run(path, program).unwrap()
+}
+
+fn seeded_graphs() -> Vec<(String, EdgeList)> {
+    let mut graphs: Vec<(String, EdgeList)> = [5u64, 29]
+        .iter()
+        .map(|&seed| {
+            let el = generate::symmetrize(&generate::rmat(
+                200,
+                1000,
+                generate::RmatParams::default(),
+                seed,
+            ));
+            (format!("rmat{seed}"), el)
+        })
+        .collect();
+    // The grid drives long sparse-frontier runs — the regime where the
+    // seek path decodes individual varint records.
+    graphs.push(("grid".to_string(), generate::grid(12, 13)));
+    graphs
+}
+
+#[test]
+fn v2_matches_v1_and_the_oracle_across_modes_and_programs() {
+    for (tag, el) in seeded_graphs() {
+        let (v1, v2) = both_formats(&tag, &el);
+        let oracle_bfs = SyncEngine::new(quiesce()).run(&el, Bfs { root: 0 }).values;
+        let oracle_cc = SyncEngine::new(quiesce())
+            .run(&el, ConnectedComponents)
+            .values;
+        let oracle_sssp = SyncEngine::new(quiesce()).run(&el, Sssp { root: 0 }).values;
+        for mode in MODES {
+            let r1 = run_path(
+                &format!("bfs1-{tag}-{mode:?}"),
+                &v1,
+                Bfs { root: 0 },
+                quiesce(),
+                mode,
+            );
+            let r2 = run_path(
+                &format!("bfs2-{tag}-{mode:?}"),
+                &v2,
+                Bfs { root: 0 },
+                quiesce(),
+                mode,
+            );
+            assert_eq!(r1.values, oracle_bfs, "bfs v1 {tag} {mode:?}");
+            assert_eq!(r2.values, oracle_bfs, "bfs v2 {tag} {mode:?}");
+
+            let r1 = run_path(
+                &format!("cc1-{tag}-{mode:?}"),
+                &v1,
+                ConnectedComponents,
+                quiesce(),
+                mode,
+            );
+            let r2 = run_path(
+                &format!("cc2-{tag}-{mode:?}"),
+                &v2,
+                ConnectedComponents,
+                quiesce(),
+                mode,
+            );
+            assert_eq!(r1.values, oracle_cc, "cc v1 {tag} {mode:?}");
+            assert_eq!(r2.values, oracle_cc, "cc v2 {tag} {mode:?}");
+
+            let r1 = run_path(
+                &format!("sssp1-{tag}-{mode:?}"),
+                &v1,
+                Sssp { root: 0 },
+                quiesce(),
+                mode,
+            );
+            let r2 = run_path(
+                &format!("sssp2-{tag}-{mode:?}"),
+                &v2,
+                Sssp { root: 0 },
+                quiesce(),
+                mode,
+            );
+            assert_eq!(r1.values, oracle_sssp, "sssp v1 {tag} {mode:?}");
+            assert_eq!(r2.values, oracle_sssp, "sssp v2 {tag} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn each_format_conserves_its_interval_volume_under_sparse_dispatch() {
+    // Within one format, a sparse run's streamed + skipped words must add
+    // back up to the dense sweep's volume — the conservation law that
+    // makes the I/O counters trustworthy. It must hold per format even
+    // though the two formats count different logical words per record.
+    let el = generate::grid(30, 31);
+    let (v1, v2) = both_formats("conserve", &el);
+    for (fmt, path) in [("v1", &v1), ("v2", &v2)] {
+        let dense = run_path(
+            &format!("cons-dense-{fmt}"),
+            path,
+            Bfs { root: 0 },
+            quiesce(),
+            DispatchMode::Dense,
+        );
+        let sparse = run_path(
+            &format!("cons-sparse-{fmt}"),
+            path,
+            Bfs { root: 0 },
+            quiesce(),
+            DispatchMode::Sparse,
+        );
+        assert_eq!(sparse.values, dense.values, "{fmt}");
+        assert_eq!(sparse.supersteps, dense.supersteps, "{fmt}");
+        assert_eq!(dense.edges_skipped, 0, "{fmt}: dense sweeps skip nothing");
+        assert!(
+            sparse.edges_streamed < dense.edges_streamed,
+            "{fmt}: sparse streamed {} vs dense {}",
+            sparse.edges_streamed,
+            dense.edges_streamed
+        );
+        assert_eq!(
+            sparse.edges_streamed + sparse.edges_skipped,
+            dense.edges_streamed,
+            "{fmt}: streamed + skipped must cover the dense interval volume"
+        );
+        // Bytes move with words: a sparse run cannot touch more bytes
+        // than the dense sweep of the same file.
+        assert!(
+            sparse.edge_bytes_streamed < dense.edge_bytes_streamed,
+            "{fmt}: sparse bytes {} vs dense bytes {}",
+            sparse.edge_bytes_streamed,
+            dense.edge_bytes_streamed
+        );
+    }
+}
+
+#[test]
+fn v2_streams_fewer_bytes_than_v1_for_the_same_run() {
+    // The compressed format's whole point: identical supersteps, identical
+    // values, strictly fewer bytes through the dispatchers. The skewed
+    // R-MAT degree distribution gives varint runs their advantage.
+    let el = generate::symmetrize(&generate::rmat(
+        300,
+        2400,
+        generate::RmatParams::default(),
+        97,
+    ));
+    let (v1, v2) = both_formats("bytes", &el);
+    for mode in [DispatchMode::Dense, DispatchMode::Sparse] {
+        let r1 = run_path(
+            &format!("bytes1-{mode:?}"),
+            &v1,
+            ConnectedComponents,
+            quiesce(),
+            mode,
+        );
+        let r2 = run_path(
+            &format!("bytes2-{mode:?}"),
+            &v2,
+            ConnectedComponents,
+            quiesce(),
+            mode,
+        );
+        assert_eq!(r1.values, r2.values, "{mode:?}");
+        assert!(r1.edge_bytes_streamed > 0, "{mode:?}");
+        assert!(
+            r2.edge_bytes_streamed < r1.edge_bytes_streamed,
+            "{mode:?}: v2 streamed {} bytes, v1 {}",
+            r2.edge_bytes_streamed,
+            r1.edge_bytes_streamed
+        );
+        // v1 words are 4 bytes each, exactly.
+        assert_eq!(r1.edge_bytes_streamed, 4 * r1.edges_streamed, "{mode:?}");
+        // v2 encodes the same records in fewer bytes than a word layout
+        // would take (mean varint target < 4 bytes on small-id graphs).
+        assert!(
+            r2.edge_bytes_streamed < 4 * r2.edges_streamed,
+            "{mode:?}: v2 bytes {} not below 4x its {} logical words",
+            r2.edge_bytes_streamed,
+            r2.edges_streamed
+        );
+    }
+}
+
+#[test]
+fn strided_assignments_read_v2_records_correctly() {
+    // Strided dispatch exercises `record_into` (point lookups into the
+    // byte-offset index) rather than the streaming cursor.
+    let el = generate::symmetrize(&generate::rmat(
+        150,
+        800,
+        generate::RmatParams::default(),
+        53,
+    ));
+    let (v1, v2) = both_formats("strided", &el);
+    let oracle = SyncEngine::new(quiesce())
+        .run(&el, ConnectedComponents)
+        .values;
+    for (fmt, path) in [("v1", &v1), ("v2", &v2)] {
+        let mut config =
+            EngineConfig::small(workdir(&format!("strided-run-{fmt}"))).with_termination(quiesce());
+        config.intervals = gpsa::IntervalStrategy::Strided;
+        let report = Engine::new(config).run(path, ConnectedComponents).unwrap();
+        assert_eq!(report.values, oracle, "{fmt}");
+        assert_eq!(report.edges_skipped, 0, "{fmt}: strided reports no skips");
+    }
+}

@@ -20,7 +20,12 @@ fn graphs() -> Vec<(&'static str, EdgeList)> {
         ("grid", generate::grid(6, 7)),
         (
             "rmat",
-            generate::symmetrize(&generate::rmat(200, 1000, generate::RmatParams::default(), 3)),
+            generate::symmetrize(&generate::rmat(
+                200,
+                1000,
+                generate::RmatParams::default(),
+                3,
+            )),
         ),
     ]
 }
@@ -32,7 +37,10 @@ fn actor_run<P: gpsa::VertexProgram>(
     term: Termination,
 ) -> Vec<P::Value> {
     let engine = Engine::new(EngineConfig::small(workdir(tag)).with_termination(term));
-    engine.run_edge_list(el.clone(), tag, program).unwrap().values
+    engine
+        .run_edge_list(el.clone(), tag, program)
+        .unwrap()
+        .values
 }
 
 #[test]

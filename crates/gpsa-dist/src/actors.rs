@@ -215,7 +215,8 @@ impl<P: VertexProgram> DistDispatcher<P> {
     fn run_superstep(&mut self, superstep: u64, dispatch_col: u32) {
         let update_col = 1 - dispatch_col;
         let graph = self.graph.clone();
-        for rec in graph.cursor(self.interval.clone()) {
+        let mut cursor = graph.cursor(self.interval.clone());
+        while let Some(rec) = cursor.next_rec() {
             let bits = self.values.load(dispatch_col, rec.vid);
             if !self.always_dispatch && is_flagged(bits) {
                 continue;

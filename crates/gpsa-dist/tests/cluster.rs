@@ -43,10 +43,7 @@ fn cc_agrees_across_cluster_sizes() {
     ));
     let expect = ref_cc(&el);
     for nodes in [1usize, 2, 3, 5] {
-        let cluster = Cluster::new(ClusterConfig::new(
-            nodes,
-            workdir(&format!("cc-{nodes}")),
-        ));
+        let cluster = Cluster::new(ClusterConfig::new(nodes, workdir(&format!("cc-{nodes}"))));
         let report = cluster.run(&el, ConnectedComponents).unwrap();
         assert_eq!(report.values, expect, "{nodes} nodes");
         assert_eq!(report.traffic.n_nodes(), nodes.min(el.n_vertices));

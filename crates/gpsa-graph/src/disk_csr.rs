@@ -1,14 +1,25 @@
 //! The paper's on-disk CSR format (Fig. 4) and its mmap-backed reader.
 //!
-//! The body is one big `u32` array: for each vertex in id order, optionally
-//! the vertex's out-degree, then its destination ids, then the
-//! [`SEPARATOR`] word (the paper's `-1`). Dispatch actors stream this array
-//! sequentially from a memory mapping.
+//! Two record encodings share the same header and index scheme:
 //!
-//! A companion index file stores the word offset of every vertex's record
-//! so the manager can assign vertex intervals to dispatchers (paper §V-A:
-//! by id ranges or balanced by edge counts) and so random access for tests
-//! and tools stays `O(1)`.
+//! * **v1** — the paper's layout: one big `u32` array; for each vertex in
+//!   id order, optionally the vertex's out-degree, then its destination
+//!   ids, then the [`SEPARATOR`] word (the paper's `-1`). The index stores
+//!   per-vertex *word* offsets.
+//! * **v2** — compressed: each vertex's targets are one delta-varint byte
+//!   run ([`crate::varint`]) with no separator and no inlined degree; the
+//!   index generalizes to per-vertex *(byte offset, cumulative edge
+//!   count)* pairs, so degrees and edge counts stay `O(1)` without
+//!   touching the body.
+//!
+//! Dispatch actors stream the body sequentially from a memory mapping;
+//! the index lets the manager assign vertex intervals to dispatchers
+//! (paper §V-A: by id ranges or balanced by edge counts) and keeps random
+//! access for tests and tools `O(1)`.
+//!
+//! Readers are format-transparent: [`DiskCsr::open`] accepts both
+//! versions and every cursor decodes v2 runs into an internal scratch
+//! buffer, handing out the same [`VertexEdges`] records either way.
 
 use std::io::{self, BufWriter, Write};
 use std::ops::Range;
@@ -18,13 +29,19 @@ use gpsa_mmap::{Advice, Mmap};
 
 use crate::csr::Csr;
 use crate::types::{VertexId, SEPARATOR};
+use crate::varint;
 
 const MAGIC: u32 = u32::from_le_bytes(*b"GCSR");
 const IDX_MAGIC: u32 = u32::from_le_bytes(*b"GIDX");
-const VERSION: u32 = 1;
+/// The uncompressed word-array encoding (paper Fig. 4).
+pub const VERSION_V1: u32 = 1;
+/// The delta-varint compressed encoding.
+pub const VERSION_V2: u32 = 2;
+const MAX_VERSION: u32 = VERSION_V2;
 /// Header length in u32 words: magic, version, flags, pad, n_vertices(2),
 /// n_edges(2).
 const HEADER_WORDS: usize = 8;
+const HEADER_BYTES: usize = HEADER_WORDS * 4;
 const FLAG_DEGREES: u32 = 1;
 
 /// Derive the index-file path for a CSR file (`graph.gcsr` →
@@ -35,12 +52,82 @@ pub fn index_path(csr: &Path) -> PathBuf {
     PathBuf::from(p)
 }
 
+/// A structural problem with an on-disk CSR file — reported instead of a
+/// panic so tools and the serving layer can surface *what* is wrong with
+/// *which* file (and, for body corruption, which vertex).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrFormatError {
+    /// The data file does not start with the `GCSR` magic.
+    NotGcsr,
+    /// The companion index is missing its `GIDX` magic or disagrees with
+    /// the data file's version.
+    BadIndex(String),
+    /// The file was written by a newer format than this reader supports
+    /// (e.g. opening a v2 compressed graph with a v1-only build).
+    UnsupportedVersion {
+        /// Version word found in the header.
+        found: u32,
+        /// Newest version this reader understands.
+        max_supported: u32,
+    },
+    /// Header, body, and index lengths disagree.
+    LengthMismatch(String),
+    /// A vertex's varint run (v2) or separator structure (v1) failed to
+    /// decode.
+    CorruptRun {
+        /// The vertex whose record is damaged.
+        vertex: VertexId,
+        /// What went wrong mid-record.
+        detail: String,
+    },
+}
+
+impl CsrFormatError {
+    /// Recover the typed error from an [`io::Error`] produced by
+    /// [`DiskCsr::open`] (it travels as the error's inner source).
+    pub fn from_io(e: &io::Error) -> Option<&CsrFormatError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+}
+
+impl std::fmt::Display for CsrFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrFormatError::NotGcsr => write!(f, "not a GCSR file (bad magic)"),
+            CsrFormatError::BadIndex(detail) => write!(f, "bad GIDX index: {detail}"),
+            CsrFormatError::UnsupportedVersion {
+                found,
+                max_supported,
+            } => write!(
+                f,
+                "GCSR version {found} is newer than this reader supports \
+                 (max {max_supported}); re-preprocess or upgrade"
+            ),
+            CsrFormatError::LengthMismatch(detail) => {
+                write!(f, "GCSR length mismatch: {detail}")
+            }
+            CsrFormatError::CorruptRun { vertex, detail } => {
+                write!(f, "corrupt edge run at vertex {vertex}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrFormatError {}
+
+impl From<CsrFormatError> for io::Error {
+    fn from(e: CsrFormatError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// Writes the on-disk format.
 pub struct DiskCsrWriter;
 
 impl DiskCsrWriter {
-    /// Serialize `graph` to `path` (+ companion index), optionally inlining
-    /// out-degrees (paper Fig. 4c).
+    /// Serialize `graph` to `path` (+ companion index) in the v1
+    /// uncompressed layout, optionally inlining out-degrees (paper
+    /// Fig. 4c).
     pub fn write<P: AsRef<Path>>(path: P, graph: &Csr, with_degrees: bool) -> io::Result<()> {
         let path = path.as_ref();
         let n = graph.n_vertices();
@@ -48,17 +135,10 @@ impl DiskCsrWriter {
         let flags = if with_degrees { FLAG_DEGREES } else { 0 };
         let nv = n as u64;
         let ne = graph.n_edges() as u64;
-        out.write_all(&MAGIC.to_le_bytes())?;
-        out.write_all(&VERSION.to_le_bytes())?;
-        out.write_all(&flags.to_le_bytes())?;
-        out.write_all(&0u32.to_le_bytes())?;
-        out.write_all(&nv.to_le_bytes())?;
-        out.write_all(&ne.to_le_bytes())?;
+        write_data_header(&mut out, VERSION_V1, flags, nv, ne)?;
 
         let mut idx = BufWriter::new(std::fs::File::create(index_path(path))?);
-        idx.write_all(&IDX_MAGIC.to_le_bytes())?;
-        idx.write_all(&VERSION.to_le_bytes())?;
-        idx.write_all(&nv.to_le_bytes())?;
+        write_index_header(&mut idx, VERSION_V1, nv)?;
 
         let mut word_off: u64 = 0;
         for v in 0..n as VertexId {
@@ -80,15 +160,74 @@ impl DiskCsrWriter {
         idx.flush()?;
         Ok(())
     }
+
+    /// Serialize `graph` to `path` (+ companion index) in the v2
+    /// delta-varint compressed layout.
+    pub fn write_compressed<P: AsRef<Path>>(path: P, graph: &Csr) -> io::Result<()> {
+        let path = path.as_ref();
+        let n = graph.n_vertices();
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        write_data_header(&mut out, VERSION_V2, 0, n as u64, graph.n_edges() as u64)?;
+
+        let mut idx = BufWriter::new(std::fs::File::create(index_path(path))?);
+        write_index_header(&mut idx, VERSION_V2, n as u64)?;
+
+        let mut byte_off: u64 = 0;
+        let mut edge_off: u64 = 0;
+        let mut run = Vec::new();
+        for v in 0..n as VertexId {
+            idx.write_all(&byte_off.to_le_bytes())?;
+            idx.write_all(&edge_off.to_le_bytes())?;
+            let nbrs = graph.neighbors(v);
+            run.clear();
+            varint::encode_run(nbrs, &mut run);
+            out.write_all(&run)?;
+            byte_off += run.len() as u64;
+            edge_off += nbrs.len() as u64;
+        }
+        idx.write_all(&byte_off.to_le_bytes())?;
+        idx.write_all(&edge_off.to_le_bytes())?;
+        out.flush()?;
+        idx.flush()?;
+        Ok(())
+    }
 }
 
-/// A read-only, mmap-backed view of the on-disk CSR format.
+/// Write the shared `GCSR` data-file header.
+pub(crate) fn write_data_header<W: Write>(
+    w: &mut W,
+    version: u32,
+    flags: u32,
+    n_vertices: u64,
+    n_edges: u64,
+) -> io::Result<()> {
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&n_vertices.to_le_bytes())?;
+    w.write_all(&n_edges.to_le_bytes())
+}
+
+/// Write the shared `GIDX` index-file header.
+pub(crate) fn write_index_header<W: Write>(
+    w: &mut W,
+    version: u32,
+    n_vertices: u64,
+) -> io::Result<()> {
+    w.write_all(&IDX_MAGIC.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
+    w.write_all(&n_vertices.to_le_bytes())
+}
+
+/// A read-only, mmap-backed view of the on-disk CSR format (v1 or v2).
 #[derive(Debug)]
 pub struct DiskCsr {
     data: Mmap,
     index: Mmap,
     n_vertices: usize,
     n_edges: usize,
+    version: u32,
     with_degrees: bool,
 }
 
@@ -97,59 +236,110 @@ pub struct DiskCsr {
 pub struct VertexEdges<'a> {
     /// The vertex id.
     pub vid: VertexId,
-    /// Out-degree (inlined in the file or derived from the list length).
+    /// Out-degree (inlined in the file or derived from the index).
     pub degree: u32,
     /// Destination ids.
     pub targets: &'a [VertexId],
 }
 
 impl DiskCsr {
-    /// Map `path` (and its companion index) and validate headers.
+    /// Map `path` (and its companion index) and validate headers. Format
+    /// problems surface as [`io::ErrorKind::InvalidData`] wrapping a
+    /// [`CsrFormatError`] (see [`CsrFormatError::from_io`]).
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<DiskCsr> {
         let path = path.as_ref();
         let data = Mmap::open(path).map_err(io::Error::from)?;
         let index = Mmap::open(index_path(path)).map_err(io::Error::from)?;
-        let words: &[u32] = data.as_slice_of().map_err(io::Error::from)?;
-        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
-        if words.len() < HEADER_WORDS || words[0] != MAGIC {
-            return Err(bad("not a GCSR file"));
+        let bytes = data.as_bytes();
+        let len_err = |m: String| io::Error::from(CsrFormatError::LengthMismatch(m));
+        if bytes.len() < HEADER_BYTES {
+            return Err(len_err(format!(
+                "file is {} bytes, smaller than the {HEADER_BYTES}-byte header",
+                bytes.len()
+            )));
         }
-        if words[1] != VERSION {
-            return Err(bad("unsupported GCSR version"));
+        let word = |i: usize| u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+        if word(0) != MAGIC {
+            return Err(CsrFormatError::NotGcsr.into());
         }
-        let with_degrees = words[2] & FLAG_DEGREES != 0;
-        let n_vertices = (words[4] as u64 | (words[5] as u64) << 32) as usize;
-        let n_edges = (words[6] as u64 | (words[7] as u64) << 32) as usize;
+        let version = word(1);
+        if version == 0 || version > MAX_VERSION {
+            return Err(CsrFormatError::UnsupportedVersion {
+                found: version,
+                max_supported: MAX_VERSION,
+            }
+            .into());
+        }
+        let with_degrees = version == VERSION_V2 || word(2) & FLAG_DEGREES != 0;
+        let n_vertices = (word(4) as u64 | (word(5) as u64) << 32) as usize;
+        let n_edges = (word(6) as u64 | (word(7) as u64) << 32) as usize;
 
         let ibytes = index.as_bytes();
         if ibytes.len() < 16 {
-            return Err(bad("truncated GIDX file"));
+            return Err(CsrFormatError::BadIndex("truncated GIDX header".into()).into());
         }
         let imagic = u32::from_le_bytes(ibytes[0..4].try_into().unwrap());
         let iver = u32::from_le_bytes(ibytes[4..8].try_into().unwrap());
         let inv = u64::from_le_bytes(ibytes[8..16].try_into().unwrap());
-        if imagic != IDX_MAGIC || iver != VERSION {
-            return Err(bad("not a GIDX file"));
+        if imagic != IDX_MAGIC {
+            return Err(CsrFormatError::BadIndex("missing GIDX magic".into()).into());
+        }
+        if iver != version {
+            return Err(CsrFormatError::BadIndex(format!(
+                "index version {iver} != data version {version}"
+            ))
+            .into());
         }
         if inv as usize != n_vertices {
-            return Err(bad("index/data vertex count mismatch"));
+            return Err(CsrFormatError::BadIndex(format!(
+                "index has {inv} vertices, data has {n_vertices}"
+            ))
+            .into());
         }
-        if ibytes.len() != 16 + 8 * (n_vertices + 1) {
-            return Err(bad("GIDX length mismatch"));
-        }
-        let expected_body = n_edges + n_vertices * (1 + usize::from(with_degrees));
-        if words.len() != HEADER_WORDS + expected_body {
-            return Err(bad("GCSR body length mismatch"));
+        let entry_bytes = if version == VERSION_V1 { 8 } else { 16 };
+        if ibytes.len() != 16 + entry_bytes * (n_vertices + 1) {
+            return Err(CsrFormatError::BadIndex(format!("GIDX is {} bytes", ibytes.len())).into());
         }
         let csr = DiskCsr {
             data,
             index,
             n_vertices,
             n_edges,
+            version,
             with_degrees,
         };
-        if csr.word_offset(n_vertices) != expected_body as u64 {
-            return Err(bad("GIDX terminal offset mismatch"));
+        match version {
+            VERSION_V1 => {
+                csr.data
+                    .as_slice_of::<u32>()
+                    .map_err(|_| len_err("v1 body is not word-aligned".into()))?;
+                let expected_body = n_edges + n_vertices * (1 + usize::from(with_degrees));
+                if csr.data.len() != HEADER_BYTES + expected_body * 4 {
+                    return Err(len_err(format!(
+                        "v1 body is {} bytes, expected {}",
+                        csr.data.len() - HEADER_BYTES.min(csr.data.len()),
+                        expected_body * 4
+                    )));
+                }
+                if csr.word_offset(n_vertices) != expected_body as u64 {
+                    return Err(len_err("GIDX terminal offset mismatch".into()));
+                }
+            }
+            _ => {
+                let body_bytes = csr.data.len() - HEADER_BYTES;
+                if csr.byte_offset(n_vertices) != body_bytes as u64 {
+                    return Err(len_err(format!(
+                        "index says the body ends at byte {}, file has {body_bytes}",
+                        csr.byte_offset(n_vertices)
+                    )));
+                }
+                if csr.edge_offset(n_vertices) != n_edges as u64 {
+                    return Err(len_err(format!(
+                        "index counts {} edges, header says {n_edges}",
+                        csr.edge_offset(n_vertices)
+                    )));
+                }
+            }
         }
         Ok(csr)
     }
@@ -164,7 +354,20 @@ impl DiskCsr {
         self.n_edges
     }
 
-    /// Whether out-degrees are inlined (paper Fig. 4c vs 4b).
+    /// Format version of the underlying file ([`VERSION_V1`] or
+    /// [`VERSION_V2`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether the body uses the v2 delta-varint encoding.
+    pub fn compressed(&self) -> bool {
+        self.version == VERSION_V2
+    }
+
+    /// Whether out-degrees are `O(1)` without scanning a record: inlined
+    /// degree words for v1 (paper Fig. 4c vs 4b), always for v2 (the
+    /// index carries cumulative edge counts).
     pub fn with_degrees(&self) -> bool {
         self.with_degrees
     }
@@ -173,6 +376,11 @@ impl DiskCsr {
     /// discussion: twitter 26 GB edge list → 6.5 GB CSR).
     pub fn file_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Total size of the companion index file in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.index.len()
     }
 
     /// Advise the kernel we will stream the edge file sequentially.
@@ -198,85 +406,197 @@ impl DiskCsr {
         if vertices.start >= vertices.end {
             return Ok(());
         }
-        let start = HEADER_WORDS as u64 + self.word_offset(vertices.start as usize);
-        let end = HEADER_WORDS as u64 + self.word_offset(vertices.end as usize);
+        let start = HEADER_BYTES as u64 + self.byte_offset(vertices.start as usize);
+        let end = HEADER_BYTES as u64 + self.byte_offset(vertices.end as usize);
         self.data
-            .advise_range(start as usize * 4, (end - start) as usize * 4, advice)
+            .advise_range(start as usize, (end - start) as usize, advice)
             .map_err(io::Error::from)
     }
 
+    /// The v1 body as a word slice.
     fn body(&self) -> &[u32] {
+        debug_assert_eq!(self.version, VERSION_V1);
         &self.data.as_slice_of::<u32>().expect("validated at open")[HEADER_WORDS..]
     }
 
+    /// The v2 body as a byte slice.
+    fn body_bytes(&self) -> &[u8] {
+        &self.data.as_bytes()[HEADER_BYTES..]
+    }
+
     /// Word offset of vertex `v`'s record within the body
-    /// (`v == n_vertices` gives the body length).
+    /// (`v == n_vertices` gives the body length). v1 files only.
     pub fn word_offset(&self, v: usize) -> u64 {
         debug_assert!(v <= self.n_vertices);
+        assert_eq!(self.version, VERSION_V1, "word offsets are a v1 notion");
         let b = self.index.as_bytes();
         let at = 16 + 8 * v;
         u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
     }
 
-    /// Random access to one vertex's record.
-    pub fn vertex_edges(&self, v: VertexId) -> VertexEdges<'_> {
-        assert!((v as usize) < self.n_vertices, "vertex {v} out of range");
-        let start = self.word_offset(v as usize) as usize;
-        let end = self.word_offset(v as usize + 1) as usize;
-        let rec = &self.body()[start..end];
-        debug_assert_eq!(*rec.last().unwrap(), SEPARATOR);
-        if self.with_degrees {
-            VertexEdges {
-                vid: v,
-                degree: rec[0],
-                targets: &rec[1..rec.len() - 1],
-            }
+    /// Byte offset of vertex `v`'s record within the body
+    /// (`v == n_vertices` gives the body length in bytes).
+    pub fn byte_offset(&self, v: usize) -> u64 {
+        debug_assert!(v <= self.n_vertices);
+        if self.version == VERSION_V1 {
+            return self.word_offset(v) * 4;
+        }
+        let b = self.index.as_bytes();
+        let at = 16 + 16 * v;
+        u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+    }
+
+    /// Cumulative edge count ahead of vertex `v` (`v == n_vertices` gives
+    /// `n_edges`).
+    pub fn edge_offset(&self, v: usize) -> u64 {
+        debug_assert!(v <= self.n_vertices);
+        if self.version == VERSION_V1 {
+            // v1 record = degree? + targets + separator, so subtracting the
+            // per-record overhead from the word offset leaves edges.
+            return self.word_offset(v) - v as u64 * (1 + u64::from(self.with_degrees));
+        }
+        let b = self.index.as_bytes();
+        let at = 16 + 16 * v + 8;
+        u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+    }
+
+    /// Format-independent stream position of vertex `v` in *logical
+    /// words*: for v1 the literal word offset; for v2 each record counts
+    /// its targets plus one boundary word (standing in for v1's
+    /// separator). Monotone in `v`, so chunking and the streamed/skipped
+    /// conservation accounting work identically for both formats.
+    pub fn logical_offset(&self, v: usize) -> u64 {
+        if self.version == VERSION_V1 {
+            self.word_offset(v)
         } else {
-            VertexEdges {
-                vid: v,
-                degree: (rec.len() - 1) as u32,
-                targets: &rec[..rec.len() - 1],
-            }
+            self.edge_offset(v) + v as u64
         }
     }
 
+    /// Logical words spanned by the records of `vertices` (see
+    /// [`DiskCsr::logical_offset`]).
+    pub fn words_in_range(&self, vertices: Range<VertexId>) -> u64 {
+        self.logical_offset(vertices.end as usize) - self.logical_offset(vertices.start as usize)
+    }
+
+    /// Physical bytes spanned by the records of `vertices`.
+    pub fn bytes_in_range(&self, vertices: Range<VertexId>) -> u64 {
+        self.byte_offset(vertices.end as usize) - self.byte_offset(vertices.start as usize)
+    }
+
+    /// Logical words per record beyond its targets (v1: separator plus
+    /// the optional degree word; v2: the single boundary word).
+    pub fn record_overhead_words(&self) -> u64 {
+        if self.version == VERSION_V1 {
+            1 + u64::from(self.with_degrees)
+        } else {
+            1
+        }
+    }
+
+    /// Out-degree of `v` — `O(1)` from the index for both formats.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        assert!((v as usize) < self.n_vertices, "vertex {v} out of range");
+        (self.edge_offset(v as usize + 1) - self.edge_offset(v as usize)) as u32
+    }
+
+    /// Random access to one vertex's record, decoding (v2) or borrowing
+    /// (v1) into `scratch`. The returned record borrows `scratch`, so
+    /// callers that batch lookups reuse one buffer across calls.
+    pub fn record_into<'s>(&'s self, v: VertexId, scratch: &'s mut Vec<u32>) -> VertexEdges<'s> {
+        match self.try_record_into(v, scratch) {
+            Ok(rec) => rec,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`DiskCsr::record_into`]: corrupt v2 runs report
+    /// [`CsrFormatError::CorruptRun`] naming the vertex instead of
+    /// panicking.
+    pub fn try_record_into<'s>(
+        &'s self,
+        v: VertexId,
+        scratch: &'s mut Vec<u32>,
+    ) -> Result<VertexEdges<'s>, CsrFormatError> {
+        assert!((v as usize) < self.n_vertices, "vertex {v} out of range");
+        if self.version == VERSION_V1 {
+            let start = self.word_offset(v as usize) as usize;
+            let end = self.word_offset(v as usize + 1) as usize;
+            let rec = &self.body()[start..end];
+            return v1_record(v, rec, self.with_degrees);
+        }
+        let start = self.byte_offset(v as usize) as usize;
+        let end = self.byte_offset(v as usize + 1) as usize;
+        let degree = self.degree(v) as usize;
+        scratch.clear();
+        decode_v2_record(v, &self.body_bytes()[start..end], degree, scratch)?;
+        Ok(VertexEdges {
+            vid: v,
+            degree: degree as u32,
+            targets: &scratch[..],
+        })
+    }
+
+    /// One vertex's targets as an owned vector (convenience for tests and
+    /// tools; hot paths use the cursors or [`DiskCsr::record_into`]).
+    pub fn targets(&self, v: VertexId) -> Vec<VertexId> {
+        let mut scratch = Vec::new();
+        self.record_into(v, &mut scratch).targets.to_vec()
+    }
+
+    /// Decode every record, checking v2 varint runs (or v1 separator
+    /// structure) against the index. `O(E)`; used by tools and tests —
+    /// the engine's streaming path checks lazily as it decodes.
+    pub fn validate(&self) -> Result<(), CsrFormatError> {
+        let mut scratch = Vec::new();
+        for v in 0..self.n_vertices as VertexId {
+            self.try_record_into(v, &mut scratch)?;
+        }
+        Ok(())
+    }
+
     /// A sequential cursor over the records of `vertices` (a contiguous id
-    /// range) — the dispatch actor's streaming read path.
+    /// range) — the dispatch actor's streaming read path. Call
+    /// [`EdgeCursor::next_rec`] until it returns `None`; each record
+    /// borrows the cursor (v2 decodes into the cursor's scratch buffer).
     pub fn cursor(&self, vertices: Range<VertexId>) -> EdgeCursor<'_> {
         assert!(vertices.end as usize <= self.n_vertices);
-        let start_word = self.word_offset(vertices.start as usize) as usize;
         EdgeCursor {
             csr: self,
             next: vertices.start,
             end: vertices.end,
-            pos: start_word,
+            pos: self.byte_offset(vertices.start as usize) as usize,
+            words_read: 0,
+            bytes_read: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// End of the first chunk of `vertices` covering roughly `edge_budget`
-    /// body words: the smallest `end > vertices.start` whose records span
-    /// at least the budget, or `vertices.end` if the whole range fits.
-    /// Always makes progress (returns at least `vertices.start + 1` for a
-    /// non-empty range), so a single vertex fatter than the budget forms a
-    /// chunk of its own. `O(log n)` via the word-offset index.
+    /// logical body words: the smallest `end > vertices.start` whose
+    /// records span at least the budget, or `vertices.end` if the whole
+    /// range fits. Always makes progress (returns at least
+    /// `vertices.start + 1` for a non-empty range), so a single vertex
+    /// fatter than the budget forms a chunk of its own. `O(log n)` via
+    /// the offset index.
     pub fn chunk_end(&self, vertices: Range<VertexId>, edge_budget: u64) -> VertexId {
         assert!(vertices.end as usize <= self.n_vertices);
         if vertices.start >= vertices.end {
             return vertices.end;
         }
         let target = self
-            .word_offset(vertices.start as usize)
+            .logical_offset(vertices.start as usize)
             .saturating_add(edge_budget.max(1));
-        if self.word_offset(vertices.end as usize) <= target {
+        if self.logical_offset(vertices.end as usize) <= target {
             return vertices.end;
         }
-        // Binary search for the smallest end with word_offset(end) >= target;
-        // word offsets are monotone in vertex id.
+        // Binary search for the smallest end with logical_offset(end) >=
+        // target; logical offsets are monotone in vertex id.
         let mut lo = vertices.start as usize + 1;
         let mut hi = vertices.end as usize;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if self.word_offset(mid) < target {
+            if self.logical_offset(mid) < target {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -286,8 +606,8 @@ impl DiskCsr {
     }
 
     /// Split `vertices` into contiguous subranges of roughly `edge_budget`
-    /// body words each (see [`DiskCsr::chunk_end`]). The chunks tile the
-    /// input range exactly; an empty range yields no chunks.
+    /// logical body words each (see [`DiskCsr::chunk_end`]). The chunks
+    /// tile the input range exactly; an empty range yields no chunks.
     pub fn chunks(&self, vertices: Range<VertexId>, edge_budget: u64) -> ChunkCursor<'_> {
         assert!(vertices.end as usize <= self.n_vertices);
         ChunkCursor {
@@ -303,7 +623,8 @@ impl DiskCsr {
     /// edge lists.
     pub fn to_edge_list(&self) -> crate::EdgeList {
         let mut edges = Vec::with_capacity(self.n_edges);
-        for rec in self.cursor(0..self.n_vertices as u32) {
+        let mut cur = self.cursor(0..self.n_vertices as u32);
+        while let Some(rec) = cur.next_rec() {
             for &dst in rec.targets {
                 edges.push(crate::Edge::new(rec.vid, dst));
             }
@@ -314,7 +635,7 @@ impl DiskCsr {
     /// A seeking cursor for sparse (frontier-driven) dispatch: the caller
     /// feeds it a strictly ascending stream of active vertex ids and gets
     /// each record back. Adjacent ids coalesce into one contiguous scan —
-    /// the cursor only consults the word-offset index (a seek) when the
+    /// the cursor only consults the offset index (a seek) when the
     /// requested id is not the one right after the last record read.
     pub fn seek_cursor(&self) -> SeekCursor<'_> {
         SeekCursor {
@@ -322,19 +643,70 @@ impl DiskCsr {
             next: 0,
             pos: 0,
             words_read: 0,
+            bytes_read: 0,
             seeks: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Sum of out-degrees over an id range (used by the edge-balanced
     /// partitioner).
     pub fn edges_in_range(&self, vertices: Range<VertexId>) -> u64 {
-        let words =
-            self.word_offset(vertices.end as usize) - self.word_offset(vertices.start as usize);
-        let n = (vertices.end - vertices.start) as u64;
-        // Each record is degree? + targets + separator.
-        words - n * (1 + u64::from(self.with_degrees))
+        self.edge_offset(vertices.end as usize) - self.edge_offset(vertices.start as usize)
     }
+}
+
+/// Split a raw v1 record (degree? + targets + separator) into a
+/// [`VertexEdges`].
+fn v1_record(
+    v: VertexId,
+    rec: &[u32],
+    with_degrees: bool,
+) -> Result<VertexEdges<'_>, CsrFormatError> {
+    let corrupt = |detail: &str| CsrFormatError::CorruptRun {
+        vertex: v,
+        detail: detail.to_string(),
+    };
+    if *rec.last().ok_or_else(|| corrupt("empty record"))? != SEPARATOR {
+        return Err(corrupt("record does not end with the separator"));
+    }
+    let targets = if with_degrees {
+        let targets = &rec[1..rec.len() - 1];
+        if rec[0] as usize != targets.len() {
+            return Err(corrupt("inlined degree disagrees with the record span"));
+        }
+        targets
+    } else {
+        &rec[..rec.len() - 1]
+    };
+    if targets.contains(&SEPARATOR) {
+        return Err(corrupt("separator word inside the target list"));
+    }
+    Ok(VertexEdges {
+        vid: v,
+        degree: targets.len() as u32,
+        targets,
+    })
+}
+
+/// Decode one v2 byte run, wrapping varint failures with the vertex id.
+fn decode_v2_record(
+    v: VertexId,
+    bytes: &[u8],
+    degree: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), CsrFormatError> {
+    let used = varint::decode_run(bytes, degree, out).map_err(|e| CsrFormatError::CorruptRun {
+        vertex: v,
+        detail: e.to_string(),
+    })?;
+    if used != bytes.len() {
+        return Err(CsrFormatError::CorruptRun {
+            vertex: v,
+            detail: format!("run is {} bytes, decode consumed {used}", bytes.len()),
+        });
+    }
+    Ok(())
 }
 
 /// Iterator over ~equal-edge-weight vertex subranges. See
@@ -362,21 +734,32 @@ impl Iterator for ChunkCursor<'_> {
 
 /// Seek-based record reader over an ascending id stream. See
 /// [`DiskCsr::seek_cursor`].
+///
+/// Not an `Iterator`: records decode into (v2) or alongside (v1) the
+/// cursor's scratch buffer, so each [`SeekCursor::record`] borrows the
+/// cursor until the caller is done with the record.
 #[derive(Debug)]
 pub struct SeekCursor<'a> {
     csr: &'a DiskCsr,
     /// The vertex whose record starts at `pos` — requests for exactly this
     /// id continue the current scan without touching the index.
     next: VertexId,
+    /// v1: word position in the body. v2: byte position in the body.
     pos: usize,
     words_read: u64,
+    bytes_read: u64,
     seeks: u64,
+    scratch: Vec<u32>,
 }
 
-impl<'a> SeekCursor<'a> {
+impl SeekCursor<'_> {
     /// Read vertex `v`'s record. Ids must be requested in strictly
     /// ascending order across calls.
-    pub fn record(&mut self, v: VertexId) -> VertexEdges<'a> {
+    ///
+    /// Panics (naming the vertex) on a corrupt v2 varint run — on the
+    /// engine's dispatch path that rides the actor failure escalation,
+    /// while tools pre-screen with [`DiskCsr::validate`].
+    pub fn record(&mut self, v: VertexId) -> VertexEdges<'_> {
         assert!(
             (v as usize) < self.csr.n_vertices,
             "vertex {v} out of range"
@@ -386,38 +769,73 @@ impl<'a> SeekCursor<'a> {
             "seek cursor ids must ascend ({v} < {})",
             self.next
         );
+        if self.csr.version == VERSION_V1 {
+            if v != self.next {
+                self.pos = self.csr.word_offset(v as usize) as usize;
+                self.seeks += 1;
+            }
+            let body = self.csr.body();
+            let mut pos = self.pos;
+            let degree_word = if self.csr.with_degrees {
+                let d = body[pos];
+                pos += 1;
+                Some(d)
+            } else {
+                None
+            };
+            let start = pos;
+            while body[pos] != SEPARATOR {
+                pos += 1;
+            }
+            let words = (pos + 1 - self.pos) as u64;
+            self.words_read += words;
+            self.bytes_read += words * 4;
+            self.pos = pos + 1;
+            self.next = v + 1;
+            let targets = &body[start..pos];
+            return VertexEdges {
+                vid: v,
+                degree: degree_word.unwrap_or(targets.len() as u32),
+                targets,
+            };
+        }
         if v != self.next {
-            self.pos = self.csr.word_offset(v as usize) as usize;
+            self.pos = self.csr.byte_offset(v as usize) as usize;
             self.seeks += 1;
         }
-        let body = self.csr.body();
-        let mut pos = self.pos;
-        let degree_word = if self.csr.with_degrees {
-            let d = body[pos];
-            pos += 1;
-            Some(d)
-        } else {
-            None
-        };
-        let start = pos;
-        while body[pos] != SEPARATOR {
-            pos += 1;
+        let end = self.csr.byte_offset(v as usize + 1) as usize;
+        let degree = self.csr.degree(v) as usize;
+        self.scratch.clear();
+        if let Err(e) = decode_v2_record(
+            v,
+            &self.csr.body_bytes()[self.pos..end],
+            degree,
+            &mut self.scratch,
+        ) {
+            panic!("{e}");
         }
-        let targets = &body[start..pos];
-        self.words_read += (pos + 1 - self.pos) as u64;
-        self.pos = pos + 1;
+        self.words_read += degree as u64 + 1;
+        self.bytes_read += (end - self.pos) as u64;
+        self.pos = end;
         self.next = v + 1;
         VertexEdges {
             vid: v,
-            degree: degree_word.unwrap_or(targets.len() as u32),
-            targets,
+            degree: degree as u32,
+            targets: &self.scratch[..],
         }
     }
 
-    /// Body words consumed so far (degree words, targets, separators) —
-    /// the sparse-mode `edges_streamed` counter.
+    /// Logical body words consumed so far (v1: degree words, targets,
+    /// separators; v2: targets plus one boundary word per record) — the
+    /// sparse-mode `edges_streamed` counter.
     pub fn words_read(&self) -> u64 {
         self.words_read
+    }
+
+    /// Physical bytes consumed so far — the `edge_bytes_streamed`
+    /// counter.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// Index lookups performed (coalesced runs don't seek).
@@ -426,48 +844,104 @@ impl<'a> SeekCursor<'a> {
     }
 }
 
-/// Sequential streaming iterator over vertex records. See
+/// Sequential streaming reader over vertex records. See
 /// [`DiskCsr::cursor`].
+///
+/// Not an `Iterator`: v2 records decode into the cursor's scratch
+/// buffer, so each [`EdgeCursor::next_rec`] borrows the cursor until the
+/// caller is done with the record (a lending iterator).
 #[derive(Debug)]
 pub struct EdgeCursor<'a> {
     csr: &'a DiskCsr,
     next: VertexId,
     end: VertexId,
+    /// v1: word position in the body. v2: byte position in the body.
     pos: usize,
+    words_read: u64,
+    bytes_read: u64,
+    scratch: Vec<u32>,
 }
 
-impl<'a> Iterator for EdgeCursor<'a> {
-    type Item = VertexEdges<'a>;
-
-    fn next(&mut self) -> Option<VertexEdges<'a>> {
+impl EdgeCursor<'_> {
+    /// The next record in the range, or `None` past the end.
+    ///
+    /// Panics (naming the vertex) on a corrupt v2 varint run — on the
+    /// engine's dispatch path that rides the actor failure escalation,
+    /// while tools pre-screen with [`DiskCsr::validate`].
+    pub fn next_rec(&mut self) -> Option<VertexEdges<'_>> {
         if self.next >= self.end {
             return None;
         }
-        let body = self.csr.body();
         let vid = self.next;
-        let mut pos = self.pos;
-        let degree_word = if self.csr.with_degrees {
-            let d = body[pos];
-            pos += 1;
-            Some(d)
-        } else {
-            None
-        };
-        let start = pos;
-        // Scan forward to the separator. Sequential, cache-friendly — this
-        // is the paper's "edges are processed by dispatching actors
-        // sequentially from disk".
-        while body[pos] != SEPARATOR {
-            pos += 1;
+        if self.csr.version == VERSION_V1 {
+            let body = self.csr.body();
+            let mut pos = self.pos / 4;
+            let degree_word = if self.csr.with_degrees {
+                let d = body[pos];
+                pos += 1;
+                Some(d)
+            } else {
+                None
+            };
+            let start = pos;
+            // Scan forward to the separator. Sequential, cache-friendly —
+            // this is the paper's "edges are processed by dispatching
+            // actors sequentially from disk".
+            while body[pos] != SEPARATOR {
+                pos += 1;
+            }
+            let words = (pos + 1 - self.pos / 4) as u64;
+            self.words_read += words;
+            self.bytes_read += words * 4;
+            self.pos = (pos + 1) * 4;
+            self.next += 1;
+            let targets = &body[start..pos];
+            return Some(VertexEdges {
+                vid,
+                degree: degree_word.unwrap_or(targets.len() as u32),
+                targets,
+            });
         }
-        let targets = &body[start..pos];
-        self.pos = pos + 1;
+        let end = self.csr.byte_offset(vid as usize + 1) as usize;
+        let degree = self.csr.degree(vid) as usize;
+        self.scratch.clear();
+        if let Err(e) = decode_v2_record(
+            vid,
+            &self.csr.body_bytes()[self.pos..end],
+            degree,
+            &mut self.scratch,
+        ) {
+            panic!("{e}");
+        }
+        self.words_read += degree as u64 + 1;
+        self.bytes_read += (end - self.pos) as u64;
+        self.pos = end;
         self.next += 1;
         Some(VertexEdges {
             vid,
-            degree: degree_word.unwrap_or(targets.len() as u32),
-            targets,
+            degree: degree as u32,
+            targets: &self.scratch[..],
         })
+    }
+
+    /// Logical body words consumed so far (see
+    /// [`SeekCursor::words_read`]).
+    pub fn words_read(&self) -> u64 {
+        self.words_read
+    }
+
+    /// Physical bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Drain the cursor, counting the remaining records.
+    pub fn count_remaining(&mut self) -> usize {
+        let mut n = 0;
+        while self.next_rec().is_some() {
+            n += 1;
+        }
+        n
     }
 }
 
@@ -495,52 +969,77 @@ mod tests {
         )
     }
 
+    /// Write fig4 in every on-disk flavor: (tag, path).
+    fn all_flavors(dir: &Path) -> Vec<(&'static str, PathBuf)> {
+        let g = fig4();
+        let v1n = dir.join("fig4-v1-nodeg.gcsr");
+        DiskCsrWriter::write(&v1n, &g, false).unwrap();
+        let v1d = dir.join("fig4-v1-deg.gcsr");
+        DiskCsrWriter::write(&v1d, &g, true).unwrap();
+        let v2 = dir.join("fig4-v2.gcsr");
+        DiskCsrWriter::write_compressed(&v2, &g).unwrap();
+        vec![("v1", v1n), ("v1-deg", v1d), ("v2", v2)]
+    }
+
     #[test]
-    fn roundtrip_with_and_without_degrees() {
-        for with_deg in [false, true] {
-            let path = tmpdir().join(format!("fig4-{with_deg}.gcsr"));
-            DiskCsrWriter::write(&path, &fig4(), with_deg).unwrap();
+    fn roundtrip_all_flavors() {
+        for (tag, path) in all_flavors(&tmpdir()) {
             let d = DiskCsr::open(&path).unwrap();
-            assert_eq!(d.n_vertices(), 4);
-            assert_eq!(d.n_edges(), 5);
-            assert_eq!(d.with_degrees(), with_deg);
-            let v0 = d.vertex_edges(0);
-            assert_eq!(v0.degree, 2);
-            assert_eq!(v0.targets, &[2, 3]);
-            let v2 = d.vertex_edges(2);
-            assert_eq!(v2.degree, 0);
-            assert!(v2.targets.is_empty());
-            let v3 = d.vertex_edges(3);
-            assert_eq!(v3.targets, &[1, 2]);
+            assert_eq!(d.n_vertices(), 4, "{tag}");
+            assert_eq!(d.n_edges(), 5, "{tag}");
+            assert_eq!(d.compressed(), tag == "v2", "{tag}");
+            let mut scratch = Vec::new();
+            let v0 = d.record_into(0, &mut scratch);
+            assert_eq!(v0.degree, 2, "{tag}");
+            assert_eq!(v0.targets, &[2, 3], "{tag}");
+            assert_eq!(d.degree(2), 0, "{tag}");
+            assert!(d.targets(2).is_empty(), "{tag}");
+            assert_eq!(d.targets(3), &[1, 2], "{tag}");
+            d.validate().unwrap();
         }
     }
 
     #[test]
     fn cursor_streams_ranges() {
-        let path = tmpdir().join("cursor.gcsr");
-        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
-        let d = DiskCsr::open(&path).unwrap();
-        let all: Vec<_> = d.cursor(0..4).collect();
-        assert_eq!(all.len(), 4);
-        assert_eq!(all[0].vid, 0);
-        assert_eq!(all[3].targets, &[1, 2]);
-        let mid: Vec<_> = d.cursor(1..3).collect();
-        assert_eq!(mid.len(), 2);
-        assert_eq!(mid[0].vid, 1);
-        assert_eq!(mid[0].targets, &[0]);
-        assert_eq!(mid[1].vid, 2);
-        assert!(d.cursor(2..2).next().is_none());
+        for (tag, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            let mut cur = d.cursor(0..4);
+            let mut seen = Vec::new();
+            while let Some(rec) = cur.next_rec() {
+                seen.push((rec.vid, rec.targets.to_vec()));
+            }
+            assert_eq!(seen.len(), 4, "{tag}");
+            assert_eq!(seen[0].0, 0, "{tag}");
+            assert_eq!(seen[3].1, &[1, 2], "{tag}");
+            let mut mid = d.cursor(1..3);
+            let first = mid.next_rec().unwrap();
+            assert_eq!((first.vid, first.targets), (1, &[0u32][..]), "{tag}");
+            assert_eq!(mid.next_rec().unwrap().vid, 2, "{tag}");
+            assert!(mid.next_rec().is_none(), "{tag}");
+            assert!(d.cursor(2..2).next_rec().is_none(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn cursor_counters_match_index_spans() {
+        for (tag, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            let mut cur = d.cursor(1..4);
+            while cur.next_rec().is_some() {}
+            assert_eq!(cur.words_read(), d.words_in_range(1..4), "{tag}");
+            assert_eq!(cur.bytes_read(), d.bytes_in_range(1..4), "{tag}");
+        }
     }
 
     #[test]
     fn edges_in_range_matches_degrees() {
-        let path = tmpdir().join("range.gcsr");
-        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
-        let d = DiskCsr::open(&path).unwrap();
-        assert_eq!(d.edges_in_range(0..4), 5);
-        assert_eq!(d.edges_in_range(0..1), 2);
-        assert_eq!(d.edges_in_range(1..3), 1);
-        assert_eq!(d.edges_in_range(2..2), 0);
+        for (tag, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            assert_eq!(d.edges_in_range(0..4), 5, "{tag}");
+            assert_eq!(d.edges_in_range(0..1), 2, "{tag}");
+            assert_eq!(d.edges_in_range(1..3), 1, "{tag}");
+            assert_eq!(d.edges_in_range(2..2), 0, "{tag}");
+        }
     }
 
     #[test]
@@ -564,16 +1063,21 @@ mod tests {
 
     #[test]
     fn chunks_tile_the_range() {
-        let path = tmpdir().join("chunks.gcsr");
-        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
-        let d = DiskCsr::open(&path).unwrap();
-        let got: Vec<_> = d.chunks(0..4, 4).collect();
-        assert_eq!(got, vec![0..1, 1..3, 3..4]);
-        assert_eq!(d.chunks(0..4, u64::MAX).collect::<Vec<_>>(), vec![0..4]);
-        assert!(d.chunks(2..2, 4).next().is_none());
-        // Per-vertex chunking covers every vertex exactly once.
-        let singles: Vec<_> = d.chunks(0..4, 1).collect();
-        assert_eq!(singles, vec![0..1, 1..2, 2..3, 3..4]);
+        for (tag, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            for budget in [1, 3, 4, u64::MAX] {
+                let got: Vec<_> = d.chunks(0..4, budget).collect();
+                assert_eq!(got.first().map(|r| r.start), Some(0), "{tag}/{budget}");
+                assert_eq!(got.last().map(|r| r.end), Some(4), "{tag}/{budget}");
+                for w in got.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "{tag}/{budget}");
+                }
+            }
+            assert!(d.chunks(2..2, 4).next().is_none(), "{tag}");
+            // Per-vertex chunking covers every vertex exactly once.
+            let singles: Vec<_> = d.chunks(0..4, 1).collect();
+            assert_eq!(singles, vec![0..1, 1..2, 2..3, 3..4], "{tag}");
+        }
     }
 
     #[test]
@@ -610,33 +1114,61 @@ mod tests {
     }
 
     #[test]
+    fn golden_bytes_v2_layout() {
+        // v2 body, fig4: v0 [2,3] → raw 2, zigzag(+1)=2; v1 [0] → raw 0;
+        // v2 empty → nothing; v3 [1,2] → raw 1, zigzag(+1)=2.
+        let path = tmpdir().join("golden-v2.gcsr");
+        DiskCsrWriter::write_compressed(&path, &fig4()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[HEADER_BYTES..], &[0x02, 0x02, 0x00, 0x01, 0x02]);
+        // Index pairs (byte offset, cumulative edges) per vertex + terminal.
+        let d = DiskCsr::open(&path).unwrap();
+        let pairs: Vec<(u64, u64)> = (0..=4)
+            .map(|v| (d.byte_offset(v), d.edge_offset(v)))
+            .collect();
+        assert_eq!(pairs, vec![(0, 0), (2, 2), (3, 3), (3, 3), (5, 5)]);
+        // 5 edges in 5 bytes vs 4 bytes/edge + separators for v1.
+        assert_eq!(d.file_bytes(), HEADER_BYTES + 5);
+    }
+
+    #[test]
     fn seek_cursor_matches_random_access_and_coalesces() {
-        for with_deg in [false, true] {
-            let path = tmpdir().join(format!("seek-{with_deg}.gcsr"));
-            DiskCsrWriter::write(&path, &fig4(), with_deg).unwrap();
+        for (tag, path) in all_flavors(&tmpdir()) {
             let d = DiskCsr::open(&path).unwrap();
 
             // Sparse visit {0, 3}: one seek (vertex 3), records identical
             // to random access.
             let mut c = d.seek_cursor();
             let r0 = c.record(0);
-            assert_eq!((r0.vid, r0.degree, r0.targets), (0, 2, &[2u32, 3][..]));
-            assert_eq!(c.seeks(), 0, "first record starts at offset 0");
-            let r3 = c.record(3);
-            assert_eq!(r3.targets, d.vertex_edges(3).targets);
-            assert_eq!(c.seeks(), 1);
-            // Words: exactly the two visited records.
-            let rec_words = |v: usize| d.word_offset(v + 1) - d.word_offset(v);
-            assert_eq!(c.words_read(), rec_words(0) + rec_words(3));
+            assert_eq!(
+                (r0.vid, r0.degree, r0.targets),
+                (0, 2, &[2u32, 3][..]),
+                "{tag}"
+            );
+            assert_eq!(c.seeks(), 0, "{tag}: first record starts at offset 0");
+            assert_eq!(c.record(3).targets, d.targets(3), "{tag}");
+            assert_eq!(c.seeks(), 1, "{tag}");
+            // Words and bytes: exactly the two visited records.
+            assert_eq!(
+                c.words_read(),
+                d.words_in_range(0..1) + d.words_in_range(3..4),
+                "{tag}"
+            );
+            assert_eq!(
+                c.bytes_read(),
+                d.bytes_in_range(0..1) + d.bytes_in_range(3..4),
+                "{tag}"
+            );
 
-            // Adjacent ids coalesce: visiting every vertex seeks zero times
-            // and reads exactly the whole body.
+            // Adjacent ids coalesce: visiting every vertex seeks zero
+            // times and reads exactly the whole body.
             let mut c = d.seek_cursor();
             for v in 0..4 {
-                assert_eq!(c.record(v).targets, d.vertex_edges(v).targets);
+                assert_eq!(c.record(v).targets, d.targets(v), "{tag}");
             }
-            assert_eq!(c.seeks(), 0);
-            assert_eq!(c.words_read(), d.word_offset(4));
+            assert_eq!(c.seeks(), 0, "{tag}");
+            assert_eq!(c.words_read(), d.words_in_range(0..4), "{tag}");
+            assert_eq!(c.bytes_read(), d.bytes_in_range(0..4), "{tag}");
         }
     }
 
@@ -653,13 +1185,13 @@ mod tests {
 
     #[test]
     fn advise_vertex_range_accepts_any_subrange() {
-        let path = tmpdir().join("advise.gcsr");
-        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
-        let d = DiskCsr::open(&path).unwrap();
-        d.advise_vertex_range(0..4, Advice::Random).unwrap();
-        d.advise_vertex_range(1..3, Advice::Sequential).unwrap();
-        d.advise_vertex_range(2..2, Advice::Random).unwrap();
-        d.advise_vertex_range(3..4, Advice::Normal).unwrap();
+        for (_, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            d.advise_vertex_range(0..4, Advice::Random).unwrap();
+            d.advise_vertex_range(1..3, Advice::Sequential).unwrap();
+            d.advise_vertex_range(2..2, Advice::Random).unwrap();
+            d.advise_vertex_range(3..4, Advice::Normal).unwrap();
+        }
     }
 
     #[test]
@@ -682,15 +1214,64 @@ mod tests {
     }
 
     #[test]
+    fn future_version_reports_typed_error() {
+        let path = tmpdir().join("future.gcsr");
+        DiskCsrWriter::write(&path, &fig4(), true).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = DiskCsr::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        match CsrFormatError::from_io(&err) {
+            Some(CsrFormatError::UnsupportedVersion {
+                found: 9,
+                max_supported,
+            }) => assert_eq!(*max_supported, MAX_VERSION),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_varint_run_names_the_vertex() {
+        let path = tmpdir().join("corrupt-run.gcsr");
+        DiskCsrWriter::write_compressed(&path, &fig4()).unwrap();
+        // Overwrite vertex 3's run (body bytes 3..5) with a dangling
+        // continuation byte: decode must fail *and* name vertex 3.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_BYTES + 3] = 0xFF;
+        bytes[HEADER_BYTES + 4] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let d = DiskCsr::open(&path).unwrap(); // header + index still consistent
+        match d.validate() {
+            Err(CsrFormatError::CorruptRun { vertex: 3, .. }) => {}
+            other => panic!("expected CorruptRun at vertex 3, got {other:?}"),
+        }
+        let msg = d.validate().unwrap_err().to_string();
+        assert!(msg.contains("vertex 3"), "{msg}");
+        // Undamaged records still decode.
+        assert_eq!(d.targets(0), &[2, 3]);
+    }
+
+    #[test]
     fn empty_graph_roundtrips() {
-        let path = tmpdir().join("empty.gcsr");
-        DiskCsrWriter::write(&path, &Csr::from_edges(3, Vec::<Edge>::new()), true).unwrap();
-        let d = DiskCsr::open(&path).unwrap();
-        assert_eq!(d.n_vertices(), 3);
-        assert_eq!(d.n_edges(), 0);
-        assert_eq!(d.cursor(0..3).count(), 3);
-        assert!(d
-            .cursor(0..3)
-            .all(|r| r.targets.is_empty() && r.degree == 0));
+        let dir = tmpdir();
+        let empty = Csr::from_edges(3, Vec::<Edge>::new());
+        let v1 = dir.join("empty.gcsr");
+        DiskCsrWriter::write(&v1, &empty, true).unwrap();
+        let v2 = dir.join("empty-v2.gcsr");
+        DiskCsrWriter::write_compressed(&v2, &empty).unwrap();
+        for path in [v1, v2] {
+            let d = DiskCsr::open(&path).unwrap();
+            assert_eq!(d.n_vertices(), 3);
+            assert_eq!(d.n_edges(), 0);
+            let mut cur = d.cursor(0..3);
+            let mut n = 0;
+            while let Some(r) = cur.next_rec() {
+                assert!(r.targets.is_empty() && r.degree == 0);
+                n += 1;
+            }
+            assert_eq!(n, 3);
+        }
     }
 }

@@ -28,8 +28,12 @@ pub mod edgelist;
 pub mod generate;
 pub mod preprocess;
 mod types;
+pub mod varint;
 
 pub use csr::Csr;
-pub use disk_csr::{DiskCsr, DiskCsrWriter, EdgeCursor, SeekCursor, VertexEdges};
+pub use disk_csr::{
+    CsrFormatError, DiskCsr, DiskCsrWriter, EdgeCursor, SeekCursor, VertexEdges, VERSION_V1,
+    VERSION_V2,
+};
 pub use edgelist::EdgeList;
 pub use types::{Edge, VertexId, SEPARATOR};

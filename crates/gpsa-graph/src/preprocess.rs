@@ -13,17 +13,22 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use crate::csr::Csr;
-use crate::disk_csr::DiskCsrWriter;
+use crate::disk_csr::{self, DiskCsrWriter};
 use crate::edgelist::EdgeList;
 use crate::types::{Edge, VertexId, SEPARATOR};
+use crate::varint;
 
 /// Preprocessing configuration.
 #[derive(Debug, Clone)]
 pub struct PreprocessOptions {
     /// Maximum number of edges held in memory per sort run.
     pub run_capacity: usize,
-    /// Inline out-degrees into the CSR body (paper Fig. 4c).
+    /// Inline out-degrees into the CSR body (paper Fig. 4c; v1 output
+    /// only — the v2 index always carries degrees).
     pub with_degrees: bool,
+    /// Write the v2 delta-varint compressed format (default). Disable to
+    /// produce the paper's v1 word-array layout.
+    pub compress: bool,
     /// Directory for temporary run files (defaults to the output's parent).
     pub temp_dir: Option<PathBuf>,
 }
@@ -33,7 +38,18 @@ impl Default for PreprocessOptions {
         PreprocessOptions {
             run_capacity: 8 << 20, // 8M edges = 64 MiB per run
             with_degrees: true,
+            compress: true,
             temp_dir: None,
+        }
+    }
+}
+
+impl PreprocessOptions {
+    /// The default options but with the v1 uncompressed output format.
+    pub fn uncompressed() -> Self {
+        PreprocessOptions {
+            compress: false,
+            ..Default::default()
         }
     }
 }
@@ -51,6 +67,27 @@ pub struct PreprocessStats {
     pub input_bytes: u64,
     /// Output CSR bytes written (body + header, excluding the index).
     pub output_bytes: u64,
+    /// Companion index bytes written.
+    pub index_bytes: u64,
+    /// Whether the output uses the v2 compressed encoding.
+    pub compressed: bool,
+}
+
+impl PreprocessStats {
+    /// What the edge file would weigh in the v1 layout with inlined
+    /// degrees (4 bytes per edge, degree and separator words per vertex).
+    pub fn v1_equivalent_bytes(&self) -> u64 {
+        32 + 4 * (self.n_edges as u64 + 2 * self.n_vertices as u64)
+    }
+
+    /// Edge-file compression ratio vs the v1 layout (1.0 when the output
+    /// *is* v1-shaped; higher is smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.output_bytes == 0 {
+            return 1.0;
+        }
+        self.v1_equivalent_bytes() as f64 / self.output_bytes as f64
+    }
 }
 
 /// Convert a **text** edge list file into the on-disk CSR format.
@@ -150,13 +187,19 @@ pub fn edges_to_csr<Q: AsRef<Path>>(
 ) -> io::Result<PreprocessStats> {
     let output = output.as_ref();
     let csr = Csr::from_edge_list(&el);
-    DiskCsrWriter::write(output, &csr, opts.with_degrees)?;
+    if opts.compress {
+        DiskCsrWriter::write_compressed(output, &csr)?;
+    } else {
+        DiskCsrWriter::write(output, &csr, opts.with_degrees)?;
+    }
     Ok(PreprocessStats {
         n_vertices: el.n_vertices,
         n_edges: el.len(),
         runs: 1,
         input_bytes: (el.len() * 8) as u64,
         output_bytes: std::fs::metadata(output)?.len(),
+        index_bytes: std::fs::metadata(disk_csr::index_path(output))?.len(),
+        compressed: opts.compress,
     })
 }
 
@@ -226,32 +269,42 @@ fn merge_runs_to_csr(
         }
     }
 
-    // Write header + body, tracking per-vertex record offsets for the index.
+    // Write header + body, tracking per-vertex record offsets for the
+    // index. The merge buffers one vertex's targets at a time (`pending`),
+    // so the v2 path can encode the whole run before writing it.
+    let version = if opts.compress { 2 } else { 1 };
     let mut out = BufWriter::new(File::create(output)?);
-    const MAGIC: u32 = u32::from_le_bytes(*b"GCSR");
-    const IDX_MAGIC: u32 = u32::from_le_bytes(*b"GIDX");
-    let flags: u32 = if opts.with_degrees { 1 } else { 0 };
-    out.write_all(&MAGIC.to_le_bytes())?;
-    out.write_all(&1u32.to_le_bytes())?;
-    out.write_all(&flags.to_le_bytes())?;
-    out.write_all(&0u32.to_le_bytes())?;
-    out.write_all(&(n_vertices as u64).to_le_bytes())?;
-    out.write_all(&(n_edges as u64).to_le_bytes())?;
+    let flags: u32 = if opts.with_degrees && !opts.compress {
+        1
+    } else {
+        0
+    };
+    disk_csr::write_data_header(&mut out, version, flags, n_vertices as u64, n_edges as u64)?;
 
-    let mut idx = BufWriter::new(File::create(crate::disk_csr::index_path(output))?);
-    idx.write_all(&IDX_MAGIC.to_le_bytes())?;
-    idx.write_all(&1u32.to_le_bytes())?;
-    idx.write_all(&(n_vertices as u64).to_le_bytes())?;
+    let mut idx = BufWriter::new(File::create(disk_csr::index_path(output))?);
+    disk_csr::write_index_header(&mut idx, version, n_vertices as u64)?;
 
-    let mut word_off: u64 = 0;
+    let mut word_off: u64 = 0; // v1: words; v2: bytes
+    let mut edge_off: u64 = 0;
+    let mut run_buf: Vec<u8> = Vec::new();
     let mut current: VertexId = 0;
     let mut pending: Vec<VertexId> = Vec::new();
-    let flush_vertex = |out: &mut BufWriter<File>,
-                        idx: &mut BufWriter<File>,
-                        word_off: &mut u64,
-                        targets: &mut Vec<VertexId>|
+    let mut flush_vertex = |out: &mut BufWriter<File>,
+                            idx: &mut BufWriter<File>,
+                            word_off: &mut u64,
+                            targets: &mut Vec<VertexId>|
      -> io::Result<()> {
         idx.write_all(&word_off.to_le_bytes())?;
+        if opts.compress {
+            idx.write_all(&edge_off.to_le_bytes())?;
+            run_buf.clear();
+            varint::encode_run(targets, &mut run_buf);
+            out.write_all(&run_buf)?;
+            *word_off += run_buf.len() as u64;
+            edge_off += targets.len() as u64;
+            targets.clear();
+            return Ok(());
+        }
         if opts.with_degrees {
             out.write_all(&(targets.len() as u32).to_le_bytes())?;
             *word_off += 1;
@@ -293,6 +346,9 @@ fn merge_runs_to_csr(
         current += 1;
     }
     idx.write_all(&word_off.to_le_bytes())?;
+    if opts.compress {
+        idx.write_all(&edge_off.to_le_bytes())?;
+    }
     out.flush()?;
     idx.flush()?;
 
@@ -302,6 +358,8 @@ fn merge_runs_to_csr(
         runs: runs.len().max(1),
         input_bytes: 0,
         output_bytes: std::fs::metadata(output)?.len(),
+        index_bytes: std::fs::metadata(disk_csr::index_path(output))?.len(),
+        compressed: opts.compress,
     })
 }
 
@@ -333,39 +391,42 @@ mod tests {
 
     #[test]
     fn external_sort_matches_in_memory_sort() {
-        let dir = tmpdir("ext");
-        let el = generate::rmat(300, 5000, generate::RmatParams::default(), 9);
-        let bin = dir.join("g.bin");
-        el.write_binary_file(&bin).unwrap();
+        for compress in [false, true] {
+            let dir = tmpdir(if compress { "ext-v2" } else { "ext-v1" });
+            let el = generate::rmat(300, 5000, generate::RmatParams::default(), 9);
+            let bin = dir.join("g.bin");
+            el.write_binary_file(&bin).unwrap();
 
-        // Tiny run capacity forces many runs + a real merge.
-        let opts = PreprocessOptions {
-            run_capacity: 137,
-            with_degrees: true,
-            temp_dir: Some(dir.clone()),
-        };
-        let ext_out = dir.join("ext.gcsr");
-        let stats = binary_to_csr(&bin, &ext_out, &opts).unwrap();
-        assert!(stats.runs > 10, "expected many runs, got {}", stats.runs);
-        assert_eq!(stats.n_edges, 5000);
+            // Tiny run capacity forces many runs + a real merge.
+            let opts = PreprocessOptions {
+                run_capacity: 137,
+                compress,
+                temp_dir: Some(dir.clone()),
+                ..Default::default()
+            };
+            let ext_out = dir.join("ext.gcsr");
+            let stats = binary_to_csr(&bin, &ext_out, &opts).unwrap();
+            assert!(stats.runs > 10, "expected many runs, got {}", stats.runs);
+            assert_eq!(stats.n_edges, 5000);
+            assert_eq!(stats.compressed, compress);
 
-        let mem_out = dir.join("mem.gcsr");
-        edges_to_csr(el, &mem_out, &opts).unwrap();
+            let mem_out = dir.join("mem.gcsr");
+            edges_to_csr(el, &mem_out, &opts).unwrap();
 
-        let a = DiskCsr::open(&ext_out).unwrap();
-        let b = DiskCsr::open(&mem_out).unwrap();
-        assert_eq!(a.n_vertices(), b.n_vertices());
-        assert_eq!(a.n_edges(), b.n_edges());
-        for v in 0..a.n_vertices() as VertexId {
-            let (mut ta, mut tb) = (
-                a.vertex_edges(v).targets.to_vec(),
-                b.vertex_edges(v).targets.to_vec(),
-            );
-            // Dst order within a vertex may differ between the two paths;
-            // the multiset must match.
-            ta.sort_unstable();
-            tb.sort_unstable();
-            assert_eq!(ta, tb, "vertex {v} adjacency differs");
+            let a = DiskCsr::open(&ext_out).unwrap();
+            let b = DiskCsr::open(&mem_out).unwrap();
+            assert_eq!(a.compressed(), compress);
+            assert_eq!(a.n_vertices(), b.n_vertices());
+            assert_eq!(a.n_edges(), b.n_edges());
+            a.validate().unwrap();
+            for v in 0..a.n_vertices() as VertexId {
+                let (mut ta, mut tb) = (a.targets(v), b.targets(v));
+                // Dst order within a vertex may differ between the two
+                // paths; the multiset must match.
+                ta.sort_unstable();
+                tb.sort_unstable();
+                assert_eq!(ta, tb, "vertex {v} adjacency differs");
+            }
         }
     }
 
@@ -393,10 +454,32 @@ mod tests {
         let stats = binary_to_csr(&bin, &out, &PreprocessOptions::default()).unwrap();
         assert_eq!(stats.n_vertices, 10);
         let d = DiskCsr::open(&out).unwrap();
-        assert_eq!(d.vertex_edges(0).targets, &[9]);
+        assert_eq!(d.targets(0), &[9]);
         for v in 1..10 {
-            assert!(d.vertex_edges(v).targets.is_empty());
+            assert!(d.targets(v).is_empty());
         }
+    }
+
+    #[test]
+    fn compressed_default_beats_v1_on_power_law() {
+        // The tentpole gate in unit-test form: a power-law graph's v2 edge
+        // file is well under the v1 layout's size.
+        let dir = tmpdir("v2-ratio");
+        let el = generate::rmat(2000, 40_000, generate::RmatParams::default(), 7);
+        let v2 = dir.join("v2.gcsr");
+        let s2 = edges_to_csr(el.clone(), &v2, &PreprocessOptions::default()).unwrap();
+        let v1 = dir.join("v1.gcsr");
+        let s1 = edges_to_csr(el, &v1, &PreprocessOptions::uncompressed()).unwrap();
+        assert!(s2.compressed && !s1.compressed);
+        assert_eq!(s1.output_bytes, s1.v1_equivalent_bytes());
+        let ratio = s1.output_bytes as f64 / s2.output_bytes as f64;
+        assert!(
+            ratio >= 1.5,
+            "v2 should be >= 1.5x smaller: v1 {} vs v2 {} ({ratio:.2}x)",
+            s1.output_bytes,
+            s2.output_bytes
+        );
+        assert!((s2.compression_ratio() - ratio).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! LEB128 varint + zigzag-delta coding for the v2 compressed edge format.
+//!
+//! A v2 vertex record is its target list coded as: the first target as a
+//! raw LEB128 varint, every subsequent target as the zigzag-coded *delta*
+//! from its predecessor. Deltas (not absolute ids) is what makes
+//! power-law CSR bodies small — neighbor lists cluster, so most deltas fit
+//! in one byte — and zigzag keeps the coding order-preserving: targets are
+//! written back in exactly the order the preprocessor saw them, so the
+//! decoded message stream is bit-identical to the uncompressed one even
+//! when a list is not sorted.
+
+/// Decode failure inside one varint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The byte run ended in the middle of a varint.
+    Truncated,
+    /// A varint used more than 10 bytes (no `u64` needs more).
+    Overlong,
+    /// A decoded target fell outside the `u32` vertex-id space.
+    OutOfRange,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "byte run truncated mid-varint"),
+            VarintError::Overlong => write!(f, "varint longer than 10 bytes"),
+            VarintError::OutOfRange => write!(f, "decoded target outside the u32 id space"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Map a signed delta onto an unsigned varint payload (zigzag: small
+/// magnitudes of either sign get small codes).
+#[inline]
+pub fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Append `v` to `out` as a LEB128 varint (7 bits per byte, low first).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Multi-byte continuation of the varint read; the caller has already
+/// seen the first byte `>= 0x80` at `*pos`.
+#[cold]
+fn read_u64_slow(bytes: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos).ok_or(VarintError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(VarintError::Overlong);
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b < 0x80 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Read one LEB128 varint from `bytes` at `*pos`, advancing `*pos`.
+#[inline]
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let b = *bytes.get(*pos).ok_or(VarintError::Truncated)?;
+    if b < 0x80 {
+        *pos += 1;
+        Ok(b as u64)
+    } else {
+        read_u64_slow(bytes, pos)
+    }
+}
+
+/// Encode one vertex's target list as a v2 byte run (first target raw,
+/// rest as zigzag deltas), appending to `out`. Target order is preserved
+/// exactly. An empty list encodes to zero bytes.
+pub fn encode_run(targets: &[u32], out: &mut Vec<u8>) {
+    let mut prev: i64 = 0;
+    for (i, &t) in targets.iter().enumerate() {
+        if i == 0 {
+            write_u64(out, t as u64);
+        } else {
+            write_u64(out, zigzag(t as i64 - prev));
+        }
+        prev = t as i64;
+    }
+}
+
+/// Decode a v2 byte run of exactly `degree` targets from `bytes`,
+/// appending them to `out`. Returns the number of bytes consumed.
+///
+/// The loop is the engine's hot decode path: one branch-predictable
+/// single-byte fast path per target, with the multi-byte continuation
+/// out-of-line ([`read_u64_slow`] is `#[cold]`).
+#[inline]
+pub fn decode_run(bytes: &[u8], degree: usize, out: &mut Vec<u32>) -> Result<usize, VarintError> {
+    out.reserve(degree);
+    let mut pos = 0usize;
+    let mut prev: i64 = 0;
+    for i in 0..degree {
+        let raw = read_u64(bytes, &mut pos)?;
+        let t = if i == 0 {
+            if raw > u32::MAX as u64 {
+                return Err(VarintError::OutOfRange);
+            }
+            raw as i64
+        } else {
+            let t = prev
+                .checked_add(unzigzag(raw))
+                .ok_or(VarintError::OutOfRange)?;
+            if t < 0 || t > u32::MAX as i64 {
+                return Err(VarintError::OutOfRange);
+            }
+            t
+        };
+        out.push(t as u32);
+        prev = t;
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(targets: &[u32]) {
+        let mut buf = Vec::new();
+        encode_run(targets, &mut buf);
+        let mut back = Vec::new();
+        let used = decode_run(&buf, targets.len(), &mut back).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, targets);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for d in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, u32::MAX as i64] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // Small magnitudes get small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn run_roundtrips_shapes() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[7, 8, 9, 10]); // ascending, 1-byte deltas
+        roundtrip(&[1000, 3, 999_999, 0]); // unsorted: order preserved
+                                           // Max-magnitude ids and deltas in both directions.
+        roundtrip(&[u32::MAX - 1, 0, u32::MAX - 1, u32::MAX - 1]);
+        roundtrip(&[u32::MAX]);
+        // A dense hub run.
+        let hub: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        roundtrip(&hub);
+    }
+
+    #[test]
+    fn sorted_runs_compress() {
+        // 1000 clustered ascending targets: deltas fit in one byte each.
+        let targets: Vec<u32> = (0..1000u32).map(|i| 5_000_000 + 2 * i).collect();
+        let mut buf = Vec::new();
+        encode_run(&targets, &mut buf);
+        assert!(
+            buf.len() < 1010,
+            "expected ~1 byte/edge, got {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn truncated_and_overlong_rejected() {
+        let mut buf = Vec::new();
+        encode_run(&[500_000, 600_000], &mut buf);
+        let mut out = Vec::new();
+        // Cut mid-varint.
+        assert_eq!(
+            decode_run(&buf[..buf.len() - 1], 2, &mut out),
+            Err(VarintError::Truncated)
+        );
+        // Ask for more targets than the run holds.
+        out.clear();
+        assert_eq!(decode_run(&buf, 3, &mut out), Err(VarintError::Truncated));
+        // 11 continuation bytes can't be a u64.
+        out.clear();
+        assert_eq!(
+            decode_run(&[0xFF; 11], 1, &mut out),
+            Err(VarintError::Overlong)
+        );
+    }
+
+    #[test]
+    fn out_of_range_targets_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64 + 1); // first target too big
+        let mut out = Vec::new();
+        assert_eq!(decode_run(&buf, 1, &mut out), Err(VarintError::OutOfRange));
+
+        // Delta walking below zero.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 5);
+        write_u64(&mut buf, zigzag(-6));
+        out.clear();
+        assert_eq!(decode_run(&buf, 2, &mut out), Err(VarintError::OutOfRange));
+    }
+}

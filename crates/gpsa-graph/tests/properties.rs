@@ -10,10 +10,7 @@ static CASE: AtomicU64 = AtomicU64::new(0);
 
 fn tmpdir() -> PathBuf {
     let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let d = std::env::temp_dir().join(format!(
-        "gpsa-graph-prop-{}-{case}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("gpsa-graph-prop-{}-{case}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
 }
@@ -21,10 +18,7 @@ fn tmpdir() -> PathBuf {
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (1usize..60).prop_flat_map(|n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..=200).prop_map(move |pairs| {
-            EdgeList::with_vertices(
-                pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect(),
-                n,
-            )
+            EdgeList::with_vertices(pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect(), n)
         })
     })
 }
@@ -78,25 +72,43 @@ proptest! {
     }
 
     #[test]
-    fn disk_csr_equals_in_memory_csr(el in arb_graph(), with_deg in any::<bool>()) {
+    fn disk_csr_equals_in_memory_csr(
+        el in arb_graph(),
+        with_deg in any::<bool>(),
+        compress in any::<bool>(),
+    ) {
         let dir = tmpdir();
         let path = dir.join("g.gcsr");
-        let opts = preprocess::PreprocessOptions { with_degrees: with_deg, ..Default::default() };
+        let opts = preprocess::PreprocessOptions {
+            with_degrees: with_deg,
+            compress,
+            ..Default::default()
+        };
         preprocess::edges_to_csr(el.clone(), &path, &opts).unwrap();
         let disk = DiskCsr::open(&path).unwrap();
         let mem = Csr::from_edge_list(&el);
         prop_assert_eq!(disk.n_vertices(), mem.n_vertices());
         prop_assert_eq!(disk.n_edges(), mem.n_edges());
-        prop_assert_eq!(disk.with_degrees(), with_deg);
+        prop_assert_eq!(disk.compressed(), compress);
+        if !compress {
+            // v1 only: v2 always carries degrees in its index.
+            prop_assert_eq!(disk.with_degrees(), with_deg);
+        }
         // Cursor streaming and random access agree with the in-memory CSR.
         let mut streamed_edges = 0usize;
-        for rec in disk.cursor(0..disk.n_vertices() as u32) {
+        let mut scratch = Vec::new();
+        let mut cursor = disk.cursor(0..disk.n_vertices() as u32);
+        while let Some(rec) = cursor.next_rec() {
             prop_assert_eq!(rec.targets, mem.neighbors(rec.vid));
             prop_assert_eq!(rec.degree, mem.out_degree(rec.vid));
-            prop_assert_eq!(rec, disk.vertex_edges(rec.vid));
-            streamed_edges += rec.targets.len();
+            let (vid, degree, targets) = (rec.vid, rec.degree, rec.targets.to_vec());
+            streamed_edges += targets.len();
             // No separator leaks into targets.
-            prop_assert!(rec.targets.iter().all(|&t| t != SEPARATOR));
+            prop_assert!(targets.iter().all(|&t| t != SEPARATOR));
+            let direct = disk.record_into(vid, &mut scratch);
+            prop_assert_eq!(direct.vid, vid);
+            prop_assert_eq!(direct.degree, degree);
+            prop_assert_eq!(direct.targets, &targets[..]);
         }
         prop_assert_eq!(streamed_edges, el.len());
     }
@@ -110,6 +122,7 @@ proptest! {
             run_capacity: cap,
             with_degrees: true,
             temp_dir: Some(dir.clone()),
+            ..Default::default()
         };
         let ext = dir.join("ext.gcsr");
         preprocess::binary_to_csr(&bin, &ext, &opts).unwrap();
@@ -119,7 +132,7 @@ proptest! {
         // covered prefix; the tail must be edge-free.
         prop_assert!(disk.n_vertices() <= mem.n_vertices());
         for v in 0..disk.n_vertices() as u32 {
-            let mut got = disk.vertex_edges(v).targets.to_vec();
+            let mut got = disk.targets(v);
             let mut want = mem.neighbors(v).to_vec();
             got.sort_unstable();
             want.sort_unstable();

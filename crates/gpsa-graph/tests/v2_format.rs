@@ -1,0 +1,211 @@
+//! The v2 delta-varint edge format, attacked from the outside: round-trip
+//! properties over adversarial degree distributions (empty vertices,
+//! degree-0 tails, high-degree hubs, wide id gaps), and the typed-error
+//! contract for version skew and mid-record corruption — a reader must
+//! say *which vertex* is damaged, never panic on a magic word.
+
+use std::path::{Path, PathBuf};
+
+use gpsa_graph::disk_csr::{CsrFormatError, DiskCsr, DiskCsrWriter, VERSION_V2};
+use gpsa_graph::{Csr, Edge, EdgeList, VertexId};
+use proptest::prelude::*;
+
+const HEADER_BYTES: u64 = 32;
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-v2fmt-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_v2(name: &str, el: &EdgeList) -> (PathBuf, Csr) {
+    let csr = Csr::from_edge_list(el);
+    let path = tmpdir().join(name);
+    DiskCsrWriter::write_compressed(&path, &csr).unwrap();
+    (path, csr)
+}
+
+/// Compare a reopened v2 file against the in-memory CSR it came from, via
+/// every read path: O(1) degrees, point lookups, and the streaming cursor.
+fn assert_roundtrip(disk: &DiskCsr, csr: &Csr) {
+    assert_eq!(disk.version(), VERSION_V2);
+    assert!(disk.compressed());
+    assert_eq!(disk.n_vertices(), csr.n_vertices());
+    assert_eq!(disk.n_edges(), csr.n_edges());
+    disk.validate().unwrap();
+    let mut scratch = Vec::new();
+    for v in 0..csr.n_vertices() as VertexId {
+        assert_eq!(disk.degree(v), csr.out_degree(v), "degree of {v}");
+        let rec = disk.record_into(v, &mut scratch);
+        assert_eq!(rec.targets, csr.neighbors(v), "targets of {v}");
+    }
+    let mut cursor = disk.cursor(0..csr.n_vertices() as VertexId);
+    let mut seen = 0usize;
+    while let Some(rec) = cursor.next_rec() {
+        let vid = rec.vid;
+        assert_eq!(rec.targets, csr.neighbors(vid), "cursor targets of {vid}");
+        seen += 1;
+    }
+    assert_eq!(seen, csr.n_vertices());
+}
+
+/// Graphs biased toward the format's edge cases: a hub touching most of
+/// the id space, interior empty vertices, and a run of trailing degree-0
+/// vertices past the last edge.
+fn arb_adversarial_graph() -> impl Strategy<Value = EdgeList> {
+    (
+        2usize..80, // vertices carrying edges
+        proptest::collection::vec((0usize..80, 0usize..80), 0..=160),
+        0usize..40, // hub fan-out
+        0usize..30, // empty tail length
+    )
+        .prop_map(|(n, pairs, hub_deg, tail)| {
+            let mut edges: Vec<Edge> = pairs
+                .into_iter()
+                .map(|(s, d)| Edge::new((s % n) as VertexId, (d % n) as VertexId))
+                .collect();
+            // Vertex 0 becomes a hub: sorted fan-out across the id space,
+            // the best case for delta coding — and a stress for run length.
+            for t in 0..hub_deg.min(n) {
+                edges.push(Edge::new(0, t as VertexId));
+            }
+            EdgeList::with_vertices(edges, n + tail)
+        })
+}
+
+proptest! {
+    #[test]
+    fn v2_roundtrips_adversarial_graphs(el in arb_adversarial_graph()) {
+        let (path, csr) = write_v2("prop.gcsr", &el);
+        let disk = DiskCsr::open(&path).unwrap();
+        assert_roundtrip(&disk, &csr);
+    }
+}
+
+#[test]
+fn v2_roundtrips_all_empty_vertices() {
+    // No edges at all: the body is zero bytes, the index still has n+1
+    // entries, and every degree is 0.
+    let el = EdgeList::with_vertices(Vec::new(), 17);
+    let (path, csr) = write_v2("empty.gcsr", &el);
+    let disk = DiskCsr::open(&path).unwrap();
+    assert_roundtrip(&disk, &csr);
+    assert_eq!(disk.byte_offset(17), 0, "empty graph has an empty body");
+}
+
+#[test]
+fn v2_roundtrips_wide_id_gaps() {
+    // A sparse id space: ~1M vertices, a handful of edges with deltas
+    // large enough to need 3-byte varints, and hundreds of thousands of
+    // empty records on both sides of each occupied one.
+    let n = 1 << 20;
+    let hub = 500_000 as VertexId;
+    let edges = vec![
+        Edge::new(0, (n - 1) as VertexId), // max first-target varint
+        Edge::new(hub, 1),
+        Edge::new(hub, 3),
+        Edge::new(hub, (n - 2) as VertexId), // huge in-run delta
+        Edge::new((n - 1) as VertexId, 0),
+    ];
+    let el = EdgeList::with_vertices(edges, n);
+    let (path, csr) = write_v2("gaps.gcsr", &el);
+    let disk = DiskCsr::open(&path).unwrap();
+    assert_eq!(disk.targets(0), vec![(n - 1) as VertexId]);
+    assert_eq!(disk.targets(hub), vec![1, 3, (n - 2) as VertexId]);
+    assert_eq!(disk.targets((n - 1) as VertexId), vec![0]);
+    assert_eq!(disk.degree(250_000), 0);
+    disk.validate().unwrap();
+    assert_eq!(disk.n_edges(), csr.n_edges());
+}
+
+fn patch_file(path: &Path, offset: u64, bytes: &[u8]) {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    f.write_all(bytes).unwrap();
+}
+
+#[test]
+fn future_version_reports_typed_error_not_panic() {
+    let el = EdgeList::with_vertices(vec![Edge::new(0, 1), Edge::new(1, 0)], 2);
+    let (path, _) = write_v2("future.gcsr", &el);
+    // Stamp a version this reader does not know (a "v3 file" reaching an
+    // old binary). The version word is header word 1.
+    patch_file(&path, 4, &9u32.to_le_bytes());
+    let err = DiskCsr::open(&path).unwrap_err();
+    match CsrFormatError::from_io(&err) {
+        Some(CsrFormatError::UnsupportedVersion {
+            found: 9,
+            max_supported,
+        }) => {
+            assert!(*max_supported >= VERSION_V2);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version 9") && msg.contains("re-preprocess or upgrade"),
+        "unhelpful message: {msg}"
+    );
+}
+
+#[test]
+fn corrupt_varint_run_names_the_vertex() {
+    // Build a graph where vertex 5 has a multi-byte run, then stomp that
+    // run with continuation bytes (0x80 forever = a varint that never
+    // terminates). The reader must fail *typed*, naming vertex 5, on both
+    // the point-lookup path and whole-file validation — neighbours'
+    // records must stay readable.
+    let n = 40usize;
+    let mut edges: Vec<Edge> = (0..n as VertexId)
+        .map(|v| Edge::new(v, (v + 1) % n as VertexId))
+        .collect();
+    edges.push(Edge::new(5, 20));
+    edges.push(Edge::new(5, 39));
+    let el = EdgeList::with_vertices(edges, n);
+    let (path, _) = write_v2("corrupt.gcsr", &el);
+    let clean = DiskCsr::open(&path).unwrap();
+    let start = clean.byte_offset(5);
+    let len = (clean.byte_offset(6) - start) as usize;
+    assert!(len >= 2, "vertex 5 should have a multi-byte run");
+    drop(clean);
+    patch_file(&path, HEADER_BYTES + start, &vec![0x80u8; len]);
+
+    let disk = DiskCsr::open(&path).unwrap(); // corruption is mid-body: open succeeds
+    let mut scratch = Vec::new();
+    match disk.try_record_into(5, &mut scratch) {
+        Err(CsrFormatError::CorruptRun { vertex: 5, detail }) => {
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected CorruptRun at vertex 5, got {other:?}"),
+    }
+    match disk.validate() {
+        Err(CsrFormatError::CorruptRun { vertex: 5, .. }) => {}
+        other => panic!("validate should blame vertex 5, got {other:?}"),
+    }
+    // Undamaged records on either side still decode.
+    assert_eq!(disk.targets(4), vec![5]);
+    assert_eq!(disk.targets(6), vec![7]);
+}
+
+#[test]
+fn truncated_run_tail_is_reported_not_overread() {
+    // A run whose final varint is cut short (last byte still has its
+    // continuation bit set) must not read into the next vertex's record.
+    let el = EdgeList::with_vertices(
+        vec![Edge::new(0, 7), Edge::new(0, 300), Edge::new(1, 2)],
+        400,
+    );
+    let (path, _) = write_v2("trunc.gcsr", &el);
+    let clean = DiskCsr::open(&path).unwrap();
+    let last = clean.byte_offset(1) - 1;
+    drop(clean);
+    patch_file(&path, HEADER_BYTES + last, &[0x80]);
+    let disk = DiskCsr::open(&path).unwrap();
+    let mut scratch = Vec::new();
+    match disk.try_record_into(0, &mut scratch) {
+        Err(CsrFormatError::CorruptRun { vertex: 0, .. }) => {}
+        other => panic!("expected CorruptRun at vertex 0, got {other:?}"),
+    }
+    assert_eq!(disk.targets(1), vec![2], "vertex 1 must be unaffected");
+}

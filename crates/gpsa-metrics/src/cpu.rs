@@ -171,7 +171,10 @@ mod tests {
         let b = ProcessCpu::snapshot().unwrap();
         let cores = a.cores_used_until(&b);
         assert!(cores > 0.2, "busy loop should register, got {cores}");
-        assert!(cores < 8.0, "single thread cannot exceed a few cores: {cores}");
+        assert!(
+            cores < 8.0,
+            "single thread cannot exceed a few cores: {cores}"
+        );
     }
 
     #[test]

@@ -199,9 +199,9 @@ impl From<io::Error> for ClientError {
 }
 
 fn resolve<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
-    addr.to_socket_addrs()?.next().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
-    })
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing"))
 }
 
 fn open_stream(addr: SocketAddr) -> io::Result<TcpStream> {
@@ -451,7 +451,10 @@ mod tests {
                 .saturating_mul(1u32 << attempt)
                 .min(p.max_delay);
             let d = p.backoff(attempt, &mut rng);
-            assert!(d >= exp.mul_f64(0.5) && d < exp.mul_f64(1.5), "{d:?} vs {exp:?}");
+            assert!(
+                d >= exp.mul_f64(0.5) && d < exp.mul_f64(1.5),
+                "{d:?} vs {exp:?}"
+            );
         }
     }
 

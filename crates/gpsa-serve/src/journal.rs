@@ -239,7 +239,9 @@ pub struct JobJournal {
 
 impl std::fmt::Debug for JobJournal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobJournal").field("path", &self.path).finish()
+        f.debug_struct("JobJournal")
+            .field("path", &self.path)
+            .finish()
     }
 }
 
@@ -418,7 +420,10 @@ mod tests {
             submitted(1, Some("k-1")),
             submitted(2, None),
             JournalRecord::Started { job_id: 1 },
-            JournalRecord::Committed { job_id: 1, epoch: 3 },
+            JournalRecord::Committed {
+                job_id: 1,
+                epoch: 3,
+            },
             JournalRecord::Failed { job_id: 2 },
         ];
         for rec in &recs {
@@ -436,8 +441,11 @@ mod tests {
         assert!(recs.is_empty());
         j.append(&submitted(1, Some("k"))).unwrap();
         j.append(&JournalRecord::Started { job_id: 1 }).unwrap();
-        j.append(&JournalRecord::Committed { job_id: 1, epoch: 1 })
-            .unwrap();
+        j.append(&JournalRecord::Committed {
+            job_id: 1,
+            epoch: 1,
+        })
+        .unwrap();
         drop(j);
         let (_, recs) = JobJournal::open(&path).unwrap();
         assert_eq!(recs.len(), 3);
@@ -454,7 +462,10 @@ mod tests {
         j.append(&JournalRecord::Started { job_id: 1 }).unwrap();
         drop(j);
         // Tear the tail: append half of a third record, no newline.
-        let line = encode_line(&JournalRecord::Committed { job_id: 1, epoch: 1 });
+        let line = encode_line(&JournalRecord::Committed {
+            job_id: 1,
+            epoch: 1,
+        });
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&line.as_bytes()[..line.len() / 2]).unwrap();
         drop(f);
@@ -462,12 +473,21 @@ mod tests {
         let (mut j, recs) = JobJournal::open(&path).unwrap();
         assert_eq!(recs.len(), 2);
         // The file is usable again: a fresh append lands on a clean tail.
-        j.append(&JournalRecord::Committed { job_id: 1, epoch: 1 })
-            .unwrap();
+        j.append(&JournalRecord::Committed {
+            job_id: 1,
+            epoch: 1,
+        })
+        .unwrap();
         drop(j);
         let (_, recs) = JobJournal::open(&path).unwrap();
         assert_eq!(recs.len(), 3);
-        assert_eq!(recs[2], JournalRecord::Committed { job_id: 1, epoch: 1 });
+        assert_eq!(
+            recs[2],
+            JournalRecord::Committed {
+                job_id: 1,
+                epoch: 1
+            }
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::UNIX_EPOCH;
 
 use gpsa_graph::DiskCsr;
 
@@ -101,9 +101,10 @@ impl GraphRegistry {
             manifest: Some(manifest.clone()),
         };
         let rows = match std::fs::read_to_string(&manifest).ok().and_then(|text| {
-            Json::parse(&text)
-                .ok()
-                .and_then(|j| j.get("graphs").and_then(|g| g.as_arr().map(<[Json]>::to_vec)))
+            Json::parse(&text).ok().and_then(|j| {
+                j.get("graphs")
+                    .and_then(|g| g.as_arr().map(<[Json]>::to_vec))
+            })
         }) {
             Some(rows) => rows,
             None => return (reg, 0),

@@ -104,15 +104,11 @@ struct QueuedJob {
 enum IdemState {
     /// The keyed job is queued or running; resubmissions of the key park
     /// their reply channels here and are all answered when it resolves.
-    InFlight {
-        waiters: Vec<Sender<SubmitReply>>,
-    },
+    InFlight { waiters: Vec<Sender<SubmitReply>> },
     /// The keyed job committed; resubmissions resolve through the result
     /// cache under this key (and fall back to a fresh run if the entry
     /// was evicted).
-    Completed {
-        key: CacheKey,
-    },
+    Completed { key: CacheKey },
 }
 
 /// The scheduler actor.
@@ -511,9 +507,8 @@ impl Scheduler {
                 self.cache.put(key.clone(), outcome.clone());
                 let mut waiters = Vec::new();
                 if let Some(k) = &ticket.spec.idempotency_key {
-                    if let Some(IdemState::InFlight { waiters: w }) = self
-                        .idem
-                        .insert(k.clone(), IdemState::Completed { key })
+                    if let Some(IdemState::InFlight { waiters: w }) =
+                        self.idem.insert(k.clone(), IdemState::Completed { key })
                     {
                         waiters = w;
                     }
@@ -828,7 +823,10 @@ mod tests {
         let records = vec![
             submitted(1, None),
             JournalRecord::Started { job_id: 1 },
-            JournalRecord::Committed { job_id: 1, epoch: 1 },
+            JournalRecord::Committed {
+                job_id: 1,
+                epoch: 1,
+            },
             submitted(2, Some("k2")),
             JournalRecord::Started { job_id: 2 },
             submitted(3, None),
@@ -848,7 +846,10 @@ mod tests {
     fn analysis_maps_committed_keys_to_cache_keys() {
         let records = vec![
             submitted(1, Some("alpha")),
-            JournalRecord::Committed { job_id: 1, epoch: 7 },
+            JournalRecord::Committed {
+                job_id: 1,
+                epoch: 7,
+            },
         ];
         let a = analyze(&records);
         assert!(a.incomplete.is_empty());

@@ -32,7 +32,10 @@ pub fn write_frame_with_cap<W: Write>(w: &mut W, msg: &Json, cap: usize) -> io::
     if body.len() > cap {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {} bytes exceeds the {cap}-byte protocol cap", body.len()),
+            format!(
+                "frame of {} bytes exceeds the {cap}-byte protocol cap",
+                body.len()
+            ),
         ));
     }
     w.write_all(&(body.len() as u32).to_be_bytes())?;

@@ -109,18 +109,17 @@ fn wait_for_addr(work: &Path) -> std::net::SocketAddr {
     }
 }
 
-fn wait_stats(
-    client: &mut Client,
-    pred: impl Fn(&ServerStats) -> bool,
-    what: &str,
-) -> ServerStats {
+fn wait_stats(client: &mut Client, pred: impl Fn(&ServerStats) -> bool, what: &str) -> ServerStats {
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
         let stats = client.stats().unwrap();
         if pred(&stats) {
             return stats;
         }
-        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {stats:?}"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -168,8 +167,8 @@ fn sigkill_mid_job_restart_recovers_and_replays() {
     admin.register_graph("g", csr.to_str().unwrap()).unwrap();
 
     // One job committed before the crash...
-    let bfs = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 })
-        .with_idempotency_key("bfs-done");
+    let bfs =
+        SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 }).with_idempotency_key("bfs-done");
     let bfs_first = admin.submit(&bfs).unwrap();
     assert!(!bfs_first.cache_hit);
 
@@ -177,9 +176,7 @@ fn sigkill_mid_job_restart_recovers_and_replays() {
     // connection die; the job's journal records survive.
     let submitter = std::thread::spawn(move || {
         let mut c = Client::connect(addr).unwrap();
-        c.submit(
-            &SubmitRequest::new("g", slow_pagerank()).with_idempotency_key("pr-interrupted"),
-        )
+        c.submit(&SubmitRequest::new("g", slow_pagerank()).with_idempotency_key("pr-interrupted"))
     });
     wait_stats(&mut admin, |s| s.running >= 1, "the slow job to start");
     // Give the Started record's fsync a beat to land before the kill.
@@ -225,7 +222,10 @@ fn sigkill_mid_job_restart_recovers_and_replays() {
     // rerunning, and matches what the first life returned.
     let before = client.stats().unwrap();
     let bfs_again = client.submit(&bfs).unwrap();
-    assert!(bfs_again.cache_hit, "restored cache must answer the committed key");
+    assert!(
+        bfs_again.cache_hit,
+        "restored cache must answer the committed key"
+    );
     assert_eq!(bfs_again.outcome.values_u32, bfs_first.outcome.values_u32);
     assert_eq!(
         client.stats().unwrap().jobs_completed,
@@ -281,8 +281,7 @@ fn crash_at_each_journal_state_recovers() {
         let addr = wait_for_addr(&work);
         let mut admin = Client::connect(addr).unwrap();
         admin.register_graph("g", csr.to_str().unwrap()).unwrap();
-        let req = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 })
-            .with_idempotency_key("k");
+        let req = SubmitRequest::new("g", AlgorithmSpec::Bfs { root: 0 }).with_idempotency_key("k");
         let submitted = admin.submit(&req);
         assert!(
             submitted.is_err(),
@@ -311,13 +310,10 @@ fn crash_at_each_journal_state_recovers() {
         // Whatever was lost or replayed, the key resolves to the right
         // bits after recovery.
         let resp = client.submit(&req).unwrap();
-        let baseline = direct_bits(
-            &AlgorithmSpec::Bfs { root: 0 },
-            &csr,
-            &dir.join("direct"),
-        );
+        let baseline = direct_bits(&AlgorithmSpec::Bfs { root: 0 }, &csr, &dir.join("direct"));
         assert_eq!(
-            *resp.outcome.values_u32, baseline,
+            *resp.outcome.values_u32,
+            baseline,
             "[{}] post-recovery result diverged",
             state.as_str()
         );

@@ -10,10 +10,10 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use gpsa::EngineConfig;
-use gpsa_graph::{generate, preprocess};
+use gpsa_graph::preprocess;
 use gpsa_serve::json::Json;
 use gpsa_serve::wire::{read_frame, write_frame};
-use gpsa_serve::{start, AlgorithmSpec, Client, RetryPolicy, ServeConfig, SubmitRequest};
+use gpsa_serve::{start, Client, RetryPolicy, ServeConfig};
 
 fn test_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("gpsa-serve-net-{}-{tag}", std::process::id()));
@@ -132,7 +132,9 @@ fn client_retries_reconnect_through_dropped_connections() {
     let (addr, server) = flaky_listener(2);
     let mut client = Client::connect_with(addr, fast_retries()).unwrap();
     // Connection 1 dies answering this; retries reconnect twice more.
-    client.ping().expect("retries must ride out dropped connections");
+    client
+        .ping()
+        .expect("retries must ride out dropped connections");
     drop(client);
     assert_eq!(server.join().unwrap(), 3);
 }
@@ -230,9 +232,9 @@ fn scripted_network_faults_leave_the_server_serving() {
     use std::sync::Arc;
 
     use gpsa::Engine;
-    use gpsa_graph::DiskCsr;
+    use gpsa_graph::{generate, DiskCsr};
     use gpsa_serve::job::run_job;
-    use gpsa_serve::ServeFaultPlan;
+    use gpsa_serve::{AlgorithmSpec, ServeFaultPlan, SubmitRequest};
 
     let dir = test_dir("chaos-net");
     let csr = build_csr(&dir, generate::cycle(512));
@@ -272,11 +274,11 @@ fn scripted_network_faults_leave_the_server_serving() {
         let mut client = Client::connect_with(addr, fast_retries()).unwrap();
         client.register_graph("g", csr.to_str().unwrap()).unwrap();
         for (i, alg) in jobs.iter().enumerate() {
-            let req = SubmitRequest::new("g", *alg)
-                .with_idempotency_key(format!("seed{seed}-job{i}"));
-            let resp = client.submit(&req).unwrap_or_else(|e| {
-                panic!("[seed {seed}] job {i} failed through retries: {e:?}")
-            });
+            let req =
+                SubmitRequest::new("g", *alg).with_idempotency_key(format!("seed{seed}-job{i}"));
+            let resp = client
+                .submit(&req)
+                .unwrap_or_else(|e| panic!("[seed {seed}] job {i} failed through retries: {e:?}"));
             assert_eq!(
                 *resp.outcome.values_u32, baselines[i],
                 "[seed {seed}] job {i} diverged under chaos"

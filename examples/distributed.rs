@@ -33,10 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let mut first_values: Option<Vec<u32>> = None;
     for nodes in [1usize, 2, 4, 8] {
-        let config = ClusterConfig::new(nodes, work.join(format!("n{nodes}")))
-            .with_termination(Termination::Quiescence {
+        let config = ClusterConfig::new(nodes, work.join(format!("n{nodes}"))).with_termination(
+            Termination::Quiescence {
                 max_supersteps: 10_000,
-            });
+            },
+        );
         let cluster = Cluster::new(config);
         let report = cluster.run(&el, ConnectedComponents)?;
         match &first_values {
@@ -52,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{total:.2?}"),
             local.to_string(),
             remote.to_string(),
-            format!("{:.0}%", 100.0 * remote as f64 / (local + remote).max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * remote as f64 / (local + remote).max(1) as f64
+            ),
         ]);
     }
     print!("{t}");

@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // GPSA.
     let engine = Engine::new(
-        EngineConfig::new(work_dir.join("gpsa"))
-            .with_termination(Termination::Supersteps(steps)),
+        EngineConfig::new(work_dir.join("gpsa")).with_termination(Termination::Supersteps(steps)),
     );
     let gpsa_report = engine.run_edge_list(el.clone(), "pokec", PageRank::default())?;
 
@@ -63,19 +62,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "GraphChi-like".to_string(),
         psw_report.iterations.to_string(),
         format!("{:?}", mean(&psw_report.step_times)),
-        format!("{:?}", psw_report.step_times.iter().sum::<std::time::Duration>()),
+        format!(
+            "{:?}",
+            psw_report.step_times.iter().sum::<std::time::Duration>()
+        ),
     ]);
     t.row(&[
         "X-Stream-like".to_string(),
         xs_report.iterations.to_string(),
         format!("{:?}", mean(&xs_report.step_times)),
-        format!("{:?}", xs_report.step_times.iter().sum::<std::time::Duration>()),
+        format!(
+            "{:?}",
+            xs_report.step_times.iter().sum::<std::time::Duration>()
+        ),
     ]);
     print!("{t}");
 
     // The engines agree on the result.
     let expect = reference::pagerank(&el, 0.85, steps as usize);
-    let xs_ranks: Vec<f32> = xs_report.values.iter().map(|&b| f32::from_bits(b)).collect();
+    let xs_ranks: Vec<f32> = xs_report
+        .values
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect();
     println!(
         "max |GPSA - reference| = {:.2e}, max |X-Stream - reference| = {:.2e}",
         reference::max_abs_diff(&gpsa_report.values, &expect),

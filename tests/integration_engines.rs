@@ -42,11 +42,10 @@ fn google_standin_runs_all_three_algorithms_on_gpsa() {
     let el = Dataset::Google.generate(SCALE);
 
     // PageRank, 5 supersteps (the paper's methodology).
-    let pr = Engine::new(
-        EngineConfig::new(dir.join("pr")).with_termination(Termination::Supersteps(5)),
-    )
-    .run(&path, PageRank::default())
-    .unwrap();
+    let pr =
+        Engine::new(EngineConfig::new(dir.join("pr")).with_termination(Termination::Supersteps(5)))
+            .run(&path, PageRank::default())
+            .unwrap();
     let expect_pr = reference::pagerank(&el, 0.85, 5);
     assert!(
         reference::max_abs_diff(&pr.values, &expect_pr) < 1e-5,
@@ -67,11 +66,7 @@ fn google_standin_runs_all_three_algorithms_on_gpsa() {
     let cc = Engine::new(EngineConfig::new(dir.join("cc")))
         .run(&path, ConnectedComponents)
         .unwrap();
-    assert_eq!(
-        cc.values,
-        reference::connected_components(&el),
-        "cc parity"
-    );
+    assert_eq!(cc.values, reference::connected_components(&el), "cc parity");
 }
 
 #[test]

@@ -49,6 +49,7 @@ fn binary_external_sort_to_result_pipeline() {
         run_capacity: 100,
         with_degrees: true,
         temp_dir: Some(dir.clone()),
+        ..Default::default()
     };
     let csr = dir.join("graph.gcsr");
     let stats = preprocess::binary_to_csr(&bin, &csr, &opts).unwrap();
@@ -115,7 +116,11 @@ fn cli_generate_info_run_roundtrip() {
     assert!(csr.exists(), "generate output missing; stdout: {stdout}");
 
     // info
-    let out = gpsa_bin().args(["info", "--graph"]).arg(&csr).output().unwrap();
+    let out = gpsa_bin()
+        .args(["info", "--graph"])
+        .arg(&csr)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("vertices"), "info output: {stdout}");
@@ -176,7 +181,7 @@ fn cli_preprocess_text_input() {
     );
     let d = DiskCsr::open(&csr).unwrap();
     assert_eq!(d.n_edges(), 4);
-    assert_eq!(d.vertex_edges(2).targets, &[0, 3]);
+    assert_eq!(d.targets(2), &[0, 3]);
 }
 
 #[test]
@@ -208,7 +213,9 @@ fn cli_alternative_engines_run() {
     }
     // dist reports traffic.
     let out = gpsa_bin()
-        .args(["run", "--algo", "cc", "--engine", "dist", "--nodes", "3", "--graph"])
+        .args([
+            "run", "--algo", "cc", "--engine", "dist", "--nodes", "3", "--graph",
+        ])
         .arg(&csr)
         .args(["--work-dir"])
         .arg(dir.join("work-dist3"))

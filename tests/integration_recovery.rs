@@ -151,7 +151,8 @@ fn mid_compute_crash_leaves_header_stale_by_one() {
         .run(&path, ConnectedComponents)
         .unwrap();
     assert_eq!(crashed.outcome, RunOutcome::Crashed);
-    let vf = ValueFile::open(Engine::new(EngineConfig::small(&dir)).value_file_path(&path)).unwrap();
+    let vf =
+        ValueFile::open(Engine::new(EngineConfig::small(&dir)).value_file_path(&path)).unwrap();
     // Superstep 2 died before its commit, so the header still names 1.
     assert_eq!(vf.header().committed_superstep, Some(1));
 }
@@ -185,7 +186,8 @@ fn crashed_value_file_header_is_stale_by_one() {
         .run(&path, ConnectedComponents)
         .unwrap();
     assert_eq!(crashed.outcome, RunOutcome::Crashed);
-    let vf = ValueFile::open(Engine::new(EngineConfig::small(&dir)).value_file_path(&path)).unwrap();
+    let vf =
+        ValueFile::open(Engine::new(EngineConfig::small(&dir)).value_file_path(&path)).unwrap();
     // Superstep 2 crashed before commit, so the header still names 1.
     assert_eq!(vf.header().committed_superstep, Some(1));
 }

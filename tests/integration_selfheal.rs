@@ -197,7 +197,14 @@ fn retries_exhausted_surfaces_every_cause() {
         fn gen_msg(&self, _src: VertexId, _v: u32, _d: u32, _m: &GraphMeta) -> Option<u32> {
             panic!("sabotage: unconditional dispatcher panic");
         }
-        fn compute(&self, _v: VertexId, acc: Option<u32>, basis: u32, msg: u32, _m: &GraphMeta) -> u32 {
+        fn compute(
+            &self,
+            _v: VertexId,
+            acc: Option<u32>,
+            basis: u32,
+            msg: u32,
+            _m: &GraphMeta,
+        ) -> u32 {
             acc.unwrap_or(basis).min(msg)
         }
     }

@@ -17,10 +17,7 @@ static CASE: AtomicU64 = AtomicU64::new(0);
 
 fn workdir(tag: &str) -> PathBuf {
     let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let d = std::env::temp_dir().join(format!(
-        "gpsa-prop-{}-{tag}-{case}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("gpsa-prop-{}-{tag}-{case}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
 }
@@ -181,8 +178,9 @@ proptest! {
         prop_assert_eq!(d.n_vertices(), el.n_vertices);
         prop_assert_eq!(d.n_edges(), el.len());
         let csr = gpsa_graph::Csr::from_edge_list(&el);
+        let mut scratch = Vec::new();
         for v in 0..el.n_vertices as u32 {
-            let rec = d.vertex_edges(v);
+            let rec = d.record_into(v, &mut scratch);
             prop_assert_eq!(rec.targets, csr.neighbors(v));
             prop_assert_eq!(rec.degree as usize, csr.neighbors(v).len());
         }
