@@ -21,6 +21,16 @@ const IDLE: u8 = 0;
 const SCHEDULED: u8 = 1;
 const DEAD: u8 = 2;
 
+/// Panic payload as a string, when it is one (`panic!("...")` and
+/// `panic!(format!...)` both are). Carried on the [`FailureEvent`] so the
+/// escalation handler can attribute the death.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
+
 /// Restart bookkeeping for supervised actors.
 struct Supervision<A> {
     factory: Box<dyn FnMut() -> A + Send>,
@@ -165,7 +175,8 @@ impl<A: Actor> Runnable for Cell<A> {
                     return;
                 }
                 Ok(()) => {}
-                Err(_panic) => {
+                Err(panic) => {
+                    let detail = panic_detail(panic.as_ref());
                     sched.metrics.panics.fetch_add(1, Ordering::Relaxed);
                     // Supervised actors are rebuilt from their factory and
                     // keep draining the mailbox (the poisoned message is
@@ -203,13 +214,14 @@ impl<A: Actor> Runnable for Cell<A> {
                                     return;
                                 }
                                 Ok(()) => {}
-                                Err(_panic) => {
+                                Err(panic) => {
                                     sched.metrics.panics.fetch_add(1, Ordering::Relaxed);
                                     self.kill(&mut guard, false);
                                     self.system.notify_failure(FailureEvent {
                                         actor: std::any::type_name::<A>(),
                                         supervised: true,
                                         restarts_used: used,
+                                        detail: panic_detail(panic.as_ref()),
                                     });
                                     return;
                                 }
@@ -225,6 +237,7 @@ impl<A: Actor> Runnable for Cell<A> {
                                 actor: std::any::type_name::<A>(),
                                 supervised,
                                 restarts_used,
+                                detail,
                             });
                             return;
                         }

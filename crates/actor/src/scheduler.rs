@@ -148,7 +148,7 @@ impl Scheduler {
         // task on this thread push to the local queue; `find_task` borrows
         // it back out for popping (the borrows never overlap: the find_task
         // borrow ends before `t.run` begins).
-        let me = Arc::as_ptr(self) as *const Scheduler as usize;
+        let me = Arc::as_ptr(self) as usize;
         LOCAL.with(|l| *l.borrow_mut() = Some((me, local)));
         loop {
             if self.is_shutdown() {

@@ -45,7 +45,7 @@ pub struct SystemMetrics {
 /// death, via the handler installed with [`System::set_failure_handler`] —
 /// the escalation path supervisors and engines use to learn that a fleet
 /// member is gone rather than hanging on messages that will never come.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FailureEvent {
     /// `std::any::type_name` of the actor that died.
     pub actor: &'static str,
@@ -53,6 +53,10 @@ pub struct FailureEvent {
     pub supervised: bool,
     /// Restarts consumed before death (0 for unsupervised actors).
     pub restarts_used: usize,
+    /// The fatal panic's payload, when it was a string (the common
+    /// `panic!("...")` case) — lets a watching engine attribute the death
+    /// (e.g. a chaos-injected fault) instead of only naming the actor.
+    pub detail: Option<String>,
 }
 
 type FailureHandler = Arc<dyn Fn(FailureEvent) + Send + Sync>;

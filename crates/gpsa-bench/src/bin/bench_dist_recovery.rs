@@ -1,0 +1,280 @@
+//! Distributed-recovery benchmark and gate: drive the simulated cluster
+//! through scripted node kills, mid-fold panics, dropped batches, and
+//! torn manifest tails, and verify three properties hard enough to fail
+//! the process on:
+//!
+//! 1. **Bit-identity under faults** — every faulted run's values equal
+//!    the sequential `SyncEngine` oracle's, with the recovery recorded
+//!    honestly in the report counters.
+//! 2. **Bounded recovery latency** — a faulted run finishes within
+//!    `20 × fault-free elapsed + 2s`.
+//! 3. **Cheap barriers** — the cluster commit (per-node dual-slot commits
+//!    plus manifest append) costs < 5% of fault-free superstep time; the
+//!    paper's "dispatch column is a free checkpoint" claim, measured.
+//!
+//! Writes `BENCH_dist_recovery.json` into `--data-dir` and exits
+//! non-zero if any gate fails. Requires `--features chaos`.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --features chaos \
+//!     --bin bench_dist_recovery -- [--scale N] [--nodes N] [--data-dir D]
+//! ```
+
+#[cfg(not(feature = "chaos"))]
+fn main() {
+    eprintln!(
+        "bench_dist_recovery needs the scripted fault plans; rebuild with \
+         `--features chaos`."
+    );
+}
+
+#[cfg(feature = "chaos")]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    chaos::run()
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use std::fmt::Write as _;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use gpsa::fault::{FaultPlan, FaultSpec};
+    use gpsa::programs::ConnectedComponents;
+    use gpsa::{SyncEngine, Termination};
+    use gpsa_bench::HarnessConfig;
+    use gpsa_dist::{Cluster, ClusterConfig, DistReport};
+    use gpsa_graph::generate;
+    use gpsa_metrics::Table;
+
+    const RECOVERY_LATENCY_FACTOR: f64 = 20.0;
+    const RECOVERY_LATENCY_SLACK: Duration = Duration::from_secs(2);
+    const COMMIT_OVERHEAD_CAP: f64 = 0.05;
+
+    struct Scenario {
+        name: &'static str,
+        plan: FaultPlan,
+        /// Whether the plan's fault is guaranteed to fire on this
+        /// workload (scripted seeds may place points past quiescence).
+        must_recover: bool,
+    }
+
+    fn scenarios(n_nodes: u32) -> Vec<Scenario> {
+        let far = n_nodes.saturating_sub(1);
+        vec![
+            Scenario {
+                name: "node_kill",
+                plan: FaultPlan::new(11).with(FaultSpec::NodeKill {
+                    node: far,
+                    superstep: 1,
+                }),
+                must_recover: true,
+            },
+            Scenario {
+                name: "computer_panic",
+                plan: FaultPlan::new(12).with(FaultSpec::DistComputerPanic {
+                    node: 0,
+                    after_messages: 64,
+                }),
+                must_recover: true,
+            },
+            Scenario {
+                name: "batch_drop",
+                plan: FaultPlan::new(13).with(FaultSpec::BatchDrop {
+                    src_node: 0,
+                    superstep: 1,
+                }),
+                must_recover: n_nodes > 1,
+            },
+            Scenario {
+                name: "torn_manifest",
+                plan: FaultPlan::new(14).with(FaultSpec::TornManifest { superstep: 1 }),
+                must_recover: true,
+            },
+            Scenario {
+                name: "double_kill",
+                plan: FaultPlan::new(15)
+                    .with(FaultSpec::NodeKill {
+                        node: 0,
+                        superstep: 1,
+                    })
+                    .with(FaultSpec::NodeKill {
+                        node: far,
+                        superstep: 2,
+                    }),
+                must_recover: true,
+            },
+            Scenario {
+                name: "scripted_mix",
+                plan: FaultPlan::scripted_dist(0xFEED, 3, 4, n_nodes),
+                must_recover: false,
+            },
+        ]
+    }
+
+    fn base_config(nodes: usize, dir: PathBuf) -> ClusterConfig {
+        ClusterConfig::new(nodes, dir)
+            .with_termination(Termination::Quiescence {
+                max_supersteps: 10_000,
+            })
+            .with_max_node_retries(8)
+    }
+
+    pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let cfg = HarnessConfig::default().apply_flags(&argv)?;
+        let nodes = argv
+            .iter()
+            .position(|a| a == "--nodes")
+            .and_then(|i| argv.get(i + 1))
+            .map(|v| v.parse::<usize>())
+            .transpose()?
+            .unwrap_or(4);
+        std::fs::create_dir_all(&cfg.data_dir)?;
+
+        // A graph big enough that a superstep dwarfs its barrier commit,
+        // scaled the same way as the paper-table benches.
+        let n_vertices = (200_000 / cfg.scale.max(1) as usize).max(5_000);
+        let el = generate::symmetrize(&generate::rmat(
+            n_vertices,
+            n_vertices * 8,
+            generate::RmatParams::default(),
+            7,
+        ));
+        eprintln!(
+            "graph: {} vertices, {} edges; {nodes} nodes",
+            el.n_vertices,
+            el.len()
+        );
+
+        let term = Termination::Quiescence {
+            max_supersteps: 10_000,
+        };
+        let oracle = SyncEngine::new(term).run(&el, ConnectedComponents).values;
+
+        // Fault-free baseline: elapsed time and the commit-overhead gate.
+        let t0 = Instant::now();
+        let clean: DistReport<u32> =
+            Cluster::new(base_config(nodes, cfg.data_dir.join("dist-recovery-clean")))
+                .run(&el, ConnectedComponents)?;
+        let clean_elapsed = t0.elapsed();
+        if clean.values != oracle {
+            return Err("fault-free distributed run diverged from oracle".into());
+        }
+        let step_total: Duration = clean.step_times.iter().sum();
+        let commit_total: Duration = clean.commit_times.iter().sum();
+        let overhead = commit_total.as_secs_f64() / step_total.as_secs_f64().max(1e-9);
+        let overhead_ok = overhead < COMMIT_OVERHEAD_CAP;
+
+        let budget = clean_elapsed.mul_f64(RECOVERY_LATENCY_FACTOR) + RECOVERY_LATENCY_SLACK;
+        let mut rows = Vec::new();
+        let mut all_ok = overhead_ok;
+        for sc in scenarios(nodes as u32) {
+            let t0 = Instant::now();
+            let report: DistReport<u32> = Cluster::new(
+                base_config(
+                    nodes,
+                    cfg.data_dir.join(format!("dist-recovery-{}", sc.name)),
+                )
+                .with_fault_plan(Arc::new(sc.plan)),
+            )
+            .run(&el, ConnectedComponents)?;
+            let elapsed = t0.elapsed();
+            let identical = report.values == oracle;
+            let recovered = !report.retry_causes.is_empty();
+            let within_budget = elapsed <= budget;
+            let ok = identical && within_budget && (recovered || !sc.must_recover);
+            all_ok &= ok;
+            eprintln!(
+                "{:>16}: {:?} restarts={} rolled_back={} retries={} {}",
+                sc.name,
+                elapsed,
+                report.node_restarts,
+                report.supersteps_rolled_back,
+                report.retry_causes.len(),
+                if ok { "ok" } else { "FAIL" },
+            );
+            rows.push((sc.name, elapsed, report, identical, within_budget, ok));
+        }
+
+        let mut t = Table::new(&[
+            "scenario",
+            "elapsed",
+            "restarts",
+            "rolled back",
+            "retries",
+            "bit-identical",
+            "ok",
+        ]);
+        t.row(&[
+            "fault-free",
+            &format!("{clean_elapsed:.2?}"),
+            "0",
+            "0",
+            "0",
+            "yes",
+            if overhead_ok { "yes" } else { "NO" },
+        ]);
+        for (name, elapsed, report, identical, _, ok) in &rows {
+            t.row(&[
+                *name,
+                &format!("{elapsed:.2?}"),
+                &report.node_restarts.to_string(),
+                &report.supersteps_rolled_back.to_string(),
+                &report.retry_causes.len().to_string(),
+                if *identical { "yes" } else { "NO" },
+                if *ok { "yes" } else { "NO" },
+            ]);
+        }
+        print!("{t}");
+        eprintln!(
+            "barrier commit overhead: {:.3}% of superstep time (cap {:.0}%) — {}",
+            overhead * 100.0,
+            COMMIT_OVERHEAD_CAP * 100.0,
+            if overhead_ok { "ok" } else { "FAIL" },
+        );
+
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"dist_recovery\",");
+        let _ = writeln!(json, "  \"n_vertices\": {},", el.n_vertices);
+        let _ = writeln!(json, "  \"n_edges\": {},", el.len());
+        let _ = writeln!(json, "  \"n_nodes\": {nodes},");
+        let _ = writeln!(
+            json,
+            "  \"fault_free_elapsed_us\": {},",
+            clean_elapsed.as_micros()
+        );
+        let _ = writeln!(json, "  \"commit_overhead\": {overhead:.6},");
+        let _ = writeln!(json, "  \"commit_overhead_cap\": {COMMIT_OVERHEAD_CAP},");
+        let _ = writeln!(json, "  \"recovery_budget_us\": {},", budget.as_micros());
+        let _ = writeln!(json, "  \"scenarios\": [");
+        for (i, (name, elapsed, report, identical, within_budget, ok)) in rows.iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"name\": \"{name}\",");
+            let _ = writeln!(json, "      \"elapsed_us\": {},", elapsed.as_micros());
+            let _ = writeln!(json, "      \"node_restarts\": {},", report.node_restarts);
+            let _ = writeln!(
+                json,
+                "      \"supersteps_rolled_back\": {},",
+                report.supersteps_rolled_back
+            );
+            let _ = writeln!(json, "      \"retries\": {},", report.retry_causes.len());
+            let _ = writeln!(json, "      \"bit_identical\": {identical},");
+            let _ = writeln!(json, "      \"within_budget\": {within_budget},");
+            let _ = writeln!(json, "      \"ok\": {ok}");
+            let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(json, "  \"all_ok\": {all_ok}");
+        json.push_str("}\n");
+        let out = cfg.data_dir.join("BENCH_dist_recovery.json");
+        std::fs::write(&out, json)?;
+        eprintln!("wrote {}", out.display());
+
+        if !all_ok {
+            return Err("dist recovery gates failed".into());
+        }
+        Ok(())
+    }
+}

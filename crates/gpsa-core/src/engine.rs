@@ -274,7 +274,12 @@ impl Engine {
                 } else {
                     String::new()
                 };
-                let _ = failure_tx.try_send(format!("{} died{restarts}", ev.actor));
+                let detail = ev
+                    .detail
+                    .as_deref()
+                    .map(|d| format!(": {d}"))
+                    .unwrap_or_default();
+                let _ = failure_tx.try_send(format!("{} died{restarts}{detail}", ev.actor));
             });
             let (report_tx, report_rx) = crossbeam_channel::bounded(1);
             let progress = Arc::new(AtomicU64::new(0));

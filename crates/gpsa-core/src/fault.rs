@@ -64,6 +64,60 @@ pub enum FaultSpec {
         /// Superstep whose commit tears.
         superstep: u64,
     },
+    /// Distributed: kill simulated node `node` as it starts `superstep` —
+    /// its first dispatcher to arm the superstep panics, taking the whole
+    /// node's system down via failure escalation.
+    NodeKill {
+        /// Node to kill.
+        node: u32,
+        /// Superstep the kill arms in.
+        superstep: u64,
+    },
+    /// Distributed: panic a `DistComputer` on `node` mid-fold once it has
+    /// folded at least `after_messages` messages in one superstep.
+    DistComputerPanic {
+        /// Node whose computer dies.
+        node: u32,
+        /// Per-superstep folded-message threshold.
+        after_messages: u64,
+    },
+    /// Distributed: drop an inter-node message batch leaving `src_node`
+    /// during `superstep`. A dropped batch is a *detected* network
+    /// failure (the send path panics), never silent loss — silent loss
+    /// would let the cluster quiesce on wrong values.
+    BatchDrop {
+        /// Sending node.
+        src_node: u32,
+        /// Superstep the drop arms in.
+        superstep: u64,
+    },
+    /// Distributed: delay an inter-node batch leaving `src_node` during
+    /// `superstep` by `millis` — a stall the superstep watchdog must
+    /// catch if the delay exceeds the configured deadline.
+    BatchDelay {
+        /// Sending node.
+        src_node: u32,
+        /// Superstep the delay arms in.
+        superstep: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// Distributed: the cluster-manifest append for `superstep`'s barrier
+    /// writes a torn (short, bad-CRC) record tail and then dies.
+    TornManifest {
+        /// Superstep whose barrier record tears.
+        superstep: u64,
+    },
+}
+
+/// How a chaos-selected inter-node batch misbehaves (see
+/// [`FaultSpec::BatchDrop`] / [`FaultSpec::BatchDelay`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// The batch is lost; the sender treats it as a detected link failure.
+    Drop,
+    /// The batch is held for this many milliseconds before delivery.
+    Delay(u64),
 }
 
 /// A seeded, fire-once fault schedule shared by the whole fleet.
@@ -115,6 +169,40 @@ impl FaultPlan {
                 1 => FaultSpec::ComputerPanic { after_messages },
                 2 => FaultSpec::ComputerFlushPanic { superstep },
                 3 => FaultSpec::ManagerPanic { superstep },
+                4 => FaultSpec::MsyncFail { superstep },
+                _ => FaultSpec::TornCommit { superstep },
+            };
+            plan = plan.with(spec);
+        }
+        plan
+    }
+
+    /// Derive `n_points` *distributed* injections from `seed` alone,
+    /// targeting supersteps below `max_superstep` on nodes below
+    /// `n_nodes`. Random plans never include [`FaultSpec::BatchDelay`] —
+    /// delays exercise the watchdog's deadline, which a test must size
+    /// explicitly; everything else recovers on its own.
+    pub fn scripted_dist(seed: u64, n_points: usize, max_superstep: u64, n_nodes: u32) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        let mut state = seed ^ 0xD157_0000_0000_0000;
+        let max_step = max_superstep.max(1);
+        let nodes = n_nodes.max(1);
+        for _ in 0..n_points {
+            let kind = splitmix64(&mut state) % 6;
+            let superstep = splitmix64(&mut state) % max_step;
+            let node = (splitmix64(&mut state) % nodes as u64) as u32;
+            let after_messages = splitmix64(&mut state) % 256;
+            let spec = match kind {
+                0 => FaultSpec::NodeKill { node, superstep },
+                1 => FaultSpec::DistComputerPanic {
+                    node,
+                    after_messages,
+                },
+                2 => FaultSpec::BatchDrop {
+                    src_node: node,
+                    superstep,
+                },
+                3 => FaultSpec::TornManifest { superstep },
                 4 => FaultSpec::MsyncFail { superstep },
                 _ => FaultSpec::TornCommit { superstep },
             };
@@ -211,6 +299,73 @@ impl FaultPlan {
         }
         false
     }
+
+    /// True (once) if `node` should die as it starts `superstep`.
+    pub fn take_node_kill(&self, node: u32, superstep: u64) -> bool {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if matches!(*spec, FaultSpec::NodeKill { node: n, superstep: s }
+                    if n == node && s == superstep)
+                && self.fire(i)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Panic (once) if a [`FaultSpec::DistComputerPanic`] targeting
+    /// `node` is due after `messages` folds this superstep.
+    pub fn panic_if_due_on_node(&self, node: u32, messages: u64) {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if matches!(*spec, FaultSpec::DistComputerPanic { node: n, after_messages }
+                    if n == node && messages >= after_messages)
+                && self.fire(i)
+            {
+                panic!(
+                    "chaos-injected dist-computer panic: seed={} node={node} messages={messages}",
+                    self.seed
+                );
+            }
+        }
+    }
+
+    /// The fault (if any, once) afflicting an inter-node batch leaving
+    /// `src_node` during `superstep`.
+    pub fn take_batch_fault(&self, src_node: u32, superstep: u64) -> Option<BatchFault> {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            let hit = match *spec {
+                FaultSpec::BatchDrop {
+                    src_node: n,
+                    superstep: s,
+                } if n == src_node && s == superstep => Some(BatchFault::Drop),
+                FaultSpec::BatchDelay {
+                    src_node: n,
+                    superstep: s,
+                    millis,
+                } if n == src_node && s == superstep => Some(BatchFault::Delay(millis)),
+                _ => None,
+            };
+            if let Some(f) = hit {
+                if self.fire(i) {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// True (once) if the cluster-manifest append for `superstep` should
+    /// write a torn tail and die.
+    pub fn take_torn_manifest(&self, superstep: u64) -> bool {
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if matches!(*spec, FaultSpec::TornManifest { superstep: s } if s == superstep)
+                && self.fire(i)
+            {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +406,66 @@ mod tests {
         assert!(boom.is_err());
         // Fired once; never again.
         plan.panic_if_due(FaultRole::Dispatcher, 1, 10);
+    }
+
+    #[test]
+    fn dist_points_match_node_and_superstep() {
+        let plan = FaultPlan::new(11)
+            .with(FaultSpec::NodeKill {
+                node: 1,
+                superstep: 2,
+            })
+            .with(FaultSpec::BatchDrop {
+                src_node: 0,
+                superstep: 1,
+            })
+            .with(FaultSpec::TornManifest { superstep: 0 });
+        assert!(!plan.take_node_kill(0, 2), "wrong node");
+        assert!(!plan.take_node_kill(1, 1), "wrong superstep");
+        assert!(plan.take_node_kill(1, 2));
+        assert!(!plan.take_node_kill(1, 2), "fire-once");
+        assert_eq!(plan.take_batch_fault(1, 1), None);
+        assert_eq!(plan.take_batch_fault(0, 1), Some(BatchFault::Drop));
+        assert_eq!(plan.take_batch_fault(0, 1), None, "fire-once");
+        assert!(!plan.take_torn_manifest(1));
+        assert!(plan.take_torn_manifest(0));
+        assert!(!plan.take_torn_manifest(0));
+    }
+
+    #[test]
+    fn dist_computer_panic_targets_one_node() {
+        let plan = FaultPlan::new(13).with(FaultSpec::DistComputerPanic {
+            node: 2,
+            after_messages: 5,
+        });
+        plan.panic_if_due_on_node(1, 100); // wrong node
+        plan.panic_if_due_on_node(2, 4); // under threshold
+        let boom = std::panic::catch_unwind(|| plan.panic_if_due_on_node(2, 5));
+        assert!(boom.is_err());
+        plan.panic_if_due_on_node(2, 5); // fired once, never again
+    }
+
+    #[test]
+    fn scripted_dist_is_reproducible_and_bounded() {
+        let a: Vec<_> = FaultPlan::scripted_dist(42, 10, 4, 3).specs().collect();
+        let b: Vec<_> = FaultPlan::scripted_dist(42, 10, 4, 3).specs().collect();
+        assert_eq!(a, b);
+        for s in &a {
+            match *s {
+                FaultSpec::NodeKill { node, superstep }
+                | FaultSpec::BatchDrop {
+                    src_node: node,
+                    superstep,
+                } => {
+                    assert!(node < 3 && superstep < 4);
+                }
+                FaultSpec::DistComputerPanic { node, .. } => assert!(node < 3),
+                FaultSpec::TornManifest { superstep }
+                | FaultSpec::MsyncFail { superstep }
+                | FaultSpec::TornCommit { superstep } => assert!(superstep < 4),
+                other => panic!("scripted_dist produced unexpected spec {other:?}"),
+            }
+        }
     }
 
     #[test]

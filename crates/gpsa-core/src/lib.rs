@@ -77,5 +77,5 @@ pub use report::{RunOutcome, RunReport};
 pub use slab::MsgSlabPool;
 pub use sync_engine::SyncEngine;
 pub use value::VertexValue;
-pub use value_file::{ValueFile, ValueFileError, ValueFileHeader};
+pub use value_file::{crc32, ValueFile, ValueFileError, ValueFileHeader};
 pub use word::{clear_flag, is_flagged, set_flag, FLAG_BIT};

@@ -99,6 +99,17 @@ fn crc32_words(words: &[u32]) -> u32 {
     !c
 }
 
+/// CRC32 (IEEE, reflected) over raw bytes — the same polynomial and table
+/// the commit slots use, exported so sibling on-disk records (the
+/// distributed cluster manifest) checksum with the identical algorithm.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Typed failures from [`ValueFile::open`] and friends. Corrupt or
 /// truncated files are reported, never panicked on.
 #[derive(Debug)]
@@ -603,6 +614,58 @@ impl ValueFile {
         self.frontier.clear(1 - good);
         resume
     }
+
+    /// Sequence number of the best (highest-seq valid) commit slot; 0 if
+    /// neither slot validates. The distributed barrier manifest records
+    /// this per node so recovery can verify every shard reached the
+    /// barrier it claims.
+    pub fn commit_seq(&self) -> u64 {
+        self.best_slot().map(|(_, s)| s.seq).unwrap_or(0)
+    }
+
+    /// Force this file back to an *externally chosen* barrier: superstep
+    /// `committed` (`None` = nothing committed yet) whose results live in
+    /// `dispatch_col`.
+    ///
+    /// Unlike [`ValueFile::recover`], which trusts the file's own best
+    /// slot, this is the distributed rollback path: the cluster manifest
+    /// — not any single shard — names the last barrier *every* node
+    /// committed, and shards that already committed one superstep past it
+    /// must step back. That is always possible one superstep deep:
+    /// dispatchers only flag-invalidate the column they read, so the
+    /// payloads of `dispatch_col` (superstep `committed`'s results) stay
+    /// intact until the *following* superstep's dispatch — which cannot
+    /// have started, because the cluster barrier for the superstep in
+    /// between never completed.
+    ///
+    /// Rebuilds both columns from `dispatch_col`'s payloads (all-active
+    /// conservative frontier, like `recover`) and writes a fresh commit
+    /// slot pinning `(committed, dispatch_col)` so a subsequent crash
+    /// recovers to the same barrier. Returns the superstep to resume from.
+    pub fn rollback_to(&self, committed: Option<u64>, dispatch_col: u32) -> u64 {
+        let good = dispatch_col & 1;
+        for v in self.range() {
+            let payload = clear_flag(self.load(good, v));
+            self.store(good, v, payload); // flag 0: active
+            self.store(1 - good, v, set_flag(payload));
+        }
+        self.frontier.fill(good);
+        self.frontier.clear(1 - good);
+        let (target, seq) = match self.best_slot() {
+            Some((best, slot)) => (1 - best, slot.seq + 1),
+            None => (0, 1),
+        };
+        self.write_slot(
+            target,
+            CommitSlot {
+                seq,
+                committed_biased: committed.map(|s| s as u32 + 1).unwrap_or(0),
+                next_dispatch: good,
+            },
+            false,
+        );
+        committed.map(|s| s + 1).unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -888,6 +951,82 @@ mod tests {
             assert!(is_flagged(vf.load(0, v)));
             assert!(!vf.frontier().is_marked(0, v));
         }
+    }
+
+    #[test]
+    fn rollback_steps_an_ahead_shard_back_one_barrier() {
+        let path = tmp("rollback.gval");
+        let vf = ValueFile::create(&path, 3, |_| (5u32, true)).unwrap();
+        // Superstep 0 completed: column 1 holds its results.
+        for v in 0..3 {
+            vf.store(1, v, 50 + v);
+        }
+        vf.commit(0, 1, false).unwrap();
+        // This shard raced ahead: it ran superstep 1 (writing column 0),
+        // invalidated column 1's flags during dispatch, and committed —
+        // but the cluster barrier for superstep 1 never completed.
+        for v in 0..3 {
+            vf.invalidate(1, v);
+            vf.store(0, v, 90 + v);
+        }
+        vf.commit(1, 0, false).unwrap();
+        assert_eq!(vf.header().committed_superstep, Some(1));
+        let seq_before = vf.commit_seq();
+        // Roll back to the cluster-wide barrier (superstep 0, column 1).
+        let resume = vf.rollback_to(Some(0), 1);
+        assert_eq!(resume, 1);
+        let h = vf.header();
+        assert_eq!(h.committed_superstep, Some(0));
+        assert_eq!(h.next_dispatch_col, 1);
+        assert!(vf.commit_seq() > seq_before, "rollback is itself a commit");
+        for v in 0..3 {
+            // Superstep 0's payloads survive the invalidation (flags only)
+            // and come back active; the raced-ahead column is discarded.
+            assert!(!is_flagged(vf.load(1, v)));
+            assert_eq!(clear_flag(vf.load(1, v)), 50 + v);
+            assert!(is_flagged(vf.load(0, v)));
+            assert_eq!(clear_flag(vf.load(0, v)), 50 + v);
+            assert!(vf.frontier().is_marked(1, v));
+            assert!(!vf.frontier().is_marked(0, v));
+        }
+    }
+
+    #[test]
+    fn rollback_to_initial_state_resumes_at_zero() {
+        let path = tmp("rollback0.gval");
+        let vf = ValueFile::create(&path, 2, |v| (v, v == 0)).unwrap();
+        vf.store(1, 0, 77);
+        vf.commit(0, 1, false).unwrap();
+        // Cluster never finished barrier 0: back to "nothing committed",
+        // dispatching from column 0.
+        let resume = vf.rollback_to(None, 0);
+        assert_eq!(resume, 0);
+        let h = vf.header();
+        assert_eq!(h.committed_superstep, None);
+        assert_eq!(h.next_dispatch_col, 0);
+        assert!(!is_flagged(vf.load(0, 0)) && !is_flagged(vf.load(0, 1)));
+    }
+
+    #[test]
+    fn commit_seq_tracks_commits() {
+        let path = tmp("seq.gval");
+        let vf = ValueFile::create(&path, 1, |v| (v, true)).unwrap();
+        assert_eq!(vf.commit_seq(), 1, "create seeds seq 1");
+        vf.commit(0, 1, false).unwrap();
+        assert_eq!(vf.commit_seq(), 2);
+        vf.commit(1, 0, false).unwrap();
+        assert_eq!(vf.commit_seq(), 3);
+    }
+
+    #[test]
+    fn crc32_bytes_matches_word_crc() {
+        let words = [1u32, 2, 3, 0xDEAD_BEEF];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(crc32(&bytes), crc32_words(&words));
+        assert_ne!(crc32(&bytes), crc32(&bytes[..15]));
     }
 
     #[test]

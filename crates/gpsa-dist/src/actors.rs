@@ -5,13 +5,17 @@
 //! [`TrafficMatrix`].
 
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use actor::{Actor, Addr, Ctx};
 use crossbeam_channel::Sender;
 use gpsa::{clear_flag, is_flagged, GraphMeta, Termination, ValueFile, VertexProgram, VertexValue};
 use gpsa_graph::{DiskCsr, VertexId};
 
+use crate::manifest::{BarrierRecord, ClusterManifest};
+use crate::recovery::SharedStats;
 use crate::traffic::TrafficMatrix;
 
 /// Global routing: vertex → (node, compute actor).
@@ -155,14 +159,12 @@ pub(crate) enum CoordinatorMsg<P: VertexProgram> {
     },
 }
 
-/// Per-run result forwarded to the blocking caller.
+/// End-of-run signal forwarded to the blocking caller. Per-superstep
+/// statistics travel through [`SharedStats`] instead (appended only
+/// after each barrier's manifest append, so rolled-back supersteps never
+/// double-count).
 #[derive(Debug, Clone)]
 pub(crate) struct CoordinatorReport {
-    pub supersteps: u64,
-    pub step_times: Vec<std::time::Duration>,
-    pub activated: Vec<u64>,
-    pub deltas: Vec<f64>,
-    pub messages: u64,
     pub final_dispatch_col: u32,
 }
 
@@ -181,9 +183,26 @@ pub(crate) struct DistDispatcher<P: VertexProgram> {
     pub msg_batch: usize,
     pub always_dispatch: bool,
     pub combine: bool,
+    /// Superstep currently being dispatched (chaos batch faults key on it).
+    pub superstep: u64,
+    /// Cluster recovery epoch: bumped by the recovery loop when this
+    /// fleet is abandoned. A zombie worker (e.g. one sleeping through a
+    /// chaos-injected network delay) re-checks it and bails before
+    /// touching shared state the resumed fleet now owns.
+    pub epoch: Arc<AtomicU64>,
+    pub my_epoch: u64,
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<gpsa::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> DistDispatcher<P> {
+    /// True when the recovery loop moved on without this fleet — this
+    /// worker is a zombie and must stop touching shared state.
+    #[inline]
+    fn abandoned(&self) -> bool {
+        self.epoch.load(Ordering::Relaxed) != self.my_epoch
+    }
+
     fn flush_buffer(&mut self, owner: usize, update_col: u32) {
         let mut buf = std::mem::take(&mut self.buffers[owner]);
         if buf.is_empty() {
@@ -200,6 +219,28 @@ impl<P: VertexProgram> DistDispatcher<P> {
             }
             buf = out;
         }
+        #[cfg(feature = "chaos")]
+        if self.router.node_of_computer(owner) != self.node {
+            if let Some(plan) = &self.fault {
+                match plan.take_batch_fault(self.node as u32, self.superstep) {
+                    // A dropped batch is a *detected* link failure: the
+                    // sender dies and the barrier rolls back. Silently
+                    // losing it would let the cluster quiesce on wrong
+                    // values.
+                    Some(gpsa::fault::BatchFault::Drop) => panic!(
+                        "chaos-injected network drop: node {} superstep {}",
+                        self.node, self.superstep
+                    ),
+                    Some(gpsa::fault::BatchFault::Delay(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                        if self.abandoned() {
+                            return;
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
         // Tally the (simulated) wire: messages leaving this node.
         self.traffic.record(
             self.node,
@@ -213,10 +254,26 @@ impl<P: VertexProgram> DistDispatcher<P> {
     }
 
     fn run_superstep(&mut self, superstep: u64, dispatch_col: u32) {
+        self.superstep = superstep;
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            // Node kill: the plan fires once, so exactly one dispatcher
+            // of the target node panics; its system's failure escalation
+            // takes the whole simulated node down.
+            if plan.take_node_kill(self.node as u32, superstep) {
+                panic!(
+                    "chaos-injected node kill: node {} at superstep {superstep}",
+                    self.node
+                );
+            }
+        }
         let update_col = 1 - dispatch_col;
         let graph = self.graph.clone();
         let mut cursor = graph.cursor(self.interval.clone());
         while let Some(rec) = cursor.next_rec() {
+            if self.abandoned() {
+                return;
+            }
             let bits = self.values.load(dispatch_col, rec.vid);
             if !self.always_dispatch && is_flagged(bits) {
                 continue;
@@ -256,6 +313,9 @@ impl<P: VertexProgram> Actor for DistDispatcher<P> {
 }
 
 pub(crate) struct DistComputer<P: VertexProgram> {
+    /// Node this computer lives on (chaos targeting).
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    pub node: usize,
     pub program: Arc<P>,
     /// This node's value-file shard; every vertex routed here is in its
     /// range.
@@ -265,9 +325,19 @@ pub(crate) struct DistComputer<P: VertexProgram> {
     pub dirty: Vec<(VertexId, P::Value)>,
     pub owned: Vec<VertexId>,
     pub messages: u64,
+    /// Cluster recovery epoch (see [`DistDispatcher::epoch`]).
+    pub epoch: Arc<AtomicU64>,
+    pub my_epoch: u64,
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<gpsa::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> DistComputer<P> {
+    #[inline]
+    fn abandoned(&self) -> bool {
+        self.epoch.load(Ordering::Relaxed) != self.my_epoch
+    }
+
     #[inline]
     fn fold(&mut self, update_col: u32, v: VertexId, msg: P::MsgVal) {
         let dispatch_col = 1 - update_col;
@@ -285,6 +355,10 @@ impl<P: VertexProgram> DistComputer<P> {
         };
         self.values.store(update_col, v, new.to_bits());
         self.messages += 1;
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            plan.panic_if_due_on_node(self.node as u32, self.messages);
+        }
     }
 
     fn flush(&mut self, superstep: u64, update_col: u32) {
@@ -332,6 +406,14 @@ impl<P: VertexProgram> DistComputer<P> {
 impl<P: VertexProgram> Actor for DistComputer<P> {
     type Msg = ComputeCmd<P::MsgVal>;
     fn handle(&mut self, msg: ComputeCmd<P::MsgVal>, ctx: &mut Ctx<'_, Self>) {
+        if self.abandoned() {
+            // Zombie after an abandon(): the resumed fleet owns the
+            // shard now; drain silently.
+            if matches!(msg, ComputeCmd::Shutdown) {
+                ctx.stop();
+            }
+            return;
+        }
         match msg {
             ComputeCmd::Batch { update_col, msgs } => {
                 for &(v, m) in msgs.iter() {
@@ -347,7 +429,13 @@ impl<P: VertexProgram> Actor for DistComputer<P> {
     }
 }
 
-/// The global barrier coordinator (paper Algorithm 1 across nodes).
+/// The global barrier coordinator (paper Algorithm 1 across nodes),
+/// extended with the cluster commit: at every barrier it drives each
+/// node's dual-slot value-file commit and then appends one CRC'd record
+/// to the [`ClusterManifest`] — in that order, so the manifest never
+/// names a barrier some node has not committed. A failed commit or
+/// append *panics*: the master system's failure escalation hands the
+/// error to the recovery loop, which rolls the cluster back.
 pub(crate) struct Coordinator<P: VertexProgram> {
     pub value_files: Vec<Arc<ValueFile>>,
     pub termination: Termination,
@@ -358,14 +446,27 @@ pub(crate) struct Coordinator<P: VertexProgram> {
     pub dispatch_col: u32,
     pub pending_dispatch: usize,
     pub pending_compute: usize,
-    pub step_started: Option<std::time::Instant>,
-    pub step_times: Vec<std::time::Duration>,
-    pub activated: Vec<u64>,
-    pub deltas: Vec<f64>,
-    pub messages: u64,
+    pub step_started: Option<Instant>,
     pub step_activated: u64,
     pub step_delta: f64,
-    pub steps_run: u64,
+    pub step_messages: u64,
+    /// Whether barrier commits fsync (value pages before headers).
+    pub durable: bool,
+    pub manifest: Arc<ClusterManifest>,
+    /// Committed-superstep stats, shared with the recovery loop so they
+    /// survive attempts (see [`SharedStats`]).
+    pub stats: Arc<Mutex<SharedStats>>,
+    /// `last started superstep + 1`, watched by the per-superstep
+    /// watchdog and used to count rolled-back work.
+    pub progress: Arc<AtomicU64>,
+    /// Cluster recovery epoch (see [`DistDispatcher::epoch`]): an
+    /// abandoned coordinator must not keep committing barriers — it
+    /// shares the manifest handle and the value files with the fleet
+    /// that replaced it.
+    pub epoch: Arc<AtomicU64>,
+    pub my_epoch: u64,
+    #[cfg(feature = "chaos")]
+    pub fault: Option<Arc<gpsa::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> Coordinator<P> {
@@ -374,13 +475,65 @@ impl<P: VertexProgram> Coordinator<P> {
         self.pending_compute = self.computers.len();
         self.step_activated = 0;
         self.step_delta = 0.0;
-        self.step_started = Some(std::time::Instant::now());
+        self.step_messages = 0;
+        self.step_started = Some(Instant::now());
+        self.progress.store(self.superstep + 1, Ordering::Relaxed);
         for d in &self.dispatchers {
             let _ = d.send(DispatchCmd::Start {
                 superstep: self.superstep,
                 dispatch_col: self.dispatch_col,
             });
         }
+    }
+
+    /// The cluster commit at a completed barrier. Records the superstep's
+    /// stats only after the manifest append succeeds — a barrier that
+    /// rolls back leaves no trace here, so replayed supersteps count
+    /// exactly once.
+    fn commit_barrier(&mut self, step_elapsed: std::time::Duration) {
+        let next_dispatch = 1 - self.dispatch_col;
+        let commit_t0 = Instant::now();
+        let mut node_seqs = Vec::with_capacity(self.value_files.len());
+        for (node, vf) in self.value_files.iter().enumerate() {
+            if let Err(e) = vf.commit(self.superstep, next_dispatch, self.durable) {
+                panic!(
+                    "node {node} value-file commit failed at superstep {}: {e}",
+                    self.superstep
+                );
+            }
+            node_seqs.push(vf.commit_seq());
+        }
+        let rec = BarrierRecord {
+            superstep: self.superstep,
+            next_dispatch_col: next_dispatch,
+            node_seqs,
+        };
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            if plan.take_torn_manifest(self.superstep) {
+                self.manifest.append_torn(&rec);
+                panic!(
+                    "chaos-injected torn manifest tail at superstep {}",
+                    self.superstep
+                );
+            }
+        }
+        if let Err(e) = self.manifest.append(&rec, self.durable) {
+            panic!(
+                "cluster manifest append failed at superstep {}: {e}",
+                self.superstep
+            );
+        }
+        let commit_elapsed = commit_t0.elapsed();
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        stats.steps_run += 1;
+        stats.step_times.push(step_elapsed);
+        stats.commit_times.push(commit_elapsed);
+        stats.activated.push(self.step_activated);
+        stats.deltas.push(self.step_delta);
+        stats.messages += self.step_messages;
+        drop(stats);
+        self.dispatch_col = next_dispatch;
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -391,11 +544,6 @@ impl<P: VertexProgram> Coordinator<P> {
             let _ = c.send(ComputeCmd::Shutdown);
         }
         let _ = self.report_tx.send(CoordinatorReport {
-            supersteps: self.steps_run,
-            step_times: std::mem::take(&mut self.step_times),
-            activated: std::mem::take(&mut self.activated),
-            deltas: std::mem::take(&mut self.deltas),
-            messages: self.messages,
             final_dispatch_col: self.dispatch_col,
         });
         ctx.stop();
@@ -419,6 +567,12 @@ impl<P: VertexProgram> Coordinator<P> {
 impl<P: VertexProgram> Actor for Coordinator<P> {
     type Msg = CoordinatorMsg<P>;
     fn handle(&mut self, msg: CoordinatorMsg<P>, ctx: &mut Ctx<'_, Self>) {
+        if self.epoch.load(Ordering::Relaxed) != self.my_epoch {
+            // Zombie after an abandon(): the recovery loop moved on; do
+            // not commit barriers against state the new fleet owns.
+            ctx.stop();
+            return;
+        }
         match msg {
             CoordinatorMsg::Wire {
                 dispatchers,
@@ -450,21 +604,15 @@ impl<P: VertexProgram> Actor for Coordinator<P> {
                 debug_assert_eq!(superstep, self.superstep);
                 self.step_activated += activated;
                 self.step_delta += delta;
-                self.messages += messages;
+                self.step_messages += messages;
                 self.pending_compute -= 1;
                 if self.pending_compute == 0 {
-                    if let Some(t) = self.step_started.take() {
-                        self.step_times.push(t.elapsed());
-                    }
-                    self.activated.push(self.step_activated);
-                    self.deltas.push(self.step_delta);
-                    self.steps_run += 1;
-                    let next_dispatch = 1 - self.dispatch_col;
-                    // Per-node commit points (each shard its own header).
-                    for vf in &self.value_files {
-                        let _ = vf.commit(self.superstep, next_dispatch, false);
-                    }
-                    self.dispatch_col = next_dispatch;
+                    let step_elapsed = self
+                        .step_started
+                        .take()
+                        .map(|t| t.elapsed())
+                        .unwrap_or_default();
+                    self.commit_barrier(step_elapsed);
                     if self.wants_more() {
                         self.superstep += 1;
                         self.start_superstep();

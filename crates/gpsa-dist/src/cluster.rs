@@ -1,15 +1,102 @@
-//! Cluster assembly and the blocking run entry point.
+//! Cluster assembly, the blocking run entry point, and the
+//! superstep-granular recovery loop.
+//!
+//! A run is a sequence of *attempts*. Each attempt builds the whole
+//! fleet (one actor system per node + the master), registered with a
+//! [`SystemGuard`] so every exit path tears it down, and waits on a
+//! select loop for the coordinator's report, a failure escalation, or a
+//! watchdog stall. A failed attempt rolls the cluster back to the last
+//! manifest barrier ([`crate::recovery::rollback_cluster`]) — reopening
+//! the dead node's on-disk state when a specific node crashed — and
+//! retries with exponential backoff, up to
+//! [`ClusterConfig::max_node_retries`] times.
 
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use actor::System;
 use gpsa::{clear_flag, is_flagged, GraphMeta, Termination, ValueFile, VertexProgram, VertexValue};
 use gpsa_graph::{preprocess, DiskCsr, Edge, EdgeList};
 
-use crate::actors::{Coordinator, CoordinatorMsg, DistComputer, DistDispatcher, DistRouter};
+use crate::actors::{
+    Coordinator, CoordinatorMsg, CoordinatorReport, DistComputer, DistDispatcher, DistRouter,
+};
+use crate::manifest::ClusterManifest;
+use crate::recovery::{rollback_cluster, Failure, NodeShard, SharedStats, SystemGuard};
 use crate::traffic::TrafficMatrix;
+
+/// Typed failures from [`Cluster::run`].
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Filesystem / mapping failure.
+    Io(std::io::Error),
+    /// Inconsistent inputs or corrupt recovery state.
+    Config(String),
+    /// The run blew [`ClusterConfig::run_deadline`]; the fleet is
+    /// abandoned (threads signalled, not joined) and the cause recorded.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+        /// What the cluster was doing when time ran out.
+        cause: String,
+    },
+    /// The recovery loop exhausted its retry budget; each element is the
+    /// cause of one failed attempt, in order.
+    RetriesExhausted(Vec<String>),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster I/O error: {e}"),
+            ClusterError::Config(m) => write!(f, "cluster configuration error: {m}"),
+            ClusterError::DeadlineExceeded { deadline, cause } => {
+                write!(f, "cluster run exceeded its {deadline:?} deadline: {cause}")
+            }
+            ClusterError::RetriesExhausted(causes) => write!(
+                f,
+                "cluster recovery gave up after {} failed attempt(s): [{}]",
+                causes.len(),
+                causes.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<gpsa::ValueFileError> for ClusterError {
+    fn from(e: gpsa::ValueFileError) -> Self {
+        match e {
+            gpsa::ValueFileError::Io(e) => ClusterError::Io(e),
+            other => ClusterError::Config(other.to_string()),
+        }
+    }
+}
+
+impl From<ClusterError> for std::io::Error {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::Io(e) => e,
+            other => std::io::Error::other(other.to_string()),
+        }
+    }
+}
 
 /// Configuration of the simulated cluster.
 #[derive(Debug, Clone)]
@@ -25,10 +112,31 @@ pub struct ClusterConfig {
     pub workers_per_node: usize,
     /// Stop condition.
     pub termination: Termination,
-    /// Scratch directory (per-node CSR fragments + value shards).
+    /// Scratch directory (per-node CSR fragments + value shards + the
+    /// cluster manifest).
     pub work_dir: PathBuf,
     /// Dispatcher batch size.
     pub msg_batch: usize,
+    /// Hard wall-clock budget for the whole run, recovery included. A
+    /// run that is still incomplete when it expires fails fast with
+    /// [`ClusterError::DeadlineExceeded`] instead of parking the caller.
+    pub run_deadline: Duration,
+    /// Per-superstep progress watchdog: if no superstep *starts* within
+    /// this window, the attempt is declared wedged, the fleet abandoned,
+    /// and the cluster rolled back. Must be set well above the
+    /// worst-case superstep time — abandoned workers may still run actor
+    /// code briefly. `None` disables the watchdog (failures are then
+    /// detected only by escalation or the run deadline).
+    pub superstep_deadline: Option<Duration>,
+    /// Recovery attempts before [`ClusterError::RetriesExhausted`].
+    pub max_node_retries: u32,
+    /// Fsync barrier commits (each shard's value pages before its
+    /// header, the manifest record after all shards).
+    pub durable: bool,
+    /// Distributed chaos schedule (node kills, computer panics, batch
+    /// drops/delays, torn manifests — see `gpsa::fault::FaultSpec`).
+    #[cfg(feature = "chaos")]
+    pub fault_plan: Option<Arc<gpsa::fault::FaultPlan>>,
 }
 
 impl ClusterConfig {
@@ -45,12 +153,49 @@ impl ClusterConfig {
             },
             work_dir: work_dir.into(),
             msg_batch: 1024,
+            run_deadline: Duration::from_secs(4 * 3600),
+            superstep_deadline: None,
+            max_node_retries: 3,
+            durable: false,
+            #[cfg(feature = "chaos")]
+            fault_plan: None,
         }
     }
 
     /// Builder-style: set the termination mode.
     pub fn with_termination(mut self, t: Termination) -> Self {
         self.termination = t;
+        self
+    }
+
+    /// Builder-style: set the whole-run wall-clock deadline.
+    pub fn with_run_deadline(mut self, d: Duration) -> Self {
+        self.run_deadline = d;
+        self
+    }
+
+    /// Builder-style: arm the per-superstep progress watchdog.
+    pub fn with_superstep_deadline(mut self, d: Duration) -> Self {
+        self.superstep_deadline = Some(d);
+        self
+    }
+
+    /// Builder-style: set the recovery retry budget.
+    pub fn with_max_node_retries(mut self, n: u32) -> Self {
+        self.max_node_retries = n;
+        self
+    }
+
+    /// Builder-style: fsync barrier commits.
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Builder-style: install a distributed chaos schedule.
+    #[cfg(feature = "chaos")]
+    pub fn with_fault_plan(mut self, plan: Arc<gpsa::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -61,10 +206,16 @@ pub struct DistReport<V> {
     /// Final vertex values, stitched across node shards, indexed by
     /// global id.
     pub values: Vec<V>,
-    /// Supersteps executed.
+    /// Supersteps committed (each counted once, however many times a
+    /// fault forced it to re-run).
     pub supersteps: u64,
-    /// Wall time per superstep (global barrier to barrier).
+    /// Wall time per committed superstep (barrier to barrier, excluding
+    /// the commit itself).
     pub step_times: Vec<Duration>,
+    /// Wall time of each barrier's cluster commit (per-node value-file
+    /// commits + the manifest append) — the measurable cost of the
+    /// paper's "free checkpoint" claim.
+    pub commit_times: Vec<Duration>,
     /// Vertices activated per superstep (cluster-wide).
     pub activated: Vec<u64>,
     /// Convergence deltas per superstep.
@@ -73,12 +224,27 @@ pub struct DistReport<V> {
     pub messages: u64,
     /// Node-to-node message counts; off-diagonal = simulated network.
     pub traffic: Arc<TrafficMatrix>,
+    /// Simulated node restarts (a crashed node's CSR fragment and value
+    /// shard reopened from disk).
+    pub node_restarts: u64,
+    /// Supersteps whose work was discarded by rollbacks (started but not
+    /// cluster-committed when their attempt died).
+    pub supersteps_rolled_back: u64,
+    /// Cause of each failed attempt, in order; empty for a fault-free
+    /// run.
+    pub retry_causes: Vec<String>,
 }
 
 /// A simulated GPSA cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     config: ClusterConfig,
+}
+
+enum Outcome {
+    Done(u32),
+    Failed { dead: Option<usize>, cause: String },
+    Wedged(String),
 }
 
 impl Cluster {
@@ -92,12 +258,14 @@ impl Cluster {
         &self.config
     }
 
-    /// Run `program` over `edges` across the simulated cluster.
+    /// Run `program` over `edges` across the simulated cluster,
+    /// surviving node and actor failure at superstep granularity.
     pub fn run<P: VertexProgram>(
         &self,
         edges: &EdgeList,
         program: P,
-    ) -> std::io::Result<DistReport<P::Value>> {
+    ) -> Result<DistReport<P::Value>, ClusterError> {
+        let t0 = Instant::now();
         let cfg = &self.config;
         std::fs::create_dir_all(&cfg.work_dir)?;
         let n = edges.n_vertices;
@@ -114,11 +282,10 @@ impl Cluster {
         let program = Arc::new(program);
         let traffic = Arc::new(TrafficMatrix::new(n_nodes));
 
-        // Per-node state: CSR fragment (this node's out-edges) + value
-        // shard over its vertex range.
-        let mut node_graphs: Vec<Arc<DiskCsr>> = Vec::with_capacity(n_nodes);
-        let mut node_values: Vec<Arc<ValueFile>> = Vec::with_capacity(n_nodes);
-        let mut node_systems: Vec<System> = Vec::with_capacity(n_nodes);
+        // Attempt-invariant state: per-node shards (CSR fragment of this
+        // node's out-edges + value shard over its vertex range) and the
+        // cluster manifest.
+        let mut shards: Vec<NodeShard> = Vec::with_capacity(n_nodes);
         for node in 0..n_nodes {
             let range = router.node_range(node, n);
             let frag_edges: Vec<Edge> = edges
@@ -128,122 +295,318 @@ impl Cluster {
                 .filter(|e| range.contains(&e.src))
                 .collect();
             let frag = EdgeList::with_vertices(frag_edges, n);
-            let frag_path = cfg.work_dir.join(format!("node{node}.gcsr"));
-            preprocess::edges_to_csr(frag, &frag_path, &preprocess::PreprocessOptions::default())?;
-            node_graphs.push(Arc::new(DiskCsr::open(&frag_path)?));
+            let csr_path = cfg.work_dir.join(format!("node{node}.gcsr"));
+            preprocess::edges_to_csr(frag, &csr_path, &preprocess::PreprocessOptions::default())?;
+            let graph = Arc::new(DiskCsr::open(&csr_path)?);
 
             let vf_path = cfg.work_dir.join(format!("node{node}.gval"));
             let p = program.clone();
             let m = meta;
-            node_values.push(Arc::new(ValueFile::create_ranged(&vf_path, range, |v| {
+            let values = Arc::new(ValueFile::create_ranged(&vf_path, range, |v| {
                 p.init(v, &m)
-            })?));
+            })?);
+            shards.push(NodeShard {
+                graph,
+                values,
+                csr_path,
+                vf_path,
+            });
+        }
+        #[cfg(feature = "chaos")]
+        for shard in &shards {
+            shard.values.set_fault_plan(cfg.fault_plan.clone());
+        }
+        let manifest_path = cfg.work_dir.join("cluster.gman");
+        let manifest = Arc::new(ClusterManifest::create(&manifest_path, n_nodes)?);
+        let stats = Arc::new(Mutex::new(SharedStats::default()));
+        // Bumped whenever a fleet is given up on; zombie workers from
+        // abandoned attempts check it and stand down (see
+        // `DistDispatcher::epoch`).
+        let epoch = Arc::new(AtomicU64::new(0));
 
-            node_systems.push(
-                System::builder()
+        let mut resume_superstep = 0u64;
+        let mut dispatch_col = 0u32;
+        let mut retry_causes: Vec<String> = Vec::new();
+        let mut node_restarts = 0u64;
+        let mut supersteps_rolled_back = 0u64;
+
+        let final_col = 'attempts: loop {
+            let my_epoch = epoch.load(Ordering::Relaxed);
+            let mut guard = SystemGuard::new();
+            // Failure escalations arrive from dying worker threads,
+            // tagged with the node they came from.
+            let (failure_tx, failure_rx) = crossbeam_channel::bounded::<Failure>(64);
+            let mut node_systems: Vec<System> = Vec::with_capacity(n_nodes);
+            for node in 0..n_nodes {
+                let sys = System::builder()
                     .workers(cfg.workers_per_node)
                     .name(format!("node{node}"))
-                    .build(),
-            );
-        }
-
-        // The coordinator lives on a dedicated "master" system.
-        let master = System::builder().workers(1).name("gpsa-master").build();
-        let (report_tx, report_rx) = crossbeam_channel::bounded(1);
-        let coordinator = master.spawn(Coordinator::<P> {
-            value_files: node_values.clone(),
-            termination: cfg.termination,
-            report_tx,
-            dispatchers: Vec::new(),
-            computers: Vec::new(),
-            superstep: 0,
-            dispatch_col: 0,
-            pending_dispatch: 0,
-            pending_compute: 0,
-            step_started: None,
-            step_times: Vec::new(),
-            activated: Vec::new(),
-            deltas: Vec::new(),
-            messages: 0,
-            step_activated: 0,
-            step_delta: 0.0,
-            steps_run: 0,
-        });
-
-        // Compute actors: global list ordered node-major (the router's
-        // index space).
-        let mut computers = Vec::with_capacity(n_nodes * cfg.computers_per_node);
-        for node in 0..n_nodes {
-            let range = router.node_range(node, n);
-            for slot in 0..cfg.computers_per_node {
-                let owned: Vec<u32> = if program.always_dispatch() {
-                    range
-                        .clone()
-                        .filter(|&v| router.computer_of_vertex(v) % cfg.computers_per_node == slot)
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                computers.push(node_systems[node].spawn(DistComputer {
-                    program: program.clone(),
-                    values: node_values[node].clone(),
-                    meta,
-                    coordinator: coordinator.clone(),
-                    dirty: Vec::new(),
-                    owned,
-                    messages: 0,
-                }));
+                    .build();
+                let tx = failure_tx.clone();
+                sys.set_failure_handler(move |ev| {
+                    let detail = ev
+                        .detail
+                        .as_deref()
+                        .map(|d| format!(": {d}"))
+                        .unwrap_or_default();
+                    let _ = tx.try_send(Failure::Node {
+                        node,
+                        cause: format!("node {node}: {} died{detail}", ev.actor),
+                    });
+                });
+                guard.push(sys.clone());
+                node_systems.push(sys);
             }
-        }
+            // The coordinator lives on a dedicated "master" system.
+            let master = System::builder().workers(1).name("gpsa-master").build();
+            let tx = failure_tx.clone();
+            master.set_failure_handler(move |ev| {
+                let detail = ev
+                    .detail
+                    .as_deref()
+                    .map(|d| format!(": {d}"))
+                    .unwrap_or_default();
+                let _ = tx.try_send(Failure::Master {
+                    cause: format!("master: {} died{detail}", ev.actor),
+                });
+            });
+            guard.push(master.clone());
 
-        // Dispatch actors: each node splits its own range uniformly.
-        let mut dispatchers = Vec::with_capacity(n_nodes * cfg.dispatchers_per_node);
-        for node in 0..n_nodes {
-            let range = router.node_range(node, n);
-            let width = (range.end - range.start) as usize;
-            let per = width.div_ceil(cfg.dispatchers_per_node.max(1)).max(1);
-            for d in 0..cfg.dispatchers_per_node {
-                let lo = (range.start as usize + d * per).min(range.end as usize) as u32;
-                let hi = (lo as usize + per).min(range.end as usize) as u32;
-                dispatchers.push(node_systems[node].spawn(DistDispatcher {
-                    node,
-                    program: program.clone(),
-                    graph: node_graphs[node].clone(),
-                    values: node_values[node].clone(),
-                    meta,
-                    interval: lo..hi,
-                    router: router.clone(),
-                    computers: computers.clone(),
-                    coordinator: coordinator.clone(),
-                    traffic: traffic.clone(),
-                    buffers: vec![Vec::new(); computers.len()],
-                    msg_batch: cfg.msg_batch.max(1),
-                    always_dispatch: program.always_dispatch(),
-                    combine: program.combines(),
-                }));
+            let progress = Arc::new(AtomicU64::new(resume_superstep));
+            let (report_tx, report_rx) = crossbeam_channel::bounded::<CoordinatorReport>(1);
+            let coordinator = master.spawn(Coordinator::<P> {
+                value_files: shards.iter().map(|s| s.values.clone()).collect(),
+                termination: cfg.termination,
+                report_tx,
+                dispatchers: Vec::new(),
+                computers: Vec::new(),
+                superstep: resume_superstep,
+                dispatch_col,
+                pending_dispatch: 0,
+                pending_compute: 0,
+                step_started: None,
+                step_activated: 0,
+                step_delta: 0.0,
+                step_messages: 0,
+                durable: cfg.durable,
+                manifest: manifest.clone(),
+                stats: stats.clone(),
+                progress: progress.clone(),
+                epoch: epoch.clone(),
+                my_epoch,
+                #[cfg(feature = "chaos")]
+                fault: cfg.fault_plan.clone(),
+            });
+
+            // Compute actors: global list ordered node-major (the
+            // router's index space).
+            let mut computers = Vec::with_capacity(n_nodes * cfg.computers_per_node);
+            for node in 0..n_nodes {
+                let range = router.node_range(node, n);
+                for slot in 0..cfg.computers_per_node {
+                    let owned: Vec<u32> = if program.always_dispatch() {
+                        range
+                            .clone()
+                            .filter(|&v| {
+                                router.computer_of_vertex(v) % cfg.computers_per_node == slot
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    computers.push(node_systems[node].spawn(DistComputer {
+                        node,
+                        program: program.clone(),
+                        values: shards[node].values.clone(),
+                        meta,
+                        coordinator: coordinator.clone(),
+                        dirty: Vec::new(),
+                        owned,
+                        messages: 0,
+                        epoch: epoch.clone(),
+                        my_epoch,
+                        #[cfg(feature = "chaos")]
+                        fault: cfg.fault_plan.clone(),
+                    }));
+                }
             }
-        }
 
-        coordinator
-            .send(CoordinatorMsg::Wire {
-                dispatchers,
-                computers,
-            })
-            .map_err(|_| std::io::Error::other("coordinator died before wiring"))?;
+            // Dispatch actors: each node splits its own range uniformly.
+            let mut dispatchers = Vec::with_capacity(n_nodes * cfg.dispatchers_per_node);
+            for node in 0..n_nodes {
+                let range = router.node_range(node, n);
+                let width = (range.end - range.start) as usize;
+                let per = width.div_ceil(cfg.dispatchers_per_node.max(1)).max(1);
+                for d in 0..cfg.dispatchers_per_node {
+                    let lo = (range.start as usize + d * per).min(range.end as usize) as u32;
+                    let hi = (lo as usize + per).min(range.end as usize) as u32;
+                    dispatchers.push(node_systems[node].spawn(DistDispatcher {
+                        node,
+                        program: program.clone(),
+                        graph: shards[node].graph.clone(),
+                        values: shards[node].values.clone(),
+                        meta,
+                        interval: lo..hi,
+                        router: router.clone(),
+                        computers: computers.clone(),
+                        coordinator: coordinator.clone(),
+                        traffic: traffic.clone(),
+                        buffers: vec![Vec::new(); computers.len()],
+                        msg_batch: cfg.msg_batch.max(1),
+                        always_dispatch: program.always_dispatch(),
+                        combine: program.combines(),
+                        superstep: resume_superstep,
+                        epoch: epoch.clone(),
+                        my_epoch,
+                        #[cfg(feature = "chaos")]
+                        fault: cfg.fault_plan.clone(),
+                    }));
+                }
+            }
 
-        let report = report_rx
-            .recv_timeout(Duration::from_secs(4 * 3600))
-            .map_err(|_| std::io::Error::other("distributed run did not complete"))?;
-        for sys in &node_systems {
-            sys.shutdown();
-        }
-        master.shutdown();
+            let wired = coordinator
+                .send(CoordinatorMsg::Wire {
+                    dispatchers,
+                    computers,
+                })
+                .is_ok();
+
+            let outcome = if !wired {
+                Outcome::Failed {
+                    dead: None,
+                    cause: "coordinator died before wiring".into(),
+                }
+            } else {
+                let mut last_progress = progress.load(Ordering::Relaxed);
+                let mut last_advance = Instant::now();
+                'wait: loop {
+                    // Checked at loop entry, not just on the idle tick:
+                    // a fast release-mode run can finish inside one tick
+                    // window, and an expired deadline must still win
+                    // over a ready report.
+                    if t0.elapsed() > cfg.run_deadline {
+                        // Workers may be wedged; joining could hang the
+                        // caller past the deadline it just asked us to
+                        // respect.
+                        epoch.fetch_add(1, Ordering::Relaxed);
+                        guard.wedge();
+                        return Err(ClusterError::DeadlineExceeded {
+                            deadline: cfg.run_deadline,
+                            cause: format!(
+                                "{} superstep(s) committed, {} recovery attempt(s) spent",
+                                stats.lock().map(|s| s.steps_run).unwrap_or(0),
+                                retry_causes.len(),
+                            ),
+                        });
+                    }
+                    crossbeam_channel::select! {
+                        recv(report_rx) -> r => match r {
+                            Ok(CoordinatorReport { final_dispatch_col }) => {
+                                break 'wait Outcome::Done(final_dispatch_col)
+                            }
+                            Err(_) => {
+                                // A dying coordinator drops its report
+                                // channel a hair before its FailureEvent
+                                // lands; give the escalation a beat and
+                                // prefer its richer cause.
+                                break 'wait match failure_rx
+                                    .recv_timeout(Duration::from_millis(200))
+                                {
+                                    Ok(f) => {
+                                        let (dead, cause) = f.split();
+                                        Outcome::Failed { dead, cause }
+                                    }
+                                    Err(_) => Outcome::Failed {
+                                        dead: None,
+                                        cause: "coordinator terminated without reporting".into(),
+                                    },
+                                };
+                            }
+                        },
+                        recv(failure_rx) -> f => break 'wait match f {
+                            Ok(f) => {
+                                let (dead, cause) = Failure::split(f);
+                                Outcome::Failed { dead, cause }
+                            }
+                            Err(_) => Outcome::Failed {
+                                dead: None,
+                                cause: "failure channel closed".into(),
+                            },
+                        },
+                        default(Duration::from_millis(20)) => {
+                            if let Some(deadline) = cfg.superstep_deadline {
+                                let p = progress.load(Ordering::Relaxed);
+                                if p != last_progress {
+                                    last_progress = p;
+                                    last_advance = Instant::now();
+                                } else if last_advance.elapsed() >= deadline {
+                                    break 'wait Outcome::Wedged(format!(
+                                        "watchdog: no superstep progress within {deadline:?}",
+                                    ));
+                                }
+                            }
+                        },
+                    }
+                }
+            };
+
+            let (dead, cause) = match outcome {
+                Outcome::Done(col) => {
+                    drop(guard); // joined shutdown of every node + master
+                    break 'attempts col;
+                }
+                Outcome::Failed { dead, cause } => {
+                    // The dead actor's thread already unwound and the
+                    // rest of the fleet is responsive: a joining
+                    // shutdown is safe and leaves no thread touching the
+                    // shards.
+                    drop(guard);
+                    epoch.fetch_add(1, Ordering::Relaxed);
+                    (dead, cause)
+                }
+                Outcome::Wedged(cause) => {
+                    // Fence zombies *before* signalling: a worker stuck
+                    // in a long stall re-checks the epoch when it wakes
+                    // and stands down instead of mutating shards the
+                    // resumed fleet owns.
+                    epoch.fetch_add(1, Ordering::Relaxed);
+                    guard.wedge();
+                    drop(guard);
+                    (None, cause)
+                }
+            };
+
+            retry_causes.push(cause);
+            if retry_causes.len() as u32 > cfg.max_node_retries {
+                return Err(ClusterError::RetriesExhausted(retry_causes));
+            }
+            // Exponential backoff: 10ms, 20ms, ... capped at 640ms. Also
+            // grace for in-flight zombie handlers to drain.
+            let shift = (retry_causes.len() as u32 - 1).min(6);
+            std::thread::sleep(Duration::from_millis(10u64 << shift));
+
+            // Roll the whole cluster back to the last manifest barrier,
+            // restarting the dead node (fresh mappings from disk) if one
+            // crashed.
+            let point = rollback_cluster(&mut shards, &manifest_path, dead)?;
+            #[cfg(feature = "chaos")]
+            for shard in &shards {
+                shard.values.set_fault_plan(cfg.fault_plan.clone());
+            }
+            node_restarts += point.reopened;
+            supersteps_rolled_back += progress
+                .load(Ordering::Relaxed)
+                .saturating_sub(point.resume);
+            resume_superstep = point.resume;
+            dispatch_col = point.dispatch_col;
+        };
 
         // Stitch the shards into one global value vector.
-        let fresh = report.final_dispatch_col;
+        let fresh = final_col;
         let old = 1 - fresh;
         let mut values = Vec::with_capacity(n);
-        for vf in node_values.iter().take(n_nodes) {
+        for shard in &shards {
+            let vf = &shard.values;
             for v in vf.range() {
                 let f_bits = vf.load(fresh, v);
                 let f_val = P::Value::from_bits(clear_flag(f_bits));
@@ -256,14 +619,22 @@ impl Cluster {
             }
         }
 
+        let stats = {
+            let mut s = stats.lock().expect("stats lock poisoned");
+            std::mem::take(&mut *s)
+        };
         Ok(DistReport {
             values,
-            supersteps: report.supersteps,
-            step_times: report.step_times,
-            activated: report.activated,
-            deltas: report.deltas,
-            messages: report.messages,
+            supersteps: stats.steps_run,
+            step_times: stats.step_times,
+            commit_times: stats.commit_times,
+            activated: stats.activated,
+            deltas: stats.deltas,
+            messages: stats.messages,
             traffic,
+            node_restarts,
+            supersteps_rolled_back,
+            retry_causes,
         })
     }
 }

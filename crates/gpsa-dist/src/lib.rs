@@ -26,12 +26,35 @@
 //! the simulation's outputs are correctness (distributed == single-node
 //! results, tested) and the communication-volume consequences of
 //! partitioning, not wire latency.
+//!
+//! # Fault tolerance
+//!
+//! Distributed runs survive node and actor failure at superstep
+//! granularity. Every global barrier is a **cluster commit**: each
+//! node's dual-slot [`gpsa::ValueFile`] commit, then one CRC'd record
+//! appended to a cluster manifest (`cluster.gman`) naming the barrier
+//! and every node's commit sequence. Because node commits strictly
+//! precede the manifest append, recovery knows each shard is at most one
+//! superstep ahead of the manifest — exactly the distance
+//! [`gpsa::ValueFile::rollback_to`] can step back (the paper's
+//! "dispatch column is a free checkpoint" observation, §IV-G, applied
+//! cluster-wide). On a node crash, actor panic, or watchdog stall, the
+//! run tears the fleet down, reopens the dead node's on-disk state,
+//! rolls every shard back to the last manifest barrier, and resumes with
+//! bounded exponential backoff — reported honestly in
+//! [`DistReport::node_restarts`], [`DistReport::supersteps_rolled_back`]
+//! and [`DistReport::retry_causes`]. The `chaos` feature adds scripted
+//! distributed faults (node kills, mid-fold panics, dropped/delayed
+//! inter-node batches, torn manifest tails) to drive all of this under
+//! test.
 
 mod actors;
 mod cluster;
+mod manifest;
+mod recovery;
 mod traffic;
 
-pub use cluster::{Cluster, ClusterConfig, DistReport};
+pub use cluster::{Cluster, ClusterConfig, ClusterError, DistReport};
 pub use traffic::{
     replay_against_server, synthetic_jobs, ReplayConfig, ReplayJob, ReplayReport, TrafficMatrix,
 };

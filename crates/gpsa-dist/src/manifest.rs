@@ -1,0 +1,261 @@
+//! The cluster barrier manifest: the cross-node commit authority.
+//!
+//! Each node's [`gpsa::ValueFile`] dual-slot header records what *that
+//! shard* committed — but after a node failure the cluster needs one
+//! answer to "which barrier did **every** node complete?". The manifest
+//! is that answer: a tiny append-only file the coordinator extends once
+//! per global barrier, *after* all per-node commits succeed, with a
+//! fixed-size CRC'd record
+//!
+//! ```text
+//! [superstep u64][next_dispatch_col u32][seq u64 × n_nodes][crc32 u32]
+//! ```
+//!
+//! The per-node `seq` copies let recovery verify each shard actually
+//! holds a commit at least as new as the barrier it is rolled back to
+//! (a shard *behind* the manifest would mean the manifest lied — a bug,
+//! reported as a typed error, never silently recomputed).
+//!
+//! Ordering gives the recovery invariant: node commits happen before the
+//! manifest append, so when the manifest says barrier `m`, every shard
+//! has committed `m` or `m + 1` — and one superstep is exactly how far
+//! [`gpsa::ValueFile::rollback_to`] can step back. A torn tail (crash
+//! mid-append) is detected by the CRC scan and truncated away by
+//! [`ClusterManifest::repair`], the same discipline as the serve layer's
+//! job journal.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use gpsa::crc32;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"GMAN");
+const VERSION: u32 = 1;
+/// Fixed header: magic, version, n_nodes, reserved.
+const HEADER_LEN: usize = 16;
+
+/// One committed cluster barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BarrierRecord {
+    /// The superstep every node committed.
+    pub superstep: u64,
+    /// Column the *next* superstep dispatches from.
+    pub next_dispatch_col: u32,
+    /// Each node's value-file commit sequence at this barrier.
+    pub node_seqs: Vec<u64>,
+}
+
+impl BarrierRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 8 * self.node_seqs.len());
+        buf.extend_from_slice(&self.superstep.to_le_bytes());
+        buf.extend_from_slice(&self.next_dispatch_col.to_le_bytes());
+        for &s in &self.node_seqs {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    fn decode(bytes: &[u8], n_nodes: usize) -> Option<BarrierRecord> {
+        let body = 12 + 8 * n_nodes;
+        if bytes.len() != body + 4 {
+            return None;
+        }
+        let stored = u32::from_le_bytes(bytes[body..].try_into().unwrap());
+        if crc32(&bytes[..body]) != stored {
+            return None;
+        }
+        let superstep = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let next_dispatch_col = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if next_dispatch_col > 1 {
+            return None;
+        }
+        let node_seqs = (0..n_nodes)
+            .map(|i| u64::from_le_bytes(bytes[12 + 8 * i..20 + 8 * i].try_into().unwrap()))
+            .collect();
+        Some(BarrierRecord {
+            superstep,
+            next_dispatch_col,
+            node_seqs,
+        })
+    }
+}
+
+/// Append-side handle held by the coordinator (one per cluster run).
+#[derive(Debug)]
+pub(crate) struct ClusterManifest {
+    file: Mutex<File>,
+    n_nodes: usize,
+}
+
+impl ClusterManifest {
+    fn record_len(n_nodes: usize) -> usize {
+        16 + 8 * n_nodes
+    }
+
+    /// Create (truncating) a manifest for an `n_nodes` cluster.
+    pub fn create(path: &Path, n_nodes: usize) -> std::io::Result<ClusterManifest> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(n_nodes as u32).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(ClusterManifest {
+            file: Mutex::new(file),
+            n_nodes,
+        })
+    }
+
+    /// Append one barrier record; with `durable` it is fdatasync'd. Call
+    /// only after every node's value-file commit for this barrier
+    /// succeeded — the ordering is the recovery invariant.
+    pub fn append(&self, rec: &BarrierRecord, durable: bool) -> std::io::Result<()> {
+        debug_assert_eq!(rec.node_seqs.len(), self.n_nodes);
+        let mut f = self.file.lock().expect("manifest lock poisoned");
+        f.seek(SeekFrom::End(0))?;
+        f.write_all(&rec.encode())?;
+        if durable {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Chaos hook: write only the front half of the record — the torn
+    /// tail a crash mid-append leaves behind.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn append_torn(&self, rec: &BarrierRecord) {
+        let bytes = rec.encode();
+        if let Ok(mut f) = self.file.lock() {
+            let _ = f.seek(SeekFrom::End(0));
+            let _ = f.write_all(&bytes[..bytes.len() / 2]);
+            let _ = f.sync_data();
+        }
+    }
+
+    /// Scan the manifest at `path`, truncate any torn tail in place, and
+    /// return the last valid barrier (`None` if no barrier ever
+    /// committed). Safe to run concurrently with an open append handle:
+    /// appends seek to the (now shorter) end.
+    pub fn repair(path: &Path) -> std::io::Result<Option<BarrierRecord>> {
+        let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        if bytes.len() < HEADER_LEN {
+            return Err(bad("cluster manifest shorter than its header"));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let n_nodes = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if magic != MAGIC {
+            return Err(bad("not a GMAN cluster manifest"));
+        }
+        if version != VERSION {
+            return Err(bad("unsupported cluster manifest version"));
+        }
+        let rec_len = Self::record_len(n_nodes);
+        let mut at = HEADER_LEN;
+        let mut last = None;
+        while at + rec_len <= bytes.len() {
+            match BarrierRecord::decode(&bytes[at..at + rec_len], n_nodes) {
+                Some(r) => {
+                    last = Some(r);
+                    at += rec_len;
+                }
+                None => break,
+            }
+        }
+        if at < bytes.len() {
+            f.set_len(at as u64)?;
+            f.sync_data()?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpsa-gman-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn rec(superstep: u64, col: u32, seqs: &[u64]) -> BarrierRecord {
+        BarrierRecord {
+            superstep,
+            next_dispatch_col: col,
+            node_seqs: seqs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn append_then_repair_roundtrips_the_last_barrier() {
+        let path = tmp("roundtrip.gman");
+        let m = ClusterManifest::create(&path, 3).unwrap();
+        assert_eq!(ClusterManifest::repair(&path).unwrap(), None);
+        m.append(&rec(0, 1, &[2, 2, 2]), true).unwrap();
+        m.append(&rec(1, 0, &[3, 3, 3]), false).unwrap();
+        let last = ClusterManifest::repair(&path).unwrap().unwrap();
+        assert_eq!(last, rec(1, 0, &[3, 3, 3]));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let path = tmp("torn.gman");
+        let m = ClusterManifest::create(&path, 2).unwrap();
+        m.append(&rec(0, 1, &[2, 2]), false).unwrap();
+        m.append_torn(&rec(1, 0, &[3, 3]));
+        let len_torn = std::fs::metadata(&path).unwrap().len();
+        // Repair drops the torn record, keeps barrier 0.
+        let last = ClusterManifest::repair(&path).unwrap().unwrap();
+        assert_eq!(last.superstep, 0);
+        assert!(std::fs::metadata(&path).unwrap().len() < len_torn);
+        // The original handle keeps appending at the repaired end; the
+        // record framing stays aligned.
+        m.append(&rec(1, 0, &[4, 4]), false).unwrap();
+        let last = ClusterManifest::repair(&path).unwrap().unwrap();
+        assert_eq!(last, rec(1, 0, &[4, 4]));
+    }
+
+    #[test]
+    fn bitflip_invalidates_a_record() {
+        let path = tmp("flip.gman");
+        let m = ClusterManifest::create(&path, 1).unwrap();
+        m.append(&rec(0, 1, &[2]), false).unwrap();
+        m.append(&rec(1, 0, &[3]), false).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's seq field.
+        let at = HEADER_LEN + ClusterManifest::record_len(1) + 13;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // The scan stops at the corrupt record; barrier 0 survives.
+        let last = ClusterManifest::repair(&path).unwrap().unwrap();
+        assert_eq!(last.superstep, 0);
+    }
+
+    #[test]
+    fn bad_header_is_a_typed_error() {
+        let path = tmp("badhdr.gman");
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(ClusterManifest::repair(&path).is_err());
+        let path2 = tmp("badmagic.gman");
+        std::fs::write(&path2, vec![0u8; HEADER_LEN]).unwrap();
+        assert!(ClusterManifest::repair(&path2).is_err());
+    }
+}
