@@ -36,6 +36,9 @@ USAGE:
                   [--priority normal|high] [--deadline-ms N] [--top N]
                   [--key K (idempotency key; safe resubmission)]
                   [--no-retry (fail fast instead of backing off)]
+  gpsa mutate     --addr <host:port> --graph <id>
+                  [--add \"u:v,u:v,...\"] [--remove \"u:v,u:v,...\"]
+                  [--compact (fold the delta log into a fresh CSR epoch)]
   gpsa help
 ";
 
@@ -48,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("run") => run(&argv[1..]),
         Some("serve") => serve(&argv[1..]),
         Some("submit") => submit(&argv[1..]),
+        Some("mutate") => mutate(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -408,6 +412,63 @@ fn submit(argv: &[String]) -> Result<(), String> {
         s.cache_hits + s.cache_misses
     );
     Ok(())
+}
+
+/// Mutate a resident graph on a running server: append edge additions
+/// and removals to its delta log, and optionally compact the log into a
+/// fresh CSR epoch.
+fn mutate(argv: &[String]) -> Result<(), String> {
+    use gpsa_serve::Client;
+
+    let args = Args::parse(argv, &["compact"])?;
+    let addr = args.require("addr")?;
+    let graph_id = args.require("graph")?.to_string();
+    let adds = parse_edge_pairs(args.get("add").unwrap_or(""))?;
+    let removes = parse_edge_pairs(args.get("remove").unwrap_or(""))?;
+    if adds.is_empty() && removes.is_empty() && !args.flag("compact") {
+        return Err("nothing to do: give --add, --remove, or --compact".to_string());
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let print_info = |verb: &str, info: &gpsa_serve::GraphInfo| {
+        println!(
+            "{verb} {:?}: {} vertices, {} edges (epoch {}, delta seq {})",
+            info.graph_id, info.n_vertices, info.n_edges, info.epoch, info.delta_seq
+        );
+    };
+    if !adds.is_empty() {
+        let info = client
+            .add_edges(&graph_id, &adds)
+            .map_err(|e| e.to_string())?;
+        print_info(&format!("added {} edge(s) to", adds.len()), &info);
+    }
+    if !removes.is_empty() {
+        let info = client
+            .remove_edges(&graph_id, &removes)
+            .map_err(|e| e.to_string())?;
+        print_info(&format!("removed {} edge(s) from", removes.len()), &info);
+    }
+    if args.flag("compact") {
+        let info = client.compact(&graph_id).map_err(|e| e.to_string())?;
+        print_info("compacted", &info);
+    }
+    Ok(())
+}
+
+/// Parse a `u:v,u:v,...` list into edge pairs (empty input is fine).
+fn parse_edge_pairs(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    spec.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|pair| {
+            let (src, dst) = pair
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("edge {pair:?} is not src:dst"))?;
+            let src = src.parse().map_err(|_| format!("bad vertex in {pair:?}"))?;
+            let dst = dst.parse().map_err(|_| format!("bad vertex in {pair:?}"))?;
+            Ok((src, dst))
+        })
+        .collect()
 }
 
 /// Run on one of the non-default engines by bridging the CSR back to an

@@ -48,7 +48,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use actor::{Actor, Addr, Ctx};
-use gpsa_graph::{DiskCsr, VertexId};
+use gpsa_graph::{GraphSnapshot, VertexId};
 use gpsa_mmap::Advice;
 
 use crate::computer::{ComputeCmd, Computer};
@@ -91,7 +91,10 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// Index of this dispatcher (stable; used for per-actor statistics).
     pub id: usize,
     pub program: Arc<P>,
-    pub graph: Arc<DiskCsr>,
+    /// The merged live-graph view: the immutable CSR plus any delta
+    /// overlay, so every dispatch mode sees mutations without
+    /// re-preprocessing.
+    pub graph: Arc<GraphSnapshot>,
     pub values: Arc<ValueFile>,
     pub meta: GraphMeta,
     pub assignment: DispatchAssignment,

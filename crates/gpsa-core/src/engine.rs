@@ -22,7 +22,7 @@ use crate::slab::{MsgSlabPool, OverlapStats};
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::VertexValue;
-use gpsa_graph::{DiskCsr, EdgeList};
+use gpsa_graph::{DiskCsr, EdgeList, GraphSnapshot};
 
 /// Errors surfaced by [`Engine::run`].
 #[derive(Debug)]
@@ -141,6 +141,87 @@ impl Engine {
         self.run_shared(&graph, &vf_path, program)
     }
 
+    /// Run `program` over a merged live-graph snapshot (CSR ⊕ delta
+    /// overlay). This is what [`Engine::run_shared`] wraps; callers that
+    /// already hold a [`GraphSnapshot`] (the serving layer, live-graph
+    /// benches) come here directly so mutated graphs run without
+    /// re-preprocessing.
+    pub fn run_snapshot<P: VertexProgram>(
+        &self,
+        graph: &Arc<GraphSnapshot>,
+        value_file: &Path,
+        program: P,
+    ) -> Result<RunReport<P::Value>, EngineError> {
+        self.run_inner(graph, value_file, program, None)
+    }
+
+    /// Incrementally re-converge `program` on a mutated snapshot from the
+    /// `prior` committed values of a run on the pre-mutation graph,
+    /// instead of recomputing from scratch.
+    ///
+    /// The initial frontier is seeded from the delta: every source of an
+    /// added edge that holds a non-initial prior value re-dispatches its
+    /// value, and convergence propagates from there. This is sound only
+    /// for monotone frontier-driven programs (BFS / CC / SSSP — values
+    /// only improve as edges are added), so it rejects
+    /// `always_dispatch` programs (PageRank) and snapshots whose delta
+    /// contains removals — both need a full recompute. `prior` must come
+    /// from the same program on the same graph id (its length may be
+    /// smaller than the snapshot's vertex count when the delta grew the
+    /// graph; new vertices fall back to [`VertexProgram::init`]).
+    ///
+    /// The run's [`RunReport::seeded_frontier`] counts the seeds; the
+    /// correctness oracle is a full [`Engine::run_snapshot`] on the same
+    /// snapshot, which must produce bit-identical values.
+    pub fn run_incremental<P: VertexProgram>(
+        &self,
+        graph: &Arc<GraphSnapshot>,
+        value_file: &Path,
+        program: P,
+        prior: &[P::Value],
+    ) -> Result<RunReport<P::Value>, EngineError> {
+        if program.always_dispatch() {
+            return Err(EngineError::Config(
+                "incremental recompute needs a frontier-driven program; \
+                 always-dispatch programs (PageRank) must recompute in full"
+                    .into(),
+            ));
+        }
+        if graph.overlay().has_removals() {
+            return Err(EngineError::Config(
+                "incremental recompute is additions-only; a delta with \
+                 removals needs a full recompute (or compaction first)"
+                    .into(),
+            ));
+        }
+        if prior.len() > graph.n_vertices() {
+            return Err(EngineError::Config(format!(
+                "prior values cover {} vertices but the snapshot has {}",
+                prior.len(),
+                graph.n_vertices()
+            )));
+        }
+        let meta = GraphMeta {
+            n_vertices: graph.n_vertices() as u64,
+            n_edges: graph.n_edges() as u64,
+        };
+        // Seed the sources of effectively-added edges. A source still at
+        // its inactive initial value (e.g. BFS-unreached) has nothing to
+        // re-send — if the delta later reaches it, the normal update
+        // path re-activates it with its whole merged edge list.
+        let mut seeds = std::collections::HashSet::new();
+        graph.overlay().for_each_added(|src, _dst| {
+            if (src as usize) < prior.len() && !seeds.contains(&src) {
+                let (init_val, init_active) = program.init(src, &meta);
+                let untouched = prior[src as usize].to_bits() == init_val.to_bits() && !init_active;
+                if !untouched {
+                    seeds.insert(src);
+                }
+            }
+        });
+        self.run_inner(graph, value_file, program, Some((prior, seeds)))
+    }
+
     /// Run `program` over an **already-opened, shared** graph, writing the
     /// per-run state to an explicit value-file path.
     ///
@@ -157,6 +238,23 @@ impl Engine {
         graph: &Arc<DiskCsr>,
         value_file: &Path,
         program: P,
+    ) -> Result<RunReport<P::Value>, EngineError> {
+        let snapshot = Arc::new(GraphSnapshot::from_csr(graph.clone()));
+        self.run_inner(&snapshot, value_file, program, None)
+    }
+
+    /// The shared run body behind [`run_snapshot`](Self::run_snapshot),
+    /// [`run_shared`](Self::run_shared) and
+    /// [`run_incremental`](Self::run_incremental). When `incremental` is
+    /// set, the value file is created from the prior values with the seed
+    /// set as the initial frontier (resume is bypassed — an incremental
+    /// run is its own fresh state).
+    fn run_inner<P: VertexProgram>(
+        &self,
+        graph: &Arc<GraphSnapshot>,
+        value_file: &Path,
+        program: P,
+        incremental: Option<(&[P::Value], std::collections::HashSet<u32>)>,
     ) -> Result<RunReport<P::Value>, EngineError> {
         let t0 = Instant::now();
         if let Termination::Supersteps(0) = self.config.termination {
@@ -184,25 +282,38 @@ impl Engine {
         let program = Arc::new(program);
 
         // Create or recover the value file.
-        let (values, resume_superstep, dispatch_col) = if self.config.resume && value_file.exists()
-        {
-            let vf = ValueFile::open(value_file)?;
-            if vf.n_vertices() != graph.n_vertices() {
-                return Err(EngineError::Config(format!(
-                    "value file has {} vertices, graph has {}",
-                    vf.n_vertices(),
-                    graph.n_vertices()
-                )));
-            }
-            let resume = vf.recover();
-            let col = vf.header().next_dispatch_col;
-            (Arc::new(vf), resume, col)
-        } else {
-            let p = program.clone();
-            let m = meta;
-            let vf = ValueFile::create(value_file, graph.n_vertices(), |v| p.init(v, &m))?;
-            (Arc::new(vf), 0, 0)
-        };
+        let (values, resume_superstep, dispatch_col) =
+            if incremental.is_none() && self.config.resume && value_file.exists() {
+                let vf = ValueFile::open(value_file)?;
+                if vf.n_vertices() != graph.n_vertices() {
+                    return Err(EngineError::Config(format!(
+                        "value file has {} vertices, graph has {}",
+                        vf.n_vertices(),
+                        graph.n_vertices()
+                    )));
+                }
+                let resume = vf.recover();
+                let col = vf.header().next_dispatch_col;
+                (Arc::new(vf), resume, col)
+            } else {
+                let p = program.clone();
+                let m = meta;
+                let vf = match &incremental {
+                    Some((prior, seeds)) => {
+                        // Warm start: carry the prior run's committed values
+                        // and wake only the delta's seed vertices.
+                        ValueFile::create(value_file, graph.n_vertices(), |v| {
+                            if (v as usize) < prior.len() {
+                                (prior[v as usize], seeds.contains(&v))
+                            } else {
+                                p.init(v, &m)
+                            }
+                        })?
+                    }
+                    None => ValueFile::create(value_file, graph.n_vertices(), |v| p.init(v, &m))?,
+                };
+                (Arc::new(vf), 0, 0)
+            };
 
         // Routing and vertex ownership are attempt-invariant.
         let router: Arc<dyn Router> = match self.config.router {
@@ -494,6 +605,10 @@ impl Engine {
             edge_bytes_streamed: report.edge_bytes_streamed,
             edges_skipped: report.edges_skipped,
             frontier_density: report.frontier_density,
+            seeded_frontier: incremental
+                .as_ref()
+                .map(|(_, seeds)| seeds.len() as u64)
+                .unwrap_or(0),
             pool_hits: pool.hits(),
             pool_misses: pool.misses(),
             first_batch: report.first_batch,

@@ -10,7 +10,7 @@
 
 use std::ops::Range;
 
-use gpsa_graph::{DiskCsr, VertexId};
+use gpsa_graph::{GraphSnapshot, VertexId};
 
 /// The set of vertices one dispatch actor owns.
 ///
@@ -164,8 +164,9 @@ pub fn uniform_intervals(n_vertices: usize, k: usize) -> Vec<Range<VertexId>> {
 /// Split vertices into `k` contiguous intervals balanced by **edge count**
 /// (the paper's "assign vertices to the dispatcher worker by the average
 /// edges to ensure that every dispatcher worker sends exactly the same
-/// number of messages").
-pub fn edge_balanced_intervals(csr: &DiskCsr, k: usize) -> Vec<Range<VertexId>> {
+/// number of messages"). Takes the merged live-graph view so a delta
+/// overlay's added/removed edges count toward the balance.
+pub fn edge_balanced_intervals(csr: &GraphSnapshot, k: usize) -> Vec<Range<VertexId>> {
     assert!(k > 0);
     let n = csr.n_vertices();
     let total = csr.n_edges() as u64;
@@ -238,13 +239,14 @@ mod tests {
     }
     use gpsa_graph::{generate, preprocess, DiskCsr};
     use std::path::PathBuf;
+    use std::sync::Arc;
 
-    fn materialize(name: &str, el: gpsa_graph::EdgeList) -> DiskCsr {
+    fn materialize(name: &str, el: gpsa_graph::EdgeList) -> GraphSnapshot {
         let dir = std::env::temp_dir().join(format!("gpsa-part-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path: PathBuf = dir.join(name);
         preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
-        DiskCsr::open(&path).unwrap()
+        GraphSnapshot::from_csr(Arc::new(DiskCsr::open(&path).unwrap()))
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct RunReport<V> {
     /// Per superstep: `active vertices / total vertices` at dispatch time
     /// — the frontier density the sparse/dense decision was made from.
     pub frontier_density: Vec<f64>,
+    /// Vertices seeded into the initial frontier by an incremental run
+    /// (`Engine::run_incremental`): the sources of the delta's added
+    /// edges that had a committed prior value to re-send. 0 for full
+    /// runs.
+    pub seeded_frontier: u64,
     /// Message-slab pool acquisitions served from the free-list (recycled
     /// buffers) over the whole run.
     pub pool_hits: u64,
@@ -142,6 +147,7 @@ mod tests {
             edge_bytes_streamed: 160,
             edges_skipped: 8,
             frontier_density: vec![0.5, 0.1],
+            seeded_frontier: 0,
             pool_hits: 9,
             pool_misses: 3,
             first_batch: vec![Some(Duration::from_millis(1)), None],

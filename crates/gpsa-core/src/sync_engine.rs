@@ -156,6 +156,7 @@ impl SyncEngine {
             edge_bytes_streamed: 0,
             edges_skipped: 0,
             frontier_density: densities,
+            seeded_frontier: 0,
             // No actor pipeline: no slab pool, no batch timing.
             pool_hits: 0,
             pool_misses: 0,

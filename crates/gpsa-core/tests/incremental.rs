@@ -1,0 +1,176 @@
+//! Incremental recompute (`Engine::run_incremental`) vs the full-recompute
+//! oracle: re-converging BFS / CC / SSSP from a prior run's values after an
+//! additions-only delta must land on values bit-identical to a scratch
+//! `run_snapshot` over the same merged snapshot.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank, Sssp};
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_graph::{generate, preprocess, DeltaBatch, DeltaOverlay, DiskCsr, Edge, GraphSnapshot};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gpsa-incr-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn engine(dir: &PathBuf) -> Engine {
+    let mut cfg = EngineConfig::small(dir).with_actors(2, 2);
+    cfg.termination = Termination::Quiescence {
+        max_supersteps: 10_000,
+    };
+    Engine::new(cfg)
+}
+
+/// Base graph + a mutated snapshot: ~1% added edges, including edges out
+/// of likely-unreached vertices, a chain of additions (reachable only
+/// through each other), and a brand-new vertex past the base id range.
+fn base_and_mutated(dir: &PathBuf) -> (Arc<GraphSnapshot>, Arc<GraphSnapshot>) {
+    let csr = dir.join("g.gcsr");
+    preprocess::edges_to_csr(
+        generate::erdos_renyi(600, 3000, 42),
+        &csr,
+        &preprocess::PreprocessOptions::default(),
+    )
+    .unwrap();
+    let base = Arc::new(DiskCsr::open(&csr).unwrap());
+    let frozen = Arc::new(GraphSnapshot::from_csr(base.clone()));
+
+    let mut added = Vec::new();
+    for i in 0..20u32 {
+        added.push(Edge::new((i * 13) % 600, (i * 37 + 5) % 600));
+    }
+    // Chain through otherwise-dark territory: 7 → 601 → 602 → 3. The new
+    // vertex 602 only becomes reachable via another added edge, so its
+    // outgoing added edge must be discovered by propagation, not seeding.
+    added.push(Edge::new(7, 601));
+    added.push(Edge::new(601, 602));
+    added.push(Edge::new(602, 3));
+    let mut overlay = DeltaOverlay::new();
+    overlay.apply(&base, &DeltaBatch::Add(added));
+    let mutated = Arc::new(GraphSnapshot::new(base, Arc::new(overlay)));
+    (frozen, mutated)
+}
+
+#[test]
+fn incremental_bfs_matches_full_recompute() {
+    let dir = test_dir("bfs");
+    let (frozen, mutated) = base_and_mutated(&dir);
+    let eng = engine(&dir);
+    let prior = eng
+        .run_snapshot(&frozen, &dir.join("prior.gval"), Bfs { root: 0 })
+        .unwrap();
+    assert_eq!(prior.seeded_frontier, 0, "full runs seed nothing");
+    let incr = eng
+        .run_incremental(
+            &mutated,
+            &dir.join("incr.gval"),
+            Bfs { root: 0 },
+            &prior.values,
+        )
+        .unwrap();
+    let full = eng
+        .run_snapshot(&mutated, &dir.join("full.gval"), Bfs { root: 0 })
+        .unwrap();
+    assert!(
+        incr.seeded_frontier > 0,
+        "delta sources must seed the frontier"
+    );
+    assert_eq!(incr.values, full.values);
+    // The chain vertices exist and were reached through the delta.
+    assert_eq!(full.values.len(), 603);
+    assert!(full.values[602] < gpsa::programs::UNREACHED);
+}
+
+#[test]
+fn incremental_cc_matches_full_recompute() {
+    let dir = test_dir("cc");
+    let (frozen, mutated) = base_and_mutated(&dir);
+    let eng = engine(&dir);
+    let prior = eng
+        .run_snapshot(&frozen, &dir.join("prior.gval"), ConnectedComponents)
+        .unwrap();
+    let incr = eng
+        .run_incremental(
+            &mutated,
+            &dir.join("incr.gval"),
+            ConnectedComponents,
+            &prior.values,
+        )
+        .unwrap();
+    let full = eng
+        .run_snapshot(&mutated, &dir.join("full.gval"), ConnectedComponents)
+        .unwrap();
+    assert!(incr.seeded_frontier > 0);
+    assert_eq!(incr.values, full.values);
+}
+
+#[test]
+fn incremental_sssp_matches_full_recompute() {
+    let dir = test_dir("sssp");
+    let (frozen, mutated) = base_and_mutated(&dir);
+    let eng = engine(&dir);
+    let prior = eng
+        .run_snapshot(&frozen, &dir.join("prior.gval"), Sssp { root: 0 })
+        .unwrap();
+    let incr = eng
+        .run_incremental(
+            &mutated,
+            &dir.join("incr.gval"),
+            Sssp { root: 0 },
+            &prior.values,
+        )
+        .unwrap();
+    let full = eng
+        .run_snapshot(&mutated, &dir.join("full.gval"), Sssp { root: 0 })
+        .unwrap();
+    assert!(incr.seeded_frontier > 0);
+    assert_eq!(incr.values, full.values);
+}
+
+#[test]
+fn incremental_rejects_always_dispatch_removals_and_bad_prior() {
+    let dir = test_dir("reject");
+    let (frozen, mutated) = base_and_mutated(&dir);
+    let eng = engine(&dir);
+    let prior = eng
+        .run_snapshot(&frozen, &dir.join("prior.gval"), Bfs { root: 0 })
+        .unwrap();
+
+    // PageRank re-dispatches every vertex every superstep; warm-starting
+    // it from a seed set is unsound, so it must be refused.
+    let pr_prior = vec![0.1f32; frozen.n_vertices()];
+    let e = eng
+        .run_incremental(
+            &mutated,
+            &dir.join("pr.gval"),
+            PageRank { damping: 0.85 },
+            &pr_prior,
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("always-dispatch"), "{e}");
+
+    // A delta containing removals invalidates monotone warm starts.
+    let mut overlay = DeltaOverlay::new();
+    overlay.apply(frozen.base(), &DeltaBatch::Remove(vec![Edge::new(0, 1)]));
+    let removed = Arc::new(GraphSnapshot::new(frozen.base().clone(), Arc::new(overlay)));
+    let e = eng
+        .run_incremental(
+            &removed,
+            &dir.join("rm.gval"),
+            Bfs { root: 0 },
+            &prior.values,
+        )
+        .unwrap_err();
+    assert!(e.to_string().contains("additions-only"), "{e}");
+
+    // Prior values from a *larger* graph cannot be mapped onto this one.
+    let too_long = vec![0u32; mutated.n_vertices() + 1];
+    let e = eng
+        .run_incremental(&mutated, &dir.join("long.gval"), Bfs { root: 0 }, &too_long)
+        .unwrap_err();
+    assert!(e.to_string().contains("prior values cover"), "{e}");
+}

@@ -19,18 +19,28 @@
 //! * [`generate`] — synthetic graphs (R-MAT, Erdős–Rényi, chains, stars,
 //!   grids) used in place of the paper's SNAP datasets,
 //! * [`datasets`] — scaled stand-ins for the paper's four graphs
-//!   (google, soc-pokec, soc-LiveJournal, twitter-2010).
+//!   (google, soc-pokec, soc-LiveJournal, twitter-2010),
+//! * [`delta`] — live graphs: the append-only edge-delta log, the merged
+//!   [`GraphSnapshot`] view, and compaction back into a fresh CSR,
+//! * [`framed`] — the CRC32-framed append-only line-log helper shared by
+//!   the delta log and the serving layer's job journal.
 
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod disk_csr;
 pub mod edgelist;
+pub mod framed;
 pub mod generate;
 pub mod preprocess;
 mod types;
 pub mod varint;
 
 pub use csr::Csr;
+pub use delta::{
+    delta_path, open_live, DeltaBatch, DeltaLog, DeltaOverlay, GraphSnapshot, SnapshotCursor,
+    SnapshotSeekCursor,
+};
 pub use disk_csr::{
     CsrFormatError, DiskCsr, DiskCsrWriter, EdgeCursor, SeekCursor, VertexEdges, VERSION_V1,
     VERSION_V2,

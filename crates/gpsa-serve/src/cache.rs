@@ -1,11 +1,13 @@
 //! The result cache: identical queries against an unchanged graph are
 //! answered without running a single superstep.
 //!
-//! Keys are `(graph_id, algorithm, canonical params, graph_epoch)`. The
-//! epoch component makes invalidation structural: re-registering a graph
-//! bumps its epoch, so every old entry simply stops matching (and
-//! [`ResultCache::purge_graph`] reclaims the memory eagerly). Eviction is
-//! least-recently-used over a fixed entry capacity.
+//! Keys are `(graph_id, algorithm, canonical params, graph_epoch,
+//! delta_seq)`. The version components make invalidation structural:
+//! re-registering a graph with changed bytes (or compacting it) bumps its
+//! epoch, and every live mutation advances its delta seq — so every old
+//! entry simply stops matching (and [`ResultCache::purge_graph`] reclaims
+//! the memory eagerly). Eviction is least-recently-used over a fixed
+//! entry capacity.
 //!
 //! With a spill directory attached, the cache also survives restarts:
 //! every insert writes the entry to one JSON file (tmp + rename, named by
@@ -35,6 +37,9 @@ pub struct CacheKey {
     pub params: String,
     /// Registry epoch of the graph at submit time.
     pub epoch: u64,
+    /// Delta batches folded into the graph's overlay at submit time —
+    /// the within-epoch mutation counter.
+    pub delta_seq: u64,
 }
 
 impl CacheKey {
@@ -54,6 +59,7 @@ impl CacheKey {
         eat(self.algorithm.as_bytes());
         eat(self.params.as_bytes());
         eat(&self.epoch.to_le_bytes());
+        eat(&self.delta_seq.to_le_bytes());
         format!("e{h:016x}.json")
     }
 
@@ -63,6 +69,7 @@ impl CacheKey {
             .set("algorithm", Json::str(&self.algorithm))
             .set("params", Json::str(&self.params))
             .set("epoch", Json::num(self.epoch))
+            .set("delta_seq", Json::num(self.delta_seq))
     }
 
     fn from_json(j: &Json) -> Option<CacheKey> {
@@ -71,6 +78,9 @@ impl CacheKey {
             algorithm: j.get("algorithm")?.as_str()?.to_string(),
             params: j.get("params")?.as_str()?.to_string(),
             epoch: j.get("epoch")?.as_u64()?,
+            // Spills from before live graphs carry no seq: read as 0,
+            // the only seq that existed then.
+            delta_seq: j.get("delta_seq").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -271,16 +281,17 @@ impl ResultCache {
         doomed.len()
     }
 
-    /// Drop every entry whose `(graph_id, epoch)` is not current in
-    /// `epochs` (the restored registry's [`crate::GraphRegistry::epochs`]).
-    /// Run once after a restart: a graph that vanished or changed on disk
-    /// invalidates its restored results here. Returns how many were
-    /// dropped.
-    pub fn retain_valid(&mut self, epochs: &HashMap<String, u64>) -> usize {
+    /// Drop every entry whose `(graph_id, epoch, delta_seq)` is not
+    /// current in `versions` (the restored registry's
+    /// [`crate::GraphRegistry::versions`]). Run once after a restart: a
+    /// graph that vanished, changed on disk, or lost a torn mutation
+    /// batch invalidates its restored results here. Returns how many
+    /// were dropped.
+    pub fn retain_valid(&mut self, versions: &HashMap<String, (u64, u64)>) -> usize {
         let doomed: Vec<CacheKey> = self
             .slots
             .keys()
-            .filter(|k| epochs.get(&k.graph_id) != Some(&k.epoch))
+            .filter(|k| versions.get(&k.graph_id) != Some(&(k.epoch, k.delta_seq)))
             .cloned()
             .collect();
         for key in &doomed {
@@ -312,11 +323,16 @@ mod tests {
     use crate::job::ValueType;
 
     fn key(graph: &str, params: &str, epoch: u64) -> CacheKey {
+        key_seq(graph, params, epoch, 0)
+    }
+
+    fn key_seq(graph: &str, params: &str, epoch: u64, delta_seq: u64) -> CacheKey {
         CacheKey {
             graph_id: graph.to_string(),
             algorithm: "bfs".to_string(),
             params: params.to_string(),
             epoch,
+            delta_seq,
         }
     }
 
@@ -348,7 +364,9 @@ mod tests {
         assert_eq!(*got.values_u32, vec![7]);
         // Different epoch: structurally a different key.
         assert!(c.get(&key("g", "root=0", 2)).is_none());
-        assert_eq!(c.counters(), (1, 2));
+        // Different delta seq (a mutation happened): also a miss.
+        assert!(c.get(&key_seq("g", "root=0", 1, 1)).is_none());
+        assert_eq!(c.counters(), (1, 3));
     }
 
     #[test]
@@ -468,16 +486,17 @@ mod tests {
     }
 
     #[test]
-    fn retain_valid_drops_stale_epochs() {
+    fn retain_valid_drops_stale_versions() {
         let dir = spill_dir("retain");
         let mut c = ResultCache::open(8, dir.clone());
         c.put(key("g", "a", 1), outcome(1));
         c.put(key("g", "a", 2), outcome(2));
+        c.put(key_seq("g", "a", 2, 3), outcome(4));
         c.put(key("dead", "a", 1), outcome(3));
-        let epochs = HashMap::from([("g".to_string(), 2u64)]);
-        assert_eq!(c.retain_valid(&epochs), 2);
+        let versions = HashMap::from([("g".to_string(), (2u64, 3u64))]);
+        assert_eq!(c.retain_valid(&versions), 3);
         assert_eq!(c.len(), 1);
-        assert!(c.get(&key("g", "a", 2)).is_some());
+        assert!(c.get(&key_seq("g", "a", 2, 3)).is_some());
         // Deletions reached the spill files too.
         drop(c);
         let c = ResultCache::open(8, dir);

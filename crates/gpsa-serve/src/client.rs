@@ -322,18 +322,62 @@ impl Client {
             .set("graph_id", Json::str(graph_id))
             .set("path", Json::str(path));
         let resp = self.call(&req)?;
-        let u = |k: &str| resp.get(k).and_then(Json::as_u64).unwrap_or(0);
-        Ok(GraphInfo {
-            graph_id: resp
-                .get("graph_id")
-                .and_then(Json::as_str)
-                .unwrap_or(graph_id)
-                .to_string(),
-            epoch: u("epoch"),
-            n_vertices: u("n_vertices") as usize,
-            n_edges: u("n_edges") as usize,
-            bytes: u("bytes"),
-        })
+        Ok(graph_info_from(&resp, graph_id))
+    }
+
+    /// Append edges to a resident graph's delta overlay. Durable before
+    /// the reply: the batch is fsync'd to the graph's delta log server
+    /// side. Returns the new registry row (same epoch, `delta_seq + 1`).
+    pub fn add_edges(
+        &mut self,
+        graph_id: &str,
+        edges: &[(u32, u32)],
+    ) -> Result<GraphInfo, ClientError> {
+        self.mutate(graph_id, edges, "add_edges")
+    }
+
+    /// Remove edges from a resident graph (tombstones in the overlay;
+    /// removing an absent edge is a no-op). Same durability contract as
+    /// [`Client::add_edges`].
+    pub fn remove_edges(
+        &mut self,
+        graph_id: &str,
+        edges: &[(u32, u32)],
+    ) -> Result<GraphInfo, ClientError> {
+        self.mutate(graph_id, edges, "remove_edges")
+    }
+
+    fn mutate(
+        &mut self,
+        graph_id: &str,
+        edges: &[(u32, u32)],
+        op: &str,
+    ) -> Result<GraphInfo, ClientError> {
+        let req = Json::obj()
+            .set("op", Json::str(op))
+            .set("graph_id", Json::str(graph_id))
+            .set(
+                "edges",
+                Json::Arr(
+                    edges
+                        .iter()
+                        .map(|(u, v)| Json::str(format!("{u}:{v}")))
+                        .collect(),
+                ),
+            );
+        let resp = self.call(&req)?;
+        Ok(graph_info_from(&resp, graph_id))
+    }
+
+    /// Fold the graph's delta overlay into a fresh CSR. Blocks until the
+    /// new epoch commits; the reply row has the bumped epoch and
+    /// `delta_seq` 0.
+    pub fn compact(&mut self, graph_id: &str) -> Result<GraphInfo, ClientError> {
+        let req = Json::obj()
+            .set("op", Json::str("compact"))
+            .set("graph_id", Json::str(graph_id));
+        let resp = self.call(&req)?;
+        Ok(graph_info_from(&resp, graph_id))
     }
 
     /// Submit a job and block until the server answers (completion,
@@ -370,29 +414,31 @@ impl Client {
     pub fn list_graphs(&mut self) -> Result<Vec<GraphInfo>, ClientError> {
         let resp = self.call(&Json::obj().set("op", Json::str("list_graphs")))?;
         let rows = resp.get("graphs").and_then(Json::as_arr).unwrap_or(&[]);
-        Ok(rows
-            .iter()
-            .map(|r| {
-                let u = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
-                GraphInfo {
-                    graph_id: r
-                        .get("graph_id")
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string(),
-                    epoch: u("epoch"),
-                    n_vertices: u("n_vertices") as usize,
-                    n_edges: u("n_edges") as usize,
-                    bytes: u("bytes"),
-                }
-            })
-            .collect())
+        Ok(rows.iter().map(|r| graph_info_from(r, "")).collect())
     }
 
     /// Ask the server to stop accepting connections.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.call(&Json::obj().set("op", Json::str("shutdown")))
             .map(|_| ())
+    }
+}
+
+/// Decode a graph-info row (or a flattened graph-info response frame);
+/// `fallback_id` covers servers that omit `graph_id` in direct replies.
+fn graph_info_from(j: &Json, fallback_id: &str) -> GraphInfo {
+    let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+    GraphInfo {
+        graph_id: j
+            .get("graph_id")
+            .and_then(Json::as_str)
+            .unwrap_or(fallback_id)
+            .to_string(),
+        epoch: u("epoch"),
+        delta_seq: u("delta_seq"),
+        n_vertices: u("n_vertices") as usize,
+        n_edges: u("n_edges") as usize,
+        bytes: u("bytes"),
     }
 }
 

@@ -62,6 +62,39 @@ pub enum ServeFault {
         /// 0-based occurrence count within that state.
         nth: u64,
     },
+    /// Delta-log append number `nth` (0-based, counted across graphs)
+    /// writes only half of its framed record — unsynced — and then the
+    /// registry aborts the process: a crash tearing the edge-delta log
+    /// mid-`add_edges`/`remove_edges`. Recovery replays only whole
+    /// batches, so the restarted server must come back on the clean
+    /// pre-mutation snapshot.
+    TornDeltaAppend {
+        /// Which delta append tears.
+        nth: u64,
+    },
+    /// Abort the process inside `finish_compact` of compaction number
+    /// `nth` (0-based), pinned to one side of the manifest rewrite that
+    /// commits the new epoch: `BeforeManifest` must recover the
+    /// pre-compaction live state (base ⊕ delta), `AfterManifest` the
+    /// freshly compacted epoch.
+    CrashAtCompact {
+        /// Which compaction crashes.
+        nth: u64,
+        /// Which side of the commit point.
+        point: CompactPoint,
+    },
+}
+
+/// The two interesting instants around compaction's commit point (the
+/// atomic manifest rewrite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactPoint {
+    /// New CSR fully written and installed in memory, manifest not yet
+    /// rewritten: on-disk truth is still the old epoch.
+    BeforeManifest = 0,
+    /// Manifest rewritten, old-epoch files not yet cleaned up: on-disk
+    /// truth is the new epoch.
+    AfterManifest = 1,
 }
 
 /// What the response-write hook should do.
@@ -86,6 +119,15 @@ pub enum JournalFault {
     Crash,
 }
 
+/// What the delta-log append hook should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaFault {
+    /// Append normally.
+    None,
+    /// Write half the framed record, skip the fsync, and abort.
+    TornAbort,
+}
+
 /// A seeded, fire-once serving-layer fault schedule.
 #[derive(Debug, Default)]
 pub struct ServeFaultPlan {
@@ -94,6 +136,8 @@ pub struct ServeFaultPlan {
     responses: AtomicU64,
     appends: AtomicU64,
     appends_by_state: [AtomicU64; JournalState::COUNT],
+    delta_appends: AtomicU64,
+    compact_checks: [AtomicU64; 2],
 }
 
 impl ServeFaultPlan {
@@ -196,6 +240,36 @@ impl ServeFaultPlan {
         JournalFault::None
     }
 
+    /// Consulted once per delta-log append (any graph), before the
+    /// record is written. The registry performs the actual half-write
+    /// and abort; this method only counts and answers, so it stays
+    /// unit-testable.
+    pub fn on_delta_append(&self) -> DeltaFault {
+        let n = self.delta_appends.fetch_add(1, Ordering::AcqRel);
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if let ServeFault::TornDeltaAppend { nth } = *spec {
+                if nth == n && self.fire(i) {
+                    return DeltaFault::TornAbort;
+                }
+            }
+        }
+        DeltaFault::None
+    }
+
+    /// Consulted at `point` of each compaction's commit sequence.
+    /// Returns `true` when the registry should abort the process there.
+    pub fn on_compact(&self, point: CompactPoint) -> bool {
+        let n = self.compact_checks[point as usize].fetch_add(1, Ordering::AcqRel);
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if let ServeFault::CrashAtCompact { nth, point: p } = *spec {
+                if p == point && nth == n && self.fire(i) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// How many injection points have fired so far.
     pub fn fired(&self) -> usize {
         self.points
@@ -258,6 +332,23 @@ mod tests {
             plan.on_journal_append(JournalState::Started),
             JournalFault::None
         );
+    }
+
+    #[test]
+    fn delta_and_compact_points_fire_once() {
+        let plan = ServeFaultPlan::new(4)
+            .with(ServeFault::TornDeltaAppend { nth: 1 })
+            .with(ServeFault::CrashAtCompact {
+                nth: 0,
+                point: CompactPoint::AfterManifest,
+            });
+        assert_eq!(plan.on_delta_append(), DeltaFault::None);
+        assert_eq!(plan.on_delta_append(), DeltaFault::TornAbort);
+        assert_eq!(plan.on_delta_append(), DeltaFault::None);
+        assert!(!plan.on_compact(CompactPoint::BeforeManifest));
+        assert!(plan.on_compact(CompactPoint::AfterManifest));
+        assert!(!plan.on_compact(CompactPoint::AfterManifest));
+        assert_eq!(plan.fired(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::Sender;
 use gpsa::programs::{Bfs, ConnectedComponents, PageRank, Sssp};
 use gpsa::{Engine, EngineError, Termination};
-use gpsa_graph::DiskCsr;
+use gpsa_graph::GraphSnapshot;
 use gpsa_metrics::timer::Timer;
 
 use crate::error::ServeError;
@@ -391,13 +391,13 @@ impl JobTicket {
 /// termination, scratch dir and watchdog settings.
 pub fn run_job(
     engine: &Engine,
-    graph: &Arc<DiskCsr>,
+    graph: &Arc<GraphSnapshot>,
     value_file: &Path,
     alg: &AlgorithmSpec,
 ) -> Result<JobOutcome, EngineError> {
     match *alg {
         AlgorithmSpec::PageRank { damping, .. } => {
-            let r = engine.run_shared(graph, value_file, PageRank { damping })?;
+            let r = engine.run_snapshot(graph, value_file, PageRank { damping })?;
             Ok(JobOutcome {
                 value_type: ValueType::F32,
                 values_u32: Arc::new(r.values.iter().map(|v| v.to_bits()).collect()),
@@ -410,15 +410,15 @@ pub fn run_job(
             })
         }
         AlgorithmSpec::Bfs { root } => {
-            let r = engine.run_shared(graph, value_file, Bfs { root })?;
+            let r = engine.run_snapshot(graph, value_file, Bfs { root })?;
             Ok(u32_outcome(r))
         }
         AlgorithmSpec::Cc => {
-            let r = engine.run_shared(graph, value_file, ConnectedComponents)?;
+            let r = engine.run_snapshot(graph, value_file, ConnectedComponents)?;
             Ok(u32_outcome(r))
         }
         AlgorithmSpec::Sssp { root } => {
-            let r = engine.run_shared(graph, value_file, Sssp { root })?;
+            let r = engine.run_snapshot(graph, value_file, Sssp { root })?;
             Ok(u32_outcome(r))
         }
     }

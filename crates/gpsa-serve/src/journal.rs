@@ -15,12 +15,13 @@
 //!
 //! ## On-disk format
 //!
-//! One record per line: 8 lowercase hex digits of CRC32 over the JSON
-//! text, one space, the JSON, `\n`. A crash can tear at most the final
-//! record (appends are sequential); recovery scans forward and truncates
-//! the file at the first line that is incomplete, fails its CRC, or does
-//! not parse — the torn-tail handling the chaos suite exercises
-//! directly.
+//! One record per line in the CRC32 framing shared with the live-graph
+//! delta log ([`gpsa_graph::framed`]): 8 lowercase hex digits of CRC32
+//! over the JSON text, one space, the JSON, `\n`. A crash can tear at
+//! most the final record (appends are sequential); recovery scans
+//! forward and truncates the file at the first line that is incomplete,
+//! fails its CRC, or does not parse — the torn-tail handling the chaos
+//! suite exercises directly.
 //!
 //! ```text
 //! 3f1d9a02 {"state":"submitted","job_id":7,"graph_id":"web",...}
@@ -29,8 +30,10 @@
 //! ```
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+
+use gpsa_graph::framed;
 
 use crate::job::{AlgorithmSpec, Priority};
 use crate::json::Json;
@@ -51,11 +54,14 @@ pub enum JournalState {
     Committed,
     /// The job resolved with an error; it must not replay.
     Failed,
+    /// A graph mutation batch (add/remove edges) committed to its
+    /// delta log; restores the graph's delta-seq watermark on replay.
+    Mutated,
 }
 
 impl JournalState {
     /// Number of states (sizes the chaos plan's per-state counters).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Wire name.
     pub fn as_str(&self) -> &'static str {
@@ -64,6 +70,7 @@ impl JournalState {
             JournalState::Started => "started",
             JournalState::Committed => "committed",
             JournalState::Failed => "failed",
+            JournalState::Mutated => "mutated",
         }
     }
 
@@ -74,6 +81,7 @@ impl JournalState {
             "started" => Some(JournalState::Started),
             "committed" => Some(JournalState::Committed),
             "failed" => Some(JournalState::Failed),
+            "mutated" => Some(JournalState::Mutated),
             _ => None,
         }
     }
@@ -108,11 +116,24 @@ pub enum JournalRecord {
         /// together with the `Submitted` record this reconstructs the
         /// exact cache key.
         epoch: u64,
+        /// Delta sequence within the epoch the result was computed
+        /// against (0 for a pristine graph).
+        delta_seq: u64,
     },
     /// The job resolved with an error and must not replay.
     Failed {
         /// The job.
         job_id: u64,
+    },
+    /// A mutation batch committed to a graph's delta log; recovery uses
+    /// it to cross-check the replayed delta-seq watermark.
+    Mutated {
+        /// The mutated graph.
+        graph_id: String,
+        /// Epoch the mutation landed in.
+        epoch: u64,
+        /// Delta sequence after the batch was applied.
+        delta_seq: u64,
     },
 }
 
@@ -124,16 +145,19 @@ impl JournalRecord {
             JournalRecord::Started { .. } => JournalState::Started,
             JournalRecord::Committed { .. } => JournalState::Committed,
             JournalRecord::Failed { .. } => JournalState::Failed,
+            JournalRecord::Mutated { .. } => JournalState::Mutated,
         }
     }
 
-    /// The job this record belongs to.
+    /// The job this record belongs to (0 for graph-mutation records,
+    /// which are not tied to any job).
     pub fn job_id(&self) -> u64 {
         match *self {
             JournalRecord::Submitted { job_id, .. }
             | JournalRecord::Started { job_id }
             | JournalRecord::Committed { job_id, .. }
             | JournalRecord::Failed { job_id } => job_id,
+            JournalRecord::Mutated { .. } => 0,
         }
     }
 
@@ -161,14 +185,34 @@ impl JournalRecord {
             JournalRecord::Started { job_id } | JournalRecord::Failed { job_id } => {
                 base.set("job_id", Json::num(*job_id))
             }
-            JournalRecord::Committed { job_id, epoch } => base
+            JournalRecord::Committed {
+                job_id,
+                epoch,
+                delta_seq,
+            } => base
                 .set("job_id", Json::num(*job_id))
-                .set("epoch", Json::num(*epoch)),
+                .set("epoch", Json::num(*epoch))
+                .set("delta_seq", Json::num(*delta_seq)),
+            JournalRecord::Mutated {
+                graph_id,
+                epoch,
+                delta_seq,
+            } => base
+                .set("graph_id", Json::str(graph_id))
+                .set("epoch", Json::num(*epoch))
+                .set("delta_seq", Json::num(*delta_seq)),
         }
     }
 
     fn from_json(j: &Json) -> Option<JournalRecord> {
         let state = JournalState::parse(j.get("state")?.as_str()?)?;
+        if state == JournalState::Mutated {
+            return Some(JournalRecord::Mutated {
+                graph_id: j.get("graph_id")?.as_str()?.to_string(),
+                epoch: j.get("epoch")?.as_u64()?,
+                delta_seq: j.get("delta_seq")?.as_u64()?,
+            });
+        }
         let job_id = j.get("job_id")?.as_u64()?;
         Some(match state {
             JournalState::Submitted => {
@@ -192,40 +236,25 @@ impl JournalRecord {
             JournalState::Committed => JournalRecord::Committed {
                 job_id,
                 epoch: j.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                delta_seq: j.get("delta_seq").and_then(Json::as_u64).unwrap_or(0),
             },
             JournalState::Failed => JournalRecord::Failed { job_id },
+            JournalState::Mutated => unreachable!("handled above"),
         })
     }
 }
 
-/// CRC32 (IEEE, reflected) over bytes — the same polynomial the value
-/// file uses for its commit headers.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC32 (IEEE, reflected) over bytes — re-exported from the shared
+/// framed-log helper so existing callers keep their import path.
+pub use gpsa_graph::framed::crc32;
 
 fn encode_line(rec: &JournalRecord) -> String {
-    let body = rec.to_json().encode();
-    format!("{:08x} {body}\n", crc32(body.as_bytes()))
+    framed::encode_line(&rec.to_json().encode())
 }
 
-/// Parse one `\n`-terminated line (without the newline). `None` means
-/// the line is torn or corrupt.
-fn decode_line(line: &str) -> Option<JournalRecord> {
-    let (crc_hex, body) = line.split_at_checked(8)?;
-    let body = body.strip_prefix(' ')?;
-    let want = u32::from_str_radix(crc_hex, 16).ok()?;
-    if crc32(body.as_bytes()) != want {
-        return None;
-    }
+/// Parse one record body (the framing — CRC check and unframing — is
+/// [`framed::open_scan`]'s job). `None` means the record is corrupt.
+fn decode_body(body: &str) -> Option<JournalRecord> {
     JournalRecord::from_json(&Json::parse(body).ok()?)
 }
 
@@ -251,37 +280,7 @@ impl JobJournal {
     /// before it are returned, the garbage after it is gone, and the
     /// journal is ready to append.
     pub fn open(path: &Path) -> io::Result<(JobJournal, Vec<JournalRecord>)> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut file = OpenOptions::new()
-            .read(true)
-            .create(true)
-            .append(true)
-            .open(path)?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
-        let mut records = Vec::new();
-        let mut valid_len = 0usize;
-        let mut offset = 0usize;
-        while offset < raw.len() {
-            let Some(nl) = raw[offset..].iter().position(|&b| b == b'\n') else {
-                break; // no newline: torn tail
-            };
-            let Ok(line) = std::str::from_utf8(&raw[offset..offset + nl]) else {
-                break;
-            };
-            let Some(rec) = decode_line(line) else {
-                break;
-            };
-            records.push(rec);
-            offset += nl + 1;
-            valid_len = offset;
-        }
-        if valid_len < raw.len() {
-            file.set_len(valid_len as u64)?;
-            file.sync_all()?;
-        }
+        let (file, records) = framed::open_scan(path, decode_body)?;
         Ok((
             JobJournal {
                 file,
@@ -423,12 +422,14 @@ mod tests {
             JournalRecord::Committed {
                 job_id: 1,
                 epoch: 3,
+                delta_seq: 2,
             },
             JournalRecord::Failed { job_id: 2 },
         ];
         for rec in &recs {
             let line = encode_line(rec);
-            let back = decode_line(line.trim_end_matches('\n')).unwrap();
+            let body = framed::decode_line(line.trim_end_matches('\n')).unwrap();
+            let back = decode_body(body).unwrap();
             assert_eq!(&back, rec);
         }
     }
@@ -444,6 +445,7 @@ mod tests {
         j.append(&JournalRecord::Committed {
             job_id: 1,
             epoch: 1,
+            delta_seq: 0,
         })
         .unwrap();
         drop(j);
@@ -465,6 +467,7 @@ mod tests {
         let line = encode_line(&JournalRecord::Committed {
             job_id: 1,
             epoch: 1,
+            delta_seq: 0,
         });
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&line.as_bytes()[..line.len() / 2]).unwrap();
@@ -476,6 +479,7 @@ mod tests {
         j.append(&JournalRecord::Committed {
             job_id: 1,
             epoch: 1,
+            delta_seq: 0,
         })
         .unwrap();
         drop(j);
@@ -485,7 +489,8 @@ mod tests {
             recs[2],
             JournalRecord::Committed {
                 job_id: 1,
-                epoch: 1
+                epoch: 1,
+                delta_seq: 0
             }
         );
     }
@@ -523,6 +528,7 @@ mod tests {
             j.append(&JournalRecord::Committed {
                 job_id: id,
                 epoch: 1,
+                delta_seq: 0,
             })
             .unwrap();
         }

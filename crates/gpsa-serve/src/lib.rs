@@ -66,7 +66,7 @@ pub use client::{Client, ClientError, RetryPolicy, SubmitRequest};
 pub use config::ServeConfig;
 pub use error::ServeError;
 #[cfg(feature = "chaos")]
-pub use fault::{ServeFault, ServeFaultPlan};
+pub use fault::{CompactPoint, DeltaFault, ServeFault, ServeFaultPlan};
 pub use job::{AlgorithmSpec, JobOutcome, JobResponse, JobSpec, Priority, ValueType};
 pub use journal::{JobJournal, JournalRecord, JournalState};
 pub use registry::{GraphInfo, GraphRegistry};

@@ -1,20 +1,36 @@
-//! The resident-graph registry: one mmap per graph, shared read-only by
-//! every job that names it.
+//! The resident-graph registry: one live [`GraphSnapshot`] per graph id,
+//! shared read-only by every job that names it.
 //!
-//! The Ammar & Özsu survey's observation motivating this whole subsystem is
-//! that end-to-end time is dominated by per-job graph loading; the registry
-//! amortizes that cost by opening each [`DiskCsr`] once and handing out
-//! `Arc` clones. Re-registering an id **bumps its epoch** — the epoch is
-//! part of every result-cache key, so stale cached results can never be
-//! served for a replaced graph.
+//! The Ammar & Özsu survey's observation motivating this subsystem is
+//! that end-to-end time is dominated by per-job graph loading; the
+//! registry amortizes that cost by opening each CSR once and handing out
+//! `Arc` clones. On top of that residency the registry is the server's
+//! **live-graph authority**:
 //!
-//! With a manifest path attached, the registry is also **durable**: every
-//! successful register rewrites a small JSON manifest (atomically —
-//! tmp + fsync + rename) recording each graph's id, path, epoch, and the
-//! file's size/mtime at registration. A restarted server re-opens every
-//! manifest entry; if the underlying `.gcsr` changed while the server was
-//! down, the entry's epoch is bumped on restore, so cached results from
-//! the old bytes structurally stop matching.
+//! * [`GraphRegistry::mutate`] appends an edge-delta batch to the
+//!   graph's fsync'd sibling log (`*.gcsr.gdelta`), then swaps in a new
+//!   snapshot with the batch folded into its in-memory overlay. The
+//!   graph's **delta seq** counts folded batches within the current
+//!   epoch; it joins the epoch in every result-cache key, so results
+//!   computed before a mutation structurally stop matching after it.
+//! * [`GraphRegistry::begin_compact`] / [`finish_compact`]
+//!   (background-able) fold base ⊕ delta into a fresh v2 CSR at
+//!   `{base}.e{epoch+1}`; finishing bumps the **epoch**, resets the
+//!   delta seq, and atomically rewrites the manifest — the commit point.
+//!   In-flight jobs keep draining on the pinned old snapshot.
+//! * Re-registering an id whose registered file is byte-identical
+//!   (size + mtime stamp) is a **complete no-op** — same entry, same
+//!   epoch, live overlay kept — so boot scripts that re-register on
+//!   every start do not wipe caches or live state. Only actually-changed
+//!   bytes reload the file, drop the delta log, and bump the epoch.
+//!
+//! With a manifest path attached, the registry is **durable**: every
+//! epoch transition rewrites a small JSON manifest (atomically — tmp +
+//! fsync + rename). A restarted server re-opens every entry *live*,
+//! replaying its delta log (torn tails truncated), so mutations survive
+//! restarts without re-preprocessing; if the underlying CSR bytes
+//! changed while the server was down, the entry reloads fresh with a
+//! bumped epoch instead.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -23,7 +39,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::UNIX_EPOCH;
 
-use gpsa_graph::DiskCsr;
+use gpsa_graph::{delta_path, open_live, DeltaBatch, DeltaLog, DiskCsr, GraphSnapshot};
+
+#[cfg(feature = "chaos")]
+use crate::fault::{CompactPoint, DeltaFault, ServeFaultPlan};
 
 use crate::error::ServeError;
 use crate::json::Json;
@@ -31,12 +50,43 @@ use crate::json::Json;
 /// One resident graph.
 #[derive(Debug, Clone)]
 pub struct GraphEntry {
-    /// The shared read-only mmap.
-    pub graph: Arc<DiskCsr>,
-    /// Where it was opened from.
+    /// The live merged view: shared base mmap ⊕ in-memory delta overlay.
+    pub snapshot: Arc<GraphSnapshot>,
+    /// The CSR file currently backing the snapshot (`base_path` until the
+    /// first compaction, `{base_path}.e{epoch}` after).
     pub path: PathBuf,
-    /// Bumped on every (re-)register of this id; starts at 1.
+    /// The path the id was registered with — the anchor compaction
+    /// outputs are named after, and the file whose stamp makes
+    /// re-registration idempotent. Never deleted by the registry.
+    pub base_path: PathBuf,
+    /// `file_stamp` of `base_path` at registration (the no-op detector).
+    pub base_stamp: (u64, u64, u64),
+    /// Bumped on every real (re-)register and every finished compaction;
+    /// starts at 1.
     pub epoch: u64,
+}
+
+impl GraphEntry {
+    /// Delta batches folded into the current epoch's snapshot.
+    pub fn delta_seq(&self) -> u64 {
+        self.snapshot.delta_seq()
+    }
+}
+
+/// A pinned compaction: the snapshot being folded and where the new CSR
+/// goes. Produced by [`GraphRegistry::begin_compact`]; the caller runs
+/// [`GraphSnapshot::compact_to`] (typically off-thread), then hands the
+/// ticket to [`GraphRegistry::finish_compact`].
+#[derive(Debug, Clone)]
+pub struct CompactTicket {
+    /// Which graph is compacting.
+    pub graph_id: String,
+    /// The epoch being folded (finish re-checks it).
+    pub epoch: u64,
+    /// The snapshot to fold — pinned, so later mutations don't leak in.
+    pub snapshot: Arc<GraphSnapshot>,
+    /// Destination CSR path (`{base}.e{epoch+1}`).
+    pub dest: PathBuf,
 }
 
 /// A row of [`GraphRegistry::list`].
@@ -46,11 +96,13 @@ pub struct GraphInfo {
     pub graph_id: String,
     /// Current epoch.
     pub epoch: u64,
-    /// Vertex count.
+    /// Delta batches folded into the current epoch.
+    pub delta_seq: u64,
+    /// Vertex count of the merged view.
     pub n_vertices: usize,
-    /// Edge count.
+    /// Edge count of the merged view.
     pub n_edges: usize,
-    /// Mapped bytes (CSR body).
+    /// Mapped bytes (CSR body; the overlay is memory-resident).
     pub bytes: u64,
 }
 
@@ -58,8 +110,13 @@ pub struct GraphInfo {
 #[derive(Debug)]
 pub struct GraphRegistry {
     graphs: HashMap<String, GraphEntry>,
+    /// Open delta-log handles, keyed like `graphs`. Kept apart because a
+    /// log handle is not cloneable; opened lazily on first mutation.
+    logs: HashMap<String, DeltaLog>,
     budget_bytes: u64,
     manifest: Option<PathBuf>,
+    #[cfg(feature = "chaos")]
+    fault: Option<Arc<ServeFaultPlan>>,
 }
 
 /// `(size, mtime_secs, mtime_nanos)` of a file — the change detector the
@@ -83,23 +140,34 @@ impl GraphRegistry {
     pub fn new(budget_bytes: u64) -> Self {
         GraphRegistry {
             graphs: HashMap::new(),
+            logs: HashMap::new(),
             budget_bytes,
             manifest: None,
+            #[cfg(feature = "chaos")]
+            fault: None,
         }
     }
 
+    /// Install a chaos fault plan consulted on delta appends and at
+    /// compaction commit points.
+    #[cfg(feature = "chaos")]
+    pub fn set_fault_plan(&mut self, plan: Arc<ServeFaultPlan>) {
+        self.fault = Some(plan);
+    }
+
     /// A durable registry backed by `manifest`, restoring every entry a
-    /// previous server persisted there. Restore is best-effort and never
-    /// fails the boot: entries whose file vanished or no longer opens are
-    /// dropped (with a note on stderr), entries whose file changed since
-    /// registration come back with a **bumped epoch**. Returns the
-    /// registry and how many graphs were restored.
+    /// previous server persisted there — **live**: each entry's delta log
+    /// is replayed (torn tail truncated), so the restored snapshot is the
+    /// last durable mutation state, at its persisted epoch. Restore is
+    /// best-effort and never fails the boot: entries whose file vanished
+    /// or no longer opens are dropped (with a note on stderr), entries
+    /// whose CSR bytes changed since registration come back freshly
+    /// loaded with a **bumped epoch** and their delta log discarded (it
+    /// described the old bytes). Returns the registry and how many graphs
+    /// were restored.
     pub fn open(budget_bytes: u64, manifest: PathBuf) -> (Self, usize) {
-        let mut reg = GraphRegistry {
-            graphs: HashMap::new(),
-            budget_bytes,
-            manifest: Some(manifest.clone()),
-        };
+        let mut reg = GraphRegistry::new(budget_bytes);
+        reg.manifest = Some(manifest.clone());
         let rows = match std::fs::read_to_string(&manifest).ok().and_then(|text| {
             Json::parse(&text).ok().and_then(|j| {
                 j.get("graphs")
@@ -119,8 +187,20 @@ impl GraphRegistry {
                 continue;
             };
             let path = PathBuf::from(path);
-            let graph = match DiskCsr::open(&path) {
-                Ok(g) => g,
+            let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let mut epoch = u("epoch").max(1);
+            let stamp_changed = file_stamp(&path) != (u("bytes"), u("mtime_s"), u("mtime_ns"));
+            if stamp_changed {
+                // The CSR bytes changed while the server was down: same
+                // id, new graph. The delta log described the *old* bytes,
+                // so it is dropped, and the epoch bump makes old cached
+                // results structurally unmatchable.
+                let _ = std::fs::remove_file(delta_path(&path));
+                epoch += 1;
+                changed = true;
+            }
+            let (snapshot, log) = match open_live(&path) {
+                Ok(pair) => pair,
                 Err(e) => {
                     eprintln!(
                         "gpsa-serve: dropping graph {id:?} on restore: cannot open {}: {e}",
@@ -130,27 +210,32 @@ impl GraphRegistry {
                     continue;
                 }
             };
-            if reg.resident_bytes() + graph.file_bytes() as u64 > reg.budget_bytes {
+            if reg.resident_bytes() + snapshot.file_bytes() as u64 > reg.budget_bytes {
                 eprintln!("gpsa-serve: dropping graph {id:?} on restore: over memory budget");
                 changed = true;
                 continue;
             }
-            let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
-            let mut epoch = u("epoch").max(1);
-            if file_stamp(&path) != (u("bytes"), u("mtime_s"), u("mtime_ns")) {
-                // The file changed while the server was down: same id, new
-                // bytes. Bump the epoch so old cached results can't match.
-                epoch += 1;
-                changed = true;
-            }
+            let base_path = row
+                .get("base_path")
+                .and_then(Json::as_str)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| path.clone());
+            let base_stamp = if base_path == path {
+                file_stamp(&path)
+            } else {
+                (u("base_bytes"), u("base_mtime_s"), u("base_mtime_ns"))
+            };
             reg.graphs.insert(
                 id.to_string(),
                 GraphEntry {
-                    graph: Arc::new(graph),
+                    snapshot: Arc::new(snapshot),
                     path,
+                    base_path,
+                    base_stamp,
                     epoch,
                 },
             );
+            reg.logs.insert(id.to_string(), log);
         }
         if changed {
             reg.persist();
@@ -176,10 +261,14 @@ impl GraphRegistry {
                 Json::obj()
                     .set("graph_id", Json::str(*id))
                     .set("path", Json::str(e.path.to_string_lossy()))
+                    .set("base_path", Json::str(e.base_path.to_string_lossy()))
                     .set("epoch", Json::num(e.epoch))
                     .set("bytes", Json::num(bytes))
                     .set("mtime_s", Json::num(mtime_s))
                     .set("mtime_ns", Json::num(mtime_ns))
+                    .set("base_bytes", Json::num(e.base_stamp.0))
+                    .set("base_mtime_s", Json::num(e.base_stamp.1))
+                    .set("base_mtime_ns", Json::num(e.base_stamp.2))
             })
             .collect();
         let body = Json::obj().set("graphs", Json::Arr(graphs)).encode();
@@ -201,14 +290,29 @@ impl GraphRegistry {
         }
     }
 
-    /// Open the CSR at `path` and make it resident under `id`. Replacing
-    /// an existing id bumps its epoch (callers must then purge cache
-    /// entries for the id). Fails with [`ServeError::ServerBusy`] when the
-    /// graph would push resident bytes over the budget, and
-    /// [`ServeError::BadRequest`] when the file cannot be opened.
-    pub fn register(&mut self, id: &str, path: &Path) -> Result<GraphEntry, ServeError> {
+    /// Open the CSR at `path` and make it resident under `id`. Returns
+    /// the entry and whether the registration **bumped** the epoch.
+    ///
+    /// Re-registering an id with the same file, byte-identical (size +
+    /// mtime stamp), is a complete no-op: the live entry — including any
+    /// delta overlay and compacted epoch — is returned unchanged with
+    /// `bumped = false`, so callers skip the result-cache purge. Only a
+    /// changed file (or a new path) reloads: the fresh entry starts with
+    /// an empty overlay, any stale sibling delta log is deleted, and the
+    /// epoch bump (`bumped = true`) obliges the caller to purge cached
+    /// results for the id.
+    ///
+    /// Fails with [`ServeError::ServerBusy`] when the graph would push
+    /// resident bytes over the budget, and [`ServeError::BadRequest`]
+    /// when the file cannot be opened.
+    pub fn register(&mut self, id: &str, path: &Path) -> Result<(GraphEntry, bool), ServeError> {
         if id.is_empty() {
             return Err(ServeError::BadRequest("empty graph_id".to_string()));
+        }
+        if let Some(e) = self.graphs.get(id) {
+            if e.base_path == path && e.base_stamp == file_stamp(path) {
+                return Ok((e.clone(), false));
+            }
         }
         let graph = DiskCsr::open(path)
             .map_err(|e| ServeError::BadRequest(format!("cannot open {}: {e}", path.display())))?;
@@ -216,7 +320,7 @@ impl GraphRegistry {
         let displaced = self
             .graphs
             .get(id)
-            .map(|e| e.graph.file_bytes() as u64)
+            .map(|e| e.snapshot.file_bytes() as u64)
             .unwrap_or(0);
         let resident_after = self.resident_bytes() - displaced + incoming;
         if resident_after > self.budget_bytes {
@@ -226,27 +330,160 @@ impl GraphRegistry {
                 self.budget_bytes
             )));
         }
+        // Registration means "serve this file's bytes": a delta log left
+        // beside the file belongs to a previous live state, not to this
+        // registration, so it must not replay into the fresh entry.
+        let _ = std::fs::remove_file(delta_path(path));
         let epoch = self.graphs.get(id).map(|e| e.epoch + 1).unwrap_or(1);
         let entry = GraphEntry {
-            graph: Arc::new(graph),
+            snapshot: Arc::new(GraphSnapshot::from_csr(Arc::new(graph))),
             path: path.to_path_buf(),
+            base_path: path.to_path_buf(),
+            base_stamp: file_stamp(path),
             epoch,
         };
         self.graphs.insert(id.to_string(), entry.clone());
+        self.logs.remove(id);
         self.persist();
-        Ok(entry)
+        Ok((entry, true))
     }
 
-    /// The resident graph and its epoch, if `id` is registered.
-    pub fn get(&self, id: &str) -> Option<(Arc<DiskCsr>, u64)> {
-        self.graphs.get(id).map(|e| (e.graph.clone(), e.epoch))
+    /// Apply one mutation batch to `id`: append it to the fsync'd delta
+    /// log (durability first), then swap in a snapshot with the batch
+    /// folded into the overlay. Returns the post-mutation entry; its
+    /// [`GraphEntry::delta_seq`] has advanced by one, which is what
+    /// invalidates cached results computed before the mutation.
+    pub fn mutate(&mut self, id: &str, batch: &DeltaBatch) -> Result<GraphEntry, ServeError> {
+        let Some(entry) = self.graphs.get_mut(id) else {
+            return Err(ServeError::UnknownGraph(format!(
+                "graph {id:?} is not registered"
+            )));
+        };
+        if !self.logs.contains_key(id) {
+            let (log, replayed) = DeltaLog::open(&entry.path)
+                .map_err(|e| ServeError::Engine(format!("cannot open delta log: {e}")))?;
+            debug_assert_eq!(
+                replayed.len() as u64,
+                entry.snapshot.delta_seq(),
+                "log and overlay out of sync for {id:?}"
+            );
+            self.logs.insert(id.to_string(), log);
+        }
+        let log = self.logs.get_mut(id).expect("just inserted");
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            if plan.on_delta_append() == DeltaFault::TornAbort {
+                // Half a framed record, no fsync, then die — the torn
+                // tail recovery must truncate away on restart.
+                let line = gpsa_graph::framed::encode_line(&batch.encode_body());
+                let half = &line.as_bytes()[..line.len() / 2];
+                if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(log.path()) {
+                    let _ = f.write_all(half);
+                    let _ = f.flush();
+                }
+                eprintln!("chaos: aborting mid-delta-append for graph {id:?}");
+                std::process::abort();
+            }
+        }
+        log.append(batch)
+            .map_err(|e| ServeError::Engine(format!("delta log append failed: {e}")))?;
+        // Durable: now fold into a fresh overlay and publish the new
+        // snapshot. In-flight jobs keep their pinned Arc.
+        let mut overlay = (**entry.snapshot.overlay()).clone();
+        overlay.apply(entry.snapshot.base(), batch);
+        entry.snapshot = Arc::new(GraphSnapshot::new(
+            entry.snapshot.base().clone(),
+            Arc::new(overlay),
+        ));
+        Ok(entry.clone())
+    }
+
+    /// Pin the current snapshot of `id` for compaction and name the
+    /// destination CSR (`{base}.e{epoch+1}`). The fold itself
+    /// ([`GraphSnapshot::compact_to`] on the ticket's snapshot) is the
+    /// caller's to run — typically on a background thread — before
+    /// [`GraphRegistry::finish_compact`].
+    pub fn begin_compact(&self, id: &str) -> Result<CompactTicket, ServeError> {
+        let Some(entry) = self.graphs.get(id) else {
+            return Err(ServeError::UnknownGraph(format!(
+                "graph {id:?} is not registered"
+            )));
+        };
+        let dest = PathBuf::from(format!(
+            "{}.e{}",
+            entry.base_path.display(),
+            entry.epoch + 1
+        ));
+        Ok(CompactTicket {
+            graph_id: id.to_string(),
+            epoch: entry.epoch,
+            snapshot: entry.snapshot.clone(),
+            dest,
+        })
+    }
+
+    /// Install a finished compaction: open the new CSR, bump the epoch,
+    /// reset the delta seq, and persist the manifest — the commit point.
+    /// Old-epoch files (the previous compacted CSR, its index, its delta
+    /// log — never the registered base file) are deleted best-effort
+    /// *after* the commit; a crash between commit and cleanup only leaks
+    /// files. Mutations that raced past [`begin_compact`] are rejected by
+    /// the caller (the scheduler serializes mutate against compaction),
+    /// and a ticket whose epoch no longer matches is refused.
+    pub fn finish_compact(&mut self, ticket: &CompactTicket) -> Result<GraphEntry, ServeError> {
+        let Some(entry) = self.graphs.get_mut(&ticket.graph_id) else {
+            return Err(ServeError::UnknownGraph(format!(
+                "graph {:?} is not registered",
+                ticket.graph_id
+            )));
+        };
+        if entry.epoch != ticket.epoch {
+            return Err(ServeError::BadRequest(format!(
+                "graph {:?} moved from epoch {} to {} during compaction",
+                ticket.graph_id, ticket.epoch, entry.epoch
+            )));
+        }
+        let graph = DiskCsr::open(&ticket.dest)
+            .map_err(|e| ServeError::Engine(format!("compacted CSR does not open: {e}")))?;
+        let old_path = entry.path.clone();
+        entry.snapshot = Arc::new(GraphSnapshot::from_csr(Arc::new(graph)));
+        entry.path = ticket.dest.clone();
+        entry.epoch += 1;
+        let base_path = entry.base_path.clone();
+        self.logs.remove(&ticket.graph_id);
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            if plan.on_compact(CompactPoint::BeforeManifest) {
+                eprintln!("chaos: aborting before compaction manifest commit");
+                std::process::abort();
+            }
+        }
+        self.persist();
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.fault {
+            if plan.on_compact(CompactPoint::AfterManifest) {
+                eprintln!("chaos: aborting after compaction manifest commit");
+                std::process::abort();
+            }
+        }
+        let _ = std::fs::remove_file(delta_path(&old_path));
+        if old_path != base_path {
+            let _ = std::fs::remove_file(&old_path);
+            let _ = std::fs::remove_file(gpsa_graph::disk_csr::index_path(&old_path));
+        }
+        Ok(self.graphs[&ticket.graph_id].clone())
+    }
+
+    /// The resident entry for `id`, if registered.
+    pub fn get(&self, id: &str) -> Option<&GraphEntry> {
+        self.graphs.get(id)
     }
 
     /// Total mapped bytes across resident graphs.
     pub fn resident_bytes(&self) -> u64 {
         self.graphs
             .values()
-            .map(|e| e.graph.file_bytes() as u64)
+            .map(|e| e.snapshot.file_bytes() as u64)
             .sum()
     }
 
@@ -265,12 +502,12 @@ impl GraphRegistry {
         self.budget_bytes
     }
 
-    /// Current `graph_id → epoch` map (what the result cache validates
-    /// restored entries against).
-    pub fn epochs(&self) -> HashMap<String, u64> {
+    /// Current `graph_id → (epoch, delta_seq)` map (what the result cache
+    /// validates restored entries against).
+    pub fn versions(&self) -> HashMap<String, (u64, u64)> {
         self.graphs
             .iter()
-            .map(|(id, e)| (id.clone(), e.epoch))
+            .map(|(id, e)| (id.clone(), (e.epoch, e.delta_seq())))
             .collect()
     }
 
@@ -282,9 +519,10 @@ impl GraphRegistry {
             .map(|(id, e)| GraphInfo {
                 graph_id: id.clone(),
                 epoch: e.epoch,
-                n_vertices: e.graph.n_vertices(),
-                n_edges: e.graph.n_edges(),
-                bytes: e.graph.file_bytes() as u64,
+                delta_seq: e.delta_seq(),
+                n_vertices: e.snapshot.n_vertices(),
+                n_edges: e.snapshot.n_edges(),
+                bytes: e.snapshot.file_bytes() as u64,
             })
             .collect();
         rows.sort_by(|a, b| a.graph_id.cmp(&b.graph_id));
@@ -295,38 +533,175 @@ impl GraphRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpsa_graph::{generate, preprocess};
+    use gpsa_graph::{generate, preprocess, Edge};
 
-    fn materialize(tag: &str, el: gpsa_graph::EdgeList) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("gpsa-serve-reg-{}-{tag}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn materialize_in(dir: &Path, tag: &str, el: gpsa_graph::EdgeList) -> PathBuf {
         let path = dir.join(format!("{tag}.gcsr"));
         preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
         path
     }
 
     fn test_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("gpsa-serve-man-{}-{tag}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("gpsa-serve-reg-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
 
+    fn materialize(tag: &str, el: gpsa_graph::EdgeList) -> PathBuf {
+        let dir = test_dir(tag);
+        materialize_in(&dir, tag, el)
+    }
+
     #[test]
-    fn register_get_and_epoch_bump() {
+    fn register_get_and_idempotent_reregister() {
         let path = materialize("cycle", generate::cycle(32));
         let mut reg = GraphRegistry::new(u64::MAX);
-        let first = reg.register("g", &path).unwrap();
+        let (first, bumped) = reg.register("g", &path).unwrap();
         assert_eq!(first.epoch, 1);
-        let (graph, epoch) = reg.get("g").unwrap();
-        assert_eq!(epoch, 1);
-        assert_eq!(graph.n_vertices(), 32);
-        // Same id again: same bytes, bumped epoch.
-        let second = reg.register("g", &path).unwrap();
-        assert_eq!(second.epoch, 2);
-        assert_eq!(reg.get("g").unwrap().1, 2);
+        assert!(bumped, "first registration is a bump");
+        let e = reg.get("g").unwrap();
+        assert_eq!(e.epoch, 1);
+        assert_eq!(e.snapshot.n_vertices(), 32);
+        // Same id, same unchanged file: complete no-op, no epoch bump —
+        // the satellite regression for boot scripts that re-register on
+        // every start.
+        let (second, bumped) = reg.register("g", &path).unwrap();
+        assert_eq!(second.epoch, 1);
+        assert!(!bumped, "byte-identical re-register must not bump");
         assert_eq!(reg.len(), 1);
         assert!(reg.get("absent").is_none());
+    }
+
+    #[test]
+    fn reregister_keeps_live_overlay_but_changed_bytes_reset() {
+        let dir = test_dir("rereg");
+        let path = materialize_in(&dir, "g", generate::chain(8));
+        let mut reg = GraphRegistry::new(u64::MAX);
+        reg.register("g", &path).unwrap();
+        reg.mutate("g", &DeltaBatch::Add(vec![Edge::new(0, 5)]))
+            .unwrap();
+        assert_eq!(reg.get("g").unwrap().delta_seq(), 1);
+        // Unchanged file: the live overlay survives re-registration.
+        let (e, bumped) = reg.register("g", &path).unwrap();
+        assert!(!bumped);
+        assert_eq!(e.delta_seq(), 1);
+        assert_eq!(e.snapshot.n_edges(), 8);
+        // Rewrite the file: a real re-register resets overlay and log.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        preprocess::edges_to_csr(
+            generate::chain(16),
+            &path,
+            &preprocess::PreprocessOptions::default(),
+        )
+        .unwrap();
+        let (e, bumped) = reg.register("g", &path).unwrap();
+        assert!(bumped);
+        assert_eq!(e.epoch, 2);
+        assert_eq!(e.delta_seq(), 0);
+        assert!(
+            !delta_path(&path).exists(),
+            "stale delta log must be deleted on reload"
+        );
+    }
+
+    #[test]
+    fn mutate_is_durable_and_replayed_on_restore() {
+        let dir = test_dir("mutdur");
+        let manifest = dir.join("registry.manifest");
+        let path = materialize_in(&dir, "g", generate::chain(6));
+        {
+            let (mut reg, _) = GraphRegistry::open(u64::MAX, manifest.clone());
+            reg.register("g", &path).unwrap();
+            let e = reg
+                .mutate(
+                    "g",
+                    &DeltaBatch::Add(vec![Edge::new(0, 3), Edge::new(9, 2)]),
+                )
+                .unwrap();
+            assert_eq!(e.delta_seq(), 1);
+            assert_eq!(e.snapshot.n_vertices(), 10, "overlay grows the graph");
+            let e = reg
+                .mutate("g", &DeltaBatch::Remove(vec![Edge::new(0, 1)]))
+                .unwrap();
+            assert_eq!(e.delta_seq(), 2);
+            assert_eq!(e.snapshot.n_edges(), 6); // 5 base + 2 added − 1 removed
+        }
+        // A restarted registry replays the log: same epoch, same seq,
+        // same merged view.
+        let (reg, restored) = GraphRegistry::open(u64::MAX, manifest);
+        assert_eq!(restored, 1);
+        let e = reg.get("g").unwrap();
+        assert_eq!((e.epoch, e.delta_seq()), (1, 2));
+        assert_eq!(e.snapshot.n_edges(), 6);
+        assert_eq!(e.snapshot.targets(0), vec![3]); // 0→1 removed, 0→3 added
+    }
+
+    #[test]
+    fn compaction_bumps_epoch_resets_seq_and_survives_restart() {
+        let dir = test_dir("compact");
+        let manifest = dir.join("registry.manifest");
+        let path = materialize_in(&dir, "g", generate::chain(6));
+        {
+            let (mut reg, _) = GraphRegistry::open(u64::MAX, manifest.clone());
+            reg.register("g", &path).unwrap();
+            reg.mutate("g", &DeltaBatch::Add(vec![Edge::new(2, 0)]))
+                .unwrap();
+            let ticket = reg.begin_compact("g").unwrap();
+            assert_eq!(ticket.dest, PathBuf::from(format!("{}.e2", path.display())));
+            ticket.snapshot.compact_to(&ticket.dest).unwrap();
+            let e = reg.finish_compact(&ticket).unwrap();
+            assert_eq!((e.epoch, e.delta_seq()), (2, 0));
+            assert_eq!(e.snapshot.n_edges(), 6);
+            assert_eq!(e.snapshot.targets(2), vec![3, 0]);
+            assert!(!delta_path(&path).exists(), "folded delta log must be gone");
+            // Mutating the compacted epoch starts a fresh log at the new
+            // path.
+            let e = reg
+                .mutate("g", &DeltaBatch::Add(vec![Edge::new(5, 5)]))
+                .unwrap();
+            assert_eq!((e.epoch, e.delta_seq()), (2, 1));
+        }
+        let (reg, restored) = GraphRegistry::open(u64::MAX, manifest);
+        assert_eq!(restored, 1);
+        let e = reg.get("g").unwrap();
+        assert_eq!((e.epoch, e.delta_seq()), (2, 1));
+        assert_eq!(e.snapshot.targets(5), vec![5]);
+        // A stale ticket from the pre-compaction epoch is refused.
+        let mut reg = reg;
+        let stale = CompactTicket {
+            graph_id: "g".into(),
+            epoch: 1,
+            snapshot: reg.get("g").unwrap().snapshot.clone(),
+            dest: dir.join("stale.gcsr"),
+        };
+        assert!(matches!(
+            reg.finish_compact(&stale),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn second_compaction_cleans_up_previous_epoch_file() {
+        let dir = test_dir("compact2");
+        let path = materialize_in(&dir, "g", generate::chain(5));
+        let mut reg = GraphRegistry::new(u64::MAX);
+        reg.register("g", &path).unwrap();
+        reg.mutate("g", &DeltaBatch::Add(vec![Edge::new(0, 2)]))
+            .unwrap();
+        let t1 = reg.begin_compact("g").unwrap();
+        t1.snapshot.compact_to(&t1.dest).unwrap();
+        reg.finish_compact(&t1).unwrap();
+        assert!(t1.dest.exists());
+        reg.mutate("g", &DeltaBatch::Add(vec![Edge::new(0, 3)]))
+            .unwrap();
+        let t2 = reg.begin_compact("g").unwrap();
+        t2.snapshot.compact_to(&t2.dest).unwrap();
+        let e = reg.finish_compact(&t2).unwrap();
+        assert_eq!((e.epoch, e.delta_seq()), (3, 0));
+        assert_eq!(e.snapshot.targets(0), vec![1, 2, 3]);
+        assert!(!t1.dest.exists(), "superseded epoch file must be deleted");
+        assert!(path.exists(), "the registered base file is never deleted");
     }
 
     #[test]
@@ -347,8 +722,11 @@ mod tests {
         // The refused register didn't disturb the resident entry.
         assert_eq!(reg2.len(), 1);
         assert!(reg2.get("s").is_some());
-        // Replacing the resident graph with itself stays within budget.
-        assert_eq!(reg2.register("s", &small).unwrap().epoch, 2);
+        // Re-registering the unchanged resident file is a budget-neutral
+        // no-op.
+        let (e, bumped) = reg2.register("s", &small).unwrap();
+        assert_eq!(e.epoch, 1);
+        assert!(!bumped);
     }
 
     #[test]
@@ -359,6 +737,14 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::BadRequest(_)));
         assert!(reg.is_empty());
+        let err = reg
+            .mutate("g", &DeltaBatch::Add(vec![Edge::new(0, 1)]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownGraph(_)));
+        assert!(matches!(
+            reg.begin_compact("g"),
+            Err(ServeError::UnknownGraph(_))
+        ));
     }
 
     #[test]
@@ -368,46 +754,57 @@ mod tests {
         let mut reg = GraphRegistry::new(u64::MAX);
         reg.register("zz", &a).unwrap();
         reg.register("aa", &b).unwrap();
+        reg.mutate("zz", &DeltaBatch::Add(vec![Edge::new(0, 7)]))
+            .unwrap();
         let rows = reg.list();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].graph_id, "aa");
         assert_eq!(rows[1].graph_id, "zz");
+        assert_eq!((rows[1].epoch, rows[1].delta_seq), (1, 1));
         assert_eq!(reg.resident_bytes(), rows[0].bytes + rows[1].bytes);
+        assert_eq!(reg.versions()["zz"], (1, 1));
+        assert_eq!(reg.versions()["aa"], (1, 0));
     }
 
     #[test]
     fn manifest_restores_graphs_and_epochs() {
         let dir = test_dir("restore");
         let manifest = dir.join("registry.manifest");
-        let a = materialize("ma", generate::cycle(16));
-        let b = materialize("mb", generate::chain(8));
+        let a = materialize_in(&dir, "ma", generate::cycle(16));
+        let b = materialize_in(&dir, "mb", generate::chain(8));
         {
             let (mut reg, restored) = GraphRegistry::open(u64::MAX, manifest.clone());
             assert_eq!(restored, 0);
             reg.register("a", &a).unwrap();
-            reg.register("a", &a).unwrap(); // epoch 2
+            // Re-registering the unchanged file stays at epoch 1.
+            assert!(!reg.register("a", &a).unwrap().1);
             reg.register("b", &b).unwrap();
         }
         let (reg, restored) = GraphRegistry::open(u64::MAX, manifest);
         assert_eq!(restored, 2);
-        assert_eq!(reg.get("a").unwrap().1, 2, "epochs survive restart");
-        assert_eq!(reg.get("b").unwrap().1, 1);
-        assert_eq!(reg.get("a").unwrap().0.n_vertices(), 16);
-        // Registering after restore keeps counting from the restored epoch.
+        assert_eq!(reg.get("a").unwrap().epoch, 1, "epochs survive restart");
+        assert_eq!(reg.get("b").unwrap().epoch, 1);
+        assert_eq!(reg.get("a").unwrap().snapshot.n_vertices(), 16);
+        // Registering the unchanged file after restore is still a no-op.
         let mut reg = reg;
-        assert_eq!(reg.register("a", &a).unwrap().epoch, 3);
+        let (e, bumped) = reg.register("a", &a).unwrap();
+        assert_eq!(e.epoch, 1);
+        assert!(!bumped);
     }
 
     #[test]
     fn changed_file_bumps_epoch_on_restore() {
         let dir = test_dir("changed");
         let manifest = dir.join("registry.manifest");
-        let path = materialize("mc", generate::cycle(16));
+        let path = materialize_in(&dir, "mc", generate::cycle(16));
         {
             let (mut reg, _) = GraphRegistry::open(u64::MAX, manifest.clone());
             reg.register("g", &path).unwrap();
+            reg.mutate("g", &DeltaBatch::Add(vec![Edge::new(0, 9)]))
+                .unwrap();
         }
         // Replace the graph file while the "server" is down.
+        std::thread::sleep(std::time::Duration::from_millis(20));
         gpsa_graph::preprocess::edges_to_csr(
             generate::cycle(32),
             &path,
@@ -416,20 +813,25 @@ mod tests {
         .unwrap();
         let (reg, restored) = GraphRegistry::open(u64::MAX, manifest.clone());
         assert_eq!(restored, 1);
-        let (graph, epoch) = reg.get("g").unwrap();
-        assert_eq!(epoch, 2, "changed bytes must look like a re-register");
-        assert_eq!(graph.n_vertices(), 32);
+        let e = reg.get("g").unwrap();
+        assert_eq!(e.epoch, 2, "changed bytes must look like a re-register");
+        assert_eq!(e.snapshot.n_vertices(), 32);
+        assert_eq!(
+            e.delta_seq(),
+            0,
+            "the old bytes' delta log must not replay onto new bytes"
+        );
         // The bump was persisted: a second restart does not bump again.
         drop(reg);
         let (reg, _) = GraphRegistry::open(u64::MAX, manifest);
-        assert_eq!(reg.get("g").unwrap().1, 2);
+        assert_eq!(reg.get("g").unwrap().epoch, 2);
     }
 
     #[test]
     fn missing_file_is_dropped_on_restore() {
         let dir = test_dir("missing");
         let manifest = dir.join("registry.manifest");
-        let keep = materialize("mk", generate::chain(8));
+        let keep = materialize_in(&dir, "mk", generate::chain(8));
         let doomed = dir.join("doomed.gcsr");
         gpsa_graph::preprocess::edges_to_csr(
             generate::chain(8),

@@ -33,10 +33,12 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::collections::HashSet;
+
 use actor::{Actor, Addr, Ctx};
 use crossbeam_channel::Sender;
 use gpsa::{Engine, EngineError};
-use gpsa_graph::DiskCsr;
+use gpsa_graph::{DeltaBatch, GraphSnapshot};
 use gpsa_metrics::timer::Timer;
 
 use crate::cache::{CacheKey, ResultCache};
@@ -44,7 +46,7 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::job::{run_job, JobOutcome, JobResponse, JobSpec, JobTicket, Priority, SubmitReply};
 use crate::journal::{sweep_scratch_dirs, JobJournal, JournalRecord};
-use crate::registry::{GraphInfo, GraphRegistry};
+use crate::registry::{CompactTicket, GraphEntry, GraphInfo, GraphRegistry};
 use crate::stats::ServerStats;
 
 /// Floor for the per-superstep watchdog derived from a job deadline, so
@@ -77,6 +79,34 @@ pub enum SchedulerMsg {
     },
     /// A connection was shed for stalling mid-frame (bookkeeping only).
     NoteShed,
+    /// Apply an edge-delta batch to a resident graph (durable: the batch
+    /// hits the graph's delta log, fsync'd, before the swap).
+    Mutate {
+        /// Graph to mutate.
+        graph_id: String,
+        /// The additions or removals.
+        batch: DeltaBatch,
+        /// Result + stats snapshot.
+        reply: Sender<(Result<GraphInfo, ServeError>, ServerStats)>,
+    },
+    /// Fold a graph's delta overlay into a fresh CSR as a new epoch. The
+    /// rewrite runs on a background thread against a pinned snapshot;
+    /// in-flight jobs keep their epoch and drain undisturbed.
+    Compact {
+        /// Graph to compact.
+        graph_id: String,
+        /// Answered when the compaction commits (or fails).
+        reply: Sender<(Result<GraphInfo, ServeError>, ServerStats)>,
+    },
+    /// A background compaction rewrite finished; commit or abandon it.
+    FinishCompact {
+        /// The pinned snapshot + destination from `begin_compact`.
+        ticket: CompactTicket,
+        /// Whether the CSR rewrite itself succeeded.
+        result: Result<(), ServeError>,
+        /// The original requester, answered after the commit.
+        reply: Sender<(Result<GraphInfo, ServeError>, ServerStats)>,
+    },
     /// A runner finished (successfully or not); always sent, even when
     /// the job panicked, so runner capacity can never leak.
     Done {
@@ -86,6 +116,8 @@ pub enum SchedulerMsg {
         ticket: JobTicket,
         /// Epoch of the graph the job ran against, for the cache key.
         epoch: u64,
+        /// Delta sequence within the epoch, for the cache key.
+        delta_seq: u64,
         /// What happened.
         result: Result<JobOutcome, ServeError>,
     },
@@ -96,8 +128,9 @@ pub enum SchedulerMsg {
 /// be cached — against).
 struct QueuedJob {
     ticket: JobTicket,
-    graph: Arc<DiskCsr>,
+    graph: Arc<GraphSnapshot>,
     epoch: u64,
+    delta_seq: u64,
 }
 
 /// What an idempotency key currently maps to.
@@ -121,6 +154,10 @@ pub struct Scheduler {
     /// Incomplete journaled jobs awaiting replay, built during recovery
     /// and enqueued in [`Actor::started`] once runners exist.
     replay: Vec<JobTicket>,
+    /// Graphs with a compaction rewrite in flight. Mutations and further
+    /// compactions of these are refused (`server_busy`) until the rewrite
+    /// commits, so the pinned snapshot stays the epoch's last word.
+    compacting: HashSet<String>,
     next_job_id: u64,
     queue_high: VecDeque<QueuedJob>,
     queue_normal: VecDeque<QueuedJob>,
@@ -175,8 +212,18 @@ impl Scheduler {
             )
         };
         // Entries for graphs that vanished or changed on disk while the
-        // server was down must not be served.
-        cache.retain_valid(&registry.epochs());
+        // server was down — or whose epoch/delta position moved — must
+        // not be served.
+        cache.retain_valid(&registry.versions());
+        #[cfg(feature = "chaos")]
+        let registry = match &config.fault_plan {
+            Some(plan) => {
+                let mut r = registry;
+                r.set_fault_plan(plan.clone());
+                r
+            }
+            None => registry,
+        };
 
         if config.durable {
             match JobJournal::open(&config.journal_path()) {
@@ -247,6 +294,7 @@ impl Scheduler {
             journal,
             idem,
             replay,
+            compacting: HashSet::new(),
             next_job_id,
             queue_high: VecDeque::new(),
             queue_normal: VecDeque::new(),
@@ -300,12 +348,13 @@ impl Scheduler {
         }
     }
 
-    fn cache_key(&self, ticket: &JobTicket, epoch: u64) -> CacheKey {
+    fn cache_key(&self, ticket: &JobTicket, epoch: u64, delta_seq: u64) -> CacheKey {
         CacheKey {
             graph_id: ticket.spec.graph_id.clone(),
             algorithm: ticket.spec.algorithm.name().to_string(),
             params: ticket.spec.algorithm.canonical_params(),
             epoch,
+            delta_seq,
         }
     }
 
@@ -341,6 +390,7 @@ impl Scheduler {
             ticket: job.ticket,
             graph: job.graph,
             epoch: job.epoch,
+            delta_seq: job.delta_seq,
         });
     }
 
@@ -405,15 +455,18 @@ impl Scheduler {
         if self.try_idempotent(&ticket) {
             return;
         }
-        let Some((graph, epoch)) = self.registry.get(&ticket.spec.graph_id) else {
-            let id = ticket.spec.graph_id.clone();
-            self.reply_err(
-                &ticket,
-                ServeError::UnknownGraph(format!("graph {id:?} is not registered")),
-            );
-            return;
+        let (graph, epoch, delta_seq) = match self.registry.get(&ticket.spec.graph_id) {
+            Some(entry) => (entry.snapshot.clone(), entry.epoch, entry.delta_seq()),
+            None => {
+                let id = ticket.spec.graph_id.clone();
+                self.reply_err(
+                    &ticket,
+                    ServeError::UnknownGraph(format!("graph {id:?} is not registered")),
+                );
+                return;
+            }
         };
-        let key = self.cache_key(&ticket, epoch);
+        let key = self.cache_key(&ticket, epoch, delta_seq);
         if let Some(outcome) = self.cache.get(&key) {
             if let Some(k) = &ticket.spec.idempotency_key {
                 self.idem
@@ -457,6 +510,7 @@ impl Scheduler {
             ticket,
             graph,
             epoch,
+            delta_seq,
         };
         if self.idle.is_empty() {
             match job.ticket.spec.priority {
@@ -492,6 +546,7 @@ impl Scheduler {
         runner: usize,
         ticket: JobTicket,
         epoch: u64,
+        delta_seq: u64,
         result: Result<JobOutcome, ServeError>,
     ) {
         self.idle.push(runner);
@@ -500,10 +555,11 @@ impl Scheduler {
                 self.journal_append(&JournalRecord::Committed {
                     job_id: ticket.job_id,
                     epoch,
+                    delta_seq,
                 });
                 self.jobs_completed += 1;
                 let outcome = Arc::new(outcome);
-                let key = self.cache_key(&ticket, epoch);
+                let key = self.cache_key(&ticket, epoch, delta_seq);
                 self.cache.put(key.clone(), outcome.clone());
                 let mut waiters = Vec::new();
                 if let Some(k) = &ticket.spec.idempotency_key {
@@ -534,6 +590,65 @@ impl Scheduler {
         }
         self.drain_queue();
     }
+
+    /// Apply a delta batch: refuse while the graph is compacting (the
+    /// pinned snapshot must stay the epoch's last word), otherwise append
+    /// to the delta log (fsync'd), swap the snapshot, and journal the new
+    /// version as a watermark.
+    fn handle_mutate(
+        &mut self,
+        graph_id: &str,
+        batch: &DeltaBatch,
+    ) -> Result<GraphInfo, ServeError> {
+        if self.compacting.contains(graph_id) {
+            return Err(ServeError::ServerBusy(format!(
+                "graph {graph_id:?} is compacting; retry the mutation shortly"
+            )));
+        }
+        let entry = self.registry.mutate(graph_id, batch)?;
+        self.journal_append(&JournalRecord::Mutated {
+            graph_id: graph_id.to_string(),
+            epoch: entry.epoch,
+            delta_seq: entry.delta_seq(),
+        });
+        Ok(graph_info(graph_id, &entry))
+    }
+
+    /// Commit (or abandon) a finished background compaction rewrite.
+    fn handle_finish_compact(
+        &mut self,
+        ticket: CompactTicket,
+        result: Result<(), ServeError>,
+    ) -> Result<GraphInfo, ServeError> {
+        self.compacting.remove(&ticket.graph_id);
+        if let Err(e) = result {
+            // The rewrite itself failed; the registry was never touched.
+            // Drop the partial output and keep serving the old epoch.
+            let _ = std::fs::remove_file(&ticket.dest);
+            return Err(e);
+        }
+        let entry = self.registry.finish_compact(&ticket)?;
+        // The epoch moved: every cached result for this graph is stale.
+        self.cache.purge_graph(&ticket.graph_id);
+        self.journal_append(&JournalRecord::Mutated {
+            graph_id: ticket.graph_id.clone(),
+            epoch: entry.epoch,
+            delta_seq: entry.delta_seq(),
+        });
+        Ok(graph_info(&ticket.graph_id, &entry))
+    }
+}
+
+/// Build the wire-facing row for a registry entry.
+fn graph_info(graph_id: &str, entry: &GraphEntry) -> GraphInfo {
+    GraphInfo {
+        graph_id: graph_id.to_string(),
+        epoch: entry.epoch,
+        delta_seq: entry.delta_seq(),
+        n_vertices: entry.snapshot.n_vertices(),
+        n_edges: entry.snapshot.n_edges(),
+        bytes: entry.snapshot.file_bytes() as u64,
+    }
 }
 
 /// What one pass over the recovered journal yields.
@@ -554,7 +669,8 @@ struct Analysis {
 fn analyze(records: &[JournalRecord]) -> Analysis {
     let mut max_job_id = 0;
     let mut submitted: HashMap<u64, &JournalRecord> = HashMap::new();
-    let mut committed: HashMap<u64, u64> = HashMap::new(); // job_id → epoch
+    // job_id → (epoch, delta_seq)
+    let mut committed: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut failed: Vec<u64> = Vec::new();
     let mut order: Vec<u64> = Vec::new();
     for rec in records {
@@ -566,10 +682,17 @@ fn analyze(records: &[JournalRecord]) -> Analysis {
                 }
             }
             JournalRecord::Started { .. } => {}
-            JournalRecord::Committed { job_id, epoch } => {
-                committed.insert(*job_id, *epoch);
+            JournalRecord::Committed {
+                job_id,
+                epoch,
+                delta_seq,
+            } => {
+                committed.insert(*job_id, (*epoch, *delta_seq));
             }
             JournalRecord::Failed { job_id } => failed.push(*job_id),
+            // Mutation watermarks carry no job; the registry's own delta
+            // log and manifest are the durable source of graph state.
+            JournalRecord::Mutated { .. } => {}
         }
     }
     let mut analysis = Analysis {
@@ -589,7 +712,7 @@ fn analyze(records: &[JournalRecord]) -> Analysis {
         else {
             unreachable!("submitted map holds only Submitted records");
         };
-        if let Some(epoch) = committed.get(&job_id) {
+        if let Some((epoch, delta_seq)) = committed.get(&job_id) {
             if let Some(k) = key {
                 analysis.completed_keys.push((
                     k.clone(),
@@ -598,12 +721,14 @@ fn analyze(records: &[JournalRecord]) -> Analysis {
                         algorithm: algorithm.name().to_string(),
                         params: algorithm.canonical_params(),
                         epoch: *epoch,
+                        delta_seq: *delta_seq,
                     },
                 ));
                 analysis.keep.push(rec.clone());
                 analysis.keep.push(JournalRecord::Committed {
                     job_id,
                     epoch: *epoch,
+                    delta_seq: *delta_seq,
                 });
             }
         } else if !failed.contains(&job_id) {
@@ -632,16 +757,19 @@ impl Actor for Scheduler {
         // refusing them now would break the journal's promise) but share
         // runners fairly with new work via the normal queues.
         for ticket in std::mem::take(&mut self.replay) {
-            let Some((graph, epoch)) = self.registry.get(&ticket.spec.graph_id) else {
-                // The graph did not survive the restart; the job cannot.
-                self.resolve_failure(
-                    &ticket,
-                    ServeError::UnknownGraph(format!(
-                        "graph {:?} was not restored; job {} cannot replay",
-                        ticket.spec.graph_id, ticket.job_id
-                    )),
-                );
-                continue;
+            let (graph, epoch, delta_seq) = match self.registry.get(&ticket.spec.graph_id) {
+                Some(entry) => (entry.snapshot.clone(), entry.epoch, entry.delta_seq()),
+                None => {
+                    // The graph did not survive the restart; the job cannot.
+                    self.resolve_failure(
+                        &ticket,
+                        ServeError::UnknownGraph(format!(
+                            "graph {:?} was not restored; job {} cannot replay",
+                            ticket.spec.graph_id, ticket.job_id
+                        )),
+                    );
+                    continue;
+                }
             };
             self.jobs_replayed += 1;
             self.jobs_submitted += 1;
@@ -649,6 +777,7 @@ impl Actor for Scheduler {
                 ticket,
                 graph,
                 epoch,
+                delta_seq,
             };
             match job.ticket.spec.priority {
                 Priority::High => self.queue_high.push_back(job),
@@ -658,7 +787,7 @@ impl Actor for Scheduler {
         self.drain_queue();
     }
 
-    fn handle(&mut self, msg: SchedulerMsg, _ctx: &mut Ctx<'_, Self>) {
+    fn handle(&mut self, msg: SchedulerMsg, ctx: &mut Ctx<'_, Self>) {
         match msg {
             SchedulerMsg::Submit(ticket) => self.handle_submit(ticket),
             SchedulerMsg::RegisterGraph {
@@ -666,18 +795,19 @@ impl Actor for Scheduler {
                 path,
                 reply,
             } => {
-                let result = self.registry.register(&graph_id, &path).map(|entry| {
-                    // Epoch bumped: old cached results can never match
-                    // again; reclaim their memory eagerly.
-                    self.cache.purge_graph(&graph_id);
-                    GraphInfo {
-                        graph_id: graph_id.clone(),
-                        epoch: entry.epoch,
-                        n_vertices: entry.graph.n_vertices(),
-                        n_edges: entry.graph.n_edges(),
-                        bytes: entry.graph.file_bytes() as u64,
-                    }
-                });
+                let result = self
+                    .registry
+                    .register(&graph_id, &path)
+                    .map(|(entry, bumped)| {
+                        if bumped {
+                            // Epoch bumped: old cached results can never match
+                            // again; reclaim their memory eagerly. (A no-op
+                            // re-registration of an unchanged file keeps its
+                            // epoch, its overlay, and its cache entries.)
+                            self.cache.purge_graph(&graph_id);
+                        }
+                        graph_info(&graph_id, &entry)
+                    });
                 let _ = reply.send((result, self.stats()));
             }
             SchedulerMsg::ListGraphs { reply } => {
@@ -687,12 +817,61 @@ impl Actor for Scheduler {
                 let _ = reply.send(self.stats());
             }
             SchedulerMsg::NoteShed => self.conns_shed += 1,
+            SchedulerMsg::Mutate {
+                graph_id,
+                batch,
+                reply,
+            } => {
+                let result = self.handle_mutate(&graph_id, &batch);
+                let _ = reply.send((result, self.stats()));
+            }
+            SchedulerMsg::Compact { graph_id, reply } => {
+                if self.compacting.contains(&graph_id) {
+                    let err =
+                        ServeError::ServerBusy(format!("graph {graph_id:?} is already compacting"));
+                    let _ = reply.send((Err(err), self.stats()));
+                    return;
+                }
+                match self.registry.begin_compact(&graph_id) {
+                    Ok(ticket) => {
+                        self.compacting.insert(graph_id);
+                        // The CSR rewrite is pure I/O over a pinned
+                        // snapshot: run it off-actor so the scheduler (and
+                        // every runner) stays responsive, then commit via
+                        // our own mailbox.
+                        let addr = ctx.addr();
+                        std::thread::spawn(move || {
+                            let result = ticket
+                                .snapshot
+                                .compact_to(&ticket.dest)
+                                .map_err(|e| ServeError::Engine(format!("compaction failed: {e}")));
+                            let _ = addr.send(SchedulerMsg::FinishCompact {
+                                ticket,
+                                result,
+                                reply,
+                            });
+                        });
+                    }
+                    Err(e) => {
+                        let _ = reply.send((Err(e), self.stats()));
+                    }
+                }
+            }
+            SchedulerMsg::FinishCompact {
+                ticket,
+                result,
+                reply,
+            } => {
+                let result = self.handle_finish_compact(ticket, result);
+                let _ = reply.send((result, self.stats()));
+            }
             SchedulerMsg::Done {
                 runner,
                 ticket,
                 epoch,
+                delta_seq,
                 result,
-            } => self.handle_done(runner, ticket, epoch, result),
+            } => self.handle_done(runner, ticket, epoch, delta_seq, result),
         }
     }
 }
@@ -709,16 +888,24 @@ pub struct RunJob {
     /// The job (ticket travels to the runner and back; the scheduler
     /// sends the reply).
     pub ticket: JobTicket,
-    /// Pre-resolved shared graph.
-    pub graph: Arc<DiskCsr>,
+    /// Pre-resolved shared snapshot (base CSR ⊕ delta overlay), pinned
+    /// at submit: later mutations or compactions of the same graph id
+    /// cannot disturb a running job.
+    pub graph: Arc<GraphSnapshot>,
     /// Registry epoch pinned at submit.
     pub epoch: u64,
+    /// Delta sequence pinned at submit.
+    pub delta_seq: u64,
 }
 
 impl Runner {
     /// Execute the job body; every early return is an error the scheduler
     /// will relay.
-    fn execute(&self, ticket: &JobTicket, graph: &Arc<DiskCsr>) -> Result<JobOutcome, ServeError> {
+    fn execute(
+        &self,
+        ticket: &JobTicket,
+        graph: &Arc<GraphSnapshot>,
+    ) -> Result<JobOutcome, ServeError> {
         let remaining = ticket.remaining();
         if remaining == Some(Duration::ZERO) {
             return Err(ServeError::DeadlineExceeded(format!(
@@ -780,6 +967,7 @@ impl Actor for Runner {
             mut ticket,
             graph,
             epoch,
+            delta_seq,
         } = msg;
         ticket.timer.lap("queue_wait");
         // catch_unwind so Done is sent even if the engine panics: a lost
@@ -798,6 +986,7 @@ impl Actor for Runner {
             runner: self.id,
             ticket,
             epoch,
+            delta_seq,
             result,
         });
     }
@@ -826,12 +1015,18 @@ mod tests {
             JournalRecord::Committed {
                 job_id: 1,
                 epoch: 1,
+                delta_seq: 0,
             },
             submitted(2, Some("k2")),
             JournalRecord::Started { job_id: 2 },
             submitted(3, None),
             JournalRecord::Failed { job_id: 3 },
             submitted(4, None),
+            JournalRecord::Mutated {
+                graph_id: "g".to_string(),
+                epoch: 1,
+                delta_seq: 3,
+            },
         ];
         let a = analyze(&records);
         assert_eq!(a.max_job_id, 4);
@@ -849,6 +1044,7 @@ mod tests {
             JournalRecord::Committed {
                 job_id: 1,
                 epoch: 7,
+                delta_seq: 2,
             },
         ];
         let a = analyze(&records);
@@ -859,6 +1055,7 @@ mod tests {
         assert_eq!(ck.graph_id, "g");
         assert_eq!(ck.algorithm, "bfs");
         assert_eq!(ck.epoch, 7);
+        assert_eq!(ck.delta_seq, 2);
         // The keyed pair is retained by compaction so the idempotency map
         // survives a second restart.
         assert_eq!(a.keep.len(), 2);

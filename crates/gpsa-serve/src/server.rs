@@ -19,6 +19,9 @@
 //! | `list_graphs`    | —                                                          |
 //! | `stats`          | —                                                          |
 //! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?`, `idempotency_key?` |
+//! | `add_edges`      | `graph_id`, `edges` (array of `"src:dst"` strings)         |
+//! | `remove_edges`   | `graph_id`, `edges` (array of `"src:dst"` strings)         |
+//! | `compact`        | `graph_id` (answers once the new epoch commits)            |
 //! | `shutdown`       | —                                                          |
 //!
 //! Every response has `"ok"` and (except `ping`) a `"stats"` counter
@@ -45,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use actor::{Addr, System};
 use crossbeam_channel::bounded;
+use gpsa_graph::{DeltaBatch, Edge};
 use gpsa_metrics::timer::Timer;
 
 use crate::config::ServeConfig;
@@ -278,6 +282,7 @@ fn graph_info_json(info: &GraphInfo) -> Json {
     Json::obj()
         .set("graph_id", Json::str(&info.graph_id))
         .set("epoch", Json::num(info.epoch))
+        .set("delta_seq", Json::num(info.delta_seq))
         .set("n_vertices", Json::num(info.n_vertices as u64))
         .set("n_edges", Json::num(info.n_edges as u64))
         .set("bytes", Json::num(info.bytes))
@@ -338,6 +343,9 @@ fn handle_request(req: &Json, shared: &Shared) -> Json {
             }
         }
         "submit" => handle_submit(req, shared),
+        "add_edges" => handle_mutate(req, shared, false),
+        "remove_edges" => handle_mutate(req, shared, true),
+        "compact" => handle_compact(req, shared),
         "shutdown" => {
             if !shared.shutdown.swap(true, Ordering::AcqRel) {
                 // Wake the accept loop so it observes the flag.
@@ -373,14 +381,19 @@ fn handle_register(req: &Json, shared: &Shared) -> Json {
             None,
         );
     }
+    graph_info_reply(rx)
+}
+
+/// Await a `(GraphInfo, stats)` scheduler reply and render it — the
+/// shared tail of `register_graph`, `add_edges`, `remove_edges`, and
+/// `compact`, which all answer with the graph's (possibly new) registry
+/// row.
+fn graph_info_reply(
+    rx: crossbeam_channel::Receiver<(Result<GraphInfo, ServeError>, ServerStats)>,
+) -> Json {
     match rx.recv() {
-        Ok((Ok(info), stats)) => Json::obj()
+        Ok((Ok(info), stats)) => graph_info_json(&info)
             .set("ok", Json::Bool(true))
-            .set("graph_id", Json::str(&info.graph_id))
-            .set("epoch", Json::num(info.epoch))
-            .set("n_vertices", Json::num(info.n_vertices as u64))
-            .set("n_edges", Json::num(info.n_edges as u64))
-            .set("bytes", Json::num(info.bytes))
             .set("stats", stats.to_json()),
         Ok((Err(err), stats)) => error_frame(&err, Some(&stats)),
         Err(_) => error_frame(
@@ -388,6 +401,84 @@ fn handle_register(req: &Json, shared: &Shared) -> Json {
             None,
         ),
     }
+}
+
+/// Parse the `edges` field: an array of `"src:dst"` strings.
+fn parse_edges(req: &Json) -> Result<Vec<Edge>, ServeError> {
+    let Some(rows) = req.get("edges").and_then(Json::as_arr) else {
+        return Err(ServeError::BadRequest(
+            "mutation needs an `edges` array of \"src:dst\" strings".to_string(),
+        ));
+    };
+    let mut edges = Vec::with_capacity(rows.len());
+    for row in rows {
+        let s = row.as_str().unwrap_or("");
+        let parsed = s
+            .split_once(':')
+            .and_then(|(u, v)| Some(Edge::new(u.trim().parse().ok()?, v.trim().parse().ok()?)));
+        match parsed {
+            Some(e) => edges.push(e),
+            None => {
+                return Err(ServeError::BadRequest(format!(
+                    "bad edge {s:?}: expected \"src:dst\" with u32 endpoints"
+                )))
+            }
+        }
+    }
+    if edges.is_empty() {
+        return Err(ServeError::BadRequest(
+            "mutation needs at least one edge".to_string(),
+        ));
+    }
+    Ok(edges)
+}
+
+fn handle_mutate(req: &Json, shared: &Shared, remove: bool) -> Json {
+    let Some(graph_id) = req.get("graph_id").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("mutation needs graph_id".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let edges = match parse_edges(req) {
+        Ok(e) => e,
+        Err(err) => return error_frame(&err, fetch_stats(shared).as_ref()),
+    };
+    let batch = if remove {
+        DeltaBatch::Remove(edges)
+    } else {
+        DeltaBatch::Add(edges)
+    };
+    let (tx, rx) = bounded(1);
+    let msg = SchedulerMsg::Mutate {
+        graph_id: graph_id.to_string(),
+        batch,
+        reply: tx,
+    };
+    if shared.scheduler.send(msg).is_err() {
+        return error_frame(
+            &ServeError::Engine("scheduler unavailable".to_string()),
+            None,
+        );
+    }
+    graph_info_reply(rx)
+}
+
+fn handle_compact(req: &Json, shared: &Shared) -> Json {
+    let Some(graph_id) = req.get("graph_id").and_then(Json::as_str) else {
+        let err = ServeError::BadRequest("compact needs graph_id".to_string());
+        return error_frame(&err, fetch_stats(shared).as_ref());
+    };
+    let (tx, rx) = bounded(1);
+    let msg = SchedulerMsg::Compact {
+        graph_id: graph_id.to_string(),
+        reply: tx,
+    };
+    if shared.scheduler.send(msg).is_err() {
+        return error_frame(
+            &ServeError::Engine("scheduler unavailable".to_string()),
+            None,
+        );
+    }
+    graph_info_reply(rx)
 }
 
 fn handle_submit(req: &Json, shared: &Shared) -> Json {

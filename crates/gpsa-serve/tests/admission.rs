@@ -171,7 +171,23 @@ fn re_register_bumps_epoch_and_invalidates_cache() {
     assert!(hit.cache_hit);
     assert_eq!(hit.stats.cache_len, 1);
 
-    // Re-register the same file: epoch bumps, cached results are dead.
+    // Re-registering the *unchanged* file is a no-op: the stamp matches,
+    // so the epoch holds and cached results stay valid.
+    let info = client.register_graph("g", g.to_str().unwrap()).unwrap();
+    assert_eq!(info.epoch, 1, "unchanged file must not bump the epoch");
+    let noop = client.submit(&req).unwrap();
+    assert!(noop.cache_hit, "no-op re-register must keep the cache");
+    assert_eq!(noop.stats.cache_len, 1);
+
+    // Rewrite the file (same edges, new stamp): now the epoch bumps and
+    // cached results are dead.
+    std::thread::sleep(Duration::from_millis(20));
+    preprocess::edges_to_csr(
+        generate::cycle(4096),
+        &g,
+        &preprocess::PreprocessOptions::default(),
+    )
+    .unwrap();
     let info = client.register_graph("g", g.to_str().unwrap()).unwrap();
     assert_eq!(info.epoch, 2);
     let after = client.stats().unwrap();

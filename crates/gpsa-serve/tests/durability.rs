@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpsa::{Engine, EngineConfig};
-use gpsa_graph::{generate, preprocess, DiskCsr};
+use gpsa_graph::{generate, preprocess, DiskCsr, GraphSnapshot};
 use gpsa_serve::job::run_job;
 use gpsa_serve::{start, AlgorithmSpec, Client, ServeConfig, ServerStats, SubmitRequest};
 
@@ -24,6 +24,10 @@ const CHILD_ENV: &str = "GPSA_DURABILITY_CHILD";
 const WORK_ENV: &str = "GPSA_CHILD_WORK";
 #[cfg(feature = "chaos")]
 const CRASH_ENV: &str = "GPSA_CHILD_CRASH";
+#[cfg(feature = "chaos")]
+const DELTA_ENV: &str = "GPSA_CHILD_DELTA_TORN";
+#[cfg(feature = "chaos")]
+const COMPACT_ENV: &str = "GPSA_CHILD_COMPACT";
 
 fn test_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("gpsa-serve-dur-{}-{tag}", std::process::id()));
@@ -59,7 +63,9 @@ fn direct_bits(alg: &AlgorithmSpec, csr: &Path, work: &Path) -> Vec<u32> {
     let mut cfg = engine_template(work);
     cfg.termination = alg.termination();
     let engine = Engine::new(cfg);
-    let graph = Arc::new(DiskCsr::open(csr).unwrap());
+    let graph = Arc::new(GraphSnapshot::from_csr(Arc::new(
+        DiskCsr::open(csr).unwrap(),
+    )));
     let out = run_job(&engine, &graph, &work.join("values.gval"), alg).unwrap();
     out.values_u32.as_ref().clone()
 }
@@ -71,25 +77,28 @@ fn slow_pagerank() -> AlgorithmSpec {
     }
 }
 
-/// Spawn this test binary as a server child over `work`. The child
-/// writes its bound address to `<work>/addr.txt` once it is listening.
-fn spawn_child(work: &Path, crash: Option<&str>) -> Child {
+/// Spawn this test binary as a server child over `work` with extra env
+/// vars (the chaos tests use them to script the child's fault plan). The
+/// child writes its bound address to `<work>/addr.txt` once listening.
+fn spawn_child_env(work: &Path, envs: &[(&str, &str)]) -> Child {
     let mut cmd = Command::new(std::env::current_exe().unwrap());
     cmd.args(["--exact", "child_server", "--nocapture"])
         .env(CHILD_ENV, "1")
         .env(WORK_ENV, work)
         .stdout(Stdio::null())
         .stderr(Stdio::null());
-    match crash {
-        #[cfg(feature = "chaos")]
-        Some(state) => {
-            cmd.env(CRASH_ENV, state);
-        }
-        _ => {
-            let _ = crash;
-        }
+    for (k, v) in envs {
+        cmd.env(k, v);
     }
     cmd.spawn().expect("spawn child server")
+}
+
+fn spawn_child(work: &Path, crash: Option<&str>) -> Child {
+    match crash {
+        #[cfg(feature = "chaos")]
+        Some(state) => spawn_child_env(work, &[(CRASH_ENV, state)]),
+        _ => spawn_child_env(work, &[]),
+    }
 }
 
 fn wait_for_addr(work: &Path) -> std::net::SocketAddr {
@@ -136,11 +145,33 @@ fn child_server() {
     #[allow(unused_mut)]
     let mut config = serve_config(&work);
     #[cfg(feature = "chaos")]
-    if let Ok(state) = std::env::var(CRASH_ENV) {
-        let state = gpsa_serve::JournalState::parse(&state).expect("valid crash state");
-        let plan = gpsa_serve::ServeFaultPlan::new(1)
-            .with(gpsa_serve::ServeFault::CrashAtJournal { state, nth: 0 });
-        config = config.with_fault_plan(Arc::new(plan));
+    {
+        use gpsa_serve::{CompactPoint, ServeFault, ServeFaultPlan};
+        let mut plan = ServeFaultPlan::new(1);
+        let mut armed = false;
+        if let Ok(state) = std::env::var(CRASH_ENV) {
+            let state = gpsa_serve::JournalState::parse(&state).expect("valid crash state");
+            plan = plan.with(ServeFault::CrashAtJournal { state, nth: 0 });
+            armed = true;
+        }
+        if let Ok(nth) = std::env::var(DELTA_ENV) {
+            plan = plan.with(ServeFault::TornDeltaAppend {
+                nth: nth.parse().expect("numeric delta-torn index"),
+            });
+            armed = true;
+        }
+        if let Ok(point) = std::env::var(COMPACT_ENV) {
+            let point = match point.as_str() {
+                "before" => CompactPoint::BeforeManifest,
+                "after" => CompactPoint::AfterManifest,
+                other => panic!("unknown compact crash point {other:?}"),
+            };
+            plan = plan.with(ServeFault::CrashAtCompact { nth: 0, point });
+            armed = true;
+        }
+        if armed {
+            config = config.with_fault_plan(Arc::new(plan));
+        }
     }
     let handle = start(config).unwrap();
     let tmp = work.join("addr.txt.tmp");
@@ -357,4 +388,124 @@ fn torn_journal_tail_truncates_and_replays() {
     assert!(stats.jobs_replayed >= 1, "stats: {stats:?}");
     let again = client.submit(&req).unwrap();
     assert_eq!(again.outcome.values_u32, first.outcome.values_u32);
+}
+
+/// Satellite: kill the server mid-`add_edges` — the delta log gets half
+/// a framed record, no fsync. Restart must land on the pre-mutation
+/// snapshot (the durable first batch survives, the torn second batch
+/// vanishes), never a torn one, and cached results still match their
+/// `(epoch, delta_seq)` version.
+#[cfg(feature = "chaos")]
+#[test]
+fn crash_mid_add_edges_recovers_untorn_snapshot() {
+    let dir = test_dir("delta-torn");
+    let csr = build_csr(&dir, generate::chain(512));
+    let work = dir.join("serve");
+    std::fs::create_dir_all(&work).unwrap();
+
+    // Life 1: the second delta append tears and the process dies.
+    let mut child = spawn_child_env(&work, &[(DELTA_ENV, "1")]);
+    let addr = wait_for_addr(&work);
+    let mut admin = Client::connect(addr).unwrap();
+    admin.register_graph("g", csr.to_str().unwrap()).unwrap();
+    let info = admin.add_edges("g", &[(0, 100), (5, 200)]).unwrap();
+    assert_eq!((info.epoch, info.delta_seq), (1, 1));
+    assert_eq!(info.n_edges, 513);
+    let req = SubmitRequest::new("g", AlgorithmSpec::Cc).with_idempotency_key("cc-live");
+    let first = admin.submit(&req).unwrap();
+    assert!(!first.cache_hit);
+    assert!(
+        admin.add_edges("g", &[(7, 300)]).is_err(),
+        "the crash must sever the mutation"
+    );
+    child.wait().unwrap();
+
+    // Life 2: the torn batch is gone, the durable one survives.
+    let handle = start(serve_config(&work)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let graphs = client.list_graphs().unwrap();
+    assert_eq!(graphs.len(), 1);
+    assert_eq!(
+        (graphs[0].epoch, graphs[0].delta_seq),
+        (1, 1),
+        "recovery must land on the pre-mutation snapshot, never a torn one"
+    );
+    assert_eq!(graphs[0].n_edges, 513);
+
+    // The cached result is still valid for its version and answers
+    // without a rerun, bit-identical.
+    let before = client.stats().unwrap();
+    let again = client.submit(&req).unwrap();
+    assert!(
+        again.cache_hit,
+        "cached result must survive for its version"
+    );
+    assert_eq!(again.outcome.values_u32, first.outcome.values_u32);
+    assert_eq!(
+        client.stats().unwrap().jobs_completed,
+        before.jobs_completed
+    );
+
+    // The log tail is clean: the lost mutation simply re-applies.
+    let info = client.add_edges("g", &[(7, 300)]).unwrap();
+    assert_eq!((info.epoch, info.delta_seq), (1, 2));
+    assert_eq!(info.n_edges, 514);
+}
+
+/// Satellite: kill the server mid-compaction, on both sides of the
+/// manifest commit. Restart must land on exactly the pre-compaction
+/// epoch (crash before the commit) or the post-compaction epoch (crash
+/// after), never anything in between — and the same submission answers
+/// with the same bits either way.
+#[cfg(feature = "chaos")]
+#[test]
+fn crash_mid_compaction_lands_on_whole_epochs() {
+    for (point, expect_epoch, expect_seq) in [("before", 1u64, 1u64), ("after", 2u64, 0u64)] {
+        let dir = test_dir(&format!("compact-{point}"));
+        let csr = build_csr(&dir, generate::chain(512));
+        let work = dir.join("serve");
+        std::fs::create_dir_all(&work).unwrap();
+
+        // Life 1: aborts at the scripted compaction commit point.
+        let mut child = spawn_child_env(&work, &[(COMPACT_ENV, point)]);
+        let addr = wait_for_addr(&work);
+        let mut admin = Client::connect(addr).unwrap();
+        admin.register_graph("g", csr.to_str().unwrap()).unwrap();
+        admin.add_edges("g", &[(0, 100), (5, 200)]).unwrap();
+        let req = SubmitRequest::new("g", AlgorithmSpec::Cc).with_idempotency_key("cc");
+        let first = admin.submit(&req).unwrap();
+        assert!(
+            admin.compact("g").is_err(),
+            "[{point}] the crash must sever the compact call"
+        );
+        child.wait().unwrap();
+
+        // Life 2: a whole epoch, one side of the commit or the other.
+        let handle = start(serve_config(&work)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let graphs = client.list_graphs().unwrap();
+        assert_eq!(graphs.len(), 1, "[{point}]");
+        assert_eq!(
+            (graphs[0].epoch, graphs[0].delta_seq),
+            (expect_epoch, expect_seq),
+            "[{point}] recovery must land on a whole epoch"
+        );
+        assert_eq!(
+            graphs[0].n_edges, 513,
+            "[{point}] the merged graph survives either way"
+        );
+
+        // Same job, same bits: from the cache when the version survived
+        // the crash, recomputed when the epoch moved past it.
+        let again = client.submit(&req).unwrap();
+        assert_eq!(
+            again.cache_hit,
+            point == "before",
+            "[{point}] cached results must match their epoch exactly"
+        );
+        assert_eq!(
+            again.outcome.values_u32, first.outcome.values_u32,
+            "[{point}] post-recovery result diverged"
+        );
+    }
 }

@@ -232,7 +232,7 @@ fn scripted_network_faults_leave_the_server_serving() {
     use std::sync::Arc;
 
     use gpsa::Engine;
-    use gpsa_graph::{generate, DiskCsr};
+    use gpsa_graph::{generate, DiskCsr, GraphSnapshot};
     use gpsa_serve::job::run_job;
     use gpsa_serve::{AlgorithmSpec, ServeFaultPlan, SubmitRequest};
 
@@ -255,7 +255,9 @@ fn scripted_network_faults_leave_the_server_serving() {
             let mut cfg = engine_template(&work);
             cfg.termination = alg.termination();
             let engine = Engine::new(cfg);
-            let graph = Arc::new(DiskCsr::open(&csr).unwrap());
+            let graph = Arc::new(GraphSnapshot::from_csr(Arc::new(
+                DiskCsr::open(&csr).unwrap(),
+            )));
             let out = run_job(&engine, &graph, &work.join("values.gval"), alg).unwrap();
             out.values_u32.as_ref().clone()
         })

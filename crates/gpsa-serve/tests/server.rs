@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gpsa::{Engine, EngineConfig};
-use gpsa_graph::{generate, preprocess, DiskCsr};
+use gpsa_graph::{generate, preprocess, DiskCsr, GraphSnapshot};
 use gpsa_serve::job::run_job;
 use gpsa_serve::{start, AlgorithmSpec, Client, Priority, ServeConfig, SubmitRequest};
 
@@ -42,7 +42,9 @@ fn direct_bits(alg: &AlgorithmSpec, csr: &Path, work: &Path) -> Vec<u32> {
     let mut cfg = engine_template(work);
     cfg.termination = alg.termination();
     let engine = Engine::new(cfg);
-    let graph = Arc::new(DiskCsr::open(csr).unwrap());
+    let graph = Arc::new(GraphSnapshot::from_csr(Arc::new(
+        DiskCsr::open(csr).unwrap(),
+    )));
     let out = run_job(&engine, &graph, &work.join("values.gval"), alg).unwrap();
     out.values_u32.as_ref().clone()
 }
