@@ -128,12 +128,12 @@ pub fn pagerank(csr: &Csr, damping: f32, supersteps: u64) -> (Vec<f32>, SeqStats
     for _ in 0..supersteps {
         next.fill(0.0);
         touched.fill(false);
-        for u in 0..n {
+        for (u, &rank) in ranks.iter().enumerate() {
             let nbrs = csr.neighbors(u as VertexId);
             if nbrs.is_empty() {
                 continue; // sink: no messages (gen_msg -> None)
             }
-            let share = ranks[u] / nbrs.len() as f32;
+            let share = rank / nbrs.len() as f32;
             for &v in nbrs {
                 messages += 1;
                 next[v as usize] += damping * share;

@@ -320,9 +320,11 @@ fn run_baselines(
     Ok(out)
 }
 
-/// Run one engine cell and verify its values. Returns
-/// `(superstep_total, messages, gate_error, bytes_streamed, words_streamed,
-/// pagerank_values)`.
+/// One engine cell's measurements: `(superstep_total, messages,
+/// gate_error, bytes_streamed, words_streamed, pagerank_values)`.
+type CellResult = (Duration, u64, Option<String>, u64, u64, Option<Vec<f32>>);
+
+/// Run one engine cell and verify its values.
 #[allow(clippy::too_many_arguments)]
 fn run_engine_cell(
     algo: &'static str,
@@ -334,8 +336,7 @@ fn run_engine_cell(
     oracle_bfs: &[u32],
     oracle_cc: &[u32],
     oracle_pr: &[f32],
-) -> Result<(Duration, u64, Option<String>, u64, u64, Option<Vec<f32>>), Box<dyn std::error::Error>>
-{
+) -> Result<CellResult, Box<dyn std::error::Error>> {
     let actors = (cores / 2).max(1);
     let mut totals = Vec::new();
     let mut messages = 0u64;

@@ -3,13 +3,25 @@
 //! and report end-to-end submit latency (p50/p99), throughput, and the
 //! result-cache hit rate.
 //!
+//! A second phase measures multi-tenant overload behavior: a `heavy`
+//! tenant floods the server from many threads with cache-busting jobs
+//! while a `light` tenant submits a short sequential stream. The report
+//! includes per-tenant p50/p99 and how many of the flood's submissions
+//! the admission controller shed (quota / busy) — the light tenant
+//! should ride through with zero sheds.
+//!
 //! Writes `BENCH_serve.json` into `--data-dir` and prints the same
 //! numbers as a table.
 //!
 //! ```text
 //! cargo run --release -p gpsa-bench --bin bench_serve -- \
-//!     [--scale N] [--threads N] [--jobs N] [--clients N] [--data-dir D]
+//!     [--scale N] [--threads N] [--jobs N] [--clients N] \
+//!     [--flood-threads N] [--flood-rounds N] [--light-jobs N] [--data-dir D]
 //! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use gpsa::EngineConfig;
 use gpsa_bench::HarnessConfig;
@@ -17,7 +29,9 @@ use gpsa_dist::{replay_against_server, synthetic_jobs, ReplayConfig};
 use gpsa_graph::datasets::Dataset;
 use gpsa_graph::preprocess;
 use gpsa_metrics::Table;
-use gpsa_serve::{Client, ServeConfig};
+use gpsa_serve::{
+    AlgorithmSpec, Client, ClientError, RetryPolicy, ServeConfig, ServeError, SubmitRequest,
+};
 
 fn scan_flag(argv: &[String], key: &str, default: usize) -> Result<usize, String> {
     match argv.iter().position(|a| a == key) {
@@ -30,11 +44,117 @@ fn scan_flag(argv: &[String], key: &str, default: usize) -> Result<usize, String
     }
 }
 
+fn pct(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[(sorted.len() - 1) * p / 100]
+    }
+}
+
+/// What the contention phase measured for one tenant.
+struct TenantReport {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn tenant_report(mut latencies: Vec<u64>, ok: usize, shed: usize, failed: usize) -> TenantReport {
+    latencies.sort_unstable();
+    TenantReport {
+        ok,
+        shed,
+        failed,
+        p50_us: pct(&latencies, 50),
+        p99_us: pct(&latencies, 99),
+    }
+}
+
+/// Flood tenant `heavy` from `threads` clients while tenant `light`
+/// submits `light_jobs` sequentially. Every submission carries a unique
+/// damping factor so nothing cache-hits — the server has to schedule
+/// real work and the quota path actually fires.
+fn overload_phase(
+    addr: std::net::SocketAddr,
+    graph_id: &str,
+    threads: usize,
+    rounds: usize,
+    light_jobs: usize,
+) -> Result<(TenantReport, TenantReport), Box<dyn std::error::Error>> {
+    let uniq = Arc::new(AtomicU64::new(0));
+    let bust = |uniq: &AtomicU64| AlgorithmSpec::PageRank {
+        damping: 0.5 + uniq.fetch_add(1, Ordering::Relaxed) as f32 * 1e-6,
+        supersteps: 5,
+    };
+
+    let mut heavy_workers = Vec::new();
+    for _ in 0..threads {
+        let uniq = Arc::clone(&uniq);
+        let graph_id = graph_id.to_string();
+        heavy_workers.push(std::thread::spawn(
+            move || -> std::io::Result<(Vec<u64>, usize, usize, usize)> {
+                let mut client = Client::connect(addr)?;
+                let (mut lat, mut ok, mut shed, mut failed) = (Vec::new(), 0, 0, 0);
+                for _ in 0..rounds {
+                    let req = SubmitRequest::new(&graph_id, bust(&uniq)).with_tenant("heavy");
+                    let t0 = Instant::now();
+                    match client.submit(&req) {
+                        Ok(_) => {
+                            lat.push(t0.elapsed().as_micros() as u64);
+                            ok += 1;
+                        }
+                        Err(ClientError::Server(
+                            ServeError::QuotaExceeded(_) | ServeError::ServerBusy(_),
+                        )) => shed += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                Ok((lat, ok, shed, failed))
+            },
+        ));
+    }
+
+    // The light tenant retries (honoring any retry_after_ms shed hint),
+    // so a momentary global-queue rejection doesn't show up as a loss.
+    let mut light = Client::connect_with(addr, RetryPolicy::default_enabled())?;
+    let (mut lat, mut ok, mut shed, mut failed) = (Vec::new(), 0, 0, 0);
+    for _ in 0..light_jobs {
+        let req = SubmitRequest::new(graph_id, bust(&uniq)).with_tenant("light");
+        let t0 = Instant::now();
+        match light.submit(&req) {
+            Ok(_) => {
+                lat.push(t0.elapsed().as_micros() as u64);
+                ok += 1;
+            }
+            Err(ClientError::Server(ServeError::QuotaExceeded(_) | ServeError::ServerBusy(_))) => {
+                shed += 1
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let light_report = tenant_report(lat, ok, shed, failed);
+
+    let (mut lat, mut ok, mut shed, mut failed) = (Vec::new(), 0, 0, 0);
+    for w in heavy_workers {
+        let (l, o, s, f) = w.join().map_err(|_| "heavy flood worker panicked")??;
+        lat.extend(l);
+        ok += o;
+        shed += s;
+        failed += f;
+    }
+    Ok((tenant_report(lat, ok, shed, failed), light_report))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cfg = HarnessConfig::default().apply_flags(&argv)?;
     let n_jobs = scan_flag(&argv, "--jobs", 64)?;
     let clients = scan_flag(&argv, "--clients", 4)?;
+    let flood_threads = scan_flag(&argv, "--flood-threads", 6)?;
+    let flood_rounds = scan_flag(&argv, "--flood-rounds", 8)?;
+    let light_jobs = scan_flag(&argv, "--light-jobs", 12)?;
     std::fs::create_dir_all(&cfg.data_dir)?;
 
     // Two resident graphs: the mixed trace alternates between them, so
@@ -50,9 +170,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let work = cfg.data_dir.join("serve-work");
     let max_jobs = (cfg.threads / 2).max(1);
     let actors = (cfg.threads / 2).max(1);
+    // The per-tenant queue quota is what turns the heavy flood into
+    // typed quota_exceeded sheds instead of unbounded queue growth; the
+    // replay phase is unaffected (each replay connection submits
+    // sequentially, so its per-connection tenant never queues deep).
     let config = ServeConfig::new(&work)
         .with_max_concurrent_jobs(max_jobs)
         .with_queue_capacity(n_jobs.max(64))
+        .with_tenant_max_queued(4)
         .with_engine(EngineConfig::new(&work).with_actors(actors, actors));
     let handle = gpsa_serve::start(config)?;
     let addr = handle.addr();
@@ -80,6 +205,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
+    eprintln!(
+        "overload phase: {flood_threads} flood threads x {flood_rounds} rounds vs {light_jobs} light jobs"
+    );
+    let (heavy, light) = overload_phase(addr, &ids[0], flood_threads, flood_rounds, light_jobs)?;
+    let stats = admin.stats()?;
+    let tenant_shed = |name: &str| stats.tenant(name).map(|t| t.shed_quota).unwrap_or_default();
+
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["jobs total", &report.jobs_total.to_string()]);
     t.row(&["jobs ok", &report.jobs_ok.to_string()]);
@@ -96,10 +228,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cache hit rate",
         &format!("{:.1}%", 100.0 * report.cache_hit_rate),
     ]);
+    t.row(&["heavy p50", &format!("{}us", heavy.p50_us)]);
+    t.row(&["heavy p99", &format!("{}us", heavy.p99_us)]);
+    t.row(&[
+        "heavy ok/shed/failed",
+        &format!("{}/{}/{}", heavy.ok, heavy.shed, heavy.failed),
+    ]);
+    t.row(&["light p50", &format!("{}us", light.p50_us)]);
+    t.row(&["light p99", &format!("{}us", light.p99_us)]);
+    t.row(&[
+        "light ok/shed/failed",
+        &format!("{}/{}/{}", light.ok, light.shed, light.failed),
+    ]);
+    t.row(&["quota sheds (server)", &stats.jobs_quota_shed.to_string()]);
     print!("{t}");
 
+    // Splice the overload numbers into the replay document rather than
+    // nesting, so existing BENCH_serve.json consumers keep their keys.
+    let base = report.to_bench_json();
+    let base = base.trim_end().trim_end_matches('}').trim_end();
+    let json = format!(
+        "{base},\n  \"overload\": {{\n    \"flood_threads\": {flood_threads},\n    \
+         \"flood_rounds\": {flood_rounds},\n    \
+         \"heavy_p50_us\": {}, \"heavy_p99_us\": {},\n    \
+         \"heavy_ok\": {}, \"heavy_shed\": {}, \"heavy_failed\": {},\n    \
+         \"light_p50_us\": {}, \"light_p99_us\": {},\n    \
+         \"light_ok\": {}, \"light_shed\": {}, \"light_failed\": {},\n    \
+         \"quota_shed_total\": {}, \"heavy_shed_quota\": {}, \"light_shed_quota\": {}\n  }}\n}}\n",
+        heavy.p50_us,
+        heavy.p99_us,
+        heavy.ok,
+        heavy.shed,
+        heavy.failed,
+        light.p50_us,
+        light.p99_us,
+        light.ok,
+        light.shed,
+        light.failed,
+        stats.jobs_quota_shed,
+        tenant_shed("heavy"),
+        tenant_shed("light"),
+    );
+
     let out = cfg.data_dir.join("BENCH_serve.json");
-    std::fs::write(&out, report.to_bench_json())?;
+    std::fs::write(&out, json)?;
     eprintln!("wrote {}", out.display());
     Ok(())
 }

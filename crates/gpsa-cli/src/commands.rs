@@ -30,15 +30,23 @@ USAGE:
                   [--queue-capacity N] [--cache-capacity N] [--budget-mb N]
                   [--deadline-ms N] [--graphs id=path[,id=path...]]
                   [--no-durable (skip journaling; no crash recovery)]
+                  [--tenant-max-queued N] [--tenant-max-inflight N]
+                  [--tenant-scratch-mb N (per-tenant scratch budget)]
+                  [--tenant-weights id=w[,id=w...] (fair-queue weights)]
+                  [--auto-compact-ratio F (delta/base edges; 0 disables)]
+                  [--stream-chunk N (values per streamed result frame)]
   gpsa submit     --addr <host:port> --graph <id> --algo <pagerank|bfs|cc|sssp>
                   [--register PATH (make <id> resident first)]
                   [--root N] [--damping F] [--supersteps N]
                   [--priority normal|high] [--deadline-ms N] [--top N]
                   [--key K (idempotency key; safe resubmission)]
+                  [--tenant T (bill the job to tenant T)]
+                  [--stream (chunked result frames; bounded memory)]
                   [--no-retry (fail fast instead of backing off)]
   gpsa mutate     --addr <host:port> --graph <id>
                   [--add \"u:v,u:v,...\"] [--remove \"u:v,u:v,...\"]
                   [--compact (fold the delta log into a fresh CSR epoch)]
+  gpsa stats      --addr <host:port> [--tenants (per-tenant breakdown)]
   gpsa help
 ";
 
@@ -52,6 +60,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("serve") => serve(&argv[1..]),
         Some("submit") => submit(&argv[1..]),
         Some("mutate") => mutate(&argv[1..]),
+        Some("stats") => stats(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -261,6 +270,43 @@ fn serve(argv: &[String]) -> Result<(), String> {
         let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
         config = config.with_default_deadline(std::time::Duration::from_millis(ms));
     }
+    if let Some(n) = args.get("tenant-max-queued") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| "bad --tenant-max-queued".to_string())?;
+        config = config.with_tenant_max_queued(n);
+    }
+    if let Some(n) = args.get("tenant-max-inflight") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| "bad --tenant-max-inflight".to_string())?;
+        config = config.with_tenant_max_inflight(n);
+    }
+    if let Some(mb) = args.get("tenant-scratch-mb") {
+        let mb: u64 = mb
+            .parse()
+            .map_err(|_| "bad --tenant-scratch-mb".to_string())?;
+        config = config.with_tenant_scratch_budget(mb.saturating_mul(1 << 20));
+    }
+    if let Some(spec) = args.get("tenant-weights") {
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (id, w) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--tenant-weights entry {pair:?} is not id=weight"))?;
+            let w: u32 = w.parse().map_err(|_| format!("bad weight in {pair:?}"))?;
+            config = config.with_tenant_weight(id, w);
+        }
+    }
+    if let Some(r) = args.get("auto-compact-ratio") {
+        let r: f64 = r
+            .parse()
+            .map_err(|_| "bad --auto-compact-ratio".to_string())?;
+        config = config.with_auto_compact_ratio(r);
+    }
+    if let Some(n) = args.get("stream-chunk") {
+        let n: usize = n.parse().map_err(|_| "bad --stream-chunk".to_string())?;
+        config = config.with_stream_chunk_values(n);
+    }
     let max_jobs = config.max_concurrent_jobs;
     let durable = config.durable;
     let mut handle = gpsa_serve::start(config).map_err(|e| e.to_string())?;
@@ -303,7 +349,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
 fn submit(argv: &[String]) -> Result<(), String> {
     use gpsa_serve::{AlgorithmSpec, Client, Priority, RetryPolicy, SubmitRequest, ValueType};
 
-    let args = Args::parse(argv, &["no-retry"])?;
+    let args = Args::parse(argv, &["no-retry", "stream"])?;
     let addr = args.require("addr")?;
     let graph_id = args.require("graph")?.to_string();
     let algo = args.require("algo")?;
@@ -351,6 +397,12 @@ fn submit(argv: &[String]) -> Result<(), String> {
     }
     if let Some(key) = args.get("key") {
         req = req.with_idempotency_key(key);
+    }
+    if let Some(tenant) = args.get("tenant") {
+        req = req.with_tenant(tenant);
+    }
+    if args.flag("stream") {
+        req = req.with_stream();
     }
     let resp = client.submit(&req).map_err(|e| e.to_string())?;
     println!(
@@ -451,6 +503,80 @@ fn mutate(argv: &[String]) -> Result<(), String> {
     if args.flag("compact") {
         let info = client.compact(&graph_id).map_err(|e| e.to_string())?;
         print_info("compacted", &info);
+    }
+    Ok(())
+}
+
+/// Snapshot a running server's counters: global load, cache efficacy,
+/// sheds by cause, and (with `--tenants`, or whenever any tenant is
+/// known) the per-tenant breakdown operators use to see *who* is
+/// loading the server.
+fn stats(argv: &[String]) -> Result<(), String> {
+    use gpsa_serve::Client;
+
+    let args = Args::parse(argv, &["tenants"])?;
+    let addr = args.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+
+    let mut t = Table::new(&["counter", "value"]);
+    t.row(&[
+        "running / max",
+        &format!("{} / {}", s.running, s.max_concurrent_jobs),
+    ]);
+    t.row(&["queue depth", &s.queue_depth.to_string()]);
+    t.row(&["jobs submitted", &s.jobs_submitted.to_string()]);
+    t.row(&["jobs completed", &s.jobs_completed.to_string()]);
+    t.row(&["shed: server_busy", &s.jobs_rejected.to_string()]);
+    t.row(&["shed: quota_exceeded", &s.jobs_quota_shed.to_string()]);
+    t.row(&["shed: deadline_exceeded", &s.jobs_deadline.to_string()]);
+    t.row(&["shed: slow_client conns", &s.conns_shed.to_string()]);
+    t.row(&["jobs cancelled/reaped", &s.jobs_cancelled.to_string()]);
+    t.row(&["jobs failed", &s.jobs_failed.to_string()]);
+    t.row(&[
+        "cache hit rate",
+        &format!(
+            "{:.1}% of {} lookups ({} entries)",
+            100.0 * s.cache_hit_rate(),
+            s.cache_hits + s.cache_misses,
+            s.cache_len
+        ),
+    ]);
+    t.row(&["idempotent hits", &s.idempotent_hits.to_string()]);
+    t.row(&["jobs replayed at boot", &s.jobs_replayed.to_string()]);
+    t.row(&["auto-compactions", &s.auto_compactions.to_string()]);
+    t.row(&[
+        "graphs resident",
+        &format!("{} ({} bytes)", s.graphs_resident, s.resident_bytes),
+    ]);
+    print!("{t}");
+
+    if args.flag("tenants") || !s.tenants.is_empty() {
+        let mut t = Table::new(&[
+            "tenant",
+            "weight",
+            "queued",
+            "running",
+            "scratch B",
+            "submitted",
+            "completed",
+            "shed",
+            "cancelled",
+        ]);
+        for row in &s.tenants {
+            t.row(&[
+                &row.tenant,
+                &row.weight.to_string(),
+                &row.queued.to_string(),
+                &row.running.to_string(),
+                &row.scratch_bytes.to_string(),
+                &row.submitted.to_string(),
+                &row.completed.to_string(),
+                &row.shed_quota.to_string(),
+                &row.cancelled.to_string(),
+            ]);
+        }
+        print!("{t}");
     }
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! profile: fewer bytes under v2, and a different logical word count
 //! (v2 records carry no separator/degree words).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use gpsa::programs::{Bfs, ConnectedComponents, Sssp};
 use gpsa::{DispatchMode, Engine, EngineConfig, RunReport, SyncEngine, Termination};
@@ -47,7 +47,7 @@ fn both_formats(tag: &str, el: &EdgeList) -> (PathBuf, PathBuf) {
 
 fn run_path<P: gpsa::VertexProgram>(
     tag: &str,
-    path: &PathBuf,
+    path: &Path,
     program: P,
     term: Termination,
     mode: DispatchMode,

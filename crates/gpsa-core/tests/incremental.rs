@@ -3,7 +3,7 @@
 //! additions-only delta must land on values bit-identical to a scratch
 //! `run_snapshot` over the same merged snapshot.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use gpsa::programs::{Bfs, ConnectedComponents, PageRank, Sssp};
@@ -28,7 +28,7 @@ fn engine(dir: &PathBuf) -> Engine {
 /// Base graph + a mutated snapshot: ~1% added edges, including edges out
 /// of likely-unreached vertices, a chain of additions (reachable only
 /// through each other), and a brand-new vertex past the base id range.
-fn base_and_mutated(dir: &PathBuf) -> (Arc<GraphSnapshot>, Arc<GraphSnapshot>) {
+fn base_and_mutated(dir: &Path) -> (Arc<GraphSnapshot>, Arc<GraphSnapshot>) {
     let csr = dir.join("g.gcsr");
     preprocess::edges_to_csr(
         generate::erdos_renyi(600, 3000, 42),

@@ -96,7 +96,7 @@ fn traffic_depends_on_partition_locality() {
     let k = 200u32;
     let mut aligned = Vec::new();
     let mut interleaved = Vec::new();
-    let cluster_edges = generate::symmetrize(&generate::erdos_renyi(k as usize, 800, 7)).edges;
+    let cluster_edges = generate::symmetrize(&generate::erdos_renyi(k as usize, 800, 2)).edges;
     for e in &cluster_edges {
         // Cluster A: ids [0, k); cluster B: ids [k, 2k).
         aligned.push(*e);

@@ -22,17 +22,32 @@
 //! ([`SubmitRequest::with_idempotency_key`]) and the resubmission either
 //! attaches to the still-running job or is answered from its committed
 //! result — never a duplicate run.
+//!
+//! When the server sheds a request it may attach a `retry_after_ms`
+//! hint sized to its current queue depth; the retry loop honors it,
+//! preferring the hint (jittered, capped at `max_delay`) over the
+//! exponential curve for that attempt.
+//!
+//! ## Streaming
+//!
+//! [`SubmitRequest::with_stream`] asks the server to deliver the result
+//! as chunked frames (start / chunk... / end) instead of one monolithic
+//! reply. The client reads each chunk under a frame cap sized to the
+//! negotiated chunk length, verifies its offset and CRC, and reassembles
+//! the value array — so neither side ever buffers the whole result as
+//! JSON text at once.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::error::ServeError;
-use crate::job::{AlgorithmSpec, JobResponse, Priority};
+use crate::job::{AlgorithmSpec, JobOutcome, JobResponse, Priority, ValueType};
 use crate::json::Json;
 use crate::registry::GraphInfo;
 use crate::stats::ServerStats;
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{chunk_crc, read_frame, read_frame_with_cap, write_frame};
 
 /// How a client retries transient failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +109,9 @@ pub struct Client {
     policy: RetryPolicy,
     /// splitmix64 state for backoff jitter.
     rng: u64,
+    /// `retry_after_ms` hint from the most recent error frame, consumed
+    /// by the next backoff decision.
+    retry_after: Option<Duration>,
 }
 
 /// A submission, client-side.
@@ -110,6 +128,12 @@ pub struct SubmitRequest {
     /// Idempotency key: resubmitting the same key never runs the job
     /// twice, even across a server crash and restart.
     pub idempotency_key: Option<String>,
+    /// Tenant to bill this job to; `None` lets the server assign its
+    /// per-connection default.
+    pub tenant: Option<String>,
+    /// Ask for the result as chunked stream frames instead of one
+    /// monolithic reply.
+    pub stream: bool,
 }
 
 impl SubmitRequest {
@@ -121,6 +145,8 @@ impl SubmitRequest {
             priority: Priority::Normal,
             deadline: None,
             idempotency_key: None,
+            tenant: None,
+            stream: false,
         }
     }
 
@@ -139,6 +165,18 @@ impl SubmitRequest {
     /// Builder-style: set the idempotency key.
     pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Self {
         self.idempotency_key = Some(key.into());
+        self
+    }
+
+    /// Builder-style: bill the job to a named tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Builder-style: request chunked streaming delivery of the result.
+    pub fn with_stream(mut self) -> Self {
+        self.stream = true;
         self
     }
 }
@@ -243,6 +281,7 @@ impl Client {
             addr,
             policy,
             rng,
+            retry_after: None,
         })
     }
 
@@ -252,8 +291,28 @@ impl Client {
         self
     }
 
+    /// Turn an error frame into a typed [`ClientError`], capturing any
+    /// `retry_after_ms` shed hint for the next backoff decision.
+    fn server_error(&mut self, resp: &Json) -> ClientError {
+        self.retry_after = resp
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis);
+        let code = resp
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("engine_error");
+        let message = resp
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("no message")
+            .to_string();
+        ClientError::Server(ServeError::from_code(code, message))
+    }
+
     /// One raw request/response round trip on the current stream.
     fn call_once(&mut self, req: &Json) -> Result<Json, ClientError> {
+        self.retry_after = None;
         write_frame(&mut self.stream, req)?;
         let resp = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
@@ -264,22 +323,51 @@ impl Client {
         if resp.get("ok").and_then(Json::as_bool) == Some(true) {
             Ok(resp)
         } else {
-            let code = resp
-                .get("code")
-                .and_then(Json::as_str)
-                .unwrap_or("engine_error");
-            let message = resp
-                .get("message")
-                .and_then(Json::as_str)
-                .unwrap_or("no message")
-                .to_string();
-            Err(ClientError::Server(ServeError::from_code(code, message)))
+            Err(self.server_error(&resp))
         }
     }
 
+    /// Decide whether to retry after `err` on 0-based `attempt`: give up
+    /// past the budget or on permanent errors, otherwise sleep out the
+    /// backoff — the server's `retry_after_ms` hint when one arrived
+    /// (jittered, capped at `max_delay`), else the exponential curve —
+    /// and reconnect if the transport broke.
+    fn prepare_retry(&mut self, attempt: u32, err: ClientError) -> Result<(), ClientError> {
+        if attempt >= self.policy.max_retries || !err.retriable() {
+            return Err(err);
+        }
+        let delay = match self.retry_after.take() {
+            Some(hint) => {
+                let hint = hint.min(self.policy.max_delay);
+                if self.policy.jitter {
+                    let factor =
+                        0.5 + (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    hint.mul_f64(factor)
+                } else {
+                    hint
+                }
+            }
+            None => self.policy.backoff(attempt, &mut self.rng),
+        };
+        std::thread::sleep(delay);
+        if err.is_transport() {
+            // The old stream is poisoned (mid-frame state unknown);
+            // a fresh connection is the only way to resynchronize.
+            match open_stream(self.addr) {
+                Ok(s) => self.stream = s,
+                Err(e) => {
+                    if attempt + 1 >= self.policy.max_retries {
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// A round trip under the retry policy: retriable failures back off
-    /// (exponential + jitter), reconnect if the transport broke, and try
-    /// again up to `max_retries` times.
+    /// (server hint or exponential + jitter), reconnect if the transport
+    /// broke, and try again up to `max_retries` times.
     fn call(&mut self, req: &Json) -> Result<Json, ClientError> {
         let mut attempt = 0;
         loop {
@@ -287,22 +375,7 @@ impl Client {
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
             };
-            if attempt >= self.policy.max_retries || !err.retriable() {
-                return Err(err);
-            }
-            std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
-            if err.is_transport() {
-                // The old stream is poisoned (mid-frame state unknown);
-                // a fresh connection is the only way to resynchronize.
-                match open_stream(self.addr) {
-                    Ok(s) => self.stream = s,
-                    Err(e) => {
-                        if attempt + 1 >= self.policy.max_retries {
-                            return Err(e.into());
-                        }
-                    }
-                }
-            }
+            self.prepare_retry(attempt, err)?;
             attempt += 1;
         }
     }
@@ -397,8 +470,152 @@ impl Client {
         if let Some(k) = &req.idempotency_key {
             j = j.set("idempotency_key", Json::str(k));
         }
+        if let Some(t) = &req.tenant {
+            j = j.set("tenant_id", Json::str(t));
+        }
+        if req.stream {
+            j = j.set("stream", Json::Bool(true));
+            return self.call_streaming(&j);
+        }
         let resp = self.call(&j)?;
         JobResponse::from_json(&resp).map_err(ClientError::Server)
+    }
+
+    /// One streamed submit on the current stream: head frame, then chunk
+    /// frames verified (offset + CRC) and reassembled, then the end
+    /// summary. Each frame is read under a cap sized to the negotiated
+    /// chunk length, so a result larger than memory never materializes
+    /// as one JSON body.
+    fn stream_once(&mut self, req: &Json) -> Result<JobResponse, ClientError> {
+        self.retry_after = None;
+        write_frame(&mut self.stream, req)?;
+        let head = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            ))
+        })?;
+        if head.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(self.server_error(&head));
+        }
+        if head.get("stream").and_then(Json::as_str) != Some("start") {
+            // A server that doesn't stream (or answered from a path that
+            // never streams) replies with the monolithic frame; accept it.
+            return JobResponse::from_json(&head).map_err(ClientError::Server);
+        }
+        let bad = |msg: String| ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, msg));
+        let job_id = head.get("job_id").and_then(Json::as_u64).unwrap_or(0);
+        let cache_hit = head
+            .get("cache_hit")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let value_type = head
+            .get("value_type")
+            .and_then(Json::as_str)
+            .and_then(ValueType::parse)
+            .ok_or_else(|| bad("stream start frame lacks a value_type".into()))?;
+        let n_values = head.get("n_values").and_then(Json::as_u64).unwrap_or(0) as usize;
+        let chunk_values = head
+            .get("chunk_values")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            .max(1) as usize;
+        // A chunk frame is at most chunk_values numbers of <= 10 digits
+        // plus commas and envelope; this cap bounds client memory per
+        // frame regardless of n_values.
+        let frame_cap = chunk_values * 12 + (64 << 10);
+        let mut values: Vec<u32> = Vec::with_capacity(n_values.min(1 << 24));
+        let mut chunks_seen = 0u64;
+        loop {
+            let frame = read_frame_with_cap(&mut self.stream, frame_cap)?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-stream",
+                ))
+            })?;
+            if frame.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(self.server_error(&frame));
+            }
+            match frame.get("stream").and_then(Json::as_str) {
+                Some("chunk") => {
+                    let offset = frame.get("offset").and_then(Json::as_u64).unwrap_or(0) as usize;
+                    if offset != values.len() {
+                        return Err(bad(format!(
+                            "stream chunk at offset {offset}, expected {}",
+                            values.len()
+                        )));
+                    }
+                    let chunk: Vec<u32> = frame
+                        .get("values_u32")
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(Json::as_u32)
+                        .collect();
+                    let crc = frame.get("crc").and_then(Json::as_u64).unwrap_or(0) as u32;
+                    if chunk_crc(&chunk) != crc {
+                        return Err(bad(format!("stream chunk {chunks_seen} failed its CRC")));
+                    }
+                    values.extend_from_slice(&chunk);
+                    chunks_seen += 1;
+                }
+                Some("end") => {
+                    let n_chunks = frame.get("n_chunks").and_then(Json::as_u64).unwrap_or(0);
+                    if n_chunks != chunks_seen || values.len() != n_values {
+                        return Err(bad(format!(
+                            "stream ended after {chunks_seen} chunks / {} values, \
+                             announced {n_chunks} / {n_values}",
+                            values.len()
+                        )));
+                    }
+                    let u = |k: &str| frame.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    return Ok(JobResponse {
+                        job_id,
+                        cache_hit,
+                        outcome: Arc::new(JobOutcome {
+                            value_type,
+                            values_u32: Arc::new(values),
+                            supersteps: u("supersteps"),
+                            messages: u("messages"),
+                            edges_streamed: u("edges_streamed"),
+                            edges_skipped: u("edges_skipped"),
+                            mean_frontier_density: frame
+                                .get("mean_frontier_density")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
+                            retry_attempts: u("retry_attempts") as u32,
+                        }),
+                        queue_wait: Duration::from_micros(u("queue_wait_us")),
+                        run_time: Duration::from_micros(u("run_us")),
+                        stats: frame
+                            .get("stats")
+                            .map(ServerStats::from_json)
+                            .unwrap_or_default(),
+                    });
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unexpected stream frame kind {other:?} after {chunks_seen} chunks"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// A streamed submit under the retry policy — the same loop as
+    /// [`Client::call`], around [`Client::stream_once`]. A stream that
+    /// dies mid-way is a transport error, so the retry reconnects and
+    /// resubmits from scratch (idempotency keys make that safe).
+    fn call_streaming(&mut self, req: &Json) -> Result<JobResponse, ClientError> {
+        let mut attempt = 0;
+        loop {
+            let err = match self.stream_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            self.prepare_retry(attempt, err)?;
+            attempt += 1;
+        }
     }
 
     /// Snapshot the server counters.

@@ -53,6 +53,41 @@ pub struct ServeConfig {
     /// OS-level write timeout on accepted connections, bounding how long a
     /// response write can block on a client that stopped reading.
     pub write_timeout: Duration,
+    /// Jobs a single tenant may hold queued (not yet running) at once.
+    /// The `queue_capacity` global cap still applies on top; a tenant at
+    /// its own cap is refused with `quota_exceeded` while other tenants
+    /// keep being admitted.
+    pub tenant_max_queued: usize,
+    /// Jobs a single tenant may have running at once. The scheduler's
+    /// fair-queue dispatch skips a tenant at this cap and serves the
+    /// others; the job stays queued, nothing is shed.
+    pub tenant_max_inflight: usize,
+    /// Scratch-byte budget per tenant: the summed `estimated cost` of a
+    /// tenant's queued + running jobs (graph value bytes) may not exceed
+    /// this. `u64::MAX` disables the check.
+    pub tenant_scratch_budget_bytes: u64,
+    /// Per-tenant scheduling weights for deficit-weighted round-robin.
+    /// A tenant absent from this list gets weight 1. Weight 0 is clamped
+    /// to 1. Tenants split dispatch slots proportionally to weight when
+    /// contended.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Result values per streaming chunk frame. Responses larger than
+    /// this are delivered as a start/chunk.../end frame sequence when the
+    /// client asks for `stream: true`; each chunk carries its own CRC.
+    /// Also caps the client's per-frame read allowance on streamed
+    /// replies, bounding peak result memory on both sides.
+    pub stream_chunk_values: usize,
+    /// Live-graph auto-compaction trigger: when a mutation leaves a
+    /// graph's overlay holding more than `auto_compact_ratio × base
+    /// edges` delta edges, the scheduler queues a compaction for that
+    /// graph on its own authority. `0.0` disables auto-compaction.
+    pub auto_compact_ratio: f64,
+    /// How long a completed idempotency-keyed result is honored across
+    /// restarts. Boot-time journal replay reaps incomplete keyed jobs
+    /// whose submission is older than this instead of re-running them
+    /// against a reply channel nobody holds. `None` means keys never
+    /// expire.
+    pub idem_key_ttl: Option<Duration>,
     /// Scripted serving-layer fault plan (`--features chaos` only).
     #[cfg(feature = "chaos")]
     pub fault_plan: Option<Arc<ServeFaultPlan>>,
@@ -77,6 +112,13 @@ impl ServeConfig {
             durable: true,
             frame_read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(30),
+            tenant_max_queued: 32,
+            tenant_max_inflight: usize::MAX,
+            tenant_scratch_budget_bytes: u64::MAX,
+            tenant_weights: Vec::new(),
+            stream_chunk_values: 1 << 16,
+            auto_compact_ratio: 0.0,
+            idem_key_ttl: None,
             #[cfg(feature = "chaos")]
             fault_plan: None,
         }
@@ -156,6 +198,65 @@ impl ServeConfig {
         self
     }
 
+    /// Builder-style: set the per-tenant queued-job cap (clamped to at
+    /// least 1).
+    pub fn with_tenant_max_queued(mut self, n: usize) -> Self {
+        self.tenant_max_queued = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the per-tenant in-flight cap (clamped to at
+    /// least 1).
+    pub fn with_tenant_max_inflight(mut self, n: usize) -> Self {
+        self.tenant_max_inflight = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the per-tenant scratch-byte budget.
+    pub fn with_tenant_scratch_budget(mut self, bytes: u64) -> Self {
+        self.tenant_scratch_budget_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set one tenant's scheduling weight (clamped to at
+    /// least 1). May be called repeatedly for different tenants; the
+    /// last setting for a tenant wins.
+    pub fn with_tenant_weight(mut self, tenant: impl Into<String>, weight: u32) -> Self {
+        let tenant = tenant.into();
+        self.tenant_weights.retain(|(t, _)| *t != tenant);
+        self.tenant_weights.push((tenant, weight.max(1)));
+        self
+    }
+
+    /// Builder-style: set the streaming chunk size in values (clamped to
+    /// at least 1).
+    pub fn with_stream_chunk_values(mut self, n: usize) -> Self {
+        self.stream_chunk_values = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the auto-compaction delta/base ratio (negative
+    /// values clamp to 0.0, which disables the trigger).
+    pub fn with_auto_compact_ratio(mut self, ratio: f64) -> Self {
+        self.auto_compact_ratio = ratio.max(0.0);
+        self
+    }
+
+    /// Builder-style: set the idempotency-key time-to-live.
+    pub fn with_idem_key_ttl(mut self, ttl: Duration) -> Self {
+        self.idem_key_ttl = Some(ttl);
+        self
+    }
+
+    /// The DRR weight for `tenant` (1 unless configured otherwise).
+    pub fn tenant_weight(&self, tenant: &str) -> u32 {
+        self.tenant_weights
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, w)| (*w).max(1))
+            .unwrap_or(1)
+    }
+
     /// Builder-style: install a scripted serving-layer fault plan.
     #[cfg(feature = "chaos")]
     pub fn with_fault_plan(mut self, plan: Arc<ServeFaultPlan>) -> Self {
@@ -217,7 +318,15 @@ mod tests {
             .with_listen("0.0.0.0:7171")
             .with_durable(false)
             .with_frame_read_timeout(Duration::from_millis(250))
-            .with_write_timeout(Duration::from_secs(2));
+            .with_write_timeout(Duration::from_secs(2))
+            .with_tenant_max_queued(0)
+            .with_tenant_max_inflight(2)
+            .with_tenant_scratch_budget(4096)
+            .with_tenant_weight("heavy", 0)
+            .with_tenant_weight("heavy", 4)
+            .with_stream_chunk_values(0)
+            .with_auto_compact_ratio(-1.0)
+            .with_idem_key_ttl(Duration::from_secs(60));
         assert_eq!(c.max_concurrent_jobs, 1);
         assert_eq!(c.queue_capacity, 7);
         assert_eq!(c.cache_capacity, 3);
@@ -227,6 +336,14 @@ mod tests {
         assert!(!c.durable);
         assert_eq!(c.frame_read_timeout, Duration::from_millis(250));
         assert_eq!(c.write_timeout, Duration::from_secs(2));
+        assert_eq!(c.tenant_max_queued, 1, "clamped to at least 1");
+        assert_eq!(c.tenant_max_inflight, 2);
+        assert_eq!(c.tenant_scratch_budget_bytes, 4096);
+        assert_eq!(c.tenant_weight("heavy"), 4, "last weight setting wins");
+        assert_eq!(c.tenant_weight("other"), 1, "unconfigured tenants get 1");
+        assert_eq!(c.stream_chunk_values, 1, "clamped to at least 1");
+        assert_eq!(c.auto_compact_ratio, 0.0, "negative ratio disables");
+        assert_eq!(c.idem_key_ttl, Some(Duration::from_secs(60)));
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum ServeError {
     /// deadline and was shed to free the handler thread. The client may
     /// reconnect and retry.
     SlowClient(String),
+    /// A per-tenant quota (queued jobs, in-flight jobs, or scratch-byte
+    /// budget) refused the job. Only the offending tenant is affected;
+    /// other tenants keep being served. Retriable — the quota frees up
+    /// as the tenant's jobs drain.
+    QuotaExceeded(String),
+    /// The job was reaped before producing a result: its client
+    /// disconnected, or boot-time replay expired it. Not retriable as-is
+    /// (the submitter is gone); a fresh submission starts a fresh job.
+    Cancelled(String),
 }
 
 impl ServeError {
@@ -36,6 +45,8 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Engine(_) => "engine_error",
             ServeError::SlowClient(_) => "slow_client",
+            ServeError::QuotaExceeded(_) => "quota_exceeded",
+            ServeError::Cancelled(_) => "cancelled",
         }
     }
 
@@ -46,7 +57,10 @@ impl ServeError {
     /// Error frames carry this as a `"retriable"` field so non-Rust
     /// clients can branch without a code table.
     pub fn retriable(&self) -> bool {
-        matches!(self, ServeError::ServerBusy(_) | ServeError::SlowClient(_))
+        matches!(
+            self,
+            ServeError::ServerBusy(_) | ServeError::SlowClient(_) | ServeError::QuotaExceeded(_)
+        )
     }
 
     /// Human-readable detail.
@@ -57,7 +71,9 @@ impl ServeError {
             | ServeError::UnknownGraph(m)
             | ServeError::BadRequest(m)
             | ServeError::Engine(m)
-            | ServeError::SlowClient(m) => m,
+            | ServeError::SlowClient(m)
+            | ServeError::QuotaExceeded(m)
+            | ServeError::Cancelled(m) => m,
         }
     }
 
@@ -70,6 +86,8 @@ impl ServeError {
             "unknown_graph" => ServeError::UnknownGraph(message),
             "bad_request" => ServeError::BadRequest(message),
             "slow_client" => ServeError::SlowClient(message),
+            "quota_exceeded" => ServeError::QuotaExceeded(message),
+            "cancelled" => ServeError::Cancelled(message),
             _ => ServeError::Engine(message),
         }
     }
@@ -96,6 +114,8 @@ mod tests {
             ServeError::BadRequest("b".into()),
             ServeError::Engine("e".into()),
             ServeError::SlowClient("s".into()),
+            ServeError::QuotaExceeded("t".into()),
+            ServeError::Cancelled("c".into()),
         ];
         for e in all {
             let back = ServeError::from_code(e.code(), e.message().to_string());
@@ -107,6 +127,8 @@ mod tests {
     fn only_transient_failures_are_retriable() {
         assert!(ServeError::ServerBusy("q".into()).retriable());
         assert!(ServeError::SlowClient("s".into()).retriable());
+        assert!(ServeError::QuotaExceeded("t".into()).retriable());
+        assert!(!ServeError::Cancelled("c".into()).retriable());
         assert!(!ServeError::DeadlineExceeded("d".into()).retriable());
         assert!(!ServeError::UnknownGraph("g".into()).retriable());
         assert!(!ServeError::BadRequest("b".into()).retriable());

@@ -83,6 +83,63 @@ pub enum ServeFault {
         /// Which side of the commit point.
         point: CompactPoint,
     },
+    /// Sever the connection just before streamed result chunk
+    /// `nth_chunk` (0-based, counted across all streams) goes out — a
+    /// client vanishing mid-download. The server must shrug: the job
+    /// already committed, every other connection keeps its stream.
+    DisconnectMidStream {
+        /// Which stream chunk dies.
+        nth_chunk: u64,
+    },
+}
+
+/// A client-side overload shape for the soak harness. Unlike the
+/// injection points above these never hook the server — they script the
+/// *load generator*, so the same seed always replays the same abuse
+/// pattern against a live server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadWave {
+    /// `burst` submissions fired back-to-back, then `idle_ms` of
+    /// silence — the thundering-herd shape.
+    BurstStorm {
+        /// Submissions in the burst.
+        burst: u32,
+        /// Quiet period after it.
+        idle_ms: u64,
+    },
+    /// A streaming client that dawdles `delay_ms` between frame reads,
+    /// holding its connection (but, correctly, *not* a runner) open.
+    SlowConsumer {
+        /// Pause between frame reads.
+        delay_ms: u64,
+    },
+    /// `n` back-to-back submissions billed to one flooding tenant while
+    /// a light tenant keeps its trickle going.
+    TenantFlood {
+        /// Flood size.
+        n: u32,
+    },
+}
+
+impl OverloadWave {
+    /// Derive a reproducible `len`-wave schedule from `seed` alone.
+    pub fn schedule(seed: u64, len: usize) -> Vec<OverloadWave> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| match splitmix64(&mut state) % 3 {
+                0 => OverloadWave::BurstStorm {
+                    burst: 4 + (splitmix64(&mut state) % 12) as u32,
+                    idle_ms: 5 + splitmix64(&mut state) % 40,
+                },
+                1 => OverloadWave::SlowConsumer {
+                    delay_ms: 5 + splitmix64(&mut state) % 30,
+                },
+                _ => OverloadWave::TenantFlood {
+                    n: 8 + (splitmix64(&mut state) % 16) as u32,
+                },
+            })
+            .collect()
+    }
 }
 
 /// The two interesting instants around compaction's commit point (the
@@ -134,6 +191,7 @@ pub struct ServeFaultPlan {
     seed: u64,
     points: Vec<(ServeFault, AtomicBool)>,
     responses: AtomicU64,
+    stream_chunks: AtomicU64,
     appends: AtomicU64,
     appends_by_state: [AtomicU64; JournalState::COUNT],
     delta_appends: AtomicU64,
@@ -215,6 +273,21 @@ impl ServeFaultPlan {
             }
         }
         ResponseFault::None
+    }
+
+    /// Consulted once per streamed result chunk (any stream), before it
+    /// is written. Returns `true` when the server should sever the
+    /// connection instead.
+    pub fn on_stream_chunk(&self) -> bool {
+        let n = self.stream_chunks.fetch_add(1, Ordering::AcqRel);
+        for (i, (spec, _)) in self.points.iter().enumerate() {
+            if let ServeFault::DisconnectMidStream { nth_chunk } = *spec {
+                if nth_chunk == n && self.fire(i) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Consulted once per journal record, before it is written. Counts
@@ -349,6 +422,25 @@ mod tests {
         assert!(plan.on_compact(CompactPoint::AfterManifest));
         assert!(!plan.on_compact(CompactPoint::AfterManifest));
         assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn stream_chunk_points_fire_once_at_their_chunk() {
+        let plan = ServeFaultPlan::new(5).with(ServeFault::DisconnectMidStream { nth_chunk: 1 });
+        assert!(!plan.on_stream_chunk());
+        assert!(plan.on_stream_chunk());
+        assert!(!plan.on_stream_chunk());
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn overload_schedules_are_reproducible() {
+        let a = OverloadWave::schedule(9, 8);
+        let b = OverloadWave::schedule(9, 8);
+        let c = OverloadWave::schedule(10, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 8);
     }
 
     #[test]

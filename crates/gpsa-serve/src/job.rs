@@ -7,6 +7,7 @@
 //! of floats could silently round and the acceptance tests compare bits.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -205,6 +206,9 @@ impl AlgorithmSpec {
     }
 }
 
+/// The tenant id used when a submission carries none.
+pub const DEFAULT_TENANT: &str = "default";
+
 /// A validated submission.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -221,6 +225,34 @@ pub struct JobSpec {
     /// in-flight run or is answered from its committed result, even
     /// across a server restart. Keys are journaled with the job.
     pub idempotency_key: Option<String>,
+    /// Which tenant this job bills against. Quotas and fair-queue
+    /// scheduling key on this; submissions without a `tenant_id` land on
+    /// [`DEFAULT_TENANT`].
+    pub tenant: String,
+}
+
+/// A shared cancellation flag between a connection thread and the
+/// scheduler. Set when the submitting client disconnects (or its deadline
+/// lapses with nobody waiting); the scheduler reaps the job at the next
+/// opportunity — queued jobs immediately, running jobs when they finish.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flip the token. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
 }
 
 /// What a completed run produced (the cacheable part of a response).
@@ -373,6 +405,13 @@ pub struct JobTicket {
     /// Where the final [`JobResponse`] (or error) goes; the connection
     /// thread blocks on the other end.
     pub reply: Sender<SubmitReply>,
+    /// Set by the connection thread when the submitter goes away; the
+    /// scheduler reaps cancelled tickets instead of running them.
+    pub cancel: CancelToken,
+    /// Scratch bytes this job charges against its tenant's budget while
+    /// queued or running (estimated as the graph's value-array size at
+    /// admission).
+    pub scratch_bytes: u64,
 }
 
 impl JobTicket {

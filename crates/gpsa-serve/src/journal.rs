@@ -102,6 +102,13 @@ pub enum JournalRecord {
         algorithm: AlgorithmSpec,
         /// Queue class for the replay.
         priority: Priority,
+        /// Which tenant the job bills against (pre-tenancy journals read
+        /// back as [`crate::job::DEFAULT_TENANT`]).
+        tenant: String,
+        /// Wall-clock submission time, milliseconds since the Unix epoch.
+        /// Boot-time replay compares it against the configured
+        /// idempotency-key TTL; 0 (pre-TTL journals) never expires.
+        at_ms: u64,
     },
     /// A runner began executing the job.
     Started {
@@ -124,6 +131,9 @@ pub enum JournalRecord {
     Failed {
         /// The job.
         job_id: u64,
+        /// Why, when the failure is worth distinguishing on replay
+        /// (`"cancelled"` for reaped jobs; `None` for ordinary errors).
+        reason: Option<String>,
     },
     /// A mutation batch committed to a graph's delta log; recovery uses
     /// it to cross-check the replayed delta-seq watermark.
@@ -156,7 +166,7 @@ impl JournalRecord {
             JournalRecord::Submitted { job_id, .. }
             | JournalRecord::Started { job_id }
             | JournalRecord::Committed { job_id, .. }
-            | JournalRecord::Failed { job_id } => job_id,
+            | JournalRecord::Failed { job_id, .. } => job_id,
             JournalRecord::Mutated { .. } => 0,
         }
     }
@@ -170,20 +180,29 @@ impl JournalRecord {
                 graph_id,
                 algorithm,
                 priority,
+                tenant,
+                at_ms,
             } => {
                 let mut j = base
                     .set("job_id", Json::num(*job_id))
                     .set("graph_id", Json::str(graph_id))
                     .set("algorithm", Json::str(algorithm.name()))
                     .set("params", algorithm.params_json())
-                    .set("priority", Json::str(priority.as_str()));
+                    .set("priority", Json::str(priority.as_str()))
+                    .set("tenant", Json::str(tenant))
+                    .set("at_ms", Json::num(*at_ms));
                 if let Some(k) = key {
                     j = j.set("key", Json::str(k));
                 }
                 j
             }
-            JournalRecord::Started { job_id } | JournalRecord::Failed { job_id } => {
-                base.set("job_id", Json::num(*job_id))
+            JournalRecord::Started { job_id } => base.set("job_id", Json::num(*job_id)),
+            JournalRecord::Failed { job_id, reason } => {
+                let j = base.set("job_id", Json::num(*job_id));
+                match reason {
+                    Some(r) => j.set("reason", Json::str(r)),
+                    None => j,
+                }
             }
             JournalRecord::Committed {
                 job_id,
@@ -230,6 +249,12 @@ impl JournalRecord {
                     priority: Priority::parse(
                         j.get("priority").and_then(Json::as_str).unwrap_or("normal"),
                     ),
+                    tenant: j
+                        .get("tenant")
+                        .and_then(Json::as_str)
+                        .unwrap_or(crate::job::DEFAULT_TENANT)
+                        .to_string(),
+                    at_ms: j.get("at_ms").and_then(Json::as_u64).unwrap_or(0),
                 }
             }
             JournalState::Started => JournalRecord::Started { job_id },
@@ -238,7 +263,10 @@ impl JournalRecord {
                 epoch: j.get("epoch").and_then(Json::as_u64).unwrap_or(0),
                 delta_seq: j.get("delta_seq").and_then(Json::as_u64).unwrap_or(0),
             },
-            JournalState::Failed => JournalRecord::Failed { job_id },
+            JournalState::Failed => JournalRecord::Failed {
+                job_id,
+                reason: j.get("reason").and_then(Json::as_str).map(str::to_string),
+            },
             JournalState::Mutated => unreachable!("handled above"),
         })
     }
@@ -410,6 +438,8 @@ mod tests {
                 supersteps: 5,
             },
             priority: Priority::High,
+            tenant: "default".to_string(),
+            at_ms: 0,
         }
     }
 
@@ -424,7 +454,10 @@ mod tests {
                 epoch: 3,
                 delta_seq: 2,
             },
-            JournalRecord::Failed { job_id: 2 },
+            JournalRecord::Failed {
+                job_id: 2,
+                reason: Some("deadline exceeded".to_string()),
+            },
         ];
         for rec in &recs {
             let line = encode_line(rec);

@@ -66,9 +66,9 @@ pub use client::{Client, ClientError, RetryPolicy, SubmitRequest};
 pub use config::ServeConfig;
 pub use error::ServeError;
 #[cfg(feature = "chaos")]
-pub use fault::{CompactPoint, DeltaFault, ServeFault, ServeFaultPlan};
+pub use fault::{CompactPoint, DeltaFault, OverloadWave, ServeFault, ServeFaultPlan};
 pub use job::{AlgorithmSpec, JobOutcome, JobResponse, JobSpec, Priority, ValueType};
 pub use journal::{JobJournal, JournalRecord, JournalState};
 pub use registry::{GraphInfo, GraphRegistry};
 pub use server::{start, ServerHandle};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, TenantStats};

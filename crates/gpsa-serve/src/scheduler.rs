@@ -9,13 +9,18 @@
 //! the serve [`actor::System`] is sized with one worker thread per runner
 //! plus one so the scheduler always stays responsive.
 //!
-//! Admission control: a submit that finds an idle runner starts
-//! immediately; otherwise it queues FIFO within its priority class; a
-//! full queue answers `server_busy` without disturbing in-flight work.
-//! Deadlines are re-checked at every hand-off point (queue pop and run
-//! start), and running jobs arm the engine's superstep watchdog with
-//! their remaining budget so a wedged run is torn down rather than
-//! holding a runner forever.
+//! Admission control is multi-tenant: every job belongs to a tenant
+//! (client-supplied, defaulting per-connection) with its own pair of
+//! priority queues. Runners are handed out by deficit-weighted
+//! round-robin over the tenants with queued work, so a tenant flooding
+//! the server can only ever claim its weight's share of capacity while
+//! anyone else is waiting. Per-tenant quotas (max queued, max in-flight,
+//! scratch-byte budget) shed the *offending* tenant's excess with
+//! `quota_exceeded`; only genuine whole-server saturation answers
+//! `server_busy`. Deadlines and cancellation tokens are re-checked at
+//! every hand-off point (queue pop and run start), and running jobs arm
+//! the engine's superstep watchdog with their remaining budget so a
+//! wedged run is torn down rather than holding a runner forever.
 //!
 //! Durability (when [`ServeConfig::durable`]): every admitted job is
 //! journaled `submitted → started → committed|failed`, fsync'd before the
@@ -31,7 +36,7 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use std::collections::HashSet;
 
@@ -44,10 +49,21 @@ use gpsa_metrics::timer::Timer;
 use crate::cache::{CacheKey, ResultCache};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::job::{run_job, JobOutcome, JobResponse, JobSpec, JobTicket, Priority, SubmitReply};
+use crate::job::{
+    run_job, CancelToken, JobOutcome, JobResponse, JobSpec, JobTicket, Priority, SubmitReply,
+};
 use crate::journal::{sweep_scratch_dirs, JobJournal, JournalRecord};
 use crate::registry::{CompactTicket, GraphEntry, GraphInfo, GraphRegistry};
-use crate::stats::ServerStats;
+use crate::stats::{ServerStats, TenantStats};
+
+/// Wall-clock milliseconds since the epoch, for journal timestamps that
+/// must stay meaningful across restarts (monotonic clocks don't).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// Floor for the per-superstep watchdog derived from a job deadline, so
 /// a nearly-expired job still gets a meaningful (if tiny) timeout rather
@@ -79,6 +95,11 @@ pub enum SchedulerMsg {
     },
     /// A connection was shed for stalling mid-frame (bookkeeping only).
     NoteShed,
+    /// A submitter went away (disconnect, or its deadline expired while
+    /// it waited): its ticket's [`CancelToken`] was tripped; reap every
+    /// queued job whose token is set. In-flight cancelled jobs resolve
+    /// at their `Done`.
+    CancelSweep,
     /// Apply an edge-delta batch to a resident graph (durable: the batch
     /// hits the graph's delta log, fsync'd, before the swap).
     Mutate {
@@ -133,6 +154,55 @@ struct QueuedJob {
     delta_seq: u64,
 }
 
+/// One tenant's queues, quota ledger and counters. Created on first
+/// contact and kept for the life of the process (counters outlive the
+/// queues so `stats` can report on idle tenants).
+struct TenantState {
+    /// DRR weight (share of runner hand-outs relative to other tenants).
+    weight: u32,
+    /// DRR deficit: dispatch credit accumulated on each ring pass. One
+    /// job costs one credit, so over time a weight-4 tenant dispatches
+    /// four jobs for every one a weight-1 tenant does.
+    deficit: u64,
+    queue_high: VecDeque<QueuedJob>,
+    queue_normal: VecDeque<QueuedJob>,
+    /// Jobs occupying runners right now.
+    inflight: usize,
+    /// Scratch bytes charged to queued + running jobs.
+    scratch_bytes: u64,
+    submitted: u64,
+    completed: u64,
+    shed_quota: u64,
+    cancelled: u64,
+}
+
+impl TenantState {
+    fn new(weight: u32) -> TenantState {
+        TenantState {
+            weight,
+            deficit: 0,
+            queue_high: VecDeque::new(),
+            queue_normal: VecDeque::new(),
+            inflight: 0,
+            scratch_bytes: 0,
+            submitted: 0,
+            completed: 0,
+            shed_quota: 0,
+            cancelled: 0,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queue_high.len() + self.queue_normal.len()
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        self.queue_high
+            .pop_front()
+            .or_else(|| self.queue_normal.pop_front())
+    }
+}
+
 /// What an idempotency key currently maps to.
 enum IdemState {
     /// The keyed job is queued or running; resubmissions of the key park
@@ -159,8 +229,12 @@ pub struct Scheduler {
     /// commits, so the pinned snapshot stays the epoch's last word.
     compacting: HashSet<String>,
     next_job_id: u64,
-    queue_high: VecDeque<QueuedJob>,
-    queue_normal: VecDeque<QueuedJob>,
+    /// Per-tenant queues and ledgers, keyed by tenant id.
+    tenants: HashMap<String, TenantState>,
+    /// The DRR ring: tenant ids with queued work, visited in order.
+    /// Invariant outside `drain_queue`: a tenant is in the ring iff its
+    /// queues are non-empty, and appears exactly once.
+    rr: VecDeque<String>,
     runners: Vec<Addr<Runner>>,
     idle: Vec<usize>,
     jobs_submitted: u64,
@@ -172,6 +246,9 @@ pub struct Scheduler {
     idempotent_hits: u64,
     conns_shed: u64,
     scratch_reclaimed_bytes: u64,
+    jobs_quota_shed: u64,
+    jobs_cancelled: u64,
+    auto_compactions: u64,
 }
 
 /// A reply channel nobody listens on, for replayed tickets: the client
@@ -195,6 +272,7 @@ impl Scheduler {
         let mut idem = HashMap::new();
         let mut replay = Vec::new();
         let mut next_job_id = 1;
+        let mut boot_reaped = 0u64;
 
         let (registry, mut cache) = if config.durable {
             scratch_reclaimed_bytes = sweep_scratch_dirs(&config.work_dir);
@@ -233,6 +311,7 @@ impl Scheduler {
                     for (key, cache_key) in analysis.completed_keys {
                         idem.insert(key, IdemState::Completed { key: cache_key });
                     }
+                    let mut expired: Vec<u64> = Vec::new();
                     for rec in &analysis.incomplete {
                         let JournalRecord::Submitted {
                             job_id,
@@ -240,10 +319,23 @@ impl Scheduler {
                             graph_id,
                             algorithm,
                             priority,
+                            tenant,
+                            at_ms,
                         } = rec
                         else {
                             continue;
                         };
+                        // A keyed job older than the idempotency TTL has no
+                        // client left that could ever resubmit its key: reap
+                        // it as failed rather than replaying it against a
+                        // dead reply sender.
+                        if let (Some(ttl), Some(_)) = (config.idem_key_ttl, key) {
+                            let age_ms = now_ms().saturating_sub(*at_ms);
+                            if *at_ms > 0 && age_ms > ttl.as_millis() as u64 {
+                                expired.push(*job_id);
+                                continue;
+                            }
+                        }
                         if let Some(k) = key {
                             idem.insert(
                                 k.clone(),
@@ -263,14 +355,26 @@ impl Scheduler {
                                 // journal's sake, unbudgeted.
                                 deadline: None,
                                 idempotency_key: key.clone(),
+                                tenant: tenant.clone(),
                             },
                             submitted: Instant::now(),
                             timer: Timer::start(),
                             reply: dead_reply(),
+                            cancel: CancelToken::new(),
+                            scratch_bytes: 0,
                         });
                     }
                     if let Err(e) = j.compact(&analysis.keep) {
                         eprintln!("gpsa-serve: journal compaction failed: {e}");
+                    }
+                    for job_id in expired {
+                        boot_reaped += 1;
+                        if let Err(e) = j.append(&JournalRecord::Failed {
+                            job_id,
+                            reason: Some("idempotency key expired".to_string()),
+                        }) {
+                            eprintln!("gpsa-serve: journal append failed: {e}");
+                        }
                     }
                     #[cfg(feature = "chaos")]
                     if let Some(plan) = &config.fault_plan {
@@ -296,8 +400,8 @@ impl Scheduler {
             replay,
             compacting: HashSet::new(),
             next_job_id,
-            queue_high: VecDeque::new(),
-            queue_normal: VecDeque::new(),
+            tenants: HashMap::new(),
+            rr: VecDeque::new(),
             runners: Vec::new(),
             idle: Vec::new(),
             jobs_submitted: 0,
@@ -309,6 +413,9 @@ impl Scheduler {
             idempotent_hits: 0,
             conns_shed: 0,
             scratch_reclaimed_bytes,
+            jobs_quota_shed: 0,
+            jobs_cancelled: boot_reaped,
+            auto_compactions: 0,
         }
     }
 
@@ -321,12 +428,63 @@ impl Scheduler {
         }
     }
 
+    /// The tenant's state, created on first contact with its configured
+    /// weight.
+    fn tenant_entry(&mut self, tenant: &str) -> &mut TenantState {
+        if !self.tenants.contains_key(tenant) {
+            let weight = self.config.tenant_weight(tenant);
+            self.tenants
+                .insert(tenant.to_string(), TenantState::new(weight));
+        }
+        self.tenants.get_mut(tenant).expect("just inserted")
+    }
+
+    /// Queue a job on its tenant, maintaining the ring invariant.
+    fn enqueue_tenant(&mut self, job: QueuedJob) {
+        let tenant = job.ticket.spec.tenant.clone();
+        let t = self.tenant_entry(&tenant);
+        let was_empty = t.queued() == 0;
+        match job.ticket.spec.priority {
+            Priority::High => t.queue_high.push_back(job),
+            Priority::Normal => t.queue_normal.push_back(job),
+        }
+        if was_empty {
+            self.rr.push_back(tenant);
+        }
+    }
+
+    /// Release a terminal ticket's tenant accounting. `ran` says whether
+    /// it occupied a runner (as opposed to dying in the queue).
+    fn release_tenant(&mut self, ticket: &JobTicket, ran: bool) {
+        let t = self.tenant_entry(&ticket.spec.tenant);
+        if ran {
+            t.inflight = t.inflight.saturating_sub(1);
+        }
+        t.scratch_bytes = t.scratch_bytes.saturating_sub(ticket.scratch_bytes);
+    }
+
     fn queue_depth(&self) -> usize {
-        self.queue_high.len() + self.queue_normal.len()
+        self.tenants.values().map(TenantState::queued).sum()
     }
 
     fn stats(&self) -> ServerStats {
         let (cache_hits, cache_misses) = self.cache.counters();
+        let mut tenants: Vec<TenantStats> = self
+            .tenants
+            .iter()
+            .map(|(id, t)| TenantStats {
+                tenant: id.clone(),
+                weight: t.weight as u64,
+                queued: t.queued() as u64,
+                running: t.inflight as u64,
+                scratch_bytes: t.scratch_bytes,
+                submitted: t.submitted,
+                completed: t.completed,
+                shed_quota: t.shed_quota,
+                cancelled: t.cancelled,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         ServerStats {
             jobs_submitted: self.jobs_submitted,
             jobs_completed: self.jobs_completed,
@@ -345,6 +503,10 @@ impl Scheduler {
             idempotent_hits: self.idempotent_hits,
             conns_shed: self.conns_shed,
             scratch_reclaimed_bytes: self.scratch_reclaimed_bytes,
+            jobs_quota_shed: self.jobs_quota_shed,
+            jobs_cancelled: self.jobs_cancelled,
+            auto_compactions: self.auto_compactions,
+            tenants,
         }
     }
 
@@ -362,6 +524,14 @@ impl Scheduler {
         match &err {
             ServeError::ServerBusy(_) => self.jobs_rejected += 1,
             ServeError::DeadlineExceeded(_) => self.jobs_deadline += 1,
+            ServeError::QuotaExceeded(_) => {
+                self.jobs_quota_shed += 1;
+                self.tenant_entry(&ticket.spec.tenant).shed_quota += 1;
+            }
+            ServeError::Cancelled(_) => {
+                self.jobs_cancelled += 1;
+                self.tenant_entry(&ticket.spec.tenant).cancelled += 1;
+            }
             _ => self.jobs_failed += 1,
         }
         let _ = ticket.reply.send((Err(err), self.stats()));
@@ -382,6 +552,7 @@ impl Scheduler {
 
     fn dispatch(&mut self, job: QueuedJob) {
         let runner = self.idle.pop().expect("dispatch without an idle runner");
+        self.tenant_entry(&job.ticket.spec.tenant).inflight += 1;
         self.journal_append(&JournalRecord::Started {
             job_id: job.ticket.job_id,
         });
@@ -394,19 +565,73 @@ impl Scheduler {
         });
     }
 
-    /// Hand queued jobs to idle runners, expiring any whose deadline
-    /// passed while they waited.
+    /// Hand queued jobs to idle runners by deficit-weighted round-robin
+    /// over the tenants with queued work. Each ring visit credits the
+    /// tenant its weight in dispatch budget; one job costs one credit,
+    /// so over time a weight-4 tenant is handed four runners for every
+    /// one a weight-1 tenant gets — regardless of how deep anyone's
+    /// queue is. The loop ends when runners run out, the ring empties,
+    /// or a full barren pass shows every remaining tenant blocked at
+    /// its in-flight cap.
     fn drain_queue(&mut self) {
-        while !self.idle.is_empty() {
-            let job = match self.queue_high.pop_front() {
-                Some(j) => j,
-                None => match self.queue_normal.pop_front() {
-                    Some(j) => j,
-                    None => return,
-                },
+        let mut barren = 0;
+        while !self.idle.is_empty() && !self.rr.is_empty() && barren < self.rr.len() {
+            let tid = self.rr.pop_front().expect("ring checked non-empty");
+            let dispatched = self.drain_tenant(&tid);
+            let t = self.tenant_entry(&tid);
+            if t.queued() == 0 {
+                // Leaves the ring; deficit doesn't accrue while idle.
+                t.deficit = 0;
+            } else {
+                self.rr.push_back(tid);
+            }
+            if dispatched {
+                barren = 0;
+            } else {
+                barren += 1;
+            }
+        }
+    }
+
+    /// One DRR visit: credit the quantum (capped at the queue depth so
+    /// an in-flight-capped tenant can't hoard credit for a later
+    /// burst), then dispatch while credit, queued work, idle runners and
+    /// the tenant's in-flight allowance all last. Jobs found cancelled
+    /// or deadline-expired at the pop are reaped at no credit cost.
+    /// Returns whether anything was dispatched.
+    fn drain_tenant(&mut self, tid: &str) -> bool {
+        {
+            let t = self.tenant_entry(tid);
+            let quantum = t.weight as u64;
+            t.deficit = (t.deficit + quantum).min(t.queued() as u64);
+        }
+        let mut dispatched = false;
+        let max_inflight = self.config.tenant_max_inflight;
+        loop {
+            if self.idle.is_empty() {
+                return dispatched;
+            }
+            let t = self.tenant_entry(tid);
+            if t.deficit == 0 || t.inflight >= max_inflight {
+                return dispatched;
+            }
+            let Some(job) = t.pop() else {
+                return dispatched;
             };
+            if job.ticket.cancel.is_cancelled() {
+                self.release_tenant(&job.ticket, false);
+                self.resolve_failure(
+                    &job.ticket,
+                    ServeError::Cancelled(format!(
+                        "job {} was cancelled while queued",
+                        job.ticket.job_id
+                    )),
+                );
+                continue;
+            }
             if job.ticket.remaining() == Some(Duration::ZERO) {
                 let wait = job.ticket.submitted.elapsed();
+                self.release_tenant(&job.ticket, false);
                 self.resolve_failure(
                     &job.ticket,
                     ServeError::DeadlineExceeded(format!(
@@ -416,8 +641,47 @@ impl Scheduler {
                 );
                 continue;
             }
+            self.tenant_entry(tid).deficit -= 1;
+            dispatched = true;
             self.dispatch(job);
         }
+    }
+
+    /// Reap every queued job whose cancel token is set (the sweep a
+    /// [`SchedulerMsg::CancelSweep`] asks for), then restore the ring
+    /// invariant and hand any freed budget out again.
+    fn cancel_sweep(&mut self) {
+        let mut reaped: Vec<QueuedJob> = Vec::new();
+        for t in self.tenants.values_mut() {
+            for q in [&mut t.queue_high, &mut t.queue_normal] {
+                let mut keep = VecDeque::with_capacity(q.len());
+                for job in q.drain(..) {
+                    if job.ticket.cancel.is_cancelled() {
+                        reaped.push(job);
+                    } else {
+                        keep.push_back(job);
+                    }
+                }
+                *q = keep;
+            }
+        }
+        if reaped.is_empty() {
+            return;
+        }
+        let tenants = &self.tenants;
+        self.rr
+            .retain(|tid| tenants.get(tid).map(|t| t.queued() > 0).unwrap_or(false));
+        for job in reaped {
+            self.release_tenant(&job.ticket, false);
+            self.resolve_failure(
+                &job.ticket,
+                ServeError::Cancelled(format!(
+                    "job {} was cancelled while queued",
+                    job.ticket.job_id
+                )),
+            );
+        }
+        self.drain_queue();
     }
 
     /// Answer a keyed submission from the idempotency map, if it can be.
@@ -475,7 +739,40 @@ impl Scheduler {
             self.reply_hit(&ticket, outcome);
             return;
         }
-        // Admission control: run now, or queue, or refuse — in that order.
+        // Tenant admission: the flooding tenant's excess is shed with
+        // `quota_exceeded` *before* it can crowd the shared queue, so
+        // everyone else never sees `server_busy` on its account. Scratch
+        // is charged up front (4 bytes per vertex — the job's value
+        // file) and released when the job resolves.
+        let tenant = ticket.spec.tenant.clone();
+        let scratch = graph.n_vertices() as u64 * 4;
+        let (max_queued, budget) = (
+            self.config.tenant_max_queued,
+            self.config.tenant_scratch_budget_bytes,
+        );
+        let t = self.tenant_entry(&tenant);
+        if t.queued() >= max_queued {
+            let depth = t.queued();
+            self.reply_err(
+                &ticket,
+                ServeError::QuotaExceeded(format!(
+                    "tenant {tenant:?} has {depth} jobs queued (cap {max_queued}); retry later"
+                )),
+            );
+            return;
+        }
+        if t.scratch_bytes.saturating_add(scratch) > budget {
+            let used = t.scratch_bytes;
+            self.reply_err(
+                &ticket,
+                ServeError::QuotaExceeded(format!(
+                    "tenant {tenant:?} scratch budget exhausted \
+                     ({used}+{scratch} of {budget} bytes); retry later"
+                )),
+            );
+            return;
+        }
+        // Global admission: only genuine whole-server saturation refuses.
         if self.idle.is_empty() && self.queue_depth() >= self.config.queue_capacity {
             let (depth, cap) = (self.queue_depth(), self.config.queue_capacity);
             self.reply_err(
@@ -491,12 +788,20 @@ impl Scheduler {
         ticket.job_id = self.next_job_id;
         self.next_job_id += 1;
         self.jobs_submitted += 1;
+        ticket.scratch_bytes = scratch;
+        {
+            let t = self.tenant_entry(&tenant);
+            t.submitted += 1;
+            t.scratch_bytes += scratch;
+        }
         self.journal_append(&JournalRecord::Submitted {
             job_id: ticket.job_id,
             key: ticket.spec.idempotency_key.clone(),
             graph_id: ticket.spec.graph_id.clone(),
             algorithm: ticket.spec.algorithm,
             priority: ticket.spec.priority,
+            tenant: tenant.clone(),
+            at_ms: now_ms(),
         });
         if let Some(k) = &ticket.spec.idempotency_key {
             self.idem.insert(
@@ -506,20 +811,13 @@ impl Scheduler {
                 },
             );
         }
-        let job = QueuedJob {
+        self.enqueue_tenant(QueuedJob {
             ticket,
             graph,
             epoch,
             delta_seq,
-        };
-        if self.idle.is_empty() {
-            match job.ticket.spec.priority {
-                Priority::High => self.queue_high.push_back(job),
-                Priority::Normal => self.queue_normal.push_back(job),
-            }
-        } else {
-            self.dispatch(job);
-        }
+        });
+        self.drain_queue();
     }
 
     /// Resolve an admitted (journaled) job as failed: journal the terminal
@@ -528,6 +826,7 @@ impl Scheduler {
     fn resolve_failure(&mut self, ticket: &JobTicket, err: ServeError) {
         self.journal_append(&JournalRecord::Failed {
             job_id: ticket.job_id,
+            reason: Some(err.code().to_string()),
         });
         if let Some(k) = &ticket.spec.idempotency_key {
             // The key did not complete: forget it so a later resubmission
@@ -550,6 +849,28 @@ impl Scheduler {
         result: Result<JobOutcome, ServeError>,
     ) {
         self.idle.push(runner);
+        self.release_tenant(&ticket, true);
+        // A cancelled job's submitter is gone. A failure is resolved as
+        // cancelled (nobody hears it either way); a *successful* result
+        // is still committed when resubmissions of its idempotency key
+        // are parked waiting — the work is done and they want it — and
+        // dropped as cancelled otherwise.
+        if ticket.cancel.is_cancelled() {
+            let has_waiters = ticket.spec.idempotency_key.as_deref().is_some_and(|k| {
+                matches!(self.idem.get(k), Some(IdemState::InFlight { waiters }) if !waiters.is_empty())
+            });
+            if result.is_err() || !has_waiters {
+                self.resolve_failure(
+                    &ticket,
+                    ServeError::Cancelled(format!(
+                        "job {} was cancelled while running",
+                        ticket.job_id
+                    )),
+                );
+                self.drain_queue();
+                return;
+            }
+        }
         match result {
             Ok(outcome) => {
                 self.journal_append(&JournalRecord::Committed {
@@ -558,6 +879,7 @@ impl Scheduler {
                     delta_seq,
                 });
                 self.jobs_completed += 1;
+                self.tenant_entry(&ticket.spec.tenant).completed += 1;
                 let outcome = Arc::new(outcome);
                 let key = self.cache_key(&ticket, epoch, delta_seq);
                 self.cache.put(key.clone(), outcome.clone());
@@ -612,6 +934,63 @@ impl Scheduler {
             delta_seq: entry.delta_seq(),
         });
         Ok(graph_info(graph_id, &entry))
+    }
+
+    /// Whether `graph_id`'s delta churn (overlay edges added + removed,
+    /// relative to the base CSR) has crossed the configured
+    /// auto-compaction threshold.
+    fn wants_auto_compact(&self, graph_id: &str) -> bool {
+        let ratio = self.config.auto_compact_ratio;
+        if ratio <= 0.0 || self.compacting.contains(graph_id) {
+            return false;
+        }
+        let Some(entry) = self.registry.get(graph_id) else {
+            return false;
+        };
+        let overlay = entry.snapshot.overlay();
+        let churn = (overlay.added_edges() + overlay.removed_edges()) as f64;
+        let base = entry.snapshot.base().n_edges().max(1) as f64;
+        churn / base >= ratio
+    }
+
+    /// Begin a background compaction rewrite for `graph_id`, answering
+    /// `reply` when it commits (or fails). Shared by the wire `compact`
+    /// op and the auto-compaction trigger (which listens on a dead
+    /// reply — the commit lands via `FinishCompact` either way).
+    fn start_compact(
+        &mut self,
+        graph_id: String,
+        reply: Sender<(Result<GraphInfo, ServeError>, ServerStats)>,
+        ctx: &mut Ctx<'_, Self>,
+    ) {
+        if self.compacting.contains(&graph_id) {
+            let err = ServeError::ServerBusy(format!("graph {graph_id:?} is already compacting"));
+            let _ = reply.send((Err(err), self.stats()));
+            return;
+        }
+        match self.registry.begin_compact(&graph_id) {
+            Ok(ticket) => {
+                self.compacting.insert(graph_id);
+                // The CSR rewrite is pure I/O over a pinned snapshot:
+                // run it off-actor so the scheduler (and every runner)
+                // stays responsive, then commit via our own mailbox.
+                let addr = ctx.addr();
+                std::thread::spawn(move || {
+                    let result = ticket
+                        .snapshot
+                        .compact_to(&ticket.dest)
+                        .map_err(|e| ServeError::Engine(format!("compaction failed: {e}")));
+                    let _ = addr.send(SchedulerMsg::FinishCompact {
+                        ticket,
+                        result,
+                        reply,
+                    });
+                });
+            }
+            Err(e) => {
+                let _ = reply.send((Err(e), self.stats()));
+            }
+        }
     }
 
     /// Commit (or abandon) a finished background compaction rewrite.
@@ -689,7 +1068,7 @@ fn analyze(records: &[JournalRecord]) -> Analysis {
             } => {
                 committed.insert(*job_id, (*epoch, *delta_seq));
             }
-            JournalRecord::Failed { job_id } => failed.push(*job_id),
+            JournalRecord::Failed { job_id, .. } => failed.push(*job_id),
             // Mutation watermarks carry no job; the registry's own delta
             // log and manifest are the durable source of graph state.
             JournalRecord::Mutated { .. } => {}
@@ -773,16 +1152,13 @@ impl Actor for Scheduler {
             };
             self.jobs_replayed += 1;
             self.jobs_submitted += 1;
-            let job = QueuedJob {
+            self.tenant_entry(&ticket.spec.tenant).submitted += 1;
+            self.enqueue_tenant(QueuedJob {
                 ticket,
                 graph,
                 epoch,
                 delta_seq,
-            };
-            match job.ticket.spec.priority {
-                Priority::High => self.queue_high.push_back(job),
-                Priority::Normal => self.queue_normal.push_back(job),
-            }
+            });
         }
         self.drain_queue();
     }
@@ -817,6 +1193,7 @@ impl Actor for Scheduler {
                 let _ = reply.send(self.stats());
             }
             SchedulerMsg::NoteShed => self.conns_shed += 1,
+            SchedulerMsg::CancelSweep => self.cancel_sweep(),
             SchedulerMsg::Mutate {
                 graph_id,
                 batch,
@@ -824,39 +1201,15 @@ impl Actor for Scheduler {
             } => {
                 let result = self.handle_mutate(&graph_id, &batch);
                 let _ = reply.send((result, self.stats()));
-            }
-            SchedulerMsg::Compact { graph_id, reply } => {
-                if self.compacting.contains(&graph_id) {
-                    let err =
-                        ServeError::ServerBusy(format!("graph {graph_id:?} is already compacting"));
-                    let _ = reply.send((Err(err), self.stats()));
-                    return;
-                }
-                match self.registry.begin_compact(&graph_id) {
-                    Ok(ticket) => {
-                        self.compacting.insert(graph_id);
-                        // The CSR rewrite is pure I/O over a pinned
-                        // snapshot: run it off-actor so the scheduler (and
-                        // every runner) stays responsive, then commit via
-                        // our own mailbox.
-                        let addr = ctx.addr();
-                        std::thread::spawn(move || {
-                            let result = ticket
-                                .snapshot
-                                .compact_to(&ticket.dest)
-                                .map_err(|e| ServeError::Engine(format!("compaction failed: {e}")));
-                            let _ = addr.send(SchedulerMsg::FinishCompact {
-                                ticket,
-                                result,
-                                reply,
-                            });
-                        });
-                    }
-                    Err(e) => {
-                        let _ = reply.send((Err(e), self.stats()));
-                    }
+                if self.wants_auto_compact(&graph_id) {
+                    self.auto_compactions += 1;
+                    // Nobody is waiting on an auto-compaction; the commit
+                    // itself arrives through FinishCompact regardless.
+                    let dead = crossbeam_channel::bounded(1).0;
+                    self.start_compact(graph_id, dead, ctx);
                 }
             }
+            SchedulerMsg::Compact { graph_id, reply } => self.start_compact(graph_id, reply, ctx),
             SchedulerMsg::FinishCompact {
                 ticket,
                 result,
@@ -1004,6 +1357,8 @@ mod tests {
             graph_id: "g".to_string(),
             algorithm: AlgorithmSpec::Bfs { root: 0 },
             priority: Priority::Normal,
+            tenant: crate::job::DEFAULT_TENANT.to_string(),
+            at_ms: 0,
         }
     }
 
@@ -1020,7 +1375,10 @@ mod tests {
             submitted(2, Some("k2")),
             JournalRecord::Started { job_id: 2 },
             submitted(3, None),
-            JournalRecord::Failed { job_id: 3 },
+            JournalRecord::Failed {
+                job_id: 3,
+                reason: None,
+            },
             submitted(4, None),
             JournalRecord::Mutated {
                 graph_id: "g".to_string(),

@@ -18,7 +18,7 @@
 //! | `register_graph` | `graph_id`, `path`                                         |
 //! | `list_graphs`    | —                                                          |
 //! | `stats`          | —                                                          |
-//! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?`, `idempotency_key?` |
+//! | `submit`         | `graph_id`, `algorithm`, `params`, `priority?`, `deadline_ms?`, `idempotency_key?`, `tenant_id?`, `stream?` |
 //! | `add_edges`      | `graph_id`, `edges` (array of `"src:dst"` strings)         |
 //! | `remove_edges`   | `graph_id`, `edges` (array of `"src:dst"` strings)         |
 //! | `compact`        | `graph_id` (answers once the new epoch commits)            |
@@ -27,6 +27,28 @@
 //! Every response has `"ok"` and (except `ping`) a `"stats"` counter
 //! object; failures carry the stable `"code"` / `"message"` pair from
 //! [`ServeError`] plus a `"retriable"` flag for transient failures.
+//! Retriable failures additionally carry `"retry_after_ms"`, a back-off
+//! hint scaled to the server's current backlog.
+//!
+//! ## Tenancy and cancellation
+//!
+//! A submit's `tenant_id` names the tenant it bills against; absent one,
+//! the connection's peer address is the tenant, so an anonymous flood
+//! from one connection cannot crowd out another. While a submit waits
+//! for its result the connection thread polls the socket; a client that
+//! disconnects trips the job's [`CancelToken`] and the scheduler reaps
+//! the job instead of finishing work nobody will read.
+//!
+//! ## Streaming results
+//!
+//! `submit` with `"stream": true` answers with a frame *sequence*
+//! instead of one monolithic result frame: a `{"stream":"start"}` header
+//! (value type, total count, chunk size), then fixed-size value chunks
+//! each carrying a CRC32 over its values' little-endian bytes, then a
+//! `{"stream":"end"}` trailer with the run summary and stats. Peak
+//! per-frame memory on both sides is bounded by the chunk size however
+//! large the graph is; the client re-checks every CRC and the final
+//! count, so a torn stream can't silently truncate a result.
 //!
 //! ## Socket hygiene
 //!
@@ -53,12 +75,16 @@ use gpsa_metrics::timer::Timer;
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::job::{AlgorithmSpec, JobSpec, JobTicket, Priority};
+use crate::job::{AlgorithmSpec, CancelToken, JobResponse, JobSpec, JobTicket, Priority};
 use crate::json::Json;
 use crate::registry::GraphInfo;
 use crate::scheduler::{Scheduler, SchedulerMsg};
 use crate::stats::ServerStats;
-use crate::wire::{read_frame_resumed, write_frame};
+use crate::wire::{chunk_crc, read_frame_resumed, write_frame};
+
+/// How often a connection thread blocked on a job reply checks whether
+/// its client is still there.
+const DISCONNECT_POLL: Duration = Duration::from_millis(50);
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
@@ -180,8 +206,24 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// What a request handler wants done with the connection afterwards.
+enum Action {
+    /// Write this frame (through the chaos-aware writer) and continue.
+    Respond(Json),
+    /// The handler already wrote its frames (streaming path); continue.
+    Continue,
+    /// Tear the connection down (the peer vanished mid-job).
+    Close,
+}
+
 fn handle_connection(mut stream: TcpStream, shared: Shared) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // Submissions that name no tenant bill against the connection itself,
+    // so one anonymous flooder can't crowd out other anonymous clients.
+    let default_tenant = stream
+        .peer_addr()
+        .map(|p| format!("conn:{p}"))
+        .unwrap_or_else(|_| crate::job::DEFAULT_TENANT.to_string());
     loop {
         // Phase 1: wait for a frame to start, with no deadline — an idle
         // connection held open between requests is fine.
@@ -217,14 +259,36 @@ fn handle_connection(mut stream: TcpStream, shared: Shared) {
                 return;
             }
         };
-        let resp = handle_request(&req, &shared);
-        if write_response(&mut stream, &resp, &shared).is_err() {
-            return;
+        match handle_request(&req, &shared, &mut stream, &default_tenant) {
+            Action::Respond(resp) => {
+                if write_response(&mut stream, &resp, &shared).is_err() {
+                    return;
+                }
+            }
+            Action::Continue => {}
+            Action::Close => return,
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
     }
+}
+
+/// Has the peer closed its end? A non-blocking peek distinguishes a
+/// clean EOF (or error) from a merely quiet socket.
+fn peer_gone(stream: &TcpStream) -> bool {
+    let mut buf = [0u8; 1];
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let gone = match stream.peek(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => false, // a pipelined request is waiting; very much alive
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
 }
 
 /// Write one response frame, with the chaos plan's scripted network
@@ -274,8 +338,18 @@ fn error_frame(err: &ServeError, stats: Option<&ServerStats>) -> Json {
         .set("retriable", Json::Bool(err.retriable()));
     if let Some(s) = stats {
         j = j.set("stats", s.to_json());
+        if err.retriable() {
+            j = j.set("retry_after_ms", Json::num(retry_after_hint_ms(s)));
+        }
     }
     j
+}
+
+/// How long a shed client should wait before retrying: scales with the
+/// current backlog so a deep queue pushes retries further out rather
+/// than inviting an immediate thundering herd.
+fn retry_after_hint_ms(stats: &ServerStats) -> u64 {
+    (50 + 10 * stats.queue_depth).min(2_000)
 }
 
 fn graph_info_json(info: &GraphInfo) -> Json {
@@ -300,9 +374,14 @@ fn fetch_stats(shared: &Shared) -> Option<ServerStats> {
     rx.recv().ok()
 }
 
-fn handle_request(req: &Json, shared: &Shared) -> Json {
+fn handle_request(
+    req: &Json,
+    shared: &Shared,
+    stream: &mut TcpStream,
+    default_tenant: &str,
+) -> Action {
     let op = req.get("op").and_then(Json::as_str).unwrap_or("");
-    match op {
+    Action::Respond(match op {
         "ping" => Json::obj()
             .set("ok", Json::Bool(true))
             .set("pong", Json::Bool(true)),
@@ -323,10 +402,10 @@ fn handle_request(req: &Json, shared: &Shared) -> Json {
                 .send(SchedulerMsg::ListGraphs { reply: tx })
                 .is_err()
             {
-                return error_frame(
+                return Action::Respond(error_frame(
                     &ServeError::Engine("scheduler unavailable".to_string()),
                     None,
-                );
+                ));
             }
             match rx.recv() {
                 Ok((rows, stats)) => Json::obj()
@@ -342,7 +421,7 @@ fn handle_request(req: &Json, shared: &Shared) -> Json {
                 ),
             }
         }
-        "submit" => handle_submit(req, shared),
+        "submit" => return handle_submit(req, shared, stream, default_tenant),
         "add_edges" => handle_mutate(req, shared, false),
         "remove_edges" => handle_mutate(req, shared, true),
         "compact" => handle_compact(req, shared),
@@ -357,7 +436,7 @@ fn handle_request(req: &Json, shared: &Shared) -> Json {
             let err = ServeError::BadRequest(format!("unknown op {other:?}"));
             error_frame(&err, fetch_stats(shared).as_ref())
         }
-    }
+    })
 }
 
 fn handle_register(req: &Json, shared: &Shared) -> Json {
@@ -481,20 +560,25 @@ fn handle_compact(req: &Json, shared: &Shared) -> Json {
     graph_info_reply(rx)
 }
 
-fn handle_submit(req: &Json, shared: &Shared) -> Json {
+fn handle_submit(
+    req: &Json,
+    shared: &Shared,
+    stream: &mut TcpStream,
+    default_tenant: &str,
+) -> Action {
     let Some(graph_id) = req.get("graph_id").and_then(Json::as_str) else {
         let err = ServeError::BadRequest("submit needs graph_id".to_string());
-        return error_frame(&err, fetch_stats(shared).as_ref());
+        return Action::Respond(error_frame(&err, fetch_stats(shared).as_ref()));
     };
     let Some(algorithm) = req.get("algorithm").and_then(Json::as_str) else {
         let err = ServeError::BadRequest("submit needs algorithm".to_string());
-        return error_frame(&err, fetch_stats(shared).as_ref());
+        return Action::Respond(error_frame(&err, fetch_stats(shared).as_ref()));
     };
     let empty = Json::obj();
     let params = req.get("params").unwrap_or(&empty);
     let alg = match AlgorithmSpec::parse(algorithm, params) {
         Ok(a) => a,
-        Err(err) => return error_frame(&err, fetch_stats(shared).as_ref()),
+        Err(err) => return Action::Respond(error_frame(&err, fetch_stats(shared).as_ref())),
     };
     let priority = req
         .get("priority")
@@ -510,7 +594,15 @@ fn handle_submit(req: &Json, shared: &Shared) -> Json {
         .get("idempotency_key")
         .and_then(Json::as_str)
         .map(str::to_string);
+    let tenant = req
+        .get("tenant_id")
+        .and_then(Json::as_str)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| default_tenant.to_string());
+    let want_stream = req.get("stream").and_then(Json::as_bool).unwrap_or(false);
     let (tx, rx) = bounded(1);
+    let cancel = CancelToken::new();
     // job_id 0 is a placeholder: the scheduler assigns real ids (it owns
     // the counter so recovery can resume numbering above the journal).
     let ticket = JobTicket {
@@ -521,23 +613,121 @@ fn handle_submit(req: &Json, shared: &Shared) -> Json {
             priority,
             deadline,
             idempotency_key,
+            tenant,
         },
         submitted: Instant::now(),
         timer: Timer::start(),
         reply: tx,
+        cancel: cancel.clone(),
+        scratch_bytes: 0,
     };
     if shared.scheduler.send(SchedulerMsg::Submit(ticket)).is_err() {
-        return error_frame(
+        return Action::Respond(error_frame(
             &ServeError::Engine("scheduler unavailable".to_string()),
             None,
-        );
+        ));
     }
-    match rx.recv() {
-        Ok((Ok(resp), _stats)) => resp.to_json(),
-        Ok((Err(err), stats)) => error_frame(&err, Some(&stats)),
-        Err(_) => error_frame(
-            &ServeError::Engine("scheduler dropped the job reply".to_string()),
-            None,
-        ),
+    // Block for the result, polling the socket: a client that vanishes
+    // cancels its job rather than having a runner finish an answer
+    // nobody will read.
+    let reply = loop {
+        match rx.recv_timeout(DISCONNECT_POLL) {
+            Ok(reply) => break reply,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                if peer_gone(stream) {
+                    cancel.cancel();
+                    let _ = shared.scheduler.send(SchedulerMsg::CancelSweep);
+                    return Action::Close;
+                }
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                return Action::Respond(error_frame(
+                    &ServeError::Engine("scheduler dropped the job reply".to_string()),
+                    None,
+                ));
+            }
+        }
+    };
+    match reply {
+        (Ok(resp), _stats) => {
+            if want_stream {
+                match write_stream(stream, &resp, shared) {
+                    Ok(()) => Action::Continue,
+                    Err(_) => Action::Close,
+                }
+            } else {
+                Action::Respond(resp.to_json())
+            }
+        }
+        (Err(err), stats) => Action::Respond(error_frame(&err, Some(&stats))),
     }
+}
+
+/// Stream a job result: a `start` frame, fixed-size CRC'd value chunks,
+/// then an `end` frame carrying the run summary. The full value array is
+/// never rendered into one JSON body — peak per-frame memory is bounded
+/// by [`ServeConfig::stream_chunk_values`] — and every chunk's CRC32
+/// (over its values' little-endian bytes) lets the client reject a torn
+/// or corrupted stream instead of trusting it.
+fn write_stream(stream: &mut TcpStream, resp: &JobResponse, shared: &Shared) -> io::Result<()> {
+    let chunk_values = shared.config.stream_chunk_values.max(1);
+    let values = &resp.outcome.values_u32;
+    let start = Json::obj()
+        .set("ok", Json::Bool(true))
+        .set("stream", Json::str("start"))
+        .set("job_id", Json::num(resp.job_id))
+        .set("cache_hit", Json::Bool(resp.cache_hit))
+        .set("value_type", Json::str(resp.outcome.value_type.as_str()))
+        .set("n_values", Json::num(values.len() as u64))
+        .set("chunk_values", Json::num(chunk_values as u64));
+    write_frame(stream, &start)?;
+    let mut n_chunks = 0u64;
+    for (seq, chunk) in values.chunks(chunk_values).enumerate() {
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &shared.config.fault_plan {
+            if plan.on_stream_chunk() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "chaos: connection dropped mid-stream",
+                ));
+            }
+        }
+        let frame = Json::obj()
+            .set("ok", Json::Bool(true))
+            .set("stream", Json::str("chunk"))
+            .set("seq", Json::num(seq as u64))
+            .set("offset", Json::num((seq * chunk_values) as u64))
+            .set("crc", Json::num(chunk_crc(chunk) as u64))
+            .set(
+                "values_u32",
+                Json::Arr(chunk.iter().map(|v| Json::num(*v as u64)).collect()),
+            );
+        write_frame(stream, &frame)?;
+        n_chunks += 1;
+    }
+    let end = Json::obj()
+        .set("ok", Json::Bool(true))
+        .set("stream", Json::str("end"))
+        .set("job_id", Json::num(resp.job_id))
+        .set("n_chunks", Json::num(n_chunks))
+        .set("supersteps", Json::num(resp.outcome.supersteps))
+        .set("messages", Json::num(resp.outcome.messages))
+        .set("edges_streamed", Json::num(resp.outcome.edges_streamed))
+        .set("edges_skipped", Json::num(resp.outcome.edges_skipped))
+        .set(
+            "mean_frontier_density",
+            Json::float(resp.outcome.mean_frontier_density),
+        )
+        .set(
+            "retry_attempts",
+            Json::num(resp.outcome.retry_attempts as u64),
+        )
+        .set(
+            "queue_wait_us",
+            Json::num(resp.queue_wait.as_micros() as u64),
+        )
+        .set("run_us", Json::num(resp.run_time.as_micros() as u64))
+        .set("stats", resp.stats.to_json());
+    write_frame(stream, &end)
 }

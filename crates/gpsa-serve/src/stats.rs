@@ -7,6 +7,67 @@
 
 use crate::json::Json;
 
+/// One tenant's slice of the scheduler state, exported by the `stats`
+/// wire op (and the `gpsa stats` CLI) so operators can see *who* is
+/// loading the server, not just that it is loaded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant id.
+    pub tenant: String,
+    /// Configured DRR weight.
+    pub weight: u64,
+    /// Jobs waiting in this tenant's queues right now.
+    pub queued: u64,
+    /// Jobs running on behalf of this tenant right now.
+    pub running: u64,
+    /// Scratch bytes charged to the tenant (queued + running jobs).
+    pub scratch_bytes: u64,
+    /// Jobs this tenant ever had admitted.
+    pub submitted: u64,
+    /// Jobs this tenant had run to completion.
+    pub completed: u64,
+    /// Submissions refused with `quota_exceeded`.
+    pub shed_quota: u64,
+    /// Jobs reaped after the submitting client went away.
+    pub cancelled: u64,
+}
+
+impl TenantStats {
+    /// Render one tenant row.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("tenant", Json::str(&self.tenant))
+            .set("weight", Json::num(self.weight))
+            .set("queued", Json::num(self.queued))
+            .set("running", Json::num(self.running))
+            .set("scratch_bytes", Json::num(self.scratch_bytes))
+            .set("submitted", Json::num(self.submitted))
+            .set("completed", Json::num(self.completed))
+            .set("shed_quota", Json::num(self.shed_quota))
+            .set("cancelled", Json::num(self.cancelled))
+    }
+
+    /// Parse one tenant row (missing fields read as 0).
+    pub fn from_json(j: &Json) -> TenantStats {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        TenantStats {
+            tenant: j
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            weight: u("weight"),
+            queued: u("queued"),
+            running: u("running"),
+            scratch_bytes: u("scratch_bytes"),
+            submitted: u("submitted"),
+            completed: u("completed"),
+            shed_quota: u("shed_quota"),
+            cancelled: u("cancelled"),
+        }
+    }
+}
+
 /// One consistent snapshot of the server counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -45,6 +106,16 @@ pub struct ServerStats {
     pub conns_shed: u64,
     /// Bytes of orphaned job scratch reclaimed by the boot-time sweep.
     pub scratch_reclaimed_bytes: u64,
+    /// Submissions refused by a per-tenant quota (`quota_exceeded`).
+    pub jobs_quota_shed: u64,
+    /// Jobs reaped because their submitter went away (disconnect) or
+    /// their idempotency key expired across a restart.
+    pub jobs_cancelled: u64,
+    /// Compactions the scheduler started on its own authority because a
+    /// graph's delta/base edge ratio crossed the configured threshold.
+    pub auto_compactions: u64,
+    /// Per-tenant breakdown, sorted by tenant id.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl ServerStats {
@@ -81,6 +152,13 @@ impl ServerStats {
                 "scratch_reclaimed_bytes",
                 Json::num(self.scratch_reclaimed_bytes),
             )
+            .set("jobs_quota_shed", Json::num(self.jobs_quota_shed))
+            .set("jobs_cancelled", Json::num(self.jobs_cancelled))
+            .set("auto_compactions", Json::num(self.auto_compactions))
+            .set(
+                "tenants",
+                Json::Arr(self.tenants.iter().map(TenantStats::to_json).collect()),
+            )
     }
 
     /// Parse a `"stats"` object (the client-side inverse of
@@ -105,7 +183,20 @@ impl ServerStats {
             idempotent_hits: u("idempotent_hits"),
             conns_shed: u("conns_shed"),
             scratch_reclaimed_bytes: u("scratch_reclaimed_bytes"),
+            jobs_quota_shed: u("jobs_quota_shed"),
+            jobs_cancelled: u("jobs_cancelled"),
+            auto_compactions: u("auto_compactions"),
+            tenants: j
+                .get("tenants")
+                .and_then(Json::as_arr)
+                .map(|rows| rows.iter().map(TenantStats::from_json).collect())
+                .unwrap_or_default(),
         }
+    }
+
+    /// The row for `tenant`, if the snapshot carries one.
+    pub fn tenant(&self, tenant: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 }
 
@@ -133,9 +224,32 @@ mod tests {
             idempotent_hits: 1,
             conns_shed: 1,
             scratch_reclaimed_bytes: 4096,
+            jobs_quota_shed: 3,
+            jobs_cancelled: 2,
+            auto_compactions: 1,
+            tenants: vec![
+                TenantStats {
+                    tenant: "alpha".to_string(),
+                    weight: 4,
+                    queued: 2,
+                    running: 1,
+                    scratch_bytes: 1024,
+                    submitted: 6,
+                    completed: 3,
+                    shed_quota: 3,
+                    cancelled: 1,
+                },
+                TenantStats {
+                    tenant: "beta".to_string(),
+                    weight: 1,
+                    ..TenantStats::default()
+                },
+            ],
         };
         assert_eq!(ServerStats::from_json(&s.to_json()), s);
         assert!((s.cache_hit_rate() - 3.0 / 9.0).abs() < 1e-12);
         assert_eq!(ServerStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(s.tenant("alpha").unwrap().queued, 2);
+        assert!(s.tenant("gamma").is_none());
     }
 }

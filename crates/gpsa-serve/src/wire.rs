@@ -26,6 +26,17 @@ use crate::json::Json;
 /// (`"4294967295",` per vertex worst case) stays under this.
 pub const MAX_FRAME_BYTES: usize = 256 << 20;
 
+/// CRC32 over a value chunk's little-endian bytes — the per-chunk
+/// integrity check on streamed results, shared by server (stamping) and
+/// client (verifying) so the two can never drift.
+pub fn chunk_crc(values: &[u32]) -> u32 {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    gpsa_graph::framed::crc32(&bytes)
+}
+
 /// Write one frame, enforcing `cap` on the body size.
 pub fn write_frame_with_cap<W: Write>(w: &mut W, msg: &Json, cap: usize) -> io::Result<()> {
     let body = msg.encode();
@@ -110,6 +121,14 @@ pub fn read_frame_resumed<R: Read>(r: &mut R, first: u8) -> io::Result<Json> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chunk_crc_is_order_and_content_sensitive() {
+        assert_eq!(chunk_crc(&[]), chunk_crc(&[]));
+        assert_eq!(chunk_crc(&[1, 2, 3]), chunk_crc(&[1, 2, 3]));
+        assert_ne!(chunk_crc(&[1, 2, 3]), chunk_crc(&[3, 2, 1]));
+        assert_ne!(chunk_crc(&[1, 2, 3]), chunk_crc(&[1, 2]));
+    }
 
     #[test]
     fn frames_roundtrip_back_to_back() {

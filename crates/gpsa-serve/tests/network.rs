@@ -10,7 +10,6 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use gpsa::EngineConfig;
-use gpsa_graph::preprocess;
 use gpsa_serve::json::Json;
 use gpsa_serve::wire::{read_frame, write_frame};
 use gpsa_serve::{start, Client, RetryPolicy, ServeConfig};
@@ -22,7 +21,9 @@ fn test_dir(tag: &str) -> PathBuf {
     d
 }
 
+#[cfg(feature = "chaos")]
 fn build_csr(dir: &Path, el: gpsa_graph::EdgeList) -> PathBuf {
+    use gpsa_graph::preprocess;
     let path = dir.join("g.gcsr");
     preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default()).unwrap();
     path

@@ -1,0 +1,508 @@
+//! Offline shim for the subset of `crossbeam-channel` this workspace uses.
+//!
+//! See `shims/parking_lot/src/lib.rs` for why these exist. MPMC channels
+//! built on `Mutex<VecDeque>` + two condvars. Semantics preserved:
+//!
+//! - `Sender` and `Receiver` are both `Clone + Send + Sync` (MPMC).
+//! - `send` on a bounded channel blocks while full; errors once every
+//!   receiver is gone (the value comes back in `SendError`).
+//! - `recv` drains remaining messages after the last sender drops, then
+//!   errors — disconnection is observed only on an empty queue.
+//! - `select!` supports the shape used in this workspace: `recv` arms
+//!   plus a `default(timeout)` arm, implemented by polling. Arms fire
+//!   with `Err(RecvError)` once their channel is empty+disconnected,
+//!   matching crossbeam's "disconnected channels are ready" rule.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive operation"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` = unbounded. Capacity 0 (rendezvous) is rounded up to 1;
+    /// nothing in this workspace constructs a zero-capacity channel.
+    cap: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut inner = shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(t));
+            }
+            match shared.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = shared
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(t);
+        drop(inner);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.shared;
+        let mut inner = shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(t));
+        }
+        if let Some(cap) = shared.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(t));
+            }
+        }
+        inner.queue.push_back(t);
+        drop(inner);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake blocked receivers so they can observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut inner = shared.lock();
+        loop {
+            if let Some(t) = inner.queue.pop_front() {
+                drop(inner);
+                shared.not_full.notify_one();
+                return Ok(t);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut inner = shared.lock();
+        if let Some(t) = inner.queue.pop_front() {
+            drop(inner);
+            shared.not_full.notify_one();
+            return Ok(t);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let shared = &*self.shared;
+        let mut inner = shared.lock();
+        loop {
+            if let Some(t) = inner.queue.pop_front() {
+                drop(inner);
+                shared.not_full.notify_one();
+                return Ok(t);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _res) = shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = g;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Wake blocked senders so they can observe disconnection.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Polling `select!` supporting `recv(rx) -> pat => body` arms with an
+/// optional trailing `default(timeout) => body` arm — the only shapes
+/// this workspace uses. A disconnected channel makes its arm ready with
+/// `Err(RecvError)`, like real crossbeam. Without a `default` arm the
+/// macro polls until some arm fires.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $pat:pat => $body:expr),+ $(,)?) => {{
+        loop {
+            $crate::__select_poll_arms!($(($rx, $pat, $body)),+);
+            ::std::thread::sleep(::std::time::Duration::from_millis(1));
+        }
+    }};
+    ($(recv($rx:expr) -> $pat:pat => $body:expr,)+ default($d:expr) => $default:expr $(,)?) => {{
+        let __deadline = ::std::time::Instant::now() + $d;
+        loop {
+            $crate::__select_poll_arms!($(($rx, $pat, $body)),+);
+            if ::std::time::Instant::now() >= __deadline {
+                break $default;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_millis(1));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_poll_arms {
+    ($(($rx:expr, $pat:pat, $body:expr)),+) => {
+        $(
+            match $rx.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $pat = ::std::result::Result::<_, $crate::RecvError>::Ok(__v);
+                    // Arm bodies routinely diverge (`break 'label ...`),
+                    // making this break unreachable by design.
+                    #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                    {
+                        break $body;
+                    }
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $pat =
+                        ::std::result::Result::<_, $crate::RecvError>::Err($crate::RecvError);
+                    #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                    {
+                        break $body;
+                    }
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+    }
+
+    #[test]
+    fn mpmc_all_items_delivered_once() {
+        let (tx, rx) = unbounded::<u32>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = vec![];
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_recv_and_default() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx.send(5).unwrap();
+        let got = select! {
+            recv(rx) -> r => r.unwrap(),
+            recv(rx2) -> r => r.unwrap(),
+            default(Duration::from_millis(50)) => 0,
+        };
+        assert_eq!(got, 5);
+        let got = select! {
+            recv(rx) -> _r => 1,
+            recv(rx2) -> _r => 2,
+            default(Duration::from_millis(10)) => 3,
+        };
+        assert_eq!(got, 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline shim for the subset of `crossbeam-deque` this workspace uses.
+//!
+//! See `shims/parking_lot/src/lib.rs` for why these exist. The Chase-Lev
+//! work-stealing deque becomes a mutexed `VecDeque` shared between the
+//! owning `Worker` and its `Stealer`s; `Injector` is a mutexed global
+//! queue. Contention behaviour is coarser but the stealing contract
+//! (FIFO worker, stealers take the oldest task, batch steal refills the
+//! caller's deque) is preserved.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Result of a steal attempt. The shim never yields `Retry` (a mutex
+/// cannot lose a race mid-operation) but the variant exists because
+/// callers match on it.
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The owner's end of a work-stealing deque (FIFO flavour only — that is
+/// the only flavour the actor scheduler constructs).
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, t: T) {
+        lock(&self.q).push_back(t);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.q).pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+/// Global FIFO injector shared by all workers.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, t: T) {
+        lock(&self.q).push_back(t);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest` and pop one for the caller —
+    /// the refill path of `find_task`. Batch size mirrors crossbeam's
+    /// "half the injector, capped" heuristic loosely; exactness is not
+    /// part of the contract.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.q);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut d = lock(&dest.q);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => d.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_and_steal() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(2));
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_batch_refills_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(0)));
+        assert!(!w.is_empty());
+        let mut seen = vec![];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        assert_eq!(seen, (1..1 + seen.len() as i32).collect::<Vec<_>>());
+    }
+}

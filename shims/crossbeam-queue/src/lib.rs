@@ -1,0 +1,122 @@
+//! Offline shim for the subset of `crossbeam-queue` this workspace uses.
+//!
+//! See `shims/parking_lot/src/lib.rs` for why these exist. The lock-free
+//! segmented queue becomes a mutexed `VecDeque`: same unbounded MPMC
+//! semantics, coarser contention behaviour.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    pub const fn new() -> Self {
+        SegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, t: T) {
+        self.lock().push_back(t);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+/// Bounded MPMC ring; push fails with the rejected value when full.
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cap: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        ArrayQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    pub fn push(&self, t: T) -> Result<(), T> {
+        let mut q = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if q.len() >= self.cap {
+            Err(t)
+        } else {
+            q.push_back(t);
+            Ok(())
+        }
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn array_queue_bounds() {
+        let q = ArrayQueue::new(1);
+        assert!(q.push(1).is_ok());
+        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.pop(), Some(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace uses.
+//!
+//! See `shims/parking_lot/src/lib.rs` for why these exist. `thread::scope`
+//! wraps `std::thread::scope` (stable since 1.63) behind crossbeam's
+//! `Result`-returning, closure-takes-`&Scope` signature.
+
+pub mod thread {
+    use std::any::Any;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives `&Scope` (unused by
+        /// every call site in this workspace, but part of the signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads before
+    /// returning. A panic in any scoped thread (or in `f` itself)
+    /// surfaces as `Err`, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Pads and aligns a value to cache-line size to avoid false sharing.
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let mut vals = vec![0u32; 4];
+        super::thread::scope(|s| {
+            for (i, v) in vals.iter_mut().enumerate() {
+                s.spawn(move |_| *v = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_propagates_panics_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
