@@ -1,0 +1,279 @@
+//! Ablations of GPSA's hot-path design choices, one self-gating case per
+//! `--case` value (default: all).
+//!
+//! ## `fold_kernels`
+//!
+//! Isolates the batch-native hot path introduced for the COST work: the
+//! same graph × algorithm grid runs under three configurations,
+//!
+//! * **scalar** — per-message fold oracle (`batch_fold = false`), no
+//!   dispatcher-side combining;
+//! * **batch** — `fold_batch` kernels over message-slab runs, no
+//!   combining;
+//! * **combined** — batch kernels plus dispatcher-side same-destination
+//!   combining (the engine default).
+//!
+//! All cells run a 1-dispatcher / 1-computer / 1-worker fleet so the
+//! message stream order is deterministic and the comparison isolates the
+//! fold path rather than scheduling noise. Gates (process exits non-zero
+//! on violation):
+//!
+//! * batch values bit-identical to scalar for every algorithm — the
+//!   `fold_batch` contract;
+//! * combined values bit-identical to scalar for BFS/CC (u32 min is
+//!   association-free); PageRank within 1e-4 (combining reassociates the
+//!   f32 summation).
+//!
+//! Speedups are reported in `BENCH_ablations.json` but not gated: CI
+//! smoke boxes are too noisy to gate raw speed on.
+//!
+//! ```text
+//! cargo run --release -p gpsa-bench --bin ablations -- \
+//!     [--scale N] [--runs N] [--data-dir D] [--case fold_kernels]
+//! ```
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gpsa::programs::{Bfs, ConnectedComponents, PageRank};
+use gpsa::{Engine, EngineConfig, Termination};
+use gpsa_bench::{fmt_dur, HarnessConfig};
+use gpsa_graph::datasets::Dataset;
+use gpsa_graph::preprocess;
+use gpsa_metrics::Table;
+
+const ALGOS: [&str; 3] = ["bfs", "cc", "pagerank"];
+const VARIANTS: [&str; 3] = ["scalar", "batch", "combined"];
+const PR_TOLERANCE: f32 = 1e-4;
+
+/// One (algo, variant) measurement.
+struct Cell {
+    algo: &'static str,
+    variant: &'static str,
+    total: Duration,
+    messages: u64,
+    /// Values as u32 bit patterns, for exact comparison.
+    bits: Vec<u32>,
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablations: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let case = argv
+        .iter()
+        .position(|a| a == "--case")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let cfg = HarnessConfig::default().apply_flags(&argv)?;
+    std::fs::create_dir_all(&cfg.data_dir)?;
+
+    let mut gate_errors = Vec::new();
+    let mut sections = Vec::new();
+    match case {
+        "all" | "fold_kernels" => {
+            sections.push(fold_kernels(&cfg, &mut gate_errors)?);
+        }
+        other => return Err(format!("unknown --case {other:?} (fold_kernels)").into()),
+    }
+
+    let json = render_json(&cfg, &sections, &gate_errors);
+    let out = cfg.data_dir.join("BENCH_ablations.json");
+    std::fs::write(&out, &json)?;
+    println!("wrote {}", out.display());
+
+    if !gate_errors.is_empty() {
+        for e in &gate_errors {
+            eprintln!("GATE FAILED: {e}");
+        }
+        return Err(format!("{} gate(s) failed", gate_errors.len()).into());
+    }
+    Ok(())
+}
+
+/// The `fold_kernels` case: scalar vs batch vs combined fold paths.
+fn fold_kernels(
+    cfg: &HarnessConfig,
+    gate_errors: &mut Vec<String>,
+) -> Result<(&'static str, Vec<Cell>), Box<dyn std::error::Error>> {
+    let el = gpsa_bench::dataset_edges(Dataset::Twitter, 16 * cfg.scale);
+    let root = gpsa_bench::bfs_root(&el);
+    eprintln!(
+        "fold_kernels graph: {} vertices, {} edges (twitter-s R-MAT), bfs root {root}",
+        el.n_vertices,
+        el.len()
+    );
+    let path = cfg.data_dir.join("ablations-v2.gcsr");
+    preprocess::edges_to_csr(el, &path, &preprocess::PreprocessOptions::default())?;
+
+    let mut cells = Vec::new();
+    for algo in ALGOS {
+        for variant in VARIANTS {
+            let mut totals = Vec::new();
+            let mut messages = 0u64;
+            let mut bits = Vec::new();
+            for run in 0..cfg.runs.max(1) {
+                let dir: PathBuf = cfg.data_dir.join(format!("abl-{algo}-{variant}-{run}"));
+                let mut config = EngineConfig::new(&dir)
+                    .with_workers(1)
+                    .with_actors(1, 1)
+                    .with_batch_fold(variant != "scalar")
+                    .with_termination(match algo {
+                        "pagerank" => Termination::Supersteps(cfg.supersteps),
+                        _ => Termination::Quiescence {
+                            max_supersteps: 10_000,
+                        },
+                    });
+                config.combine_messages = variant == "combined";
+                let engine = Engine::new(config);
+                let t0 = Instant::now();
+                let (m, b) = match algo {
+                    "bfs" => {
+                        let r = engine.run(&path, Bfs { root }).map_err(|e| e.to_string())?;
+                        (r.messages, r.values)
+                    }
+                    "cc" => {
+                        let r = engine
+                            .run(&path, ConnectedComponents)
+                            .map_err(|e| e.to_string())?;
+                        (r.messages, r.values)
+                    }
+                    _ => {
+                        let r = engine
+                            .run(&path, PageRank::default())
+                            .map_err(|e| e.to_string())?;
+                        (r.messages, r.values.iter().map(|v| v.to_bits()).collect())
+                    }
+                };
+                totals.push(t0.elapsed());
+                messages = m;
+                if run == 0 {
+                    bits = b;
+                }
+            }
+            let total = totals.iter().sum::<Duration>() / totals.len().max(1) as u32;
+            cells.push(Cell {
+                algo,
+                variant,
+                total,
+                messages,
+                bits,
+            });
+        }
+    }
+
+    // Gates: batch ≡ scalar exactly; combined ≡ scalar exactly for the
+    // min algorithms, within tolerance for PageRank.
+    for algo in ALGOS {
+        let of = |variant: &str| {
+            cells
+                .iter()
+                .find(|c| c.algo == algo && c.variant == variant)
+                .expect("cell grid is complete")
+        };
+        let (scalar, batch, combined) = (of("scalar"), of("batch"), of("combined"));
+        if batch.bits != scalar.bits {
+            gate_errors.push(format!("{algo}: batch values differ from scalar fold"));
+        }
+        if algo == "pagerank" {
+            let off = combined
+                .bits
+                .iter()
+                .zip(&scalar.bits)
+                .filter(|(a, b)| (f32::from_bits(**a) - f32::from_bits(**b)).abs() > PR_TOLERANCE)
+                .count();
+            if off > 0 {
+                gate_errors.push(format!(
+                    "pagerank: {off} combined values beyond {PR_TOLERANCE} of scalar"
+                ));
+            }
+        } else if combined.bits != scalar.bits {
+            gate_errors.push(format!("{algo}: combined values differ from scalar fold"));
+        }
+    }
+
+    let mut t = Table::new(&["algo", "variant", "total", "messages", "speedup vs scalar"]);
+    for algo in ALGOS {
+        let scalar_total = cells
+            .iter()
+            .find(|c| c.algo == algo && c.variant == "scalar")
+            .map(|c| c.total)
+            .unwrap_or_default();
+        for c in cells.iter().filter(|c| c.algo == algo) {
+            t.row(&[
+                c.algo.to_string(),
+                c.variant.to_string(),
+                fmt_dur(c.total),
+                c.messages.to_string(),
+                format!(
+                    "{:.2}x",
+                    scalar_total.as_secs_f64() / c.total.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+    }
+    print!("{t}");
+    Ok(("fold_kernels", cells))
+}
+
+fn render_json(
+    cfg: &HarnessConfig,
+    sections: &[(&'static str, Vec<Cell>)],
+    gate_errors: &[String],
+) -> String {
+    // Hand-rolled JSON: the workspace deliberately has no serde dependency.
+    let case_entries: Vec<String> = sections
+        .iter()
+        .map(|(name, cells)| {
+            let cell_entries: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        concat!(
+                            "      {{ \"algo\": \"{}\", \"variant\": \"{}\", ",
+                            "\"total_us\": {}, \"messages\": {} }}"
+                        ),
+                        c.algo,
+                        c.variant,
+                        c.total.as_micros(),
+                        c.messages,
+                    )
+                })
+                .collect();
+            format!(
+                "    {{ \"case\": \"{}\", \"cells\": [\n{}\n    ] }}",
+                name,
+                cell_entries.join(",\n")
+            )
+        })
+        .collect();
+    let gate_entries: Vec<String> = gate_errors
+        .iter()
+        .map(|e| format!("    \"{}\"", e.replace('"', "'")))
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"ablations\",\n",
+            "  \"runs\": {},\n",
+            "  \"supersteps\": {},\n",
+            "  \"cases\": [\n{}\n  ],\n",
+            "  \"gate_failures\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        cfg.runs,
+        cfg.supersteps,
+        case_entries.join(",\n"),
+        if gate_entries.is_empty() {
+            String::new()
+        } else {
+            gate_entries.join(",\n")
+        },
+    )
+}

@@ -26,6 +26,7 @@ USAGE:
                   [--dispatchers N] [--computers N] [--workers N]
                   [--nodes N (dist engine)]
                   [--work-dir DIR] [--durable] [--resume] [--top N]
+                  [--verbose (per-superstep phase breakdown)]
   gpsa serve      --listen <host:port> [--work-dir DIR] [--max-jobs N]
                   [--queue-capacity N] [--cache-capacity N] [--budget-mb N]
                   [--deadline-ms N] [--graphs id=path[,id=path...]]
@@ -43,6 +44,7 @@ USAGE:
                   [--tenant T (bill the job to tenant T)]
                   [--stream (chunked result frames; bounded memory)]
                   [--no-retry (fail fast instead of backing off)]
+                  [--verbose (per-superstep phase breakdown)]
   gpsa mutate     --addr <host:port> --graph <id>
                   [--add \"u:v,u:v,...\"] [--remove \"u:v,u:v,...\"]
                   [--compact (fold the delta log into a fresh CSR epoch)]
@@ -190,7 +192,7 @@ fn engine_from(args: &Args) -> Result<Engine, String> {
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["durable", "resume"])?;
+    let args = Args::parse(argv, &["durable", "resume", "verbose"])?;
     let graph = PathBuf::from(args.require("graph")?);
     let algo = args.require("algo")?.to_string();
     let root: u32 = args.get_parsed("root", 0u32)?;
@@ -210,15 +212,15 @@ fn run(argv: &[String]) -> Result<(), String> {
             } else {
                 engine
             };
-            let report = run_program(&engine, &graph, PageRank::default())?;
+            let report = run_program(&engine, &graph, PageRank::default(), args.flag("verbose"))?;
             print_top_f32("rank", &report, top);
         }
         "bfs" => {
-            let report = run_program(&engine, &graph, Bfs { root })?;
+            let report = run_program(&engine, &graph, Bfs { root }, args.flag("verbose"))?;
             print_levels("level", &report, top);
         }
         "cc" => {
-            let report = run_program(&engine, &graph, ConnectedComponents)?;
+            let report = run_program(&engine, &graph, ConnectedComponents, args.flag("verbose"))?;
             let mut sizes = std::collections::BTreeMap::new();
             for &l in &report.values {
                 *sizes.entry(l).or_insert(0u64) += 1;
@@ -231,7 +233,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
         }
         "sssp" => {
-            let report = run_program(&engine, &graph, Sssp { root })?;
+            let report = run_program(&engine, &graph, Sssp { root }, args.flag("verbose"))?;
             print_levels("distance", &report, top);
         }
         other => {
@@ -349,7 +351,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
 fn submit(argv: &[String]) -> Result<(), String> {
     use gpsa_serve::{AlgorithmSpec, Client, Priority, RetryPolicy, SubmitRequest, ValueType};
 
-    let args = Args::parse(argv, &["no-retry", "stream"])?;
+    let args = Args::parse(argv, &["no-retry", "stream", "verbose"])?;
     let addr = args.require("addr")?;
     let graph_id = args.require("graph")?.to_string();
     let algo = args.require("algo")?;
@@ -425,6 +427,9 @@ fn submit(argv: &[String]) -> Result<(), String> {
             resp.outcome.edges_skipped,
             100.0 * resp.outcome.mean_frontier_density
         );
+    }
+    if args.flag("verbose") {
+        print_phases(&resp.outcome.phases);
     }
     match resp.outcome.value_type {
         ValueType::F32 => {
@@ -818,6 +823,7 @@ fn run_program<P: VertexProgram>(
     engine: &Engine,
     graph: &Path,
     program: P,
+    verbose: bool,
 ) -> Result<gpsa::RunReport<P::Value>, String> {
     let report = engine.run(graph, program).map_err(|e| e.to_string())?;
     println!(
@@ -833,7 +839,45 @@ fn run_program<P: VertexProgram>(
             report.edges_streamed, report.edge_bytes_streamed, report.edges_skipped
         );
     }
+    if verbose {
+        print_phases(&report.phases);
+    }
     Ok(report)
+}
+
+/// Render the per-superstep phase breakdown an engine run recorded, plus
+/// the run-wide totals. Slab wait is the slice of dispatch time spent
+/// blocked acquiring a message slab from the pool (backpressure).
+fn print_phases(phases: &[gpsa::PhaseBreakdown]) {
+    if phases.is_empty() {
+        return;
+    }
+    let mut t = Table::new(&[
+        "superstep",
+        "dispatch us",
+        "fold us",
+        "commit us",
+        "slab wait us",
+    ]);
+    let mut total = gpsa::PhaseBreakdown::default();
+    for (i, p) in phases.iter().enumerate() {
+        total.add(p);
+        t.row(&[
+            &i.to_string(),
+            &p.dispatch_us.to_string(),
+            &p.fold_us.to_string(),
+            &p.commit_us.to_string(),
+            &p.slab_wait_us.to_string(),
+        ]);
+    }
+    t.row(&[
+        "total",
+        &total.dispatch_us.to_string(),
+        &total.fold_us.to_string(),
+        &total.commit_us.to_string(),
+        &total.slab_wait_us.to_string(),
+    ]);
+    print!("{t}");
 }
 
 fn print_top_f32(name: &str, report: &gpsa::RunReport<f32>, top: usize) {

@@ -21,26 +21,25 @@
 //! mis-handle as a fresh first message.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use actor::{Actor, Addr, Ctx};
 use gpsa_graph::VertexId;
 
+use crate::kernels::FoldCtx;
 use crate::manager::{Manager, ManagerMsg};
 use crate::program::{GraphMeta, VertexProgram};
-use crate::slab::{MsgSlabPool, OverlapStats};
+use crate::slab::{MsgSlab, MsgSlabPool, OverlapStats};
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::VertexValue;
 
 /// Mailbox protocol of a compute actor.
 pub(crate) enum ComputeCmd<M> {
-    /// A batch of `(destination, message value)` updates targeting the
-    /// given update column. The buffer is a slab on loan from the shared
-    /// pool; the computer releases it back after folding.
-    Batch {
-        update_col: u32,
-        msgs: Vec<(VertexId, M)>,
-    },
+    /// A slab of message runs targeting the given update column. The
+    /// buffer is on loan from the shared pool; the computer releases it
+    /// back after folding.
+    Batch { update_col: u32, slab: MsgSlab<M> },
     /// COMPUTE_OVER token: finalize the superstep, report to the manager.
     Flush { superstep: u64, update_col: u32 },
     /// SYSTEM_OVER.
@@ -70,12 +69,20 @@ pub(crate) struct Computer<P: VertexProgram> {
     pub pool: Arc<MsgSlabPool<P::MsgVal>>,
     /// Superstep overlap statistics (time-to-first-batch).
     pub stats: Arc<OverlapStats>,
+    /// Route batches through the program's [`VertexProgram::fold_batch`]
+    /// kernel; `false` forces the scalar per-message oracle
+    /// ([`FoldCtx::fold_scalar_slab`]) for A/B testing.
+    pub batch_fold: bool,
+    /// Wall-clock µs spent folding this superstep (reported with
+    /// COMPUTE_OVER for the phase breakdown).
+    pub fold_us: u64,
     /// Chaos harness: scripted computer panics (per-batch and at flush).
     #[cfg(feature = "chaos")]
     pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl<P: VertexProgram> Computer<P> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         program: Arc<P>,
         values: Arc<ValueFile>,
@@ -84,6 +91,7 @@ impl<P: VertexProgram> Computer<P> {
         owned: Vec<VertexId>,
         pool: Arc<MsgSlabPool<P::MsgVal>>,
         stats: Arc<OverlapStats>,
+        batch_fold: bool,
     ) -> Self {
         Computer {
             program,
@@ -95,38 +103,26 @@ impl<P: VertexProgram> Computer<P> {
             owned,
             pool,
             stats,
+            batch_fold,
+            fold_us: 0,
             #[cfg(feature = "chaos")]
             fault: None,
         }
     }
 
-    #[inline]
-    fn fold(&mut self, update_col: u32, v: VertexId, msg: P::MsgVal) {
-        let dispatch_col = 1 - update_col;
-        let u_bits = self.values.load(update_col, v);
-        let new = if is_flagged(u_bits) {
-            // First message for `v` this superstep: seed the accumulator
-            // from the freshest buffered copy (paper: "fetch value from the
-            // message sending column"; see VertexProgram::freshest for why
-            // the update-column copy must be consulted too).
-            let d = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
-            let u = P::Value::from_bits(clear_flag(u_bits));
-            let basis = self.program.freshest(d, u);
-            self.dirty.push((v, basis));
-            // First write to this vertex: raise its frontier bit so next
-            // superstep's dispatcher can find it without scanning. The
-            // flush pass lowers it again if the fold ends up a no-op.
-            self.values.frontier().mark(update_col, v);
-            self.program.compute(v, None, basis, msg, &self.meta)
+    /// Fold one slab of runs into the update column — the per-message
+    /// first-message protocol itself lives in [`FoldCtx`], shared between
+    /// the scalar oracle and the batch kernels.
+    fn fold_slab(&mut self, update_col: u32, slab: &MsgSlab<P::MsgVal>) {
+        let fold_start = Instant::now();
+        let mut ctx = FoldCtx::new(&self.values, &self.meta, update_col, &mut self.dirty);
+        if self.batch_fold {
+            self.program.fold_batch(slab, &mut ctx);
         } else {
-            let acc = P::Value::from_bits(u_bits);
-            let basis = P::Value::from_bits(clear_flag(self.values.load(dispatch_col, v)));
-            self.program.compute(v, Some(acc), basis, msg, &self.meta)
-        };
-        // Accumulator is stored flag-clear; the flush pass decides the
-        // final flag.
-        self.values.store(update_col, v, new.to_bits());
-        self.messages += 1;
+            ctx.fold_scalar_slab(&*self.program, slab);
+        }
+        self.messages += slab.len() as u64;
+        self.fold_us += fold_start.elapsed().as_micros() as u64;
     }
 
     fn flush(&mut self, superstep: u64, update_col: u32) {
@@ -177,6 +173,7 @@ impl<P: VertexProgram> Computer<P> {
             activated,
             delta,
             messages,
+            fold_us: std::mem::take(&mut self.fold_us),
         });
     }
 }
@@ -186,12 +183,10 @@ impl<P: VertexProgram> Actor for Computer<P> {
 
     fn handle(&mut self, msg: ComputeCmd<P::MsgVal>, ctx: &mut Ctx<'_, Self>) {
         match msg {
-            ComputeCmd::Batch { update_col, msgs } => {
+            ComputeCmd::Batch { update_col, slab } => {
                 self.stats.record_first_batch();
-                for &(v, m) in msgs.iter() {
-                    self.fold(update_col, v, m);
-                }
-                self.pool.release(msgs);
+                self.fold_slab(update_col, &slab);
+                self.pool.release(slab);
                 // Batch boundary: the update column now holds a partial
                 // fold that recovery must throw away.
                 #[cfg(feature = "chaos")]

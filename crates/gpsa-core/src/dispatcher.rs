@@ -22,10 +22,20 @@
 //! manager does not start superstep `s+1` until every dispatcher reported
 //! DISPATCH_OVER for `s` and every computer flushed.
 //!
-//! Outgoing buffers are recycled through the shared
+//! ## Run emission
+//!
+//! Messages within one source's record are *uniform* (`gen_msg` is called
+//! once per vertex), so outgoing buffers are struct-of-arrays
+//! [`MsgSlab`]s: each dispatched record appends its destination ids as one
+//! *run* sharing a single message value, instead of pushing a
+//! `(dst, msg)` tuple per edge. On the dense single-computer path the CSR
+//! record is decoded **directly into the slab's destination column**
+//! (`take_rec_into`), and flagged records are skipped without decoding at
+//! all (`skip_rec`). Buffers are recycled through the shared
 //! [`MsgSlabPool`](crate::MsgSlabPool) rather than allocated per flush,
-//! and same-destination messages are merged by an in-place adjacent-run
-//! dedup that exploits CSR source ordering instead of sorting every batch.
+//! and when combining is enabled same-destination messages are merged at
+//! push time by an adjacent-duplicate check that exploits CSR source
+//! ordering instead of sorting every batch.
 //!
 //! ## Sparse (frontier-driven) dispatch
 //!
@@ -46,6 +56,7 @@
 
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::Instant;
 
 use actor::{Actor, Addr, Ctx};
 use gpsa_graph::{GraphSnapshot, VertexId};
@@ -56,7 +67,7 @@ use crate::config::DispatchMode;
 use crate::manager::{Manager, ManagerMsg};
 use crate::partition::DispatchAssignment;
 use crate::program::{GraphMeta, VertexProgram};
-use crate::slab::MsgSlabPool;
+use crate::slab::{MsgSlab, MsgSlabPool};
 use crate::value_file::ValueFile;
 use crate::word::{clear_flag, is_flagged};
 use crate::Router;
@@ -101,8 +112,8 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     pub router: Arc<dyn Router>,
     pub computers: Vec<Addr<Computer<P>>>,
     pub manager: Addr<Manager<P>>,
-    /// Per-computer output buffers, flushed at `msg_batch` entries.
-    pub buffers: Vec<Vec<(VertexId, P::MsgVal)>>,
+    /// Per-computer output buffers, flushed at `msg_batch` destinations.
+    pub buffers: Vec<MsgSlab<P::MsgVal>>,
     pub msg_batch: usize,
     /// Shared slab free-list backing `buffers` (see [`MsgSlabPool`]).
     pub pool: Arc<MsgSlabPool<P::MsgVal>>,
@@ -119,6 +130,12 @@ pub(crate) struct Dispatcher<P: VertexProgram> {
     /// logical work; bytes measure physical I/O, which is what the v2
     /// compressed format shrinks.
     pub step_bytes: u64,
+    /// Wall-clock µs spent inside this superstep's chunks (accumulated,
+    /// reported with DISPATCH_OVER for the phase breakdown).
+    pub step_dispatch_us: u64,
+    /// Of that, µs spent waiting on [`MsgSlabPool::acquire`] during
+    /// flushes — backpressure from computers still holding slabs.
+    pub step_slab_wait_us: u64,
     /// Scratch buffer for random-access record decodes on the strided
     /// path (reused across vertices; v2 decodes into it, v1 borrows the
     /// map directly).
@@ -151,38 +168,60 @@ impl<P: VertexProgram> Dispatcher<P> {
         if self.buffers[owner].is_empty() {
             return 0;
         }
-        let mut buf = std::mem::replace(&mut self.buffers[owner], self.pool.acquire());
-        if self.combine {
-            // In-place adjacent-run dedup. The buffer is filled in CSR scan
-            // order, so one source's duplicate targets (parallel edges) and
-            // consecutive sources hitting the same destination are adjacent
-            // — the common combining wins — without the former
-            // sort_unstable_by_key over every batch. Non-adjacent
-            // duplicates still fold correctly at the computer; combining
-            // is an optimization, never required for correctness.
-            let mut w = 0usize;
-            let mut r = 1usize;
-            while r < buf.len() {
-                if buf[r].0 == buf[w].0 {
-                    buf[w].1 = self.program.combine(buf[w].1, buf[r].1);
-                } else {
-                    w += 1;
-                    buf[w] = buf[r];
-                }
-                r += 1;
-            }
-            buf.truncate(w + 1);
-        }
-        let sent = buf.len() as u64;
-        let _ = self.computers[owner].send(ComputeCmd::Batch {
-            update_col,
-            msgs: buf,
-        });
+        debug_assert!(
+            !self.buffers[owner].has_open_run(),
+            "flush with an unsealed run"
+        );
+        let wait = Instant::now();
+        let fresh = self.pool.acquire();
+        self.step_slab_wait_us += wait.elapsed().as_micros() as u64;
+        let slab = std::mem::replace(&mut self.buffers[owner], fresh);
+        let sent = slab.len() as u64;
+        let _ = self.computers[owner].send(ComputeCmd::Batch { update_col, slab });
         sent
     }
 
+    /// Append one dispatched record's messages to the outgoing buffers:
+    /// a whole run per owner in run mode, or per-destination combining
+    /// pushes when the program combines. Combining merges *adjacent*
+    /// duplicates only — the buffer fills in CSR scan order, so one
+    /// source's parallel edges and consecutive sources hitting the same
+    /// destination merge without sorting; non-adjacent duplicates still
+    /// fold correctly at the computer. Combining is an optimization,
+    /// never required for correctness.
+    fn emit(&mut self, targets: &[VertexId], msg: P::MsgVal, update_col: u32, sent: &mut u64) {
+        if self.combine {
+            let program = self.program.clone();
+            for &dst in targets {
+                let owner = self.router.route(dst);
+                self.buffers[owner].push_combined(dst, msg, |a, b| program.combine(a, b));
+                if self.buffers[owner].len() >= self.msg_batch {
+                    *sent += self.flush_buffer(owner, update_col);
+                }
+            }
+        } else if self.computers.len() == 1 {
+            self.buffers[0].extend_run(targets, msg);
+            if self.buffers[0].len() >= self.msg_batch {
+                *sent += self.flush_buffer(0, update_col);
+            }
+        } else {
+            for &dst in targets {
+                let owner = self.router.route(dst);
+                self.buffers[owner].dst_buf_mut().push(dst);
+            }
+            for owner in 0..self.buffers.len() {
+                self.buffers[owner].close_run(msg);
+                if self.buffers[owner].len() >= self.msg_batch {
+                    *sent += self.flush_buffer(owner, update_col);
+                }
+            }
+        }
+    }
+
     /// Process one vertex record: skip-or-dispatch, then invalidate
-    /// (Algorithm 2's loop body).
+    /// (Algorithm 2's loop body). Used by the sparse and strided paths,
+    /// which materialize [`gpsa_graph::VertexEdges`] records; the dense
+    /// sequential path is fused into [`run_chunk`](Self::run_chunk).
     #[inline]
     fn dispatch_vertex(
         &mut self,
@@ -197,13 +236,7 @@ impl<P: VertexProgram> Dispatcher<P> {
         }
         let value = P::Value::from_bits(clear_flag(bits));
         if let Some(msg) = self.program.gen_msg(rec.vid, value, rec.degree, &self.meta) {
-            for &dst in rec.targets {
-                let owner = self.router.route(dst);
-                self.buffers[owner].push((dst, msg));
-                if self.buffers[owner].len() >= self.msg_batch {
-                    *sent += self.flush_buffer(owner, update_col);
-                }
-            }
+            self.emit(rec.targets, msg, update_col, sent);
         }
         // Invalidate after dispatching (Alg. 2 l.20): the slot is now
         // "no update yet" for its next role as update column.
@@ -306,6 +339,7 @@ impl<P: VertexProgram> Dispatcher<P> {
         range: Range<VertexId>,
         ctx: &mut Ctx<'_, Self>,
     ) {
+        let chunk_start = Instant::now();
         let update_col = 1 - dispatch_col;
         let mut sent = 0u64;
         let graph = self.graph.clone();
@@ -333,15 +367,44 @@ impl<P: VertexProgram> Dispatcher<P> {
             let end = self.chunk_end(&range);
             match self.assignment.clone() {
                 // Sequential streaming over a contiguous interval — the
-                // efficient path. v2 records decode into the cursor's
-                // scratch buffer; v1 records are borrowed from the map.
+                // hot path, fused with the slab: the flag is checked
+                // *before* the record is decoded (`skip_rec` advances the
+                // cursor without touching edge bytes beyond the index),
+                // and a dispatched record's targets decode straight into
+                // the outgoing slab's destination column.
                 DispatchAssignment::Range(_) => {
-                    self.step_streamed += graph.words_in_range(range.start..end);
-                    self.step_bytes += graph.bytes_in_range(range.start..end);
+                    let values = self.values.clone();
+                    let single = !self.combine && self.computers.len() == 1;
                     let mut cursor = graph.cursor(range.start..end);
-                    while let Some(rec) = cursor.next_rec() {
-                        self.dispatch_vertex(rec, dispatch_col, update_col, &mut sent);
+                    while let Some(vid) = cursor.peek_vid() {
+                        let bits = values.load(dispatch_col, vid);
+                        if !self.always_dispatch && is_flagged(bits) {
+                            cursor.skip_rec(); // Alg. 2 l.8, sans decode
+                            continue;
+                        }
+                        let value = P::Value::from_bits(clear_flag(bits));
+                        let degree = graph.degree(vid);
+                        match self.program.gen_msg(vid, value, degree, &self.meta) {
+                            None => cursor.skip_rec(),
+                            Some(msg) if single => {
+                                cursor.take_rec_into(self.buffers[0].dst_buf_mut());
+                                self.buffers[0].close_run(msg);
+                                if self.buffers[0].len() >= self.msg_batch {
+                                    sent += self.flush_buffer(0, update_col);
+                                }
+                            }
+                            Some(msg) => {
+                                let mut scratch = std::mem::take(&mut self.scratch);
+                                scratch.clear();
+                                cursor.take_rec_into(&mut scratch);
+                                self.emit(&scratch, msg, update_col, &mut sent);
+                                self.scratch = scratch;
+                            }
+                        }
+                        values.invalidate(dispatch_col, vid);
                     }
+                    self.step_streamed += cursor.words_read();
+                    self.step_bytes += cursor.bytes_read();
                 }
                 // The paper's "simple mod algorithm": random-access reads of
                 // every stride-th vertex record. Chunk boundaries are always
@@ -380,6 +443,7 @@ impl<P: VertexProgram> Dispatcher<P> {
             );
         }
         if let Some(rest) = remainder {
+            self.step_dispatch_us += chunk_start.elapsed().as_micros() as u64;
             let _ = ctx.addr().send(DispatchCmd::Chunk {
                 superstep,
                 dispatch_col,
@@ -389,6 +453,7 @@ impl<P: VertexProgram> Dispatcher<P> {
             for owner in 0..self.buffers.len() {
                 self.step_sent += self.flush_buffer(owner, update_col);
             }
+            self.step_dispatch_us += chunk_start.elapsed().as_micros() as u64;
             let streamed = std::mem::take(&mut self.step_streamed);
             let skipped = match &self.assignment {
                 // What a full sweep of the interval would have read,
@@ -407,6 +472,8 @@ impl<P: VertexProgram> Dispatcher<P> {
                 streamed,
                 bytes: std::mem::take(&mut self.step_bytes),
                 skipped,
+                dispatch_us: std::mem::take(&mut self.step_dispatch_us),
+                slab_wait_us: std::mem::take(&mut self.step_slab_wait_us),
             });
         }
     }
@@ -425,6 +492,8 @@ impl<P: VertexProgram> Actor for Dispatcher<P> {
                 self.step_sent = 0;
                 self.step_streamed = 0;
                 self.step_bytes = 0;
+                self.step_dispatch_us = 0;
+                self.step_slab_wait_us = 0;
                 self.sparse_now = self.choose_sparse(active);
                 self.apply_advice(dispatch_col);
                 let full = self.full_range();

@@ -275,6 +275,11 @@ impl Engine {
         if !matches!(self.config.intervals, IntervalStrategy::Strided) {
             let _ = graph.advise_sequential();
         }
+        if self.config.hugepages {
+            // Best-effort THP backing for the big mappings; ignored where
+            // the kernel or filesystem can't honor it.
+            let _ = graph.advise_hugepage();
+        }
         let meta = GraphMeta {
             n_vertices: graph.n_vertices() as u64,
             n_edges: graph.n_edges() as u64,
@@ -314,6 +319,9 @@ impl Engine {
                 };
                 (Arc::new(vf), 0, 0)
             };
+        if self.config.hugepages {
+            let _ = values.advise_hugepage();
+        }
 
         // Routing and vertex ownership are attempt-invariant.
         let router: Arc<dyn Router> = match self.config.router {
@@ -426,6 +434,7 @@ impl Engine {
                         owned.clone(),
                         pool.clone(),
                         overlap.clone(),
+                        self.config.batch_fold,
                     );
                     #[cfg(feature = "chaos")]
                     {
@@ -450,7 +459,9 @@ impl Engine {
                         router: router.clone(),
                         computers: computers.clone(),
                         manager: manager.clone(),
-                        buffers: vec![Vec::new(); self.config.n_computers],
+                        buffers: (0..self.config.n_computers)
+                            .map(|_| crate::slab::MsgSlab::new())
+                            .collect(),
                         msg_batch: self.config.msg_batch.max(1),
                         pool: pool.clone(),
                         chunk_edges: if self.config.dispatch_chunk
@@ -463,6 +474,8 @@ impl Engine {
                         step_sent: 0,
                         step_streamed: 0,
                         step_bytes: 0,
+                        step_dispatch_us: 0,
+                        step_slab_wait_us: 0,
                         scratch: Vec::new(),
                         always_dispatch: program.always_dispatch(),
                         combine: self.config.combine_messages && program.combines(),
@@ -609,8 +622,9 @@ impl Engine {
                 .as_ref()
                 .map(|(_, seeds)| seeds.len() as u64)
                 .unwrap_or(0),
-            pool_hits: pool.hits(),
-            pool_misses: pool.misses(),
+            pool_hit_bytes: pool.hit_bytes(),
+            pool_miss_bytes: pool.miss_bytes(),
+            phases: report.phases,
             first_batch: report.first_batch,
             elapsed: t0.elapsed(),
             retry_attempts: retry_causes.len() as u32,

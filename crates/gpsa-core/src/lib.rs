@@ -54,6 +54,7 @@ mod engine;
 #[cfg(feature = "chaos")]
 pub mod fault;
 pub mod frontier;
+pub mod kernels;
 mod manager;
 mod partition;
 mod program;
@@ -68,13 +69,14 @@ mod word;
 pub use config::{DispatchMode, EngineConfig, IntervalStrategy, RouterStrategy, Termination};
 pub use engine::{Engine, EngineError};
 pub use frontier::Frontier;
+pub use kernels::FoldCtx;
 pub use partition::{
     edge_balanced_intervals, strided_assignments, uniform_intervals, DispatchAssignment, ModRouter,
     RangeRouter, Router,
 };
 pub use program::{GraphMeta, VertexProgram};
-pub use report::{RunOutcome, RunReport};
-pub use slab::MsgSlabPool;
+pub use report::{PhaseBreakdown, RunOutcome, RunReport};
+pub use slab::{MsgSlab, MsgSlabPool};
 pub use sync_engine::SyncEngine;
 pub use value::VertexValue;
 pub use value_file::{crc32, ValueFile, ValueFileError, ValueFileHeader};

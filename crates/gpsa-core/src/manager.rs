@@ -14,6 +14,7 @@ use crate::config::Termination;
 use crate::dispatcher::{DispatchCmd, Dispatcher};
 use crate::partition::DispatchAssignment;
 use crate::program::VertexProgram;
+use crate::report::PhaseBreakdown;
 use crate::slab::OverlapStats;
 use crate::value_file::ValueFile;
 
@@ -41,6 +42,9 @@ pub(crate) struct ManagerReport {
     /// Per superstep: frontier bitmap popcount / vertex count at
     /// superstep start.
     pub frontier_density: Vec<f64>,
+    /// Per superstep: where the time went (dispatch / fold / commit /
+    /// slab wait), summed across actors.
+    pub phases: Vec<PhaseBreakdown>,
     /// Column holding the results of the last completed superstep.
     pub final_dispatch_col: u32,
 }
@@ -65,6 +69,8 @@ pub(crate) enum ManagerMsg<P: VertexProgram> {
         streamed: u64,
         bytes: u64,
         skipped: u64,
+        dispatch_us: u64,
+        slab_wait_us: u64,
     },
     /// COMPUTE_OVER reply from one compute actor.
     ComputeOver {
@@ -72,6 +78,7 @@ pub(crate) enum ManagerMsg<P: VertexProgram> {
         activated: u64,
         delta: f64,
         messages: u64,
+        fold_us: u64,
     },
 }
 
@@ -116,6 +123,8 @@ pub(crate) struct Manager<P: VertexProgram> {
     pub edge_bytes_streamed: u64,
     pub edges_skipped: u64,
     pub frontier_density: Vec<f64>,
+    pub phases: Vec<PhaseBreakdown>,
+    pub step_phase: PhaseBreakdown,
     pub step_activated: u64,
     pub step_delta: f64,
     pub steps_run: u64,
@@ -164,6 +173,8 @@ impl<P: VertexProgram> Manager<P> {
             edge_bytes_streamed: 0,
             edges_skipped: 0,
             frontier_density: Vec::new(),
+            phases: Vec::new(),
+            step_phase: PhaseBreakdown::default(),
             step_activated: 0,
             step_delta: 0.0,
             steps_run: 0,
@@ -179,6 +190,7 @@ impl<P: VertexProgram> Manager<P> {
         self.pending_compute = self.computers.len();
         self.step_activated = 0;
         self.step_delta = 0.0;
+        self.step_phase = PhaseBreakdown::default();
         // Epoch first: every batch of the superstep must be timed against
         // a stamp taken before any dispatcher starts.
         self.overlap.begin_superstep();
@@ -235,6 +247,7 @@ impl<P: VertexProgram> Manager<P> {
             edge_bytes_streamed: self.edge_bytes_streamed,
             edges_skipped: self.edges_skipped,
             frontier_density: std::mem::take(&mut self.frontier_density),
+            phases: std::mem::take(&mut self.phases),
             final_dispatch_col: self.dispatch_col,
         });
         ctx.stop();
@@ -271,12 +284,15 @@ impl<P: VertexProgram> Manager<P> {
         // the last *successful* commit and retries — the header on disk
         // is still the previous slot (dual-slot scheme), so nothing is
         // lost.
+        let commit_start = Instant::now();
         if let Err(e) = self
             .values
             .commit(self.superstep, next_dispatch, self.durable)
         {
             panic!("superstep {} commit failed: {e}", self.superstep);
         }
+        self.step_phase.commit_us += commit_start.elapsed().as_micros() as u64;
+        self.phases.push(std::mem::take(&mut self.step_phase));
         // The just-dispatched column becomes the next superstep's update
         // column: wipe its bitmap so computers mark a fresh frontier into
         // it (its flags are all set too — dispatchers invalidate every
@@ -317,6 +333,8 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 streamed,
                 bytes,
                 skipped,
+                dispatch_us,
+                slab_wait_us,
             } => {
                 debug_assert_eq!(superstep, self.superstep);
                 if self.dispatcher_messages.len() <= dispatcher {
@@ -326,6 +344,8 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 self.edges_streamed += streamed;
                 self.edge_bytes_streamed += bytes;
                 self.edges_skipped += skipped;
+                self.step_phase.dispatch_us += dispatch_us;
+                self.step_phase.slab_wait_us += slab_wait_us;
                 self.pending_dispatch -= 1;
                 if self.pending_dispatch == 0 {
                     if self.crash_after_dispatch == Some(self.superstep) {
@@ -349,11 +369,13 @@ impl<P: VertexProgram> Actor for Manager<P> {
                 activated,
                 delta,
                 messages,
+                fold_us,
             } => {
                 debug_assert_eq!(superstep, self.superstep);
                 self.step_activated += activated;
                 self.step_delta += delta;
                 self.messages += messages;
+                self.step_phase.fold_us += fold_us;
                 if self.crash_in_compute == Some(self.superstep) {
                     // Simulated crash while sibling computers are still
                     // folding: no commit, update column half-written.

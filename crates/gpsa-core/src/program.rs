@@ -3,6 +3,8 @@
 
 use gpsa_graph::VertexId;
 
+use crate::kernels::FoldCtx;
+use crate::slab::MsgSlab;
 use crate::value::VertexValue;
 
 /// Static facts about the graph, available to every hook.
@@ -117,6 +119,23 @@ pub trait VertexProgram: Send + Sync + 'static {
     /// called when [`combines`](Self::combines) returns `true`.
     fn combine(&self, _a: Self::MsgVal, _b: Self::MsgVal) -> Self::MsgVal {
         unreachable!("combines() returned true but combine() is not implemented")
+    }
+
+    /// Fold one whole message slab into the update column — the batch
+    /// hot path. The default replays the slab through the scalar
+    /// per-message [`compute`](Self::compute) protocol via
+    /// [`FoldCtx::fold_scalar_slab`] (always correct; also the oracle the
+    /// kernel overrides are proptested against). Programs whose fold is
+    /// a u32 min (BFS, CC, SSSP) or an f32 damped sum (PageRank) override
+    /// this with the tight kernels in [`crate::kernels`]; overrides must
+    /// be **bit-identical** to the scalar replay, including the
+    /// first-message bookkeeping (`basis` seeding, dirty list, frontier
+    /// mark) and run order (f32 folds are order-sensitive).
+    fn fold_batch(&self, slab: &MsgSlab<Self::MsgVal>, ctx: &mut FoldCtx<'_, Self>)
+    where
+        Self: Sized,
+    {
+        ctx.fold_scalar_slab(self, slab);
     }
 
     /// Dispatch every vertex every superstep, ignoring the updated flag.

@@ -3,7 +3,9 @@
 
 use gpsa_graph::VertexId;
 
+use crate::kernels::{self, FoldCtx};
 use crate::program::{GraphMeta, VertexProgram};
+use crate::slab::MsgSlab;
 
 /// PageRank with damping factor `d` (default 0.85):
 /// `rank(v) = (1 - d)/N + d * Σ rank(u)/deg(u)` over in-neighbors `u`.
@@ -85,6 +87,10 @@ impl VertexProgram for PageRank {
     fn combine(&self, a: f32, b: f32) -> f32 {
         a + b // rank shares sum; compute() is linear in the message
     }
+
+    fn fold_batch(&self, slab: &MsgSlab<f32>, ctx: &mut FoldCtx<'_, Self>) {
+        kernels::fold_sum_f32(self, slab, ctx, self.damping);
+    }
 }
 
 /// Level value used for unreached vertices (largest 31-bit payload).
@@ -144,6 +150,10 @@ impl VertexProgram for Bfs {
     fn combine(&self, a: u32, b: u32) -> u32 {
         a.min(b)
     }
+
+    fn fold_batch(&self, slab: &MsgSlab<u32>, ctx: &mut FoldCtx<'_, Self>) {
+        kernels::fold_min_u32(self, slab, ctx);
+    }
 }
 
 /// Connected components by label propagation: every vertex converges to
@@ -189,6 +199,10 @@ impl VertexProgram for ConnectedComponents {
 
     fn combine(&self, a: u32, b: u32) -> u32 {
         a.min(b)
+    }
+
+    fn fold_batch(&self, slab: &MsgSlab<u32>, ctx: &mut FoldCtx<'_, Self>) {
+        kernels::fold_min_u32(self, slab, ctx);
     }
 }
 
@@ -256,6 +270,12 @@ impl VertexProgram for Sssp {
 
     fn freshest(&self, a: u32, b: u32) -> u32 {
         a.min(b)
+    }
+
+    fn fold_batch(&self, slab: &MsgSlab<(u32, VertexId)>, ctx: &mut FoldCtx<'_, Self>) {
+        kernels::fold_min_u32_by(self, slab, ctx, |v, (dist, src)| {
+            dist.saturating_add(Self::weight(src, v)).min(UNREACHED)
+        });
     }
 }
 

@@ -2,6 +2,35 @@
 
 use std::time::Duration;
 
+/// Where one superstep's time went, in wall-clock microseconds summed
+/// across the actors of each role. `dispatch_us` covers the chunk scans
+/// (including `gen_msg` and slab emission); `fold_us` the computers'
+/// batch folds; `commit_us` the manager's end-of-superstep value-file
+/// commit; `slab_wait_us` — a subset of `dispatch_us` — the time flushes
+/// spent acquiring a replacement slab from the pool (backpressure from
+/// computers still holding loaned slabs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// µs dispatchers spent scanning + emitting, summed across actors.
+    pub dispatch_us: u64,
+    /// µs computers spent folding slabs, summed across actors.
+    pub fold_us: u64,
+    /// µs the manager spent committing the value file.
+    pub commit_us: u64,
+    /// µs dispatch flushes spent waiting on the slab pool (⊆ dispatch).
+    pub slab_wait_us: u64,
+}
+
+impl PhaseBreakdown {
+    /// Element-wise sum, for whole-run totals.
+    pub fn add(&mut self, other: &PhaseBreakdown) {
+        self.dispatch_us += other.dispatch_us;
+        self.fold_us += other.fold_us;
+        self.commit_us += other.commit_us;
+        self.slab_wait_us += other.slab_wait_us;
+    }
+}
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -57,13 +86,17 @@ pub struct RunReport<V> {
     /// edges that had a committed prior value to re-send. 0 for full
     /// runs.
     pub seeded_frontier: u64,
-    /// Message-slab pool acquisitions served from the free-list (recycled
-    /// buffers) over the whole run.
-    pub pool_hits: u64,
-    /// Slab acquisitions that had to allocate a fresh buffer. At steady
+    /// Message-slab *bytes* of capacity served from the pool's free-list
+    /// (recycled buffers) over the whole run. Byte-weighted so slabs of
+    /// different column widths (message types) compare honestly.
+    pub pool_hit_bytes: u64,
+    /// Slab capacity bytes that had to be freshly allocated. At steady
     /// state the pool holds the maximum number of in-flight batches and
     /// misses stop growing.
-    pub pool_misses: u64,
+    pub pool_miss_bytes: u64,
+    /// Per superstep: where the time went (dispatch / fold / commit /
+    /// slab wait), summed across the actors of each role.
+    pub phases: Vec<PhaseBreakdown>,
     /// Per superstep: time from superstep start until the first message
     /// batch reached a compute actor — the paper's dispatch/compute
     /// overlap made observable (`None` when a superstep sent no
@@ -96,15 +129,24 @@ impl<V> RunReport<V> {
         self.step_times.iter().sum()
     }
 
-    /// Fraction of slab acquisitions served by recycling,
-    /// `hits / (hits + misses)`; 0.0 if the pool was never used.
+    /// Fraction of slab capacity bytes served by recycling,
+    /// `hit / (hit + miss)`; 0.0 if the pool was never used.
     pub fn pool_hit_rate(&self) -> f64 {
-        let total = self.pool_hits + self.pool_misses;
+        let total = self.pool_hit_bytes + self.pool_miss_bytes;
         if total == 0 {
             0.0
         } else {
-            self.pool_hits as f64 / total as f64
+            self.pool_hit_bytes as f64 / total as f64
         }
+    }
+
+    /// Whole-run phase totals (element-wise sum over supersteps).
+    pub fn phase_totals(&self) -> PhaseBreakdown {
+        let mut total = PhaseBreakdown::default();
+        for p in &self.phases {
+            total.add(p);
+        }
+        total
     }
 
     /// Mean frontier density over the run's supersteps; 0.0 if none ran.
@@ -148,8 +190,22 @@ mod tests {
             edges_skipped: 8,
             frontier_density: vec![0.5, 0.1],
             seeded_frontier: 0,
-            pool_hits: 9,
-            pool_misses: 3,
+            pool_hit_bytes: 9216,
+            pool_miss_bytes: 3072,
+            phases: vec![
+                PhaseBreakdown {
+                    dispatch_us: 100,
+                    fold_us: 40,
+                    commit_us: 5,
+                    slab_wait_us: 2,
+                },
+                PhaseBreakdown {
+                    dispatch_us: 50,
+                    fold_us: 10,
+                    commit_us: 5,
+                    slab_wait_us: 0,
+                },
+            ],
             first_batch: vec![Some(Duration::from_millis(1)), None],
             elapsed: Duration::from_millis(50),
             retry_attempts: 0,
@@ -161,5 +217,10 @@ mod tests {
         assert!((r.pool_hit_rate() - 0.75).abs() < 1e-9);
         assert!((r.mean_frontier_density() - 0.3).abs() < 1e-9);
         assert_eq!(r.mean_first_batch(), Some(Duration::from_millis(1)));
+        let totals = r.phase_totals();
+        assert_eq!(totals.dispatch_us, 150);
+        assert_eq!(totals.fold_us, 50);
+        assert_eq!(totals.commit_us, 10);
+        assert_eq!(totals.slab_wait_us, 2);
     }
 }

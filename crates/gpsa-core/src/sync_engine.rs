@@ -158,8 +158,9 @@ impl SyncEngine {
             frontier_density: densities,
             seeded_frontier: 0,
             // No actor pipeline: no slab pool, no batch timing.
-            pool_hits: 0,
-            pool_misses: 0,
+            pool_hit_bytes: 0,
+            pool_miss_bytes: 0,
+            phases: Vec::new(),
             first_batch: Vec::new(),
             elapsed: t0.elapsed(),
             retry_attempts: 0,

@@ -576,6 +576,30 @@ impl ValueFile {
         self.words()[self.slot(col, v)].fetch_or(crate::word::FLAG_BIT, Ordering::Relaxed);
     }
 
+    /// Software-prefetch the cache line holding vertex `v`'s slot pair
+    /// into L1. The batch fold kernels issue this a few destinations
+    /// ahead so the value-file random access doesn't stall their inner
+    /// loop. No-op on non-x86_64 targets.
+    #[inline(always)]
+    pub fn prefetch(&self, col: u32, v: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `slot` bounds-checks (debug) the index; prefetch of any
+        // address is side-effect free beyond the cache.
+        unsafe {
+            let p = self.words().as_ptr().add(self.slot(col, v)) as *const i8;
+            core::arch::x86_64::_mm_prefetch(p, core::arch::x86_64::_MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = (col, v);
+    }
+
+    /// Best-effort transparent-hugepage hint for the whole mapping (see
+    /// [`MmapMut::advise_hugepage`]); `false` is expected on kernels
+    /// without file-backed THP support.
+    pub fn advise_hugepage(&self) -> bool {
+        self.map.advise_hugepage()
+    }
+
     /// The per-column active-vertex bitmaps (see [`crate::frontier`]).
     #[inline]
     pub fn frontier(&self) -> &Frontier {

@@ -524,14 +524,14 @@ fn slab_pool_recycles_buffers() {
         EngineConfig::small(workdir("slab")).with_termination(Termination::Supersteps(6));
     config.msg_batch = 256; // many batches per superstep
     let report = Engine::new(config).run(&path, PageRank::default()).unwrap();
-    assert!(report.pool_misses > 0, "first flushes must allocate");
-    assert!(report.pool_hits > 0, "steady state must recycle");
+    assert!(report.pool_miss_bytes > 0, "first flushes must allocate");
+    assert!(report.pool_hit_bytes > 0, "steady state must recycle");
     assert!(
         report.pool_hit_rate() > 0.5,
         "pool should serve most acquisitions after superstep 1: \
-         {} hits / {} misses",
-        report.pool_hits,
-        report.pool_misses
+         {} hit bytes / {} miss bytes",
+        report.pool_hit_bytes,
+        report.pool_miss_bytes
     );
     // Overlap statistics: every dense superstep sends messages, so each
     // records a time-to-first-batch.

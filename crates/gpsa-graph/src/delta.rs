@@ -396,6 +396,12 @@ impl GraphSnapshot {
         self.base.advise_random()
     }
 
+    /// See [`DiskCsr::advise_hugepage`] (the overlay is heap-resident and
+    /// needs no hint).
+    pub fn advise_hugepage(&self) -> bool {
+        self.base.advise_hugepage()
+    }
+
     /// See [`DiskCsr::advise_vertex_range`] — clamped to the base range
     /// (overlay-only records have no disk span to advise about).
     pub fn advise_vertex_range(&self, vertices: Range<VertexId>, advice: Advice) -> io::Result<()> {
@@ -640,6 +646,46 @@ impl SnapshotCursor<'_> {
                 })
             }
         }
+    }
+
+    /// See [`EdgeCursor::peek_vid`].
+    pub fn peek_vid(&self) -> Option<VertexId> {
+        (self.next < self.end).then_some(self.next)
+    }
+
+    /// See [`EdgeCursor::skip_rec`] — skipped base records still count as
+    /// streamed; overlay-only tail records cost nothing either way.
+    pub fn skip_rec(&mut self) {
+        debug_assert!(self.next < self.end, "skip_rec past the end");
+        let v = self.next;
+        if (v as usize) < self.snap.base.n_vertices() {
+            self.base
+                .as_mut()
+                .expect("base cursor covers the clamped range")
+                .skip_rec();
+        }
+        self.next += 1;
+    }
+
+    /// See [`EdgeCursor::take_rec_into`]. Records the overlay touches
+    /// take the merged-record path (decode + filter + append); untouched
+    /// base records stream straight from the base cursor.
+    pub fn take_rec_into(&mut self, out: &mut Vec<u32>) -> (VertexId, u32) {
+        debug_assert!(self.next < self.end, "take_rec_into past the end");
+        let v = self.next;
+        if (v as usize) < self.snap.base.n_vertices() && self.snap.overlay.get(v).is_none() {
+            self.next += 1;
+            return self
+                .base
+                .as_mut()
+                .expect("base cursor covers the clamped range")
+                .take_rec_into(out);
+        }
+        let rec = self.next_rec().expect("record in range");
+        let degree = rec.degree;
+        let targets = rec.targets;
+        out.extend_from_slice(targets);
+        (v, degree)
     }
 
     /// Logical base words consumed so far (overlay targets are free).
@@ -1043,6 +1089,46 @@ mod tests {
             for v in 0..4 {
                 assert_eq!(passthrough.targets(v), base.targets(v), "{tag}");
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_cursor_take_and_skip_match_next_rec() {
+        let batches = vec![
+            DeltaBatch::Add(vec![Edge::new(1, 3), Edge::new(6, 2)]),
+            DeltaBatch::Remove(vec![Edge::new(0, 2)]),
+        ];
+        for (tag, opts) in flavors() {
+            let dir = tmpdir(&format!("takeskip-{tag}"));
+            let base = materialize(&dir, "b", EdgeList::from_edges(base_edges()), &opts);
+            let s = snapshot(&base, &batches);
+            let n = s.n_vertices() as VertexId;
+            let mut cur = s.cursor(0..n);
+            let mut out = Vec::new();
+            let mut recs = Vec::new();
+            while let Some(v) = cur.peek_vid() {
+                let before = out.len();
+                let (vid, degree) = cur.take_rec_into(&mut out);
+                assert_eq!(vid, v, "{tag}");
+                assert_eq!(degree as usize, out.len() - before, "{tag}");
+                recs.push(out[before..].to_vec());
+            }
+            assert_eq!(cur.words_read(), s.words_in_range(0..n), "{tag}");
+            let mut oracle = s.cursor(0..n);
+            for want in &recs {
+                assert_eq!(oracle.next_rec().unwrap().targets, &want[..], "{tag}");
+            }
+            // Any skip/take mix still accounts for the full base span.
+            let mut cur = s.cursor(0..n);
+            for v in 0..n {
+                if v % 2 == 0 {
+                    cur.skip_rec();
+                } else {
+                    cur.take_rec_into(&mut Vec::new());
+                }
+            }
+            assert_eq!(cur.words_read(), s.words_in_range(0..n), "{tag}");
+            assert_eq!(cur.bytes_read(), s.bytes_in_range(0..n), "{tag}");
         }
     }
 

@@ -397,6 +397,13 @@ impl DiskCsr {
         self.data.advise(Advice::Random).map_err(io::Error::from)
     }
 
+    /// Best-effort transparent-hugepage hint for the edge file (see
+    /// [`Mmap::advise_hugepage`]). Returns whether the kernel accepted
+    /// the hint; `false` is expected on kernels without file-backed THP.
+    pub fn advise_hugepage(&self) -> bool {
+        self.data.advise_hugepage()
+    }
+
     /// Advise the kernel about just the span of the edge file holding the
     /// records of `vertices`, leaving the rest of the map untouched. Sparse
     /// and strided dispatchers use this so one actor's `Random` hint does
@@ -924,6 +931,70 @@ impl EdgeCursor<'_> {
         })
     }
 
+    /// The id of the record the next `next_rec`/`take_rec_into`/
+    /// `skip_rec` call will touch, or `None` past the end — lets callers
+    /// consult per-vertex state (e.g. a dispatch flag) before deciding
+    /// whether to decode or skip.
+    pub fn peek_vid(&self) -> Option<VertexId> {
+        (self.next < self.end).then_some(self.next)
+    }
+
+    /// Advance past the next record without decoding it — `O(1)` via the
+    /// offset index. The skipped record still counts toward
+    /// `words_read`/`bytes_read` (the stream position moved over it), so
+    /// the streamed/skipped conservation accounting is unchanged whether
+    /// a caller decodes or skips.
+    pub fn skip_rec(&mut self) {
+        debug_assert!(self.next < self.end, "skip_rec past the end");
+        let vid = self.next;
+        if self.csr.version == VERSION_V1 {
+            let end_w = self.csr.word_offset(vid as usize + 1) as usize;
+            let words = (end_w - self.pos / 4) as u64;
+            self.words_read += words;
+            self.bytes_read += words * 4;
+            self.pos = end_w * 4;
+        } else {
+            let end = self.csr.byte_offset(vid as usize + 1) as usize;
+            self.words_read += self.csr.degree(vid) as u64 + 1;
+            self.bytes_read += (end - self.pos) as u64;
+            self.pos = end;
+        }
+        self.next += 1;
+    }
+
+    /// Decode the next record's targets directly into `out` (appending,
+    /// never clearing) and return `(vid, degree)` — the batch-native read
+    /// path: dispatchers stream destinations straight into a message
+    /// slab's `dst` column with no intermediate borrow. Record bounds
+    /// come from the offset index (validated at open), so v1 needs no
+    /// separator scan here.
+    pub fn take_rec_into(&mut self, out: &mut Vec<u32>) -> (VertexId, u32) {
+        debug_assert!(self.next < self.end, "take_rec_into past the end");
+        let vid = self.next;
+        if self.csr.version == VERSION_V1 {
+            let start_w = self.pos / 4 + usize::from(self.csr.with_degrees);
+            let end_w = self.csr.word_offset(vid as usize + 1) as usize;
+            let body = self.csr.body();
+            out.extend_from_slice(&body[start_w..end_w - 1]);
+            let words = (end_w - self.pos / 4) as u64;
+            self.words_read += words;
+            self.bytes_read += words * 4;
+            self.pos = end_w * 4;
+            self.next += 1;
+            return (vid, (end_w - 1 - start_w) as u32);
+        }
+        let end = self.csr.byte_offset(vid as usize + 1) as usize;
+        let degree = self.csr.degree(vid) as usize;
+        if let Err(e) = decode_v2_record(vid, &self.csr.body_bytes()[self.pos..end], degree, out) {
+            panic!("{e}");
+        }
+        self.words_read += degree as u64 + 1;
+        self.bytes_read += (end - self.pos) as u64;
+        self.pos = end;
+        self.next += 1;
+        (vid, degree as u32)
+    }
+
     /// Logical body words consumed so far (see
     /// [`SeekCursor::words_read`]).
     pub fn words_read(&self) -> u64 {
@@ -1028,6 +1099,45 @@ mod tests {
             while cur.next_rec().is_some() {}
             assert_eq!(cur.words_read(), d.words_in_range(1..4), "{tag}");
             assert_eq!(cur.bytes_read(), d.bytes_in_range(1..4), "{tag}");
+        }
+    }
+
+    #[test]
+    fn take_and_skip_match_next_rec_and_counters() {
+        for (tag, path) in all_flavors(&tmpdir()) {
+            let d = DiskCsr::open(&path).unwrap();
+            // take_rec_into appends targets without clearing and yields
+            // the same records as next_rec.
+            let mut cur = d.cursor(0..4);
+            let mut out = vec![99u32];
+            let mut recs = Vec::new();
+            while let Some(v) = cur.peek_vid() {
+                let before = out.len();
+                let (vid, degree) = cur.take_rec_into(&mut out);
+                assert_eq!(vid, v, "{tag}");
+                assert_eq!(degree as usize, out.len() - before, "{tag}");
+                recs.push((vid, out[before..].to_vec()));
+            }
+            assert_eq!(out[0], 99, "{tag}: appended, not cleared");
+            let mut oracle = d.cursor(0..4);
+            for (vid, targets) in &recs {
+                let rec = oracle.next_rec().unwrap();
+                assert_eq!((rec.vid, rec.targets), (*vid, &targets[..]), "{tag}");
+            }
+            assert_eq!(cur.words_read(), d.words_in_range(0..4), "{tag}");
+            assert_eq!(cur.bytes_read(), d.bytes_in_range(0..4), "{tag}");
+
+            // Skipping counts the skipped record's words/bytes, so any
+            // mix of skip/take/next_rec reads the full span.
+            let mut cur = d.cursor(0..4);
+            cur.skip_rec();
+            let (vid, _) = cur.take_rec_into(&mut Vec::new());
+            assert_eq!(vid, 1, "{tag}");
+            cur.skip_rec();
+            assert_eq!(cur.next_rec().unwrap().vid, 3, "{tag}");
+            assert!(cur.peek_vid().is_none(), "{tag}");
+            assert_eq!(cur.words_read(), d.words_in_range(0..4), "{tag}");
+            assert_eq!(cur.bytes_read(), d.bytes_in_range(0..4), "{tag}");
         }
     }
 

@@ -87,6 +87,46 @@ pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
     }
 }
 
+/// Continuation bits of every byte in a little-endian word.
+const MSB_MASK: u64 = 0x8080_8080_8080_8080;
+
+/// Word-at-a-time variant of [`read_u64`]: when at least 8 bytes remain,
+/// one unaligned load finds the varint's stop byte with `trailing_zeros`
+/// and extracts the payload without a per-byte loop. Delta streams on
+/// power-law graphs average 2–3 bytes per varint, so a single-byte fast
+/// path mispredicts constantly; the word path costs the same for lengths
+/// 1 through 8. Falls back to the byte loop within 8 bytes of the slice
+/// end and for 9–10 byte varints.
+#[inline]
+fn read_u64_word(bytes: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let p = *pos;
+    if let Some(window) = bytes.get(p..p + 8) {
+        let w = u64::from_le_bytes(window.try_into().expect("window is 8 bytes"));
+        let stops = !w & MSB_MASK;
+        if stops != 0 {
+            let stop_bit = stops.trailing_zeros(); // 8*(len-1) + 7
+            *pos = p + 1 + (stop_bit >> 3) as usize;
+            return Ok(pack7(w & (u64::MAX >> (63 - stop_bit))));
+        }
+        // 8 continuation bytes: a 9–10 byte varint, vanishingly rare.
+    }
+    read_u64(bytes, pos)
+}
+
+/// Gather the low 7 bits of each byte of `w` into one value (LEB128
+/// payload extraction, low group first). Branchless SWAR merge: adjacent
+/// payload groups are packed pairwise — bytes into 14-bit halves of
+/// 16-bit lanes, those into 28-bit halves of 32-bit lanes, those into a
+/// 56-bit value — so the cost is constant whatever the varint's length.
+/// Bytes past the stop byte must already be masked to zero.
+#[inline]
+fn pack7(w: u64) -> u64 {
+    let x = w & 0x7F7F_7F7F_7F7F_7F7F;
+    let x = (x & 0x007F_007F_007F_007F) | ((x & 0x7F00_7F00_7F00_7F00) >> 1);
+    let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+    (x & 0x0000_0000_0FFF_FFFF) | ((x & 0x0FFF_FFFF_0000_0000) >> 4)
+}
+
 /// Encode one vertex's target list as a v2 byte run (first target raw,
 /// rest as zigzag deltas), appending to `out`. Target order is preserved
 /// exactly. An empty list encodes to zero bytes.
@@ -105,32 +145,91 @@ pub fn encode_run(targets: &[u32], out: &mut Vec<u8>) {
 /// Decode a v2 byte run of exactly `degree` targets from `bytes`,
 /// appending them to `out`. Returns the number of bytes consumed.
 ///
-/// The loop is the engine's hot decode path: one branch-predictable
-/// single-byte fast path per target, with the multi-byte continuation
-/// out-of-line ([`read_u64_slow`] is `#[cold]`).
+/// The loop is the engine's hot decode path. The targets land in a
+/// pre-sized slice tail so the inner loop carries no per-target
+/// capacity or bounds checks — only the decode itself, which reads each
+/// varint word-at-a-time ([`read_u64_word`]) so 1-to-8-byte codes all
+/// take the same branch-light path.
 #[inline]
 pub fn decode_run(bytes: &[u8], degree: usize, out: &mut Vec<u32>) -> Result<usize, VarintError> {
-    out.reserve(degree);
+    let start = out.len();
+    out.resize(start + degree, 0);
+    match decode_run_into(bytes, &mut out[start..]) {
+        Ok(used) => Ok(used),
+        Err(e) => {
+            out.truncate(start);
+            Err(e)
+        }
+    }
+}
+
+/// Decode exactly `dst.len()` targets from `bytes` into `dst`.
+fn decode_run_into(bytes: &[u8], dst: &mut [u32]) -> Result<usize, VarintError> {
+    let Some((first, rest)) = dst.split_first_mut() else {
+        return Ok(0);
+    };
     let mut pos = 0usize;
-    let mut prev: i64 = 0;
-    for i in 0..degree {
-        let raw = read_u64(bytes, &mut pos)?;
-        let t = if i == 0 {
-            if raw > u32::MAX as u64 {
-                return Err(VarintError::OutOfRange);
-            }
-            raw as i64
-        } else {
-            let t = prev
-                .checked_add(unzigzag(raw))
-                .ok_or(VarintError::OutOfRange)?;
-            if t < 0 || t > u32::MAX as i64 {
-                return Err(VarintError::OutOfRange);
-            }
-            t
+    let raw = read_u64_word(bytes, &mut pos)?;
+    if raw > u32::MAX as u64 {
+        return Err(VarintError::OutOfRange);
+    }
+    *first = raw as u32;
+    let mut prev = raw as i64;
+    // Range validation is deferred to one run-level flag so the loop body
+    // stays branchless: a wrapped or out-of-range target always lands
+    // outside `0..=u32::MAX` when viewed as unsigned (`prev` is in-range,
+    // so a wrapping add can only leave the id space, never re-enter it),
+    // and a poisoned `prev` only ever produces more flagged targets.
+    let mut bad = false;
+    let n = rest.len();
+    let mut i = 0;
+    // Word-at-a-time region: one unaligned load per 8 bytes, then every
+    // varint whose stop byte landed in the word is extracted from the
+    // register with shifts — at 2–3 bytes per delta that amortizes the
+    // load and the serial position update over ~3 targets. A varint
+    // straddling the word end is left for the next load (the position
+    // only advances past complete varints).
+    while i < n {
+        let Some(window) = bytes.get(pos..pos + 8) else {
+            break; // tail: fewer than 8 bytes left
         };
-        out.push(t as u32);
+        let w = u64::from_le_bytes(window.try_into().expect("window is 8 bytes"));
+        let mut stops = !w & MSB_MASK;
+        if stops == 0 {
+            // A 9–10 byte varint (or corruption): byte-loop just this one.
+            let raw = read_u64(bytes, &mut pos)?;
+            let t = prev.wrapping_add(unzigzag(raw));
+            bad |= t as u64 > u32::MAX as u64;
+            rest[i] = t as u32;
+            prev = t;
+            i += 1;
+            continue;
+        }
+        let mut start = 0u32; // bit offset of the current varint in `w`
+        while stops != 0 && i < n {
+            let stop = stops.trailing_zeros(); // 8k + 7
+            let raw = pack7((w >> start) & (u64::MAX >> (63 - (stop - start))));
+            let t = prev.wrapping_add(unzigzag(raw));
+            bad |= t as u64 > u32::MAX as u64;
+            rest[i] = t as u32;
+            prev = t;
+            i += 1;
+            stops &= stops - 1;
+            start = stop + 1; // stop bit is a byte's msb, so +1 is byte-aligned
+        }
+        pos += (start >> 3) as usize;
+    }
+    // Tail: per-target reads with the byte-loop fallback near the end.
+    while i < n {
+        let raw = read_u64_word(bytes, &mut pos)?;
+        let t = prev.wrapping_add(unzigzag(raw));
+        bad |= t as u64 > u32::MAX as u64;
+        rest[i] = t as u32;
         prev = t;
+        i += 1;
+    }
+    if bad {
+        return Err(VarintError::OutOfRange);
     }
     Ok(pos)
 }
@@ -172,6 +271,35 @@ mod tests {
     }
 
     #[test]
+    fn word_reader_agrees_with_byte_reader() {
+        // One value per encoded length 1..=10, at both a word-eligible
+        // offset (≥ 8 bytes remain) and flush against the buffer end
+        // (byte-loop fallback).
+        let vals: Vec<u64> = (0..10)
+            .map(|k| if k == 0 { 5 } else { 1u64 << (7 * k) })
+            .chain([127, 128, u32::MAX as u64, u64::MAX])
+            .collect();
+        for v in vals {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let padded: Vec<u8> = buf.iter().copied().chain([0u8; 8]).collect();
+            for bytes in [&buf, &padded] {
+                let mut pos = 0;
+                assert_eq!(read_u64_word(bytes, &mut pos).unwrap(), v);
+                assert_eq!(pos, buf.len());
+            }
+        }
+        // Truncation still detected through the word path.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(
+            read_u64_word(&buf[..buf.len() - 1], &mut pos),
+            Err(VarintError::Truncated)
+        );
+    }
+
+    #[test]
     fn run_roundtrips_shapes() {
         roundtrip(&[]);
         roundtrip(&[0]);
@@ -183,6 +311,29 @@ mod tests {
         // A dense hub run.
         let hub: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
         roundtrip(&hub);
+    }
+
+    #[test]
+    fn mixed_length_runs_roundtrip() {
+        // Deterministic LCG mixing 1–5 byte deltas in both directions so
+        // varints straddle the 8-byte word boundary at every phase.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..50 {
+            let len = 1 + (rng() % 97) as usize;
+            let mut targets = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Spread magnitudes across varint lengths.
+                let shift = rng() % 28;
+                targets.push((rng() as u32) >> shift);
+            }
+            roundtrip(&targets);
+        }
     }
 
     #[test]

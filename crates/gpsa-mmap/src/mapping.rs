@@ -277,10 +277,31 @@ impl MmapMut {
         advise_range_raw(self.ptr, self.len, offset, len, advice)
     }
 
+    /// Best-effort transparent-hugepage hint (`MADV_HUGEPAGE`) for the
+    /// whole mapping. Returns whether the kernel accepted it — see
+    /// [`advise_hugepage_raw`]; a `false` is expected on kernels without
+    /// file-backed THP support and callers proceed unchanged.
+    pub fn advise_hugepage(&self) -> bool {
+        advise_hugepage_raw(self.ptr, self.len)
+    }
+
     /// The underlying file handle (for metadata or extra fsyncs).
     pub fn file(&self) -> &File {
         &self.file
     }
+}
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` over a whole mapping. Returns
+/// whether the kernel accepted the hint: transparent hugepages for
+/// file-backed mappings need kernel support (`CONFIG_READ_ONLY_THP_FOR_FS`
+/// or tmpfs), so `EINVAL` here is an expected outcome, not an error —
+/// callers treat `false` as "ran without the optimization".
+fn advise_hugepage_raw(ptr: NonNull<u8>, len: usize) -> bool {
+    if len == 0 {
+        return false;
+    }
+    // SAFETY: valid region owned by the caller's live mapping.
+    unsafe { libc::madvise(ptr.as_ptr() as *mut _, len, libc::MADV_HUGEPAGE) == 0 }
 }
 
 /// `madvise` the page-aligned range enclosing `[offset, offset + len)`
@@ -401,6 +422,14 @@ impl Mmap {
     /// as `Random` instead of demoting the whole map.
     pub fn advise_range(&self, offset: usize, len: usize, advice: Advice) -> Result<()> {
         advise_range_raw(self.ptr, self.len, offset, len, advice)
+    }
+
+    /// Best-effort transparent-hugepage hint (`MADV_HUGEPAGE`) for the
+    /// whole mapping. Returns whether the kernel accepted it — see
+    /// [`advise_hugepage_raw`]; a `false` is expected on kernels without
+    /// file-backed THP support and callers proceed unchanged.
+    pub fn advise_hugepage(&self) -> bool {
+        advise_hugepage_raw(self.ptr, self.len)
     }
 }
 
@@ -539,6 +568,19 @@ mod tests {
         ] {
             m.advise(adv).unwrap();
         }
+    }
+
+    #[test]
+    fn advise_hugepage_is_best_effort() {
+        let path = tmp("hugepage.bin");
+        let m = MmapMut::create(&path, 4096).unwrap();
+        // Either outcome is valid — file-backed THP depends on kernel
+        // config — the call just must not fault or corrupt the mapping.
+        let _ = m.advise_hugepage();
+        m.as_bytes();
+        let r = Mmap::open(&path).unwrap();
+        let _ = r.advise_hugepage();
+        assert_eq!(r.len(), 4096);
     }
 
     #[test]

@@ -124,6 +124,8 @@ fn outcome_from_json(j: &Json) -> Option<JobOutcome> {
             .and_then(Json::as_f64)
             .unwrap_or(0.0),
         retry_attempts: j.get("retry_attempts")?.as_u64()? as u32,
+        // Phase timings describe one run, not the cached value set.
+        phases: Vec::new(),
     })
 }
 
@@ -346,6 +348,7 @@ mod tests {
             edges_skipped: 0,
             mean_frontier_density: 0.0,
             retry_attempts: 0,
+            phases: Vec::new(),
         })
     }
 
@@ -427,6 +430,7 @@ mod tests {
                     edges_skipped: 128,
                     mean_frontier_density: 0.5,
                     retry_attempts: 1,
+                    phases: Vec::new(),
                 }),
             );
             c.put(key("h", "root=3", 1), outcome(9));

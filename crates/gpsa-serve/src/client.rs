@@ -584,6 +584,10 @@ impl Client {
                                 .and_then(Json::as_f64)
                                 .unwrap_or(0.0),
                             retry_attempts: u("retry_attempts") as u32,
+                            // Streamed replies trade timing detail for
+                            // bounded memory; the final frame carries
+                            // counters only.
+                            phases: Vec::new(),
                         }),
                         queue_wait: Duration::from_micros(u("queue_wait_us")),
                         run_time: Duration::from_micros(u("run_us")),

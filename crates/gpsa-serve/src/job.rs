@@ -276,6 +276,10 @@ pub struct JobOutcome {
     pub mean_frontier_density: f64,
     /// Self-healing retries the run needed (0 for a clean run).
     pub retry_attempts: u32,
+    /// Per-superstep phase timings (dispatch/fold/commit/slab-wait µs).
+    /// Empty for cached results: timing describes a run, not a value set,
+    /// so the cache does not spill it.
+    pub phases: Vec<gpsa::PhaseBreakdown>,
 }
 
 impl JobOutcome {
@@ -333,6 +337,23 @@ impl JobResponse {
                 Json::num(self.outcome.retry_attempts as u64),
             )
             .set(
+                "phases",
+                Json::Arr(
+                    self.outcome
+                        .phases
+                        .iter()
+                        .map(|p| {
+                            Json::Arr(vec![
+                                Json::num(p.dispatch_us),
+                                Json::num(p.fold_us),
+                                Json::num(p.commit_us),
+                                Json::num(p.slab_wait_us),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
                 "queue_wait_us",
                 Json::num(self.queue_wait.as_micros() as u64),
             )
@@ -357,6 +378,24 @@ impl JobResponse {
             .map(|v| v.as_u32().ok_or_else(|| bad("values_u32 element")))
             .collect::<Result<Vec<u32>, ServeError>>()?;
         let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let phases = j
+            .get("phases")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        let row = row.as_arr()?;
+                        let n = |i: usize| row.get(i).and_then(Json::as_u64);
+                        Some(gpsa::PhaseBreakdown {
+                            dispatch_us: n(0)?,
+                            fold_us: n(1)?,
+                            commit_us: n(2)?,
+                            slab_wait_us: n(3)?,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(JobResponse {
             job_id: u("job_id"),
             cache_hit: j.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
@@ -372,6 +411,7 @@ impl JobResponse {
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
                 retry_attempts: u("retry_attempts") as u32,
+                phases,
             }),
             queue_wait: Duration::from_micros(u("queue_wait_us")),
             run_time: Duration::from_micros(u("run_us")),
@@ -446,6 +486,7 @@ pub fn run_job(
                 edges_skipped: r.edges_skipped,
                 mean_frontier_density: r.mean_frontier_density(),
                 retry_attempts: r.retry_attempts,
+                phases: r.phases,
             })
         }
         AlgorithmSpec::Bfs { root } => {
@@ -474,6 +515,7 @@ fn u32_outcome(r: gpsa::RunReport<u32>) -> JobOutcome {
         edges_skipped: r.edges_skipped,
         mean_frontier_density,
         retry_attempts: r.retry_attempts,
+        phases: r.phases,
     }
 }
 
@@ -546,6 +588,20 @@ mod tests {
                 edges_skipped: 36,
                 mean_frontier_density: 0.25,
                 retry_attempts: 1,
+                phases: vec![
+                    gpsa::PhaseBreakdown {
+                        dispatch_us: 100,
+                        fold_us: 40,
+                        commit_us: 7,
+                        slab_wait_us: 3,
+                    },
+                    gpsa::PhaseBreakdown {
+                        dispatch_us: 80,
+                        fold_us: 35,
+                        commit_us: 6,
+                        slab_wait_us: 0,
+                    },
+                ],
             }),
             queue_wait: Duration::from_micros(250),
             run_time: Duration::from_micros(1300),
@@ -562,6 +618,7 @@ mod tests {
         assert_eq!(back.queue_wait, resp.queue_wait);
         assert_eq!(back.run_time, resp.run_time);
         assert_eq!(back.stats.jobs_completed, 1);
+        assert_eq!(back.outcome.phases, resp.outcome.phases);
         let decoded = back.outcome.values_f32().unwrap();
         assert_eq!(decoded[0].to_bits(), 0.1f32.to_bits());
         assert!(decoded[1].is_nan());

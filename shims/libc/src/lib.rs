@@ -38,6 +38,7 @@ pub const MADV_RANDOM: c_int = 1;
 pub const MADV_SEQUENTIAL: c_int = 2;
 pub const MADV_WILLNEED: c_int = 3;
 pub const MADV_DONTNEED: c_int = 4;
+pub const MADV_HUGEPAGE: c_int = 14;
 
 pub const _SC_CLK_TCK: c_int = 2;
 pub const _SC_PAGESIZE: c_int = 30;
